@@ -1,0 +1,78 @@
+// Boolean mask operation micro-benchmarks: scanline throughput across
+// operand sizes and overlap densities, plus connected-component grouping —
+// the machinery behind the derived-layer (overlap / NOT-CUT) rules.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "geo/boolean.hpp"
+
+namespace {
+
+using namespace odrc;
+
+std::vector<rect> rect_soup(std::size_t n, coord_t span, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::uniform_int_distribution<coord_t> size(10, 120);
+  std::vector<rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    out.push_back({x, y, static_cast<coord_t>(x + size(rng)), static_cast<coord_t>(y + size(rng))});
+  }
+  return out;
+}
+
+void BM_BooleanUnion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // span scales with n to keep overlap density roughly constant.
+  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 1);
+  for (auto _ : state) {
+    auto r = geo::boolean_rects(std::span<const rect>(a), {}, geo::bool_op::unite);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+void BM_BooleanIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 2);
+  const auto b = rect_soup(n, static_cast<coord_t>(40 * n), 3);
+  for (auto _ : state) {
+    auto r = geo::boolean_rects(std::span<const rect>(a), b, geo::bool_op::intersect);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+void BM_BooleanSubtract(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 4);
+  const auto b = rect_soup(n, static_cast<coord_t>(40 * n), 5);
+  for (auto _ : state) {
+    auto r = geo::boolean_rects(std::span<const rect>(a), b, geo::bool_op::subtract);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+BENCHMARK(BM_BooleanUnion)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
+BENCHMARK(BM_BooleanIntersect)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
+BENCHMARK(BM_BooleanSubtract)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rects = rect_soup(n, static_cast<coord_t>(40 * n), 6);
+  for (auto _ : state) {
+    auto c = geo::connected_components(rects);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+BENCHMARK(BM_ConnectedComponents)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

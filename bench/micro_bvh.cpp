@@ -1,0 +1,101 @@
+// Layer-wise MBR hierarchy micro-benchmark (paper Section IV-A): a layer
+// range query descends the MBR-augmented hierarchy in O(min(n, kh)) versus
+// the O(n) full flatten-and-scan. Hierarchy depth and query selectivity are
+// swept; the visited-node counter from mbr_index makes the pruning visible
+// independent of wall-clock.
+#include <benchmark/benchmark.h>
+
+#include "db/flatten.hpp"
+#include "db/mbr_index.hpp"
+
+namespace {
+
+using namespace odrc;
+using db::cell_id;
+
+// A balanced hierarchy of `depth` levels with fan-out 4; leaves hold one
+// polygon on layer 1 and (every 16th leaf) one on layer 2.
+struct deep_lib {
+  db::library lib;
+  cell_id top;
+
+  explicit deep_lib(int depth) {
+    int leaf_counter = 0;
+    top = build(depth, leaf_counter);
+  }
+
+  cell_id build(int depth, int& leaf_counter) {
+    if (depth == 0) {
+      const cell_id c = lib.add_cell("leaf" + std::to_string(leaf_counter));
+      lib.at(c).add_rect(1, {0, 0, 50, 50});
+      if (leaf_counter % 16 == 0) lib.at(c).add_rect(2, {10, 10, 20, 20});
+      ++leaf_counter;
+      return c;
+    }
+    const cell_id kids[4] = {build(depth - 1, leaf_counter), build(depth - 1, leaf_counter),
+                             build(depth - 1, leaf_counter), build(depth - 1, leaf_counter)};
+    const cell_id c = lib.add_cell("n" + std::to_string(depth) + "_" +
+                                   std::to_string(leaf_counter));
+    const coord_t step = static_cast<coord_t>(60) * (1 << (2 * (depth - 1)));
+    for (int i = 0; i < 4; ++i) {
+      lib.at(c).add_ref(
+          {kids[i], transform{{static_cast<coord_t>(i) * step, 0}, 0, false, 1}});
+    }
+    return c;
+  }
+};
+
+void BM_LayerQueryHierarchy(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  deep_lib d(depth);
+  const db::mbr_index idx(d.lib);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    std::uint64_t n = 0;
+    // Sparse layer 2: the MBR pruning skips most subtrees.
+    idx.query(d.top, 2, rect{-1000000, -1000000, 1000000, 1000000},
+              [&](const db::layer_hit&) { ++n; });
+    hits = n;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+  state.counters["nodes_visited"] = static_cast<double>(idx.last_query_nodes_visited());
+  state.counters["leaves_total"] = static_cast<double>(1 << (2 * depth));
+}
+
+void BM_LayerQueryFlatten(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  deep_lib d(depth);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto flat = db::flatten_layer(d.lib, d.top, 2);
+    hits = flat.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["hits"] = static_cast<double>(hits);
+}
+
+BENCHMARK(BM_LayerQueryHierarchy)->DenseRange(3, 7);
+BENCHMARK(BM_LayerQueryFlatten)->DenseRange(3, 7);
+
+// Windowed query: selectivity sweep at fixed depth.
+void BM_WindowQuery(benchmark::State& state) {
+  deep_lib d(6);
+  const db::mbr_index idx(d.lib);
+  const rect full = idx.cell_mbr(d.top);
+  const double frac = static_cast<double>(state.range(0)) / 100.0;
+  const rect window{full.x_min, full.y_min,
+                    static_cast<coord_t>(full.x_min + full.width() * frac), full.y_max};
+  for (auto _ : state) {
+    std::uint64_t n = 0;
+    idx.query(d.top, 1, window, [&](const db::layer_hit&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["nodes_visited"] = static_cast<double>(idx.last_query_nodes_visited());
+}
+
+BENCHMARK(BM_WindowQuery)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

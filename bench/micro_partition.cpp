@@ -1,0 +1,84 @@
+// Algorithm 1 micro-benchmark: the Theta(k+N) pigeonhole interval merge vs
+// the O(k log k) sort-based merge. The paper argues the pigeonhole array
+// wins "since k is typically much larger than N in our problems, and arrays
+// usually have a much better locality" — the k/N ratio is the benchmark's
+// second parameter.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "infra/pigeonhole.hpp"
+#include "partition/row_partition.hpp"
+
+namespace {
+
+using namespace odrc;
+
+// Row-placement-like intervals: k cells snapped to N distinct row
+// coordinates (k >> N, the paper's regime).
+std::vector<interval> make_intervals(std::size_t k, std::size_t n_rows) {
+  std::mt19937 rng(k * 31 + n_rows);
+  std::uniform_int_distribution<coord_t> row(0, static_cast<coord_t>(n_rows) - 1);
+  std::vector<interval> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const coord_t r = row(rng);
+    out.push_back({static_cast<coord_t>(r * 270), static_cast<coord_t>(r * 270 + 270),
+                   static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+void BM_PigeonholeMerge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto rows = static_cast<std::size_t>(state.range(1));
+  const auto ivs = make_intervals(k, rows);
+  for (auto _ : state) {
+    auto g = partition::merge_1d(ivs, partition::merge_strategy::pigeonhole);
+    benchmark::DoNotOptimize(g.groups.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
+}
+
+void BM_SortMerge(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto rows = static_cast<std::size_t>(state.range(1));
+  const auto ivs = make_intervals(k, rows);
+  for (auto _ : state) {
+    auto g = partition::merge_1d(ivs, partition::merge_strategy::sort);
+    benchmark::DoNotOptimize(g.groups.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
+}
+
+// k cells over {64, 1024} rows: k/N from 16x to 4096x.
+BENCHMARK(BM_PigeonholeMerge)->Args({1 << 12, 64})->Args({1 << 16, 64})->Args({1 << 18, 64})
+    ->Args({1 << 16, 1024})->Args({1 << 18, 1024});
+BENCHMARK(BM_SortMerge)->Args({1 << 12, 64})->Args({1 << 16, 64})->Args({1 << 18, 64})
+    ->Args({1 << 16, 1024})->Args({1 << 18, 1024});
+
+void BM_FullRowPartition(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<coord_t> row(0, 63);
+  std::uniform_int_distribution<coord_t> x(0, 100000);
+  std::vector<rect> mbrs;
+  mbrs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const coord_t r = row(rng) * 300;
+    const coord_t xx = x(rng);
+    mbrs.push_back({xx, static_cast<coord_t>(r + 36), static_cast<coord_t>(xx + 100),
+                    static_cast<coord_t>(r + 234)});
+  }
+  for (auto _ : state) {
+    auto p = partition::partition_rows(mbrs, 18);
+    benchmark::DoNotOptimize(p.rows.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
+}
+
+BENCHMARK(BM_FullRowPartition)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

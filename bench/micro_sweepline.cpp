@@ -1,0 +1,128 @@
+// Sweepline / interval-tree micro-benchmarks (paper Section IV-D, Fig. 3):
+// the O(n log n + k) sweepline MBR-overlap report against the O(n^2) scan,
+// and raw interval-tree operation throughput.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "infra/interval_tree.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+#include "sweep/sweepline.hpp"
+
+namespace {
+
+using namespace odrc;
+
+std::vector<rect> make_rects(std::size_t n, coord_t span) {
+  std::mt19937 rng(n);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::uniform_int_distribution<coord_t> size(10, 120);
+  std::vector<rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    out.push_back({x, y, static_cast<coord_t>(x + size(rng)), static_cast<coord_t>(y + size(rng))});
+  }
+  return out;
+}
+
+void BM_SweeplineOverlap(benchmark::State& state) {
+  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
+  for (auto _ : state) {
+    std::uint64_t pairs = 0;
+    sweep::overlap_pairs(rects, [&](std::uint32_t, std::uint32_t) { ++pairs; });
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+void BM_BruteForceOverlap(benchmark::State& state) {
+  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
+  for (auto _ : state) {
+    std::uint64_t pairs = 0;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      for (std::size_t j = i + 1; j < rects.size(); ++j) {
+        if (rects[i].overlaps(rects[j])) ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+BENCHMARK(BM_SweeplineOverlap)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Arg(1 << 17);
+BENCHMARK(BM_BruteForceOverlap)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_IntervalTreeInsertRemove(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<coord_t> lo(0, 100000);
+  std::vector<interval> ivs;
+  ivs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const coord_t l = lo(rng);
+    ivs.push_back({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
+  }
+  for (auto _ : state) {
+    interval_tree t;
+    for (const interval& iv : ivs) t.insert(iv);
+    for (const interval& iv : ivs) t.remove(iv);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.range(0) * 2 * state.iterations());
+}
+
+void BM_IntervalTreeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<coord_t> lo(0, 100000);
+  interval_tree t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const coord_t l = lo(rng);
+    t.insert({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
+  }
+  std::vector<std::uint32_t> hits;
+  std::size_t q = 0;
+  for (auto _ : state) {
+    hits.clear();
+    const coord_t l = lo(rng);
+    t.query({l, static_cast<coord_t>(l + 200), static_cast<std::uint32_t>(q++)}, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_IntervalTreeInsertRemove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_IntervalTreeQuery)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
+
+// Candidate-structure comparison (engine_config::candidates ablation): the
+// same all-pairs enumeration through the packed R-tree and the quadtree.
+void BM_RtreeOverlapPairs(benchmark::State& state) {
+  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
+  for (auto _ : state) {
+    const geo::rtree tree(rects);
+    std::uint64_t pairs = 0;
+    tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+void BM_QuadtreeOverlapPairs(benchmark::State& state) {
+  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
+  for (auto _ : state) {
+    const geo::quadtree tree(rects);
+    std::uint64_t pairs = 0;
+    tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+
+BENCHMARK(BM_RtreeOverlapPairs)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+BENCHMARK(BM_QuadtreeOverlapPairs)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Shared harness utilities for the paper-table benchmarks.
+//
+// Each tableN binary regenerates one table of the paper's evaluation
+// (Section VI) on the synthetic ASAP7-like designs: same designs, same rule
+// set, same checker lineup (KLayout-analogue flat/deep/tile, X-Check
+// reimplementation, OpenDRC sequential/parallel), and the same geometric-
+// mean summary row normalized against OpenDRC's parallel mode.
+//
+// Scale: set ODRC_BENCH_SCALE (default 1.0) to grow/shrink the designs;
+// ODRC_BENCH_REPEATS (default 1) takes best-of-N timings.
+// Wall-clock on the simulated device is NOT comparable to the paper's GPU
+// numbers; the tables therefore also print the work counters (edge pairs
+// tested) that make the algorithmic comparison host-independent.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baseline/baseline.hpp"
+#include "engine/engine.hpp"
+#include "infra/timer.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("ODRC_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int bench_repeats() {
+  if (const char* env = std::getenv("ODRC_BENCH_REPEATS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 1;
+}
+
+/// One timed checker invocation: best-of-N wall seconds plus the report of
+/// the last run.
+template <typename Fn>
+double time_best(Fn&& fn, engine::check_report* last = nullptr) {
+  double best = 1e100;
+  for (int i = 0; i < bench_repeats(); ++i) {
+    timer t;
+    engine::check_report r = fn();
+    best = std::min(best, t.seconds());
+    if (last) *last = std::move(r);
+  }
+  return best;
+}
+
+struct row_result {
+  std::string design;
+  std::string rule;
+  // seconds per checker column; negative = unsupported (X-Check area).
+  std::vector<double> seconds;
+  std::size_t violations = 0;
+};
+
+/// Geometric mean per column, normalized to the reference column (the paper
+/// normalizes against OpenDRC-parallel and values all checks equally).
+inline std::vector<double> geomean_normalized(const std::vector<row_result>& rows,
+                                              std::size_t reference_col) {
+  if (rows.empty()) return {};
+  const std::size_t cols = rows[0].seconds.size();
+  std::vector<double> logsum(cols, 0.0);
+  std::vector<std::size_t> counts(cols, 0);
+  for (const row_result& r : rows) {
+    const double ref = r.seconds[reference_col];
+    if (ref <= 0) continue;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r.seconds[c] < 0) continue;  // unsupported
+      logsum[c] += std::log(std::max(r.seconds[c], 1e-9) / std::max(ref, 1e-9));
+      ++counts[c];
+    }
+  }
+  std::vector<double> out(cols, -1.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (counts[c] > 0) out[c] = std::exp(logsum[c] / static_cast<double>(counts[c]));
+  }
+  return out;
+}
+
+inline void print_cell(double seconds) {
+  if (seconds < 0) {
+    std::printf(" %9s", "-");
+  } else if (seconds < 0.01) {
+    std::printf(" %9s", "<0.01");
+  } else {
+    std::printf(" %9.2f", seconds);
+  }
+}
+
+inline void print_table(const char* title, const std::vector<std::string>& columns,
+                        const std::vector<row_result>& rows, std::size_t reference_col) {
+  std::printf("\n%s  (scale=%.2f, seconds, best of %d)\n", title, bench_scale(),
+              bench_repeats());
+  std::printf("%-8s %-12s", "Design", "Rule");
+  for (const std::string& c : columns) std::printf(" %9s", c.c_str());
+  std::printf(" %8s\n", "#viol");
+  for (const row_result& r : rows) {
+    std::printf("%-8s %-12s", r.design.c_str(), r.rule.c_str());
+    for (double s : r.seconds) print_cell(s);
+    std::printf(" %8zu\n", r.violations);
+  }
+  const auto gm = geomean_normalized(rows, reference_col);
+  std::printf("%-8s %-12s", "Average", "(geomean)");
+  for (double g : gm) {
+    if (g < 0) {
+      std::printf(" %9s", "-");
+    } else {
+      std::printf(" %8.1fx", g);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace odrc::bench

@@ -1,0 +1,80 @@
+// Advanced rule demo: the extensions beyond the four classic checks —
+// conditional (PRL) spacing, derived-layer boolean rules (overlap / NOT-CUT
+// area), multi-patterning 2-colorability — plus the result-output paths
+// (text deck parsing, SVG rendering, GDSII violation markers).
+//
+// Run:  ./advanced_rules [out_dir]     (default: system temp dir)
+#include <cstdio>
+#include <filesystem>
+
+#include "engine/deck_parser.hpp"
+#include "engine/engine.hpp"
+#include "gdsii/writer.hpp"
+#include "render/render.hpp"
+#include "workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace odrc;
+  const std::filesystem::path out_dir =
+      argc > 1 ? std::filesystem::path(argv[1]) : std::filesystem::temp_directory_path();
+
+  auto spec = workload::spec_for("ibex", 0.5);
+  spec.inject = {1, 1, 1, 1};
+  const auto g = workload::generate(spec);
+  using workload::layers;
+  using workload::tech;
+
+  drc_engine e;
+
+  // --- conditional (PRL) spacing --------------------------------------------
+  // Base 18 nm everywhere; runs longer than 1 um must keep 24 nm. The
+  // generated M2 tracks run long at exactly 18 nm, so the tier fires.
+  {
+    const auto r = e.check(g.lib, rules::layer(layers::M2).spacing()
+                                      .greater_than(tech::wire_space)
+                                      .when_projection_over(1000, 24)
+                                      .named("M2.S.PRL"));
+    std::printf("M2.S.PRL (18 base / 24 over 1um runs): %zu violations\n",
+                r.violations.size());
+  }
+
+  // --- derived-layer boolean rules ------------------------------------------
+  {
+    const area_t via_area = static_cast<area_t>(tech::via_size) * tech::via_size;
+    const auto ov = e.check(g.lib, rules::layer(layers::V2).overlap_with(layers::M2)
+                                       .area_at_least(via_area)
+                                       .named("V2.M2.OV"));
+    std::printf("V2.M2.OV (full landing-pad coverage): %zu violations\n", ov.violations.size());
+
+    const auto nc = e.check(g.lib, rules::layer(layers::M1).not_cut_by(layers::V1)
+                                       .area_at_least(150)
+                                       .named("M1.NC"));
+    std::printf("M1.NC (no metal slivers after cut): %zu violations\n", nc.violations.size());
+  }
+
+  // --- multi-patterning decomposability --------------------------------------
+  {
+    const auto mp = e.check(g.lib, rules::layer(layers::M2).two_colorable(20).named("M2.MP"));
+    std::printf("M2.MP (2-colorable at 20nm same-mask spacing): %zu violations\n",
+                mp.violations.size());
+  }
+
+  // --- text deck + result output ---------------------------------------------
+  const auto deck = rules::parse_deck(
+      "rule M1.W.1     width     layer=19 min=18\n"
+      "rule M1.S.1     spacing   layer=19 min=18\n"
+      "rule M1.A.1     area      layer=19 min=1000\n"
+      "rule V1.M1.EN.1 enclosure inner=21 outer=19 min=5\n");
+  drc_engine deck_engine;
+  deck_engine.add_rules(deck);
+  const auto report = deck_engine.check_concurrent(g.lib);
+  std::printf("\ntext deck (%zu rules, run concurrently): %zu violations\n", deck.size(),
+              report.violations.size());
+
+  const auto svg_path = (out_dir / "ibex_violations.svg").string();
+  render::write_svg(g.lib, svg_path, {}, report.violations);
+  const auto markers_path = (out_dir / "ibex_markers.gds").string();
+  gdsii::write(render::violation_markers(report.violations, g.lib.name()), markers_path);
+  std::printf("wrote %s and %s\n", svg_path.c_str(), markers_path.c_str());
+  return 0;
+}

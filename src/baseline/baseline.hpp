@@ -1,0 +1,93 @@
+// Baseline design rule checkers the paper compares against (Section VI).
+//
+// All baselines share the violation semantics of checks/edge_checks.hpp, so
+// their outputs are set-equal to OpenDRC's (the integration tests assert
+// this); they differ in candidate enumeration strategy — which is exactly
+// what Tables I and II measure.
+//
+//  - flat_checker  — KLayout "flat mode" analogue: the hierarchy is fully
+//    flattened, then shapes are processed with a single global sweepline.
+//    No hierarchy reuse, no partition.
+//  - deep_checker  — KLayout "deep (hierarchy) mode" analogue: intra-master
+//    results are computed once per master, but inter-instance interactions
+//    are evaluated per occurrence through a global sweepline over instance
+//    MBRs, with no relative-placement memoization and no row partition.
+//  - tile_checker  — KLayout "tiling mode" analogue: the layout extent is
+//    cut into a grid of tiles, each tile is evaluated flat over the shapes
+//    intersecting it plus a rule-distance halo, and tiles run on a worker
+//    pool (KLayout's multi-CPU mode). A violation is attributed to the tile
+//    containing its reference point so the merged output is duplicate-free.
+//  - xcheck       — reimplementation of X-Check's vertical sweeping GPU
+//    algorithm (Section 4.1 of [12], reimplemented by the paper as well):
+//    the layer is flattened, ALL edges are packed into one flat array and
+//    checked by the two-kernel device sweep along y. No hierarchy use, no
+//    partition. X-Check cannot run area checks (Table I's empty column).
+#pragma once
+
+#include <optional>
+
+#include "db/layout.hpp"
+#include "engine/engine.hpp"
+
+namespace odrc::baseline {
+
+using engine::check_report;
+
+/// KLayout flat-mode analogue.
+class flat_checker {
+ public:
+  check_report run_width(const db::library& lib, db::layer_t layer, coord_t min_width);
+  check_report run_area(const db::library& lib, db::layer_t layer, area_t min_area);
+  check_report run_spacing(const db::library& lib, db::layer_t layer, coord_t min_space);
+  check_report run_enclosure(const db::library& lib, db::layer_t inner, db::layer_t outer,
+                             coord_t min_enclosure);
+};
+
+/// KLayout deep-mode analogue.
+class deep_checker {
+ public:
+  check_report run_width(const db::library& lib, db::layer_t layer, coord_t min_width);
+  check_report run_area(const db::library& lib, db::layer_t layer, area_t min_area);
+  check_report run_spacing(const db::library& lib, db::layer_t layer, coord_t min_space);
+  check_report run_enclosure(const db::library& lib, db::layer_t inner, db::layer_t outer,
+                             coord_t min_enclosure);
+};
+
+/// KLayout tiling-mode analogue.
+class tile_checker {
+ public:
+  /// `tiles_per_axis` controls the grid (KLayout's tile size option).
+  explicit tile_checker(std::size_t tiles_per_axis = 8) : tiles_(tiles_per_axis) {}
+
+  check_report run_width(const db::library& lib, db::layer_t layer, coord_t min_width);
+  check_report run_area(const db::library& lib, db::layer_t layer, area_t min_area);
+  check_report run_spacing(const db::library& lib, db::layer_t layer, coord_t min_space);
+  check_report run_enclosure(const db::library& lib, db::layer_t inner, db::layer_t outer,
+                             coord_t min_enclosure);
+
+ private:
+  std::size_t tiles_;
+};
+
+/// X-Check reimplementation (vertical sweep on the simulated device).
+class xcheck {
+ public:
+  xcheck();
+  ~xcheck();
+  xcheck(const xcheck&) = delete;
+  xcheck& operator=(const xcheck&) = delete;
+
+  check_report run_width(const db::library& lib, db::layer_t layer, coord_t min_width);
+  /// X-Check does not support area checks; returns nullopt (Table I).
+  std::optional<check_report> run_area(const db::library& lib, db::layer_t layer,
+                                       area_t min_area);
+  check_report run_spacing(const db::library& lib, db::layer_t layer, coord_t min_space);
+  check_report run_enclosure(const db::library& lib, db::layer_t inner, db::layer_t outer,
+                             coord_t min_enclosure);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace odrc::baseline

@@ -1,0 +1,255 @@
+// Edge-to-edge check semantics (paper Section IV-D "Check Procedures").
+//
+// Every checker in this repository — OpenDRC sequential, OpenDRC parallel,
+// the KLayout-analogue baselines, and the X-Check reimplementation — decides
+// whether an edge pair violates a rule with the predicates in this header.
+// Checkers differ only in how they *enumerate candidate pairs*; with complete
+// enumeration their violation sets are identical by construction, which the
+// integration tests assert.
+//
+// Geometry conventions (see infra/geometry.hpp): polygons are clockwise with
+// +y up, so the interior lies to the RIGHT of every directed edge:
+//
+//   east  edge (left->right): interior below   (outward normal +y)
+//   west  edge (right->left): interior above   (outward normal -y)
+//   north edge (bottom->top): interior right   (outward normal -x)
+//   south edge (top->bottom): interior left    (outward normal +x)
+//
+// Width  (interior between the pair, same polygon):  the facing edge is
+//        anti-parallel and lies on the interior side.
+// Spacing (exterior between the pair, different polygons): the facing edge
+//        is anti-parallel and lies on the exterior side.
+// Enclosure (via inside metal): the metal edge bounding the region in the
+//        via edge's outward direction has the SAME direction; the margin is
+//        the distance along that outward normal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "checks/violation.hpp"
+#include "infra/geometry.hpp"
+
+namespace odrc::checks {
+
+/// True iff `a` and `b` are anti-parallel with the polygon interior between
+/// them: the configuration a width rule constrains. Both edges must belong
+/// to the same polygon; the caller guarantees that.
+[[nodiscard]] constexpr bool is_width_facing(const edge& a, const edge& b) {
+  if (a.horizontal() != b.horizontal()) return false;
+  const edge_dir da = a.dir(), db = b.dir();
+  if (da != opposite(db)) return false;
+  if (projection_overlap(a, b) <= 0) return false;
+  if (a.horizontal()) {
+    // Interior between: east edge above (interior below it), west edge below
+    // (interior above it).
+    const edge& east = da == edge_dir::east ? a : b;
+    const edge& west = da == edge_dir::east ? b : a;
+    return east.level() > west.level();
+  }
+  // north edge left of south edge.
+  const edge& north = da == edge_dir::north ? a : b;
+  const edge& south = da == edge_dir::north ? b : a;
+  return south.level() > north.level();
+}
+
+/// True iff `a` and `b` are anti-parallel with exterior between them: the
+/// configuration a spacing rule constrains (edges of different polygons, or
+/// a notch of the same polygon).
+[[nodiscard]] constexpr bool is_space_facing(const edge& a, const edge& b) {
+  if (a.horizontal() != b.horizontal()) return false;
+  const edge_dir da = a.dir(), db = b.dir();
+  if (da != opposite(db)) return false;
+  if (projection_overlap(a, b) <= 0) return false;
+  if (a.horizontal()) {
+    // Exterior between: west edge (interior above) on top, east edge
+    // (interior below) at the bottom.
+    const edge& east = da == edge_dir::east ? a : b;
+    const edge& west = da == edge_dir::east ? b : a;
+    return west.level() > east.level();
+  }
+  const edge& north = da == edge_dir::north ? a : b;
+  const edge& south = da == edge_dir::north ? b : a;
+  return north.level() > south.level();
+}
+
+/// Width check on a facing pair. Returns the violating distance (in dbu)
+/// when the interior separation is below `min_width`; nullopt otherwise.
+/// Separation is measured perpendicular to the edges (projected distance).
+[[nodiscard]] constexpr std::optional<coord_t> check_width_pair(const edge& a, const edge& b,
+                                                                coord_t min_width) {
+  if (!is_width_facing(a, b)) return std::nullopt;
+  const coord_t d = static_cast<coord_t>(std::abs(a.level() - b.level()));
+  if (d < min_width) return d;
+  return std::nullopt;
+}
+
+/// Spacing check on a candidate pair from *different* polygons. Facing
+/// anti-parallel pairs use projected distance; non-overlapping projections
+/// fall back to Euclidean corner distance (both X-Check and KLayout flag
+/// corner-to-corner proximity). Returns squared distance when violating.
+[[nodiscard]] constexpr std::optional<area_t> check_space_pair(const edge& a, const edge& b,
+                                                               coord_t min_space) {
+  const area_t limit = static_cast<area_t>(min_space) * min_space;
+  if (a.horizontal() == b.horizontal() && projection_overlap(a, b) > 0) {
+    // Parallel with overlapping projections: only exterior-facing pairs
+    // constrain spacing. Aligned collinear edges (same level) are abutting
+    // shapes, not a spacing violation.
+    if (!is_space_facing(a, b)) return std::nullopt;
+    const area_t d = static_cast<area_t>(std::abs(a.level() - b.level()));
+    if (d * d < limit) return d * d;
+    return std::nullopt;
+  }
+  // Corner-to-corner (or perpendicular) proximity: Euclidean.
+  const area_t d2 = squared_distance(a, b);
+  if (d2 > 0 && d2 < limit) return d2;
+  return std::nullopt;
+}
+
+/// Spacing semantics for an arbitrary candidate pair, covering both the
+/// inter-polygon case and the intra-polygon notch case. Same-polygon pairs
+/// only constrain spacing when they are parallel exterior-facing (a notch);
+/// corner proximity within one polygon occurs at every convex corner and is
+/// not a violation. Different-polygon pairs additionally flag Euclidean
+/// corner-to-corner proximity.
+[[nodiscard]] constexpr std::optional<area_t> check_space_pair_any(const edge& a, const edge& b,
+                                                                   bool same_polygon,
+                                                                   coord_t min_space) {
+  if (!same_polygon) return check_space_pair(a, b, min_space);
+  if (a.horizontal() != b.horizontal() || projection_overlap(a, b) <= 0) return std::nullopt;
+  if (!is_space_facing(a, b)) return std::nullopt;
+  const area_t d = std::abs(static_cast<area_t>(a.level()) - b.level());
+  if (d > 0 && d * d < static_cast<area_t>(min_space) * min_space) return d * d;
+  return std::nullopt;
+}
+
+/// Conditional spacing table (paper Section I/II: "conditional rules (e.g.,
+/// different spacing constraints given different projection lengths)") —
+/// the classic parallel-run-length (PRL) spacing rule. Tier 0 is the base
+/// requirement; higher tiers raise the requirement once the facing edges'
+/// projected overlap reaches the tier's run length. POD with inline storage
+/// so it can be captured by device kernels.
+struct spacing_table {
+  struct tier {
+    coord_t min_projection = 0;  ///< applies when projection >= this
+    coord_t distance = 0;        ///< required spacing
+  };
+
+  std::array<tier, 4> tiers{};
+  std::uint8_t count = 0;
+
+  /// Single-tier table: plain minimum spacing.
+  static constexpr spacing_table simple(coord_t distance) {
+    spacing_table t;
+    t.tiers[0] = {0, distance};
+    t.count = 1;
+    return t;
+  }
+
+  /// Add a tier; tiers must be appended in increasing projection order with
+  /// increasing distances (the physical shape of PRL rules).
+  constexpr spacing_table& add_tier(coord_t min_projection, coord_t distance) {
+    tiers[count] = {min_projection, distance};
+    ++count;
+    return *this;
+  }
+
+  /// Required spacing for a facing pair with projected overlap `projection`.
+  [[nodiscard]] constexpr coord_t required(coord_t projection) const {
+    coord_t d = 0;
+    for (std::uint8_t i = 0; i < count; ++i) {
+      if (projection >= tiers[i].min_projection) d = std::max(d, tiers[i].distance);
+    }
+    return d;
+  }
+
+  /// Base requirement (tier 0), used for corner-to-corner proximity where
+  /// no parallel run exists.
+  [[nodiscard]] constexpr coord_t base() const { return count ? tiers[0].distance : 0; }
+
+  /// Largest requirement in the table: the sound inflation distance for MBR
+  /// pruning and partitioning.
+  [[nodiscard]] constexpr coord_t max_distance() const {
+    coord_t d = 0;
+    for (std::uint8_t i = 0; i < count; ++i) d = std::max(d, tiers[i].distance);
+    return d;
+  }
+
+  friend constexpr bool operator==(const spacing_table& a, const spacing_table& b) {
+    if (a.count != b.count) return false;
+    for (std::uint8_t i = 0; i < a.count; ++i) {
+      if (a.tiers[i].min_projection != b.tiers[i].min_projection ||
+          a.tiers[i].distance != b.tiers[i].distance) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Spacing semantics under a conditional table. Parallel exterior-facing
+/// pairs are held to required(projection); intra-polygon notches likewise;
+/// corner proximity between different polygons is held to the base tier.
+[[nodiscard]] constexpr std::optional<area_t> check_space_pair_table(const edge& a, const edge& b,
+                                                                     bool same_polygon,
+                                                                     const spacing_table& table) {
+  if (a.horizontal() == b.horizontal() && projection_overlap(a, b) > 0) {
+    if (!is_space_facing(a, b)) return std::nullopt;
+    const coord_t req = table.required(projection_overlap(a, b));
+    const area_t d = std::abs(static_cast<area_t>(a.level()) - b.level());
+    if (same_polygon && d == 0) return std::nullopt;  // degenerate collinear
+    if (d < req) return d * d;
+    return std::nullopt;
+  }
+  if (same_polygon) return std::nullopt;  // corner proximity within one polygon is normal
+  const coord_t req = table.base();
+  const area_t d2 = squared_distance(a, b);
+  if (d2 > 0 && d2 < static_cast<area_t>(req) * req) return d2;
+  return std::nullopt;
+}
+
+/// Enclosure check on (inner edge, outer edge): `inner` bounds the enclosed
+/// shape (e.g. a V1 cut), `outer` bounds the enclosing shape (e.g. M1
+/// metal). Same-direction pairs with overlapping projections constrain the
+/// margin along the inner edge's outward normal. Returns the violating
+/// margin when 0 <= margin < min_enclosure; a *negative* margin (outer edge
+/// on the wrong side) is not reported here — full containment is checked
+/// separately at the polygon level.
+[[nodiscard]] constexpr std::optional<coord_t> check_enclosure_pair(const edge& inner,
+                                                                    const edge& outer,
+                                                                    coord_t min_enclosure) {
+  if (inner.horizontal() != outer.horizontal()) return std::nullopt;
+  if (inner.dir() != outer.dir()) return std::nullopt;
+  if (projection_overlap(inner, outer) <= 0) return std::nullopt;
+  coord_t margin = 0;
+  switch (inner.dir()) {
+    case edge_dir::east:  margin = static_cast<coord_t>(outer.level() - inner.level()); break;
+    case edge_dir::west:  margin = static_cast<coord_t>(inner.level() - outer.level()); break;
+    case edge_dir::north: margin = static_cast<coord_t>(inner.level() - outer.level()); break;
+    case edge_dir::south: margin = static_cast<coord_t>(outer.level() - inner.level()); break;
+  }
+  if (margin >= 0 && margin < min_enclosure) return margin;
+  return std::nullopt;
+}
+
+/// Build a width violation record.
+[[nodiscard]] inline violation make_width_violation(std::int16_t layer, const edge& a,
+                                                    const edge& b, coord_t d) {
+  return {rule_kind::width, layer, layer, a, b, static_cast<area_t>(d) * d};
+}
+
+[[nodiscard]] inline violation make_space_violation(std::int16_t layer, const edge& a,
+                                                    const edge& b, area_t d2) {
+  return {rule_kind::spacing, layer, layer, a, b, d2};
+}
+
+[[nodiscard]] inline violation make_enclosure_violation(std::int16_t inner_layer,
+                                                        std::int16_t outer_layer,
+                                                        const edge& inner, const edge& outer,
+                                                        coord_t margin) {
+  return {rule_kind::enclosure, inner_layer, outer_layer, inner, outer,
+          static_cast<area_t>(margin) * margin};
+}
+
+}  // namespace odrc::checks

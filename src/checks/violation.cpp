@@ -1,0 +1,52 @@
+#include "checks/violation.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+namespace odrc::checks {
+
+std::ostream& operator<<(std::ostream& os, const violation& v) {
+  os << rule_kind_name(v.kind) << " L" << v.layer1;
+  if (v.layer2 != v.layer1) os << "/L" << v.layer2;
+  return os << ' ' << v.e1 << " vs " << v.e2 << " (m=" << v.measured << ')';
+}
+
+namespace {
+
+// Total order on edges for canonicalization.
+constexpr auto edge_key(const edge& e) {
+  return std::tuple{e.from.x, e.from.y, e.to.x, e.to.y};
+}
+
+// Order an edge so from <= to lexicographically (direction information is
+// irrelevant for identity comparison).
+edge canonical_edge(const edge& e) {
+  return edge_key(e) <= edge_key(e.reversed()) ? e : e.reversed();
+}
+
+constexpr auto violation_key(const violation& v) {
+  return std::tuple{static_cast<int>(v.kind), v.layer1, v.layer2, edge_key(v.e1), edge_key(v.e2)};
+}
+
+}  // namespace
+
+violation normalized(const violation& v) {
+  violation out = v;
+  out.e1 = canonical_edge(v.e1);
+  out.e2 = canonical_edge(v.e2);
+  // Enclosure pairs are ordered (inner, outer); other pairs are symmetric.
+  if (out.kind != rule_kind::enclosure && edge_key(out.e2) < edge_key(out.e1)) {
+    std::swap(out.e1, out.e2);
+  }
+  return out;
+}
+
+void normalize_all(std::vector<violation>& vs) {
+  for (violation& v : vs) v = normalized(v);
+  std::sort(vs.begin(), vs.end(),
+            [](const violation& a, const violation& b) { return violation_key(a) < violation_key(b); });
+  vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+}
+
+}  // namespace odrc::checks

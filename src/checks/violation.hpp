@@ -1,0 +1,66 @@
+// Violation records produced by every checker.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "infra/geometry.hpp"
+
+namespace odrc::checks {
+
+enum class rule_kind : std::uint8_t {
+  width,         ///< minimum width of a shape (intra-polygon, intra-layer)
+  spacing,       ///< minimum spacing between shapes (inter-polygon, intra-layer)
+  enclosure,     ///< minimum enclosure of one layer by another (inter-layer)
+  area,          ///< minimum shape area (intra-polygon)
+  rectilinear,   ///< shapes must be axis-aligned
+  custom,        ///< user predicate via rule::ensures()
+  overlap_area,  ///< min area of each connected (A AND B) region (inter-layer)
+  notcut_area,   ///< min area of each connected (A NOT B) region (inter-layer)
+  coloring,      ///< layer must be 2-colorable under same-mask spacing (LELE)
+};
+
+[[nodiscard]] constexpr std::string_view rule_kind_name(rule_kind k) {
+  switch (k) {
+    case rule_kind::width: return "width";
+    case rule_kind::spacing: return "spacing";
+    case rule_kind::enclosure: return "enclosure";
+    case rule_kind::area: return "area";
+    case rule_kind::rectilinear: return "rectilinear";
+    case rule_kind::custom: return "custom";
+    case rule_kind::overlap_area: return "overlap_area";
+    case rule_kind::notcut_area: return "notcut_area";
+    case rule_kind::coloring: return "coloring";
+  }
+  return "?";
+}
+
+/// One design rule violation, reported in top-cell coordinates.
+///
+/// Distance-rule violations carry the two offending edges; area and shape
+/// violations carry the polygon's MBR in `e1`/`e2` degenerate form (the MBR
+/// diagonal corners) and the measured quantity.
+struct violation {
+  rule_kind kind = rule_kind::width;
+  std::int16_t layer1 = 0;
+  std::int16_t layer2 = 0;  ///< second layer for enclosure rules; else == layer1
+  edge e1{};
+  edge e2{};
+  area_t measured = 0;  ///< squared distance for distance rules, area for area rules
+
+  friend bool operator==(const violation&, const violation&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const violation& v);
+
+/// Canonical form for set comparison across checkers: orders the two edges
+/// deterministically so the same geometric violation found by different
+/// algorithms compares equal.
+[[nodiscard]] violation normalized(const violation& v);
+
+/// Sort + normalize a batch; used by tests to diff checker outputs.
+void normalize_all(std::vector<violation>& vs);
+
+}  // namespace odrc::checks

@@ -1,0 +1,93 @@
+#include "db/layout.hpp"
+
+#include <algorithm>
+
+namespace odrc::db {
+
+cell_id library::add_cell(std::string name) {
+  if (index_.contains(name)) {
+    throw std::invalid_argument("library: duplicate cell name '" + name + "'");
+  }
+  const cell_id id = static_cast<cell_id>(cells_.size());
+  index_.emplace(name, id);
+  cells_.emplace_back(std::move(name));
+  return id;
+}
+
+std::optional<cell_id> library::find(std::string_view name) const {
+  auto it = index_.find(std::string{name});
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<cell_id> library::top_cells() const {
+  std::vector<bool> referenced(cells_.size(), false);
+  for (const cell& c : cells_) {
+    for (const cell_ref& r : c.refs()) referenced[r.target] = true;
+    for (const cell_array& a : c.arrays()) referenced[a.target] = true;
+  }
+  std::vector<cell_id> tops;
+  for (cell_id id = 0; id < cells_.size(); ++id) {
+    if (!referenced[id]) tops.push_back(id);
+  }
+  return tops;
+}
+
+std::vector<cell_id> library::topological_order() const {
+  // Kahn's algorithm over the reference DAG, edges from referencer to
+  // referencee; output referencees first.
+  std::vector<std::uint32_t> pending(cells_.size(), 0);  // #unresolved children
+  std::vector<std::vector<cell_id>> parents(cells_.size());
+  for (cell_id id = 0; id < cells_.size(); ++id) {
+    const cell& c = cells_[id];
+    auto note = [&](cell_id target) {
+      if (target >= cells_.size()) throw std::runtime_error("library: dangling reference");
+      ++pending[id];
+      parents[target].push_back(id);
+    };
+    for (const cell_ref& r : c.refs()) note(r.target);
+    for (const cell_array& a : c.arrays()) note(a.target);
+  }
+  std::vector<cell_id> order;
+  order.reserve(cells_.size());
+  for (cell_id id = 0; id < cells_.size(); ++id) {
+    if (pending[id] == 0) order.push_back(id);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (cell_id parent : parents[order[i]]) {
+      if (--pending[parent] == 0) order.push_back(parent);
+    }
+  }
+  if (order.size() != cells_.size()) {
+    throw std::runtime_error("library: reference cycle detected");
+  }
+  return order;
+}
+
+std::size_t library::hierarchy_depth() const {
+  std::vector<std::size_t> depth(cells_.size(), 1);
+  for (cell_id id : topological_order()) {
+    const cell& c = cells_[id];
+    for (const cell_ref& r : c.refs()) depth[id] = std::max(depth[id], depth[r.target] + 1);
+    for (const cell_array& a : c.arrays()) depth[id] = std::max(depth[id], depth[a.target] + 1);
+  }
+  std::size_t d = 0;
+  for (cell_id top : top_cells()) d = std::max(d, depth[top]);
+  return d;
+}
+
+std::uint64_t library::expanded_polygon_count() const {
+  std::vector<std::uint64_t> count(cells_.size(), 0);
+  for (cell_id id : topological_order()) {
+    const cell& c = cells_[id];
+    std::uint64_t n = c.polygons().size();
+    for (const cell_ref& r : c.refs()) n += count[r.target];
+    for (const cell_array& a : c.arrays()) n += static_cast<std::uint64_t>(a.count()) * count[a.target];
+    count[id] = n;
+  }
+  std::uint64_t total = 0;
+  for (cell_id top : top_cells()) total += count[top];
+  return total;
+}
+
+}  // namespace odrc::db

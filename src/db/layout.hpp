@@ -1,0 +1,170 @@
+// Hierarchical layout database (paper Section IV-A).
+//
+// Models the GDSII object hierarchy: a `library` holds `cell`s (GDSII
+// "structures"); a cell holds geometry elements (BOUNDARY polygons) and
+// reference elements (SREF single references and AREF arrays). References
+// store the index of the referenced cell — "a structure reference
+// effectively stores a pointer to the structure definition to reduce memory
+// consumption" — so the layout is never flattened unless a caller explicitly
+// asks for it (src/db/flatten.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "infra/geometry.hpp"
+
+namespace odrc::db {
+
+/// GDSII layer number. Design rules reference layers by this id.
+using layer_t = std::int16_t;
+/// GDSII datatype number (carried through, not used for rule dispatch).
+using datatype_t = std::int16_t;
+
+/// Index of a cell within its library.
+using cell_id = std::uint32_t;
+inline constexpr cell_id invalid_cell = static_cast<cell_id>(-1);
+
+/// A geometry element: a rectilinear polygon on a (layer, datatype).
+struct polygon_elem {
+  layer_t layer = 0;
+  datatype_t datatype = 0;
+  odrc::polygon poly;
+  std::string name;  ///< optional property (paper Listing 1's third rule checks it)
+};
+
+/// A single structure reference (GDSII SREF).
+struct cell_ref {
+  cell_id target = invalid_cell;
+  transform trans;
+};
+
+/// An array reference (GDSII AREF): `cols` x `rows` instances of `target`,
+/// the (c, r) instance translated by c*col_step + r*row_step relative to
+/// `trans`.
+struct cell_array {
+  cell_id target = invalid_cell;
+  transform trans;
+  std::uint16_t cols = 1;
+  std::uint16_t rows = 1;
+  point col_step{};
+  point row_step{};
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(cols) * rows;
+  }
+
+  /// Transform of the (c, r) instance.
+  [[nodiscard]] transform instance(std::uint16_t c, std::uint16_t r) const {
+    transform t = trans;
+    t.offset.x = static_cast<coord_t>(t.offset.x + c * col_step.x + r * row_step.x);
+    t.offset.y = static_cast<coord_t>(t.offset.y + c * col_step.y + r * row_step.y);
+    return t;
+  }
+};
+
+/// A text label (kept for round-trip fidelity; not rule-checked).
+struct text_elem {
+  layer_t layer = 0;
+  datatype_t datatype = 0;
+  point position{};
+  std::string text;
+};
+
+/// A GDSII structure: named geometry plus references to other structures.
+class cell {
+ public:
+  explicit cell(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::span<const polygon_elem> polygons() const { return polygons_; }
+  [[nodiscard]] std::span<const cell_ref> refs() const { return refs_; }
+  [[nodiscard]] std::span<const cell_array> arrays() const { return arrays_; }
+  [[nodiscard]] std::span<const text_elem> texts() const { return texts_; }
+
+  void add_polygon(polygon_elem p) { polygons_.push_back(std::move(p)); }
+  void add_ref(cell_ref r) { refs_.push_back(r); }
+  void add_array(cell_array a) { arrays_.push_back(a); }
+  void add_text(text_elem t) { texts_.push_back(std::move(t)); }
+
+  /// Late binding of reference targets (GDSII allows forward references by
+  /// structure name; the reader resolves them after ENDLIB).
+  void set_ref_target(std::size_t i, cell_id target) { refs_.at(i).target = target; }
+  void set_array_target(std::size_t i, cell_id target) { arrays_.at(i).target = target; }
+
+  /// Convenience: add an axis-aligned rectangle polygon on `layer`.
+  void add_rect(layer_t layer, const rect& r, datatype_t dt = 0) {
+    polygons_.push_back({layer, dt, odrc::polygon::from_rect(r), {}});
+  }
+
+  [[nodiscard]] bool leaf() const { return refs_.empty() && arrays_.empty(); }
+
+  /// Total number of referenced instances (arrays expanded).
+  [[nodiscard]] std::uint32_t instance_count() const {
+    std::uint32_t n = static_cast<std::uint32_t>(refs_.size());
+    for (const auto& a : arrays_) n += a.count();
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::vector<polygon_elem> polygons_;
+  std::vector<cell_ref> refs_;
+  std::vector<cell_array> arrays_;
+  std::vector<text_elem> texts_;
+};
+
+/// A GDSII library: the cell table plus unit metadata.
+class library {
+ public:
+  library() = default;
+  explicit library(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Database units: user units per dbu and meters per dbu (GDSII UNITS).
+  double user_unit = 1e-3;
+  double meter_unit = 1e-9;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] std::span<const cell> cells() const { return cells_; }
+
+  [[nodiscard]] const cell& at(cell_id id) const { return cells_.at(id); }
+  [[nodiscard]] cell& at(cell_id id) { return cells_.at(id); }
+
+  /// Create a new empty cell; throws if the name already exists.
+  cell_id add_cell(std::string name);
+
+  /// Index lookup by structure name.
+  [[nodiscard]] std::optional<cell_id> find(std::string_view name) const;
+
+  /// Cells not referenced by any other cell. A typical design has exactly
+  /// one; the DRC engine checks each top independently.
+  [[nodiscard]] std::vector<cell_id> top_cells() const;
+
+  /// Cell ids in dependency order: every cell appears after all cells it
+  /// references. Throws std::runtime_error on reference cycles (illegal in
+  /// GDSII).
+  [[nodiscard]] std::vector<cell_id> topological_order() const;
+
+  /// Depth of the hierarchy DAG (a flat library has depth 1).
+  [[nodiscard]] std::size_t hierarchy_depth() const;
+
+  /// Total polygon count with hierarchy expanded (what a flat checker sees).
+  [[nodiscard]] std::uint64_t expanded_polygon_count() const;
+
+ private:
+  std::string name_ = "lib";
+  std::vector<cell> cells_;
+  std::unordered_map<std::string, cell_id> index_;
+};
+
+}  // namespace odrc::db

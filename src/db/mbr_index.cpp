@@ -1,0 +1,139 @@
+#include "db/mbr_index.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace odrc::db {
+
+const std::vector<std::uint32_t> mbr_index::no_children_{};
+const rect mbr_index::empty_rect_{};
+
+mbr_index::mbr_index(const library& lib) : lib_(&lib) {
+  // Collect the distinct layers.
+  std::set<layer_t> layer_set;
+  for (const cell& c : lib.cells()) {
+    for (const polygon_elem& p : c.polygons()) layer_set.insert(p.layer);
+  }
+  layers_.assign(layer_set.begin(), layer_set.end());
+  for (std::size_t i = 0; i < layers_.size(); ++i) slot_of_[layers_[i]] = i;
+
+  const std::size_t L = layers_.size();
+  const std::size_t n = lib.cell_count();
+  mbr_.assign(n * L, rect{});
+  total_mbr_.assign(n, rect{});
+  inverted_.assign(L, {});
+  children_.assign(n * L, {});
+
+  // Bottom-up MBR computation in topological order: every referenced cell's
+  // MBRs are final before its referencers are processed.
+  for (cell_id id : lib.topological_order()) {
+    const cell& c = lib.at(id);
+    for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+      const polygon_elem& p = c.polygons()[pi];
+      const std::size_t slot = slot_of_.at(p.layer);
+      const rect pm = p.poly.mbr();
+      mbr_[id * L + slot] = mbr_[id * L + slot].join(pm);
+      total_mbr_[id] = total_mbr_[id].join(pm);
+      inverted_[slot].push_back({id, pi});
+    }
+    auto fold_child = [&](cell_id target, const rect& child_layer_mbr, std::size_t slot,
+                          const transform& t) {
+      (void)target;
+      if (child_layer_mbr.empty()) return;
+      const rect tm = t.apply(child_layer_mbr);
+      mbr_[id * L + slot] = mbr_[id * L + slot].join(tm);
+      total_mbr_[id] = total_mbr_[id].join(tm);
+    };
+    for (std::uint32_t ri = 0; ri < c.refs().size(); ++ri) {
+      const cell_ref& r = c.refs()[ri];
+      for (std::size_t slot = 0; slot < L; ++slot) {
+        const rect& cm = mbr_[r.target * L + slot];
+        if (cm.empty()) continue;
+        fold_child(r.target, cm, slot, r.trans);
+        children_[id * L + slot].push_back(ri);
+      }
+    }
+    const auto ref_count = static_cast<std::uint32_t>(c.refs().size());
+    for (std::uint32_t ai = 0; ai < c.arrays().size(); ++ai) {
+      const cell_array& a = c.arrays()[ai];
+      for (std::size_t slot = 0; slot < L; ++slot) {
+        const rect& cm = mbr_[a.target * L + slot];
+        if (cm.empty()) continue;
+        // MBR of the whole array: the corner instances bound it because the
+        // steps are uniform.
+        fold_child(a.target, cm, slot, a.instance(0, 0));
+        fold_child(a.target, cm, slot,
+                   a.instance(static_cast<std::uint16_t>(a.cols - 1),
+                              static_cast<std::uint16_t>(a.rows - 1)));
+        fold_child(a.target, cm, slot, a.instance(static_cast<std::uint16_t>(a.cols - 1), 0));
+        fold_child(a.target, cm, slot, a.instance(0, static_cast<std::uint16_t>(a.rows - 1)));
+        children_[id * L + slot].push_back(ref_count + ai);
+      }
+    }
+  }
+}
+
+std::size_t mbr_index::layer_slot(layer_t layer) const {
+  auto it = slot_of_.find(layer);
+  return it == slot_of_.end() ? static_cast<std::size_t>(-1) : it->second;
+}
+
+const rect& mbr_index::cell_mbr(cell_id id, layer_t layer) const {
+  const std::size_t slot = layer_slot(layer);
+  if (slot == static_cast<std::size_t>(-1)) return empty_rect_;
+  return mbr_[id * layers_.size() + slot];
+}
+
+const std::vector<element_ref>& mbr_index::elements_on_layer(layer_t layer) const {
+  static const std::vector<element_ref> none;
+  const std::size_t slot = layer_slot(layer);
+  return slot == static_cast<std::size_t>(-1) ? none : inverted_[slot];
+}
+
+const std::vector<std::uint32_t>& mbr_index::children_on_layer(cell_id id, layer_t layer) const {
+  const std::size_t slot = layer_slot(layer);
+  if (slot == static_cast<std::size_t>(-1)) return no_children_;
+  return children_[id * layers_.size() + slot];
+}
+
+void mbr_index::query(cell_id top, layer_t layer, const rect& window,
+                      const std::function<void(const layer_hit&)>& visit) const {
+  const std::size_t slot = layer_slot(layer);
+  if (slot == static_cast<std::size_t>(-1)) return;
+  nodes_visited_ = 0;
+  query_rec(top, slot, layer, window, transform{}, visit);
+}
+
+void mbr_index::query_rec(cell_id id, std::size_t slot, layer_t layer, const rect& window,
+                          const transform& to_top,
+                          const std::function<void(const layer_hit&)>& visit) const {
+  ++nodes_visited_;
+  const std::size_t L = layers_.size();
+  const rect& lm = mbr_[id * L + slot];
+  if (lm.empty() || !window.overlaps(to_top.apply(lm))) return;
+
+  const cell& c = lib_->at(id);
+  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+    const polygon_elem& p = c.polygons()[pi];
+    if (p.layer != layer) continue;
+    if (!window.overlaps(to_top.apply(p.poly.mbr()))) continue;
+    visit(layer_hit{{id, pi}, to_top});
+  }
+  const auto ref_count = static_cast<std::uint32_t>(c.refs().size());
+  // Descend only the duplicated (per-layer) child list.
+  for (std::uint32_t child : children_[id * L + slot]) {
+    if (child < ref_count) {
+      const cell_ref& r = c.refs()[child];
+      query_rec(r.target, slot, layer, window, to_top.compose(r.trans), visit);
+    } else {
+      const cell_array& a = c.arrays()[child - ref_count];
+      for (std::uint16_t rr = 0; rr < a.rows; ++rr) {
+        for (std::uint16_t cc = 0; cc < a.cols; ++cc) {
+          query_rec(a.target, slot, layer, window, to_top.compose(a.instance(cc, rr)), visit);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace odrc::db

@@ -1,0 +1,185 @@
+// The OpenDRC engine (paper Sections III, IV-C/D/E, V).
+//
+// The engine is the application-layer controller: it takes a layout library
+// and a rule deck, performs the adaptive row-based partition, prunes checks
+// through the hierarchy memos, and dispatches the remaining work to the
+// sequential (CPU cell-level sweep) or parallel (device edge-kernel) branch.
+//
+// Sequential mode, distance rules:
+//   1. enumerate placed instances carrying the rule's layer(s);
+//   2. adaptive row partition of the instance MBRs (rule-distance inflated);
+//   3. per clip: sweepline over instance MBRs -> candidate instance pairs;
+//   4. intra-instance results come from the per-master memo (checked once
+//      per master); inter-instance pairs from the relative-placement memo;
+//   5. remaining pairs run edge-to-edge checks (shared predicates).
+//
+// Parallel mode, distance rules:
+//   1-2. as above;
+//   3. per row: pack the row's transformed polygon edges into a flat array,
+//      enqueue upload + check kernels on a device stream, and immediately
+//      start packing the NEXT row on the host — the Section V-C overlap;
+//   4. the device executor is brute-force (threads per polygon/pair) for
+//      small rows, two-kernel parallel sweep for large ones (Section IV-E).
+//
+// Intra-polygon rules (width, area, shape) run per master in both modes and
+// reuse results across instances (Section IV-C intra-polygon pruning).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "checks/poly_checks.hpp"
+#include "checks/violation.hpp"
+#include "db/layout.hpp"
+#include "engine/rule.hpp"
+#include "engine/task_prune.hpp"
+#include "infra/timer.hpp"
+#include "partition/row_partition.hpp"
+#include "sweep/device_sweep.hpp"
+#include "sweep/sweepline.hpp"
+
+namespace odrc::engine {
+
+/// Execution branch (paper Fig. 1: sequential CPU / parallel GPU).
+enum class mode { sequential, parallel };
+
+/// How the sequential branch enumerates candidate MBR-overlap pairs inside a
+/// clip: the paper's sweepline + interval tree (Fig. 3), a packed R-tree, or
+/// a region quadtree (the alternatives Sections I/IV-A cite). Exposed for
+/// the ablation bench.
+enum class candidate_strategy { sweepline, rtree, quadtree };
+
+struct engine_config {
+  mode run_mode = mode::sequential;
+
+  /// Ablation switches (all default to the paper's configuration).
+  bool enable_partition = true;    ///< off: one row containing everything
+  bool enable_memoization = true;  ///< off: recompute every instance/pair
+  partition::merge_strategy merge = partition::merge_strategy::pigeonhole;
+  candidate_strategy candidates = candidate_strategy::sweepline;
+  sweep::executor_choice executor = sweep::executor_choice::automatic;
+  std::size_t brute_threshold = sweep::default_brute_threshold;
+
+  /// Parallel-mode row pipeline depth: how many rows are in flight on the
+  /// device at once, each on its own stream (paper Section V-C uses multiple
+  /// CUDA streams to overlap copies, kernels and host preprocessing).
+  std::size_t pipeline_depth = 2;
+
+  /// Sequential-mode host multithreading: run independent clips on the
+  /// worker pool (the partition guarantees clip independence — the paper's
+  /// "check pruning and/or parallel processing"). Memo tables are shared
+  /// behind locks; results are identical to the serial order up to
+  /// violation ordering.
+  bool host_parallel = false;
+};
+
+/// Everything a check run produces: violations plus the instrumentation the
+/// benches report (work counters, partition shape, Fig. 4 phase breakdown).
+struct check_report {
+  std::vector<checks::violation> violations;
+
+  checks::check_stats check_stats;
+  sweep::sweep_stats sweep_stats;
+  sweep::device_check_stats device_stats;
+  prune_stats prune;
+  phase_profiler phases;  ///< "partition" / "sweepline" / "edge_check"
+
+  std::size_t rows = 0;
+  std::size_t clips = 0;
+  std::size_t instances = 0;
+
+  void merge_from(check_report&& o) {
+    violations.insert(violations.end(), std::make_move_iterator(o.violations.begin()),
+                      std::make_move_iterator(o.violations.end()));
+    check_stats += o.check_stats;
+    sweep_stats += o.sweep_stats;
+    device_stats += o.device_stats;
+    prune += o.prune;
+    for (const auto& [name, secs] : o.phases.phases()) phases.add(name, secs);
+    rows += o.rows;
+    clips += o.clips;
+    instances += o.instances;
+  }
+};
+
+/// The DRC engine. Holds configuration and an optional rule deck; each
+/// run_* method executes one rule and returns its report.
+class drc_engine {
+ public:
+  explicit drc_engine(engine_config cfg = {});
+  ~drc_engine();
+
+  drc_engine(const drc_engine&) = delete;
+  drc_engine& operator=(const drc_engine&) = delete;
+
+  [[nodiscard]] const engine_config& config() const { return cfg_; }
+
+  // --- rule deck interface (paper Listing 1) -------------------------------
+  void add_rules(std::vector<rules::rule> deck);
+  [[nodiscard]] std::span<const rules::rule> deck() const { return deck_; }
+
+  /// Run every rule in the deck against `lib`; reports are merged.
+  check_report check(const db::library& lib);
+
+  /// Task parallelism (paper Section I: "different design rules can be
+  /// checked concurrently"): run the deck's rules as independent tasks on
+  /// the host worker pool. Each task gets its own engine instance (and, in
+  /// parallel mode, its own device stream), so rule checks never share
+  /// mutable state. The merged report equals check(lib) up to ordering.
+  check_report check_concurrent(const db::library& lib);
+
+  /// Run a single rule.
+  check_report check(const db::library& lib, const rules::rule& r);
+
+  /// Region-of-interest (incremental) checking: report exactly the
+  /// violations with at least one offending edge intersecting `window`,
+  /// while only *examining* objects near the window — the re-check
+  /// primitive an incremental flow (e.g. a router fixing one net) needs.
+  /// Candidate soundness follows from the MBR argument of Section IV-C: an
+  /// edge in the window belongs to an object whose MBR overlaps the window,
+  /// and its violation partner lies within the rule distance of it, hence
+  /// within the rule-distance-inflated window.
+  check_report check_region(const db::library& lib, const rules::rule& r, const rect& window);
+
+  // --- individual checks ----------------------------------------------------
+  check_report run_width(const db::library& lib, db::layer_t layer, coord_t min_width);
+  check_report run_area(const db::library& lib, db::layer_t layer, area_t min_area);
+  check_report run_rectilinear(const db::library& lib, db::layer_t layer);
+  check_report run_custom(const db::library& lib, db::layer_t layer,
+                          const std::function<bool(const db::polygon_elem&)>& pred);
+  check_report run_spacing(const db::library& lib, db::layer_t layer, coord_t min_space);
+
+  /// Conditional (PRL) spacing: requirement depends on the facing pair's
+  /// parallel run length (paper Section II "conditional rules").
+  check_report run_spacing(const db::library& lib, db::layer_t layer,
+                           const checks::spacing_table& table);
+  check_report run_enclosure(const db::library& lib, db::layer_t inner, db::layer_t outer,
+                             coord_t min_enclosure);
+
+  /// Derived-layer area rules (paper Section I's inter-layer constraint
+  /// examples): every connected region of op(A, B) must have at least
+  /// `min_area`, where op is AND (overlap_area) or AND-NOT (notcut_area).
+  check_report run_derived_area(const db::library& lib, checks::rule_kind kind, db::layer_t a,
+                                db::layer_t b, area_t min_area);
+
+  /// Multi-patterning decomposition check: build the same-mask conflict
+  /// graph (shapes closer than `same_mask_spacing`) and verify it is
+  /// 2-colorable; every odd cycle produces one violation at the edge that
+  /// closes it.
+  check_report run_coloring(const db::library& lib, db::layer_t layer,
+                            coord_t same_mask_spacing);
+
+ private:
+  struct impl;
+  engine_config cfg_;
+  std::vector<rules::rule> deck_;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace odrc::engine
+
+namespace odrc {
+using engine::drc_engine;
+using engine::engine_config;
+}  // namespace odrc

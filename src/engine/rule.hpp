@@ -1,0 +1,207 @@
+// Rule deck and the chaining rule-definition DSL (paper Section III-B,
+// Listing 1).
+//
+//   odrc::drc_engine e;
+//   e.add_rules({
+//       odrc::rules::polygons().is_rectilinear(),
+//       odrc::rules::layer(19).width().greater_than(18),
+//       odrc::rules::layer(19).spacing().greater_than(18),
+//       odrc::rules::layer(21).enclosed_by(19).greater_than(9),
+//       odrc::rules::layer(19).area().greater_than(1000),
+//       odrc::rules::layer(20).polygons().ensures(
+//           [](const odrc::db::polygon_elem& p) { return !p.name.empty(); }),
+//   });
+//   auto report = e.check(db);
+//
+// Selectors (layer(), width(), spacing(), enclosed_by(), area(), polygons())
+// locate the target objects; predicates (greater_than(), is_rectilinear(),
+// ensures()) state the condition. Each chain terminates in a `rule` value;
+// rules are plain data the engine dispatches on.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checks/edge_checks.hpp"
+#include "checks/violation.hpp"
+#include "db/layout.hpp"
+#include "infra/geometry.hpp"
+
+namespace odrc::rules {
+
+/// All-layers sentinel for shape rules.
+inline constexpr db::layer_t any_layer = -1;
+
+/// A fully specified design rule.
+struct rule {
+  checks::rule_kind kind = checks::rule_kind::width;
+  db::layer_t layer1 = any_layer;
+  db::layer_t layer2 = any_layer;  ///< outer layer for enclosure rules
+  coord_t distance = 0;            ///< min width / spacing / enclosure (dbu)
+  area_t min_area = 0;             ///< min area (dbu^2)
+  std::function<bool(const db::polygon_elem&)> predicate;  ///< custom rules
+  std::string name;                ///< report label, e.g. "M1.S.1"
+  checks::spacing_table spacing{}; ///< conditional spacing tiers (spacing rules)
+
+  /// Attach a report label (fluent).
+  rule named(std::string n) && {
+    name = std::move(n);
+    return std::move(*this);
+  }
+
+  /// Add a conditional spacing tier (paper: "different spacing constraints
+  /// given different projection lengths"): facing pairs whose parallel run
+  /// is at least `projection` must keep `dist` instead of the base spacing.
+  rule when_projection_over(coord_t projection, coord_t dist) && {
+    spacing.add_tier(projection, dist);
+    distance = spacing.max_distance();
+    return std::move(*this);
+  }
+};
+
+namespace detail {
+
+class width_sel {
+ public:
+  explicit width_sel(db::layer_t l) : layer_(l) {}
+  /// Minimum width: every interior span must exceed `w` dbu.
+  [[nodiscard]] rule greater_than(coord_t w) const {
+    return {checks::rule_kind::width, layer_, layer_, w, 0, {}, {}};
+  }
+
+ private:
+  db::layer_t layer_;
+};
+
+class spacing_sel {
+ public:
+  explicit spacing_sel(db::layer_t l) : layer_(l) {}
+  /// Minimum spacing: every exterior gap must exceed `s` dbu. Chain
+  /// `.when_projection_over(p, s2)` for conditional (PRL) tiers.
+  [[nodiscard]] rule greater_than(coord_t s) const {
+    return {checks::rule_kind::spacing, layer_, layer_, s,
+            0,  {},     {},    checks::spacing_table::simple(s)};
+  }
+
+ private:
+  db::layer_t layer_;
+};
+
+class enclosure_sel {
+ public:
+  enclosure_sel(db::layer_t inner, db::layer_t outer) : inner_(inner), outer_(outer) {}
+  /// Minimum enclosure margin of the inner layer by the outer layer.
+  [[nodiscard]] rule greater_than(coord_t e) const {
+    return {checks::rule_kind::enclosure, inner_, outer_, e, 0, {}, {}};
+  }
+
+ private:
+  db::layer_t inner_;
+  db::layer_t outer_;
+};
+
+class area_sel {
+ public:
+  explicit area_sel(db::layer_t l) : layer_(l) {}
+  /// Minimum polygon area in dbu^2.
+  [[nodiscard]] rule greater_than(area_t a) const {
+    return {checks::rule_kind::area, layer_, layer_, 0, a, {}, {}};
+  }
+
+ private:
+  db::layer_t layer_;
+};
+
+class derived_area_sel {
+ public:
+  derived_area_sel(checks::rule_kind kind, db::layer_t a, db::layer_t b)
+      : kind_(kind), a_(a), b_(b) {}
+
+  /// Every connected region of the derived layer must have at least this
+  /// area (dbu^2); smaller fragments are violations. The paper's intro names
+  /// both forms: "constraints on the NOT CUT result between layers" and
+  /// "minimum overlapping area constraints".
+  [[nodiscard]] rule area_at_least(area_t min_area) const {
+    return {kind_, a_, b_, 0, min_area, {}, {}};
+  }
+
+ private:
+  checks::rule_kind kind_;
+  db::layer_t a_;
+  db::layer_t b_;
+};
+
+class polygons_sel {
+ public:
+  explicit polygons_sel(db::layer_t l) : layer_(l) {}
+
+  /// All selected polygons must be axis-aligned.
+  [[nodiscard]] rule is_rectilinear() const {
+    return {checks::rule_kind::rectilinear, layer_, layer_, 0, 0, {}, {}};
+  }
+
+  /// User-defined predicate over each selected polygon element; a polygon
+  /// for which `pred` returns false is a violation.
+  [[nodiscard]] rule ensures(std::function<bool(const db::polygon_elem&)> pred) const {
+    return {checks::rule_kind::custom, layer_, layer_, 0, 0, std::move(pred), {}};
+  }
+
+ private:
+  db::layer_t layer_;
+};
+
+}  // namespace detail
+
+/// Layer selector: the entry point of most rule chains.
+class layer_sel {
+ public:
+  explicit layer_sel(db::layer_t l) : layer_(l) {}
+
+  [[nodiscard]] detail::width_sel width() const { return detail::width_sel{layer_}; }
+  [[nodiscard]] detail::spacing_sel spacing() const { return detail::spacing_sel{layer_}; }
+  [[nodiscard]] detail::area_sel area() const { return detail::area_sel{layer_}; }
+  [[nodiscard]] detail::polygons_sel polygons() const { return detail::polygons_sel{layer_}; }
+
+  /// Enclosure of this (inner) layer by `outer`, e.g.
+  /// layer(V1).enclosed_by(M1).greater_than(9).
+  [[nodiscard]] detail::enclosure_sel enclosed_by(db::layer_t outer) const {
+    return detail::enclosure_sel{layer_, outer};
+  }
+
+  /// Derived layer: the overlap (boolean AND) of this layer with `other`,
+  /// e.g. layer(V2).overlap_with(M2).area_at_least(64) requires every via
+  /// landing pad to be fully covered.
+  [[nodiscard]] detail::derived_area_sel overlap_with(db::layer_t other) const {
+    return detail::derived_area_sel{checks::rule_kind::overlap_area, layer_, other};
+  }
+
+  /// Multi-patterning decomposability (paper Section II: "multi-color design
+  /// rules for multi-patterning lithography"): shapes closer than
+  /// `same_mask_spacing` must go to different masks; the rule is violated
+  /// wherever the conflict graph is not 2-colorable (an odd cycle exists),
+  /// i.e. the layer cannot be decomposed for LELE double patterning.
+  [[nodiscard]] rule two_colorable(coord_t same_mask_spacing) const {
+    return {checks::rule_kind::coloring, layer_, layer_, same_mask_spacing, 0, {}, {}};
+  }
+
+  /// Derived layer: this layer NOT CUT by `other` (boolean A AND NOT B),
+  /// e.g. layer(M1).not_cut_by(V1).area_at_least(200) flags slivers of metal
+  /// left after subtracting the cut mask.
+  [[nodiscard]] detail::derived_area_sel not_cut_by(db::layer_t other) const {
+    return detail::derived_area_sel{checks::rule_kind::notcut_area, layer_, other};
+  }
+
+ private:
+  db::layer_t layer_;
+};
+
+/// Select a layer by GDSII layer number.
+[[nodiscard]] inline layer_sel layer(db::layer_t l) { return layer_sel{l}; }
+
+/// Select all polygons on all layers (shape rules).
+[[nodiscard]] inline detail::polygons_sel polygons() { return detail::polygons_sel{any_layer}; }
+
+}  // namespace odrc::rules

@@ -1,0 +1,408 @@
+#include "gdsii/reader.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gdsii/records.hpp"
+#include "infra/logger.hpp"
+
+namespace odrc::gdsii {
+
+namespace {
+
+// Raw record view over the payload bytes.
+struct record {
+  record_type type;
+  data_type dtype;
+  std::vector<std::uint8_t> payload;
+  std::size_t offset;  // file offset of the record header, for diagnostics
+
+  [[nodiscard]] std::int16_t int16_at(std::size_t i) const {
+    if (i * 2 + 1 >= payload.size() + 1 && payload.size() < (i + 1) * 2) {
+      throw parse_error("record payload too short for int16", offset);
+    }
+    return static_cast<std::int16_t>((payload[i * 2] << 8) | payload[i * 2 + 1]);
+  }
+
+  [[nodiscard]] std::int32_t int32_at(std::size_t i) const {
+    if (payload.size() < (i + 1) * 4) {
+      throw parse_error("record payload too short for int32", offset);
+    }
+    const std::size_t o = i * 4;
+    return static_cast<std::int32_t>((static_cast<std::uint32_t>(payload[o]) << 24) |
+                                     (static_cast<std::uint32_t>(payload[o + 1]) << 16) |
+                                     (static_cast<std::uint32_t>(payload[o + 2]) << 8) |
+                                     static_cast<std::uint32_t>(payload[o + 3]));
+  }
+
+  [[nodiscard]] double real64_at(std::size_t i) const {
+    if (payload.size() < (i + 1) * 8) {
+      throw parse_error("record payload too short for real64", offset);
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t b = 0; b < 8; ++b) bits = (bits << 8) | payload[i * 8 + b];
+    return decode_real64(bits);
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string s(payload.begin(), payload.end());
+    // GDSII pads odd-length strings with a trailing NUL.
+    while (!s.empty() && s.back() == '\0') s.pop_back();
+    return s;
+  }
+
+  [[nodiscard]] std::size_t xy_count() const { return payload.size() / 8; }
+
+  [[nodiscard]] point xy_at(std::size_t i) const {
+    return {static_cast<coord_t>(int32_at(i * 2)), static_cast<coord_t>(int32_at(i * 2 + 1))};
+  }
+};
+
+class record_stream {
+ public:
+  explicit record_stream(std::istream& in) : in_(in) {}
+
+  /// Read the next record; nullopt at clean EOF.
+  std::optional<record> next() {
+    std::uint8_t head[4];
+    in_.read(reinterpret_cast<char*>(head), 4);
+    if (in_.gcount() == 0 && in_.eof()) return std::nullopt;
+    if (in_.gcount() != 4) throw parse_error("truncated record header", offset_);
+    const std::size_t len = (static_cast<std::size_t>(head[0]) << 8) | head[1];
+    if (len < 4) {
+      // A zero-length word is legal padding at the end of a tape block.
+      if (len == 0) return std::nullopt;
+      throw parse_error("record length below header size", offset_);
+    }
+    record rec;
+    rec.type = static_cast<record_type>(head[2]);
+    rec.dtype = static_cast<data_type>(head[3]);
+    rec.offset = offset_;
+    rec.payload.resize(len - 4);
+    in_.read(reinterpret_cast<char*>(rec.payload.data()),
+             static_cast<std::streamsize>(rec.payload.size()));
+    if (static_cast<std::size_t>(in_.gcount()) != rec.payload.size()) {
+      throw parse_error("truncated record payload", offset_);
+    }
+    offset_ += len;
+    return rec;
+  }
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::istream& in_;
+  std::size_t offset_ = 0;
+};
+
+// Pending reference recorded by structure name, resolved after ENDLIB.
+struct pending_ref {
+  db::cell_id owner;
+  bool is_array;
+  std::size_t elem_index;  // index into owner's refs()/arrays()
+  std::string target_name;
+  std::size_t offset;
+};
+
+// Transform fields accumulated while parsing one SREF/AREF/TEXT element.
+struct strans_state {
+  bool reflect = false;
+  double mag = 1.0;
+  double angle = 0.0;
+
+  [[nodiscard]] transform to_transform(std::size_t offset) const {
+    const double r = angle / 90.0;
+    const double rr = std::round(r);
+    if (std::abs(r - rr) > 1e-9) {
+      throw parse_error("non-rectilinear ANGLE (must be a multiple of 90)", offset);
+    }
+    const double mr = std::round(mag);
+    if (std::abs(mag - mr) > 1e-9 || mr < 1.0) {
+      throw parse_error("non-integral MAG", offset);
+    }
+    transform t;
+    t.reflect_x = reflect;
+    t.rotation = static_cast<std::uint16_t>(static_cast<long>(rr) & 3);
+    t.mag = static_cast<coord_t>(mr);
+    return t;
+  }
+};
+
+// Expand a PATH centerline into per-segment rectangles (butt ends). Only
+// axis-parallel segments are supported, which covers routed layouts.
+void append_path_as_polygons(db::cell& c, db::layer_t layer, db::datatype_t dt,
+                             const std::vector<point>& pts, coord_t width, std::size_t offset) {
+  if (width <= 0) throw parse_error("PATH with non-positive WIDTH", offset);
+  const coord_t half = width / 2;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const point a = pts[i];
+    const point b = pts[i + 1];
+    rect r;
+    if (a.y == b.y) {
+      r = {static_cast<coord_t>(std::min(a.x, b.x)), static_cast<coord_t>(a.y - half),
+           static_cast<coord_t>(std::max(a.x, b.x)), static_cast<coord_t>(a.y + half)};
+    } else if (a.x == b.x) {
+      r = {static_cast<coord_t>(a.x - half), static_cast<coord_t>(std::min(a.y, b.y)),
+           static_cast<coord_t>(a.x + half), static_cast<coord_t>(std::max(a.y, b.y))};
+    } else {
+      throw parse_error("diagonal PATH segment unsupported", offset);
+    }
+    c.add_rect(layer, r, dt);
+  }
+}
+
+}  // namespace
+
+db::library read(std::istream& in) {
+  record_stream rs(in);
+  db::library lib;
+  std::vector<pending_ref> pending;
+
+  db::cell* cur_cell = nullptr;
+  db::cell_id cur_id = db::invalid_cell;
+  bool saw_header = false, saw_endlib = false;
+
+  auto rec0 = rs.next();
+  if (!rec0 || rec0->type != record_type::HEADER) {
+    throw parse_error("stream does not start with HEADER", 0);
+  }
+  saw_header = true;
+
+  // Element parse state.
+  enum class elem_kind { none, boundary, path, sref, aref, text, box, node };
+  elem_kind kind = elem_kind::none;
+  db::layer_t elem_layer = 0;
+  db::datatype_t elem_dt = 0;
+  coord_t elem_width = 0;
+  std::string elem_sname, elem_string, elem_propvalue;
+  std::int16_t elem_propattr = 0;
+  std::vector<point> elem_xy;
+  strans_state elem_strans;
+  std::int16_t elem_cols = 0, elem_rows = 0;
+
+  auto reset_elem = [&] {
+    kind = elem_kind::none;
+    elem_layer = 0;
+    elem_dt = 0;
+    elem_width = 0;
+    elem_sname.clear();
+    elem_string.clear();
+    elem_propvalue.clear();
+    elem_propattr = 0;
+    elem_xy.clear();
+    elem_strans = {};
+    elem_cols = elem_rows = 0;
+  };
+
+  while (auto rec = rs.next()) {
+    switch (rec->type) {
+      case record_type::HEADER:
+        throw parse_error("duplicate HEADER", rec->offset);
+      case record_type::BGNLIB:
+      case record_type::GENERATIONS:
+      case record_type::REFLIBS:
+      case record_type::FONTS:
+      case record_type::ATTRTABLE:
+      case record_type::ELFLAGS:
+      case record_type::PLEX:
+      case record_type::PRESENTATION:
+      case record_type::PATHTYPE:
+        break;  // metadata we accept and ignore
+      case record_type::LIBNAME:
+        lib.set_name(rec->str());
+        break;
+      case record_type::UNITS:
+        lib.user_unit = rec->real64_at(0);
+        lib.meter_unit = rec->real64_at(1);
+        break;
+      case record_type::ENDLIB:
+        saw_endlib = true;
+        break;
+      case record_type::BGNSTR:
+        if (cur_cell) throw parse_error("nested BGNSTR", rec->offset);
+        break;
+      case record_type::STRNAME: {
+        cur_id = lib.add_cell(rec->str());
+        cur_cell = &lib.at(cur_id);
+        break;
+      }
+      case record_type::ENDSTR:
+        if (!cur_cell) throw parse_error("ENDSTR outside structure", rec->offset);
+        cur_cell = nullptr;
+        cur_id = db::invalid_cell;
+        break;
+
+      case record_type::BOUNDARY:
+      case record_type::PATH:
+      case record_type::SREF:
+      case record_type::AREF:
+      case record_type::TEXT:
+      case record_type::BOX:
+      case record_type::NODE: {
+        if (!cur_cell) throw parse_error("element outside structure", rec->offset);
+        if (kind != elem_kind::none) throw parse_error("nested element", rec->offset);
+        reset_elem();
+        switch (rec->type) {
+          case record_type::BOUNDARY: kind = elem_kind::boundary; break;
+          case record_type::PATH: kind = elem_kind::path; break;
+          case record_type::SREF: kind = elem_kind::sref; break;
+          case record_type::AREF: kind = elem_kind::aref; break;
+          case record_type::TEXT: kind = elem_kind::text; break;
+          case record_type::BOX: kind = elem_kind::box; break;
+          default: kind = elem_kind::node; break;
+        }
+        break;
+      }
+
+      case record_type::LAYER:
+        elem_layer = rec->int16_at(0);
+        break;
+      case record_type::DATATYPE:
+      case record_type::TEXTTYPE:
+      case record_type::BOXTYPE:
+      case record_type::NODETYPE:
+        elem_dt = rec->int16_at(0);
+        break;
+      case record_type::WIDTH:
+        elem_width = static_cast<coord_t>(rec->int32_at(0));
+        break;
+      case record_type::SNAME:
+        elem_sname = rec->str();
+        break;
+      case record_type::STRING:
+        elem_string = rec->str();
+        break;
+      case record_type::PROPATTR:
+        elem_propattr = rec->int16_at(0);
+        break;
+      case record_type::PROPVALUE:
+        // Property 1 carries the element name (the writer's convention;
+        // matches how tools attach net/pin names to shapes).
+        if (elem_propattr == 1) elem_propvalue = rec->str();
+        break;
+      case record_type::STRANS:
+        elem_strans.reflect = (static_cast<std::uint16_t>(rec->int16_at(0)) & strans_reflect) != 0;
+        break;
+      case record_type::MAG:
+        elem_strans.mag = rec->real64_at(0);
+        break;
+      case record_type::ANGLE:
+        elem_strans.angle = rec->real64_at(0);
+        break;
+      case record_type::COLROW:
+        elem_cols = rec->int16_at(0);
+        elem_rows = rec->int16_at(1);
+        break;
+      case record_type::XY: {
+        elem_xy.clear();
+        const std::size_t n = rec->xy_count();
+        elem_xy.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) elem_xy.push_back(rec->xy_at(i));
+        break;
+      }
+
+      case record_type::ENDEL: {
+        if (!cur_cell || kind == elem_kind::none) {
+          throw parse_error("ENDEL without open element", rec->offset);
+        }
+        switch (kind) {
+          case elem_kind::boundary: {
+            // GDSII repeats the first vertex as the last; drop the closure.
+            if (elem_xy.size() < 4) throw parse_error("BOUNDARY with < 4 points", rec->offset);
+            if (elem_xy.front() == elem_xy.back()) elem_xy.pop_back();
+            odrc::polygon poly{elem_xy};
+            poly.make_clockwise();
+            cur_cell->add_polygon({elem_layer, elem_dt, std::move(poly), elem_propvalue});
+            break;
+          }
+          case elem_kind::path:
+            append_path_as_polygons(*cur_cell, elem_layer, elem_dt, elem_xy, elem_width,
+                                    rec->offset);
+            break;
+          case elem_kind::sref: {
+            if (elem_xy.size() != 1) throw parse_error("SREF needs exactly one XY", rec->offset);
+            transform t = elem_strans.to_transform(rec->offset);
+            t.offset = elem_xy[0];
+            pending.push_back({cur_id, false, cur_cell->refs().size(), elem_sname, rec->offset});
+            cur_cell->add_ref({db::invalid_cell, t});
+            break;
+          }
+          case elem_kind::aref: {
+            if (elem_xy.size() != 3) throw parse_error("AREF needs three XY points", rec->offset);
+            if (elem_cols <= 0 || elem_rows <= 0) {
+              throw parse_error("AREF with non-positive COLROW", rec->offset);
+            }
+            transform t = elem_strans.to_transform(rec->offset);
+            t.offset = elem_xy[0];
+            db::cell_array a;
+            a.trans = t;
+            a.cols = static_cast<std::uint16_t>(elem_cols);
+            a.rows = static_cast<std::uint16_t>(elem_rows);
+            // XY = (origin, origin + cols*colstep, origin + rows*rowstep).
+            a.col_step = {static_cast<coord_t>((elem_xy[1].x - elem_xy[0].x) / elem_cols),
+                          static_cast<coord_t>((elem_xy[1].y - elem_xy[0].y) / elem_cols)};
+            a.row_step = {static_cast<coord_t>((elem_xy[2].x - elem_xy[0].x) / elem_rows),
+                          static_cast<coord_t>((elem_xy[2].y - elem_xy[0].y) / elem_rows)};
+            pending.push_back({cur_id, true, cur_cell->arrays().size(), elem_sname, rec->offset});
+            cur_cell->add_array(a);
+            break;
+          }
+          case elem_kind::text:
+            if (elem_xy.size() != 1) throw parse_error("TEXT needs exactly one XY", rec->offset);
+            cur_cell->add_text({elem_layer, elem_dt, elem_xy[0], elem_string});
+            break;
+          case elem_kind::box: {
+            // BOX is a 5-point rectangle outline; keep it as geometry (as
+            // KLayout does) on its BOXTYPE layer.
+            if (elem_xy.size() < 4) throw parse_error("BOX with < 4 points", rec->offset);
+            if (elem_xy.front() == elem_xy.back()) elem_xy.pop_back();
+            odrc::polygon poly{elem_xy};
+            poly.make_clockwise();
+            cur_cell->add_polygon({elem_layer, elem_dt, std::move(poly), {}});
+            break;
+          }
+          case elem_kind::node:
+            break;  // electrical net info: accepted and dropped
+          case elem_kind::none:
+            break;
+        }
+        reset_elem();
+        break;
+      }
+
+      default:
+        log_debug() << "gdsii: skipping record " << record_name(rec->type);
+        break;
+    }
+    if (saw_endlib) break;
+  }
+  if (!saw_header || !saw_endlib) {
+    throw parse_error("stream ended before ENDLIB", rs.offset());
+  }
+
+  // Resolve by-name references (forward references are legal).
+  for (const pending_ref& p : pending) {
+    auto target = lib.find(p.target_name);
+    if (!target) throw parse_error("SNAME references unknown structure '" + p.target_name + "'",
+                                   p.offset);
+    db::cell& owner = lib.at(p.owner);
+    if (p.is_array) {
+      owner.set_array_target(p.elem_index, *target);
+    } else {
+      owner.set_ref_target(p.elem_index, *target);
+    }
+  }
+  return lib;
+}
+
+db::library read(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("gdsii::read: cannot open '" + path + "'");
+  return read(f);
+}
+
+}  // namespace odrc::gdsii

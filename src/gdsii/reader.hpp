@@ -1,0 +1,40 @@
+// GDSII stream reader: binary file -> odrc::db::library.
+//
+// Supports HEADER/BGNLIB/LIBNAME/UNITS, structures (BGNSTR/STRNAME/ENDSTR),
+// and elements BOUNDARY, PATH (expanded to per-segment rectangles), SREF,
+// AREF, TEXT, BOX and NODE (skipped), with STRANS/MAG/ANGLE transforms
+// restricted to rectilinearity-preserving angles (multiples of 90 degrees)
+// and integral magnifications, matching the engine's assumptions.
+//
+// Forward references are legal in GDSII: SNAME may name a structure defined
+// later in the stream. The reader records references by name and resolves
+// them to cell ids after ENDLIB, creating an error for dangling names.
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "db/layout.hpp"
+
+namespace odrc::gdsii {
+
+/// Error with stream offset context.
+class parse_error : public std::runtime_error {
+ public:
+  parse_error(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"), offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Parse a GDSII stream from `in`.
+[[nodiscard]] db::library read(std::istream& in);
+
+/// Parse a GDSII file from disk.
+[[nodiscard]] db::library read(const std::string& path);
+
+}  // namespace odrc::gdsii

@@ -1,0 +1,113 @@
+// GDSII stream format record and data types (Calma GDSII Stream Format,
+// release 6; paper Section IV-A quotes its Backus-Naur structure grammar).
+//
+// A stream file is a sequence of records: a 2-byte big-endian total length
+// (header included), a 1-byte record type, a 1-byte data type, then payload.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace odrc::gdsii {
+
+enum class record_type : std::uint8_t {
+  HEADER = 0x00,
+  BGNLIB = 0x01,
+  LIBNAME = 0x02,
+  UNITS = 0x03,
+  ENDLIB = 0x04,
+  BGNSTR = 0x05,
+  STRNAME = 0x06,
+  ENDSTR = 0x07,
+  BOUNDARY = 0x08,
+  PATH = 0x09,
+  SREF = 0x0A,
+  AREF = 0x0B,
+  TEXT = 0x0C,
+  LAYER = 0x0D,
+  DATATYPE = 0x0E,
+  WIDTH = 0x0F,
+  XY = 0x10,
+  ENDEL = 0x11,
+  SNAME = 0x12,
+  COLROW = 0x13,
+  TEXTNODE = 0x14,
+  NODE = 0x15,
+  TEXTTYPE = 0x16,
+  PRESENTATION = 0x17,
+  STRING = 0x19,
+  STRANS = 0x1A,
+  MAG = 0x1B,
+  ANGLE = 0x1C,
+  REFLIBS = 0x1F,
+  FONTS = 0x20,
+  PATHTYPE = 0x21,
+  GENERATIONS = 0x22,
+  ATTRTABLE = 0x23,
+  ELFLAGS = 0x26,
+  NODETYPE = 0x2A,
+  PROPATTR = 0x2B,
+  PROPVALUE = 0x2C,
+  BOX = 0x2D,
+  BOXTYPE = 0x2E,
+  PLEX = 0x2F,
+};
+
+enum class data_type : std::uint8_t {
+  no_data = 0,
+  bit_array = 1,
+  int16 = 2,
+  int32 = 3,
+  real32 = 4,
+  real64 = 5,
+  ascii = 6,
+};
+
+[[nodiscard]] constexpr std::string_view record_name(record_type t) {
+  switch (t) {
+    case record_type::HEADER: return "HEADER";
+    case record_type::BGNLIB: return "BGNLIB";
+    case record_type::LIBNAME: return "LIBNAME";
+    case record_type::UNITS: return "UNITS";
+    case record_type::ENDLIB: return "ENDLIB";
+    case record_type::BGNSTR: return "BGNSTR";
+    case record_type::STRNAME: return "STRNAME";
+    case record_type::ENDSTR: return "ENDSTR";
+    case record_type::BOUNDARY: return "BOUNDARY";
+    case record_type::PATH: return "PATH";
+    case record_type::SREF: return "SREF";
+    case record_type::AREF: return "AREF";
+    case record_type::TEXT: return "TEXT";
+    case record_type::LAYER: return "LAYER";
+    case record_type::DATATYPE: return "DATATYPE";
+    case record_type::WIDTH: return "WIDTH";
+    case record_type::XY: return "XY";
+    case record_type::ENDEL: return "ENDEL";
+    case record_type::SNAME: return "SNAME";
+    case record_type::COLROW: return "COLROW";
+    case record_type::NODE: return "NODE";
+    case record_type::TEXTTYPE: return "TEXTTYPE";
+    case record_type::PRESENTATION: return "PRESENTATION";
+    case record_type::STRING: return "STRING";
+    case record_type::STRANS: return "STRANS";
+    case record_type::MAG: return "MAG";
+    case record_type::ANGLE: return "ANGLE";
+    case record_type::PATHTYPE: return "PATHTYPE";
+    case record_type::BOX: return "BOX";
+    case record_type::BOXTYPE: return "BOXTYPE";
+    default: return "<record>";
+  }
+}
+
+/// STRANS bit 15: mirror about the x-axis before rotation.
+inline constexpr std::uint16_t strans_reflect = 0x8000;
+
+/// Encode a double into the GDSII 8-byte excess-64 base-16 real format:
+/// bit 63 sign, bits 62..56 exponent (excess 64, radix 16), bits 55..0
+/// mantissa with value = sign * mantissa/2^56 * 16^(exp-64).
+[[nodiscard]] std::uint64_t encode_real64(double v);
+
+/// Decode the GDSII 8-byte real format to a double.
+[[nodiscard]] double decode_real64(std::uint64_t bits);
+
+}  // namespace odrc::gdsii

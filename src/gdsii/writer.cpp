@@ -1,0 +1,202 @@
+#include "gdsii/writer.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "gdsii/records.hpp"
+
+namespace odrc::gdsii {
+
+// ---------------------------------------------------------------------------
+// real64 codec (shared with the reader)
+// ---------------------------------------------------------------------------
+
+std::uint64_t encode_real64(double v) {
+  if (v == 0.0) return 0;
+  std::uint64_t sign = 0;
+  if (v < 0) {
+    sign = 1ull << 63;
+    v = -v;
+  }
+  // Normalize so that mantissa in [1/16, 1): value = mantissa * 16^exp.
+  int exp = 64;
+  while (v >= 1.0) {
+    v /= 16.0;
+    ++exp;
+  }
+  while (v < 1.0 / 16.0) {
+    v *= 16.0;
+    --exp;
+  }
+  const auto mant = static_cast<std::uint64_t>(std::llround(v * 72057594037927936.0));  // 2^56
+  return sign | (static_cast<std::uint64_t>(exp & 0x7F) << 56) | (mant & 0x00FFFFFFFFFFFFFFull);
+}
+
+double decode_real64(std::uint64_t bits) {
+  if ((bits & 0x7FFFFFFFFFFFFFFFull) == 0) return 0.0;
+  const double sign = (bits & (1ull << 63)) ? -1.0 : 1.0;
+  const int exp = static_cast<int>((bits >> 56) & 0x7F) - 64;
+  const double mant = static_cast<double>(bits & 0x00FFFFFFFFFFFFFFull) / 72057594037927936.0;
+  return sign * mant * std::pow(16.0, exp);
+}
+
+namespace {
+
+class record_writer {
+ public:
+  explicit record_writer(std::ostream& out) : out_(out) {}
+
+  void emit(record_type t, data_type dt, const std::vector<std::uint8_t>& payload = {}) {
+    const std::size_t len = payload.size() + 4;
+    put8(static_cast<std::uint8_t>(len >> 8));
+    put8(static_cast<std::uint8_t>(len & 0xFF));
+    put8(static_cast<std::uint8_t>(t));
+    put8(static_cast<std::uint8_t>(dt));
+    out_.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+  }
+
+  void emit_int16(record_type t, std::int16_t v) {
+    emit(t, data_type::int16, {static_cast<std::uint8_t>((v >> 8) & 0xFF),
+                               static_cast<std::uint8_t>(v & 0xFF)});
+  }
+
+  void emit_string(record_type t, const std::string& s) {
+    std::vector<std::uint8_t> payload(s.begin(), s.end());
+    if (payload.size() % 2) payload.push_back(0);  // even-length padding
+    emit(t, data_type::ascii, payload);
+  }
+
+  void emit_reals(record_type t, std::initializer_list<double> vals) {
+    std::vector<std::uint8_t> payload;
+    for (double v : vals) {
+      const std::uint64_t bits = encode_real64(v);
+      for (int b = 7; b >= 0; --b) payload.push_back(static_cast<std::uint8_t>(bits >> (b * 8)));
+    }
+    emit(t, data_type::real64, payload);
+  }
+
+  void emit_xy(const std::vector<point>& pts) {
+    std::vector<std::uint8_t> payload;
+    payload.reserve(pts.size() * 8);
+    auto put32 = [&](std::int32_t v) {
+      const auto u = static_cast<std::uint32_t>(v);
+      payload.push_back(static_cast<std::uint8_t>(u >> 24));
+      payload.push_back(static_cast<std::uint8_t>(u >> 16));
+      payload.push_back(static_cast<std::uint8_t>(u >> 8));
+      payload.push_back(static_cast<std::uint8_t>(u));
+    };
+    for (const point& p : pts) {
+      put32(p.x);
+      put32(p.y);
+    }
+    emit(record_type::XY, data_type::int32, payload);
+  }
+
+  void emit_strans(const transform& t) {
+    if (t.reflect_x) {
+      emit(record_type::STRANS, data_type::bit_array,
+           {static_cast<std::uint8_t>(strans_reflect >> 8), 0});
+    } else if (t.rotation != 0 || t.mag != 1) {
+      emit(record_type::STRANS, data_type::bit_array, {0, 0});
+    }
+    if (t.mag != 1) emit_reals(record_type::MAG, {static_cast<double>(t.mag)});
+    if (t.rotation != 0) emit_reals(record_type::ANGLE, {t.rotation * 90.0});
+  }
+
+ private:
+  void put8(std::uint8_t v) { out_.put(static_cast<char>(v)); }
+  std::ostream& out_;
+};
+
+// BGNLIB/BGNSTR carry 12 int16 timestamp fields; write a fixed epoch so the
+// output is deterministic and byte-stable.
+std::vector<std::uint8_t> fixed_timestamps() {
+  std::vector<std::uint8_t> payload;
+  const std::int16_t stamp[12] = {2023, 1, 1, 0, 0, 0, 2023, 1, 1, 0, 0, 0};
+  for (std::int16_t v : stamp) {
+    payload.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    payload.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+  return payload;
+}
+
+}  // namespace
+
+void write(const db::library& lib, std::ostream& out) {
+  record_writer w(out);
+  w.emit_int16(record_type::HEADER, 600);
+  w.emit(record_type::BGNLIB, data_type::int16, fixed_timestamps());
+  w.emit_string(record_type::LIBNAME, lib.name());
+  w.emit_reals(record_type::UNITS, {lib.user_unit, lib.meter_unit});
+
+  for (const db::cell& c : lib.cells()) {
+    w.emit(record_type::BGNSTR, data_type::int16, fixed_timestamps());
+    w.emit_string(record_type::STRNAME, c.name());
+
+    for (const db::polygon_elem& p : c.polygons()) {
+      w.emit(record_type::BOUNDARY, data_type::no_data);
+      w.emit_int16(record_type::LAYER, p.layer);
+      w.emit_int16(record_type::DATATYPE, p.datatype);
+      std::vector<point> pts(p.poly.vertices().begin(), p.poly.vertices().end());
+      pts.push_back(pts.front());  // GDSII closes the ring explicitly
+      w.emit_xy(pts);
+      if (!p.name.empty()) {
+        // Element name as property 1 (round-tripped by the reader; Listing
+        // 1's ensures() predicates rely on names surviving GDS I/O).
+        w.emit_int16(record_type::PROPATTR, 1);
+        w.emit_string(record_type::PROPVALUE, p.name);
+      }
+      w.emit(record_type::ENDEL, data_type::no_data);
+    }
+
+    for (const db::cell_ref& r : c.refs()) {
+      w.emit(record_type::SREF, data_type::no_data);
+      w.emit_string(record_type::SNAME, lib.at(r.target).name());
+      w.emit_strans(r.trans);
+      w.emit_xy({r.trans.offset});
+      w.emit(record_type::ENDEL, data_type::no_data);
+    }
+
+    for (const db::cell_array& a : c.arrays()) {
+      w.emit(record_type::AREF, data_type::no_data);
+      w.emit_string(record_type::SNAME, lib.at(a.target).name());
+      w.emit_strans(a.trans);
+      std::vector<std::uint8_t> colrow;
+      for (std::int16_t v : {static_cast<std::int16_t>(a.cols), static_cast<std::int16_t>(a.rows)}) {
+        colrow.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+        colrow.push_back(static_cast<std::uint8_t>(v & 0xFF));
+      }
+      w.emit(record_type::COLROW, data_type::int16, colrow);
+      const point o = a.trans.offset;
+      const point pc{static_cast<coord_t>(o.x + a.cols * a.col_step.x),
+                     static_cast<coord_t>(o.y + a.cols * a.col_step.y)};
+      const point pr{static_cast<coord_t>(o.x + a.rows * a.row_step.x),
+                     static_cast<coord_t>(o.y + a.rows * a.row_step.y)};
+      w.emit_xy({o, pc, pr});
+      w.emit(record_type::ENDEL, data_type::no_data);
+    }
+
+    for (const db::text_elem& t : c.texts()) {
+      w.emit(record_type::TEXT, data_type::no_data);
+      w.emit_int16(record_type::LAYER, t.layer);
+      w.emit_int16(record_type::TEXTTYPE, t.datatype);
+      w.emit_xy({t.position});
+      w.emit_string(record_type::STRING, t.text);
+      w.emit(record_type::ENDEL, data_type::no_data);
+    }
+
+    w.emit(record_type::ENDSTR, data_type::no_data);
+  }
+  w.emit(record_type::ENDLIB, data_type::no_data);
+}
+
+void write(const db::library& lib, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("gdsii::write: cannot open '" + path + "'");
+  write(lib, f);
+}
+
+}  // namespace odrc::gdsii

@@ -1,0 +1,19 @@
+// GDSII stream writer: odrc::db::library -> binary file.
+//
+// Emits a release-6 stream (HEADER version 600). Polygons are written as
+// BOUNDARY records, references as SREF/AREF with STRANS/MAG/ANGLE, texts as
+// TEXT records. Round-trips with the reader (tests/gdsii_test.cpp).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "db/layout.hpp"
+
+namespace odrc::gdsii {
+
+void write(const db::library& lib, std::ostream& out);
+
+void write(const db::library& lib, const std::string& path);
+
+}  // namespace odrc::gdsii

@@ -1,0 +1,183 @@
+#include "geo/boolean.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "infra/disjoint_set.hpp"
+#include "sweep/sweepline.hpp"
+
+namespace odrc::geo {
+
+namespace {
+
+// A vertical input edge with coverage deltas: crossing it left-to-right
+// changes operand coverage by `delta` (north edges of a clockwise ring have
+// interior to their right: +1; south edges: -1).
+struct vedge {
+  coord_t x;
+  coord_t y_lo;
+  coord_t y_hi;
+  int delta_a;
+  int delta_b;
+};
+
+void collect_vedges(std::span<const polygon> polys, bool is_a, std::vector<vedge>& out) {
+  for (const polygon& p : polys) {
+    for (std::size_t i = 0; i < p.edge_count(); ++i) {
+      const edge e = p.edge_at(i);
+      if (!e.vertical() || e.length() == 0) continue;
+      const int d = e.dir() == edge_dir::north ? 1 : -1;
+      out.push_back({e.level(), e.lo(), e.hi(), is_a ? d : 0, is_a ? 0 : d});
+    }
+  }
+}
+
+void collect_vedges(std::span<const rect> rects, bool is_a, std::vector<vedge>& out) {
+  for (const rect& r : rects) {
+    if (r.empty() || r.width() == 0 || r.height() == 0) continue;
+    out.push_back({r.x_min, r.y_min, r.y_max, is_a ? 1 : 0, is_a ? 0 : 1});
+    out.push_back({r.x_max, r.y_min, r.y_max, is_a ? -1 : 0, is_a ? 0 : -1});
+  }
+}
+
+constexpr bool inside(bool_op op, int a, int b) {
+  switch (op) {
+    case bool_op::unite: return a > 0 || b > 0;
+    case bool_op::intersect: return a > 0 && b > 0;
+    case bool_op::subtract: return a > 0 && b <= 0;
+    case bool_op::exclusive_or: return (a > 0) != (b > 0);
+  }
+  return false;
+}
+
+// Core scanline. Coverage deltas are accumulated per y-breakpoint in an
+// ordered map; between two consecutive event x values the y profile is
+// constant, so each maximal true-interval of the predicate emits one slab
+// rectangle. Slabs that continue unchanged across events are coalesced
+// horizontally (open_slabs keyed by y-interval), which keeps output size
+// near-minimal for the common all-rectangle case.
+std::vector<rect> scan(std::vector<vedge> edges, bool_op op) {
+  std::vector<rect> out;
+  if (edges.empty()) return out;
+  std::sort(edges.begin(), edges.end(), [](const vedge& l, const vedge& r) { return l.x < r.x; });
+
+  // Active coverage: y-breakpoint -> (deltaA, deltaB) accumulated.
+  std::map<coord_t, std::pair<int, int>> profile;
+  // Slabs currently open: y-interval -> x where they started.
+  std::map<std::pair<coord_t, coord_t>, coord_t> open_slabs;
+
+  auto emit_intervals = [&](std::vector<std::pair<coord_t, coord_t>>& ivs) {
+    ivs.clear();
+    int a = 0, b = 0;
+    bool in = false;
+    coord_t start = 0;
+    for (const auto& [y, d] : profile) {
+      const bool was = in;
+      a += d.first;
+      b += d.second;
+      in = inside(op, a, b);
+      if (in && !was) {
+        start = y;
+      } else if (!in && was) {
+        ivs.push_back({start, y});
+      }
+    }
+    // A well-formed profile always closes (deltas sum to zero).
+  };
+
+  std::vector<std::pair<coord_t, coord_t>> current;
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const coord_t x = edges[i].x;
+    while (i < edges.size() && edges[i].x == x) {
+      const vedge& e = edges[i];
+      profile[e.y_lo].first += e.delta_a;
+      profile[e.y_lo].second += e.delta_b;
+      profile[e.y_hi].first -= e.delta_a;
+      profile[e.y_hi].second -= e.delta_b;
+      ++i;
+    }
+    emit_intervals(current);
+
+    // Close slabs that are no longer part of the profile; open new ones.
+    std::map<std::pair<coord_t, coord_t>, coord_t> next_open;
+    for (const auto& iv : current) {
+      auto it = open_slabs.find(iv);
+      if (it != open_slabs.end()) {
+        next_open.emplace(iv, it->second);  // continues unchanged
+        open_slabs.erase(it);
+      } else {
+        next_open.emplace(iv, x);  // opens here
+      }
+    }
+    for (const auto& [iv, x0] : open_slabs) {
+      if (x > x0) out.push_back({x0, iv.first, x, iv.second});
+    }
+    open_slabs = std::move(next_open);
+
+    // Drop zeroed breakpoints to keep the profile compact.
+    for (auto it = profile.begin(); it != profile.end();) {
+      if (it->second.first == 0 && it->second.second == 0) {
+        it = profile.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // All coverage ends at the last event; open_slabs must be empty by then
+  // for well-formed input. Guard anyway.
+  for (const auto& [iv, x0] : open_slabs) {
+    (void)iv;
+    (void)x0;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<rect> boolean_rects(std::span<const polygon> a, std::span<const polygon> b,
+                                bool_op op) {
+  std::vector<vedge> edges;
+  collect_vedges(a, true, edges);
+  collect_vedges(b, false, edges);
+  return scan(std::move(edges), op);
+}
+
+std::vector<rect> boolean_rects(std::span<const rect> a, std::span<const rect> b, bool_op op) {
+  std::vector<vedge> edges;
+  collect_vedges(a, true, edges);
+  collect_vedges(b, false, edges);
+  return scan(std::move(edges), op);
+}
+
+area_t boolean_area(std::span<const polygon> a, std::span<const polygon> b, bool_op op) {
+  area_t total = 0;
+  for (const rect& r : boolean_rects(a, b, op)) total += r.area();
+  return total;
+}
+
+std::vector<rect> merged_rects(std::span<const polygon> a) {
+  return boolean_rects(a, std::span<const polygon>{}, bool_op::unite);
+}
+
+std::vector<component> connected_components(std::span<const rect> rects) {
+  disjoint_set ds(rects.size());
+  // Touching slabs belong to one region; the sweepline reports all
+  // closed-overlap pairs, which includes abutment.
+  sweep::overlap_pairs(rects, [&](std::uint32_t i, std::uint32_t j) { ds.unite(i, j); });
+
+  std::map<std::size_t, std::size_t> root_to_idx;
+  std::vector<component> out;
+  for (std::uint32_t i = 0; i < rects.size(); ++i) {
+    const std::size_t root = ds.find(i);
+    auto [it, added] = root_to_idx.try_emplace(root, out.size());
+    if (added) out.emplace_back();
+    component& c = out[it->second];
+    c.mbr = c.mbr.join(rects[i]);
+    c.area += rects[i].area();
+    c.members.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace odrc::geo

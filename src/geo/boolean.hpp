@@ -1,0 +1,61 @@
+// Boolean mask operations on rectilinear polygon sets (paper Section I:
+// boolean mask operations are one of the algorithmic foundations of DRC;
+// the introduction's examples of inter-layer rules — "constraints on the NOT
+// CUT result between layers, minimum overlapping area constraints" — are
+// implemented on top of this module by the engine's derived-layer rules).
+//
+// The operations are computed with a vertical scanline over the distinct x
+// coordinates of the inputs' vertical edges. Between two consecutive event
+// coordinates the y-coverage of each operand is constant, so the result of
+// the slab is a set of y-intervals where the operation's predicate holds;
+// each interval becomes one output rectangle (a "slab decomposition"). The
+// result is therefore a set of non-overlapping rectangles covering exactly
+// the result region — sufficient for the area/coverage rules built on it.
+// (Ring reconstruction with holes is intentionally out of scope; the paper
+// lists "supports for general geometric shapes" as roadmap work.)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "infra/geometry.hpp"
+
+namespace odrc::geo {
+
+enum class bool_op {
+  unite,         ///< A OR B
+  intersect,     ///< A AND B
+  subtract,      ///< A AND NOT B  (the paper's "NOT CUT" result)
+  exclusive_or,  ///< A XOR B
+};
+
+/// Slab decomposition of `op(A, B)`: non-overlapping rectangles whose union
+/// is exactly the result region. Inputs must be rectilinear; overlapping and
+/// abutting shapes within one operand are handled (coverage is counted, not
+/// assumed disjoint).
+[[nodiscard]] std::vector<rect> boolean_rects(std::span<const polygon> a,
+                                              std::span<const polygon> b, bool_op op);
+
+/// Convenience overloads for rectangle inputs.
+[[nodiscard]] std::vector<rect> boolean_rects(std::span<const rect> a, std::span<const rect> b,
+                                              bool_op op);
+
+/// Total area of `op(A, B)`.
+[[nodiscard]] area_t boolean_area(std::span<const polygon> a, std::span<const polygon> b,
+                                  bool_op op);
+
+/// Merge one polygon set into its slab decomposition (union with empty B).
+[[nodiscard]] std::vector<rect> merged_rects(std::span<const polygon> a);
+
+/// A connected group of result rectangles (touching counts as connected —
+/// abutting mask regions are one region).
+struct component {
+  rect mbr;
+  area_t area = 0;
+  std::vector<std::uint32_t> members;  ///< indices into the input rect span
+};
+
+/// Group rectangles into connected components.
+[[nodiscard]] std::vector<component> connected_components(std::span<const rect> rects);
+
+}  // namespace odrc::geo

@@ -1,0 +1,103 @@
+#include "geo/kdtree.hpp"
+
+#include <algorithm>
+
+namespace odrc::geo {
+
+namespace {
+
+coord_t center(const rect& r, bool axis_x) {
+  return axis_x ? static_cast<coord_t>(r.x_min + r.width() / 2)
+                : static_cast<coord_t>(r.y_min + r.height() / 2);
+}
+
+}  // namespace
+
+kdtree::kdtree(std::span<const rect> items, std::size_t leaf_capacity)
+    : items_(items.begin(), items.end()),
+      leaf_capacity_(std::max<std::size_t>(1, leaf_capacity)),
+      count_(items.size()) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(items_.size());
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i].empty()) ids.push_back(i);
+  }
+  root_ = build(std::move(ids), /*axis_x=*/true, 1);
+}
+
+std::unique_ptr<kdtree::node> kdtree::build(std::vector<std::uint32_t> ids, bool axis_x,
+                                            int depth) {
+  depth_ = std::max(depth_, depth);
+  auto n = std::make_unique<node>();
+  n->axis_x = axis_x;
+  for (const std::uint32_t id : ids) n->bounds = n->bounds.join(items_[id]);
+  if (ids.size() <= leaf_capacity_) {
+    n->items = std::move(ids);
+    return n;
+  }
+  // Median split on centers along the current axis.
+  const std::size_t mid = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(mid), ids.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return center(items_[a], axis_x) < center(items_[b], axis_x);
+                   });
+  n->split = center(items_[ids[mid]], axis_x);
+
+  std::vector<std::uint32_t> lo_ids, hi_ids;
+  for (const std::uint32_t id : ids) {
+    const rect& r = items_[id];
+    const coord_t lo_edge = axis_x ? r.x_min : r.y_min;
+    const coord_t hi_edge = axis_x ? r.x_max : r.y_max;
+    if (hi_edge < n->split) {
+      lo_ids.push_back(id);
+    } else if (lo_edge > n->split) {
+      hi_ids.push_back(id);
+    } else {
+      n->items.push_back(id);  // straddles the split plane
+    }
+  }
+  // Degenerate split (everything straddles or lands on one side): make this
+  // a fat leaf instead of recursing forever.
+  if (lo_ids.empty() && hi_ids.empty()) {
+    return n;
+  }
+  if (lo_ids.empty() || hi_ids.empty()) {
+    auto& rest = lo_ids.empty() ? hi_ids : lo_ids;
+    if (rest.size() == ids.size()) {  // no progress
+      n->items.insert(n->items.end(), rest.begin(), rest.end());
+      return n;
+    }
+  }
+  n->lo = build(std::move(lo_ids), !axis_x, depth + 1);
+  n->hi = build(std::move(hi_ids), !axis_x, depth + 1);
+  return n;
+}
+
+void kdtree::query(const rect& window, const std::function<void(std::uint32_t)>& visit) const {
+  nodes_visited_ = 0;
+  if (root_) query_rec(*root_, window, visit);
+}
+
+void kdtree::query_rec(const node& n, const rect& window,
+                       const std::function<void(std::uint32_t)>& visit) const {
+  ++nodes_visited_;
+  if (n.bounds.empty() || !n.bounds.overlaps(window)) return;
+  for (const std::uint32_t id : n.items) {
+    if (items_[id].overlaps(window)) visit(id);
+  }
+  if (n.leaf()) return;
+  query_rec(*n.lo, window, visit);
+  query_rec(*n.hi, window, visit);
+}
+
+void kdtree::overlap_pairs(
+    const std::function<void(std::uint32_t, std::uint32_t)>& report) const {
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].empty()) continue;
+    query(items_[i], [&](std::uint32_t j) {
+      if (j > i) report(i, j);
+    });
+  }
+}
+
+}  // namespace odrc::geo

@@ -1,0 +1,59 @@
+// Static kd-tree over rectangles (paper Section I: "binary space
+// partitioning data structures like quad-tree [4] and kd-tree [5]").
+//
+// Built by recursively splitting on the median center coordinate, cycling
+// the axis per level; rectangles straddling the split plane stay at the
+// internal node (same discipline as the quadtree). Completes the trio of
+// candidate spatial structures the engine ablation compares against the
+// default sweepline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "infra/geometry.hpp"
+
+namespace odrc::geo {
+
+class kdtree {
+ public:
+  explicit kdtree(std::span<const rect> items, std::size_t leaf_capacity = 8);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+  /// Visit the index of every item overlapping `window` (closed semantics).
+  void query(const rect& window, const std::function<void(std::uint32_t)>& visit) const;
+
+  /// Every unordered overlapping pair (i < j).
+  void overlap_pairs(const std::function<void(std::uint32_t, std::uint32_t)>& report) const;
+
+  [[nodiscard]] std::uint64_t last_nodes_visited() const { return nodes_visited_; }
+
+ private:
+  struct node {
+    bool axis_x = true;   ///< split axis at this level
+    coord_t split = 0;    ///< split coordinate (on centers)
+    rect bounds;          ///< MBR of everything below
+    std::vector<std::uint32_t> items;  ///< leaf items, or straddlers
+    std::unique_ptr<node> lo;
+    std::unique_ptr<node> hi;
+    [[nodiscard]] bool leaf() const { return !lo; }
+  };
+
+  std::unique_ptr<node> build(std::vector<std::uint32_t> ids, bool axis_x, int depth);
+  void query_rec(const node& n, const rect& window,
+                 const std::function<void(std::uint32_t)>& visit) const;
+
+  std::unique_ptr<node> root_;
+  std::vector<rect> items_;
+  std::size_t leaf_capacity_;
+  std::size_t count_ = 0;
+  int depth_ = 0;
+  mutable std::uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace odrc::geo

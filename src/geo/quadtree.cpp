@@ -1,0 +1,98 @@
+#include "geo/quadtree.hpp"
+
+#include <algorithm>
+
+namespace odrc::geo {
+
+quadtree::quadtree(std::span<const rect> items, std::size_t leaf_capacity, int max_depth)
+    : items_(items.begin(), items.end()),
+      leaf_capacity_(std::max<std::size_t>(1, leaf_capacity)),
+      max_depth_(max_depth),
+      count_(items.size()) {
+  rect bounds;
+  for (const rect& r : items_) bounds = bounds.join(r);
+  if (bounds.empty()) bounds = {0, 0, 1, 1};
+  root_ = std::make_unique<node>();
+  root_->region = bounds;
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i].empty()) insert(*root_, i, 1);
+  }
+}
+
+void quadtree::insert(node& n, std::uint32_t id, int depth) {
+  depth_ = std::max(depth_, depth);
+  if (n.leaf()) {
+    n.items.push_back(id);
+    if (n.items.size() > leaf_capacity_ && depth < max_depth_ && n.region.width() > 1 &&
+        n.region.height() > 1) {
+      split(n, depth);
+    }
+    return;
+  }
+  // Route to the single child containing the rect; straddlers stay here.
+  for (auto& c : n.child) {
+    if (c->region.contains(items_[id])) {
+      insert(*c, id, depth + 1);
+      return;
+    }
+  }
+  n.items.push_back(id);
+}
+
+void quadtree::split(node& n, int depth) {
+  const coord_t mx = static_cast<coord_t>(n.region.x_min + n.region.width() / 2);
+  const coord_t my = static_cast<coord_t>(n.region.y_min + n.region.height() / 2);
+  const rect quads[4] = {
+      {n.region.x_min, n.region.y_min, mx, my},
+      {static_cast<coord_t>(mx + 1), n.region.y_min, n.region.x_max, my},
+      {n.region.x_min, static_cast<coord_t>(my + 1), mx, n.region.y_max},
+      {static_cast<coord_t>(mx + 1), static_cast<coord_t>(my + 1), n.region.x_max,
+       n.region.y_max},
+  };
+  for (int q = 0; q < 4; ++q) {
+    n.child[q] = std::make_unique<node>();
+    n.child[q]->region = quads[q];
+  }
+  std::vector<std::uint32_t> keep;
+  for (const std::uint32_t id : n.items) {
+    bool routed = false;
+    for (auto& c : n.child) {
+      if (c->region.contains(items_[id])) {
+        insert(*c, id, depth + 1);
+        routed = true;
+        break;
+      }
+    }
+    if (!routed) keep.push_back(id);
+  }
+  n.items = std::move(keep);
+}
+
+void quadtree::query(const rect& window, const std::function<void(std::uint32_t)>& visit) const {
+  nodes_visited_ = 0;
+  if (root_) query_rec(*root_, window, visit);
+}
+
+void quadtree::query_rec(const node& n, const rect& window,
+                         const std::function<void(std::uint32_t)>& visit) const {
+  ++nodes_visited_;
+  if (!n.region.overlaps(window)) return;
+  for (const std::uint32_t id : n.items) {
+    if (items_[id].overlaps(window)) visit(id);
+  }
+  if (!n.leaf()) {
+    for (const auto& c : n.child) query_rec(*c, window, visit);
+  }
+}
+
+void quadtree::overlap_pairs(
+    const std::function<void(std::uint32_t, std::uint32_t)>& report) const {
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].empty()) continue;
+    query(items_[i], [&](std::uint32_t j) {
+      if (j > i) report(i, j);
+    });
+  }
+}
+
+}  // namespace odrc::geo

@@ -1,0 +1,63 @@
+// Region quadtree over rectangles (paper Section I cites quad-trees [4] as
+// one of the binary-space-partitioning foundations of layout processing;
+// Section IV-A's MBR techniques apply to it as to kd-trees and R-trees).
+//
+// Classic region quadtree: each node covers a square-ish region and splits
+// into four quadrants once it holds more than `leaf_capacity` rectangles;
+// a rectangle is stored at the deepest node whose region contains it
+// entirely (straddlers stay at internal nodes). Queries descend only the
+// quadrants overlapping the window.
+//
+// Interface mirrors geo::rtree so the engine's candidate-strategy ablation
+// can swap all three structures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "infra/geometry.hpp"
+
+namespace odrc::geo {
+
+class quadtree {
+ public:
+  explicit quadtree(std::span<const rect> items, std::size_t leaf_capacity = 8,
+                    int max_depth = 16);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+  /// Visit the index of every item overlapping `window` (closed semantics).
+  void query(const rect& window, const std::function<void(std::uint32_t)>& visit) const;
+
+  /// Every unordered overlapping pair (i < j).
+  void overlap_pairs(const std::function<void(std::uint32_t, std::uint32_t)>& report) const;
+
+  [[nodiscard]] std::uint64_t last_nodes_visited() const { return nodes_visited_; }
+
+ private:
+  struct node {
+    rect region;
+    std::vector<std::uint32_t> items;  // stored here (leaf, or straddlers)
+    std::unique_ptr<node> child[4];
+    [[nodiscard]] bool leaf() const { return !child[0]; }
+  };
+
+  void insert(node& n, std::uint32_t id, int depth);
+  void split(node& n, int depth);
+  void query_rec(const node& n, const rect& window,
+                 const std::function<void(std::uint32_t)>& visit) const;
+
+  std::unique_ptr<node> root_;
+  std::vector<rect> items_;
+  std::size_t leaf_capacity_;
+  int max_depth_;
+  std::size_t count_ = 0;
+  int depth_ = 0;
+  mutable std::uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace odrc::geo

@@ -1,0 +1,98 @@
+#include "geo/rtree.hpp"
+
+#include <algorithm>
+
+#include "infra/morton.hpp"
+
+namespace odrc::geo {
+
+const rect rtree::empty_{};
+
+rtree::rtree(std::span<const rect> items, std::size_t fanout)
+    : items_(items.begin(), items.end()), count_(items.size()) {
+  if (fanout < 2) fanout = 2;
+  // Order non-empty items by the Morton code of their centers.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(items.size());
+  for (std::uint32_t i = 0; i < items.size(); ++i) {
+    if (items[i].empty()) continue;
+    order.emplace_back(morton_code(items[i]), i);
+  }
+  std::sort(order.begin(), order.end());
+  item_ids_.reserve(order.size());
+  for (const auto& [code, idx] : order) item_ids_.push_back(idx);
+
+  if (item_ids_.empty()) {
+    nodes_.push_back({rect{}, 0, 0, true});
+    root_ = 0;
+    height_ = 1;
+    return;
+  }
+
+  // Pack leaves: `fanout` consecutive item slots per leaf.
+  std::vector<std::uint32_t> level;
+  for (std::uint32_t s = 0; s < item_ids_.size(); s += static_cast<std::uint32_t>(fanout)) {
+    const auto end = std::min<std::uint32_t>(static_cast<std::uint32_t>(item_ids_.size()),
+                                             s + static_cast<std::uint32_t>(fanout));
+    node n;
+    n.leaf = true;
+    n.first = s;
+    n.count = static_cast<std::uint16_t>(end - s);
+    for (std::uint32_t k = s; k < end; ++k) n.mbr = n.mbr.join(items_[item_ids_[k]]);
+    level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(n);
+  }
+  height_ = 1;
+
+  // Build internal levels until one root remains. Children of one internal
+  // node must be contiguous in nodes_, which the packing below maintains by
+  // appending each level's nodes consecutively.
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> next;
+    for (std::size_t s = 0; s < level.size(); s += fanout) {
+      const std::size_t end = std::min(level.size(), s + fanout);
+      node n;
+      n.leaf = false;
+      n.first = level[s];
+      n.count = static_cast<std::uint16_t>(end - s);
+      for (std::size_t k = s; k < end; ++k) n.mbr = n.mbr.join(nodes_[level[k]].mbr);
+      next.push_back(static_cast<std::uint32_t>(nodes_.size()));
+      nodes_.push_back(n);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+void rtree::query(const rect& window, const std::function<void(std::uint32_t)>& visit) const {
+  nodes_visited_ = 0;
+  if (!nodes_.empty()) query_rec(root_, window, visit);
+}
+
+void rtree::query_rec(std::uint32_t ni, const rect& window,
+                      const std::function<void(std::uint32_t)>& visit) const {
+  ++nodes_visited_;
+  const node& n = nodes_[ni];
+  if (!n.mbr.overlaps(window)) return;
+  if (n.leaf) {
+    for (std::uint32_t k = n.first; k < n.first + n.count; ++k) {
+      const std::uint32_t id = item_ids_[k];
+      if (items_[id].overlaps(window)) visit(id);
+    }
+    return;
+  }
+  for (std::uint16_t c = 0; c < n.count; ++c) query_rec(n.first + c, window, visit);
+}
+
+void rtree::overlap_pairs(
+    const std::function<void(std::uint32_t, std::uint32_t)>& report) const {
+  for (std::uint32_t i = 0; i < items_.size(); ++i) {
+    if (items_[i].empty()) continue;
+    query(items_[i], [&](std::uint32_t j) {
+      if (j > i) report(i, j);
+    });
+  }
+}
+
+}  // namespace odrc::geo

@@ -1,0 +1,47 @@
+// Union-find with path halving and union by size. Used by the boolean-ops
+// module to group result rectangles into connected components.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace odrc {
+
+class disjoint_set {
+ public:
+  explicit disjoint_set(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  [[nodiscard]] std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Union the sets containing a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  [[nodiscard]] bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  [[nodiscard]] std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+
+  [[nodiscard]] std::size_t element_count() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace odrc

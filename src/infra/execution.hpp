@@ -1,0 +1,46 @@
+// Execution policies and type traits (paper Section V-D, Listing 2).
+//
+// OpenDRC dispatches its generic functors (sweepline, check drivers) on an
+// executor type at compile time: `odrc::execution::sequenced_policy` selects
+// the CPU path, a device-stream wrapper selects the (simulated) GPU path.
+// The `is_device_executor` trait mirrors the paper's `constexpr if` dispatch
+// and avoids runtime branching in hot loops.
+#pragma once
+
+#include <type_traits>
+
+namespace odrc::device {
+class stream;  // defined in device/device.hpp
+}
+
+namespace odrc::execution {
+
+/// Tag type selecting sequential CPU execution.
+struct sequenced_policy {};
+inline constexpr sequenced_policy seq{};
+
+/// Wrapper around a device stream: operations dispatched with this executor
+/// are appended to the stream's ordered asynchronous queue (the analogue of
+/// passing a cudaStream_t).
+struct device_policy {
+  odrc::device::stream* stream = nullptr;
+};
+
+template <typename T>
+struct is_device_executor : std::false_type {};
+
+template <>
+struct is_device_executor<device_policy> : std::true_type {};
+
+template <typename T>
+inline constexpr bool is_device_executor_v =
+    is_device_executor<std::remove_cv_t<std::remove_reference_t<T>>>::value;
+
+template <typename T>
+inline constexpr bool is_sequenced_executor_v =
+    std::is_same_v<std::remove_cv_t<std::remove_reference_t<T>>, sequenced_policy>;
+
+template <typename T>
+concept executor = is_device_executor_v<T> || is_sequenced_executor_v<T>;
+
+}  // namespace odrc::execution

@@ -1,0 +1,154 @@
+#include "infra/geometry.hpp"
+
+#include <ostream>
+
+namespace odrc {
+
+std::ostream& operator<<(std::ostream& os, const point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const rect& r) {
+  if (r.empty()) return os << "[empty]";
+  return os << '[' << r.x_min << ',' << r.y_min << " .. " << r.x_max << ',' << r.y_max << ']';
+}
+
+std::ostream& operator<<(std::ostream& os, const edge& e) {
+  return os << e.from << "->" << e.to;
+}
+
+std::ostream& operator<<(std::ostream& os, const transform& t) {
+  os << "T{" << t.offset;
+  if (t.rotation) os << " R" << t.rotation * 90;
+  if (t.reflect_x) os << " MX";
+  if (t.mag != 1) os << " x" << t.mag;
+  return os << '}';
+}
+
+namespace {
+
+// Clamp v into [lo, hi].
+constexpr coord_t clamp_coord(coord_t v, coord_t lo, coord_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+// Squared distance from a point to an axis-parallel closed segment.
+area_t squared_point_segment(const point& p, const edge& e) {
+  if (e.horizontal()) {
+    const coord_t cx = clamp_coord(p.x, e.lo(), e.hi());
+    return squared_distance(p, point{cx, e.level()});
+  }
+  const coord_t cy = clamp_coord(p.y, e.lo(), e.hi());
+  return squared_distance(p, point{e.level(), cy});
+}
+
+}  // namespace
+
+area_t squared_distance(const edge& a, const edge& b) {
+  // Axis-parallel segments: the distance is attained either between a vertex
+  // of one and the other segment, or — when the segments cross — is zero.
+  if (a.horizontal() != b.horizontal()) {
+    // Perpendicular pair: they intersect iff each spans the other's level.
+    const edge& h = a.horizontal() ? a : b;
+    const edge& v = a.horizontal() ? b : a;
+    if (h.lo() <= v.level() && v.level() <= h.hi() && v.lo() <= h.level() &&
+        h.level() <= v.hi()) {
+      return 0;
+    }
+  } else {
+    // Parallel: overlapping projections reduce to level distance.
+    if (projection_overlap(a, b) >= 0) {
+      const area_t d = static_cast<area_t>(a.level()) - b.level();
+      return d * d;
+    }
+  }
+  return std::min(std::min(squared_point_segment(a.from, b), squared_point_segment(a.to, b)),
+                  std::min(squared_point_segment(b.from, a), squared_point_segment(b.to, a)));
+}
+
+bool polygon::is_rectilinear() const {
+  if (!valid()) return false;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const edge e = edge_at(i);
+    const bool h = e.horizontal();
+    const bool v = e.vertical();
+    if (h == v) return false;  // diagonal (h==v==false) or degenerate (h==v==true)
+  }
+  return true;
+}
+
+area_t polygon::signed_area() const {
+  // Shoelace Theorem: 2A = sum (x_i * y_{i+1} - x_{i+1} * y_i).
+  if (vertices_.size() < 3) return 0;
+  area_t twice = 0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const point& p = vertices_[i];
+    const point& q = vertices_[(i + 1) % vertices_.size()];
+    twice += static_cast<area_t>(p.x) * q.y - static_cast<area_t>(q.x) * p.y;
+  }
+  return twice / 2;
+}
+
+void polygon::make_clockwise() {
+  if (signed_area() > 0) std::reverse(vertices_.begin(), vertices_.end());
+}
+
+rect polygon::mbr() const {
+  rect r;
+  for (const point& p : vertices_) r.expand(p);
+  return r;
+}
+
+void polygon::collect_edges(std::vector<edge>& out) const {
+  out.reserve(out.size() + vertices_.size());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) out.push_back(edge_at(i));
+}
+
+polygon polygon::transformed(const transform& t) const {
+  std::vector<point> vs;
+  vs.reserve(vertices_.size());
+  for (const point& p : vertices_) vs.push_back(t.apply(p));
+  polygon out{std::move(vs)};
+  // A reflection flips orientation; restore the clockwise invariant.
+  if (t.reflect_x) out.make_clockwise();
+  return out;
+}
+
+bool polygon::contains(const point& p) const {
+  // Boundary counts as inside: check edges first, then even-odd ray cast.
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const edge e = edge_at(i);
+    if (e.horizontal()) {
+      if (p.y == e.level() && e.lo() <= p.x && p.x <= e.hi()) return true;
+    } else {
+      if (p.x == e.level() && e.lo() <= p.y && p.y <= e.hi()) return true;
+    }
+  }
+  // Cast a ray towards +x; count crossings of vertical edges. Horizontal
+  // edges never cross a horizontal ray properly; the half-open convention on
+  // vertical spans avoids double-counting shared endpoints.
+  bool inside = false;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const edge e = edge_at(i);
+    if (!e.vertical()) continue;
+    const coord_t ylo = e.lo(), yhi = e.hi();
+    if (ylo <= p.y && p.y < yhi && e.level() > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+polygon polygon::from_rect(const rect& r) {
+  // Clockwise with +y up: start bottom-left, go up, right, down, left.
+  return polygon{{{r.x_min, r.y_min}, {r.x_min, r.y_max}, {r.x_max, r.y_max}, {r.x_max, r.y_min}}};
+}
+
+std::ostream& operator<<(std::ostream& os, const polygon& p) {
+  os << "poly{";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) os << ' ';
+    os << p.vertices()[i];
+  }
+  return os << '}';
+}
+
+}  // namespace odrc

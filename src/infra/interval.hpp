@@ -1,0 +1,34 @@
+// Closed 1-D integer intervals and overlap predicates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+
+#include "infra/geometry.hpp"
+
+namespace odrc {
+
+/// A closed interval [lo, hi] on the integer line, carrying an opaque payload
+/// id (typically the index of the MBR / cell the interval belongs to).
+struct interval {
+  coord_t lo = 0;
+  coord_t hi = 0;
+  std::uint32_t id = 0;
+
+  friend constexpr bool operator==(const interval&, const interval&) = default;
+
+  [[nodiscard]] constexpr bool valid() const { return lo <= hi; }
+  [[nodiscard]] constexpr coord_t length() const { return static_cast<coord_t>(hi - lo); }
+
+  [[nodiscard]] constexpr bool contains(coord_t v) const { return lo <= v && v <= hi; }
+
+  /// Closed-interval overlap (shared endpoint counts).
+  [[nodiscard]] constexpr bool overlaps(const interval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const interval& iv);
+
+}  // namespace odrc

@@ -1,0 +1,104 @@
+#include "infra/interval_tree.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace odrc {
+
+std::ostream& operator<<(std::ostream& os, const interval& iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << "]#" << iv.id;
+}
+
+void interval_tree::insert(const interval& iv) {
+  insert_rec(root_, iv);
+  ++size_;
+}
+
+void interval_tree::insert_rec(std::unique_ptr<node>& n, const interval& iv) {
+  if (!n) {
+    // Lazily create a routing node keyed at the interval midpoint; the
+    // interval is stored here by construction (midpoint is inside it).
+    n = std::make_unique<node>(static_cast<coord_t>(iv.lo + (iv.hi - iv.lo) / 2));
+  }
+  node* cur = n.get();
+  ++cur->subtree_count;
+  if (iv.contains(cur->key)) {
+    auto lo_pos = std::upper_bound(cur->by_lo.begin(), cur->by_lo.end(), iv,
+                                   [](const interval& a, const interval& b) { return a.lo < b.lo; });
+    cur->by_lo.insert(lo_pos, iv);
+    auto hi_pos = std::upper_bound(cur->by_hi.begin(), cur->by_hi.end(), iv,
+                                   [](const interval& a, const interval& b) { return a.hi > b.hi; });
+    cur->by_hi.insert(hi_pos, iv);
+    return;
+  }
+  insert_rec(iv.hi < cur->key ? cur->left : cur->right, iv);
+}
+
+bool interval_tree::remove(const interval& iv) {
+  if (!root_ || !remove_rec(root_.get(), iv)) return false;
+  --size_;
+  return true;
+}
+
+bool interval_tree::remove_rec(node* n, const interval& iv) {
+  if (!n || n->subtree_count == 0) return false;
+  if (iv.contains(n->key)) {
+    auto pos = std::find(n->by_lo.begin(), n->by_lo.end(), iv);
+    if (pos == n->by_lo.end()) return false;
+    n->by_lo.erase(pos);
+    n->by_hi.erase(std::find(n->by_hi.begin(), n->by_hi.end(), iv));
+    --n->subtree_count;
+    return true;
+  }
+  node* child = iv.hi < n->key ? n->left.get() : n->right.get();
+  if (remove_rec(child, iv)) {
+    --n->subtree_count;
+    return true;
+  }
+  return false;
+}
+
+void interval_tree::query(const interval& q, std::vector<std::uint32_t>& out) const {
+  query_rec(root_.get(), q, out);
+}
+
+void interval_tree::query_rec(const node* n, const interval& q,
+                              std::vector<std::uint32_t>& out) const {
+  if (!n || n->subtree_count == 0) return;
+  if (q.hi < n->key) {
+    // The query lies entirely left of the key. A stored interval [lo,hi]
+    // (which contains key, so hi >= key > q.hi) overlaps iff lo <= q.hi;
+    // scan the lo-sorted list and stop at the first lo beyond the query.
+    for (const interval& iv : n->by_lo) {
+      if (iv.lo > q.hi) break;
+      out.push_back(iv.id);
+    }
+    query_rec(n->left.get(), q, out);
+  } else if (q.lo > n->key) {
+    // Symmetric: stored lo <= key < q.lo, so overlap iff hi >= q.lo; scan
+    // the hi-descending list.
+    for (const interval& iv : n->by_hi) {
+      if (iv.hi < q.lo) break;
+      out.push_back(iv.id);
+    }
+    query_rec(n->right.get(), q, out);
+  } else {
+    // Key inside the query: every interval stored here overlaps, and both
+    // subtrees may hold more.
+    for (const interval& iv : n->by_lo) out.push_back(iv.id);
+    query_rec(n->left.get(), q, out);
+    query_rec(n->right.get(), q, out);
+  }
+}
+
+void interval_tree::clear() {
+  root_.reset();
+  size_ = 0;
+}
+
+int interval_tree::height_of(const node* n) {
+  if (!n) return 0;
+  return 1 + std::max(height_of(n->left.get()), height_of(n->right.get()));
+}
+
+}  // namespace odrc

@@ -1,0 +1,85 @@
+// Dynamic interval tree (paper Section IV-D).
+//
+// "An interval tree is a binary search tree that stores an interval I in the
+//  highest node satisfying u in I, where u is the key of this node.
+//  Specifically, every node of the interval tree maintains its intervals in
+//  two separate lists: one is sorted by left endpoints, and the other is
+//  sorted by right endpoints."
+//
+// The tree supports the three operations the sweepline needs: insert an
+// interval, remove an interval, and report all stored intervals overlapping a
+// query interval. Node keys are chosen lazily: the first interval routed to
+// an empty subtree creates a node keyed at its midpoint, which keeps the tree
+// balanced in practice for sweepline workloads (interval positions are close
+// to uniformly distributed across a row). Nodes whose interval lists empty
+// out are kept (keys remain useful for routing) but skipped during queries
+// via subtree occupancy counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "infra/interval.hpp"
+
+namespace odrc {
+
+class interval_tree {
+ public:
+  interval_tree() = default;
+
+  /// Number of intervals currently stored.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Insert `iv`. Duplicate ids are allowed; removal erases one matching
+  /// occurrence.
+  void insert(const interval& iv);
+
+  /// Remove one interval equal to `iv` (same lo/hi/id). Returns false if no
+  /// such interval is stored.
+  bool remove(const interval& iv);
+
+  /// Append the ids of all stored intervals overlapping [q.lo, q.hi] to
+  /// `out`. Closed-interval semantics: touching endpoints report.
+  void query(const interval& q, std::vector<std::uint32_t>& out) const;
+
+  /// Convenience wrapper returning a fresh vector.
+  [[nodiscard]] std::vector<std::uint32_t> query(const interval& q) const {
+    std::vector<std::uint32_t> out;
+    query(q, out);
+    return out;
+  }
+
+  /// Remove everything (keeps allocated nodes for reuse).
+  void clear();
+
+  /// Height of the routing tree; exposed for tests and benchmarks.
+  [[nodiscard]] int height() const { return height_of(root_.get()); }
+
+ private:
+  struct node {
+    coord_t key;
+    // Intervals containing `key`, maintained in two sort orders as in the
+    // paper: by ascending left endpoint and by descending right endpoint.
+    // Queries that end left of the key scan `by_lo` until lo > q.hi; queries
+    // that start right of the key scan `by_hi` until hi < q.lo.
+    std::vector<interval> by_lo;
+    std::vector<interval> by_hi;
+    std::size_t subtree_count = 0;  // intervals stored in this subtree
+    std::unique_ptr<node> left;
+    std::unique_ptr<node> right;
+
+    explicit node(coord_t k) : key(k) {}
+  };
+
+  void insert_rec(std::unique_ptr<node>& n, const interval& iv);
+  bool remove_rec(node* n, const interval& iv);
+  void query_rec(const node* n, const interval& q, std::vector<std::uint32_t>& out) const;
+  static int height_of(const node* n);
+
+  std::unique_ptr<node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace odrc

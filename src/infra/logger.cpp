@@ -1,0 +1,48 @@
+#include "infra/logger.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace odrc {
+
+namespace {
+
+log_level level_from_env() {
+  const char* env = std::getenv("ODRC_LOG");
+  if (!env) return log_level::warn;
+  if (!std::strcmp(env, "trace")) return log_level::trace;
+  if (!std::strcmp(env, "debug")) return log_level::debug;
+  if (!std::strcmp(env, "info")) return log_level::info;
+  if (!std::strcmp(env, "warn")) return log_level::warn;
+  if (!std::strcmp(env, "error")) return log_level::error;
+  if (!std::strcmp(env, "off")) return log_level::off;
+  return log_level::warn;
+}
+
+constexpr std::string_view level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::trace: return "TRACE";
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+logger::logger() : level_(level_from_env()) {}
+
+logger& logger::instance() {
+  static logger lg;
+  return lg;
+}
+
+void logger::write(log_level lvl, std::string_view msg) {
+  std::lock_guard lock(mutex_);
+  std::clog << "[odrc:" << level_name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace odrc

@@ -1,0 +1,65 @@
+// Minimal leveled logger (paper Section V-A: "various program utilities
+// (timer, logger, etc.)").
+//
+// Thread-safe, printf-free: messages are composed with operator<< into a
+// per-call buffer then emitted atomically. The global level is controlled
+// programmatically or via the ODRC_LOG env var (trace|debug|info|warn|error).
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace odrc {
+
+enum class log_level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class logger {
+ public:
+  static logger& instance();
+
+  void set_level(log_level lvl) { level_ = lvl; }
+  [[nodiscard]] log_level level() const { return level_; }
+  [[nodiscard]] bool enabled(log_level lvl) const {
+    return static_cast<int>(lvl) >= static_cast<int>(level_);
+  }
+
+  void write(log_level lvl, std::string_view msg);
+
+  /// Builder that accumulates a message and emits it on destruction.
+  class line {
+   public:
+    line(logger& lg, log_level lvl) : lg_(lg), lvl_(lvl), live_(lg.enabled(lvl)) {}
+    ~line() {
+      if (live_) lg_.write(lvl_, os_.str());
+    }
+    line(const line&) = delete;
+    line& operator=(const line&) = delete;
+
+    template <typename T>
+    line& operator<<(const T& v) {
+      if (live_) os_ << v;
+      return *this;
+    }
+
+   private:
+    logger& lg_;
+    log_level lvl_;
+    bool live_;
+    std::ostringstream os_;
+  };
+
+ private:
+  logger();
+  log_level level_ = log_level::warn;
+  std::mutex mutex_;
+};
+
+inline logger::line log_trace() { return {logger::instance(), log_level::trace}; }
+inline logger::line log_debug() { return {logger::instance(), log_level::debug}; }
+inline logger::line log_info() { return {logger::instance(), log_level::info}; }
+inline logger::line log_warn() { return {logger::instance(), log_level::warn}; }
+inline logger::line log_error() { return {logger::instance(), log_level::error}; }
+
+}  // namespace odrc

@@ -1,0 +1,45 @@
+// Morton (Z-order) encoding for spatially coherent packing.
+//
+// The layer-wise hierarchy builder sorts leaf MBRs by the Morton code of
+// their centers before bulk-loading, which keeps spatially close shapes
+// close in memory and improves query locality.
+#pragma once
+
+#include <cstdint>
+
+#include "infra/geometry.hpp"
+
+namespace odrc {
+
+/// Interleave the low 32 bits of v with zeros: bit i of v moves to bit 2i.
+[[nodiscard]] constexpr std::uint64_t morton_spread(std::uint32_t v) {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+/// 64-bit Morton code of an (x, y) pair of unsigned 32-bit values.
+[[nodiscard]] constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) {
+  return morton_spread(x) | (morton_spread(y) << 1);
+}
+
+/// Morton code of a point, biased so negative coordinates order correctly
+/// (signed coordinates are shifted into the unsigned range).
+[[nodiscard]] constexpr std::uint64_t morton_code(const point& p) {
+  const std::uint32_t ux = static_cast<std::uint32_t>(static_cast<std::int64_t>(p.x) + 0x80000000ll);
+  const std::uint32_t uy = static_cast<std::uint32_t>(static_cast<std::int64_t>(p.y) + 0x80000000ll);
+  return morton_encode(ux, uy);
+}
+
+/// Morton code of a rectangle's center (empty rects map to code 0).
+[[nodiscard]] constexpr std::uint64_t morton_code(const rect& r) {
+  if (r.empty()) return 0;
+  return morton_code(point{static_cast<coord_t>(r.x_min + r.width() / 2),
+                           static_cast<coord_t>(r.y_min + r.height() / 2)});
+}
+
+}  // namespace odrc

@@ -1,0 +1,70 @@
+#include "infra/pigeonhole.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace odrc {
+
+pigeonhole_merger::pigeonhole_merger(coord_t domain_lo, coord_t domain_hi)
+    : lo_(domain_lo), hi_(domain_hi) {
+  if (domain_hi < domain_lo) throw std::invalid_argument("pigeonhole_merger: inverted domain");
+  slots_.resize(static_cast<std::size_t>(domain_hi) - domain_lo + 1);
+  reset();
+}
+
+void pigeonhole_merger::add(coord_t lo, coord_t hi) {
+  assert(lo >= lo_ && hi <= hi_ && lo <= hi);
+  auto& slot = slots_[static_cast<std::size_t>(lo - lo_)];
+  slot = std::max(slot, hi);
+}
+
+std::vector<interval> pigeonhole_merger::merged() const {
+  std::vector<interval> out;
+  // Scan with current interval end e; a slot starting past e opens a new
+  // merged interval (Algorithm 1 lines 5-11).
+  bool open = false;
+  coord_t start = 0;
+  coord_t e = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const coord_t l = static_cast<coord_t>(lo_ + static_cast<coord_t>(i));
+    const coord_t r = slots_[i];
+    if (r < l) continue;  // empty slot
+    if (!open) {
+      open = true;
+      start = l;
+      e = r;
+    } else if (l > e) {
+      out.push_back({start, e, static_cast<std::uint32_t>(out.size())});
+      start = l;
+      e = r;
+    } else {
+      e = std::max(e, r);
+    }
+  }
+  if (open) out.push_back({start, e, static_cast<std::uint32_t>(out.size())});
+  return out;
+}
+
+void pigeonhole_merger::reset() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    // "self - 1" marks an empty slot; see header.
+    slots_[i] = static_cast<coord_t>(lo_ + static_cast<coord_t>(i) - 1);
+  }
+}
+
+std::vector<interval> merge_intervals_by_sort(std::span<const interval> ivs) {
+  std::vector<interval> sorted(ivs.begin(), ivs.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const interval& a, const interval& b) { return a.lo < b.lo; });
+  std::vector<interval> out;
+  for (const interval& iv : sorted) {
+    if (!out.empty() && iv.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back({iv.lo, iv.hi, static_cast<std::uint32_t>(out.size())});
+    }
+  }
+  return out;
+}
+
+}  // namespace odrc

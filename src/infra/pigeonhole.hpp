@@ -1,0 +1,63 @@
+// Interval merging for adaptive layout partition (paper Algorithm 1).
+//
+// Merges a set of closed intervals over a discretized domain into the minimal
+// set of non-overlapping intervals covering them, in Theta(k + N) time where
+// k is the number of intervals (cells) and N the domain size (unique
+// y-coordinates). A "pigeonhole array" indexed by left endpoint stores the
+// furthest right endpoint seen; a single forward scan then emits maximal
+// merged runs.
+//
+// A sort-based O(k log k) alternative is provided for the ablation bench —
+// the paper argues the pigeonhole variant wins because k >> N in row-placed
+// layouts and arrays have better locality.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "infra/interval.hpp"
+
+namespace odrc {
+
+/// Pigeonhole-array interval merger over the coordinate domain
+/// [domain_lo, domain_hi]. Coordinates are mapped to array slots by
+/// subtracting domain_lo; callers that first coordinate-compress (map unique
+/// y values to ranks) get the paper's exact N = #unique-coordinates bound.
+class pigeonhole_merger {
+ public:
+  /// Prepare a merger over [domain_lo, domain_hi] (inclusive).
+  pigeonhole_merger(coord_t domain_lo, coord_t domain_hi);
+
+  /// Step 2 of Algorithm 1: A[l] <- max(A[l], r). O(1).
+  void add(coord_t lo, coord_t hi);
+
+  void add(const interval& iv) { add(iv.lo, iv.hi); }
+
+  /// Step 3: scan the array and return the merged non-overlapping intervals,
+  /// in increasing order. Only intervals actually added are covered (slots
+  /// never touched do not produce output). O(N).
+  [[nodiscard]] std::vector<interval> merged() const;
+
+  /// Reset all slots for reuse without reallocating.
+  void reset();
+
+  [[nodiscard]] coord_t domain_lo() const { return lo_; }
+  [[nodiscard]] coord_t domain_hi() const { return hi_; }
+
+ private:
+  coord_t lo_;
+  coord_t hi_;
+  // slots_[i] = furthest right endpoint of any interval starting at lo_ + i,
+  // or sentinel (lo_ + i - 1, i.e. "self - 1") when no interval starts here.
+  // Using r < l as the "empty" marker lets the scan treat untouched slots
+  // uniformly.
+  std::vector<coord_t> slots_;
+};
+
+/// Sort-based reference implementation: O(k log k), independent of domain
+/// size. Produces the same merged cover as pigeonhole_merger.
+[[nodiscard]] std::vector<interval> merge_intervals_by_sort(std::span<const interval> ivs);
+
+}  // namespace odrc

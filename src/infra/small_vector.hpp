@@ -1,0 +1,138 @@
+// A vector with inline storage for the first N elements.
+//
+// Used in hot paths (sweepline candidate lists, per-node child lists) where
+// the common case is a handful of elements and heap traffic dominates.
+// Only the operations the engine needs are provided; elements must be
+// trivially copyable, which every geometry POD in this codebase is.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace odrc {
+
+template <typename T, std::size_t N>
+class small_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "small_vector is restricted to trivially copyable types");
+
+ public:
+  small_vector() = default;
+
+  small_vector(const small_vector& o) { assign(o.data(), o.size_); }
+  small_vector& operator=(const small_vector& o) {
+    if (this != &o) assign(o.data(), o.size_);
+    return *this;
+  }
+
+  small_vector(small_vector&& o) noexcept { move_from(std::move(o)); }
+  small_vector& operator=(small_vector&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+
+  ~small_vector() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool is_inline() const { return heap_ == nullptr; }
+
+  [[nodiscard]] T* data() { return heap_ ? heap_ : reinterpret_cast<T*>(inline_); }
+  [[nodiscard]] const T* data() const {
+    return heap_ ? heap_ : reinterpret_cast<const T*>(inline_);
+  }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& back() {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+ private:
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, std::size_t{2} * N);
+    T* mem = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(mem, data(), size_ * sizeof(T));
+    release();
+    heap_ = mem;
+    cap_ = new_cap;
+  }
+
+  void assign(const T* src, std::size_t n) {
+    clear();
+    reserve(n);
+    std::memcpy(data(), src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void move_from(small_vector&& o) {
+    if (o.heap_) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      // An inline source holds at most N elements; the min() also lets the
+      // optimizer see the bound.
+      size_ = std::min(o.size_, N);
+      std::memcpy(inline_, o.inline_, size_ * sizeof(T));
+      o.size_ = 0;
+    }
+  }
+
+  void release() {
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace odrc

@@ -1,0 +1,75 @@
+#include "infra/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace odrc {
+
+thread_pool::thread_pool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t)>& f) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t blocks = std::min(n, worker_count() + 1);
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(blocks - 1);
+  for (std::size_t b = 1; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futs.push_back(submit([lo, hi, &f] {
+      for (std::size_t i = lo; i < hi; ++i) f(i);
+    }));
+  }
+  // Caller runs the first block, keeping a single-worker pool deadlock-free.
+  for (std::size_t i = begin; i < std::min(end, begin + chunk); ++i) f(i);
+  for (auto& fut : futs) fut.get();
+}
+
+thread_pool& thread_pool::global() {
+  static thread_pool pool{[] {
+    if (const char* env = std::getenv("ODRC_WORKERS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }()};
+  return pool;
+}
+
+}  // namespace odrc

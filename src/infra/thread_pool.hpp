@@ -1,0 +1,66 @@
+// Fixed-size worker thread pool.
+//
+// Backs both the host-side parallel helpers and the simulated device's
+// SPMD execution units. Tasks are type-erased nullary callables; submit()
+// returns a future. parallel_for() provides the blocked index-space loop the
+// kernel launcher uses.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odrc {
+
+class thread_pool {
+ public:
+  /// Spawn `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit thread_pool(std::size_t workers = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; the returned future resolves with its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run f(i) for every i in [begin, end), split into `worker_count()`
+  /// contiguous blocks executed on the pool. Blocks until complete.
+  /// The calling thread participates (executes the first block), so the
+  /// pool also works with zero queued capacity.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& f);
+
+  /// Process-wide pool, sized from ODRC_WORKERS env var when set.
+  static thread_pool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace odrc

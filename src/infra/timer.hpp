@@ -1,0 +1,78 @@
+// Wall-clock timers and the named phase profiler behind Fig. 4.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace odrc {
+
+/// Simple monotonic stopwatch.
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations. The engine records the phases that
+/// Fig. 4 of the paper breaks a sequential space check into: "partition",
+/// "sweepline", and "edge_check".
+class phase_profiler {
+ public:
+  /// RAII scope: adds elapsed time to `name` on destruction.
+  class scope {
+   public:
+    scope(phase_profiler& prof, std::string name) : prof_(prof), name_(std::move(name)) {}
+    ~scope() { prof_.add(name_, t_.seconds()); }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    phase_profiler& prof_;
+    std::string name_;
+    timer t_;
+  };
+
+  void add(const std::string& name, double seconds) { phases_[name] += seconds; }
+
+  [[nodiscard]] scope measure(std::string name) { return scope{*this, std::move(name)}; }
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const { return phases_; }
+
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (const auto& [_, s] : phases_) t += s;
+    return t;
+  }
+
+  /// Fraction of total time spent in `name` (0 when nothing recorded).
+  [[nodiscard]] double fraction(const std::string& name) const {
+    const double t = total();
+    if (t <= 0) return 0;
+    auto it = phases_.find(name);
+    return it == phases_.end() ? 0 : it->second / t;
+  }
+
+  void clear() { phases_.clear(); }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+}  // namespace odrc

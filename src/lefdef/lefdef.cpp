@@ -1,0 +1,441 @@
+#include "lefdef/lefdef.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace odrc::lefdef {
+
+namespace {
+
+// Whitespace tokenizer with line tracking. LEF/DEF statements are token
+// sequences terminated by ';'.
+class tokenizer {
+ public:
+  explicit tokenizer(std::istream& in) : in_(in) {}
+
+  /// Next token; empty string at EOF. '(' and ')' are their own tokens (DEF
+  /// point syntax).
+  std::string next() {
+    if (!pushed_.empty()) {
+      std::string t = std::move(pushed_.back());
+      pushed_.pop_back();
+      return t;
+    }
+    std::string tok;
+    char c;
+    while (in_.get(c)) {
+      if (c == '\n') {
+        ++line_;
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        std::string dummy;
+        std::getline(in_, dummy);
+        ++line_;
+        if (!tok.empty()) return tok;
+        continue;
+      }
+      if (c == '(' || c == ')') {
+        if (!tok.empty()) {
+          in_.unget();
+          return tok;
+        }
+        return std::string(1, c);
+      }
+      tok.push_back(c);
+    }
+    return tok;
+  }
+
+  void push_back(std::string tok) { pushed_.push_back(std::move(tok)); }
+
+  /// Consume tokens up to and including the next ';'.
+  void skip_statement() {
+    for (std::string t = next(); !t.empty() && t != ";"; t = next()) {
+    }
+  }
+
+  std::string expect(const char* what) {
+    std::string t = next();
+    if (t.empty()) throw lefdef_error(std::string("unexpected EOF, expected ") + what, line_);
+    return t;
+  }
+
+  double expect_number(const char* what) {
+    const std::string t = expect(what);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(t, &used);
+      if (used != t.size()) throw std::invalid_argument(t);
+      return v;
+    } catch (const std::exception&) {
+      throw lefdef_error("expected number for " + std::string(what) + ", got '" + t + "'",
+                         line_);
+    }
+  }
+
+  void expect_token(const char* tok) {
+    const std::string t = expect(tok);
+    if (t != tok) throw lefdef_error(std::string("expected '") + tok + "', got '" + t + "'",
+                                     line_);
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 1;
+  std::vector<std::string> pushed_;
+};
+
+coord_t microns_to_dbu(double microns) {
+  return static_cast<coord_t>(std::llround(microns * 1000.0));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Orientations
+// ---------------------------------------------------------------------------
+
+transform orientation_from_def(const std::string& name) {
+  transform t;
+  if (name == "N") {
+  } else if (name == "W") {
+    t.rotation = 1;
+  } else if (name == "S") {
+    t.rotation = 2;
+  } else if (name == "E") {
+    t.rotation = 3;
+  } else if (name == "FS") {
+    t.reflect_x = true;
+  } else if (name == "FE") {
+    t.reflect_x = true;
+    t.rotation = 1;
+  } else if (name == "FN") {
+    t.reflect_x = true;
+    t.rotation = 2;
+  } else if (name == "FW") {
+    t.reflect_x = true;
+    t.rotation = 3;
+  } else {
+    throw lefdef_error("unknown orientation '" + name + "'", 0);
+  }
+  return t;
+}
+
+std::string orientation_to_def(const transform& t) {
+  static const char* plain[4] = {"N", "W", "S", "E"};
+  static const char* flipped[4] = {"FS", "FE", "FN", "FW"};
+  return (t.reflect_x ? flipped : plain)[t.rotation & 3];
+}
+
+// ---------------------------------------------------------------------------
+// LEF reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Parse a LAYER/RECT/POLYGON geometry block used by both PORT and OBS; ends
+// at the END token (exclusive), which is pushed back for the caller.
+void parse_geometry(tokenizer& tz, const layer_map& layers, db::cell& cell) {
+  db::layer_t current = -1;
+  bool have_layer = false;
+  for (;;) {
+    std::string t = tz.expect("geometry statement");
+    if (t == "END") {
+      tz.push_back(t);
+      return;
+    }
+    if (t == "LAYER") {
+      const std::string name = tz.expect("layer name");
+      const auto it = layers.find(name);
+      have_layer = it != layers.end();
+      current = have_layer ? it->second : -1;
+      tz.skip_statement();
+    } else if (t == "RECT") {
+      const double x1 = tz.expect_number("rect x1");
+      const double y1 = tz.expect_number("rect y1");
+      const double x2 = tz.expect_number("rect x2");
+      const double y2 = tz.expect_number("rect y2");
+      tz.expect_token(";");
+      if (have_layer) {
+        cell.add_rect(current, rect::of({microns_to_dbu(x1), microns_to_dbu(y1)},
+                                        {microns_to_dbu(x2), microns_to_dbu(y2)}));
+      }
+    } else if (t == "POLYGON") {
+      std::vector<point> pts;
+      for (std::string p = tz.expect("polygon point"); p != ";"; p = tz.expect("polygon point")) {
+        tz.push_back(p);
+        const double x = tz.expect_number("polygon x");
+        const double y = tz.expect_number("polygon y");
+        pts.push_back({microns_to_dbu(x), microns_to_dbu(y)});
+      }
+      if (have_layer && pts.size() >= 3) {
+        polygon poly{std::move(pts)};
+        poly.make_clockwise();
+        cell.add_polygon({current, 0, std::move(poly), {}});
+      }
+    } else {
+      tz.push_back(t);
+      tz.skip_statement();
+    }
+  }
+}
+
+void parse_macro(tokenizer& tz, const layer_map& layers, db::library& lib) {
+  const std::string name = tz.expect("macro name");
+  const db::cell_id id = lib.add_cell(name);
+  for (;;) {
+    std::string t = tz.expect("macro statement");
+    if (t == "END") {
+      const std::string n = tz.expect("macro end name");
+      if (n != name) throw lefdef_error("END '" + n + "' does not close MACRO " + name,
+                                        tz.line());
+      return;
+    }
+    if (t == "PIN") {
+      const std::string pin = tz.expect("pin name");
+      for (;;) {
+        std::string pt = tz.expect("pin statement");
+        if (pt == "END") {
+          const std::string n = tz.expect("pin end name");
+          if (n != pin) throw lefdef_error("END '" + n + "' does not close PIN " + pin,
+                                           tz.line());
+          break;
+        }
+        if (pt == "PORT") {
+          parse_geometry(tz, layers, lib.at(id));
+          tz.expect_token("END");
+        } else {
+          tz.push_back(pt);
+          tz.skip_statement();
+        }
+      }
+    } else if (t == "OBS") {
+      parse_geometry(tz, layers, lib.at(id));
+      tz.expect_token("END");
+    } else if (t == "SIZE" || t == "ORIGIN" || t == "CLASS" || t == "FOREIGN" || t == "SITE" ||
+               t == "SYMMETRY") {
+      tz.push_back(t);
+      tz.skip_statement();
+    } else {
+      tz.push_back(t);
+      tz.skip_statement();
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t read_lef(std::istream& in, const layer_map& layers, db::library& lib) {
+  tokenizer tz(in);
+  std::size_t macros = 0;
+  for (std::string t = tz.next(); !t.empty(); t = tz.next()) {
+    if (t == "MACRO") {
+      parse_macro(tz, layers, lib);
+      ++macros;
+    } else if (t == "END") {
+      const std::string what = tz.next();
+      if (what == "LIBRARY") break;
+      // END UNITS / END <site> etc.: nothing to do.
+    } else {
+      tz.push_back(t);
+      tz.skip_statement();
+    }
+  }
+  return macros;
+}
+
+// ---------------------------------------------------------------------------
+// DEF reader
+// ---------------------------------------------------------------------------
+
+db::cell_id read_def(std::istream& in, db::library& lib) {
+  tokenizer tz(in);
+  db::cell_id top = db::invalid_cell;
+  double scale = 1.0;  // dbu per DEF unit; DEF at 1000/micron matches 1 nm dbu
+
+  for (std::string t = tz.next(); !t.empty(); t = tz.next()) {
+    if (t == "DESIGN") {
+      const std::string name = tz.expect("design name");
+      tz.expect_token(";");
+      top = lib.add_cell(name);
+    } else if (t == "UNITS") {
+      tz.expect_token("DISTANCE");
+      tz.expect_token("MICRONS");
+      const double units = tz.expect_number("units");
+      if (units <= 0) throw lefdef_error("bad UNITS", tz.line());
+      scale = 1000.0 / units;
+      tz.expect_token(";");
+    } else if (t == "COMPONENTS") {
+      if (top == db::invalid_cell) throw lefdef_error("COMPONENTS before DESIGN", tz.line());
+      tz.skip_statement();  // the count
+      for (;;) {
+        std::string c = tz.expect("component");
+        if (c == "END") {
+          tz.expect_token("COMPONENTS");
+          break;
+        }
+        if (c != "-") throw lefdef_error("expected '-' starting a component, got '" + c + "'",
+                                         tz.line());
+        tz.expect("instance name");
+        const std::string macro = tz.expect("macro name");
+        const auto target = lib.find(macro);
+        if (!target) throw lefdef_error("unknown macro '" + macro + "'", tz.line());
+
+        // Scan the component options for + PLACED/FIXED ( x y ) ORIENT.
+        bool placed = false;
+        transform tr;
+        for (std::string opt = tz.expect("component option"); opt != ";";
+             opt = tz.expect("component option")) {
+          if (opt != "+") continue;
+          const std::string kind = tz.expect("option kind");
+          if (kind != "PLACED" && kind != "FIXED") continue;
+          tz.expect_token("(");
+          const double x = tz.expect_number("x");
+          const double y = tz.expect_number("y");
+          tz.expect_token(")");
+          const std::string orient = tz.expect("orientation");
+          tr = orientation_from_def(orient);
+          // DEF places the lower-left corner of the ORIENTED macro bbox at
+          // (x, y); convert to the reference-frame offset.
+          rect bbox;
+          for (const db::polygon_elem& p : lib.at(*target).polygons()) {
+            bbox = bbox.join(p.poly.mbr());
+          }
+          if (bbox.empty()) bbox = {0, 0, 0, 0};
+          const rect oriented = tr.apply(bbox);
+          tr.offset = {static_cast<coord_t>(std::llround(x * scale)) - oriented.x_min,
+                       static_cast<coord_t>(std::llround(y * scale)) - oriented.y_min};
+          placed = true;
+        }
+        if (placed) lib.at(top).add_ref({*target, tr});
+      }
+    } else if (t == "END") {
+      const std::string what = tz.next();
+      if (what == "DESIGN") break;
+    } else {
+      tz.push_back(t);
+      tz.skip_statement();
+    }
+  }
+  if (top == db::invalid_cell) throw lefdef_error("no DESIGN statement", tz.line());
+  return top;
+}
+
+db::library read_lef_def(const std::string& lef_path, const std::string& def_path,
+                         const layer_map& layers) {
+  std::ifstream lef(lef_path);
+  if (!lef) throw std::runtime_error("cannot open LEF '" + lef_path + "'");
+  std::ifstream def(def_path);
+  if (!def) throw std::runtime_error("cannot open DEF '" + def_path + "'");
+  db::library lib;
+  read_lef(lef, layers, lib);
+  read_def(def, lib);
+  return lib;
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+void write_lef(const db::library& lib, const layer_map& layers, std::ostream& out,
+               int dbu_per_micron) {
+  // Invert the layer map for names.
+  std::map<db::layer_t, std::string> names;
+  for (const auto& [name, layer] : layers) names[layer] = name;
+
+  // Masters = cells referenced by at least one other cell.
+  std::vector<bool> referenced(lib.cell_count(), false);
+  for (const db::cell& c : lib.cells()) {
+    for (const db::cell_ref& r : c.refs()) referenced[r.target] = true;
+    for (const db::cell_array& a : c.arrays()) referenced[a.target] = true;
+  }
+
+  const double inv = 1.0 / dbu_per_micron;
+  out << "VERSION 5.8 ;\nUNITS\n  DATABASE MICRONS " << dbu_per_micron << " ;\nEND UNITS\n\n";
+  for (db::cell_id id = 0; id < lib.cell_count(); ++id) {
+    if (!referenced[id]) continue;
+    const db::cell& c = lib.at(id);
+    rect bbox;
+    for (const db::polygon_elem& p : c.polygons()) bbox = bbox.join(p.poly.mbr());
+    if (bbox.empty()) bbox = {0, 0, 0, 0};
+    out << "MACRO " << c.name() << "\n  CLASS CORE ;\n  ORIGIN 0 0 ;\n  SIZE "
+        << bbox.x_max * inv << " BY " << bbox.y_max * inv << " ;\n  OBS\n";
+    db::layer_t current = -32768;
+    for (const db::polygon_elem& p : c.polygons()) {
+      const auto it = names.find(p.layer);
+      if (it == names.end()) continue;
+      if (p.layer != current) {
+        out << "    LAYER " << it->second << " ;\n";
+        current = p.layer;
+      }
+      const rect m = p.poly.mbr();
+      if (p.poly.size() == 4) {
+        out << "    RECT " << m.x_min * inv << ' ' << m.y_min * inv << ' ' << m.x_max * inv
+            << ' ' << m.y_max * inv << " ;\n";
+      } else {
+        out << "    POLYGON";
+        for (const point& pt : p.poly.vertices()) out << ' ' << pt.x * inv << ' ' << pt.y * inv;
+        out << " ;\n";
+      }
+    }
+    out << "  END\nEND " << c.name() << "\n\n";
+  }
+  out << "END LIBRARY\n";
+}
+
+void write_def(const db::library& lib, db::cell_id top, std::ostream& out, int dbu_per_micron,
+               bool ignore_top_geometry) {
+  const db::cell& c = lib.at(top);
+  if (!c.polygons().empty() && !ignore_top_geometry) {
+    throw lefdef_error("top cell has direct geometry, not representable in placement-only DEF",
+                       0);
+  }
+  // Expand arrays into individual components.
+  struct comp {
+    db::cell_id target;
+    transform t;
+  };
+  std::vector<comp> comps;
+  for (const db::cell_ref& r : c.refs()) comps.push_back({r.target, r.trans});
+  for (const db::cell_array& a : c.arrays()) {
+    for (std::uint16_t rr = 0; rr < a.rows; ++rr) {
+      for (std::uint16_t cc = 0; cc < a.cols; ++cc) {
+        comps.push_back({a.target, a.instance(cc, rr)});
+      }
+    }
+  }
+
+  out << "VERSION 5.8 ;\nDESIGN " << c.name() << " ;\nUNITS DISTANCE MICRONS " << dbu_per_micron
+      << " ;\n";
+  out << "COMPONENTS " << comps.size() << " ;\n";
+  std::size_t n = 0;
+  for (const comp& cp : comps) {
+    if (cp.t.mag != 1) throw lefdef_error("magnified references not representable in DEF", 0);
+    rect bbox;
+    for (const db::polygon_elem& p : lib.at(cp.target).polygons()) {
+      bbox = bbox.join(p.poly.mbr());
+    }
+    if (bbox.empty()) bbox = {0, 0, 0, 0};
+    transform linear = cp.t;
+    linear.offset = {};
+    const rect oriented = linear.apply(bbox);
+    const coord_t px = static_cast<coord_t>(cp.t.offset.x + oriented.x_min);
+    const coord_t py = static_cast<coord_t>(cp.t.offset.y + oriented.y_min);
+    out << "- u" << n++ << ' ' << lib.at(cp.target).name() << " + PLACED ( " << px << ' ' << py
+        << " ) " << orientation_to_def(cp.t) << " ;\n";
+  }
+  out << "END COMPONENTS\nEND DESIGN\n";
+}
+
+}  // namespace odrc::lefdef

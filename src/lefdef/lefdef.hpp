@@ -1,0 +1,73 @@
+// LEF/DEF adaptors (interface layer, paper Section V-A: "adaptors to design
+// databases"). OpenROAD-style physical design flows carry cell geometry in
+// LEF and placement in DEF; this module reads the placement-relevant subset
+// of both into the same odrc::db::library the GDSII reader produces, and can
+// write them back (used by the round-trip tests and by users who want to
+// check OpenROAD placements before GDS export).
+//
+// Supported LEF subset:  UNITS DATABASE MICRONS, MACRO / SIZE / ORIGIN,
+//   PIN / PORT / LAYER / RECT and OBS / LAYER / RECT geometry.
+// Supported DEF subset:  DESIGN, UNITS DISTANCE MICRONS, DIEAREA,
+//   COMPONENTS with PLACED/FIXED placements and the eight LEF/DEF
+//   orientations (N, S, E, W, FN, FS, FE, FW).
+//
+// DEF placement semantics: the placement point is where the lower-left
+// corner of the macro's *oriented* bounding box lands, which this reader
+// converts into the engine's reflect-then-rotate transforms.
+#pragma once
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "db/layout.hpp"
+
+namespace odrc::lefdef {
+
+class lefdef_error : public std::runtime_error {
+ public:
+  lefdef_error(const std::string& what, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// LEF/DEF name their layers ("M1", "V1"); the database uses GDSII numbers.
+using layer_map = std::map<std::string, db::layer_t>;
+
+/// Parse LEF macros into `lib` (one cell per MACRO). Geometry on layers not
+/// present in `layers` is skipped. Returns the number of macros read.
+std::size_t read_lef(std::istream& in, const layer_map& layers, db::library& lib);
+
+/// Parse a DEF placement: creates the design's top cell in `lib` and adds
+/// one reference per COMPONENT (macros must already exist, e.g. from
+/// read_lef). Returns the top cell id.
+db::cell_id read_def(std::istream& in, db::library& lib);
+
+/// Convenience: LEF + DEF files from disk into one fresh library.
+[[nodiscard]] db::library read_lef_def(const std::string& lef_path, const std::string& def_path,
+                                       const layer_map& layers);
+
+/// Write every cell that is referenced by others (the masters) as LEF
+/// macros. `dbu_per_micron` scales coordinates back to microns.
+void write_lef(const db::library& lib, const layer_map& layers, std::ostream& out,
+               int dbu_per_micron = 1000);
+
+/// Write the placement of `top` (its SREFs and expanded AREFs) as a DEF
+/// COMPONENTS section. Direct polygons of the top cell are not representable
+/// in a placement-only DEF and raise lefdef_error if present unless
+/// `ignore_top_geometry` is set.
+void write_def(const db::library& lib, db::cell_id top, std::ostream& out,
+               int dbu_per_micron = 1000, bool ignore_top_geometry = false);
+
+/// Orientation conversions between DEF names and engine transforms (the
+/// linear part only; exposed for tests).
+[[nodiscard]] transform orientation_from_def(const std::string& name);
+[[nodiscard]] std::string orientation_to_def(const transform& t);
+
+}  // namespace odrc::lefdef

@@ -1,0 +1,163 @@
+#include "partition/row_partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "infra/pigeonhole.hpp"
+
+namespace odrc::partition {
+
+namespace {
+
+// Assign every input interval to the merged group containing it (each input
+// lies inside exactly one group by construction of the merge).
+void assign_groups(std::span<const interval> inputs, grouping& g) {
+  std::vector<coord_t> starts;
+  starts.reserve(g.groups.size());
+  for (const interval& m : g.groups) starts.push_back(m.lo);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), inputs[i].lo);
+    const auto gi = static_cast<std::uint32_t>(it - starts.begin() - 1);
+    assert(gi < g.groups.size());
+    assert(g.groups[gi].lo <= inputs[i].lo && inputs[i].hi <= g.groups[gi].hi);
+    g.group_of[i] = gi;
+  }
+}
+
+// The raw-coordinate pigeonhole array (the paper's Theta(k+N) path, no
+// sorting at all) wins when "k is typically much larger than N": its cost is
+// the domain span N, paid in init + scan, so it only beats the O(k log k)
+// compressed path when the span is within a small multiple of k — and must
+// stay within a sane scratch size regardless.
+constexpr std::int64_t direct_domain_limit = std::int64_t{1} << 22;
+
+bool use_direct_pigeonhole(std::int64_t span, std::size_t k) {
+  return span <= direct_domain_limit && span <= 4 * static_cast<std::int64_t>(k);
+}
+
+}  // namespace
+
+grouping merge_1d(std::span<const interval> intervals, merge_strategy strategy) {
+  grouping g;
+  g.group_of.assign(intervals.size(), 0);
+  if (intervals.empty()) return g;
+
+  if (strategy == merge_strategy::pigeonhole) {
+    coord_t lo = intervals[0].lo, hi = intervals[0].hi;
+    for (const interval& iv : intervals) {
+      lo = std::min(lo, iv.lo);
+      hi = std::max(hi, iv.hi);
+    }
+    if (use_direct_pigeonhole(static_cast<std::int64_t>(hi) - lo, intervals.size())) {
+      pigeonhole_merger merger(lo, hi);
+      for (const interval& iv : intervals) merger.add(iv);
+      g.groups = merger.merged();
+      assign_groups(intervals, g);
+      return g;
+    }
+    // Astronomical spans (sparse coordinates): fall through to the
+    // coordinate-compressed path below.
+  }
+
+  // Coordinate-compress endpoints so the pigeonhole domain is the number of
+  // distinct coordinates (the paper's N), not the raw coordinate range.
+  std::vector<coord_t> coords;
+  coords.reserve(intervals.size() * 2);
+  for (const interval& iv : intervals) {
+    coords.push_back(iv.lo);
+    coords.push_back(iv.hi);
+  }
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+  auto rank = [&](coord_t v) {
+    return static_cast<coord_t>(std::lower_bound(coords.begin(), coords.end(), v) -
+                                coords.begin());
+  };
+
+  std::vector<interval> ranked(intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    ranked[i] = {rank(intervals[i].lo), rank(intervals[i].hi),
+                 static_cast<std::uint32_t>(i)};
+  }
+
+  std::vector<interval> merged_ranked;
+  if (strategy == merge_strategy::pigeonhole) {
+    pigeonhole_merger merger(0, static_cast<coord_t>(coords.size()) - 1);
+    for (const interval& iv : ranked) merger.add(iv);
+    merged_ranked = merger.merged();
+  } else {
+    merged_ranked = merge_intervals_by_sort(ranked);
+  }
+
+  // Map group extents back to real coordinates.
+  g.groups.reserve(merged_ranked.size());
+  for (std::size_t gi = 0; gi < merged_ranked.size(); ++gi) {
+    const interval& m = merged_ranked[gi];
+    g.groups.push_back({coords[static_cast<std::size_t>(m.lo)],
+                        coords[static_cast<std::size_t>(m.hi)],
+                        static_cast<std::uint32_t>(gi)});
+  }
+
+  // Assign inputs: each input interval lies inside exactly one merged group;
+  // binary-search its lo endpoint among group starts.
+  std::vector<coord_t> starts;
+  starts.reserve(merged_ranked.size());
+  for (const interval& m : merged_ranked) starts.push_back(m.lo);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), ranked[i].lo);
+    const auto gi = static_cast<std::uint32_t>(it - starts.begin() - 1);
+    assert(gi < g.groups.size());
+    assert(merged_ranked[gi].lo <= ranked[i].lo && ranked[i].hi <= merged_ranked[gi].hi);
+    g.group_of[i] = gi;
+  }
+  return g;
+}
+
+partition_result partition_rows(std::span<const rect> mbrs, coord_t distance,
+                                merge_strategy strategy) {
+  partition_result result;
+  const coord_t h = static_cast<coord_t>((distance + 1) / 2);  // ceil(d/2)
+
+  // Collect non-empty inputs with inflated extents.
+  std::vector<interval> y_ivs;
+  std::vector<std::uint32_t> input_of;  // dense index -> original index
+  y_ivs.reserve(mbrs.size());
+  for (std::uint32_t i = 0; i < mbrs.size(); ++i) {
+    if (mbrs[i].empty()) continue;
+    const rect r = mbrs[i].inflated(h);
+    y_ivs.push_back({r.y_min, r.y_max, static_cast<std::uint32_t>(y_ivs.size())});
+    input_of.push_back(i);
+  }
+  if (y_ivs.empty()) return result;
+
+  const grouping rows = merge_1d(y_ivs, strategy);
+  result.rows.resize(rows.groups.size());
+  std::vector<std::vector<std::uint32_t>> row_members(rows.groups.size());
+  for (std::size_t i = 0; i < y_ivs.size(); ++i) {
+    row_members[rows.group_of[i]].push_back(input_of[i]);
+  }
+
+  // Second pass within each row: merge along x to form clips (intuition 2).
+  for (std::size_t ri = 0; ri < rows.groups.size(); ++ri) {
+    row& out = result.rows[ri];
+    out.y_range = rows.groups[ri];
+    const auto& members = row_members[ri];
+    std::vector<interval> x_ivs;
+    x_ivs.reserve(members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      const rect r = mbrs[members[j]].inflated(h);
+      x_ivs.push_back({r.x_min, r.x_max, static_cast<std::uint32_t>(j)});
+    }
+    const grouping cols = merge_1d(x_ivs, strategy);
+    out.clips.resize(cols.groups.size());
+    for (std::size_t ci = 0; ci < cols.groups.size(); ++ci) {
+      out.clips[ci].x_range = cols.groups[ci];
+    }
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      out.clips[cols.group_of[j]].members.push_back(members[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace odrc::partition

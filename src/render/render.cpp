@@ -1,0 +1,118 @@
+#include "render/render.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "db/flatten.hpp"
+
+namespace odrc::render {
+
+namespace {
+
+// A small qualitative palette cycled per layer (order of appearance).
+constexpr const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+};
+
+struct view_transform {
+  // SVG y grows downward; layouts grow upward. Map layout (x, y) to
+  // (sx * (x - x0), sy_off - sx * y).
+  double scale = 1.0;
+  double x0 = 0.0;
+  double y_off = 0.0;
+
+  [[nodiscard]] double x(coord_t v) const { return (static_cast<double>(v) - x0) * scale; }
+  [[nodiscard]] double y(coord_t v) const { return y_off - static_cast<double>(v) * scale; }
+};
+
+void emit_polygon(std::ostream& out, const polygon& p, const view_transform& vt,
+                  const char* color) {
+  out << "  <polygon points=\"";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out << ' ';
+    out << vt.x(p.vertices()[i].x) << ',' << vt.y(p.vertices()[i].y);
+  }
+  out << "\" fill=\"" << color << "\" fill-opacity=\"0.45\" stroke=\"" << color
+      << "\" stroke-width=\"0.4\"/>\n";
+}
+
+}  // namespace
+
+void write_svg(const db::library& lib, std::ostream& out, const svg_options& opts,
+               std::span<const checks::violation> violations) {
+  // Flatten everything once, group by layer, compute extents.
+  std::map<db::layer_t, std::vector<polygon>> by_layer;
+  rect extent;
+  for (const db::cell_id top : lib.top_cells()) {
+    for (auto& fp : db::flatten_all(lib, top)) {
+      extent = extent.join(fp.poly.mbr());
+      by_layer[fp.layer].push_back(std::move(fp.poly));
+    }
+  }
+  const std::set<db::layer_t> wanted(opts.layers.begin(), opts.layers.end());
+
+  if (extent.empty()) extent = {0, 0, 1, 1};
+  const double w = std::max<double>(1.0, extent.width());
+  const double h = std::max<double>(1.0, extent.height());
+  view_transform vt;
+  vt.scale = opts.width_px / w;
+  vt.x0 = extent.x_min;
+  vt.y_off = static_cast<double>(extent.y_max) * vt.scale;
+  const int height_px = static_cast<int>(h * vt.scale) + 1;
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width_px << "\" height=\""
+      << height_px << "\" viewBox=\"0 0 " << opts.width_px << ' ' << height_px << "\">\n";
+  out << "  <rect width=\"100%\" height=\"100%\" fill=\"#111318\"/>\n";
+
+  std::size_t palette_idx = 0;
+  for (const auto& [layer, polys] : by_layer) {
+    const char* color = kPalette[palette_idx++ % std::size(kPalette)];
+    if (!wanted.empty() && !wanted.contains(layer)) continue;
+    out << "  <g id=\"layer" << layer << "\">\n";
+    for (const polygon& p : polys) emit_polygon(out, p, vt, color);
+    out << "  </g>\n";
+  }
+
+  if (opts.draw_violations && !violations.empty()) {
+    out << "  <g id=\"violations\">\n";
+    for (const checks::violation& v : violations) {
+      const rect m = v.e1.mbr().join(v.e2.mbr()).inflated(2);
+      out << "    <rect x=\"" << vt.x(m.x_min) << "\" y=\"" << vt.y(m.y_max) << "\" width=\""
+          << (vt.x(m.x_max) - vt.x(m.x_min)) << "\" height=\"" << (vt.y(m.y_min) - vt.y(m.y_max))
+          << "\" fill=\"none\" stroke=\"#ff2d2d\" stroke-width=\"1.5\">"
+          << "<title>" << checks::rule_kind_name(v.kind) << " L" << v.layer1 << "</title>"
+          << "</rect>\n";
+    }
+    out << "  </g>\n";
+  }
+  out << "</svg>\n";
+}
+
+void write_svg(const db::library& lib, const std::string& path, const svg_options& opts,
+               std::span<const checks::violation> violations) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("render: cannot open '" + path + "'");
+  write_svg(lib, f, opts, violations);
+}
+
+db::library violation_markers(std::span<const checks::violation> violations,
+                              const std::string& design_name) {
+  db::library lib(design_name + "_markers");
+  const db::cell_id cell = lib.add_cell("MARKERS");
+  for (const checks::violation& v : violations) {
+    rect m = v.e1.mbr().join(v.e2.mbr());
+    // Degenerate markers (collinear edges) get a minimum visible extent.
+    if (m.width() == 0) m.x_max = static_cast<coord_t>(m.x_max + 1);
+    if (m.height() == 0) m.y_max = static_cast<coord_t>(m.y_max + 1);
+    const auto layer = static_cast<db::layer_t>(marker_layer_base + static_cast<int>(v.kind));
+    lib.at(cell).add_polygon(
+        {layer, 0, polygon::from_rect(m), std::string(checks::rule_kind_name(v.kind))});
+  }
+  return lib;
+}
+
+}  // namespace odrc::render

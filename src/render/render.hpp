@@ -1,0 +1,43 @@
+// Result output (interface layer, paper Section V-A): render a layout (and
+// optionally its violations) to SVG for visual inspection, and export
+// violations as GDSII marker shapes that any layout viewer can overlay —
+// the workflow KLayout users get from its marker database.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "checks/violation.hpp"
+#include "db/layout.hpp"
+
+namespace odrc::render {
+
+struct svg_options {
+  /// Layers to draw; empty = every populated layer.
+  std::vector<db::layer_t> layers;
+  /// Output width in pixels (height follows the layout aspect ratio).
+  int width_px = 1200;
+  /// Draw violation markers on top of the geometry.
+  bool draw_violations = true;
+};
+
+/// Render the flattened layout (all top cells) to an SVG document.
+void write_svg(const db::library& lib, std::ostream& out, const svg_options& opts = {},
+               std::span<const checks::violation> violations = {});
+
+void write_svg(const db::library& lib, const std::string& path, const svg_options& opts = {},
+               std::span<const checks::violation> violations = {});
+
+/// Marker layer offset: a violation of rule kind k lands on GDSII layer
+/// marker_layer_base + k in the exported marker library.
+inline constexpr db::layer_t marker_layer_base = 200;
+
+/// Build a single-cell library containing one marker rectangle per
+/// violation (the joined MBR of the violating geometry), on per-kind marker
+/// layers. Write it with gdsii::write() and overlay it in any viewer.
+[[nodiscard]] db::library violation_markers(std::span<const checks::violation> violations,
+                                            const std::string& design_name = "markers");
+
+}  // namespace odrc::render

@@ -1,0 +1,190 @@
+#include "report/violation_db.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace odrc::report {
+
+namespace {
+
+// Minimal JSON string escaping (rule names are ASCII identifiers in
+// practice, but be safe).
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF] << "0123456789abcdef"[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void violation_db::add(const std::string& rule_name,
+                       std::span<const checks::violation> violations) {
+  entries_.reserve(entries_.size() + violations.size());
+  for (const checks::violation& v : violations) entries_.push_back({rule_name, v});
+  index_.reset();
+}
+
+std::vector<summary_row> violation_db::summarize() const {
+  std::vector<summary_row> rows;
+  std::map<std::string, std::size_t> pos;
+  for (const entry& e : entries_) {
+    auto [it, added] = pos.try_emplace(e.rule, rows.size());
+    if (added) rows.push_back({e.rule, e.v.kind, 0});
+    ++rows[it->second].count;
+  }
+  return rows;
+}
+
+std::vector<std::size_t> violation_db::in_window(const rect& window) const {
+  if (!index_) {
+    std::vector<rect> boxes(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) boxes[i] = marker_box(entries_[i].v);
+    index_.emplace(boxes);
+  }
+  std::vector<std::size_t> out;
+  index_->query(window, [&](std::uint32_t i) { out.push_back(i); });
+  return out;
+}
+
+rect violation_db::extent() const {
+  rect e;
+  for (const entry& en : entries_) e = e.join(marker_box(en.v));
+  return e;
+}
+
+void violation_db::write_text(std::ostream& out) const {
+  out << "# violation report";
+  if (!design_.empty()) out << " for " << design_;
+  out << "\n# total: " << entries_.size() << "\n";
+  for (const summary_row& row : summarize()) {
+    out << "# " << (row.rule.empty() ? std::string(checks::rule_kind_name(row.kind)) : row.rule)
+        << ": " << row.count << "\n";
+  }
+  for (const entry& e : entries_) {
+    const rect m = marker_box(e.v);
+    out << (e.rule.empty() ? std::string(checks::rule_kind_name(e.v.kind)) : e.rule) << ' '
+        << checks::rule_kind_name(e.v.kind) << " L" << e.v.layer1;
+    if (e.v.layer2 != e.v.layer1) out << "/L" << e.v.layer2;
+    out << " [" << m.x_min << ',' << m.y_min << " .. " << m.x_max << ',' << m.y_max
+        << "] measured=" << e.v.measured << "\n";
+  }
+}
+
+void violation_db::write_json(std::ostream& out) const {
+  out << "{\"design\": ";
+  json_string(out, design_);
+  out << ", \"total\": " << entries_.size() << ", \"rules\": [";
+
+  const auto rows = summarize();
+  bool first_rule = true;
+  for (const summary_row& row : rows) {
+    if (!first_rule) out << ", ";
+    first_rule = false;
+    out << "{\"name\": ";
+    json_string(out, row.rule);
+    out << ", \"kind\": \"" << checks::rule_kind_name(row.kind) << "\", \"count\": " << row.count
+        << ", \"violations\": [";
+    bool first = true;
+    for (const entry& e : entries_) {
+      if (e.rule != row.rule) continue;
+      if (!first) out << ", ";
+      first = false;
+      const rect m = marker_box(e.v);
+      out << "{\"layer1\": " << e.v.layer1 << ", \"layer2\": " << e.v.layer2
+          << ", \"measured\": " << e.v.measured << ", \"bbox\": [" << m.x_min << ", " << m.y_min
+          << ", " << m.x_max << ", " << m.y_max << "]}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Report diffing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+checks::rule_kind kind_from_name(const std::string& name, std::size_t line_no) {
+  for (int k = 0; k <= static_cast<int>(checks::rule_kind::coloring); ++k) {
+    const auto kind = static_cast<checks::rule_kind>(k);
+    if (name == checks::rule_kind_name(kind)) return kind;
+  }
+  throw std::runtime_error("report line " + std::to_string(line_no) + ": unknown rule kind '" +
+                           name + "'");
+}
+
+}  // namespace
+
+std::vector<report_line> parse_text_report(std::istream& in) {
+  std::vector<report_line> out;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (raw.empty() || raw[0] == '#') continue;
+    // Format: <rule> <kind> L<l1>[/L<l2>] [x1,y1 .. x2,y2] measured=<m>
+    std::istringstream ss(raw);
+    report_line rl;
+    std::string kind_s, layers_s, open_s, xy1, dots, xy2, measured_s;
+    if (!(ss >> rl.rule >> kind_s >> layers_s >> xy1 >> dots >> xy2 >> measured_s)) {
+      throw std::runtime_error("report line " + std::to_string(line_no) + ": malformed: " + raw);
+    }
+    rl.kind = kind_from_name(kind_s, line_no);
+    // layers: L19 or L21/L19
+    int l1 = 0, l2 = 0;
+    if (std::sscanf(layers_s.c_str(), "L%d/L%d", &l1, &l2) == 2) {
+    } else if (std::sscanf(layers_s.c_str(), "L%d", &l1) == 1) {
+      l2 = l1;
+    } else {
+      throw std::runtime_error("report line " + std::to_string(line_no) + ": bad layers '" +
+                               layers_s + "'");
+    }
+    rl.layer1 = static_cast<std::int16_t>(l1);
+    rl.layer2 = static_cast<std::int16_t>(l2);
+    int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+    if (std::sscanf(xy1.c_str(), "[%d,%d", &x1, &y1) != 2 ||
+        std::sscanf(xy2.c_str(), "%d,%d]", &x2, &y2) != 2 || dots != "..") {
+      throw std::runtime_error("report line " + std::to_string(line_no) + ": bad box in: " + raw);
+    }
+    rl.box = {x1, y1, x2, y2};
+    long long m = 0;
+    if (std::sscanf(measured_s.c_str(), "measured=%lld", &m) != 1) {
+      throw std::runtime_error("report line " + std::to_string(line_no) + ": bad measured in: " +
+                               raw);
+    }
+    rl.measured = m;
+    out.push_back(std::move(rl));
+  }
+  return out;
+}
+
+report_diff diff_reports(std::vector<report_line> baseline, std::vector<report_line> current) {
+  std::sort(baseline.begin(), baseline.end());
+  std::sort(current.begin(), current.end());
+  report_diff d;
+  std::set_difference(baseline.begin(), baseline.end(), current.begin(), current.end(),
+                      std::back_inserter(d.fixed));
+  std::set_difference(current.begin(), current.end(), baseline.begin(), baseline.end(),
+                      std::back_inserter(d.introduced));
+  return d;
+}
+
+}  // namespace odrc::report

@@ -1,0 +1,113 @@
+// Violation database (interface layer "result output"): accumulates the
+// violations of a whole deck run keyed by rule name, answers windowed
+// queries (R-tree backed — "show me the markers under the cursor"), and
+// serializes to human-readable text or machine-readable JSON for downstream
+// tooling.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "checks/violation.hpp"
+#include "geo/rtree.hpp"
+
+namespace odrc::report {
+
+struct entry {
+  std::string rule;  ///< rule name (e.g. "M1.S.1"); may be empty
+  checks::violation v;
+};
+
+struct summary_row {
+  std::string rule;
+  checks::rule_kind kind;
+  std::size_t count;
+};
+
+class violation_db {
+ public:
+  explicit violation_db(std::string design_name = {}) : design_(std::move(design_name)) {}
+
+  void add(const std::string& rule_name, std::span<const checks::violation> violations);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::span<const entry> entries() const { return entries_; }
+  [[nodiscard]] const std::string& design() const { return design_; }
+
+  /// Per-rule counts, in first-seen rule order.
+  [[nodiscard]] std::vector<summary_row> summarize() const;
+
+  /// Indices of entries whose marker box overlaps `window`. Builds a spatial
+  /// index lazily on first call; add() invalidates it.
+  [[nodiscard]] std::vector<std::size_t> in_window(const rect& window) const;
+
+  /// Bounding box of all markers (empty rect when no violations).
+  [[nodiscard]] rect extent() const;
+
+  /// Plain-text report: summary then one line per violation.
+  void write_text(std::ostream& out) const;
+
+  /// JSON document:
+  ///   {"design": "...", "total": N,
+  ///    "rules": [{"name": "...", "kind": "...", "count": n,
+  ///               "violations": [{"layer1": .., "layer2": ..,
+  ///                               "measured": .., "bbox": [x1,y1,x2,y2]}]}]}
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::string design_;
+  std::vector<entry> entries_;
+  mutable std::optional<geo::rtree> index_;
+};
+
+/// Marker box of one violation (joined MBR of its edges).
+[[nodiscard]] inline rect marker_box(const checks::violation& v) {
+  return v.e1.mbr().join(v.e2.mbr());
+}
+
+// ---------------------------------------------------------------------------
+// Report diffing (signoff regression workflow)
+// ---------------------------------------------------------------------------
+
+/// Identity of a violation as recorded in a text report: rule + kind +
+/// layers + marker box + measured value (the edges themselves are not
+/// persisted in reports).
+struct report_line {
+  std::string rule;
+  checks::rule_kind kind = checks::rule_kind::width;
+  std::int16_t layer1 = 0;
+  std::int16_t layer2 = 0;
+  rect box;
+  area_t measured = 0;
+
+  friend bool operator==(const report_line&, const report_line&) = default;
+  friend auto operator<=>(const report_line& a, const report_line& b) {
+    return std::tie(a.rule, a.layer1, a.layer2, a.box.x_min, a.box.y_min, a.box.x_max,
+                    a.box.y_max, a.measured) <=>
+           std::tie(b.rule, b.layer1, b.layer2, b.box.x_min, b.box.y_min, b.box.x_max,
+                    b.box.y_max, b.measured);
+  }
+};
+
+/// Parse a text report previously produced by violation_db::write_text (or
+/// the CLI's --report). Comment lines ('#') are skipped; malformed lines
+/// raise std::runtime_error with the line number.
+[[nodiscard]] std::vector<report_line> parse_text_report(std::istream& in);
+
+struct report_diff {
+  std::vector<report_line> fixed;      ///< present before, gone now
+  std::vector<report_line> introduced; ///< new in the current report
+
+  [[nodiscard]] bool clean() const { return introduced.empty(); }
+};
+
+/// Multiset difference between a baseline report and a current one.
+[[nodiscard]] report_diff diff_reports(std::vector<report_line> baseline,
+                                       std::vector<report_line> current);
+
+}  // namespace odrc::report

@@ -1,0 +1,397 @@
+#include "sweep/device_sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "checks/edge_checks.hpp"
+#include "device/device.hpp"
+
+namespace odrc::sweep {
+
+namespace {
+
+/// Violation record produced on the device: indices into the uploaded edge
+/// array plus the measured quantity. Converted host-side.
+struct hit {
+  std::uint32_t i;
+  std::uint32_t j;
+  area_t measured;
+};
+
+/// Device-side output cursor + pair counter, placed in the device arena.
+struct cursor_block {
+  std::atomic<std::uint32_t> count;
+  std::atomic<std::uint64_t> pairs;
+};
+
+/// Evaluate the configured predicate on a candidate pair. Returns the
+/// measured quantity when violating.
+std::optional<area_t> eval_pair(const packed_edge& a, const packed_edge& b,
+                                const device_check_config& cfg) {
+  switch (cfg.kind) {
+    case pair_check::width: {
+      if (a.poly != b.poly || a.group != 0 || b.group != 0) return std::nullopt;
+      if (auto d = checks::check_width_pair(a.to_edge(), b.to_edge(), cfg.distance)) {
+        return static_cast<area_t>(*d) * *d;
+      }
+      return std::nullopt;
+    }
+    case pair_check::spacing: {
+      if (a.group != 0 || b.group != 0) return std::nullopt;
+      const checks::spacing_table table =
+          cfg.table.count > 0 ? cfg.table : checks::spacing_table::simple(cfg.distance);
+      return checks::check_space_pair_table(a.to_edge(), b.to_edge(), a.poly == b.poly, table);
+    }
+    case pair_check::enclosure: {
+      // Ordered: inner = group 0, outer = group 1.
+      const packed_edge* inner = nullptr;
+      const packed_edge* outer = nullptr;
+      if (a.group == 0 && b.group == 1) {
+        inner = &a;
+        outer = &b;
+      } else if (a.group == 1 && b.group == 0) {
+        inner = &b;
+        outer = &a;
+      } else {
+        return std::nullopt;
+      }
+      if (auto m =
+              checks::check_enclosure_pair(inner->to_edge(), outer->to_edge(), cfg.distance)) {
+        return static_cast<area_t>(*m) * *m;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Convert device hits to violation records using the host copy of the
+/// uploaded edges.
+void convert_hits(std::span<const packed_edge> edges, std::span<const hit> hits,
+                  const device_check_config& cfg, std::vector<checks::violation>& out) {
+  for (const hit& h : hits) {
+    const packed_edge& a = edges[h.i];
+    const packed_edge& b = edges[h.j];
+    switch (cfg.kind) {
+      case pair_check::width:
+        out.push_back({checks::rule_kind::width, cfg.layer1, cfg.layer1, a.to_edge(), b.to_edge(),
+                       h.measured});
+        break;
+      case pair_check::spacing:
+        out.push_back({checks::rule_kind::spacing, cfg.layer1, cfg.layer1, a.to_edge(),
+                       b.to_edge(), h.measured});
+        break;
+      case pair_check::enclosure: {
+        const packed_edge& inner = a.group == 0 ? a : b;
+        const packed_edge& outer = a.group == 0 ? b : a;
+        out.push_back({checks::rule_kind::enclosure, cfg.layer1, cfg.layer2, inner.to_edge(),
+                       outer.to_edge(), h.measured});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// async_edge_check
+// ---------------------------------------------------------------------------
+
+struct async_edge_check::impl {
+  device::stream& s;
+  device_check_config cfg;
+  bool use_brute = false;
+
+  std::vector<packed_edge> edges;          // host copy in device order
+  std::vector<std::uint32_t> offsets;      // brute: per-polygon edge ranges
+  std::uint32_t inner_polys = 0;           // brute: count of group-0 polygons
+  device::buffer<packed_edge> dev_edges;
+  device::buffer<std::uint32_t> dev_aux;   // sweep: range_end; brute: offsets
+  cursor_block* cursor = nullptr;
+  device::buffer<hit> hit_buf;
+  std::uint32_t capacity = 0;
+  bool finished = false;
+
+  std::uint64_t launches_sweep = 0;
+  std::uint64_t launches_brute = 0;
+  std::uint64_t retries = 0;
+
+  explicit impl(device::stream& stream) : s(stream) {}
+
+  ~impl() {
+    if (cursor) {
+      s.synchronize();
+      cursor->~cursor_block();
+      s.ctx().free(cursor);
+    }
+  }
+
+  void enqueue_reset() {
+    cursor_block* c = cursor;
+    s.launch(1, 1, [c](device::thread_id) {
+      c->count.store(0, std::memory_order_relaxed);
+      c->pairs.store(0, std::memory_order_relaxed);
+    });
+  }
+
+  void enqueue_sweep_kernels(bool first_time) {
+    const auto n = static_cast<std::uint32_t>(edges.size());
+    constexpr std::uint32_t block = 128;
+    const std::uint32_t grid = (n + block - 1) / block;
+    packed_edge* ep = dev_edges.device_ptr();
+    std::uint32_t* rep = dev_aux.device_ptr();
+    const coord_t dist = cfg.distance;
+    const bool ax = cfg.axis == sweep_axis::x;
+
+    if (first_time) {
+      // Kernel 1: check-range scan. Edge i's candidates are the edges j > i
+      // (sorted by lower sweep-axis key) whose lower key is at most
+      // key_hi(i) + distance — a sound bound because violating pairs are
+      // within `distance` along every axis. Binary search per thread over
+      // the sorted keys.
+      s.launch(grid, block, [ep, rep, n, dist, ax](device::thread_id t) {
+        const std::uint32_t i = t.global();
+        if (i >= n) return;
+        const coord_t bound = static_cast<coord_t>(ep[i].key_hi(ax) + dist);
+        std::uint32_t lo = i + 1, hi = n;
+        while (lo < hi) {
+          const std::uint32_t mid = lo + (hi - lo) / 2;
+          if (ep[mid].key_lo(ax) <= bound) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        rep[i] = lo;
+      });
+    }
+
+    // Kernel 2: per-edge range checks through the atomic cursor.
+    hit* out_hits = hit_buf.device_ptr();
+    const std::uint32_t cap = capacity;
+    const device_check_config c = cfg;
+    cursor_block* cur = cursor;
+    s.launch(grid, block, [ep, rep, n, c, out_hits, cap, cur](device::thread_id t) {
+      const std::uint32_t i = t.global();
+      if (i >= n) return;
+      std::uint64_t tested = 0;
+      const std::uint32_t end = rep[i];
+      for (std::uint32_t j = i + 1; j < end; ++j) {
+        ++tested;
+        if (auto m = eval_pair(ep[i], ep[j], c)) {
+          const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
+          if (slot < cap) out_hits[slot] = {i, j, *m};
+        }
+      }
+      cur->pairs.fetch_add(tested, std::memory_order_relaxed);
+    });
+    ++launches_sweep;
+  }
+
+  void enqueue_brute_kernel() {
+    const auto poly_count = static_cast<std::uint32_t>(offsets.size() - 1);
+    // Task space: width -> one thread per polygon; spacing -> one thread per
+    // unordered polygon pair incl. the diagonal (notches); enclosure -> one
+    // thread per (inner, outer) pair.
+    std::uint64_t tasks = 0;
+    switch (cfg.kind) {
+      case pair_check::width: tasks = inner_polys; break;
+      case pair_check::spacing:
+        tasks = static_cast<std::uint64_t>(inner_polys) * (inner_polys + 1) / 2;
+        break;
+      case pair_check::enclosure:
+        tasks = static_cast<std::uint64_t>(inner_polys) * (poly_count - inner_polys);
+        break;
+    }
+    if (tasks == 0) return;
+
+    constexpr std::uint32_t block = 64;
+    const auto grid = static_cast<std::uint32_t>((tasks + block - 1) / block);
+    packed_edge* ep = dev_edges.device_ptr();
+    std::uint32_t* op = dev_aux.device_ptr();
+    hit* out_hits = hit_buf.device_ptr();
+    const std::uint32_t cap = capacity;
+    const device_check_config c = cfg;
+    const std::uint32_t inner = inner_polys;
+    cursor_block* cur = cursor;
+
+    s.launch(grid, block, [ep, op, c, tasks, inner, out_hits, cap, cur](device::thread_id t) {
+      const std::uint64_t task = t.global();
+      if (task >= tasks) return;
+      std::uint32_t pa = 0, pb = 0;
+      switch (c.kind) {
+        case pair_check::width:
+          pa = pb = static_cast<std::uint32_t>(task);
+          break;
+        case pair_check::spacing: {
+          // Row-major triangular decode over unordered pairs p <= q.
+          std::uint64_t rem = task;
+          std::uint32_t p = 0;
+          std::uint32_t row = inner;
+          while (rem >= row) {
+            rem -= row;
+            --row;
+            ++p;
+          }
+          pa = p;
+          pb = p + static_cast<std::uint32_t>(rem);
+          break;
+        }
+        case pair_check::enclosure:
+          pa = static_cast<std::uint32_t>(task % inner);
+          pb = inner + static_cast<std::uint32_t>(task / inner);
+          break;
+      }
+      std::uint64_t tested = 0;
+      const std::uint32_t a_lo = op[pa], a_hi = op[pa + 1];
+      const std::uint32_t b_lo = op[pb], b_hi = op[pb + 1];
+      for (std::uint32_t i = a_lo; i < a_hi; ++i) {
+        const std::uint32_t j_start = (pa == pb) ? i + 1 : b_lo;
+        for (std::uint32_t j = j_start; j < b_hi; ++j) {
+          ++tested;
+          if (auto m = eval_pair(ep[i], ep[j], c)) {
+            const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
+            if (slot < cap) out_hits[slot] = {i, j, *m};
+          }
+        }
+      }
+      cur->pairs.fetch_add(tested, std::memory_order_relaxed);
+    });
+    ++launches_brute;
+  }
+};
+
+async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> edges,
+                                   const device_check_config& cfg, executor_choice choice,
+                                   std::size_t brute_threshold)
+    : impl_(std::make_unique<impl>(s)) {
+  impl& st = *impl_;
+  st.cfg = cfg;
+  st.edges = std::move(edges);
+  if (st.edges.empty()) {
+    st.finished = true;  // nothing enqueued; finish() becomes a no-op
+    return;
+  }
+  st.use_brute = choice == executor_choice::brute ||
+                 (choice == executor_choice::automatic && st.edges.size() <= brute_threshold);
+
+  device::context& ctx = s.ctx();
+  const auto n = static_cast<std::uint32_t>(st.edges.size());
+
+  if (st.use_brute) {
+    // Group edges by (group, polygon) and build the offset table.
+    std::sort(st.edges.begin(), st.edges.end(), [](const packed_edge& a, const packed_edge& b) {
+      if (a.group != b.group) return a.group < b.group;
+      return a.poly < b.poly;
+    });
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i == 0 || st.edges[i].poly != st.edges[i - 1].poly ||
+          st.edges[i].group != st.edges[i - 1].group) {
+        st.offsets.push_back(i);
+        if (st.edges[i].group == 0) ++st.inner_polys;
+      }
+    }
+    st.offsets.push_back(n);
+    st.dev_aux = device::buffer<std::uint32_t>(st.offsets.size(), ctx);
+    st.dev_aux.upload(s, st.offsets);
+  } else {
+    // Sort by the lower sweep-axis key.
+    const bool ax = cfg.axis == sweep_axis::x;
+    std::sort(st.edges.begin(), st.edges.end(), [ax](const packed_edge& a, const packed_edge& b) {
+      return a.key_lo(ax) < b.key_lo(ax);
+    });
+    st.dev_aux = device::buffer<std::uint32_t>(n, ctx);
+  }
+
+  st.dev_edges = device::buffer<packed_edge>(n, ctx);
+  st.dev_edges.upload(s, st.edges);
+
+  st.cursor = static_cast<cursor_block*>(ctx.malloc(sizeof(cursor_block)));
+  new (st.cursor) cursor_block{};
+  st.capacity = 256;
+  st.hit_buf = device::buffer<hit>(st.capacity, ctx);
+
+  st.enqueue_reset();
+  if (st.use_brute) {
+    st.enqueue_brute_kernel();
+  } else {
+    st.enqueue_sweep_kernels(/*first_time=*/true);
+  }
+}
+
+async_edge_check::~async_edge_check() = default;
+async_edge_check::async_edge_check(async_edge_check&&) noexcept = default;
+async_edge_check& async_edge_check::operator=(async_edge_check&&) noexcept = default;
+
+void async_edge_check::finish(std::vector<checks::violation>& out, device_check_stats& stats) {
+  if (!impl_) return;  // moved-from
+  impl& st = *impl_;
+  if (st.finished) return;
+  st.finished = true;
+  device::stream& s = st.s;
+
+  for (;;) {
+    s.synchronize();
+    const std::uint32_t found = st.cursor->count.load(std::memory_order_relaxed);
+    const std::uint64_t pairs = st.cursor->pairs.load(std::memory_order_relaxed);
+    if (found <= st.capacity) {
+      stats.edge_pairs_tested += pairs;
+      std::vector<hit> hits(found);
+      if (found > 0) {
+        st.hit_buf.download(s, hits);
+        s.synchronize();
+      }
+      convert_hits(st.edges, hits, st.cfg, out);
+      break;
+    }
+    // Overflow: grow the output buffer and relaunch the check kernel (the
+    // range scan from kernel 1 is still valid).
+    ++st.retries;
+    st.capacity = found;
+    st.hit_buf = device::buffer<hit>(st.capacity, s.ctx());
+    st.enqueue_reset();
+    if (st.use_brute) {
+      st.enqueue_brute_kernel();
+    } else {
+      st.enqueue_sweep_kernels(/*first_time=*/false);
+    }
+  }
+
+  stats.edges_uploaded += st.edges.size();
+  stats.sweep_launches += st.launches_sweep;
+  stats.brute_launches += st.launches_brute;
+  stats.overflow_retries += st.retries;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous wrappers
+// ---------------------------------------------------------------------------
+
+void pack_polygon_edges(const polygon& poly, std::uint32_t poly_id, std::uint16_t group,
+                        std::vector<packed_edge>& out) {
+  const std::size_t n = poly.edge_count();
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const edge e = poly.edge_at(i);
+    out.push_back({e.from, e.to, poly_id, group, 0});
+  }
+}
+
+void device_check_edges_with(device::stream& s, std::span<const packed_edge> edges,
+                             const device_check_config& cfg, executor_choice choice,
+                             std::vector<checks::violation>& out, device_check_stats& stats,
+                             std::size_t brute_threshold) {
+  async_edge_check check(s, std::vector<packed_edge>(edges.begin(), edges.end()), cfg, choice,
+                         brute_threshold);
+  check.finish(out, stats);
+}
+
+void device_check_edges(device::stream& s, std::span<const packed_edge> edges,
+                        const device_check_config& cfg, std::vector<checks::violation>& out,
+                        device_check_stats& stats, std::size_t brute_threshold) {
+  device_check_edges_with(s, edges, cfg, executor_choice::automatic, out, stats, brute_threshold);
+}
+
+}  // namespace odrc::sweep

@@ -1,0 +1,65 @@
+#include "sweep/sweepline.hpp"
+
+#include <algorithm>
+
+namespace odrc::sweep {
+
+namespace {
+
+struct event {
+  coord_t y;
+  bool is_top;  // top side = insertion
+  std::uint32_t idx;
+};
+
+}  // namespace
+
+void overlap_pairs(std::span<const rect> rects,
+                   const std::function<void(std::uint32_t, std::uint32_t)>& report,
+                   sweep_stats* stats) {
+  std::vector<event> events;
+  events.reserve(rects.size() * 2);
+  for (std::uint32_t i = 0; i < rects.size(); ++i) {
+    if (rects[i].empty()) continue;
+    events.push_back({rects[i].y_max, true, i});
+    events.push_back({rects[i].y_min, false, i});
+  }
+  // Descending y; at equal y insert (top) before remove (bottom) so rects
+  // that merely touch still report as overlapping (closed semantics).
+  std::sort(events.begin(), events.end(), [](const event& a, const event& b) {
+    if (a.y != b.y) return a.y > b.y;
+    return a.is_top && !b.is_top;
+  });
+
+  interval_tree tree;
+  std::vector<std::uint32_t> hits;
+  sweep_stats local;
+  for (const event& e : events) {
+    ++local.events;
+    const rect& r = rects[e.idx];
+    const interval iv{r.x_min, r.x_max, e.idx};
+    if (e.is_top) {
+      hits.clear();
+      tree.query(iv, hits);
+      for (std::uint32_t other : hits) {
+        ++local.pairs_reported;
+        report(std::min(other, e.idx), std::max(other, e.idx));
+      }
+      tree.insert(iv);
+      local.max_live_intervals = std::max(local.max_live_intervals, tree.size());
+    } else {
+      tree.remove(iv);
+    }
+  }
+  if (stats) *stats += local;
+}
+
+void overlap_pairs_inflated(std::span<const rect> rects, coord_t inflate,
+                            const std::function<void(std::uint32_t, std::uint32_t)>& report,
+                            sweep_stats* stats) {
+  std::vector<rect> inflated(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) inflated[i] = rects[i].inflated(inflate);
+  overlap_pairs(inflated, report, stats);
+}
+
+}  // namespace odrc::sweep

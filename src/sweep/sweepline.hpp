@@ -1,0 +1,71 @@
+// Sweepline algorithms (paper Section IV-D, Fig. 3; Listing 2).
+//
+// The sequential mode detects potentially-violating object pairs by sweeping
+// a conceptual horizontal line from top to bottom over MBRs: when an MBR's
+// top side is reached its x-interval is inserted into an interval tree and
+// queried for overlaps; when its bottom side is reached the interval is
+// removed. Every pair of overlapping MBRs is reported exactly once.
+//
+// The generic `sweepline` functor reproduces the paper's Listing 2: the
+// executor parameter selects the CPU or the device path via compile-time
+// type traits (`constexpr if`), no runtime branching.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "device/device.hpp"
+#include "infra/execution.hpp"
+#include "infra/geometry.hpp"
+#include "infra/interval_tree.hpp"
+
+namespace odrc::sweep {
+
+struct sweep_stats {
+  std::uint64_t events = 0;
+  std::uint64_t pairs_reported = 0;
+  std::size_t max_live_intervals = 0;
+
+  sweep_stats& operator+=(const sweep_stats& o) {
+    events += o.events;
+    pairs_reported += o.pairs_reported;
+    max_live_intervals = std::max(max_live_intervals, o.max_live_intervals);
+    return *this;
+  }
+};
+
+/// Report every unordered pair (i, j), i < j, of rectangles whose closed
+/// extents overlap (touching counts). Empty rectangles never pair.
+/// Complexity O(n log n + k) with k pairs, the classic result of [1].
+void overlap_pairs(std::span<const rect> rects,
+                   const std::function<void(std::uint32_t, std::uint32_t)>& report,
+                   sweep_stats* stats = nullptr);
+
+/// Same, with every rectangle inflated by `inflate` before testing — the
+/// engine inflates by the rule distance so that MBR-disjoint pairs are
+/// soundly pruned (Section IV-C).
+void overlap_pairs_inflated(std::span<const rect> rects, coord_t inflate,
+                            const std::function<void(std::uint32_t, std::uint32_t)>& report,
+                            sweep_stats* stats = nullptr);
+
+/// Generic sweepline functor (paper Listing 2). Applies `op(status, event)`
+/// to every event in [first, last) in order. With a sequenced executor the
+/// loop runs inline on the host; with a device executor it is appended to
+/// the stream as a single-thread kernel, ordered after previously enqueued
+/// device work (event order is inherently sequential — the *parallel* device
+/// sweep restructures the problem instead, see device_sweep.hpp).
+template <execution::executor Executor, typename EventIt, typename Status, typename Op>
+void sweepline(Executor&& exec, EventIt first, EventIt last, Status* status, Op op) {
+  if constexpr (execution::is_sequenced_executor_v<Executor>) {
+    for (auto it = first; it != last; ++it) op(*status, *it);
+  } else {
+    static_assert(execution::is_device_executor_v<Executor>);
+    exec.stream->launch(1, 1, [first, last, status, op](device::thread_id) {
+      for (auto it = first; it != last; ++it) op(*status, *it);
+    });
+  }
+}
+
+}  // namespace odrc::sweep

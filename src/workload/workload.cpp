@@ -1,0 +1,483 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace odrc::workload {
+
+namespace {
+
+using db::cell_id;
+using db::library;
+
+constexpr coord_t H = tech::cell_height;
+constexpr coord_t CPP = tech::cpp;
+constexpr coord_t W18 = tech::wire_width;
+
+// ---------------------------------------------------------------------------
+// Standard-cell masters
+// ---------------------------------------------------------------------------
+
+// Add power rails (PWR layer, never checked) and M1 fingers with V1 cuts to
+// a master of `slots` CPP width. Fingers sit at x = 18 + 36j with 18 nm
+// margins to both cell borders, y in [36, 234]; the V1 cut is centered on
+// each finger with exactly the minimum 5 nm enclosure in x.
+void fill_master(db::cell& c, int slots) {
+  const coord_t w = static_cast<coord_t>(slots) * CPP;
+  c.add_rect(layers::PWR, {0, 0, w, W18});
+  c.add_rect(layers::PWR, {0, static_cast<coord_t>(H - W18), w, H});
+  for (coord_t x = W18; x + W18 <= w - W18; x += 2 * W18) {
+    c.add_rect(layers::M1, {x, 36, static_cast<coord_t>(x + W18), 234});
+    const coord_t vx = static_cast<coord_t>(x + (W18 - tech::via_size) / 2);
+    c.add_rect(layers::V1, {vx, 131, static_cast<coord_t>(vx + tech::via_size), 139});
+  }
+}
+
+// The DFF master gets one L-shaped M1 polygon (18 nm legs, no violations)
+// so non-rectangular rectilinear geometry is exercised everywhere.
+void fill_dff(db::cell& c, int slots) {
+  const coord_t w = static_cast<coord_t>(slots) * CPP;
+  c.add_rect(layers::PWR, {0, 0, w, W18});
+  c.add_rect(layers::PWR, {0, static_cast<coord_t>(H - W18), w, H});
+  // L-shape: vertical leg [18,36] x [36,234], horizontal foot [18,90] x [36,54].
+  c.add_polygon({layers::M1, 0,
+                 polygon{{{18, 36}, {18, 234}, {36, 234}, {36, 54}, {90, 54}, {90, 36}}},
+                 "dff_l"});
+  for (coord_t x = 108; x + W18 <= w - W18; x += 2 * W18) {
+    c.add_rect(layers::M1, {x, 36, static_cast<coord_t>(x + W18), 234});
+    const coord_t vx = static_cast<coord_t>(x + (W18 - tech::via_size) / 2);
+    c.add_rect(layers::V1, {vx, 131, static_cast<coord_t>(vx + tech::via_size), 139});
+  }
+}
+
+struct master_set {
+  cell_id filler;
+  // parallel arrays for random picking: (id, width in slots)
+  std::vector<std::pair<cell_id, int>> logic;
+};
+
+// A library of ~20 masters mirroring a small standard-cell kit: sized
+// inverters/buffers, 2-input gates, AOI/OAI combos, muxes/xors and flops.
+// Flop variants carry the L-shaped M1 polygon (fill_dff); everything else is
+// finger-style (fill_master). More distinct masters means more distinct memo
+// entries and a more realistic reuse distribution.
+master_set build_masters(library& lib) {
+  master_set m{};
+  auto make = [&](const char* name, int slots) {
+    const cell_id id = lib.add_cell(name);
+    fill_master(lib.at(id), slots);
+    m.logic.emplace_back(id, slots);
+    return id;
+  };
+  auto make_flop = [&](const char* name, int slots) {
+    const cell_id id = lib.add_cell(name);
+    fill_dff(lib.at(id), slots);
+    m.logic.emplace_back(id, slots);
+    return id;
+  };
+
+  m.filler = lib.add_cell("FILLERx1");
+  fill_master(lib.at(m.filler), 1);
+
+  make("INVx1", 1);
+  make("INVx2", 2);
+  make("INVx4", 3);
+  make("BUFx2", 2);
+  make("BUFx4", 3);
+  make("NAND2x1", 2);
+  make("NAND2x2", 3);
+  make("NOR2x1", 2);
+  make("NOR2x2", 3);
+  make("AND3x1", 3);
+  make("OR3x1", 3);
+  make("AOI21x1", 3);
+  make("AOI21x2", 4);
+  make("OAI21x1", 3);
+  make("OAI22x1", 4);
+  make("MUX2x1", 4);
+  make("XOR2x1", 5);
+  make("TAPCELL", 2);
+  make_flop("DFFx1", 5);
+  make_flop("DFFx2", 6);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+// Fill one row of `cols` slots of `target` with random cells; `row_in_cell`
+// is the row index within the target cell (y base = row_in_cell * H).
+// Alternate rows are mirrored about x (standard double-back rows).
+void place_row(library& lib, db::cell& target, const master_set& m, int row_in_cell, int cols,
+               std::mt19937_64& rng) {
+  const coord_t ybase = static_cast<coord_t>(row_in_cell) * H;
+  const bool flip = (row_in_cell % 2) != 0;
+  transform base;
+  base.reflect_x = flip;
+  // A reflected cell spans [-H, 0]; shift it up one row height.
+  const coord_t yoff = flip ? static_cast<coord_t>(ybase + H) : ybase;
+
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, m.logic.size() - 1);
+
+  int col = 0;
+  int filler_run = 0;
+  auto flush_fillers = [&](int end_col) {
+    if (filler_run == 0) return;
+    const int start = end_col - filler_run;
+    transform t = base;
+    t.offset = {static_cast<coord_t>(start) * CPP, yoff};
+    if (filler_run >= 4) {
+      // Long filler runs become AREFs, exercising array references.
+      db::cell_array a;
+      a.target = m.filler;
+      a.trans = t;
+      a.cols = static_cast<std::uint16_t>(filler_run);
+      a.rows = 1;
+      a.col_step = {CPP, 0};
+      target.add_array(a);
+    } else {
+      for (int k = 0; k < filler_run; ++k) {
+        transform tk = t;
+        tk.offset.x = static_cast<coord_t>((start + k)) * CPP;
+        target.add_ref({m.filler, tk});
+      }
+    }
+    filler_run = 0;
+  };
+
+  while (col < cols) {
+    if (u(rng) < 0.82) {
+      const auto& [id, slots] = m.logic[pick(rng)];
+      if (col + slots > cols) {
+        ++filler_run;
+        ++col;
+        continue;
+      }
+      flush_fillers(col);
+      transform t = base;
+      t.offset = {static_cast<coord_t>(col) * CPP, yoff};
+      target.add_ref({id, t});
+      col += slots;
+    } else {
+      ++filler_run;
+      ++col;
+    }
+  }
+  flush_fillers(cols);
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+struct m2_segment {
+  coord_t x0, x1, y_center;
+};
+
+// Horizontal M2 per row band: tracks at y = base + 27 + 36t (wire spans
+// +-9 nm), chopped into random segments separated by >= 1 CPP.
+std::vector<m2_segment> route_m2(db::cell& top, int rows, int cols, int tracks_per_row,
+                                 std::mt19937_64& rng) {
+  std::vector<m2_segment> segs;
+  const coord_t die_w = static_cast<coord_t>(cols) * CPP;
+  std::uniform_int_distribution<int> len_slots(8, 40);
+  std::uniform_int_distribution<int> gap_slots(1, 3);
+  for (int r = 0; r < rows; ++r) {
+    for (int t = 0; t < tracks_per_row; ++t) {
+      const coord_t yc = static_cast<coord_t>(r) * H + 27 + 36 * static_cast<coord_t>(t);
+      coord_t x = static_cast<coord_t>(gap_slots(rng)) * CPP;
+      while (x < die_w) {
+        const coord_t x1 = std::min<coord_t>(die_w, x + static_cast<coord_t>(len_slots(rng)) * CPP);
+        if (x1 - x >= 2 * CPP) {
+          top.add_rect(layers::M2, {x, static_cast<coord_t>(yc - 9), x1,
+                                    static_cast<coord_t>(yc + 9)});
+          segs.push_back({x, x1, yc});
+        }
+        x = x1 + static_cast<coord_t>(gap_slots(rng)) * CPP;
+      }
+    }
+  }
+  return segs;
+}
+
+struct m3_wire {
+  coord_t x0;  // left edge; width 18
+  coord_t y0, y1;
+};
+
+// Vertical M3 wires on a 36 nm grid of columns, spanning random row ranges.
+// Wire counts beyond the column count wrap around and stack further segments
+// in already-used columns, separated vertically by at least one row — this
+// is what makes the jpeg analogue's M3 dense enough to hurt flat evaluation
+// while staying violation-free.
+std::vector<m3_wire> route_m3(db::cell& top, int rows, int cols, int wires,
+                              std::mt19937_64& rng) {
+  std::vector<m3_wire> out;
+  const coord_t die_w = static_cast<coord_t>(cols) * CPP;
+  const int grid_slots = static_cast<int>(die_w / 36) - 1;
+  if (grid_slots <= 0 || wires <= 0) return out;
+  std::vector<int> slots(static_cast<std::size_t>(grid_slots));
+  for (int i = 0; i < grid_slots; ++i) slots[static_cast<std::size_t>(i)] = i;
+  std::shuffle(slots.begin(), slots.end(), rng);
+  // Next free row per column (wires in one column stack upward with a
+  // one-row gap, keeping same-column spacing trivially met).
+  std::vector<int> next_row(static_cast<std::size_t>(grid_slots), 0);
+  std::uniform_int_distribution<int> span_pick(2, std::max(2, rows / 2));
+  std::uniform_int_distribution<int> gap_pick(1, 2);
+  for (int i = 0; i < wires; ++i) {
+    const std::size_t slot_idx = static_cast<std::size_t>(i % grid_slots);
+    const coord_t x = static_cast<coord_t>(slots[slot_idx]) * 36;
+    const int r0 = next_row[slot_idx];
+    if (r0 >= rows - 1) continue;  // column full
+    const int r1 = std::min(rows, r0 + span_pick(rng));
+    const coord_t y0 = static_cast<coord_t>(r0) * H;
+    const coord_t y1 = static_cast<coord_t>(r1) * H;
+    top.add_rect(layers::M3, {x, y0, static_cast<coord_t>(x + W18), y1});
+    out.push_back({x, y0, y1});
+    next_row[slot_idx] = r1 + gap_pick(rng);
+  }
+  return out;
+}
+
+// V2 cuts where an M3 wire crosses an M2 segment that fully covers the M3
+// footprint (guaranteeing >= 5 nm enclosure on every side in both layers).
+void drop_v2(db::cell& top, const std::vector<m2_segment>& m2, const std::vector<m3_wire>& m3,
+             double density, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (const m3_wire& w : m3) {
+    for (const m2_segment& s : m2) {
+      if (s.y_center - 9 < w.y0 || s.y_center + 9 > w.y1) continue;  // no crossing
+      if (s.x0 > w.x0 || s.x1 < w.x0 + W18) continue;                // partial coverage
+      if (u(rng) >= density) continue;
+      const coord_t vx = static_cast<coord_t>(w.x0 + (W18 - tech::via_size) / 2);
+      const coord_t vy = static_cast<coord_t>(s.y_center - tech::via_size / 2);
+      top.add_rect(layers::V2, {vx, vy, static_cast<coord_t>(vx + tech::via_size),
+                                static_cast<coord_t>(vy + tech::via_size)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Violation injection
+// ---------------------------------------------------------------------------
+
+// Injected sites live in a strip below the placement (y in [-420, -80]),
+// spaced 300 nm apart so sites never interact with each other or with the
+// fabric. Every site's geometry is chosen to violate exactly the intended
+// rule and no other (see the per-kind comments).
+class injector {
+ public:
+  injector(db::cell& top, std::vector<site>& sites) : top_(top), sites_(sites) {}
+
+  void width(db::layer_t layer) {
+    // 10 x 100 nm bar: one interior-facing pair at 10 < 18; area 1000 is
+    // compliant; isolated, so no spacing effect.
+    const coord_t x = next_x();
+    const rect r{x, -400, static_cast<coord_t>(x + 10), -300};
+    top_.add_rect(layer, r);
+    sites_.push_back({checks::rule_kind::width, layer, layer, r});
+  }
+
+  void spacing(db::layer_t layer) {
+    // Two compliant 18 x 100 bars with a 10 nm gap.
+    const coord_t x = next_x();
+    const rect a{x, -400, static_cast<coord_t>(x + 18), -300};
+    const rect b{static_cast<coord_t>(x + 28), -400, static_cast<coord_t>(x + 46), -300};
+    top_.add_rect(layer, a);
+    top_.add_rect(layer, b);
+    sites_.push_back({checks::rule_kind::spacing, layer, layer, a.join(b)});
+  }
+
+  void area(db::layer_t layer) {
+    // 20 x 20 square: area 400 < 1000; width 20 is compliant.
+    const coord_t x = next_x();
+    const rect r{x, -400, static_cast<coord_t>(x + 20), -380};
+    top_.add_rect(layer, r);
+    sites_.push_back({checks::rule_kind::area, layer, layer, r});
+  }
+
+  void enclosure(db::layer_t via_layer, db::layer_t bad_metal, db::layer_t good_metal) {
+    // An 8 x 8 via with margin 1 on the left in `bad_metal` (violating) and
+    // margin >= 5 everywhere in `good_metal` (so the via stays compliant
+    // under the *other* enclosure rule). Metal dimensions keep width and
+    // area compliant.
+    const coord_t x = next_x();
+    const rect via{static_cast<coord_t>(x + 6), -394, static_cast<coord_t>(x + 14), -386};
+    const rect bad{static_cast<coord_t>(x + 5), -400, static_cast<coord_t>(x + 66), -380};
+    const rect good{static_cast<coord_t>(x + 1), -399, static_cast<coord_t>(x + 61), -379};
+    top_.add_rect(via_layer, via);
+    top_.add_rect(bad_metal, bad);
+    if (good_metal != bad_metal) top_.add_rect(good_metal, good);
+    sites_.push_back({checks::rule_kind::enclosure, via_layer, bad_metal, via.join(bad)});
+  }
+
+ private:
+  coord_t next_x() {
+    const coord_t x = cursor_;
+    cursor_ += 300;
+    return x;
+  }
+
+  db::cell& top_;
+  std::vector<site>& sites_;
+  coord_t cursor_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+std::size_t generated::site_count(checks::rule_kind kind, db::layer_t l1, db::layer_t l2) const {
+  std::size_t n = 0;
+  for (const site& s : sites) {
+    if (s.kind != kind || s.layer1 != l1) continue;
+    if (kind == checks::rule_kind::enclosure && l2 >= 0 && s.layer2 != l2) continue;
+    ++n;
+  }
+  return n;
+}
+
+const std::vector<std::string>& design_names() {
+  static const std::vector<std::string> names{"aes", "ethmac", "ibex", "jpeg", "sha3", "uart"};
+  return names;
+}
+
+design_spec spec_for(std::string_view design, double scale) {
+  design_spec s;
+  s.name = std::string{design};
+  // Relative scales follow the paper's designs: ethmac largest, jpeg with a
+  // pathologically dense M3, uart/ibex small.
+  if (design == "aes") {
+    s.rows = 48;
+    s.cols = 160;
+    s.m2_tracks_per_row = 4;
+    s.m3_wires = 120;
+    s.block_rows = 4;
+    s.seed = 0xAE5;
+  } else if (design == "ethmac") {
+    s.rows = 72;
+    s.cols = 220;
+    s.m2_tracks_per_row = 4;
+    s.m3_wires = 240;
+    s.block_rows = 4;
+    s.seed = 0xE7;
+  } else if (design == "ibex") {
+    s.rows = 20;
+    s.cols = 64;
+    s.m2_tracks_per_row = 3;
+    s.m3_wires = 40;
+    s.block_rows = 1;
+    s.seed = 0x1BE;
+  } else if (design == "jpeg") {
+    s.rows = 48;
+    s.cols = 160;
+    s.m2_tracks_per_row = 4;
+    s.m3_wires = 1400;  // dense long-range M3: the flat/deep killer
+    s.block_rows = 4;
+    s.seed = 0x39E6;
+  } else if (design == "sha3") {
+    s.rows = 40;
+    s.cols = 130;
+    s.m2_tracks_per_row = 3;
+    s.m3_wires = 90;
+    s.block_rows = 2;
+    s.seed = 0x5A3;
+  } else if (design == "uart") {
+    s.rows = 10;
+    s.cols = 40;
+    s.m2_tracks_per_row = 3;
+    s.m3_wires = 16;
+    s.block_rows = 1;
+    s.seed = 0x0A27;
+  } else {
+    throw std::invalid_argument("unknown design '" + std::string{design} + "'");
+  }
+  if (scale != 1.0) {
+    auto sc = [scale](int v) { return std::max(2, static_cast<int>(std::lround(v * scale))); };
+    s.rows = sc(s.rows);
+    s.cols = sc(s.cols);
+    s.m3_wires = sc(s.m3_wires);
+    s.block_rows = std::min(s.block_rows, s.rows / 2);
+    if (s.block_rows < 1) s.block_rows = 1;
+  }
+  return s;
+}
+
+generated generate(const design_spec& spec) {
+  generated g;
+  g.spec = spec;
+  g.lib.set_name(spec.name);
+  std::mt19937_64 rng(spec.seed);
+
+  const master_set masters = build_masters(g.lib);
+
+  // Placement, optionally grouped into an AREF'd block of block_rows rows.
+  const cell_id top = g.lib.add_cell(spec.name + "_top");
+  int placed_rows = 0;
+  if (spec.block_rows > 1 && spec.rows >= 2 * spec.block_rows) {
+    const cell_id block = g.lib.add_cell(spec.name + "_block");
+    // block_rows must stay even so mirrored rows stack correctly across
+    // block replicas.
+    const int brows = spec.block_rows % 2 == 0 ? spec.block_rows : spec.block_rows + 1;
+    for (int r = 0; r < brows; ++r) {
+      place_row(g.lib, g.lib.at(block), masters, r, spec.cols, rng);
+    }
+    const int copies = spec.rows / brows;
+    db::cell_array a;
+    a.target = block;
+    a.cols = 1;
+    a.rows = static_cast<std::uint16_t>(copies);
+    a.row_step = {0, static_cast<coord_t>(brows) * H};
+    g.lib.at(top).add_array(a);
+    placed_rows = copies * brows;
+  }
+  for (int r = placed_rows; r < spec.rows; ++r) {
+    place_row(g.lib, g.lib.at(top), masters, r, spec.cols, rng);
+  }
+
+  // Guarantee every master is instantiated: an unreferenced master would
+  // otherwise read as an extra top cell of the library. Unused masters (small
+  // designs may never pick some) go into an isolated scrap row far below the
+  // die, one instance each, violation-free.
+  {
+    std::vector<bool> used(g.lib.cell_count(), false);
+    for (const db::cell& c : g.lib.cells()) {
+      for (const db::cell_ref& r : c.refs()) used[r.target] = true;
+      for (const db::cell_array& a : c.arrays()) used[a.target] = true;
+    }
+    coord_t scrap_x = 0;
+    used[top] = true;
+    for (cell_id id = 0; id < g.lib.cell_count(); ++id) {
+      if (used[id]) continue;
+      g.lib.at(top).add_ref({id, transform{{scrap_x, -1000}, 0, false, 1}});
+      scrap_x += 8 * CPP;
+    }
+  }
+
+  // Routing fabric (direct polygons of the top cell).
+  const auto m2 = route_m2(g.lib.at(top), spec.rows, spec.cols, spec.m2_tracks_per_row, rng);
+  const auto m3 = route_m3(g.lib.at(top), spec.rows, spec.cols, spec.m3_wires, rng);
+  drop_v2(g.lib.at(top), m2, m3, spec.via2_density, rng);
+
+  // Injected violations with recorded ground truth.
+  injector inj(g.lib.at(top), g.sites);
+  for (const db::layer_t m : {layers::M1, layers::M2, layers::M3}) {
+    for (int i = 0; i < spec.inject.width; ++i) inj.width(m);
+    for (int i = 0; i < spec.inject.spacing; ++i) inj.spacing(m);
+    for (int i = 0; i < spec.inject.area; ++i) inj.area(m);
+  }
+  for (int i = 0; i < spec.inject.enclosure; ++i) {
+    inj.enclosure(layers::V1, layers::M1, layers::M1);
+    inj.enclosure(layers::V2, layers::M2, layers::M3);
+    inj.enclosure(layers::V2, layers::M3, layers::M2);
+  }
+  return g;
+}
+
+}  // namespace odrc::workload

@@ -1,0 +1,108 @@
+// Synthetic ASAP7-like benchmark layout generator.
+//
+// The paper evaluates on GDSII layouts synthesized by the OpenROAD flow with
+// the ASAP7 PDK for six designs (aes, ethmac, ibex, jpeg, sha3, uart). Those
+// flow outputs are not redistributable, so this module generates layouts
+// with the same *structural properties the paper's algorithms exploit*:
+//
+//  - a standard-cell library of rectilinear masters (M1 fingers + V1 cuts),
+//    instantiated thousands of times via SREF/AREF -> hierarchy reuse;
+//  - row-based placement with non-overlapping rows -> the adaptive row
+//    partition's intuition 1;
+//  - per-row horizontal M2 routing and die-spanning vertical M3 routing with
+//    V2 cuts at crossings -> inter-polygon spacing/enclosure workloads whose
+//    x-extents separate into clips (intuition 2);
+//  - per-design size parameters calibrated to the six designs' relative
+//    scales, including a jpeg analogue whose dense M3 makes flat evaluation
+//    blow up (the paper's 316 s / 3588 s row in Table II).
+//
+// Geometry follows ASAP7-flavoured BEOL numerology in 1 nm dbu: 18 nm wire
+// width and spacing, 54 nm cell pitch (CPP), 270 nm cell height, 8 nm via
+// cuts with 5 nm enclosure. The baseline design is violation-free by
+// construction; violations are injected at recorded marker sites so tests
+// and benches have exact ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checks/violation.hpp"
+#include "db/layout.hpp"
+
+namespace odrc::workload {
+
+/// BEOL layer numbers used by the generated layouts.
+struct layers {
+  static constexpr db::layer_t M1 = 19;
+  static constexpr db::layer_t M2 = 20;
+  static constexpr db::layer_t M3 = 30;
+  static constexpr db::layer_t V1 = 21;
+  static constexpr db::layer_t V2 = 25;
+  /// Power rails; present for realism, never rule-checked.
+  static constexpr db::layer_t PWR = 18;
+};
+
+/// Technology numbers shared by the generator and the rule decks.
+struct tech {
+  static constexpr coord_t wire_width = 18;   ///< metal width (all layers)
+  static constexpr coord_t wire_space = 18;   ///< minimum spacing
+  static constexpr coord_t cpp = 54;          ///< contacted poly pitch
+  static constexpr coord_t cell_height = 270;
+  static constexpr coord_t via_size = 8;
+  static constexpr coord_t via_enclosure = 5;
+  static constexpr area_t min_area = 1000;    ///< nm^2
+};
+
+/// How many violations of each kind to inject (per relevant layer).
+struct inject_spec {
+  int width = 0;      ///< pinched shapes, per metal layer
+  int spacing = 0;    ///< too-close shape pairs, per metal layer
+  int enclosure = 0;  ///< off-center vias, per via layer
+  int area = 0;       ///< too-small shapes, per metal layer
+};
+
+/// Per-design generation parameters.
+struct design_spec {
+  std::string name;
+  int rows = 8;                ///< placement rows
+  int cols = 32;               ///< cell slots per row (1 slot = 1 CPP)
+  int m2_tracks_per_row = 3;   ///< horizontal M2 routing tracks per row band
+  int m3_wires = 16;           ///< vertical M3 wires across the die
+  int block_rows = 1;          ///< >1: group rows into an AREF'd block cell
+  double via2_density = 0.4;   ///< fraction of M2/M3 crossings receiving a V2
+  std::uint64_t seed = 1;
+  inject_spec inject;
+};
+
+/// One injected violation site: what was injected and a marker rectangle
+/// covering the offending geometry (top coordinates).
+struct site {
+  checks::rule_kind kind;
+  db::layer_t layer1;
+  db::layer_t layer2;
+  rect marker;
+};
+
+struct generated {
+  db::library lib;
+  std::vector<site> sites;
+  design_spec spec;
+
+  /// Injected sites matching a rule (layer2 ignored unless enclosure).
+  [[nodiscard]] std::size_t site_count(checks::rule_kind kind, db::layer_t l1,
+                                       db::layer_t l2 = -1) const;
+};
+
+/// The six paper designs, scaled by `scale` (1.0 = calibrated default; tests
+/// use ~0.1 for speed). Throws on unknown names.
+[[nodiscard]] design_spec spec_for(std::string_view design, double scale = 1.0);
+
+/// Names in paper order: aes, ethmac, ibex, jpeg, sha3, uart.
+[[nodiscard]] const std::vector<std::string>& design_names();
+
+/// Generate the layout for a spec.
+[[nodiscard]] generated generate(const design_spec& spec);
+
+}  // namespace odrc::workload

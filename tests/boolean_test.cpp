@@ -1,0 +1,211 @@
+// Boolean mask operation tests: hand cases plus an exhaustive grid-raster
+// oracle over random rectangle/polygon soups.
+#include "geo/boolean.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "infra/disjoint_set.hpp"
+
+namespace odrc::geo {
+namespace {
+
+std::vector<polygon> polys(std::initializer_list<rect> rs) {
+  std::vector<polygon> out;
+  for (const rect& r : rs) out.push_back(polygon::from_rect(r));
+  return out;
+}
+
+area_t total_area(const std::vector<rect>& rs) {
+  area_t a = 0;
+  for (const rect& r : rs) a += r.area();
+  return a;
+}
+
+// The slabs must be pairwise interior-disjoint.
+void expect_disjoint(const std::vector<rect>& rs) {
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    for (std::size_t j = i + 1; j < rs.size(); ++j) {
+      EXPECT_FALSE(rs[i].overlaps_strictly(rs[j])) << rs[i] << " vs " << rs[j];
+    }
+  }
+}
+
+TEST(Boolean, EmptyInputs) {
+  EXPECT_TRUE(boolean_rects(std::span<const polygon>{}, {}, bool_op::unite).empty());
+  const auto a = polys({{0, 0, 10, 10}});
+  EXPECT_TRUE(boolean_rects({}, a, bool_op::subtract).empty());
+  EXPECT_TRUE(boolean_rects(a, {}, bool_op::intersect).empty());
+  EXPECT_EQ(boolean_area(a, {}, bool_op::unite), 100);
+}
+
+TEST(Boolean, DisjointUnion) {
+  const auto a = polys({{0, 0, 10, 10}});
+  const auto b = polys({{20, 0, 30, 10}});
+  const auto u = boolean_rects(a, b, bool_op::unite);
+  EXPECT_EQ(total_area(u), 200);
+  expect_disjoint(u);
+}
+
+TEST(Boolean, OverlapCases) {
+  const auto a = polys({{0, 0, 10, 10}});
+  const auto b = polys({{5, 5, 15, 15}});
+  EXPECT_EQ(boolean_area(a, b, bool_op::unite), 175);
+  EXPECT_EQ(boolean_area(a, b, bool_op::intersect), 25);
+  EXPECT_EQ(boolean_area(a, b, bool_op::subtract), 75);
+  EXPECT_EQ(boolean_area(a, b, bool_op::exclusive_or), 150);
+}
+
+TEST(Boolean, AbuttingShapesMergeInUnion) {
+  const auto a = polys({{0, 0, 10, 10}, {10, 0, 20, 10}});
+  const auto u = boolean_rects(a, {}, bool_op::unite);
+  EXPECT_EQ(total_area(u), 200);
+  // Coalesced horizontally into one slab.
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0], (rect{0, 0, 20, 10}));
+}
+
+TEST(Boolean, SelfOverlapCountsOnce) {
+  const auto a = polys({{0, 0, 10, 10}, {0, 0, 10, 10}, {5, 0, 15, 10}});
+  EXPECT_EQ(boolean_area(a, {}, bool_op::unite), 150);
+}
+
+TEST(Boolean, SubtractPunchesHole) {
+  // A ring: 30x30 minus 10x10 centered — area 800, and the XOR equals the
+  // subtract when B is inside A.
+  const auto a = polys({{0, 0, 30, 30}});
+  const auto b = polys({{10, 10, 20, 20}});
+  EXPECT_EQ(boolean_area(a, b, bool_op::subtract), 800);
+  EXPECT_EQ(boolean_area(a, b, bool_op::exclusive_or), 800);
+  expect_disjoint(boolean_rects(a, b, bool_op::subtract));
+}
+
+TEST(Boolean, LShapePolygonInput) {
+  // Non-rectangle rectilinear input: L-shape area 18*100 + 42*18.
+  std::vector<polygon> a{
+      polygon{{{0, 0}, {0, 100}, {18, 100}, {18, 18}, {60, 18}, {60, 0}}}};
+  EXPECT_EQ(boolean_area(a, {}, bool_op::unite), 18 * 100 + 42 * 18);
+  const auto clipped = boolean_area(a, polys({{0, 0, 200, 18}}), bool_op::intersect);
+  EXPECT_EQ(clipped, 60 * 18);
+}
+
+TEST(Boolean, MergedRectsConvenience) {
+  const auto m = merged_rects(polys({{0, 0, 10, 10}, {5, 5, 15, 15}}));
+  EXPECT_EQ(total_area(m), 175);
+  expect_disjoint(m);
+}
+
+// ---------------------------------------------------------------------------
+// Grid-raster oracle
+// ---------------------------------------------------------------------------
+
+class BooleanOracle : public ::testing::TestWithParam<std::tuple<int, bool_op>> {};
+
+TEST_P(BooleanOracle, MatchesRasterization) {
+  const int seed = std::get<0>(GetParam());
+  const bool_op op = std::get<1>(GetParam());
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<coord_t> pos(0, 48);
+  std::uniform_int_distribution<coord_t> len(1, 14);
+
+  constexpr int G = 64;
+  std::vector<rect> ra, rb;
+  for (int i = 0; i < 12; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    ra.push_back({x, y, std::min<coord_t>(G, x + len(rng)), std::min<coord_t>(G, y + len(rng))});
+  }
+  for (int i = 0; i < 12; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    rb.push_back({x, y, std::min<coord_t>(G, x + len(rng)), std::min<coord_t>(G, y + len(rng))});
+  }
+
+  // Oracle: rasterize onto unit cells. Cell (x, y) covers [x, x+1] x [y, y+1].
+  auto rasterize = [&](const std::vector<rect>& rs) {
+    std::vector<std::vector<bool>> grid(G, std::vector<bool>(G, false));
+    for (const rect& r : rs) {
+      for (coord_t x = r.x_min; x < r.x_max; ++x) {
+        for (coord_t y = r.y_min; y < r.y_max; ++y) {
+          grid[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = true;
+        }
+      }
+    }
+    return grid;
+  };
+  const auto ga = rasterize(ra);
+  const auto gb = rasterize(rb);
+
+  const auto result = boolean_rects(std::span<const rect>(ra), rb, op);
+  expect_disjoint(result);
+  const auto gr = rasterize(result);
+
+  for (int x = 0; x < G; ++x) {
+    for (int y = 0; y < G; ++y) {
+      const bool a = ga[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+      const bool b = gb[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+      bool want = false;
+      switch (op) {
+        case bool_op::unite: want = a || b; break;
+        case bool_op::intersect: want = a && b; break;
+        case bool_op::subtract: want = a && !b; break;
+        case bool_op::exclusive_or: want = a != b; break;
+      }
+      EXPECT_EQ(gr[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)], want)
+          << "cell " << x << "," << y << " op " << static_cast<int>(op);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BooleanOracle,
+                         ::testing::Combine(::testing::Range(1, 7),
+                                            ::testing::Values(bool_op::unite, bool_op::intersect,
+                                                              bool_op::subtract,
+                                                              bool_op::exclusive_or)));
+
+// ---------------------------------------------------------------------------
+// Connected components
+// ---------------------------------------------------------------------------
+
+TEST(Components, GroupsTouchingRects) {
+  const std::vector<rect> rs{
+      {0, 0, 10, 10}, {10, 0, 20, 10},   // touching pair -> one component
+      {50, 50, 60, 60},                  // isolated
+  };
+  const auto comps = connected_components(rs);
+  ASSERT_EQ(comps.size(), 2u);
+  const auto& big = comps[0].members.size() == 2 ? comps[0] : comps[1];
+  const auto& small = comps[0].members.size() == 2 ? comps[1] : comps[0];
+  EXPECT_EQ(big.area, 200);
+  EXPECT_EQ(big.mbr, (rect{0, 0, 20, 10}));
+  EXPECT_EQ(small.area, 100);
+}
+
+TEST(Components, EmptyInput) {
+  EXPECT_TRUE(connected_components({}).empty());
+}
+
+TEST(Components, ChainTransitivity) {
+  std::vector<rect> rs;
+  for (int i = 0; i < 20; ++i) {
+    rs.push_back({static_cast<coord_t>(i * 10), 0, static_cast<coord_t>(i * 10 + 10), 5});
+  }
+  const auto comps = connected_components(rs);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].members.size(), 20u);
+  EXPECT_EQ(comps[0].area, 20 * 50);
+}
+
+TEST(DisjointSet, Basics) {
+  disjoint_set ds(5);
+  EXPECT_FALSE(ds.same(0, 1));
+  EXPECT_TRUE(ds.unite(0, 1));
+  EXPECT_FALSE(ds.unite(0, 1));
+  EXPECT_TRUE(ds.unite(1, 2));
+  EXPECT_TRUE(ds.same(0, 2));
+  EXPECT_EQ(ds.set_size(2), 3u);
+  EXPECT_EQ(ds.set_size(4), 1u);
+  EXPECT_EQ(ds.element_count(), 5u);
+}
+
+}  // namespace
+}  // namespace odrc::geo

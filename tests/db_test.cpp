@@ -1,0 +1,219 @@
+// Layout database tests: library/cell bookkeeping, topological order, the
+// layer-wise MBR hierarchy and its query pruning.
+#include "db/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "db/mbr_index.hpp"
+
+namespace odrc::db {
+namespace {
+
+// Small three-level library:
+//   leafA: one polygon on layer 1 ([0,0..10,10])
+//   leafB: polygons on layers 1 and 2
+//   mid:   refs leafA at (100, 0), leafB rotated 90 at (0, 100)
+//   top:   refs mid at (0,0) and an AREF of leafA 3x2 at (1000, 1000), step (50, 40)
+struct fixture {
+  library lib;
+  cell_id leaf_a, leaf_b, mid, top;
+
+  fixture() {
+    leaf_a = lib.add_cell("leafA");
+    lib.at(leaf_a).add_rect(1, {0, 0, 10, 10});
+    leaf_b = lib.add_cell("leafB");
+    lib.at(leaf_b).add_rect(1, {0, 0, 4, 4});
+    lib.at(leaf_b).add_rect(2, {0, 0, 20, 2});
+    mid = lib.add_cell("mid");
+    lib.at(mid).add_ref({leaf_a, transform{{100, 0}, 0, false, 1}});
+    lib.at(mid).add_ref({leaf_b, transform{{0, 100}, 1, false, 1}});
+    top = lib.add_cell("top");
+    lib.at(top).add_ref({mid, transform{}});
+    cell_array a;
+    a.target = leaf_a;
+    a.trans.offset = {1000, 1000};
+    a.cols = 3;
+    a.rows = 2;
+    a.col_step = {50, 0};
+    a.row_step = {0, 40};
+    lib.at(top).add_array(a);
+  }
+};
+
+TEST(Library, AddAndFind) {
+  fixture f;
+  EXPECT_EQ(f.lib.cell_count(), 4u);
+  EXPECT_EQ(f.lib.find("mid"), f.mid);
+  EXPECT_FALSE(f.lib.find("nope").has_value());
+  EXPECT_THROW(f.lib.add_cell("mid"), std::invalid_argument);
+}
+
+TEST(Library, TopCells) {
+  fixture f;
+  const auto tops = f.lib.top_cells();
+  ASSERT_EQ(tops.size(), 1u);
+  EXPECT_EQ(tops[0], f.top);
+}
+
+TEST(Library, TopologicalOrder) {
+  fixture f;
+  const auto order = f.lib.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[f.leaf_a], pos[f.mid]);
+  EXPECT_LT(pos[f.leaf_b], pos[f.mid]);
+  EXPECT_LT(pos[f.mid], pos[f.top]);
+}
+
+TEST(Library, CycleDetection) {
+  library lib;
+  const cell_id a = lib.add_cell("a");
+  const cell_id b = lib.add_cell("b");
+  lib.at(a).add_ref({b, transform{}});
+  lib.at(b).add_ref({a, transform{}});
+  EXPECT_THROW(lib.topological_order(), std::runtime_error);
+}
+
+TEST(Library, HierarchyDepth) {
+  fixture f;
+  EXPECT_EQ(f.lib.hierarchy_depth(), 3u);  // top -> mid -> leaf
+  library flat;
+  const cell_id only = flat.add_cell("only");
+  flat.at(only).add_rect(1, {0, 0, 1, 1});
+  EXPECT_EQ(flat.hierarchy_depth(), 1u);
+}
+
+TEST(Library, ExpandedPolygonCount) {
+  fixture f;
+  // top: mid (leafA 1 + leafB 2) + AREF 3*2 of leafA (1 poly) = 3 + 6 = 9.
+  EXPECT_EQ(f.lib.expanded_polygon_count(), 9u);
+}
+
+TEST(Cell, InstanceCountAndLeaf) {
+  fixture f;
+  EXPECT_TRUE(f.lib.at(f.leaf_a).leaf());
+  EXPECT_FALSE(f.lib.at(f.top).leaf());
+  EXPECT_EQ(f.lib.at(f.top).instance_count(), 1u + 6u);
+}
+
+TEST(CellArray, InstanceTransforms) {
+  cell_array a;
+  a.trans.offset = {10, 20};
+  a.cols = 3;
+  a.rows = 2;
+  a.col_step = {5, 0};
+  a.row_step = {0, 7};
+  EXPECT_EQ(a.count(), 6u);
+  EXPECT_EQ(a.instance(0, 0).offset, (point{10, 20}));
+  EXPECT_EQ(a.instance(2, 1).offset, (point{20, 27}));
+}
+
+// ---------------------------------------------------------------------------
+// mbr_index
+// ---------------------------------------------------------------------------
+
+TEST(MbrIndex, LayersDiscovered) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  EXPECT_EQ(idx.layers(), (std::vector<layer_t>{1, 2}));
+}
+
+TEST(MbrIndex, LeafMbrs) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  EXPECT_EQ(idx.cell_mbr(f.leaf_a, 1), (rect{0, 0, 10, 10}));
+  EXPECT_TRUE(idx.cell_mbr(f.leaf_a, 2).empty());
+  EXPECT_EQ(idx.cell_mbr(f.leaf_b, 2), (rect{0, 0, 20, 2}));
+}
+
+TEST(MbrIndex, TransformedChildMbrsFold) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  // mid layer 1: leafA at (100,0) -> [100..110, 0..10]; leafB rotated 90 at
+  // (0,100): leafB L1 [0..4]^2 -> rotated [-4..0, 0..4] + (0,100).
+  EXPECT_EQ(idx.cell_mbr(f.mid, 1), (rect{-4, 0, 110, 104}));
+  // mid layer 2: leafB L2 [0..20, 0..2] rotated 90 -> [-2..0, 0..20] + (0,100).
+  EXPECT_EQ(idx.cell_mbr(f.mid, 2), (rect{-2, 100, 0, 120}));
+  // top layer 1 includes the AREF extent: instances span x 1000..1110+10,
+  // y 1000..1040+10.
+  const rect t1 = idx.cell_mbr(f.top, 1);
+  EXPECT_EQ(t1.x_max, 1110);
+  EXPECT_EQ(t1.y_max, 1050);
+  EXPECT_EQ(t1.x_min, -4);
+}
+
+TEST(MbrIndex, HasLayerReflectsTransitiveContent) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  EXPECT_TRUE(idx.cell_has_layer(f.top, 2));
+  EXPECT_FALSE(idx.cell_has_layer(f.leaf_a, 2));
+}
+
+TEST(MbrIndex, InvertedIndexListsDefinitions) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  const auto& on1 = idx.elements_on_layer(1);
+  // Definitions, not instances: leafA's one polygon + leafB's one on L1.
+  ASSERT_EQ(on1.size(), 2u);
+  EXPECT_TRUE(idx.elements_on_layer(99).empty());
+}
+
+TEST(MbrIndex, ChildrenOnLayerPrunes) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  // mid's children on layer 2: only the leafB ref (index 1).
+  const auto& kids = idx.children_on_layer(f.mid, 2);
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids[0], 1u);
+  // On layer 1 both children matter.
+  EXPECT_EQ(idx.children_on_layer(f.mid, 1).size(), 2u);
+}
+
+TEST(MbrIndex, WindowQueryFindsInstances) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  std::vector<layer_hit> hits;
+  const rect everywhere{-100000, -100000, 100000, 100000};
+  idx.query(f.top, 1, everywhere, [&](const layer_hit& h) { hits.push_back(h); });
+  // 1 (leafA in mid) + 1 (leafB L1 in mid) + 6 (AREF) = 8 instances.
+  EXPECT_EQ(hits.size(), 8u);
+}
+
+TEST(MbrIndex, WindowQueryPrunesByMbr) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  std::vector<layer_hit> hits;
+  // Window covering only the AREF region.
+  idx.query(f.top, 1, rect{990, 990, 1200, 1100}, [&](const layer_hit& h) { hits.push_back(h); });
+  EXPECT_EQ(hits.size(), 6u);
+  const std::uint64_t visited_pruned = idx.last_query_nodes_visited();
+
+  hits.clear();
+  idx.query(f.top, 1, rect{-100000, -100000, 100000, 100000},
+            [&](const layer_hit& h) { hits.push_back(h); });
+  EXPECT_EQ(hits.size(), 8u);
+  EXPECT_GE(idx.last_query_nodes_visited(), visited_pruned);
+}
+
+TEST(MbrIndex, QueryTransformsCompose) {
+  fixture f;
+  const mbr_index idx(f.lib);
+  std::vector<layer_hit> hits;
+  idx.query(f.top, 2, rect{-100000, -100000, 100000, 100000},
+            [&](const layer_hit& h) { hits.push_back(h); });
+  ASSERT_EQ(hits.size(), 1u);
+  // leafB's L2 polygon seen through mid's rotation.
+  const rect m = hits[0].to_top.apply(rect{0, 0, 20, 2});
+  EXPECT_EQ(m, (rect{-2, 100, 0, 120}));
+}
+
+TEST(MbrIndex, DanglingReferenceThrows) {
+  library lib;
+  const cell_id a = lib.add_cell("a");
+  lib.at(a).add_ref({static_cast<cell_id>(42), transform{}});
+  EXPECT_THROW(lib.topological_order(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odrc::db

@@ -1,0 +1,119 @@
+// Engine tests for the derived-layer boolean rules (overlap_area and
+// notcut_area): the inter-layer constraint examples from the paper's intro.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::engine {
+namespace {
+
+using workload::layers;
+using workload::tech;
+
+TEST(DerivedRules, DslBuildsRules) {
+  const rules::rule ov = rules::layer(25).overlap_with(20).area_at_least(64).named("V2.M2.OV");
+  EXPECT_EQ(ov.kind, checks::rule_kind::overlap_area);
+  EXPECT_EQ(ov.layer1, 25);
+  EXPECT_EQ(ov.layer2, 20);
+  EXPECT_EQ(ov.min_area, 64);
+  EXPECT_EQ(ov.name, "V2.M2.OV");
+
+  const rules::rule nc = rules::layer(19).not_cut_by(21).area_at_least(100);
+  EXPECT_EQ(nc.kind, checks::rule_kind::notcut_area);
+}
+
+TEST(DerivedRules, OverlapAreaFlagsPartialCover) {
+  db::library lib;
+  const db::cell_id top = lib.add_cell("top");
+  // Via 1 fully covered (overlap 64), via 2 half-hanging off the metal
+  // (overlap 32).
+  lib.at(top).add_rect(1, {0, 0, 100, 20});       // metal
+  lib.at(top).add_rect(2, {10, 6, 18, 14});       // via, inside
+  lib.at(top).add_rect(2, {96, 6, 104, 14});      // via, half off
+  drc_engine e;
+  const auto r = e.check(lib, rules::layer(2).overlap_with(1).area_at_least(64));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, checks::rule_kind::overlap_area);
+  EXPECT_EQ(r.violations[0].measured, 32);
+  EXPECT_EQ(r.violations[0].e1.mbr().join(r.violations[0].e2.mbr()), (rect{96, 6, 100, 14}));
+}
+
+TEST(DerivedRules, OverlapSplitAcrossMetalsIsOneRegionWhenTouching) {
+  db::library lib;
+  const db::cell_id top = lib.add_cell("top");
+  // Two abutting metal rects under one via: the overlap slabs touch and
+  // must count as ONE region of full via area.
+  lib.at(top).add_rect(1, {0, 0, 14, 20});
+  lib.at(top).add_rect(1, {14, 0, 30, 20});
+  lib.at(top).add_rect(2, {10, 6, 18, 14});
+  drc_engine e;
+  const auto r = e.check(lib, rules::layer(2).overlap_with(1).area_at_least(64));
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(DerivedRules, NotCutFlagsSlivers) {
+  db::library lib;
+  const db::cell_id top = lib.add_cell("top");
+  // Metal bar cut by a via-sized window near its end: the leftover stub of
+  // 6x20 = 120 dbu^2 is a sliver under a 200 threshold.
+  lib.at(top).add_rect(1, {0, 0, 100, 20});
+  lib.at(top).add_rect(3, {80, 0, 94, 20});  // full-height cut
+  drc_engine e;
+  const auto r = e.check(lib, rules::layer(1).not_cut_by(3).area_at_least(200));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, checks::rule_kind::notcut_area);
+  EXPECT_EQ(r.violations[0].measured, 6 * 20);
+  // The big left part (80x20) is fine.
+}
+
+TEST(DerivedRules, NotCutCleanWhenNoCut) {
+  db::library lib;
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(1, {0, 0, 100, 20});
+  drc_engine e;
+  EXPECT_TRUE(e.check(lib, rules::layer(1).not_cut_by(3).area_at_least(200)).violations.empty());
+}
+
+TEST(DerivedRules, WorksThroughHierarchy) {
+  // Vias defined in a master, metal in the top: derived layers are computed
+  // on the flattened geometry.
+  db::library lib;
+  const db::cell_id via_cell = lib.add_cell("via");
+  lib.at(via_cell).add_rect(2, {0, 0, 8, 8});
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(1, {0, 0, 200, 20});
+  for (int i = 0; i < 4; ++i) {
+    lib.at(top).add_ref({via_cell, transform{{static_cast<coord_t>(10 + i * 40), 6}, 0, false, 1}});
+  }
+  // One via placed sticking out above the metal.
+  lib.at(top).add_ref({via_cell, transform{{180, 16}, 0, false, 1}});
+  drc_engine e;
+  const auto r = e.check(lib, rules::layer(2).overlap_with(1).area_at_least(64));
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].measured, 8 * 4);
+}
+
+TEST(DerivedRules, WorkloadViasFullyCovered) {
+  // Generated fabric: every V2 cut must overlap M2 and M3 by its full 64
+  // dbu^2 footprint.
+  const auto g = workload::generate(workload::spec_for("uart", 1.0));
+  drc_engine e;
+  const area_t via_area = static_cast<area_t>(tech::via_size) * tech::via_size;
+  EXPECT_TRUE(e.check(g.lib, rules::layer(layers::V2).overlap_with(layers::M2)
+                                 .area_at_least(via_area))
+                  .violations.empty());
+  EXPECT_TRUE(e.check(g.lib, rules::layer(layers::V2).overlap_with(layers::M3)
+                                 .area_at_least(via_area))
+                  .violations.empty());
+  EXPECT_TRUE(e.check(g.lib, rules::layer(layers::V1).overlap_with(layers::M1)
+                                 .area_at_least(via_area))
+                  .violations.empty());
+  // An impossible threshold flags every via region.
+  const auto r = e.check(g.lib, rules::layer(layers::V1).overlap_with(layers::M1)
+                                    .area_at_least(via_area + 1));
+  EXPECT_FALSE(r.violations.empty());
+}
+
+}  // namespace
+}  // namespace odrc::engine

@@ -1,0 +1,180 @@
+// Unit tests for the shared edge-pair predicates: the single source of truth
+// for what constitutes a width / spacing / enclosure violation.
+#include "checks/edge_checks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odrc::checks {
+namespace {
+
+// Convention reminder (clockwise polygons, +y up, interior right of edge):
+//   east edge:  interior below;  west edge:  interior above
+//   north edge: interior right;  south edge: interior left
+
+TEST(WidthFacing, HorizontalInteriorBetween) {
+  const edge east_top{{0, 20}, {10, 20}};   // interior below
+  const edge west_bot{{10, 0}, {0, 0}};     // interior above
+  EXPECT_TRUE(is_width_facing(east_top, west_bot));
+  EXPECT_TRUE(is_width_facing(west_bot, east_top));
+  // Swapped levels: exterior between them -> spacing configuration.
+  const edge east_bot{{0, 0}, {10, 0}};
+  const edge west_top{{10, 20}, {0, 20}};
+  EXPECT_FALSE(is_width_facing(east_bot, west_top));
+  EXPECT_TRUE(is_space_facing(east_bot, west_top));
+}
+
+TEST(WidthFacing, VerticalInteriorBetween) {
+  const edge north_left{{0, 0}, {0, 10}};    // interior right
+  const edge south_right{{20, 10}, {20, 0}}; // interior left
+  EXPECT_TRUE(is_width_facing(north_left, south_right));
+  EXPECT_FALSE(is_space_facing(north_left, south_right));
+  // C-shape arms: south on the left, north on the right -> gap is exterior.
+  const edge south_left{{0, 10}, {0, 0}};
+  const edge north_right{{20, 0}, {20, 10}};
+  EXPECT_FALSE(is_width_facing(south_left, north_right));
+  EXPECT_TRUE(is_space_facing(south_left, north_right));
+}
+
+TEST(WidthFacing, RequiresProjectionOverlap) {
+  const edge a{{0, 20}, {10, 20}};
+  const edge disjoint{{15, 0}, {11, 0}};
+  EXPECT_FALSE(is_width_facing(a, disjoint));
+  const edge touching{{20, 0}, {10, 0}};  // projections share x=10 only
+  EXPECT_FALSE(is_width_facing(a, touching));
+}
+
+TEST(WidthFacing, RejectsParallelSameDirection) {
+  const edge a{{0, 20}, {10, 20}};
+  const edge b{{0, 0}, {10, 0}};  // both east
+  EXPECT_FALSE(is_width_facing(a, b));
+  EXPECT_FALSE(is_space_facing(a, b));
+}
+
+TEST(CheckWidthPair, ViolatesBelowMinimum) {
+  const edge top{{0, 10}, {10, 10}};
+  const edge bot{{10, 0}, {0, 0}};
+  EXPECT_EQ(check_width_pair(top, bot, 18), 10);
+  EXPECT_FALSE(check_width_pair(top, bot, 10).has_value());  // exactly min: ok
+  EXPECT_EQ(check_width_pair(top, bot, 11), 10);
+}
+
+TEST(CheckSpacePair, ParallelFacingUsesProjectedDistance) {
+  const edge top_shape_bottom{{10, 28}, {0, 28}};  // west: interior above
+  const edge bot_shape_top{{0, 0}, {10, 0}};       // east: interior below
+  EXPECT_EQ(check_space_pair(top_shape_bottom, bot_shape_top, 30), 28 * 28);
+  EXPECT_FALSE(check_space_pair(top_shape_bottom, bot_shape_top, 28).has_value());
+}
+
+TEST(CheckSpacePair, AbuttingShapesAreNotViolations) {
+  // Two rectangles sharing a boundary: collinear anti-parallel edges at the
+  // same level (distance 0) — abutment, not a spacing violation.
+  const edge a{{10, 0}, {10, 10}};   // north at x=10
+  const edge b{{10, 10}, {10, 0}};   // south at x=10
+  EXPECT_FALSE(check_space_pair(a, b, 18).has_value());
+}
+
+TEST(CheckSpacePair, CornerToCornerEuclidean) {
+  // Diagonal proximity between perpendicular edges of different shapes.
+  const edge right_of_a{{10, 10}, {10, 0}};   // vertical at x=10
+  const edge bottom_of_b{{13, 14}, {23, 14}}; // horizontal starting at (13,14)
+  // Closest points (10,10) and (13,14): distance 5.
+  EXPECT_EQ(check_space_pair(right_of_a, bottom_of_b, 6), 25);
+  EXPECT_FALSE(check_space_pair(right_of_a, bottom_of_b, 5).has_value());
+}
+
+TEST(CheckSpacePairAny, SamePolygonOnlyFlagsNotches) {
+  // Notch: exterior-facing parallel pair of the same polygon.
+  const edge notch_left{{10, 0}, {10, 20}};   // north at x=10, interior right?
+  const edge notch_right{{20, 20}, {20, 0}};  // south at x=20, interior left?
+  // north at 10, south at 20: interior between -> width config, not a notch.
+  EXPECT_FALSE(check_space_pair_any(notch_left, notch_right, true, 18).has_value());
+  // Reversed: south at x=10 (interior left, i.e. x<10), north at x=20
+  // (interior right): gap [10,20] is exterior -> notch.
+  const edge s{{10, 20}, {10, 0}};
+  const edge n{{20, 0}, {20, 20}};
+  EXPECT_EQ(check_space_pair_any(s, n, true, 18), 100);
+  // Same pair across different polygons is plain spacing.
+  EXPECT_EQ(check_space_pair_any(s, n, false, 18), 100);
+  // Same-polygon corner proximity must NOT be flagged.
+  const edge h{{0, 0}, {10, 0}};
+  const edge v{{12, 2}, {12, 12}};
+  EXPECT_TRUE(check_space_pair_any(h, v, false, 18).has_value());
+  EXPECT_FALSE(check_space_pair_any(h, v, true, 18).has_value());
+}
+
+TEST(CheckEnclosurePair, MarginPerDirection) {
+  // Via top edge (east, interior below) at y=10; metal top edge at y=13.
+  const edge via_top{{0, 10}, {8, 10}};
+  const edge metal_top{{-5, 13}, {20, 13}};
+  EXPECT_EQ(check_enclosure_pair(via_top, metal_top, 5), 3);
+  EXPECT_FALSE(check_enclosure_pair(via_top, metal_top, 3).has_value());
+
+  // Bottom side: west edges.
+  const edge via_bot{{8, 2}, {0, 2}};
+  const edge metal_bot{{20, 0}, {-5, 0}};
+  EXPECT_EQ(check_enclosure_pair(via_bot, metal_bot, 5), 2);
+
+  // Left side: north edges (outward normal -x).
+  const edge via_left{{0, 2}, {0, 10}};
+  const edge metal_left{{-4, 0}, {-4, 13}};
+  EXPECT_EQ(check_enclosure_pair(via_left, metal_left, 5), 4);
+
+  // Right side: south edges.
+  const edge via_right{{8, 10}, {8, 2}};
+  const edge metal_right{{20, 13}, {20, 0}};
+  EXPECT_FALSE(check_enclosure_pair(via_right, metal_right, 5).has_value());  // margin 12 ok
+  EXPECT_EQ(check_enclosure_pair(via_right, metal_right, 13), 12);
+}
+
+TEST(CheckEnclosurePair, WrongSideNotReported) {
+  // Metal edge on the interior side of the via edge: negative margin is the
+  // containment checker's business, not the margin predicate's.
+  const edge via_top{{0, 10}, {8, 10}};
+  const edge metal_below{{-5, 8}, {20, 8}};
+  EXPECT_FALSE(check_enclosure_pair(via_top, metal_below, 5).has_value());
+}
+
+TEST(CheckEnclosurePair, RequiresSameDirectionAndOverlap) {
+  const edge via_top{{0, 10}, {8, 10}};
+  const edge metal_west{{20, 13}, {-5, 13}};  // west, anti-parallel
+  EXPECT_FALSE(check_enclosure_pair(via_top, metal_west, 5).has_value());
+  const edge metal_far{{30, 13}, {40, 13}};  // no projection overlap
+  EXPECT_FALSE(check_enclosure_pair(via_top, metal_far, 5).has_value());
+}
+
+TEST(ViolationFactories, PopulateFields) {
+  const edge a{{0, 0}, {10, 0}}, b{{10, 5}, {0, 5}};
+  const violation w = make_width_violation(19, a, b, 5);
+  EXPECT_EQ(w.kind, rule_kind::width);
+  EXPECT_EQ(w.layer1, 19);
+  EXPECT_EQ(w.measured, 25);
+  const violation s = make_space_violation(20, a, b, 49);
+  EXPECT_EQ(s.kind, rule_kind::spacing);
+  EXPECT_EQ(s.measured, 49);
+  const violation e = make_enclosure_violation(21, 19, a, b, 3);
+  EXPECT_EQ(e.kind, rule_kind::enclosure);
+  EXPECT_EQ(e.layer1, 21);
+  EXPECT_EQ(e.layer2, 19);
+}
+
+TEST(Normalization, CanonicalizesEdgeOrder) {
+  const edge a{{0, 0}, {10, 0}}, b{{10, 5}, {0, 5}};
+  const violation v1 = make_space_violation(1, a, b, 25);
+  const violation v2 = make_space_violation(1, b.reversed(), a.reversed(), 25);
+  EXPECT_EQ(normalized(v1), normalized(v2));
+
+  std::vector<violation> vs{v1, v2, v1};
+  normalize_all(vs);
+  EXPECT_EQ(vs.size(), 1u);
+}
+
+TEST(Normalization, EnclosurePreservesInnerOuterOrder) {
+  const edge inner{{0, 0}, {8, 0}}, outer{{-5, 3}, {20, 3}};
+  const violation v = make_enclosure_violation(21, 19, inner, outer, 3);
+  const violation n = normalized(v);
+  EXPECT_EQ(n.e1.from.y, 0);  // inner stays first
+  EXPECT_EQ(n.e2.from.y, 3);
+}
+
+}  // namespace
+}  // namespace odrc::checks

@@ -1,0 +1,339 @@
+// GDSII stream reader/writer tests: the real-number codec, full round-trips
+// through the binary format, forward references, PATH expansion, and error
+// reporting on malformed streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gdsii/reader.hpp"
+#include "gdsii/records.hpp"
+#include "gdsii/writer.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::gdsii {
+namespace {
+
+// ---------------------------------------------------------------------------
+// real64 codec
+// ---------------------------------------------------------------------------
+
+class Real64 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Real64, RoundTrips) {
+  const double v = GetParam();
+  EXPECT_NEAR(decode_real64(encode_real64(v)), v, std::abs(v) * 1e-14 + 1e-300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, Real64,
+                         ::testing::Values(0.0, 1.0, -1.0, 0.001, 1e-9, 1e-3, 1e-6, 2.0, 16.0,
+                                           -1e-9, 3.14159265358979, 1e6, 1e12, -42.5, 90.0, 180.0,
+                                           270.0));
+
+TEST(Real64Codec, KnownEncodings) {
+  // 1.0 = 1/16 * 16^1 -> exponent 65, mantissa 2^52.
+  EXPECT_EQ(encode_real64(1.0), 0x4110000000000000ull);
+  EXPECT_EQ(encode_real64(0.0), 0u);
+  EXPECT_DOUBLE_EQ(decode_real64(0x4110000000000000ull), 1.0);
+  // Sign bit.
+  EXPECT_EQ(encode_real64(-1.0) >> 63, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// round-trips
+// ---------------------------------------------------------------------------
+
+db::library sample_library() {
+  db::library lib("roundtrip");
+  lib.user_unit = 1e-3;
+  lib.meter_unit = 1e-9;
+  const db::cell_id leaf = lib.add_cell("leaf");
+  lib.at(leaf).add_rect(5, {0, 0, 18, 270});
+  lib.at(leaf).add_polygon(
+      {7, 1, polygon{{{0, 0}, {0, 40}, {10, 40}, {10, 20}, {30, 20}, {30, 0}}}, ""});
+  lib.at(leaf).add_text({63, 0, {5, 5}, "pin_A"});
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_ref({leaf, transform{{100, 200}, 1, true, 1}});
+  lib.at(top).add_ref({leaf, transform{{-50, -60}, 0, false, 2}});
+  db::cell_array a;
+  a.target = leaf;
+  a.trans.offset = {1000, 0};
+  a.cols = 5;
+  a.rows = 2;
+  a.col_step = {60, 0};
+  a.row_step = {0, 300};
+  lib.at(top).add_array(a);
+  return lib;
+}
+
+void expect_equivalent(const db::library& a, const db::library& b) {
+  ASSERT_EQ(a.cell_count(), b.cell_count());
+  EXPECT_NEAR(a.user_unit, b.user_unit, 1e-12);
+  EXPECT_NEAR(a.meter_unit, b.meter_unit, 1e-18);
+  for (db::cell_id id = 0; id < a.cell_count(); ++id) {
+    const db::cell& ca = a.at(id);
+    const db::cell& cb = *std::find_if(
+        b.cells().begin(), b.cells().end(),
+        [&](const db::cell& c) { return c.name() == ca.name(); });
+    ASSERT_EQ(ca.polygons().size(), cb.polygons().size()) << ca.name();
+    for (std::size_t i = 0; i < ca.polygons().size(); ++i) {
+      EXPECT_EQ(ca.polygons()[i].layer, cb.polygons()[i].layer);
+      EXPECT_EQ(ca.polygons()[i].poly, cb.polygons()[i].poly);
+    }
+    ASSERT_EQ(ca.refs().size(), cb.refs().size());
+    for (std::size_t i = 0; i < ca.refs().size(); ++i) {
+      EXPECT_EQ(a.at(ca.refs()[i].target).name(), b.at(cb.refs()[i].target).name());
+      EXPECT_EQ(ca.refs()[i].trans, cb.refs()[i].trans);
+    }
+    ASSERT_EQ(ca.arrays().size(), cb.arrays().size());
+    for (std::size_t i = 0; i < ca.arrays().size(); ++i) {
+      EXPECT_EQ(ca.arrays()[i].cols, cb.arrays()[i].cols);
+      EXPECT_EQ(ca.arrays()[i].rows, cb.arrays()[i].rows);
+      EXPECT_EQ(ca.arrays()[i].col_step, cb.arrays()[i].col_step);
+      EXPECT_EQ(ca.arrays()[i].row_step, cb.arrays()[i].row_step);
+      EXPECT_EQ(ca.arrays()[i].trans, cb.arrays()[i].trans);
+    }
+    ASSERT_EQ(ca.texts().size(), cb.texts().size());
+    for (std::size_t i = 0; i < ca.texts().size(); ++i) {
+      EXPECT_EQ(ca.texts()[i].text, cb.texts()[i].text);
+      EXPECT_EQ(ca.texts()[i].position, cb.texts()[i].position);
+    }
+  }
+}
+
+TEST(GdsRoundTrip, PolygonNamesSurviveViaProperties) {
+  // Listing 1's third rule predicates on polygon names; they must round-trip
+  // through PROPATTR/PROPVALUE.
+  db::library lib("named");
+  const db::cell_id c = lib.add_cell("c");
+  lib.at(c).add_polygon({7, 0, polygon::from_rect({0, 0, 10, 10}), "pin_A"});
+  lib.at(c).add_polygon({7, 0, polygon::from_rect({20, 0, 30, 10}), ""});
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write(lib, buf);
+  const db::library back = read(buf);
+  const db::cell& bc = back.at(*back.find("c"));
+  ASSERT_EQ(bc.polygons().size(), 2u);
+  EXPECT_EQ(bc.polygons()[0].name, "pin_A");
+  EXPECT_EQ(bc.polygons()[1].name, "");
+}
+
+TEST(GdsRoundTrip, SampleLibrary) {
+  const db::library lib = sample_library();
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write(lib, buf);
+  const db::library back = read(buf);
+  expect_equivalent(lib, back);
+}
+
+TEST(GdsRoundTrip, WriterIsDeterministic) {
+  const db::library lib = sample_library();
+  std::ostringstream a(std::ios::binary), b(std::ios::binary);
+  write(lib, a);
+  write(lib, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(GdsRoundTrip, GeneratedWorkload) {
+  auto spec = workload::spec_for("uart", 0.5);
+  spec.inject = {1, 1, 1, 1};
+  const auto g = workload::generate(spec);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write(g.lib, buf);
+  const db::library back = read(buf);
+  EXPECT_EQ(back.cell_count(), g.lib.cell_count());
+  EXPECT_EQ(back.expanded_polygon_count(), g.lib.expanded_polygon_count());
+  EXPECT_EQ(back.hierarchy_depth(), g.lib.hierarchy_depth());
+}
+
+// ---------------------------------------------------------------------------
+// hand-crafted streams (forward references, PATH, errors)
+// ---------------------------------------------------------------------------
+
+class stream_builder {
+ public:
+  void rec(record_type t, data_type dt, std::initializer_list<std::uint8_t> payload = {}) {
+    const std::size_t len = payload.size() + 4;
+    put(static_cast<std::uint8_t>(len >> 8));
+    put(static_cast<std::uint8_t>(len & 0xFF));
+    put(static_cast<std::uint8_t>(t));
+    put(static_cast<std::uint8_t>(dt));
+    for (std::uint8_t b : payload) put(b);
+  }
+
+  void int16(record_type t, std::int16_t v) {
+    rec(t, data_type::int16,
+        {static_cast<std::uint8_t>((v >> 8) & 0xFF), static_cast<std::uint8_t>(v & 0xFF)});
+  }
+
+  void str(record_type t, std::string_view s) {
+    const std::size_t padded = s.size() + (s.size() % 2);
+    const std::size_t len = padded + 4;
+    put(static_cast<std::uint8_t>(len >> 8));
+    put(static_cast<std::uint8_t>(len & 0xFF));
+    put(static_cast<std::uint8_t>(t));
+    put(static_cast<std::uint8_t>(data_type::ascii));
+    for (char c : s) put(static_cast<std::uint8_t>(c));
+    if (s.size() % 2) put(0);
+  }
+
+  void xy(record_type, std::initializer_list<std::int32_t> vals) {
+    const std::size_t len = vals.size() * 4 + 4;
+    put(static_cast<std::uint8_t>(len >> 8));
+    put(static_cast<std::uint8_t>(len & 0xFF));
+    put(static_cast<std::uint8_t>(record_type::XY));
+    put(static_cast<std::uint8_t>(data_type::int32));
+    for (std::int32_t v : vals) {
+      const auto u = static_cast<std::uint32_t>(v);
+      put(static_cast<std::uint8_t>(u >> 24));
+      put(static_cast<std::uint8_t>(u >> 16));
+      put(static_cast<std::uint8_t>(u >> 8));
+      put(static_cast<std::uint8_t>(u));
+    }
+  }
+
+  void header() {
+    int16(record_type::HEADER, 600);
+    rec(record_type::BGNLIB, data_type::int16,
+        {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+    str(record_type::LIBNAME, "t");
+  }
+
+  [[nodiscard]] std::stringstream stream() const {
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    ss.write(reinterpret_cast<const char*>(bytes_.data()),
+             static_cast<std::streamsize>(bytes_.size()));
+    return ss;
+  }
+
+ private:
+  void put(std::uint8_t b) { bytes_.push_back(b); }
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST(GdsReader, ForwardReferenceResolves) {
+  stream_builder sb;
+  sb.header();
+  // "top" references "leaf" before leaf is defined.
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "top");
+  sb.rec(record_type::SREF, data_type::no_data);
+  sb.str(record_type::SNAME, "leaf");
+  sb.xy(record_type::XY, {10, 20});
+  sb.rec(record_type::ENDEL, data_type::no_data);
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "leaf");
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::ENDLIB, data_type::no_data);
+
+  auto ss = sb.stream();
+  const db::library lib = read(ss);
+  const auto top = lib.find("top");
+  ASSERT_TRUE(top.has_value());
+  ASSERT_EQ(lib.at(*top).refs().size(), 1u);
+  EXPECT_EQ(lib.at(lib.at(*top).refs()[0].target).name(), "leaf");
+  EXPECT_EQ(lib.at(*top).refs()[0].trans.offset, (point{10, 20}));
+}
+
+TEST(GdsReader, PathExpandsToRectangles) {
+  stream_builder sb;
+  sb.header();
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "c");
+  sb.rec(record_type::PATH, data_type::no_data);
+  sb.int16(record_type::LAYER, 3);
+  sb.int16(record_type::DATATYPE, 0);
+  sb.rec(record_type::WIDTH, data_type::int32, {0, 0, 0, 10});
+  sb.xy(record_type::XY, {0, 0, 100, 0, 100, 50});  // L-shaped two-segment path
+  sb.rec(record_type::ENDEL, data_type::no_data);
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::ENDLIB, data_type::no_data);
+
+  auto ss = sb.stream();
+  const db::library lib = read(ss);
+  const db::cell& c = lib.at(*lib.find("c"));
+  ASSERT_EQ(c.polygons().size(), 2u);
+  EXPECT_EQ(c.polygons()[0].poly.mbr(), (rect{0, -5, 100, 5}));
+  EXPECT_EQ(c.polygons()[1].poly.mbr(), (rect{95, 0, 105, 50}));
+}
+
+TEST(GdsReader, BoxElementKeptAsGeometry) {
+  stream_builder sb;
+  sb.header();
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "c");
+  sb.rec(record_type::BOX, data_type::no_data);
+  sb.int16(record_type::LAYER, 4);
+  sb.int16(record_type::BOXTYPE, 0);
+  sb.xy(record_type::XY, {0, 0, 0, 10, 20, 10, 20, 0, 0, 0});
+  sb.rec(record_type::ENDEL, data_type::no_data);
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::ENDLIB, data_type::no_data);
+  auto ss = sb.stream();
+  const db::library lib = read(ss);
+  const db::cell& c = lib.at(*lib.find("c"));
+  ASSERT_EQ(c.polygons().size(), 1u);
+  EXPECT_EQ(c.polygons()[0].layer, 4);
+  EXPECT_EQ(c.polygons()[0].poly.mbr(), (rect{0, 0, 20, 10}));
+  EXPECT_TRUE(c.polygons()[0].poly.is_clockwise());
+}
+
+TEST(GdsReader, ErrorOnMissingHeader) {
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ss.write("\x00\x04\x04\x00", 4);  // ENDLIB first
+  EXPECT_THROW(read(ss), parse_error);
+}
+
+TEST(GdsReader, ErrorOnTruncation) {
+  const db::library lib = sample_library();
+  std::ostringstream full(std::ios::binary);
+  write(lib, full);
+  const std::string bytes = full.str();
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cut.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  EXPECT_THROW(read(cut), parse_error);
+}
+
+TEST(GdsReader, ErrorOnUnknownReference) {
+  stream_builder sb;
+  sb.header();
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "top");
+  sb.rec(record_type::SREF, data_type::no_data);
+  sb.str(record_type::SNAME, "ghost");
+  sb.xy(record_type::XY, {0, 0});
+  sb.rec(record_type::ENDEL, data_type::no_data);
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::ENDLIB, data_type::no_data);
+  auto ss = sb.stream();
+  EXPECT_THROW(read(ss), parse_error);
+}
+
+TEST(GdsReader, ErrorOnTinyBoundary) {
+  stream_builder sb;
+  sb.header();
+  sb.rec(record_type::BGNSTR, data_type::int16, {0, 0});
+  sb.str(record_type::STRNAME, "c");
+  sb.rec(record_type::BOUNDARY, data_type::no_data);
+  sb.int16(record_type::LAYER, 1);
+  sb.int16(record_type::DATATYPE, 0);
+  sb.xy(record_type::XY, {0, 0, 1, 1});  // 2 points: degenerate
+  sb.rec(record_type::ENDEL, data_type::no_data);
+  sb.rec(record_type::ENDSTR, data_type::no_data);
+  sb.rec(record_type::ENDLIB, data_type::no_data);
+  auto ss = sb.stream();
+  EXPECT_THROW(read(ss), parse_error);
+}
+
+TEST(GdsReader, ParseErrorCarriesOffset) {
+  try {
+    std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+    ss.write("\x00\x04\x04\x00", 4);
+    (void)read(ss);
+    FAIL();
+  } catch (const parse_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("byte"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace odrc::gdsii

@@ -1,0 +1,275 @@
+#include "infra/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace odrc {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const point a{3, 4}, b{1, -2};
+  EXPECT_EQ((a + b), (point{4, 2}));
+  EXPECT_EQ((a - b), (point{2, 6}));
+  EXPECT_EQ(a, (point{3, 4}));
+  EXPECT_LT(b, a);
+}
+
+TEST(Rect, EmptyByDefault) {
+  const rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_FALSE(r.overlaps(r));
+}
+
+TEST(Rect, JoinMeetIdentity) {
+  const rect a{0, 0, 10, 10};
+  const rect none;
+  EXPECT_EQ(a.join(none), a);
+  EXPECT_EQ(none.join(a), a);
+  EXPECT_TRUE(a.meet(none).empty());
+}
+
+TEST(Rect, OverlapsClosedSemantics) {
+  const rect a{0, 0, 10, 10};
+  const rect touching{10, 0, 20, 10};  // shares edge x=10
+  const rect corner{10, 10, 20, 20};   // shares a single point
+  const rect apart{11, 0, 20, 10};
+  EXPECT_TRUE(a.overlaps(touching));
+  EXPECT_TRUE(a.overlaps(corner));
+  EXPECT_FALSE(a.overlaps(apart));
+  EXPECT_FALSE(a.overlaps_strictly(touching));
+  EXPECT_TRUE(a.overlaps_strictly(rect{5, 5, 15, 15}));
+}
+
+TEST(Rect, ContainsAndInflate) {
+  const rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.contains(point{0, 0}));
+  EXPECT_TRUE(a.contains(point{10, 10}));
+  EXPECT_FALSE(a.contains(point{11, 10}));
+  EXPECT_TRUE(a.contains(rect{2, 2, 8, 8}));
+  EXPECT_FALSE(a.contains(rect{2, 2, 11, 8}));
+  EXPECT_EQ(a.inflated(3), (rect{-3, -3, 13, 13}));
+  EXPECT_TRUE(rect{}.inflated(5).empty());
+}
+
+TEST(Rect, AreaUses64Bit) {
+  const rect big{0, 0, 2000000000, 2000000000};
+  EXPECT_EQ(big.area(), 4000000000000000000LL);
+}
+
+TEST(Edge, DirectionAndLevels) {
+  const edge east{{0, 5}, {10, 5}};
+  const edge west{{10, 5}, {0, 5}};
+  const edge north{{3, 0}, {3, 9}};
+  const edge south{{3, 9}, {3, 0}};
+  EXPECT_EQ(east.dir(), edge_dir::east);
+  EXPECT_EQ(west.dir(), edge_dir::west);
+  EXPECT_EQ(north.dir(), edge_dir::north);
+  EXPECT_EQ(south.dir(), edge_dir::south);
+  EXPECT_EQ(opposite(edge_dir::east), edge_dir::west);
+  EXPECT_EQ(opposite(edge_dir::north), edge_dir::south);
+  EXPECT_EQ(east.level(), 5);
+  EXPECT_EQ(north.level(), 3);
+  EXPECT_EQ(east.lo(), 0);
+  EXPECT_EQ(east.hi(), 10);
+  EXPECT_EQ(south.length(), 9);
+  EXPECT_TRUE(is_horizontal(edge_dir::west));
+  EXPECT_FALSE(is_horizontal(edge_dir::south));
+}
+
+TEST(Edge, ProjectionOverlap) {
+  const edge a{{0, 0}, {10, 0}};
+  const edge b{{5, 3}, {15, 3}};
+  const edge c{{12, 3}, {20, 3}};
+  EXPECT_EQ(projection_overlap(a, b), 5);
+  EXPECT_EQ(projection_overlap(a, c), -2);
+  EXPECT_EQ(projection_overlap(a, edge{{10, 3}, {20, 3}}), 0);  // touching projections
+}
+
+TEST(Edge, SquaredDistanceParallel) {
+  const edge a{{0, 0}, {10, 0}};
+  const edge b{{0, 7}, {10, 7}};
+  EXPECT_EQ(squared_distance(a, b), 49);
+  // Disjoint projections: corner-to-corner.
+  const edge c{{13, 4}, {20, 4}};
+  EXPECT_EQ(squared_distance(a, c), 9 + 16);
+}
+
+TEST(Edge, SquaredDistancePerpendicular) {
+  const edge h{{0, 0}, {10, 0}};
+  const edge v{{5, 1}, {5, 8}};
+  EXPECT_EQ(squared_distance(h, v), 1);
+  const edge crossing{{5, -2}, {5, 2}};
+  EXPECT_EQ(squared_distance(h, crossing), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Transforms
+// ---------------------------------------------------------------------------
+
+TEST(Transform, Identity) {
+  const transform t;
+  EXPECT_TRUE(t.is_identity());
+  EXPECT_TRUE(t.is_translation());
+  EXPECT_TRUE(t.is_isometry());
+  EXPECT_EQ(t.apply(point{7, -3}), (point{7, -3}));
+}
+
+TEST(Transform, Rotations) {
+  transform r90;
+  r90.rotation = 1;
+  EXPECT_EQ(r90.apply(point{1, 0}), (point{0, 1}));
+  EXPECT_EQ(r90.apply(point{0, 1}), (point{-1, 0}));
+  transform r180;
+  r180.rotation = 2;
+  EXPECT_EQ(r180.apply(point{3, 4}), (point{-3, -4}));
+  transform r270;
+  r270.rotation = 3;
+  EXPECT_EQ(r270.apply(point{1, 0}), (point{0, -1}));
+}
+
+TEST(Transform, ReflectThenRotate) {
+  // GDSII STRANS: reflect about x BEFORE rotating.
+  transform t;
+  t.reflect_x = true;
+  t.rotation = 1;
+  // (1, 2) -> reflect -> (1, -2) -> rotate 90 -> (2, 1)
+  EXPECT_EQ(t.apply(point{1, 2}), (point{2, 1}));
+}
+
+TEST(Transform, Magnification) {
+  transform t;
+  t.mag = 3;
+  t.offset = {10, 0};
+  EXPECT_EQ(t.apply(point{2, 5}), (point{16, 15}));
+  EXPECT_FALSE(t.is_isometry());
+}
+
+TEST(Transform, RectMapping) {
+  transform t;
+  t.rotation = 1;
+  const rect r{0, 0, 4, 2};
+  // Corners (0,0) and (4,2) map to (0,0) and (-2,4); normalized MBR.
+  EXPECT_EQ(t.apply(r), (rect{-2, 0, 0, 4}));
+  EXPECT_TRUE(t.apply(rect{}).empty());
+}
+
+// Property: compose is associative with apply, and inverse round-trips, for
+// all 8 isometry linear parts x random offsets.
+class TransformProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformProperty, ComposeMatchesSequentialApply) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<coord_t> d(-1000, 1000);
+  std::uniform_int_distribution<int> rot(0, 3), flip(0, 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    transform a{{d(rng), d(rng)}, static_cast<std::uint16_t>(rot(rng)), flip(rng) != 0, 1};
+    transform b{{d(rng), d(rng)}, static_cast<std::uint16_t>(rot(rng)), flip(rng) != 0, 1};
+    const point p{d(rng), d(rng)};
+    EXPECT_EQ(a.compose(b).apply(p), a.apply(b.apply(p)));
+  }
+}
+
+TEST_P(TransformProperty, InverseRoundTrips) {
+  std::mt19937 rng(GetParam() + 17);
+  std::uniform_int_distribution<coord_t> d(-1000, 1000);
+  std::uniform_int_distribution<int> rot(0, 3), flip(0, 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    transform a{{d(rng), d(rng)}, static_cast<std::uint16_t>(rot(rng)), flip(rng) != 0, 1};
+    const point p{d(rng), d(rng)};
+    EXPECT_EQ(a.inverse().apply(a.apply(p)), p);
+    EXPECT_EQ(a.apply(a.inverse().apply(p)), p);
+    EXPECT_TRUE(a.inverse().compose(a).is_identity() || a.inverse().compose(a).offset == point{});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Polygons
+// ---------------------------------------------------------------------------
+
+TEST(Polygon, RectHelpers) {
+  const polygon p = polygon::from_rect({0, 0, 10, 4});
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.is_rectilinear());
+  EXPECT_TRUE(p.is_clockwise());
+  EXPECT_EQ(p.area(), 40);
+  EXPECT_EQ(p.signed_area(), -40);
+  EXPECT_EQ(p.mbr(), (rect{0, 0, 10, 4}));
+  EXPECT_EQ(p.edge_count(), 4u);
+}
+
+TEST(Polygon, ShoelaceLShape) {
+  // L-shape, clockwise: 18-wide legs.
+  polygon l{{{0, 0}, {0, 100}, {18, 100}, {18, 18}, {60, 18}, {60, 0}}};
+  EXPECT_TRUE(l.is_clockwise());
+  EXPECT_EQ(l.area(), 18 * 100 + 42 * 18);
+  EXPECT_TRUE(l.is_rectilinear());
+}
+
+TEST(Polygon, MakeClockwise) {
+  polygon ccw{{{0, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  EXPECT_FALSE(ccw.is_clockwise());
+  ccw.make_clockwise();
+  EXPECT_TRUE(ccw.is_clockwise());
+  EXPECT_EQ(ccw.area(), 100);
+}
+
+TEST(Polygon, RectilinearRejectsDiagonals) {
+  const polygon diag{{{0, 0}, {5, 5}, {10, 0}, {5, -5}}};
+  EXPECT_FALSE(diag.is_rectilinear());
+  const polygon degenerate{{{0, 0}, {0, 0}, {5, 0}, {5, 5}}};
+  EXPECT_FALSE(degenerate.is_rectilinear());
+  polygon too_small{{{0, 0}, {1, 1}}};
+  EXPECT_FALSE(too_small.is_rectilinear());
+}
+
+TEST(Polygon, ContainsEvenOdd) {
+  polygon sq = polygon::from_rect({0, 0, 10, 10});
+  EXPECT_TRUE(sq.contains(point{5, 5}));
+  EXPECT_TRUE(sq.contains(point{0, 0}));    // boundary
+  EXPECT_TRUE(sq.contains(point{10, 5}));   // boundary
+  EXPECT_FALSE(sq.contains(point{11, 5}));
+  EXPECT_FALSE(sq.contains(point{-1, -1}));
+
+  // L-shape: the notch region is outside.
+  polygon l{{{0, 0}, {0, 100}, {18, 100}, {18, 18}, {60, 18}, {60, 0}}};
+  EXPECT_TRUE(l.contains(point{9, 50}));
+  EXPECT_TRUE(l.contains(point{40, 9}));
+  EXPECT_FALSE(l.contains(point{40, 50}));
+}
+
+TEST(Polygon, TransformedPreservesClockwise) {
+  const polygon sq = polygon::from_rect({0, 0, 10, 4});
+  transform mirror;
+  mirror.reflect_x = true;
+  const polygon m = sq.transformed(mirror);
+  EXPECT_TRUE(m.is_clockwise());
+  EXPECT_EQ(m.mbr(), (rect{0, -4, 10, 0}));
+  EXPECT_EQ(m.area(), 40);
+}
+
+TEST(Polygon, CollectEdges) {
+  const polygon sq = polygon::from_rect({0, 0, 10, 4});
+  std::vector<edge> es;
+  sq.collect_edges(es);
+  ASSERT_EQ(es.size(), 4u);
+  // Clockwise ring: every consecutive pair shares a vertex and the ring is
+  // closed.
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(es[i].to, es[(i + 1) % es.size()].from);
+  }
+}
+
+TEST(Geometry, StreamOutput) {
+  std::ostringstream os;
+  os << point{1, 2} << ' ' << rect{0, 0, 3, 3} << ' ' << edge{{0, 0}, {1, 0}} << ' '
+     << transform{} << ' ' << polygon::from_rect({0, 0, 1, 1});
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace odrc

@@ -1,0 +1,77 @@
+// Host multithreading of the sequential engine: clip-parallel execution must
+// produce exactly the serial violation set on every rule and design, with
+// memo tables shared across worker threads.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::engine {
+namespace {
+
+using workload::layers;
+using workload::tech;
+
+std::vector<checks::violation> norm(std::vector<checks::violation> v) {
+  checks::normalize_all(v);
+  return v;
+}
+
+class HostParallel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HostParallel, MatchesSerialOnAllRules) {
+  auto spec = workload::spec_for(GetParam(), 0.4);
+  spec.inject = {2, 2, 2, 2};
+  const auto g = workload::generate(spec);
+
+  drc_engine serial({.host_parallel = false});
+  drc_engine parallel({.host_parallel = true});
+
+  for (const db::layer_t m : {layers::M1, layers::M2, layers::M3}) {
+    EXPECT_EQ(norm(serial.run_spacing(g.lib, m, tech::wire_space).violations),
+              norm(parallel.run_spacing(g.lib, m, tech::wire_space).violations))
+        << "spacing layer " << m;
+  }
+  EXPECT_EQ(
+      norm(serial.run_enclosure(g.lib, layers::V1, layers::M1, tech::via_enclosure).violations),
+      norm(parallel.run_enclosure(g.lib, layers::V1, layers::M1, tech::via_enclosure)
+               .violations));
+  EXPECT_EQ(
+      norm(serial.run_enclosure(g.lib, layers::V2, layers::M2, tech::via_enclosure).violations),
+      norm(parallel.run_enclosure(g.lib, layers::V2, layers::M2, tech::via_enclosure)
+               .violations));
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, HostParallel, ::testing::Values("uart", "ibex", "sha3"));
+
+TEST(HostParallelCfg, MemoizationStillEffective) {
+  auto spec = workload::spec_for("sha3", 0.5);
+  const auto g = workload::generate(spec);
+  drc_engine parallel({.host_parallel = true});
+  const auto r = parallel.run_spacing(g.lib, layers::M1, tech::wire_space);
+  // Reuse still dominates: races may duplicate a handful of computations but
+  // the shared memo must serve the bulk of the instances.
+  EXPECT_GT(r.prune.intra_reused + r.prune.pairs_reused,
+            (r.prune.intra_computed + r.prune.pairs_computed) * 2);
+}
+
+TEST(HostParallelCfg, WorksWithPrlTablesAndRegion) {
+  auto spec = workload::spec_for("uart", 0.8);
+  spec.inject = {1, 1, 0, 0};
+  const auto g = workload::generate(spec);
+  drc_engine serial({.host_parallel = false});
+  drc_engine parallel({.host_parallel = true});
+
+  checks::spacing_table t = checks::spacing_table::simple(tech::wire_space);
+  t.add_tier(800, 24);
+  EXPECT_EQ(norm(serial.run_spacing(g.lib, layers::M2, t).violations),
+            norm(parallel.run_spacing(g.lib, layers::M2, t).violations));
+
+  const rules::rule r = rules::layer(layers::M1).spacing().greater_than(tech::wire_space);
+  const rect window{0, -450, 3000, 1000};
+  EXPECT_EQ(norm(serial.check_region(g.lib, r, window).violations),
+            norm(parallel.check_region(g.lib, r, window).violations));
+}
+
+}  // namespace
+}  // namespace odrc::engine

@@ -1,0 +1,195 @@
+// Tests for the remaining infrastructure pieces: small_vector, morton codes,
+// thread pool, timer/profiler, logger, execution traits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+
+#include "infra/execution.hpp"
+#include "infra/logger.hpp"
+#include "infra/morton.hpp"
+#include "infra/small_vector.hpp"
+#include "infra/thread_pool.hpp"
+#include "infra/timer.hpp"
+
+namespace odrc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// small_vector
+// ---------------------------------------------------------------------------
+
+TEST(SmallVector, StaysInlineUpToCapacity) {
+  small_vector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CopyAndMove) {
+  small_vector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  small_vector<int, 2> copy = v;
+  EXPECT_EQ(copy.size(), 10u);
+  EXPECT_EQ(copy[9], 9);
+  small_vector<int, 2> moved = std::move(v);
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move) - documented state
+  copy = moved;
+  EXPECT_EQ(copy[5], 5);
+}
+
+TEST(SmallVector, PopAndClear) {
+  small_vector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, ReserveGrows) {
+  small_vector<int, 2> v;
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_TRUE(v.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Morton codes
+// ---------------------------------------------------------------------------
+
+TEST(Morton, SpreadInterleaves) {
+  EXPECT_EQ(morton_spread(0b1), 0b1u);
+  EXPECT_EQ(morton_spread(0b11), 0b101u);
+  EXPECT_EQ(morton_spread(0b111), 0b10101u);
+}
+
+TEST(Morton, EncodeOrdersQuadrants) {
+  // Z-order: within a 2x2 block, (0,0) < (1,0) < (0,1) < (1,1).
+  EXPECT_LT(morton_encode(0, 0), morton_encode(1, 0));
+  EXPECT_LT(morton_encode(1, 0), morton_encode(0, 1));
+  EXPECT_LT(morton_encode(0, 1), morton_encode(1, 1));
+}
+
+TEST(Morton, NegativeCoordinatesOrderCorrectly) {
+  EXPECT_LT(morton_code(point{-100, -100}), morton_code(point{100, 100}));
+  EXPECT_EQ(morton_code(rect{}), 0u);
+  EXPECT_NE(morton_code(rect{0, 0, 10, 10}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  thread_pool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string{"ok"}; });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndTinyRanges) {
+  thread_pool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 1, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerDoesNotDeadlock) {
+  thread_pool pool(1);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ThreadPool, GlobalIsSingleton) {
+  EXPECT_EQ(&thread_pool::global(), &thread_pool::global());
+  EXPECT_GE(thread_pool::global().worker_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// timer / profiler
+// ---------------------------------------------------------------------------
+
+TEST(Timer, MeasuresForwardTime) {
+  timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.nanoseconds(), 0u);
+}
+
+TEST(PhaseProfiler, AccumulatesAndFractions) {
+  phase_profiler prof;
+  prof.add("partition", 0.15);
+  prof.add("sweepline", 0.35);
+  prof.add("edge_check", 0.50);
+  prof.add("partition", 0.15);
+  EXPECT_DOUBLE_EQ(prof.total(), 1.15);
+  EXPECT_NEAR(prof.fraction("partition"), 0.30 / 1.15, 1e-12);
+  EXPECT_DOUBLE_EQ(prof.fraction("missing"), 0.0);
+  prof.clear();
+  EXPECT_DOUBLE_EQ(prof.total(), 0.0);
+}
+
+TEST(PhaseProfiler, ScopeRecords) {
+  phase_profiler prof;
+  {
+    auto s = prof.measure("work");
+  }
+  EXPECT_EQ(prof.phases().size(), 1u);
+  EXPECT_GE(prof.phases().at("work"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// logger
+// ---------------------------------------------------------------------------
+
+TEST(Logger, LevelsGate) {
+  logger& lg = logger::instance();
+  const log_level before = lg.level();
+  lg.set_level(log_level::error);
+  EXPECT_FALSE(lg.enabled(log_level::debug));
+  EXPECT_TRUE(lg.enabled(log_level::error));
+  log_debug() << "should not appear";
+  log_error() << "logger test line (expected in output)";
+  lg.set_level(before);
+}
+
+// ---------------------------------------------------------------------------
+// execution traits (paper Listing 2's compile-time dispatch)
+// ---------------------------------------------------------------------------
+
+TEST(Execution, TraitsClassifyExecutors) {
+  static_assert(execution::is_sequenced_executor_v<execution::sequenced_policy>);
+  static_assert(!execution::is_device_executor_v<execution::sequenced_policy>);
+  static_assert(execution::is_device_executor_v<execution::device_policy>);
+  static_assert(!execution::is_sequenced_executor_v<execution::device_policy>);
+  static_assert(execution::is_sequenced_executor_v<const execution::sequenced_policy&>);
+  static_assert(execution::executor<execution::sequenced_policy>);
+  static_assert(execution::executor<execution::device_policy>);
+  static_assert(!execution::executor<int>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace odrc

@@ -1,0 +1,125 @@
+#include "infra/interval_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace odrc {
+namespace {
+
+std::vector<std::uint32_t> sorted(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntervalTree, EmptyQueries) {
+  interval_tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query({0, 100, 0}).empty());
+  EXPECT_FALSE(t.remove({0, 1, 0}));
+}
+
+TEST(IntervalTree, SingleInterval) {
+  interval_tree t;
+  t.insert({10, 20, 7});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.query({15, 15, 0}), std::vector<std::uint32_t>{7});
+  EXPECT_EQ(t.query({20, 30, 0}), std::vector<std::uint32_t>{7});  // touching counts
+  EXPECT_EQ(t.query({0, 10, 0}), std::vector<std::uint32_t>{7});
+  EXPECT_TRUE(t.query({21, 30, 0}).empty());
+  EXPECT_TRUE(t.query({0, 9, 0}).empty());
+}
+
+TEST(IntervalTree, RemoveSpecificDuplicate) {
+  interval_tree t;
+  t.insert({0, 10, 1});
+  t.insert({0, 10, 1});
+  t.insert({0, 10, 2});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.remove({0, 10, 1}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(sorted(t.query({5, 5, 0})), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_TRUE(t.remove({0, 10, 1}));
+  EXPECT_FALSE(t.remove({0, 10, 1}));
+  EXPECT_EQ(t.query({5, 5, 0}), std::vector<std::uint32_t>{2});
+}
+
+TEST(IntervalTree, PaperFigure3Style) {
+  // Several horizontal MBR intervals as in Fig. 3's sweepline snapshot.
+  interval_tree t;
+  t.insert({0, 4, 0});
+  t.insert({2, 7, 1});
+  t.insert({6, 9, 2});
+  t.insert({11, 14, 3});
+  EXPECT_EQ(sorted(t.query({3, 3, 9})), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(sorted(t.query({5, 6, 9})), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(sorted(t.query({0, 20, 9})), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(t.query({10, 10, 9}).empty());
+}
+
+TEST(IntervalTree, ClearReuse) {
+  interval_tree t;
+  for (int i = 0; i < 100; ++i) t.insert({i, i + 5, static_cast<std::uint32_t>(i)});
+  EXPECT_EQ(t.size(), 100u);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.query({0, 1000, 0}).empty());
+  t.insert({1, 2, 42});
+  EXPECT_EQ(t.query({0, 10, 0}), std::vector<std::uint32_t>{42});
+}
+
+TEST(IntervalTree, HeightStaysLogarithmicOnUniformInput) {
+  interval_tree t;
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<coord_t> d(0, 1000000);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    const coord_t lo = d(rng);
+    t.insert({lo, lo + 50, i});
+  }
+  // Midpoint-keyed routing on uniform data stays near-balanced; 4 * log2(n)
+  // is a generous bound that catches degenerate list-shaped trees.
+  EXPECT_LE(t.height(), 48);
+}
+
+// Property test: tree query == brute-force scan, under interleaved inserts
+// and removes.
+class IntervalTreeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalTreeRandom, MatchesBruteForce) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<coord_t> lo_d(-500, 500);
+  std::uniform_int_distribution<coord_t> len_d(0, 120);
+  std::uniform_int_distribution<int> op_d(0, 9);
+
+  interval_tree t;
+  std::vector<interval> live;
+  for (int step = 0; step < 2000; ++step) {
+    const int op = op_d(rng);
+    if (op < 6 || live.empty()) {
+      const coord_t lo = lo_d(rng);
+      const interval iv{lo, lo + len_d(rng), static_cast<std::uint32_t>(step)};
+      t.insert(iv);
+      live.push_back(iv);
+    } else if (op < 8) {
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const std::size_t idx = pick(rng);
+      EXPECT_TRUE(t.remove(live[idx]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const coord_t lo = lo_d(rng);
+      const interval q{lo, lo + len_d(rng), 0};
+      std::vector<std::uint32_t> expected;
+      for (const interval& iv : live) {
+        if (iv.overlaps(q)) expected.push_back(iv.id);
+      }
+      EXPECT_EQ(sorted(t.query(q)), sorted(expected)) << "step " << step;
+    }
+    ASSERT_EQ(t.size(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalTreeRandom, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace odrc

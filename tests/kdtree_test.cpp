@@ -1,0 +1,96 @@
+// kd-tree tests mirroring the quadtree/R-tree suites: query correctness,
+// sweepline pair equivalence, degenerate-input robustness and engine use.
+#include "geo/kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "sweep/sweepline.hpp"
+
+namespace odrc::geo {
+namespace {
+
+std::vector<rect> random_rects(int n, std::uint32_t seed, coord_t span = 5000) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::uniform_int_distribution<coord_t> size(1, 150);
+  std::vector<rect> out;
+  for (int i = 0; i < n; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    out.push_back({x, y, static_cast<coord_t>(x + size(rng)), static_cast<coord_t>(y + size(rng))});
+  }
+  return out;
+}
+
+TEST(Kdtree, EmptyAndSingle) {
+  const kdtree empty({});
+  int hits = 0;
+  empty.query(rect{-10, -10, 10, 10}, [&](std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+
+  const std::vector<rect> one{{0, 0, 10, 10}};
+  const kdtree t(one);
+  std::vector<std::uint32_t> got;
+  t.query(rect{5, 5, 6, 6}, [&](std::uint32_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::uint32_t>{0});
+}
+
+TEST(Kdtree, DepthIsLogarithmicOnUniformInput) {
+  const auto rs = random_rects(4096, 3);
+  const kdtree t(rs, 8);
+  EXPECT_GE(t.depth(), 6);
+  EXPECT_LE(t.depth(), 20);
+}
+
+TEST(Kdtree, AllIdenticalRectsDoNotRecurseForever) {
+  // Every rect straddles every split: the degenerate-split guard must
+  // produce a fat leaf instead of infinite recursion.
+  const std::vector<rect> same(500, rect{0, 0, 100, 100});
+  const kdtree t(same, 4);
+  std::set<std::uint32_t> got;
+  t.query(rect{50, 50, 60, 60}, [&](std::uint32_t i) { got.insert(i); });
+  EXPECT_EQ(got.size(), 500u);
+}
+
+class KdtreeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdtreeRandom, QueryMatchesBruteForce) {
+  const auto rs = random_rects(500, static_cast<std::uint32_t>(GetParam()));
+  const kdtree t(rs, 6);
+  std::mt19937 rng(GetParam() * 31 + 9);
+  std::uniform_int_distribution<coord_t> pos(0, 5000);
+  for (int q = 0; q < 100; ++q) {
+    const coord_t x = pos(rng), y = pos(rng);
+    const rect window{x, y, static_cast<coord_t>(x + 350), static_cast<coord_t>(y + 250)};
+    std::set<std::uint32_t> got, want;
+    t.query(window, [&](std::uint32_t i) { got.insert(i); });
+    for (std::uint32_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].overlaps(window)) want.insert(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(KdtreeRandom, PairsMatchSweepline) {
+  const auto rs = random_rects(400, static_cast<std::uint32_t>(GetParam()) + 77);
+  const kdtree t(rs);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> from_tree, from_sweep;
+  t.overlap_pairs([&](std::uint32_t i, std::uint32_t j) { from_tree.insert({i, j}); });
+  sweep::overlap_pairs(rs, [&](std::uint32_t i, std::uint32_t j) { from_sweep.insert({i, j}); });
+  EXPECT_EQ(from_tree, from_sweep);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdtreeRandom, ::testing::Range(1, 5));
+
+TEST(Kdtree, PruningVisitsFewNodesOnSmallWindows) {
+  const auto rs = random_rects(5000, 11, 100000);
+  const kdtree t(rs, 8);
+  int hits = 0;
+  t.query(rect{0, 0, 1000, 1000}, [&](std::uint32_t) { ++hits; });
+  EXPECT_LT(t.last_nodes_visited(), 5000u / 4);
+}
+
+}  // namespace
+}  // namespace odrc::geo

@@ -1,0 +1,199 @@
+// Adaptive row-based partition tests (paper Section IV-B / Algorithm 1).
+#include "partition/row_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace odrc::partition {
+namespace {
+
+TEST(Merge1D, EmptyInput) {
+  const grouping g = merge_1d({}, merge_strategy::pigeonhole);
+  EXPECT_TRUE(g.groups.empty());
+  EXPECT_TRUE(g.group_of.empty());
+}
+
+TEST(Merge1D, DisjointIntervalsKeepGroups) {
+  const std::vector<interval> ivs{{0, 10, 0}, {20, 30, 1}, {40, 50, 2}};
+  const grouping g = merge_1d(ivs, merge_strategy::pigeonhole);
+  ASSERT_EQ(g.groups.size(), 3u);
+  EXPECT_EQ(g.group_of, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Merge1D, OverlapChainsMerge) {
+  const std::vector<interval> ivs{{0, 10, 0}, {5, 15, 1}, {14, 20, 2}, {100, 110, 3}};
+  const grouping g = merge_1d(ivs, merge_strategy::pigeonhole);
+  ASSERT_EQ(g.groups.size(), 2u);
+  EXPECT_EQ(g.groups[0].lo, 0);
+  EXPECT_EQ(g.groups[0].hi, 20);
+  EXPECT_EQ(g.group_of, (std::vector<std::uint32_t>{0, 0, 0, 1}));
+}
+
+TEST(Merge1D, CoordinateCompressionHandlesHugeCoords) {
+  // Domain values far apart: the pigeonhole array must be sized by the
+  // number of distinct coordinates (paper: N = unique values), not the span.
+  const std::vector<interval> ivs{
+      {-2000000000, -1999999990, 0}, {1999999990, 2000000000, 1}, {0, 5, 2}};
+  const grouping g = merge_1d(ivs, merge_strategy::pigeonhole);
+  EXPECT_EQ(g.groups.size(), 3u);
+}
+
+class StrategyEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyEquivalence, PigeonholeEqualsSortStrategy) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<coord_t> lo_d(-5000, 5000);
+  std::uniform_int_distribution<coord_t> len_d(0, 600);
+  std::vector<interval> ivs;
+  for (int i = 0; i < 500; ++i) {
+    const coord_t lo = lo_d(rng);
+    ivs.push_back({lo, lo + len_d(rng), static_cast<std::uint32_t>(i)});
+  }
+  const grouping a = merge_1d(ivs, merge_strategy::pigeonhole);
+  const grouping b = merge_1d(ivs, merge_strategy::sort);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].lo, b.groups[i].lo);
+    EXPECT_EQ(a.groups[i].hi, b.groups[i].hi);
+  }
+  EXPECT_EQ(a.group_of, b.group_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalence, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// 2-D row partition
+// ---------------------------------------------------------------------------
+
+TEST(RowPartition, EmptyAndAllEmptyMbrs) {
+  EXPECT_TRUE(partition_rows({}, 10).rows.empty());
+  const std::vector<rect> empties(3);
+  EXPECT_TRUE(partition_rows(empties, 10).rows.empty());
+}
+
+TEST(RowPartition, TwoSeparatedRows) {
+  // Two bands of cells with a 100 gap; distance 18 keeps them independent.
+  const std::vector<rect> mbrs{
+      {0, 0, 50, 20}, {60, 0, 100, 20},    // row 0
+      {0, 120, 50, 140}, {60, 120, 100, 140},  // row 1
+  };
+  const partition_result p = partition_rows(mbrs, 18);
+  ASSERT_EQ(p.rows.size(), 2u);
+  EXPECT_EQ(p.rows[0].member_count(), 2u);
+  EXPECT_EQ(p.rows[1].member_count(), 2u);
+  // Within each row the two cells separate into clips (x gap 10 > 18? no:
+  // gap is 10 < 18 after inflation 9 -> inflated gap -8 -> merged).
+  EXPECT_EQ(p.rows[0].clips.size(), 1u);
+}
+
+TEST(RowPartition, ClipsSeparateAlongX) {
+  const std::vector<rect> mbrs{
+      {0, 0, 20, 20}, {100, 0, 120, 20},  // far apart in x
+  };
+  const partition_result p = partition_rows(mbrs, 18);
+  ASSERT_EQ(p.rows.size(), 1u);
+  EXPECT_EQ(p.rows[0].clips.size(), 2u);
+  EXPECT_EQ(p.clip_count(), 2u);
+}
+
+TEST(RowPartition, InflationMergesCloseRows) {
+  // Gap of 10 < distance 18: the bands must merge (a violation could span
+  // the gap).
+  const std::vector<rect> mbrs{{0, 0, 50, 20}, {0, 30, 50, 50}};
+  const partition_result p = partition_rows(mbrs, 18);
+  EXPECT_EQ(p.rows.size(), 1u);
+  // Gap of 19 > 18: independent.
+  const std::vector<rect> apart{{0, 0, 50, 20}, {0, 40, 50, 60}};
+  EXPECT_EQ(partition_rows(apart, 18).rows.size(), 2u);
+}
+
+TEST(RowPartition, EmptyMbrsAreSkippedButIndicesPreserved) {
+  std::vector<rect> mbrs{{0, 0, 10, 10}, rect{}, {0, 100, 10, 110}};
+  const partition_result p = partition_rows(mbrs, 5);
+  ASSERT_EQ(p.rows.size(), 2u);
+  EXPECT_EQ(p.rows[0].clips[0].members, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(p.rows[1].clips[0].members, (std::vector<std::uint32_t>{2}));
+}
+
+// The soundness property the engine relies on: objects in different rows (or
+// different clips) are separated by strictly more than the rule distance.
+class PartitionSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionSoundness, SeparationExceedsDistance) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<coord_t> pos(0, 4000);
+  std::uniform_int_distribution<coord_t> size(1, 200);
+  const coord_t dist = 18;
+
+  std::vector<rect> mbrs;
+  for (int i = 0; i < 300; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    mbrs.push_back({x, y, x + size(rng), y + size(rng)});
+  }
+  const partition_result p = partition_rows(mbrs, dist);
+
+  // Membership: every object appears exactly once.
+  std::vector<int> seen(mbrs.size(), 0);
+  for (const row& r : p.rows) {
+    for (const clip& c : r.clips) {
+      for (std::uint32_t m : c.members) ++seen[m];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+
+  // Cross-row separation.
+  for (std::size_t r1 = 0; r1 < p.rows.size(); ++r1) {
+    for (std::size_t r2 = r1 + 1; r2 < p.rows.size(); ++r2) {
+      for (const clip& c1 : p.rows[r1].clips) {
+        for (std::uint32_t a : c1.members) {
+          for (const clip& c2 : p.rows[r2].clips) {
+            for (std::uint32_t b : c2.members) {
+              const coord_t gap = std::max(mbrs[b].y_min - mbrs[a].y_max,
+                                           mbrs[a].y_min - mbrs[b].y_max);
+              EXPECT_GT(gap, dist) << "rows " << r1 << "," << r2;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Cross-clip (same row) separation along x.
+  for (const row& r : p.rows) {
+    for (std::size_t c1 = 0; c1 < r.clips.size(); ++c1) {
+      for (std::size_t c2 = c1 + 1; c2 < r.clips.size(); ++c2) {
+        for (std::uint32_t a : r.clips[c1].members) {
+          for (std::uint32_t b : r.clips[c2].members) {
+            const coord_t gap = std::max(mbrs[b].x_min - mbrs[a].x_max,
+                                         mbrs[a].x_min - mbrs[b].x_max);
+            EXPECT_GT(gap, dist);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSoundness, ::testing::Range(1, 6));
+
+TEST(RowPartition, SortStrategyProducesSameResult) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<coord_t> pos(0, 2000);
+  std::vector<rect> mbrs;
+  for (int i = 0; i < 200; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    mbrs.push_back({x, y, x + 50, y + 30});
+  }
+  const partition_result a = partition_rows(mbrs, 18, merge_strategy::pigeonhole);
+  const partition_result b = partition_rows(mbrs, 18, merge_strategy::sort);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    ASSERT_EQ(a.rows[i].clips.size(), b.rows[i].clips.size());
+    for (std::size_t j = 0; j < a.rows[i].clips.size(); ++j) {
+      EXPECT_EQ(a.rows[i].clips[j].members, b.rows[i].clips[j].members);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odrc::partition

@@ -1,0 +1,128 @@
+#include "infra/pigeonhole.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace odrc {
+namespace {
+
+TEST(Pigeonhole, EmptyDomainProducesNothing) {
+  pigeonhole_merger m(0, 10);
+  EXPECT_TRUE(m.merged().empty());
+}
+
+TEST(Pigeonhole, RejectsInvertedDomain) {
+  EXPECT_THROW(pigeonhole_merger(5, 4), std::invalid_argument);
+}
+
+TEST(Pigeonhole, SingleInterval) {
+  pigeonhole_merger m(0, 10);
+  m.add(2, 5);
+  const auto out = m.merged();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lo, 2);
+  EXPECT_EQ(out[0].hi, 5);
+}
+
+TEST(Pigeonhole, PaperAlgorithm1Example) {
+  // Overlapping + disjoint intervals merge into a minimal cover.
+  pigeonhole_merger m(0, 20);
+  m.add(0, 3);
+  m.add(2, 6);   // merges with [0,3]
+  m.add(6, 8);   // touches [2,6] -> merges (closed intervals)
+  m.add(12, 15);
+  m.add(14, 14);
+  const auto out = m.merged();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].lo, 0);
+  EXPECT_EQ(out[0].hi, 8);
+  EXPECT_EQ(out[1].lo, 12);
+  EXPECT_EQ(out[1].hi, 15);
+}
+
+TEST(Pigeonhole, ContainedIntervalAbsorbed) {
+  pigeonhole_merger m(0, 30);
+  m.add(0, 20);
+  m.add(5, 10);
+  const auto out = m.merged();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].hi, 20);
+}
+
+TEST(Pigeonhole, NegativeDomain) {
+  pigeonhole_merger m(-10, 10);
+  m.add(-8, -3);
+  m.add(-4, 2);
+  m.add(5, 9);
+  const auto out = m.merged();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].lo, -8);
+  EXPECT_EQ(out[0].hi, 2);
+  EXPECT_EQ(out[1].lo, 5);
+}
+
+TEST(Pigeonhole, ResetReuses) {
+  pigeonhole_merger m(0, 10);
+  m.add(0, 10);
+  EXPECT_EQ(m.merged().size(), 1u);
+  m.reset();
+  EXPECT_TRUE(m.merged().empty());
+  m.add(1, 2);
+  m.add(4, 5);
+  EXPECT_EQ(m.merged().size(), 2u);
+}
+
+TEST(SortMerge, MatchesOnKnownInput) {
+  std::vector<interval> ivs{{0, 3, 0}, {2, 6, 1}, {10, 12, 2}};
+  const auto out = merge_intervals_by_sort(ivs);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].hi, 6);
+  EXPECT_EQ(out[1].lo, 10);
+}
+
+// Property: the Theta(k+N) pigeonhole algorithm and the O(k log k) sort
+// algorithm produce identical covers (the paper presents them as
+// interchangeable implementations of the same merge).
+class MergeEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeEquivalence, PigeonholeEqualsSort) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<coord_t> lo_d(0, 300);
+  std::uniform_int_distribution<coord_t> len_d(0, 40);
+  std::uniform_int_distribution<int> count_d(1, 400);
+
+  const int k = count_d(rng);
+  std::vector<interval> ivs;
+  pigeonhole_merger m(0, 360);
+  for (int i = 0; i < k; ++i) {
+    const coord_t lo = lo_d(rng);
+    const interval iv{lo, lo + len_d(rng), static_cast<std::uint32_t>(i)};
+    ivs.push_back(iv);
+    m.add(iv);
+  }
+  const auto a = m.merged();
+  const auto b = merge_intervals_by_sort(ivs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+  // Cover property: every input interval lies inside exactly one output.
+  for (const interval& iv : ivs) {
+    int covering = 0;
+    for (const interval& out : a) {
+      if (out.lo <= iv.lo && iv.hi <= out.hi) ++covering;
+    }
+    EXPECT_EQ(covering, 1);
+  }
+  // Disjointness: consecutive outputs are separated by at least one slot.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i].lo, a[i - 1].hi + 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeEquivalence, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace odrc

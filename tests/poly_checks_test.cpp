@@ -1,0 +1,167 @@
+// Polygon-level check driver tests.
+#include "checks/poly_checks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace odrc::checks {
+namespace {
+
+check_stats g_stats;
+
+TEST(CheckWidth, CompliantRectangle) {
+  std::vector<violation> out;
+  check_width(polygon::from_rect({0, 0, 18, 100}), 19, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckWidth, NarrowRectangleViolatesOnce) {
+  std::vector<violation> out;
+  check_width(polygon::from_rect({0, 0, 10, 100}), 19, 18, out, g_stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, rule_kind::width);
+  EXPECT_EQ(out[0].measured, 100);  // 10^2
+}
+
+TEST(CheckWidth, SquareBelowMinimumViolatesTwice) {
+  // Both the horizontal and vertical spans are narrow.
+  std::vector<violation> out;
+  check_width(polygon::from_rect({0, 0, 10, 10}), 19, 18, out, g_stats);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CheckWidth, LShapeWithNarrowLeg) {
+  // Vertical leg 10 wide, horizontal foot 30 tall: only the leg violates 18.
+  polygon l{{{0, 0}, {0, 100}, {10, 100}, {10, 30}, {60, 30}, {60, 0}}};
+  ASSERT_TRUE(l.is_clockwise());
+  std::vector<violation> out;
+  check_width(l, 19, 18, out, g_stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].measured, 100);
+}
+
+TEST(CheckArea, FlagsSmallPolygons) {
+  std::vector<violation> out;
+  check_area(polygon::from_rect({0, 0, 20, 20}), 19, 1000, out, g_stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].measured, 400);
+  out.clear();
+  check_area(polygon::from_rect({0, 0, 20, 50}), 19, 1000, out, g_stats);
+  EXPECT_TRUE(out.empty());  // exactly min_area is compliant
+}
+
+TEST(CheckRectilinear, FlagsDiagonals) {
+  std::vector<violation> out;
+  check_rectilinear(polygon{{{0, 0}, {5, 5}, {10, 0}, {5, -5}}}, 19, out, g_stats);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  check_rectilinear(polygon::from_rect({0, 0, 5, 5}), 19, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckSpacing, ParallelGapViolation) {
+  const polygon a = polygon::from_rect({0, 0, 18, 100});
+  const polygon b = polygon::from_rect({28, 0, 46, 100});  // gap 10
+  std::vector<violation> out;
+  check_spacing(a, b, 20, 18, out, g_stats);
+  // 1 facing pair + 4 corner proximities (right edge vs b's horiz edges and
+  // a's horiz edges vs b's left edge) + 2 collinear horizontal corner pairs.
+  EXPECT_GE(out.size(), 1u);
+  bool found_parallel = false;
+  for (const violation& v : out) {
+    if (v.measured == 100) found_parallel = true;
+  }
+  EXPECT_TRUE(found_parallel);
+  out.clear();
+  const polygon c = polygon::from_rect({36, 0, 54, 100});  // gap 18: compliant
+  check_spacing(a, c, 20, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckSpacing, AbuttingShapesClean) {
+  const polygon a = polygon::from_rect({0, 0, 18, 100});
+  const polygon b = polygon::from_rect({18, 0, 36, 100});
+  std::vector<violation> out;
+  check_spacing(a, b, 20, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckSpacingNotch, UShape) {
+  // U-shape with an 8-wide notch between the arms (arms 10 wide, 40 tall).
+  polygon u{{{0, 0}, {0, 40}, {10, 40}, {10, 10}, {18, 10}, {18, 40}, {28, 40}, {28, 0}}};
+  ASSERT_TRUE(u.is_clockwise());
+  std::vector<violation> out;
+  check_spacing_notch(u, 19, 18, out, g_stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].measured, 64);  // 8^2
+  out.clear();
+  check_spacing_notch(u, 19, 8, out, g_stats);
+  EXPECT_TRUE(out.empty());  // notch exactly at min space
+}
+
+TEST(CheckSpacingNotch, RectangleHasNoNotches) {
+  std::vector<violation> out;
+  check_spacing_notch(polygon::from_rect({0, 0, 18, 100}), 19, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckEnclosure, FullyContainedWithMargins) {
+  const polygon via = polygon::from_rect({5, 5, 13, 13});
+  const polygon metal = polygon::from_rect({0, 0, 18, 18});
+  std::vector<violation> out;
+  EXPECT_TRUE(check_enclosure(via, metal, 21, 19, 5, out, g_stats));
+  EXPECT_TRUE(out.empty());  // margin exactly 5 everywhere
+  // Tighter rule: all four sides violate.
+  EXPECT_TRUE(check_enclosure(via, metal, 21, 19, 6, out, g_stats));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(CheckEnclosure, OffCenterVia) {
+  const polygon via = polygon::from_rect({1, 5, 9, 13});
+  const polygon metal = polygon::from_rect({0, 0, 18, 18});
+  std::vector<violation> out;
+  EXPECT_TRUE(check_enclosure(via, metal, 21, 19, 5, out, g_stats));
+  ASSERT_EQ(out.size(), 1u);  // left margin 1
+  EXPECT_EQ(out[0].measured, 1);
+}
+
+TEST(CheckEnclosure, NotContainedReturnsFalse) {
+  const polygon via = polygon::from_rect({15, 5, 23, 13});  // sticks out right
+  const polygon metal = polygon::from_rect({0, 0, 18, 18});
+  std::vector<violation> out;
+  EXPECT_FALSE(check_enclosure(via, metal, 21, 19, 5, out, g_stats));
+}
+
+TEST(CheckEnclosure, ContainmentInLShapedMetal) {
+  polygon metal{{{0, 0}, {0, 100}, {30, 100}, {30, 30}, {100, 30}, {100, 0}}};
+  const polygon via_in_leg = polygon::from_rect({10, 50, 18, 58});
+  const polygon via_in_notch = polygon::from_rect({50, 50, 58, 58});
+  std::vector<violation> out;
+  EXPECT_TRUE(check_enclosure(via_in_leg, metal, 21, 19, 5, out, g_stats));
+  EXPECT_FALSE(check_enclosure(via_in_notch, metal, 21, 19, 5, out, g_stats));
+}
+
+TEST(ReportUncontained, EmitsNegativeMeasure) {
+  std::vector<violation> out;
+  report_uncontained(polygon::from_rect({0, 0, 8, 8}), 21, 19, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, rule_kind::enclosure);
+  EXPECT_EQ(out[0].measured, -1);
+}
+
+TEST(CheckStats, CountsAccumulate) {
+  check_stats s;
+  std::vector<violation> out;
+  check_width(polygon::from_rect({0, 0, 18, 100}), 19, 18, out, s);
+  EXPECT_EQ(s.polygons_tested, 1u);
+  EXPECT_EQ(s.edge_pairs_tested, 6u);  // C(4,2)
+  check_spacing(polygon::from_rect({0, 0, 18, 100}), polygon::from_rect({40, 0, 58, 100}), 19,
+                18, out, s);
+  EXPECT_EQ(s.polygon_pairs_tested, 1u);
+  EXPECT_EQ(s.edge_pairs_tested, 6u + 16u);
+  check_stats t;
+  t += s;
+  EXPECT_EQ(t.edge_pairs_tested, s.edge_pairs_tested);
+}
+
+}  // namespace
+}  // namespace odrc::checks

@@ -1,0 +1,139 @@
+// Geometry edge cases for the check drivers: comb polygons (many teeth,
+// many notches), staircases (no facing pairs at all), long snakes, and the
+// interaction of width and notch semantics on one shape.
+#include <gtest/gtest.h>
+
+#include "checks/poly_checks.hpp"
+
+namespace odrc::checks {
+namespace {
+
+check_stats g_stats;
+
+// A comb with `teeth` upward teeth: tooth width 18, gap `gap`, spine 18.
+polygon comb(int teeth, coord_t gap, coord_t tooth_w = 18, coord_t tooth_h = 60) {
+  std::vector<point> pts;
+  const coord_t pitch = tooth_w + gap;
+  const coord_t spine_top = 18;
+  pts.push_back({0, 0});
+  pts.push_back({0, static_cast<coord_t>(spine_top + tooth_h)});
+  for (int i = 0; i < teeth; ++i) {
+    const coord_t x0 = static_cast<coord_t>(i * pitch);
+    const coord_t x1 = static_cast<coord_t>(x0 + tooth_w);
+    if (i > 0) {
+      pts.push_back({x0, spine_top});
+      pts.push_back({x0, static_cast<coord_t>(spine_top + tooth_h)});
+    }
+    pts.push_back({x1, static_cast<coord_t>(spine_top + tooth_h)});
+    if (i + 1 < teeth) {
+      pts.push_back({x1, spine_top});
+    }
+  }
+  const coord_t right = static_cast<coord_t>((teeth - 1) * pitch + tooth_w);
+  pts.push_back({right, 0});
+  polygon p{std::move(pts)};
+  p.make_clockwise();
+  return p;
+}
+
+TEST(PolyEdgeCases, CombNotchesCountTeethGaps) {
+  // 5 teeth with 10-gaps: 4 notches violate spacing 18.
+  polygon c = comb(5, 10);
+  ASSERT_TRUE(c.is_rectilinear());
+  std::vector<violation> out;
+  check_spacing_notch(c, 1, 18, out, g_stats);
+  EXPECT_EQ(out.size(), 4u);
+  for (const violation& v : out) EXPECT_EQ(v.measured, 100);
+
+  // Compliant gaps produce nothing.
+  out.clear();
+  check_spacing_notch(comb(5, 18), 1, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PolyEdgeCases, CombWidthChecksTeeth) {
+  // Teeth 10 wide violate width 18 (one per tooth); the spine is long enough
+  // to pass.
+  polygon c = comb(4, 30, /*tooth_w=*/10);
+  std::vector<violation> out;
+  check_width(c, 1, 18, out, g_stats);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(PolyEdgeCases, StaircaseHasNoFacingPairs) {
+  // A 6-step staircase, each step 50x50: every interior span is 50, and no
+  // exterior-facing pair exists.
+  std::vector<point> pts;
+  constexpr coord_t s = 50;
+  constexpr int steps = 6;
+  pts.push_back({0, 0});
+  for (int i = 0; i < steps; ++i) {
+    pts.push_back({static_cast<coord_t>(i * s), static_cast<coord_t>((i + 1) * s)});
+    pts.push_back({static_cast<coord_t>((i + 1) * s), static_cast<coord_t>((i + 1) * s)});
+  }
+  pts.push_back({static_cast<coord_t>(steps * s), 0});
+  polygon stair{std::move(pts)};
+  stair.make_clockwise();
+  ASSERT_TRUE(stair.is_rectilinear());
+
+  std::vector<violation> out;
+  check_width(stair, 1, 50, out, g_stats);
+  EXPECT_TRUE(out.empty()) << "50-wide steps must pass w=50";
+  check_width(stair, 1, 51, out, g_stats);
+  EXPECT_FALSE(out.empty()) << "w=51 must flag the steps";
+  out.clear();
+  check_spacing_notch(stair, 1, 200, out, g_stats);
+  EXPECT_TRUE(out.empty()) << "a staircase has no notches";
+}
+
+TEST(PolyEdgeCases, SnakeWidthAndNotch) {
+  // An S-shaped snake wire, 18 wide everywhere, with a 20 gap between its
+  // two horizontal runs: clean at s=18/w=18, the notch trips s=24.
+  polygon snake{{{0, 0},
+                 {0, 18},
+                 {82, 18},
+                 {82, 38},
+                 {0, 38},
+                 {0, 56},
+                 {100, 56},
+                 {100, 0}}};
+  snake.make_clockwise();
+  ASSERT_TRUE(snake.is_rectilinear());
+  std::vector<violation> out;
+  check_width(snake, 1, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+  check_spacing_notch(snake, 1, 18, out, g_stats);
+  EXPECT_TRUE(out.empty());
+  check_spacing_notch(snake, 1, 24, out, g_stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].measured, 400);
+}
+
+TEST(PolyEdgeCases, TinySquareAllChecks) {
+  const polygon sq = polygon::from_rect({0, 0, 1, 1});
+  std::vector<violation> out;
+  check_width(sq, 1, 18, out, g_stats);
+  EXPECT_EQ(out.size(), 2u);  // both axes below minimum
+  out.clear();
+  check_area(sq, 1, 2, out, g_stats);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  check_spacing_notch(sq, 1, 100, out, g_stats);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PolyEdgeCases, EnclosureOfLShapedViaByLShapedMetal) {
+  // Both shapes L-shaped, via inset by exactly 5 along every edge.
+  polygon metal{{{0, 0}, {0, 100}, {30, 100}, {30, 40}, {90, 40}, {90, 0}}};
+  polygon via{{{5, 5}, {5, 95}, {25, 95}, {25, 35}, {85, 35}, {85, 5}}};
+  metal.make_clockwise();
+  via.make_clockwise();
+  std::vector<violation> out;
+  EXPECT_TRUE(check_enclosure(via, metal, 2, 1, 5, out, g_stats));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(check_enclosure(via, metal, 2, 1, 6, out, g_stats));
+  EXPECT_FALSE(out.empty());  // every facing pair is at exactly 5 < 6
+}
+
+}  // namespace
+}  // namespace odrc::checks

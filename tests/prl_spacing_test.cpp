@@ -1,0 +1,156 @@
+// Conditional (parallel-run-length) spacing tests: the spacing_table
+// predicate, its equivalence with the simple predicate for single tiers, and
+// the engine paths (sequential, parallel, memoized) under tiered rules.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "checks/edge_checks.hpp"
+#include "engine/engine.hpp"
+
+namespace odrc {
+namespace {
+
+using checks::spacing_table;
+
+TEST(SpacingTable, RequiredFollowsTiers) {
+  spacing_table t = spacing_table::simple(18);
+  t.add_tier(500, 24).add_tier(1500, 30);
+  EXPECT_EQ(t.count, 3);
+  EXPECT_EQ(t.required(0), 18);
+  EXPECT_EQ(t.required(499), 18);
+  EXPECT_EQ(t.required(500), 24);
+  EXPECT_EQ(t.required(1499), 24);
+  EXPECT_EQ(t.required(1500), 30);
+  EXPECT_EQ(t.base(), 18);
+  EXPECT_EQ(t.max_distance(), 30);
+}
+
+TEST(SpacingTable, Equality) {
+  spacing_table a = spacing_table::simple(18);
+  spacing_table b = spacing_table::simple(18);
+  EXPECT_EQ(a, b);
+  b.add_tier(100, 20);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SpacingTable, SingleTierEquivalentToSimplePredicate) {
+  // Property: check_space_pair_table with a one-tier table behaves exactly
+  // like check_space_pair_any. Random axis-parallel edge soup.
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<coord_t> pos(-200, 200);
+  std::uniform_int_distribution<coord_t> len(1, 80);
+  std::uniform_int_distribution<int> orient(0, 1), dir(0, 1), same(0, 1);
+  const spacing_table table = spacing_table::simple(25);
+
+  auto random_edge = [&] {
+    const coord_t x = pos(rng), y = pos(rng), l = len(rng);
+    edge e = orient(rng) ? edge{{x, y}, {static_cast<coord_t>(x + l), y}}
+                         : edge{{x, y}, {x, static_cast<coord_t>(y + l)}};
+    return dir(rng) ? e : e.reversed();
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const edge a = random_edge();
+    const edge b = random_edge();
+    const bool sp = same(rng) != 0;
+    EXPECT_EQ(checks::check_space_pair_table(a, b, sp, table),
+              checks::check_space_pair_any(a, b, sp, 25))
+        << a << ' ' << b << " same=" << sp;
+  }
+}
+
+TEST(SpacingTable, LongRunRequiresWiderGap) {
+  // Facing pair with a 100-long run at gap 20: fine at base 18, violating
+  // once the >=80-run tier demands 24.
+  const edge top_shape_bottom{{100, 20}, {0, 20}};  // west: interior above
+  const edge bot_shape_top{{0, 0}, {100, 0}};       // east: interior below
+  const spacing_table base = spacing_table::simple(18);
+  EXPECT_FALSE(checks::check_space_pair_table(top_shape_bottom, bot_shape_top, false, base)
+                   .has_value());
+  spacing_table tiered = spacing_table::simple(18);
+  tiered.add_tier(80, 24);
+  EXPECT_EQ(checks::check_space_pair_table(top_shape_bottom, bot_shape_top, false, tiered), 400);
+  // A short run (projection 40 < 80) at the same gap stays legal.
+  const edge short_top{{40, 20}, {0, 20}};
+  EXPECT_FALSE(checks::check_space_pair_table(short_top, bot_shape_top, false, tiered)
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+std::vector<checks::violation> norm(std::vector<checks::violation> v) {
+  checks::normalize_all(v);
+  return v;
+}
+
+// Two long wires at gap 20 and two short wires at gap 20.
+db::library prl_fixture() {
+  db::library lib;
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(1, {0, 0, 2000, 18});      // long wire
+  lib.at(top).add_rect(1, {0, 38, 2000, 56});     // long wire, gap 20
+  lib.at(top).add_rect(1, {5000, 0, 5060, 18});   // short wire
+  lib.at(top).add_rect(1, {5000, 38, 5060, 56});  // short wire, gap 20
+  return lib;
+}
+
+TEST(PrlSpacing, EngineFlagsOnlyLongRuns) {
+  const db::library lib = prl_fixture();
+  drc_engine e;
+  // Base 18 is met everywhere; the 24-over-500 tier only bites the long pair.
+  spacing_table t = spacing_table::simple(18);
+  t.add_tier(500, 24);
+  const auto r = e.run_spacing(lib, 1, t);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].measured, 400);
+  EXPECT_LE(r.violations[0].e1.mbr().x_max, 2000);
+
+  // Without the tier nothing violates.
+  EXPECT_TRUE(e.run_spacing(lib, 1, 18).violations.empty());
+}
+
+TEST(PrlSpacing, RuleDslCarriesTiers) {
+  const rules::rule r =
+      rules::layer(1).spacing().greater_than(18).when_projection_over(500, 24).named("M1.S.PRL");
+  EXPECT_EQ(r.spacing.count, 2);
+  EXPECT_EQ(r.distance, 24);  // max distance drives pruning
+  EXPECT_EQ(r.name, "M1.S.PRL");
+
+  const db::library lib = prl_fixture();
+  drc_engine e;
+  const auto report = e.check(lib, r);
+  EXPECT_EQ(report.violations.size(), 1u);
+}
+
+TEST(PrlSpacing, ParallelModeMatchesSequential) {
+  const db::library lib = prl_fixture();
+  spacing_table t = spacing_table::simple(18);
+  t.add_tier(500, 24);
+  drc_engine seq({.run_mode = engine::mode::sequential});
+  drc_engine par({.run_mode = engine::mode::parallel});
+  EXPECT_EQ(norm(seq.run_spacing(lib, 1, t).violations),
+            norm(par.run_spacing(lib, 1, t).violations));
+}
+
+TEST(PrlSpacing, MemoizedPairsRespectTiers) {
+  // Identical masters side by side: the memoized pair result must be
+  // computed with the tiered table.
+  db::library lib;
+  const db::cell_id m = lib.add_cell("m");
+  lib.at(m).add_rect(1, {0, 0, 1000, 18});
+  const db::cell_id top = lib.add_cell("top");
+  for (int i = 0; i < 4; ++i) {
+    lib.at(top).add_ref({m, transform{{0, static_cast<coord_t>(i * 38)}, 0, false, 1}});
+  }
+  spacing_table t = spacing_table::simple(18);
+  t.add_tier(500, 24);
+  drc_engine e;
+  const auto r = e.run_spacing(lib, 1, t);
+  EXPECT_EQ(r.violations.size(), 3u);  // three adjacent long-run gaps of 20
+  EXPECT_GE(r.prune.pairs_reused, 1u);
+}
+
+}  // namespace
+}  // namespace odrc

@@ -1,0 +1,110 @@
+// Region quadtree tests, mirroring the R-tree suite: query correctness vs
+// brute force, pair equivalence with the sweepline, structural sanity and
+// engine integration.
+#include "geo/quadtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "engine/engine.hpp"
+#include "sweep/sweepline.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::geo {
+namespace {
+
+std::vector<rect> random_rects(int n, std::uint32_t seed, coord_t span = 5000) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::uniform_int_distribution<coord_t> size(1, 150);
+  std::vector<rect> out;
+  for (int i = 0; i < n; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    out.push_back({x, y, static_cast<coord_t>(x + size(rng)), static_cast<coord_t>(y + size(rng))});
+  }
+  return out;
+}
+
+TEST(Quadtree, EmptyAndSingle) {
+  const quadtree empty({});
+  int hits = 0;
+  empty.query(rect{-10, -10, 10, 10}, [&](std::uint32_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+
+  const std::vector<rect> one{{0, 0, 10, 10}};
+  const quadtree t(one);
+  std::vector<std::uint32_t> got;
+  t.query(rect{5, 5, 6, 6}, [&](std::uint32_t i) { got.push_back(i); });
+  EXPECT_EQ(got, std::vector<std::uint32_t>{0});
+}
+
+TEST(Quadtree, SplitsUnderLoad) {
+  const auto rs = random_rects(2000, 5);
+  const quadtree t(rs, 8);
+  EXPECT_GT(t.depth(), 2);
+  EXPECT_EQ(t.size(), 2000u);
+}
+
+TEST(Quadtree, StraddlersStayQueryable) {
+  // A rect exactly across the root split line can live at the root but must
+  // still be reported.
+  std::vector<rect> rs;
+  for (int i = 0; i < 40; ++i) {
+    rs.push_back({static_cast<coord_t>(i * 10), 0, static_cast<coord_t>(i * 10 + 5), 5});
+  }
+  rs.push_back({190, -100, 210, 100});  // straddles the vertical midline
+  const quadtree t(rs, 4);
+  std::set<std::uint32_t> got;
+  t.query(rect{195, -50, 205, 50}, [&](std::uint32_t i) { got.insert(i); });
+  EXPECT_TRUE(got.contains(40u));
+}
+
+class QuadtreeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadtreeRandom, QueryMatchesBruteForce) {
+  const auto rs = random_rects(500, static_cast<std::uint32_t>(GetParam()));
+  const quadtree t(rs, 6);
+  std::mt19937 rng(GetParam() * 13 + 5);
+  std::uniform_int_distribution<coord_t> pos(0, 5000);
+  for (int q = 0; q < 100; ++q) {
+    const coord_t x = pos(rng), y = pos(rng);
+    const rect window{x, y, static_cast<coord_t>(x + 350), static_cast<coord_t>(y + 250)};
+    std::set<std::uint32_t> got, want;
+    t.query(window, [&](std::uint32_t i) { got.insert(i); });
+    for (std::uint32_t i = 0; i < rs.size(); ++i) {
+      if (rs[i].overlaps(window)) want.insert(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST_P(QuadtreeRandom, PairsMatchSweepline) {
+  const auto rs = random_rects(400, static_cast<std::uint32_t>(GetParam()) + 50);
+  const quadtree t(rs);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> from_tree, from_sweep;
+  t.overlap_pairs([&](std::uint32_t i, std::uint32_t j) { from_tree.insert({i, j}); });
+  sweep::overlap_pairs(rs, [&](std::uint32_t i, std::uint32_t j) { from_sweep.insert({i, j}); });
+  EXPECT_EQ(from_tree, from_sweep);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuadtreeRandom, ::testing::Range(1, 5));
+
+TEST(QuadtreeEngine, CandidateStrategyProducesSameViolations) {
+  auto spec = workload::spec_for("uart", 0.6);
+  spec.inject = {2, 2, 1, 1};
+  const auto g = workload::generate(spec);
+  drc_engine sweep_eng({.candidates = engine::candidate_strategy::sweepline});
+  drc_engine quad_eng({.candidates = engine::candidate_strategy::quadtree});
+  using workload::layers;
+  using workload::tech;
+  auto a = sweep_eng.run_spacing(g.lib, layers::M1, tech::wire_space).violations;
+  auto b = quad_eng.run_spacing(g.lib, layers::M1, tech::wire_space).violations;
+  checks::normalize_all(a);
+  checks::normalize_all(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace odrc::geo

@@ -1,0 +1,106 @@
+// Region-of-interest (incremental) checking tests: check_region must equal
+// the window-filtered full check while examining far fewer objects.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::engine {
+namespace {
+
+using workload::layers;
+using workload::tech;
+
+std::vector<checks::violation> norm(std::vector<checks::violation> v) {
+  checks::normalize_all(v);
+  return v;
+}
+
+// Window-filter a full-check result with the documented semantics: keep
+// violations with an offending edge intersecting the window.
+std::vector<checks::violation> filtered(std::vector<checks::violation> vs, const rect& w) {
+  std::erase_if(vs, [&](const checks::violation& v) {
+    return !w.overlaps(v.e1.mbr()) && !w.overlaps(v.e2.mbr());
+  });
+  return vs;
+}
+
+class RegionCheck : public ::testing::Test {
+ protected:
+  RegionCheck() {
+    auto spec = workload::spec_for("ibex", 0.6);
+    spec.inject = {2, 2, 2, 2};
+    gen_ = workload::generate(spec);
+  }
+  workload::generated gen_;
+};
+
+TEST_F(RegionCheck, SpacingMatchesFilteredFullCheck) {
+  drc_engine e;
+  const rules::rule r = rules::layer(layers::M1).spacing().greater_than(tech::wire_space);
+  const auto full = e.check(gen_.lib, r).violations;
+  ASSERT_FALSE(full.empty());
+
+  // Several windows including the injection strip and empty areas.
+  const rect die{0, -500, 100000, 100000};
+  for (const rect w : {rect{0, -450, 2000, -250},    // injection strip
+                       rect{0, 0, 3000, 3000},       // placement corner
+                       rect{-10000, -10000, -5000, -5000},  // empty
+                       die}) {
+    EXPECT_EQ(norm(e.check_region(gen_.lib, r, w).violations), norm(filtered(full, w)))
+        << w;
+  }
+}
+
+TEST_F(RegionCheck, ExaminesFewerObjects) {
+  drc_engine e;
+  const rules::rule r = rules::layer(layers::M1).spacing().greater_than(tech::wire_space);
+  const auto full = e.check(gen_.lib, r);
+  const auto region =
+      e.check_region(gen_.lib, r, rect{0, 0, 1000, 1000});
+  EXPECT_LT(region.instances, full.instances / 4);
+  EXPECT_LT(region.check_stats.edge_pairs_tested + 1, full.check_stats.edge_pairs_tested + 1);
+}
+
+TEST_F(RegionCheck, WorksForAllRuleKinds) {
+  drc_engine e;
+  const rect strip{0, -450, 10000, -250};  // covers every injection site
+  const std::vector<rules::rule> deck{
+      rules::layer(layers::M1).width().greater_than(tech::wire_width),
+      rules::layer(layers::M1).area().greater_than(tech::min_area),
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space),
+      rules::layer(layers::V1).enclosed_by(layers::M1).greater_than(tech::via_enclosure),
+  };
+  for (const rules::rule& r : deck) {
+    const auto full = e.check(gen_.lib, r).violations;
+    EXPECT_EQ(norm(e.check_region(gen_.lib, r, strip).violations), norm(filtered(full, strip)));
+  }
+}
+
+TEST_F(RegionCheck, EmptyWindowFindsNothing) {
+  drc_engine e;
+  const rules::rule r = rules::layer(layers::M1).spacing().greater_than(tech::wire_space);
+  EXPECT_TRUE(
+      e.check_region(gen_.lib, r, rect{900000, 900000, 900100, 900100}).violations.empty());
+}
+
+TEST_F(RegionCheck, EngineStateResetsAfterRegionCheck) {
+  drc_engine e;
+  const rules::rule r = rules::layer(layers::M1).spacing().greater_than(tech::wire_space);
+  const auto before = e.check(gen_.lib, r).violations;
+  (void)e.check_region(gen_.lib, r, rect{0, 0, 100, 100});
+  const auto after = e.check(gen_.lib, r).violations;
+  EXPECT_EQ(norm(before), norm(after));  // the region must not leak
+}
+
+TEST_F(RegionCheck, ParallelModeAgrees) {
+  drc_engine seq({.run_mode = mode::sequential});
+  drc_engine par({.run_mode = mode::parallel});
+  const rules::rule r = rules::layer(layers::M2).spacing().greater_than(tech::wire_space);
+  const rect w{0, -450, 5000, 2000};
+  EXPECT_EQ(norm(seq.check_region(gen_.lib, r, w).violations),
+            norm(par.check_region(gen_.lib, r, w).violations));
+}
+
+}  // namespace
+}  // namespace odrc::engine

@@ -1,0 +1,125 @@
+// Output rendering tests: SVG structure and violation-marker GDS export.
+#include "render/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/engine.hpp"
+#include "gdsii/reader.hpp"
+#include "gdsii/writer.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::render {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+db::library tiny_lib() {
+  db::library lib("tiny");
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(1, {0, 0, 100, 20});
+  lib.at(top).add_rect(1, {0, 40, 100, 60});
+  lib.at(top).add_rect(2, {10, 5, 18, 13});
+  return lib;
+}
+
+TEST(Svg, EmitsOnePolygonPerShape) {
+  std::ostringstream out;
+  write_svg(tiny_lib(), out);
+  const std::string svg = out.str();
+  EXPECT_EQ(count_occurrences(svg, "<polygon"), 3u);
+  EXPECT_EQ(count_occurrences(svg, "<g id=\"layer1\""), 1u);
+  EXPECT_EQ(count_occurrences(svg, "<g id=\"layer2\""), 1u);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, LayerFilter) {
+  std::ostringstream out;
+  svg_options opts;
+  opts.layers = {2};
+  write_svg(tiny_lib(), out, opts);
+  const std::string svg = out.str();
+  EXPECT_EQ(count_occurrences(svg, "<polygon"), 1u);
+  EXPECT_EQ(count_occurrences(svg, "layer1"), 0u);
+}
+
+TEST(Svg, ViolationMarkersDrawn) {
+  const db::library lib = tiny_lib();
+  std::vector<checks::violation> vs{
+      {checks::rule_kind::spacing, 1, 1, edge{{0, 20}, {100, 20}}, edge{{0, 40}, {100, 40}}, 400},
+  };
+  std::ostringstream out;
+  write_svg(lib, out, {}, vs);
+  const std::string svg = out.str();
+  EXPECT_EQ(count_occurrences(svg, "<g id=\"violations\""), 1u);
+  EXPECT_NE(svg.find("#ff2d2d"), std::string::npos);
+  EXPECT_NE(svg.find("<title>spacing L1</title>"), std::string::npos);
+}
+
+TEST(Svg, EmptyLibraryStillValid) {
+  db::library lib("empty");
+  (void)lib.add_cell("top");
+  std::ostringstream out;
+  write_svg(lib, out);
+  EXPECT_NE(out.str().find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, DeterministicOutput) {
+  std::ostringstream a, b;
+  const db::library lib = tiny_lib();
+  write_svg(lib, a);
+  write_svg(lib, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Markers, RoundTripThroughGds) {
+  auto spec = workload::spec_for("uart", 0.5);
+  spec.inject = {1, 1, 1, 1};
+  const auto g = workload::generate(spec);
+  drc_engine e;
+  using workload::layers;
+  using workload::tech;
+  const auto violations = e.run_spacing(g.lib, layers::M1, tech::wire_space).violations;
+  ASSERT_FALSE(violations.empty());
+
+  const db::library markers = violation_markers(violations, g.lib.name());
+  EXPECT_EQ(markers.expanded_polygon_count(), violations.size());
+  // Each marker carries the rule-kind layer and name.
+  const db::cell& c = markers.at(*markers.find("MARKERS"));
+  for (const db::polygon_elem& p : c.polygons()) {
+    EXPECT_EQ(p.layer,
+              marker_layer_base + static_cast<int>(checks::rule_kind::spacing));
+    EXPECT_EQ(p.name, "spacing");
+  }
+
+  // Binary round trip.
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  gdsii::write(markers, buf);
+  const db::library back = gdsii::read(buf);
+  EXPECT_EQ(back.expanded_polygon_count(), violations.size());
+}
+
+TEST(Markers, DegenerateGeometryGetsExtent) {
+  // Two collinear edges join to a zero-height MBR; the marker must still be
+  // a valid polygon.
+  std::vector<checks::violation> vs{
+      {checks::rule_kind::width, 1, 1, edge{{0, 10}, {50, 10}}, edge{{0, 10}, {50, 10}}, 0},
+  };
+  const db::library markers = violation_markers(vs);
+  const db::cell& c = markers.at(0);
+  ASSERT_EQ(c.polygons().size(), 1u);
+  EXPECT_GT(c.polygons()[0].poly.mbr().height(), 0);
+  EXPECT_TRUE(c.polygons()[0].poly.is_rectilinear());
+}
+
+}  // namespace
+}  // namespace odrc::render

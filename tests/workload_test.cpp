@@ -1,0 +1,134 @@
+// Workload generator tests: determinism, structure, scaling, and injection
+// bookkeeping.
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "db/mbr_index.hpp"
+#include "gdsii/writer.hpp"
+
+namespace odrc::workload {
+namespace {
+
+TEST(Workload, DesignNamesMatchPaper) {
+  EXPECT_EQ(design_names(),
+            (std::vector<std::string>{"aes", "ethmac", "ibex", "jpeg", "sha3", "uart"}));
+  for (const std::string& n : design_names()) {
+    EXPECT_EQ(spec_for(n).name, n);
+  }
+  EXPECT_THROW(spec_for("nonesuch"), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicBytes) {
+  auto spec = spec_for("ibex", 0.3);
+  spec.inject = {1, 2, 1, 1};
+  const auto a = generate(spec);
+  const auto b = generate(spec);
+  std::ostringstream sa(std::ios::binary), sb(std::ios::binary);
+  gdsii::write(a.lib, sa);
+  gdsii::write(b.lib, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_EQ(a.sites.size(), b.sites.size());
+}
+
+TEST(Workload, SeedChangesLayout) {
+  auto s1 = spec_for("ibex", 0.3);
+  auto s2 = s1;
+  s2.seed += 1;
+  std::ostringstream a(std::ios::binary), b(std::ios::binary);
+  gdsii::write(generate(s1).lib, a);
+  gdsii::write(generate(s2).lib, b);
+  EXPECT_NE(a.str(), b.str());
+}
+
+TEST(Workload, AllLayersPopulated) {
+  const auto g = generate(spec_for("uart", 1.0));
+  const db::mbr_index idx(g.lib);
+  for (const db::layer_t l :
+       {layers::M1, layers::M2, layers::M3, layers::V1, layers::V2, layers::PWR}) {
+    EXPECT_TRUE(std::find(idx.layers().begin(), idx.layers().end(), l) != idx.layers().end())
+        << "layer " << l;
+  }
+}
+
+TEST(Workload, HierarchyShape) {
+  // Designs with blocks have depth 3 (top -> block -> std cell).
+  const auto deep = generate(spec_for("aes", 0.3));
+  EXPECT_EQ(deep.lib.hierarchy_depth(), 3u);
+  const auto shallow = generate(spec_for("uart", 1.0));
+  EXPECT_EQ(shallow.lib.hierarchy_depth(), 2u);
+  // One top cell each.
+  EXPECT_EQ(deep.lib.top_cells().size(), 1u);
+  EXPECT_EQ(shallow.lib.top_cells().size(), 1u);
+}
+
+TEST(Workload, ScaleControlsSize) {
+  const auto small = generate(spec_for("aes", 0.2));
+  const auto large = generate(spec_for("aes", 0.6));
+  EXPECT_LT(small.lib.expanded_polygon_count(), large.lib.expanded_polygon_count());
+}
+
+TEST(Workload, RelativeDesignSizes) {
+  // ethmac > aes > uart, as in the paper's benchmark suite.
+  const auto uart = generate(spec_for("uart", 0.3));
+  const auto aes = generate(spec_for("aes", 0.3));
+  const auto ethmac = generate(spec_for("ethmac", 0.3));
+  EXPECT_LT(uart.lib.expanded_polygon_count(), aes.lib.expanded_polygon_count());
+  EXPECT_LT(aes.lib.expanded_polygon_count(), ethmac.lib.expanded_polygon_count());
+}
+
+TEST(Workload, InjectionBookkeeping) {
+  auto spec = spec_for("uart", 0.5);
+  spec.inject = {3, 2, 1, 4};
+  const auto g = generate(spec);
+  // width/spacing/area per metal layer; enclosure per (via, metal) rule.
+  EXPECT_EQ(g.site_count(checks::rule_kind::width, layers::M1), 3u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::width, layers::M2), 3u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::width, layers::M3), 3u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::spacing, layers::M2), 2u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::area, layers::M3), 4u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::enclosure, layers::V1, layers::M1), 1u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::enclosure, layers::V2, layers::M2), 1u);
+  EXPECT_EQ(g.site_count(checks::rule_kind::enclosure, layers::V2, layers::M3), 1u);
+  EXPECT_EQ(g.sites.size(), 3u * (3 + 2 + 4) + 3u);
+}
+
+TEST(Workload, NoInjectionNoSites) {
+  const auto g = generate(spec_for("uart", 0.5));
+  EXPECT_TRUE(g.sites.empty());
+}
+
+TEST(Workload, UsesArrayReferences) {
+  const auto g = generate(spec_for("aes", 0.4));
+  bool has_aref = false;
+  for (const db::cell& c : g.lib.cells()) {
+    if (!c.arrays().empty()) has_aref = true;
+  }
+  EXPECT_TRUE(has_aref);
+}
+
+TEST(Workload, MirroredRowsPresent) {
+  const auto g = generate(spec_for("uart", 1.0));
+  bool has_mirror = false;
+  for (const db::cell& c : g.lib.cells()) {
+    for (const db::cell_ref& r : c.refs()) {
+      if (r.trans.reflect_x) has_mirror = true;
+    }
+  }
+  EXPECT_TRUE(has_mirror);
+}
+
+TEST(Workload, ViasAreProperlySized) {
+  const auto g = generate(spec_for("uart", 1.0));
+  const db::mbr_index idx(g.lib);
+  for (const db::element_ref& er : idx.elements_on_layer(layers::V1)) {
+    const rect m = g.lib.at(er.cell).polygons()[er.poly_index].poly.mbr();
+    EXPECT_EQ(m.width(), tech::via_size);
+    EXPECT_EQ(m.height(), tech::via_size);
+  }
+}
+
+}  // namespace
+}  // namespace odrc::workload

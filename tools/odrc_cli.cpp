@@ -1,0 +1,222 @@
+// odrc — the command-line front end of the engine (interface layer).
+//
+// Usage:
+//   odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--report=out.txt]
+//   odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]
+//   odrc inspect <layout.gds>
+//   odrc deck-template
+//
+// `check` reads a GDSII stream and a text rule deck (see
+// src/engine/deck_parser.hpp for the format), runs the engine and prints a
+// violation summary; `generate` emits one of the six synthetic benchmark
+// designs; `deck-template` prints a ready-to-edit ASAP7-like deck.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "engine/deck_parser.hpp"
+#include "lefdef/lefdef.hpp"
+#include "render/render.hpp"
+#include "report/violation_db.hpp"
+#include "engine/engine.hpp"
+#include "gdsii/reader.hpp"
+#include "gdsii/writer.hpp"
+#include "infra/timer.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace odrc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--report=out.txt]\n"
+               "             [--markers=out.gds] [--json=out.json]\n"
+               "             (also accepts --lef=<f> --def=<f> inputs)\n"
+               "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
+               "  odrc inspect <layout.gds>\n"
+               "  odrc render <layout.gds> <out.svg> [--deck=rules.deck]\n"
+               "  odrc diff <baseline_report.txt> <current_report.txt>\n"
+               "  odrc deck-template\n");
+  return 2;
+}
+
+std::string opt_value(int argc, char** argv, const char* name, const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+int cmd_check(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string gds = argv[2];
+  const std::string deck_path = argv[3];
+  const std::string mode_s = opt_value(argc, argv, "mode", "seq");
+  const std::string report_path = opt_value(argc, argv, "report", "");
+  const std::string markers_path = opt_value(argc, argv, "markers", "");
+  const std::string json_path = opt_value(argc, argv, "json", "");
+
+  timer t_total;
+  const std::string lef = opt_value(argc, argv, "lef", "");
+  const std::string def = opt_value(argc, argv, "def", "");
+  const db::library lib = (!lef.empty() && !def.empty())
+                              ? lefdef::read_lef_def(lef, def,
+                                                     {{"M1", 19}, {"M2", 20}, {"M3", 30},
+                                                      {"V1", 21}, {"V2", 25}, {"PWR", 18}})
+                              : gdsii::read(gds);
+  const auto deck = rules::parse_deck_file(deck_path);
+  std::printf("loaded %s: %zu cells, %llu flat polygons; %zu rules from %s\n", gds.c_str(),
+              lib.cell_count(), static_cast<unsigned long long>(lib.expanded_polygon_count()),
+              deck.size(), deck_path.c_str());
+
+  engine_config cfg;
+  cfg.run_mode = mode_s == "par" ? engine::mode::parallel : engine::mode::sequential;
+  drc_engine eng(cfg);
+
+  report::violation_db db(lib.name());
+  engine::check_report total;
+  for (const rules::rule& r : deck) {
+    timer t;
+    auto rep = eng.check(lib, r);
+    std::printf("  %-16s %8.3fs  %zu violations\n", r.name.c_str(), t.seconds(),
+                rep.violations.size());
+    db.add(r.name, rep.violations);
+    total.merge_from(std::move(rep));
+  }
+  std::printf("total: %zu violations in %.3fs (%s mode)\n", total.violations.size(),
+              t_total.seconds(), mode_s.c_str());
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report '%s'\n", report_path.c_str());
+      return 1;
+    }
+    db.write_text(out);
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write json '%s'\n", json_path.c_str());
+      return 1;
+    }
+    db.write_json(out);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  if (!markers_path.empty()) {
+    gdsii::write(render::violation_markers(total.violations, lib.name()), markers_path);
+    std::printf("violation markers written to %s\n", markers_path.c_str());
+  }
+  return total.violations.empty() ? 0 : 1;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string design = argv[2];
+  const std::string out = argv[3];
+  const double scale = std::atof(opt_value(argc, argv, "scale", "1.0").c_str());
+  const int inject = std::atoi(opt_value(argc, argv, "inject", "0").c_str());
+
+  auto spec = workload::spec_for(design, scale > 0 ? scale : 1.0);
+  spec.inject = {inject, inject, inject, inject};
+  const auto g = workload::generate(spec);
+  gdsii::write(g.lib, out);
+  std::printf("wrote %s: %zu cells, %llu flat polygons, %zu injected violation sites\n",
+              out.c_str(), g.lib.cell_count(),
+              static_cast<unsigned long long>(g.lib.expanded_polygon_count()), g.sites.size());
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const db::library lib = gdsii::read(argv[2]);
+  std::printf("library '%s': %zu cells, depth %zu, %llu flat polygons\n", lib.name().c_str(),
+              lib.cell_count(), lib.hierarchy_depth(),
+              static_cast<unsigned long long>(lib.expanded_polygon_count()));
+  for (const db::cell_id top : lib.top_cells()) {
+    std::printf("top cell: %s\n", lib.at(top).name().c_str());
+  }
+  return 0;
+}
+
+int cmd_render(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const db::library lib = gdsii::read(argv[2]);
+  const std::string deck_path = opt_value(argc, argv, "deck", "");
+  std::vector<checks::violation> violations;
+  if (!deck_path.empty()) {
+    drc_engine eng;
+    eng.add_rules(rules::parse_deck_file(deck_path));
+    violations = eng.check(lib).violations;
+    std::printf("%zu violations will be marked\n", violations.size());
+  }
+  render::write_svg(lib, std::string(argv[3]), {}, violations);
+  std::printf("rendered %s\n", argv[3]);
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::ifstream a(argv[2]), b(argv[3]);
+  if (!a || !b) {
+    std::fprintf(stderr, "cannot open report files\n");
+    return 2;
+  }
+  const auto d = report::diff_reports(report::parse_text_report(a),
+                                      report::parse_text_report(b));
+  std::printf("fixed: %zu, introduced: %zu\n", d.fixed.size(), d.introduced.size());
+  for (const report::report_line& rl : d.introduced) {
+    std::printf("  NEW %s %s L%d [%d,%d .. %d,%d] measured=%lld\n", rl.rule.c_str(),
+                std::string(checks::rule_kind_name(rl.kind)).c_str(), rl.layer1, rl.box.x_min,
+                rl.box.y_min, rl.box.x_max, rl.box.y_max,
+                static_cast<long long>(rl.measured));
+  }
+  return d.clean() ? 0 : 1;
+}
+
+int cmd_deck_template() {
+  std::printf(
+      "# ASAP7-like BEOL rule deck (distances in nm = dbu)\n"
+      "rule SHAPES      rectilinear\n"
+      "rule M1.W.1      width       layer=19 min=18\n"
+      "rule M2.W.1      width       layer=20 min=18\n"
+      "rule M3.W.1      width       layer=30 min=18\n"
+      "rule M1.S.1      spacing     layer=19 min=18\n"
+      "rule M2.S.1      spacing     layer=20 min=18\n"
+      "# conditional (PRL) spacing example — long parallel runs need more room:\n"
+      "# rule M2.S.PRL   spacing     layer=20 min=18 prl=500:24\n"
+      "rule M3.S.1      spacing     layer=30 min=18\n"
+      "rule M1.A.1      area        layer=19 min=1000\n"
+      "rule V1.M1.EN.1  enclosure   inner=21 outer=19 min=5\n"
+      "rule V2.M2.EN.1  enclosure   inner=25 outer=20 min=5\n"
+      "rule V2.M3.EN.1  enclosure   inner=25 outer=30 min=5\n"
+      "rule V1.M1.OV    overlap     layer=21 with=19 min_area=64\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "check") return cmd_check(argc, argv);
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "render") return cmd_render(argc, argv);
+    if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "deck-template") return cmd_deck_template();
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "odrc: %s\n", e.what());
+    return 1;
+  }
+}
