@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_executor"
+  "../bench/ablation_executor.pdb"
+  "CMakeFiles/ablation_executor.dir/ablation_executor.cpp.o"
+  "CMakeFiles/ablation_executor.dir/ablation_executor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

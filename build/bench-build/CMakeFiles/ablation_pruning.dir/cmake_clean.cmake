@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pruning"
+  "../bench/ablation_pruning.pdb"
+  "CMakeFiles/ablation_pruning.dir/ablation_pruning.cpp.o"
+  "CMakeFiles/ablation_pruning.dir/ablation_pruning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_boolean"
+  "../bench/micro_boolean.pdb"
+  "CMakeFiles/micro_boolean.dir/micro_boolean.cpp.o"
+  "CMakeFiles/micro_boolean.dir/micro_boolean.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_boolean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bvh"
+  "../bench/micro_bvh.pdb"
+  "CMakeFiles/micro_bvh.dir/micro_bvh.cpp.o"
+  "CMakeFiles/micro_bvh.dir/micro_bvh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

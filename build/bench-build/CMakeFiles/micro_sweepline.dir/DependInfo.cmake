@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_sweepline.cpp" "bench-build/CMakeFiles/micro_sweepline.dir/micro_sweepline.cpp.o" "gcc" "bench-build/CMakeFiles/micro_sweepline.dir/micro_sweepline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/odrc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/odrc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gdsii/CMakeFiles/odrc_gdsii.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/odrc_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/odrc_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/checks/CMakeFiles/odrc_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/odrc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/odrc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/odrc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/infra/CMakeFiles/odrc_infra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sweepline"
+  "../bench/micro_sweepline.pdb"
+  "CMakeFiles/micro_sweepline.dir/micro_sweepline.cpp.o"
+  "CMakeFiles/micro_sweepline.dir/micro_sweepline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sweepline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

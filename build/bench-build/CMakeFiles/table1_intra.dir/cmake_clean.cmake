@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_intra"
+  "../bench/table1_intra.pdb"
+  "CMakeFiles/table1_intra.dir/table1_intra.cpp.o"
+  "CMakeFiles/table1_intra.dir/table1_intra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

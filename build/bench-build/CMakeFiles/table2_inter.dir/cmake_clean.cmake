@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_inter"
+  "../bench/table2_inter.pdb"
+  "CMakeFiles/table2_inter.dir/table2_inter.cpp.o"
+  "CMakeFiles/table2_inter.dir/table2_inter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
