@@ -1,0 +1,72 @@
+// Deck-batching bench: wall-clock of one batched deck pass vs per-rule
+// execution, sequential and parallel mode.
+//
+// The deck has 9 pair rules over 3 layers (M2 spacing ×4 incl. a PRL tier,
+// M3 spacing ×2, V2-in-M3 enclosure ×3), so batching collapses nine full
+// pipeline passes — instance enumeration, adaptive row partition, candidate
+// sweep, and in parallel mode the per-row edge pack + upload — into three,
+// evaluating all predicates of a group per candidate pair. Expected shape:
+// batched beats per-rule in both modes, with the larger win in parallel mode
+// where the pack/upload is the dominant shared cost.
+#include "table_common.hpp"
+
+int main() {
+  using namespace odrc;
+  using namespace odrc::bench;
+  using workload::layers;
+  using workload::tech;
+
+  std::vector<rules::rule> deck = {
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space).named("M2.S.1"),
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space - 4).named("M2.S.2"),
+      rules::layer(layers::M2).spacing().greater_than(12)
+          .when_projection_over(100, 24).named("M2.S.PRL"),
+      rules::layer(layers::M2).spacing().greater_than(8).named("M2.S.3"),
+      rules::layer(layers::M3).spacing().greater_than(tech::wire_space).named("M3.S.1"),
+      rules::layer(layers::M3).spacing().greater_than(10).named("M3.S.2"),
+      rules::layer(layers::V2).enclosed_by(layers::M3).greater_than(tech::via_enclosure)
+          .named("V2.M3.EN.1"),
+      rules::layer(layers::V2).enclosed_by(layers::M3).greater_than(3).named("V2.M3.EN.2"),
+      rules::layer(layers::V2).enclosed_by(layers::M3).greater_than(1).named("V2.M3.EN.3"),
+  };
+
+  std::printf("Deck batching: %zu pair rules over 3 layers (scale=%.2f, best of %d)\n",
+              deck.size(), bench_scale(), bench_repeats());
+  std::printf("%-8s %-10s %10s %10s %8s %10s %10s\n", "Design", "Mode", "per-rule", "batched",
+              "speedup", "shared(s)", "saved(s)");
+
+  for (const std::string& design : workload::design_names()) {
+    auto spec = workload::spec_for(design, bench_scale());
+    spec.inject = {2, 2, 2, 2};
+    const auto g = workload::generate(spec);
+
+    for (const engine::mode m : {engine::mode::sequential, engine::mode::parallel}) {
+      engine_config cfg;
+      cfg.run_mode = m;
+
+      cfg.batch = false;
+      drc_engine per_rule(cfg);
+      per_rule.add_rules(deck);
+      engine::check_report unbatched;
+      const double t_per_rule =
+          time_best([&] { return per_rule.check(g.lib); }, &unbatched);
+
+      cfg.batch = true;
+      drc_engine batched(cfg);
+      batched.add_rules(deck);
+      engine::check_report combined;
+      const double t_batched = time_best([&] { return batched.check(g.lib); }, &combined);
+
+      if (combined.violations.size() != unbatched.violations.size()) {
+        std::fprintf(stderr, "MISMATCH %s: batched %zu vs per-rule %zu violations\n",
+                     design.c_str(), combined.violations.size(), unbatched.violations.size());
+        return 1;
+      }
+      std::printf("%-8s %-10s %10.3f %10.3f %7.2fx %10.3f %10.3f\n", design.c_str(),
+                  m == engine::mode::sequential ? "seq" : "par", t_per_rule, t_batched,
+                  t_per_rule / std::max(t_batched, 1e-9), combined.deck.shared_seconds,
+                  combined.deck.saved_seconds);
+    }
+  }
+  return 0;
+}

@@ -1,343 +1,53 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <mutex>
 #include <optional>
-#include <unordered_map>
 
 #include "db/flatten.hpp"
 #include "db/mbr_index.hpp"
+#include "engine/pipeline.hpp"
+#include "engine/plan.hpp"
 #include "geo/boolean.hpp"
-#include "geo/quadtree.hpp"
-#include "geo/rtree.hpp"
-#include "device/device.hpp"
-#include "infra/logger.hpp"
 #include "infra/thread_pool.hpp"
 
 namespace odrc::engine {
 
 namespace {
 
-using checks::check_stats;
 using checks::violation;
 using db::cell_id;
 using db::layer_t;
 
-// ---------------------------------------------------------------------------
-// Per-master layer views
-// ---------------------------------------------------------------------------
-
-// The polygons a master contributes *directly* to one layer (its references
-// appear as separate placed instances, so they are excluded here).
-struct master_layer_view {
-  std::vector<std::uint32_t> poly_indices;
-  std::vector<rect> poly_mbrs;  // master-local frame
-  rect mbr;                     // union of the above
-
-  [[nodiscard]] bool empty() const { return poly_indices.empty(); }
-};
-
-master_layer_view make_layer_view(const db::cell& c, layer_t layer) {
-  master_layer_view v;
-  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
-    const db::polygon_elem& p = c.polygons()[pi];
-    if (layer != rules::any_layer && p.layer != layer) continue;
-    v.poly_indices.push_back(pi);
-    v.poly_mbrs.push_back(p.poly.mbr());
-    v.mbr = v.mbr.join(v.poly_mbrs.back());
+// Shared-phase time of a group's shared report: the phases paid once per
+// group regardless of how many rules it batches.
+double shared_phase_seconds(const check_report& r) {
+  double s = 0;
+  for (const char* name : {"partition", "sweepline", "pack", "device"}) {
+    auto it = r.phases.phases().find(name);
+    if (it != r.phases.phases().end()) s += it->second;
   }
-  return v;
+  return s;
 }
 
-// Cache of layer views per (master, layer) for one check run.
-class view_cache {
- public:
-  explicit view_cache(const db::library& lib) : lib_(lib) {}
-
-  const master_layer_view& get(cell_id id, layer_t layer) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(id) << 16) |
-                              static_cast<std::uint16_t>(layer);
-    auto it = map_.find(key);
-    if (it != map_.end()) return it->second;
-    return map_.emplace(key, make_layer_view(lib_.at(id), layer)).first->second;
-  }
-
- private:
-  const db::library& lib_;
-  std::unordered_map<std::uint64_t, master_layer_view> map_;
-};
-
-// ---------------------------------------------------------------------------
-// Check objects
-// ---------------------------------------------------------------------------
-
-// A check object: either a whole placed cell (poly_index == whole_cell), or
-// one individual polygon of a placed cell. Masters instantiated exactly once
-// with many polygons (typically the top cell holding the routing) are split
-// into per-polygon objects so the adaptive partition operates on wires, not
-// on one giant pseudo-cell; there is no reuse to lose since the master
-// occurs once.
-inline constexpr std::uint32_t whole_cell = 0xFFFFFFFFu;
-
-struct inst {
-  cell_id master = db::invalid_cell;
-  std::uint32_t poly_index = whole_cell;  // index into the layer view's list
-  transform t;
-  rect mbr;  // transformed layer MBR (of the cell or the single polygon)
-
-  [[nodiscard]] bool split() const { return poly_index != whole_cell; }
-};
-
-// Threshold above which a single-use master is split into polygon objects.
-inline constexpr std::size_t split_poly_threshold = 8;
-
-std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views, cell_id top,
-                                    layer_t layer,
-                                    const std::optional<rect>& window = std::nullopt,
-                                    coord_t inflate = 0) {
-  const auto placed = db::flat_instance_list(idx, top, layer);
-  std::unordered_map<cell_id, std::uint32_t> occurrences;
-  for (const db::placed_cell& pc : placed) ++occurrences[pc.master];
-
-  std::vector<inst> out;
-  for (const db::placed_cell& pc : placed) {
-    const master_layer_view& v = views.get(pc.master, layer);
-    if (v.empty()) continue;
-    const rect cell_mbr = pc.to_top.apply(v.mbr);
-    if (window && !window->inflated(inflate).overlaps(cell_mbr)) continue;
-    if (occurrences[pc.master] == 1 && v.poly_indices.size() > split_poly_threshold) {
-      for (std::uint32_t k = 0; k < v.poly_indices.size(); ++k) {
-        const rect pm = pc.to_top.apply(v.poly_mbrs[k]);
-        if (window && !window->inflated(inflate).overlaps(pm)) continue;
-        out.push_back({pc.master, k, pc.to_top, pm});
-      }
-    } else {
-      out.push_back({pc.master, whole_cell, pc.to_top, cell_mbr});
-    }
-  }
-  return out;
+// Amortization accounting for one executed group: the shared phases ran once
+// instead of once per member rule.
+void count_group(deck_stats& ds, const check_report& shared, std::size_t members) {
+  const double secs = shared_phase_seconds(shared);
+  ds.groups += 1;
+  if (members > 1) ds.batched_rules += members;
+  ds.shared_seconds += secs;
+  ds.saved_seconds += secs * static_cast<double>(members - 1);
 }
 
-// ---------------------------------------------------------------------------
-// Partition helper
-// ---------------------------------------------------------------------------
-
-partition::partition_result partition_instances(const engine_config& cfg,
-                                                std::span<const rect> mbrs, coord_t distance,
-                                                check_report& report) {
-  partition::partition_result part;
-  if (cfg.enable_partition) {
-    auto t = report.phases.measure("partition");
-    part = partition::partition_rows(mbrs, distance, cfg.merge);
-  } else {
-    // Ablation: one row, one clip, everything inside.
-    partition::row r;
-    partition::clip c;
-    for (std::uint32_t i = 0; i < mbrs.size(); ++i) {
-      if (!mbrs[i].empty()) c.members.push_back(i);
-    }
-    r.clips.push_back(std::move(c));
-    part.rows.push_back(std::move(r));
+// One singleton group per pair plan: the batch=off execution shape.
+std::vector<plan_group> singleton_groups(std::span<const exec_plan> plans) {
+  std::vector<plan_group> groups;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const exec_plan& p = plans[i];
+    if (p.cls != plan_class::pair) continue;
+    groups.push_back({p.layer1, p.layer2, p.two_layer, p.inflate, {i}});
   }
-  report.rows += part.rows.size();
-  report.clips += part.clip_count();
-  return part;
-}
-
-// Sound candidate inflation: a violating pair's MBR gap is strictly below
-// the rule distance, so inflating BOTH sides by ceil(d/2) already makes the
-// MBRs overlap. Using d here would double the candidate halo and enumerate
-// pairs the partition correctly proves independent.
-constexpr coord_t half_distance(coord_t d) { return static_cast<coord_t>((d + 1) / 2); }
-
-// Candidate pair enumeration inside one clip: sweepline (paper default) or
-// packed R-tree, per engine_config::candidates.
-void enumerate_overlap_pairs(const engine_config& cfg, std::span<const rect> mbrs,
-                             coord_t inflate, sweep::sweep_stats& stats,
-                             const std::function<void(std::uint32_t, std::uint32_t)>& report) {
-  if (cfg.candidates == candidate_strategy::sweepline) {
-    sweep::overlap_pairs_inflated(mbrs, inflate, report, &stats);
-    return;
-  }
-  std::vector<rect> inflated(mbrs.size());
-  for (std::size_t i = 0; i < mbrs.size(); ++i) inflated[i] = mbrs[i].inflated(inflate);
-  auto count_and_report = [&](std::uint32_t i, std::uint32_t j) {
-    ++stats.pairs_reported;
-    report(i, j);
-  };
-  if (cfg.candidates == candidate_strategy::rtree) {
-    const geo::rtree tree(inflated);
-    tree.overlap_pairs(count_and_report);
-  } else {
-    const geo::quadtree tree(inflated);
-    tree.overlap_pairs(count_and_report);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Intra-polygon rules (width / area / rectilinear / custom)
-// ---------------------------------------------------------------------------
-
-// Compute the master-local violations of an intra rule.
-std::vector<violation> compute_intra_master(const db::cell& c, const master_layer_view& v,
-                                            const rules::rule& r, check_stats& cs) {
-  std::vector<violation> out;
-  for (std::uint32_t pi : v.poly_indices) {
-    const db::polygon_elem& p = c.polygons()[pi];
-    switch (r.kind) {
-      case checks::rule_kind::width:
-        checks::check_width(p.poly, p.layer, r.distance, out, cs);
-        break;
-      case checks::rule_kind::area:
-        checks::check_area(p.poly, p.layer, r.min_area, out, cs);
-        break;
-      case checks::rule_kind::rectilinear:
-        checks::check_rectilinear(p.poly, p.layer, out, cs);
-        break;
-      case checks::rule_kind::custom: {
-        ++cs.polygons_tested;
-        if (r.predicate && !r.predicate(p)) {
-          const rect m = p.poly.mbr();
-          out.push_back({checks::rule_kind::custom, p.layer, p.layer,
-                         edge{{m.x_min, m.y_min}, {m.x_max, m.y_min}},
-                         edge{{m.x_min, m.y_max}, {m.x_max, m.y_max}}, 0});
-        }
-        break;
-      }
-      default: break;
-    }
-  }
-  return out;
-}
-
-// Intra checks over already-transformed polygons (used for magnified
-// instances, whose master results cannot be reused: distances scale).
-std::vector<violation> compute_intra_polys(std::span<const polygon> polys, layer_t layer,
-                                           const rules::rule& r, check_stats& cs) {
-  std::vector<violation> out;
-  for (const polygon& p : polys) {
-    switch (r.kind) {
-      case checks::rule_kind::width:
-        checks::check_width(p, layer, r.distance, out, cs);
-        break;
-      case checks::rule_kind::area:
-        checks::check_area(p, layer, r.min_area, out, cs);
-        break;
-      case checks::rule_kind::rectilinear:
-        checks::check_rectilinear(p, layer, out, cs);
-        break;
-      default: break;  // custom rules are transform-independent
-    }
-  }
-  return out;
-}
-
-// Device variant of the width check for one master (paper: intra checks also
-// run on the GPU in parallel mode; Table I's "Par" column).
-std::vector<violation> compute_intra_master_device(device::stream& s, const db::cell& c,
-                                                   const master_layer_view& v,
-                                                   const rules::rule& r,
-                                                   const engine_config& cfg,
-                                                   sweep::device_check_stats& ds) {
-  std::vector<sweep::packed_edge> edges;
-  for (std::size_t k = 0; k < v.poly_indices.size(); ++k) {
-    const db::polygon_elem& p = c.polygons()[v.poly_indices[k]];
-    sweep::pack_polygon_edges(p.poly, static_cast<std::uint32_t>(k), 0, edges);
-  }
-  std::vector<violation> out;
-  sweep::device_check_config dcfg{sweep::pair_check::width, r.distance, r.layer1, r.layer1,
-                                  sweep::sweep_axis::y};
-  sweep::device_check_edges_with(s, edges, dcfg, cfg.executor, out, ds, cfg.brute_threshold);
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Pair computations (shared predicates)
-// ---------------------------------------------------------------------------
-
-// The polygons of one check object, pre-transformed into the check frame.
-struct poly_set {
-  std::vector<polygon> polys;
-  std::vector<rect> mbrs;
-};
-
-poly_set transformed_polys(const db::cell& c, const master_layer_view& v, const transform& t) {
-  poly_set ps;
-  ps.polys.reserve(v.poly_indices.size());
-  ps.mbrs.reserve(v.poly_indices.size());
-  for (std::uint32_t pi : v.poly_indices) {
-    ps.polys.push_back(t.is_identity() ? c.polygons()[pi].poly
-                                       : c.polygons()[pi].poly.transformed(t));
-    ps.mbrs.push_back(ps.polys.back().mbr());
-  }
-  return ps;
-}
-
-// Polygons of a check object in the frame `frame ∘ inst.t` (pass the
-// identity frame for top coordinates).
-poly_set polys_of(const db::library& lib, view_cache& views, const inst& in, layer_t layer,
-                  const transform& extra) {
-  const db::cell& c = lib.at(in.master);
-  const master_layer_view& v = views.get(in.master, layer);
-  const transform t = extra.compose(in.t);
-  if (!in.split()) return transformed_polys(c, v, t);
-  poly_set ps;
-  const std::uint32_t pi = v.poly_indices[in.poly_index];
-  ps.polys.push_back(t.is_identity() ? c.polygons()[pi].poly
-                                     : c.polygons()[pi].poly.transformed(t));
-  ps.mbrs.push_back(ps.polys.back().mbr());
-  return ps;
-}
-
-// Intra-master spacing: polygon-pair gaps + per-polygon notches, in the
-// master's local frame.
-std::vector<violation> compute_spacing_intra(const db::cell& c, const master_layer_view& v,
-                                             layer_t layer, const checks::spacing_table& table,
-                                             check_stats& cs, sweep::sweep_stats& ss) {
-  const coord_t dist = table.max_distance();
-  std::vector<violation> out;
-  for (std::uint32_t pi : v.poly_indices) {
-    checks::check_spacing_notch(c.polygons()[pi].poly, layer, table, out, cs);
-  }
-  sweep::overlap_pairs_inflated(v.poly_mbrs, half_distance(dist),
-                                [&](std::uint32_t i, std::uint32_t j) {
-                                  checks::check_spacing(c.polygons()[v.poly_indices[i]].poly,
-                                                        c.polygons()[v.poly_indices[j]].poly,
-                                                        layer, table, out, cs);
-                                },
-                                &ss);
-  return out;
-}
-
-// Spacing between two poly sets (already in a common frame).
-void spacing_between(const poly_set& a, const poly_set& b, layer_t layer,
-                     const checks::spacing_table& table, std::vector<violation>& out,
-                     check_stats& cs) {
-  const coord_t dist = table.max_distance();
-  for (std::size_t i = 0; i < a.polys.size(); ++i) {
-    const rect am = a.mbrs[i].inflated(dist);
-    for (std::size_t j = 0; j < b.polys.size(); ++j) {
-      if (!am.overlaps(b.mbrs[j])) continue;
-      checks::check_spacing(a.polys[i], b.polys[j], layer, table, out, cs);
-    }
-  }
-}
-
-// Enclosure between inner set `a` and outer set `b` (common frame);
-// `a_contained[i]` is set when outer polygon fully contains inner i.
-void enclosure_between(const poly_set& a, const poly_set& b, layer_t inner, layer_t outer,
-                       coord_t enc, std::vector<violation>& out,
-                       std::vector<std::uint8_t>& a_contained, check_stats& cs) {
-  for (std::size_t i = 0; i < a.polys.size(); ++i) {
-    const rect im = a.mbrs[i].inflated(enc);
-    for (std::size_t j = 0; j < b.polys.size(); ++j) {
-      if (!im.overlaps(b.mbrs[j])) continue;
-      if (checks::check_enclosure(a.polys[i], b.polys[j], inner, outer, enc, out, cs)) {
-        a_contained[i] = 1;
-      }
-    }
-  }
+  return groups;
 }
 
 }  // namespace
@@ -347,20 +57,10 @@ void enclosure_between(const poly_set& a, const poly_set& b, layer_t inner, laye
 // ---------------------------------------------------------------------------
 
 struct drc_engine::impl {
-  // One device stream per pipeline slot, created on first use (paper V-C:
-  // "OpenDRC creates CUDA stream objects that are responsible for
-  // asynchronous operations").
-  std::vector<std::unique_ptr<device::stream>> streams;
+  stream_pool streams;
   // Active region-of-interest (set only inside check_region): instance
   // collection prunes to it and the final report is filtered to it.
   std::optional<rect> region;
-
-  device::stream& get_stream(std::size_t slot = 0) {
-    while (streams.size() <= slot) {
-      streams.push_back(std::make_unique<device::stream>(device::context::instance()));
-    }
-    return *streams[slot];
-  }
 };
 
 drc_engine::drc_engine(engine_config cfg) : cfg_(cfg), impl_(std::make_unique<impl>()) {}
@@ -372,17 +72,64 @@ void drc_engine::add_rules(std::vector<rules::rule> deck) {
 }
 
 check_report drc_engine::check(const db::library& lib) {
+  if (cfg_.batch) return check_deck(lib).total;
   check_report merged;
   for (const rules::rule& r : deck_) merged.merge_from(check(lib, r));
   return merged;
 }
 
+deck_report drc_engine::check_deck(const db::library& lib) {
+  deck_report out;
+  out.per_rule.resize(deck_.size());
+
+  std::vector<exec_plan> plans;
+  plans.reserve(deck_.size());
+  for (const rules::rule& r : deck_) plans.push_back(compile_plan(r));
+  const std::vector<plan_group> groups =
+      cfg_.batch ? group_pair_plans(plans) : singleton_groups(plans);
+
+  for (const plan_group& g : groups) {
+    group_report gr = run_pair_group(cfg_, impl_->streams, lib, plans, g, impl_->region);
+    count_group(out.total.deck, gr.shared, g.members.size());
+    for (std::size_t k = 0; k < g.members.size(); ++k) {
+      out.per_rule[g.members[k]].merge_from(std::move(gr.per_rule[k]));
+    }
+    out.total.merge_from(std::move(gr.shared));
+  }
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].cls == plan_class::pair) continue;
+    out.per_rule[i] = check(lib, deck_[i]);
+  }
+  for (const check_report& r : out.per_rule) out.total.merge_from(check_report(r));
+  return out;
+}
+
 check_report drc_engine::check_concurrent(const db::library& lib) {
-  std::vector<check_report> reports(deck_.size());
-  thread_pool::global().parallel_for(0, deck_.size(), [&](std::size_t i) {
-    // A private engine per task: no shared memo tables, no shared stream.
-    drc_engine worker(cfg_);
-    reports[i] = worker.check(lib, deck_[i]);
+  std::vector<exec_plan> plans;
+  plans.reserve(deck_.size());
+  for (const rules::rule& r : deck_) plans.push_back(compile_plan(r));
+  const std::vector<plan_group> groups =
+      cfg_.batch ? group_pair_plans(plans) : singleton_groups(plans);
+  std::vector<std::size_t> solo;  // non-pair rules, one task each
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].cls != plan_class::pair) solo.push_back(i);
+  }
+
+  // One task per group + one per remaining rule. Each task owns its stream
+  // pool, memo tables and caches, so rule checks never share mutable state.
+  const std::size_t ntasks = groups.size() + solo.size();
+  std::vector<check_report> reports(ntasks);
+  thread_pool::global().parallel_for(0, ntasks, [&](std::size_t t) {
+    if (t < groups.size()) {
+      stream_pool local_streams;
+      group_report gr =
+          run_pair_group(cfg_, local_streams, lib, plans, groups[t], impl_->region);
+      count_group(reports[t].deck, gr.shared, groups[t].members.size());
+      reports[t].merge_from(std::move(gr).merged());
+    } else {
+      drc_engine worker(cfg_);
+      reports[t] = worker.check(lib, deck_[solo[t - groups.size()]]);
+    }
   });
   check_report merged;
   for (check_report& r : reports) merged.merge_from(std::move(r));
@@ -407,6 +154,80 @@ check_report drc_engine::check(const db::library& lib, const rules::rule& r) {
       return run_coloring(lib, r.layer1, r.distance);
   }
   return {};
+}
+
+check_report drc_engine::check_region(const db::library& lib, const rules::rule& r,
+                                      const rect& window) {
+  impl_->region = window;
+  check_report report;
+  try {
+    report = check(lib, r);
+  } catch (...) {
+    impl_->region.reset();
+    throw;
+  }
+  impl_->region.reset();
+  // Exact semantics: keep precisely the violations with an offending edge
+  // touching the window (candidate pruning above examined a halo).
+  std::erase_if(report.violations, [&](const checks::violation& v) {
+    return !window.overlaps(v.e1.mbr()) && !window.overlaps(v.e2.mbr());
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Single-rule entry points: compile the rule into a plan and hand it to the
+// pipeline driver (a pair rule is a one-member group).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+check_report run_single_pair_plan(const engine_config& cfg, stream_pool& streams,
+                                  const db::library& lib, const rules::rule& r,
+                                  const std::optional<rect>& window) {
+  const exec_plan plan = compile_plan(r);
+  const plan_group g{plan.layer1, plan.layer2, plan.two_layer, plan.inflate, {0}};
+  return run_pair_group(cfg, streams, lib, std::span(&plan, 1), g, window).merged();
+}
+
+}  // namespace
+
+check_report drc_engine::run_width(const db::library& lib, layer_t layer, coord_t min_width) {
+  rules::rule r{checks::rule_kind::width, layer, layer, min_width, 0, {}, {}};
+  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+}
+
+check_report drc_engine::run_area(const db::library& lib, layer_t layer, area_t min_area) {
+  rules::rule r{checks::rule_kind::area, layer, layer, 0, min_area, {}, {}};
+  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+}
+
+check_report drc_engine::run_rectilinear(const db::library& lib, layer_t layer) {
+  rules::rule r{checks::rule_kind::rectilinear, layer, layer, 0, 0, {}, {}};
+  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+}
+
+check_report drc_engine::run_custom(const db::library& lib, layer_t layer,
+                                    const std::function<bool(const db::polygon_elem&)>& pred) {
+  rules::rule r{checks::rule_kind::custom, layer, layer, 0, 0, pred, {}};
+  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+}
+
+check_report drc_engine::run_spacing(const db::library& lib, layer_t layer, coord_t min_space) {
+  return run_spacing(lib, layer, checks::spacing_table::simple(min_space));
+}
+
+check_report drc_engine::run_spacing(const db::library& lib, layer_t layer,
+                                     const checks::spacing_table& table) {
+  rules::rule r{checks::rule_kind::spacing, layer,      layer, table.max_distance(),
+                0,                          {},         {},    table};
+  return run_single_pair_plan(cfg_, impl_->streams, lib, r, impl_->region);
+}
+
+check_report drc_engine::run_enclosure(const db::library& lib, layer_t inner, layer_t outer,
+                                       coord_t min_enclosure) {
+  rules::rule r{checks::rule_kind::enclosure, inner, outer, min_enclosure, 0, {}, {}};
+  return run_single_pair_plan(cfg_, impl_->streams, lib, r, impl_->region);
 }
 
 // ---------------------------------------------------------------------------
@@ -501,561 +322,6 @@ check_report drc_engine::run_derived_area(const db::library& lib, checks::rule_k
                                    edge{{c.mbr.x_min, c.mbr.y_min}, {c.mbr.x_max, c.mbr.y_min}},
                                    edge{{c.mbr.x_min, c.mbr.y_max}, {c.mbr.x_max, c.mbr.y_max}},
                                    c.area});
-    }
-  }
-  return report;
-}
-
-// ---------------------------------------------------------------------------
-// Intra-polygon rules
-// ---------------------------------------------------------------------------
-
-namespace {
-
-check_report run_intra_rule(const engine_config& cfg, device::stream* stream,
-                            const db::library& lib, const rules::rule& r,
-                            const std::optional<rect>& window = std::nullopt) {
-  check_report report;
-  const db::mbr_index idx(lib);
-  view_cache views(lib);
-
-  // Layers this rule touches: a specific layer, or every populated layer.
-  std::vector<layer_t> layers;
-  if (r.layer1 == rules::any_layer) {
-    layers = idx.layers();
-  } else {
-    layers.push_back(r.layer1);
-  }
-
-  for (const layer_t layer : layers) {
-    // The memo caches master-local results for ONE layer; a master can carry
-    // several layers, so the cache must not leak across layer passes.
-    intra_memo memo;
-    for (const cell_id top : lib.top_cells()) {
-      rules::rule layer_rule = r;
-      layer_rule.layer1 = layer;
-      auto t = report.phases.measure("edge_check");
-      for (const db::placed_cell& pc : db::flat_instance_list(idx, top, layer)) {
-        const master_layer_view& v = views.get(pc.master, layer);
-        if (v.empty()) continue;
-        if (window && !window->overlaps(pc.to_top.apply(v.mbr))) continue;
-        ++report.instances;
-        if (!pc.to_top.is_isometry() && r.kind != checks::rule_kind::custom &&
-            r.kind != checks::rule_kind::rectilinear) {
-          // Magnification scales distances and areas: the memoized master
-          // result does not transfer (paper IV-C: reuse only when "the
-          // transformations preserve the target properties of the check").
-          const poly_set ps = transformed_polys(lib.at(pc.master), v, pc.to_top);
-          for (const violation& lv :
-               compute_intra_polys(ps.polys, layer, layer_rule, report.check_stats)) {
-            report.violations.push_back(lv);
-          }
-          continue;
-        }
-        const std::vector<violation>* local = cfg.enable_memoization ? memo.find(pc.master)
-                                                                     : nullptr;
-        if (local) {
-          ++report.prune.intra_reused;
-        } else {
-          ++report.prune.intra_computed;
-          std::vector<violation> computed;
-          if (cfg.run_mode == mode::parallel && r.kind == checks::rule_kind::width && stream) {
-            computed = compute_intra_master_device(*stream, lib.at(pc.master), v, layer_rule,
-                                                   cfg, report.device_stats);
-          } else {
-            computed = compute_intra_master(lib.at(pc.master), v, layer_rule,
-                                            report.check_stats);
-          }
-          if (cfg.enable_memoization) {
-            local = &memo.store(pc.master, std::move(computed));
-          } else {
-            for (const violation& lv : computed) {
-              report.violations.push_back(transformed(lv, pc.to_top));
-            }
-            continue;
-          }
-        }
-        for (const violation& lv : *local) {
-          report.violations.push_back(transformed(lv, pc.to_top));
-        }
-      }
-    }
-  }
-  return report;
-}
-
-}  // namespace
-
-check_report drc_engine::run_width(const db::library& lib, layer_t layer, coord_t min_width) {
-  rules::rule r{checks::rule_kind::width, layer, layer, min_width, 0, {}, {}};
-  return run_intra_rule(cfg_, cfg_.run_mode == mode::parallel ? &impl_->get_stream() : nullptr,
-                        lib, r, impl_->region);
-}
-
-check_report drc_engine::run_area(const db::library& lib, layer_t layer, area_t min_area) {
-  rules::rule r{checks::rule_kind::area, layer, layer, 0, min_area, {}, {}};
-  return run_intra_rule(cfg_, nullptr, lib, r, impl_->region);
-}
-
-check_report drc_engine::run_rectilinear(const db::library& lib, layer_t layer) {
-  rules::rule r{checks::rule_kind::rectilinear, layer, layer, 0, 0, {}, {}};
-  return run_intra_rule(cfg_, nullptr, lib, r, impl_->region);
-}
-
-check_report drc_engine::run_custom(const db::library& lib, layer_t layer,
-                                    const std::function<bool(const db::polygon_elem&)>& pred) {
-  rules::rule r{checks::rule_kind::custom, layer, layer, 0, 0, pred, {}};
-  return run_intra_rule(cfg_, nullptr, lib, r, impl_->region);
-}
-
-check_report drc_engine::check_region(const db::library& lib, const rules::rule& r,
-                                      const rect& window) {
-  impl_->region = window;
-  check_report report;
-  try {
-    report = check(lib, r);
-  } catch (...) {
-    impl_->region.reset();
-    throw;
-  }
-  impl_->region.reset();
-  // Exact semantics: keep precisely the violations with an offending edge
-  // touching the window (candidate pruning above examined a halo).
-  std::erase_if(report.violations, [&](const checks::violation& v) {
-    return !window.overlaps(v.e1.mbr()) && !window.overlaps(v.e2.mbr());
-  });
-  return report;
-}
-
-// ---------------------------------------------------------------------------
-// Spacing
-// ---------------------------------------------------------------------------
-
-check_report drc_engine::run_spacing(const db::library& lib, layer_t layer, coord_t min_space) {
-  return run_spacing(lib, layer, checks::spacing_table::simple(min_space));
-}
-
-check_report drc_engine::run_spacing(const db::library& lib, layer_t layer,
-                                     const checks::spacing_table& table) {
-  const coord_t min_space = table.max_distance();
-  check_report report;
-  const db::mbr_index idx(lib);
-  view_cache views(lib);
-  intra_memo imemo;
-  pair_memo pmemo;
-
-  for (const cell_id top : lib.top_cells()) {
-    const std::vector<inst> insts =
-        collect_instances(idx, views, top, layer, impl_->region, min_space);
-    report.instances += insts.size();
-    if (insts.empty()) continue;
-
-    std::vector<rect> mbrs(insts.size());
-    for (std::size_t i = 0; i < insts.size(); ++i) mbrs[i] = insts[i].mbr;
-    const partition::partition_result part =
-        partition_instances(cfg_, mbrs, min_space, report);
-
-    if (cfg_.run_mode == mode::parallel) {
-      // Row pipeline (Section V-C): up to pipeline_depth rows are in flight,
-      // each on its own stream, while the host packs the next row.
-      const std::size_t depth = std::max<std::size_t>(1, cfg_.pipeline_depth);
-      sweep::device_check_config dcfg{sweep::pair_check::spacing, min_space, layer, layer,
-                                      sweep::sweep_axis::x, table};
-
-      auto pack_row = [&](const partition::row& row) {
-        auto t = report.phases.measure("pack");
-        std::vector<sweep::packed_edge> edges;
-        std::uint32_t poly_id = 0;
-        for (const partition::clip& c : row.clips) {
-          for (const std::uint32_t m : c.members) {
-            const poly_set ps = polys_of(lib, views, insts[m], layer, transform{});
-            for (const polygon& p : ps.polys) {
-              sweep::pack_polygon_edges(p, poly_id++, 0, edges);
-            }
-          }
-        }
-        return edges;
-      };
-
-      std::deque<sweep::async_edge_check> in_flight;
-      std::size_t slot = 0;
-      for (std::size_t ri = 0; ri < part.rows.size(); ++ri) {
-        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri]);
-        // Earlier rows keep running on their streams while this row was
-        // packed; drain the oldest only once the pipeline is full.
-        if (in_flight.size() >= depth) {
-          auto t = report.phases.measure("device");
-          in_flight.front().finish(report.violations, report.device_stats);
-          in_flight.pop_front();
-        }
-        in_flight.emplace_back(impl_->get_stream(slot++ % depth), std::move(edges), dcfg,
-                               cfg_.executor, cfg_.brute_threshold);
-      }
-      while (!in_flight.empty()) {
-        auto t = report.phases.measure("device");
-        in_flight.front().finish(report.violations, report.device_stats);
-        in_flight.pop_front();
-      }
-      continue;
-    }
-
-    // Sequential branch: per clip, sweepline over object MBRs, then memoized
-    // intra/pair edge checks. Clips are mutually independent (partition
-    // soundness), so under cfg_.host_parallel they run on the worker pool;
-    // the shared memo tables sit behind mutexes. unordered_map references
-    // are node-stable, so a reference obtained under the lock stays valid
-    // after it is released — but an existing entry is never overwritten
-    // (another thread may be reading it).
-    std::mutex imemo_mu, pmemo_mu;
-
-    auto process_clip = [&](const partition::clip& clip, check_report& rep) {
-      // Intra-object results (memoized per master for whole-cell objects; a
-      // split object is a single polygon whose only intra concern is its
-      // notches).
-      for (const std::uint32_t m : clip.members) {
-        const inst& in = insts[m];
-        if (in.split()) {
-          auto t = rep.phases.measure("edge_check");
-          const master_layer_view& v = views.get(in.master, layer);
-          const db::cell& c = lib.at(in.master);
-          std::vector<violation> local;
-          checks::check_spacing_notch(c.polygons()[v.poly_indices[in.poly_index]].poly, layer,
-                                      table, local, rep.check_stats);
-          for (const violation& lv : local) {
-            rep.violations.push_back(transformed(lv, in.t));
-          }
-          continue;
-        }
-        if (!in.t.is_isometry()) {
-          // Magnified instance: distances scale, master results do not
-          // transfer; check the transformed geometry directly.
-          auto t = rep.phases.measure("edge_check");
-          const poly_set ps = polys_of(lib, views, in, layer, transform{});
-          for (std::size_t pi = 0; pi < ps.polys.size(); ++pi) {
-            checks::check_spacing_notch(ps.polys[pi], layer, table, rep.violations,
-                                        rep.check_stats);
-            for (std::size_t pj = pi + 1; pj < ps.polys.size(); ++pj) {
-              if (!ps.mbrs[pi].inflated(min_space).overlaps(ps.mbrs[pj])) continue;
-              checks::check_spacing(ps.polys[pi], ps.polys[pj], layer, table, rep.violations,
-                                    rep.check_stats);
-            }
-          }
-          continue;
-        }
-        const std::vector<violation>* local = nullptr;
-        if (cfg_.enable_memoization) {
-          std::lock_guard lk(imemo_mu);
-          local = imemo.find(in.master);
-        }
-        if (local) {
-          ++rep.prune.intra_reused;
-        } else {
-          ++rep.prune.intra_computed;
-          auto t = rep.phases.measure("edge_check");
-          std::vector<violation> computed =
-              compute_spacing_intra(lib.at(in.master), views.get(in.master, layer), layer,
-                                    table, rep.check_stats, rep.sweep_stats);
-          if (cfg_.enable_memoization) {
-            std::lock_guard lk(imemo_mu);
-            const std::vector<violation>* existing = imemo.find(in.master);
-            local = existing ? existing : &imemo.store(in.master, std::move(computed));
-          } else {
-            for (const violation& lv : computed) {
-              rep.violations.push_back(transformed(lv, in.t));
-            }
-            continue;
-          }
-        }
-        for (const violation& lv : *local) {
-          rep.violations.push_back(transformed(lv, in.t));
-        }
-      }
-
-      // Candidate object pairs from the sweepline (Fig. 3).
-      std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-      {
-        auto t = rep.phases.measure("sweepline");
-        std::vector<rect> clip_mbrs(clip.members.size());
-        for (std::size_t k = 0; k < clip.members.size(); ++k) {
-          clip_mbrs[k] = insts[clip.members[k]].mbr;
-        }
-        enumerate_overlap_pairs(
-            cfg_, clip_mbrs, half_distance(min_space),
-            rep.sweep_stats,
-            [&](std::uint32_t i, std::uint32_t j) {
-              pairs.emplace_back(clip.members[i], clip.members[j]);
-            });
-        rep.prune.pairs_pruned_mbr +=
-            clip.members.size() * (clip.members.size() - 1) / 2 - pairs.size();
-      }
-
-      auto t = rep.phases.measure("edge_check");
-      for (const auto& [ia, ib] : pairs) {
-        const inst& a = insts[ia];
-        const inst& b = insts[ib];
-        if (!a.split() && !b.split() && cfg_.enable_memoization && a.t.is_isometry() &&
-            b.t.is_isometry()) {
-          // Relative placement of B in A's frame — the memo key. Only valid
-          // for isometries: transform::inverse requires mag == 1, and
-          // magnified geometry scales the distances the memo caches.
-          const transform rel = a.t.inverse().compose(b.t);
-          const pair_key key{a.master, b.master, rel};
-          const pair_result* pr = nullptr;
-          {
-            std::lock_guard lk(pmemo_mu);
-            pr = pmemo.find(key);
-          }
-          if (pr) {
-            ++rep.prune.pairs_reused;
-          } else {
-            ++rep.prune.pairs_computed;
-            pair_result computed;
-            spacing_between(
-                transformed_polys(lib.at(a.master), views.get(a.master, layer), transform{}),
-                transformed_polys(lib.at(b.master), views.get(b.master, layer), rel), layer,
-                table, computed.local, rep.check_stats);
-            std::lock_guard lk(pmemo_mu);
-            const pair_result* existing = pmemo.find(key);
-            pr = existing ? existing : &pmemo.store(key, std::move(computed));
-          }
-          for (const violation& lv : pr->local) {
-            rep.violations.push_back(transformed(lv, a.t));
-          }
-        } else {
-          // Direct path (split objects or memoization disabled): check in
-          // top coordinates.
-          ++rep.prune.pairs_computed;
-          spacing_between(polys_of(lib, views, a, layer, transform{}),
-                          polys_of(lib, views, b, layer, transform{}), layer, table,
-                          rep.violations, rep.check_stats);
-        }
-      }
-    };
-
-    std::vector<const partition::clip*> clips;
-    for (const partition::row& row : part.rows) {
-      for (const partition::clip& clip : row.clips) clips.push_back(&clip);
-    }
-    if (cfg_.host_parallel && clips.size() > 1) {
-      std::vector<check_report> locals(clips.size());
-      thread_pool::global().parallel_for(
-          0, clips.size(), [&](std::size_t i) { process_clip(*clips[i], locals[i]); });
-      for (check_report& lr : locals) report.merge_from(std::move(lr));
-    } else {
-      for (const partition::clip* c : clips) process_clip(*c, report);
-    }
-  }
-  return report;
-}
-
-// ---------------------------------------------------------------------------
-// Enclosure
-// ---------------------------------------------------------------------------
-
-check_report drc_engine::run_enclosure(const db::library& lib, layer_t inner, layer_t outer,
-                                       coord_t min_enclosure) {
-  check_report report;
-  const db::mbr_index idx(lib);
-  view_cache views(lib);
-  pair_memo pmemo;
-
-  for (const cell_id top : lib.top_cells()) {
-    const std::vector<inst> inner_insts =
-        collect_instances(idx, views, top, inner, impl_->region, min_enclosure);
-    const std::vector<inst> outer_insts =
-        collect_instances(idx, views, top, outer, impl_->region, min_enclosure);
-    report.instances += inner_insts.size() + outer_insts.size();
-    if (inner_insts.empty()) continue;
-
-    // Combined MBR list: inner objects first, then outer.
-    const std::size_t ni = inner_insts.size();
-    std::vector<rect> mbrs(ni + outer_insts.size());
-    for (std::size_t i = 0; i < ni; ++i) mbrs[i] = inner_insts[i].mbr;
-    for (std::size_t j = 0; j < outer_insts.size(); ++j) mbrs[ni + j] = outer_insts[j].mbr;
-    const partition::partition_result part =
-        partition_instances(cfg_, mbrs, min_enclosure, report);
-
-    // Containment flags per inner polygon, ORed across pairs.
-    auto inner_poly_count = [&](const inst& in) -> std::size_t {
-      return in.split() ? 1 : views.get(in.master, inner).poly_indices.size();
-    };
-    std::vector<std::vector<std::uint8_t>> contained(ni);
-    for (std::size_t i = 0; i < ni; ++i) contained[i].assign(inner_poly_count(inner_insts[i]), 0);
-
-    std::mutex pmemo_mu, contained_mu;
-    auto run_pair = [&](std::uint32_t ii, std::uint32_t oj, check_report& rep) {
-      const inst& a = inner_insts[ii];
-      const inst& b = outer_insts[oj];
-      if (!a.split() && !b.split() && cfg_.enable_memoization && a.t.is_isometry() &&
-          b.t.is_isometry()) {
-        const transform rel = a.t.inverse().compose(b.t);
-        const pair_key key{a.master, b.master, rel};
-        const pair_result* pr = nullptr;
-        {
-          std::lock_guard lk(pmemo_mu);
-          pr = pmemo.find(key);
-        }
-        if (pr) {
-          ++rep.prune.pairs_reused;
-        } else {
-          ++rep.prune.pairs_computed;
-          pair_result computed;
-          const poly_set pa =
-              transformed_polys(lib.at(a.master), views.get(a.master, inner), transform{});
-          computed.a_contained.assign(pa.polys.size(), 0);
-          enclosure_between(pa,
-                            transformed_polys(lib.at(b.master), views.get(b.master, outer), rel),
-                            inner, outer, min_enclosure, computed.local, computed.a_contained,
-                            rep.check_stats);
-          std::lock_guard lk(pmemo_mu);
-          const pair_result* existing = pmemo.find(key);
-          pr = existing ? existing : &pmemo.store(key, std::move(computed));
-        }
-        for (const violation& lv : pr->local) {
-          rep.violations.push_back(transformed(lv, a.t));
-        }
-        std::lock_guard lk(contained_mu);
-        for (std::size_t k = 0; k < pr->a_contained.size(); ++k) {
-          if (pr->a_contained[k]) contained[ii][k] = 1;
-        }
-      } else {
-        ++rep.prune.pairs_computed;
-        const poly_set pa = polys_of(lib, views, a, inner, transform{});
-        std::vector<std::uint8_t> local_contained(pa.polys.size(), 0);
-        enclosure_between(pa, polys_of(lib, views, b, outer, transform{}), inner, outer,
-                          min_enclosure, rep.violations, local_contained,
-                          rep.check_stats);
-        std::lock_guard lk(contained_mu);
-        for (std::size_t k = 0; k < local_contained.size(); ++k) {
-          if (local_contained[k]) contained[ii][k] = 1;
-        }
-      }
-    };
-
-    if (cfg_.run_mode == mode::parallel) {
-      const std::size_t depth = std::max<std::size_t>(1, cfg_.pipeline_depth);
-      sweep::device_check_config dcfg{sweep::pair_check::enclosure, min_enclosure, inner, outer,
-                                      sweep::sweep_axis::x};
-
-      auto pack_row = [&](const partition::row& row) {
-        auto t = report.phases.measure("pack");
-        std::vector<sweep::packed_edge> edges;
-        std::uint32_t poly_id = 0;
-        for (const partition::clip& c : row.clips) {
-          for (const std::uint32_t m : c.members) {
-            const bool is_inner = m < ni;
-            const inst& in = is_inner ? inner_insts[m] : outer_insts[m - ni];
-            const poly_set ps = polys_of(lib, views, in, is_inner ? inner : outer, transform{});
-            for (const polygon& p : ps.polys) {
-              sweep::pack_polygon_edges(p, poly_id++, is_inner ? 0 : 1, edges);
-            }
-          }
-        }
-        return edges;
-      };
-
-      std::deque<sweep::async_edge_check> in_flight;
-      std::size_t slot = 0;
-      for (std::size_t ri = 0; ri < part.rows.size(); ++ri) {
-        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri]);
-        if (in_flight.size() >= depth) {
-          auto t = report.phases.measure("device");
-          in_flight.front().finish(report.violations, report.device_stats);
-          in_flight.pop_front();
-        }
-        in_flight.emplace_back(impl_->get_stream(slot++ % depth), std::move(edges), dcfg,
-                               cfg_.executor, cfg_.brute_threshold);
-      }
-      while (!in_flight.empty()) {
-        auto t = report.phases.measure("device");
-        in_flight.front().finish(report.violations, report.device_stats);
-        in_flight.pop_front();
-      }
-      // Containment runs on the host (polygon containment is not an
-      // edge-pair-decomposable predicate).
-      auto t = report.phases.measure("edge_check");
-      for (std::size_t i = 0; i < ni; ++i) {
-        const poly_set pa = polys_of(lib, views, inner_insts[i], inner, transform{});
-        for (std::size_t k = 0; k < pa.polys.size(); ++k) {
-          const rect im = pa.mbrs[k];
-          for (const inst& oj : outer_insts) {
-            if (contained[i][k]) break;
-            if (!oj.mbr.inflated(0).overlaps(im)) continue;
-            const poly_set po = polys_of(lib, views, oj, outer, transform{});
-            for (std::size_t q = 0; q < po.polys.size(); ++q) {
-              if (!po.mbrs[q].contains(im)) continue;
-              bool all_in = true;
-              for (const point& p : pa.polys[k].vertices()) {
-                if (!po.polys[q].contains(p)) {
-                  all_in = false;
-                  break;
-                }
-              }
-              if (all_in) {
-                contained[i][k] = 1;
-                break;
-              }
-            }
-          }
-          if (!contained[i][k]) {
-            checks::report_uncontained(pa.polys[k], inner, outer, report.violations);
-          }
-        }
-      }
-      continue;
-    }
-
-    // Sequential branch: clips are independent, optionally parallel on the
-    // host pool (cfg_.host_parallel).
-    auto process_clip = [&](const partition::clip& clip, check_report& rep) {
-      std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  // (inner idx, outer idx)
-      {
-        auto t = rep.phases.measure("sweepline");
-        std::vector<rect> clip_mbrs(clip.members.size());
-        for (std::size_t k = 0; k < clip.members.size(); ++k) {
-          clip_mbrs[k] = mbrs[clip.members[k]];
-        }
-        enumerate_overlap_pairs(
-            cfg_, clip_mbrs, half_distance(min_enclosure),
-            rep.sweep_stats,
-            [&](std::uint32_t i, std::uint32_t j) {
-              const std::uint32_t gi = clip.members[i];
-              const std::uint32_t gj = clip.members[j];
-              const bool i_inner = gi < ni;
-              const bool j_inner = gj < ni;
-              if (i_inner && !j_inner) {
-                pairs.emplace_back(gi, gj - static_cast<std::uint32_t>(ni));
-              } else if (!i_inner && j_inner) {
-                pairs.emplace_back(gj, gi - static_cast<std::uint32_t>(ni));
-              }
-            });
-      }
-
-      auto t = rep.phases.measure("edge_check");
-      for (const auto& [ii, oj] : pairs) run_pair(ii, oj, rep);
-    };
-
-    std::vector<const partition::clip*> clips;
-    for (const partition::row& row : part.rows) {
-      for (const partition::clip& clip : row.clips) clips.push_back(&clip);
-    }
-    if (cfg_.host_parallel && clips.size() > 1) {
-      std::vector<check_report> locals(clips.size());
-      thread_pool::global().parallel_for(
-          0, clips.size(), [&](std::size_t i) { process_clip(*clips[i], locals[i]); });
-      for (check_report& lr : locals) report.merge_from(std::move(lr));
-    } else {
-      for (const partition::clip* c : clips) process_clip(*c, report);
-    }
-
-    // Report inner polygons contained by nothing.
-    auto t = report.phases.measure("edge_check");
-    for (std::size_t i = 0; i < ni; ++i) {
-      const poly_set pa = polys_of(lib, views, inner_insts[i], inner, transform{});
-      for (std::size_t k = 0; k < pa.polys.size(); ++k) {
-        if (contained[i][k]) continue;
-        checks::report_uncontained(pa.polys[k], inner, outer, report.violations);
-      }
     }
   }
   return report;

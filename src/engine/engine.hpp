@@ -72,6 +72,29 @@ struct engine_config {
   /// behind locks; results are identical to the serial order up to
   /// violation ordering.
   bool host_parallel = false;
+
+  /// Deck batching: rules whose compiled plans share a check-object space
+  /// (same layer set) execute over one shared pipeline pass — one instance
+  /// enumeration, one partition, one candidate sweep, and in parallel mode
+  /// one packed-edge upload per row evaluating every rule's predicate. Off:
+  /// each rule runs its own full pass (the pre-batching behaviour).
+  bool batch = true;
+};
+
+/// Deck-batching amortization counters (reported by the CLI's --batch path).
+struct deck_stats {
+  std::size_t groups = 0;        ///< pair-plan groups executed
+  std::size_t batched_rules = 0; ///< rules that shared a group with others
+  double shared_seconds = 0;     ///< shared-phase time paid once per group
+  double saved_seconds = 0;      ///< est. shared time avoided vs per-rule runs
+
+  deck_stats& operator+=(const deck_stats& o) {
+    groups += o.groups;
+    batched_rules += o.batched_rules;
+    shared_seconds += o.shared_seconds;
+    saved_seconds += o.saved_seconds;
+    return *this;
+  }
 };
 
 /// Everything a check run produces: violations plus the instrumentation the
@@ -83,12 +106,18 @@ struct check_report {
   sweep::sweep_stats sweep_stats;
   sweep::device_check_stats device_stats;
   prune_stats prune;
-  phase_profiler phases;  ///< "partition" / "sweepline" / "edge_check"
+  phase_profiler phases;  ///< "partition" / "sweepline" / "edge_check" / ...
+  deck_stats deck;        ///< batching amortization (deck-level runs only)
 
   std::size_t rows = 0;
   std::size_t clips = 0;
   std::size_t instances = 0;
 
+  /// Plain accumulation. Batched group runs keep shared-phase time
+  /// (partition / sweepline / pack / device) in exactly ONE report — the
+  /// group's shared report, never the per-rule reports (pipeline.hpp
+  /// group_report) — so merging a group's reports cannot double-count a
+  /// phase that was paid once for several rules.
   void merge_from(check_report&& o) {
     violations.insert(violations.end(), std::make_move_iterator(o.violations.begin()),
                       std::make_move_iterator(o.violations.end()));
@@ -97,10 +126,20 @@ struct check_report {
     device_stats += o.device_stats;
     prune += o.prune;
     for (const auto& [name, secs] : o.phases.phases()) phases.add(name, secs);
+    deck += o.deck;
     rows += o.rows;
     clips += o.clips;
     instances += o.instances;
   }
+};
+
+/// Deck-level result with per-rule attribution preserved: `per_rule[i]` is
+/// rule i's own report (its violations, predicate counters and edge_check
+/// time; shared group phases are not attributed to individual rules), and
+/// `total` merges everything plus the shared phase reports once per group.
+struct deck_report {
+  check_report total;
+  std::vector<check_report> per_rule;  ///< parallel to drc_engine::deck()
 };
 
 /// The DRC engine. Holds configuration and an optional rule deck; each
@@ -119,8 +158,15 @@ class drc_engine {
   void add_rules(std::vector<rules::rule> deck);
   [[nodiscard]] std::span<const rules::rule> deck() const { return deck_; }
 
-  /// Run every rule in the deck against `lib`; reports are merged.
+  /// Run every rule in the deck against `lib`; reports are merged. With
+  /// engine_config::batch (the default) this is check_deck(lib).total.
   check_report check(const db::library& lib);
+
+  /// Run the whole deck with per-rule report attribution. Rules whose plans
+  /// share a layer set are grouped (plan.hpp group_pair_plans) and executed
+  /// over one shared pipeline pass when engine_config::batch is set;
+  /// total.deck carries the amortization counters.
+  deck_report check_deck(const db::library& lib);
 
   /// Task parallelism (paper Section I: "different design rules can be
   /// checked concurrently"): run the deck's rules as independent tasks on

@@ -1,0 +1,716 @@
+#include "engine/pipeline.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+#include "db/flatten.hpp"
+#include "geo/quadtree.hpp"
+#include "geo/rtree.hpp"
+#include "infra/thread_pool.hpp"
+
+namespace odrc::engine {
+
+namespace {
+
+using checks::check_stats;
+using checks::violation;
+using db::cell_id;
+using db::layer_t;
+
+master_layer_view make_layer_view(const db::cell& c, layer_t layer) {
+  master_layer_view v;
+  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+    const db::polygon_elem& p = c.polygons()[pi];
+    if (layer != rules::any_layer && p.layer != layer) continue;
+    v.poly_indices.push_back(pi);
+    v.poly_mbrs.push_back(p.poly.mbr());
+    v.mbr = v.mbr.join(v.poly_mbrs.back());
+  }
+  return v;
+}
+
+}  // namespace
+
+const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(id) << 16) | static_cast<std::uint16_t>(layer);
+  {
+    std::shared_lock lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+  }
+  master_layer_view v = make_layer_view(lib_.at(id), layer);
+  std::unique_lock lk(mu_);
+  // Another thread may have inserted meanwhile; emplace keeps the winner.
+  return map_.emplace(key, std::move(v)).first->second;
+}
+
+std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views, cell_id top,
+                                    layer_t layer, const std::optional<rect>& window,
+                                    coord_t inflate) {
+  const auto placed = db::flat_instance_list(idx, top, layer);
+  std::unordered_map<cell_id, std::uint32_t> occurrences;
+  for (const db::placed_cell& pc : placed) ++occurrences[pc.master];
+
+  std::vector<inst> out;
+  for (const db::placed_cell& pc : placed) {
+    const master_layer_view& v = views.get(pc.master, layer);
+    if (v.empty()) continue;
+    const rect cell_mbr = pc.to_top.apply(v.mbr);
+    if (window && !window->inflated(inflate).overlaps(cell_mbr)) continue;
+    if (occurrences[pc.master] == 1 && v.poly_indices.size() > split_poly_threshold) {
+      for (std::uint32_t k = 0; k < v.poly_indices.size(); ++k) {
+        const rect pm = pc.to_top.apply(v.poly_mbrs[k]);
+        if (window && !window->inflated(inflate).overlaps(pm)) continue;
+        out.push_back({pc.master, k, pc.to_top, pm});
+      }
+    } else {
+      out.push_back({pc.master, whole_cell, pc.to_top, cell_mbr});
+    }
+  }
+  return out;
+}
+
+partition::partition_result partition_instances(const engine_config& cfg,
+                                                std::span<const rect> mbrs, coord_t distance,
+                                                check_report& report) {
+  partition::partition_result part;
+  if (cfg.enable_partition) {
+    auto t = report.phases.measure("partition");
+    part = partition::partition_rows(mbrs, distance, cfg.merge);
+  } else {
+    // Ablation: one row, one clip, everything inside.
+    partition::row r;
+    partition::clip c;
+    for (std::uint32_t i = 0; i < mbrs.size(); ++i) {
+      if (!mbrs[i].empty()) c.members.push_back(i);
+    }
+    r.clips.push_back(std::move(c));
+    part.rows.push_back(std::move(r));
+  }
+  report.rows += part.rows.size();
+  report.clips += part.clip_count();
+  return part;
+}
+
+void enumerate_overlap_pairs(const engine_config& cfg, std::span<const rect> mbrs,
+                             coord_t inflate, sweep::sweep_stats& stats,
+                             const std::function<void(std::uint32_t, std::uint32_t)>& report) {
+  if (cfg.candidates == candidate_strategy::sweepline) {
+    sweep::overlap_pairs_inflated(mbrs, inflate, report, &stats);
+    return;
+  }
+  std::vector<rect> inflated(mbrs.size());
+  for (std::size_t i = 0; i < mbrs.size(); ++i) inflated[i] = mbrs[i].inflated(inflate);
+  auto count_and_report = [&](std::uint32_t i, std::uint32_t j) {
+    ++stats.pairs_reported;
+    report(i, j);
+  };
+  if (cfg.candidates == candidate_strategy::rtree) {
+    const geo::rtree tree(inflated);
+    tree.overlap_pairs(count_and_report);
+  } else {
+    const geo::quadtree tree(inflated);
+    tree.overlap_pairs(count_and_report);
+  }
+}
+
+poly_set transformed_polys(const db::cell& c, const master_layer_view& v, const transform& t) {
+  poly_set ps;
+  ps.polys.reserve(v.poly_indices.size());
+  ps.mbrs.reserve(v.poly_indices.size());
+  for (std::uint32_t pi : v.poly_indices) {
+    ps.polys.push_back(t.is_identity() ? c.polygons()[pi].poly
+                                       : c.polygons()[pi].poly.transformed(t));
+    ps.mbrs.push_back(ps.polys.back().mbr());
+  }
+  return ps;
+}
+
+poly_set polys_of(const db::library& lib, view_cache& views, const inst& in, db::layer_t layer,
+                  const transform& extra) {
+  const db::cell& c = lib.at(in.master);
+  const master_layer_view& v = views.get(in.master, layer);
+  const transform t = extra.compose(in.t);
+  if (!in.split()) return transformed_polys(c, v, t);
+  poly_set ps;
+  const std::uint32_t pi = v.poly_indices[in.poly_index];
+  ps.polys.push_back(t.is_identity() ? c.polygons()[pi].poly
+                                     : c.polygons()[pi].poly.transformed(t));
+  ps.mbrs.push_back(ps.polys.back().mbr());
+  return ps;
+}
+
+check_report group_report::merged() && {
+  check_report total = std::move(shared);
+  for (check_report& r : per_rule) total.merge_from(std::move(r));
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Intra-class plans
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Compute the master-local violations of an intra rule.
+std::vector<violation> compute_intra_master(const db::cell& c, const master_layer_view& v,
+                                            const rules::rule& r, check_stats& cs) {
+  std::vector<violation> out;
+  for (std::uint32_t pi : v.poly_indices) {
+    const db::polygon_elem& p = c.polygons()[pi];
+    switch (r.kind) {
+      case checks::rule_kind::width:
+        checks::check_width(p.poly, p.layer, r.distance, out, cs);
+        break;
+      case checks::rule_kind::area:
+        checks::check_area(p.poly, p.layer, r.min_area, out, cs);
+        break;
+      case checks::rule_kind::rectilinear:
+        checks::check_rectilinear(p.poly, p.layer, out, cs);
+        break;
+      case checks::rule_kind::custom: {
+        ++cs.polygons_tested;
+        if (r.predicate && !r.predicate(p)) {
+          const rect m = p.poly.mbr();
+          out.push_back({checks::rule_kind::custom, p.layer, p.layer,
+                         edge{{m.x_min, m.y_min}, {m.x_max, m.y_min}},
+                         edge{{m.x_min, m.y_max}, {m.x_max, m.y_max}}, 0});
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+  return out;
+}
+
+// Intra checks over already-transformed polygons (used for magnified
+// instances, whose master results cannot be reused: distances scale).
+std::vector<violation> compute_intra_polys(std::span<const polygon> polys, layer_t layer,
+                                           const rules::rule& r, check_stats& cs) {
+  std::vector<violation> out;
+  for (const polygon& p : polys) {
+    switch (r.kind) {
+      case checks::rule_kind::width:
+        checks::check_width(p, layer, r.distance, out, cs);
+        break;
+      case checks::rule_kind::area:
+        checks::check_area(p, layer, r.min_area, out, cs);
+        break;
+      case checks::rule_kind::rectilinear:
+        checks::check_rectilinear(p, layer, out, cs);
+        break;
+      default: break;  // custom rules are transform-independent
+    }
+  }
+  return out;
+}
+
+// Device variant of the width check for one master (paper: intra checks also
+// run on the GPU in parallel mode; Table I's "Par" column).
+std::vector<violation> compute_intra_master_device(device::stream& s, const db::cell& c,
+                                                   const master_layer_view& v,
+                                                   const rules::rule& r,
+                                                   const engine_config& cfg,
+                                                   sweep::device_check_stats& ds) {
+  std::vector<sweep::packed_edge> edges;
+  for (std::size_t k = 0; k < v.poly_indices.size(); ++k) {
+    const db::polygon_elem& p = c.polygons()[v.poly_indices[k]];
+    sweep::pack_polygon_edges(p.poly, static_cast<std::uint32_t>(k), 0, edges);
+  }
+  std::vector<violation> out;
+  sweep::device_check_config dcfg{sweep::pair_check::width, r.distance, r.layer1, r.layer1,
+                                  sweep::sweep_axis::y};
+  sweep::device_check_edges_with(s, edges, dcfg, cfg.executor, out, ds, cfg.brute_threshold);
+  return out;
+}
+
+}  // namespace
+
+check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
+                            const db::library& lib, const exec_plan& plan,
+                            const std::optional<rect>& window) {
+  const rules::rule& r = plan.rule;
+  check_report report;
+  const db::mbr_index idx(lib);
+  view_cache views(lib);
+  device::stream* stream =
+      cfg.run_mode == mode::parallel && r.kind == checks::rule_kind::width ? &streams.get()
+                                                                           : nullptr;
+
+  // Layers this rule touches: a specific layer, or every populated layer.
+  std::vector<layer_t> layers;
+  if (r.layer1 == rules::any_layer) {
+    layers = idx.layers();
+  } else {
+    layers.push_back(r.layer1);
+  }
+
+  for (const layer_t layer : layers) {
+    // The memo caches master-local results for ONE layer; a master can carry
+    // several layers, so the cache must not leak across layer passes.
+    intra_memo memo;
+    for (const cell_id top : lib.top_cells()) {
+      rules::rule layer_rule = r;
+      layer_rule.layer1 = layer;
+      auto t = report.phases.measure("edge_check");
+      for (const db::placed_cell& pc : db::flat_instance_list(idx, top, layer)) {
+        const master_layer_view& v = views.get(pc.master, layer);
+        if (v.empty()) continue;
+        if (window && !window->overlaps(pc.to_top.apply(v.mbr))) continue;
+        ++report.instances;
+        if (!pc.to_top.is_isometry() && r.kind != checks::rule_kind::custom &&
+            r.kind != checks::rule_kind::rectilinear) {
+          // Magnification scales distances and areas: the memoized master
+          // result does not transfer (paper IV-C: reuse only when "the
+          // transformations preserve the target properties of the check").
+          const poly_set ps = transformed_polys(lib.at(pc.master), v, pc.to_top);
+          for (const violation& lv :
+               compute_intra_polys(ps.polys, layer, layer_rule, report.check_stats)) {
+            report.violations.push_back(lv);
+          }
+          continue;
+        }
+        const std::vector<violation>* local = cfg.enable_memoization ? memo.find(pc.master)
+                                                                     : nullptr;
+        if (local) {
+          ++report.prune.intra_reused;
+        } else {
+          ++report.prune.intra_computed;
+          std::vector<violation> computed;
+          if (stream) {
+            computed = compute_intra_master_device(*stream, lib.at(pc.master), v, layer_rule,
+                                                   cfg, report.device_stats);
+          } else {
+            computed = compute_intra_master(lib.at(pc.master), v, layer_rule,
+                                            report.check_stats);
+          }
+          if (cfg.enable_memoization) {
+            local = &memo.store(pc.master, std::move(computed));
+          } else {
+            for (const violation& lv : computed) {
+              report.violations.push_back(transformed(lv, pc.to_top));
+            }
+            continue;
+          }
+        }
+        for (const violation& lv : *local) {
+          report.violations.push_back(transformed(lv, pc.to_top));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Pair-class plan groups
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-plan memo tables with their locks. Built once per run_pair_group call;
+// never resized (mutexes are not movable).
+struct memo_slot {
+  intra_memo intra;
+  pair_memo pairs;
+  std::mutex intra_mu;
+  std::mutex pairs_mu;
+};
+
+// Intra-master work of one plan: per-polygon predicate (spacing notches) plus
+// polygon pairs within the master, candidate-filtered by a local sweepline.
+std::vector<violation> compute_intra_for_plan(const db::cell& c, const master_layer_view& v,
+                                              const exec_plan& plan, check_stats& cs,
+                                              sweep::sweep_stats& ss) {
+  std::vector<violation> out;
+  for (std::uint32_t pi : v.poly_indices) {
+    plan.check_single(c.polygons()[pi].poly, out, cs);
+  }
+  sweep::overlap_pairs_inflated(
+      v.poly_mbrs, half_distance(plan.inflate),
+      [&](std::uint32_t i, std::uint32_t j) {
+        plan.check_pair(c.polygons()[v.poly_indices[i]].poly, v.poly_mbrs[i],
+                        c.polygons()[v.poly_indices[j]].poly, v.poly_mbrs[j], out, nullptr, cs);
+      },
+      &ss);
+  return out;
+}
+
+}  // namespace
+
+group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
+                            const db::library& lib, std::span<const exec_plan> plans,
+                            const plan_group& g, const std::optional<rect>& window) {
+  group_report out;
+  const std::size_t nplans = g.members.size();
+  out.per_rule.resize(nplans);
+  check_report& shared = out.shared;
+  if (nplans == 0) return out;
+
+  std::vector<const exec_plan*> mp(nplans);
+  for (std::size_t k = 0; k < nplans; ++k) mp[k] = &plans[g.members[k]];
+  // Group invariants (group_pair_plans keys on (layer1, layer2, two_layer)):
+  // single-layer groups hold spacing plans (intra part, no containment),
+  // two-layer groups hold enclosure plans (containment, no intra part).
+  const bool track = mp.front()->track_containment;
+  const bool has_intra = mp.front()->intra_object;
+
+  const db::mbr_index idx(lib);
+  view_cache views(lib);
+  const auto memos = std::make_unique<memo_slot[]>(nplans);
+
+  for (const cell_id top : lib.top_cells()) {
+    const std::vector<inst> a_insts =
+        collect_instances(idx, views, top, g.layer1, window, g.inflate);
+    std::vector<inst> b_insts;
+    if (g.two_layer) b_insts = collect_instances(idx, views, top, g.layer2, window, g.inflate);
+    shared.instances += a_insts.size() + b_insts.size();
+    if (a_insts.empty()) continue;
+    const std::size_t ni = a_insts.size();
+
+    std::vector<rect> mbrs(ni + b_insts.size());
+    for (std::size_t i = 0; i < ni; ++i) mbrs[i] = a_insts[i].mbr;
+    for (std::size_t j = 0; j < b_insts.size(); ++j) mbrs[ni + j] = b_insts[j].mbr;
+    const partition::partition_result part = partition_instances(cfg, mbrs, g.inflate, shared);
+
+    // Containment flags per inner polygon, ORed across pairs. The flags are
+    // plan-independent (containment is pure geometry, no distance), so one
+    // array serves every member plan.
+    auto inner_poly_count = [&](const inst& in) -> std::size_t {
+      return in.split() ? 1 : views.get(in.master, g.layer1).poly_indices.size();
+    };
+    std::vector<std::vector<std::uint8_t>> contained;
+    if (track) {
+      contained.resize(ni);
+      for (std::size_t i = 0; i < ni; ++i) contained[i].assign(inner_poly_count(a_insts[i]), 0);
+    }
+    std::mutex contained_mu;
+
+    if (cfg.run_mode == mode::parallel) {
+      // Row pipeline (Section V-C): up to pipeline_depth rows are in flight,
+      // each on its own stream, while the host packs the next row. One
+      // upload per row; the multi-config kernel evaluates every member
+      // plan's predicate per candidate pair.
+      const std::size_t depth = std::max<std::size_t>(1, cfg.pipeline_depth);
+      std::vector<sweep::device_check_config> cfgs(nplans);
+      for (std::size_t k = 0; k < nplans; ++k) {
+        cfgs[k] = mp[k]->device_config(sweep::sweep_axis::x);
+      }
+      std::vector<std::vector<violation>*> outs(nplans);
+      for (std::size_t k = 0; k < nplans; ++k) outs[k] = &out.per_rule[k].violations;
+
+      auto pack_row = [&](const partition::row& row) {
+        auto t = shared.phases.measure("pack");
+        std::vector<sweep::packed_edge> edges;
+        std::uint32_t poly_id = 0;
+        for (const partition::clip& c : row.clips) {
+          for (const std::uint32_t m : c.members) {
+            const bool primary = m < ni;
+            const inst& in = primary ? a_insts[m] : b_insts[m - ni];
+            const poly_set ps =
+                polys_of(lib, views, in, primary ? g.layer1 : g.layer2, transform{});
+            for (const polygon& p : ps.polys) {
+              sweep::pack_polygon_edges(p, poly_id++, primary ? 0 : 1, edges);
+            }
+          }
+        }
+        return edges;
+      };
+
+      std::deque<sweep::async_multi_check> in_flight;
+      std::size_t slot = 0;
+      for (std::size_t ri = 0; ri < part.rows.size(); ++ri) {
+        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri]);
+        // Earlier rows keep running on their streams while this row was
+        // packed; drain the oldest only once the pipeline is full.
+        if (in_flight.size() >= depth) {
+          auto t = shared.phases.measure("device");
+          in_flight.front().finish(outs, shared.device_stats);
+          in_flight.pop_front();
+        }
+        in_flight.emplace_back(streams.get(slot++ % depth), std::move(edges), cfgs,
+                               cfg.executor, cfg.brute_threshold);
+      }
+      while (!in_flight.empty()) {
+        auto t = shared.phases.measure("device");
+        in_flight.front().finish(outs, shared.device_stats);
+        in_flight.pop_front();
+      }
+
+      if (track) {
+        // Containment runs on the host (polygon containment is not an
+        // edge-pair-decomposable predicate); the scan is shared, the
+        // uncontained verdict is reported once per member plan.
+        auto t = shared.phases.measure("edge_check");
+        for (std::size_t i = 0; i < ni; ++i) {
+          const poly_set pa = polys_of(lib, views, a_insts[i], g.layer1, transform{});
+          for (std::size_t k = 0; k < pa.polys.size(); ++k) {
+            const rect im = pa.mbrs[k];
+            for (const inst& oj : b_insts) {
+              if (contained[i][k]) break;
+              if (!oj.mbr.overlaps(im)) continue;
+              const poly_set po = polys_of(lib, views, oj, g.layer2, transform{});
+              for (std::size_t q = 0; q < po.polys.size(); ++q) {
+                if (!po.mbrs[q].contains(im)) continue;
+                bool all_in = true;
+                for (const point& p : pa.polys[k].vertices()) {
+                  if (!po.polys[q].contains(p)) {
+                    all_in = false;
+                    break;
+                  }
+                }
+                if (all_in) {
+                  contained[i][k] = 1;
+                  break;
+                }
+              }
+            }
+            if (!contained[i][k]) {
+              for (std::size_t kp = 0; kp < nplans; ++kp) {
+                checks::report_uncontained(pa.polys[k], g.layer1, g.layer2,
+                                           out.per_rule[kp].violations);
+              }
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    // Sequential branch. Clips are mutually independent (partition
+    // soundness), so under cfg.host_parallel they run on the worker pool;
+    // the per-plan memo tables sit behind mutexes. unordered_map references
+    // are node-stable, so a reference obtained under the lock stays valid
+    // after it is released — but an existing entry is never overwritten
+    // (another thread may be reading it).
+
+    // Evaluate every member plan on one candidate object pair.
+    auto run_pair = [&](std::uint32_t ia, std::uint32_t ib, std::span<check_report> pr) {
+      const inst& a = a_insts[ia];
+      const inst& b = g.two_layer ? b_insts[ib] : a_insts[ib];
+      const layer_t lb = g.two_layer ? g.layer2 : g.layer1;
+      if (!a.split() && !b.split() && cfg.enable_memoization && a.t.is_isometry() &&
+          b.t.is_isometry()) {
+        // Relative placement of B in A's frame — the memo key. Only valid
+        // for isometries: transform::inverse requires mag == 1, and
+        // magnified geometry scales the distances the memo caches.
+        const transform rel = a.t.inverse().compose(b.t);
+        const pair_key key{a.master, b.master, rel};
+        // The transformed geometry is shared across member plans that miss
+        // their memo; built lazily so all-hit pairs pay nothing.
+        std::optional<poly_set> pa, pb;
+        for (std::size_t k = 0; k < nplans; ++k) {
+          const pair_result* res = nullptr;
+          {
+            std::lock_guard lk(memos[k].pairs_mu);
+            res = memos[k].pairs.find(key);
+          }
+          if (res) {
+            ++pr[k].prune.pairs_reused;
+          } else {
+            ++pr[k].prune.pairs_computed;
+            auto t = pr[k].phases.measure("edge_check");
+            if (!pa) {
+              pa = transformed_polys(lib.at(a.master), views.get(a.master, g.layer1),
+                                     transform{});
+              pb = transformed_polys(lib.at(b.master), views.get(b.master, lb), rel);
+            }
+            pair_result computed;
+            if (track) computed.a_contained.assign(pa->polys.size(), 0);
+            for (std::size_t i = 0; i < pa->polys.size(); ++i) {
+              for (std::size_t j = 0; j < pb->polys.size(); ++j) {
+                mp[k]->check_pair(pa->polys[i], pa->mbrs[i], pb->polys[j], pb->mbrs[j],
+                                  computed.local, track ? &computed.a_contained[i] : nullptr,
+                                  pr[k].check_stats);
+              }
+            }
+            std::lock_guard lk(memos[k].pairs_mu);
+            const pair_result* existing = memos[k].pairs.find(key);
+            res = existing ? existing : &memos[k].pairs.store(key, std::move(computed));
+          }
+          for (const violation& lv : res->local) {
+            pr[k].violations.push_back(transformed(lv, a.t));
+          }
+          if (track) {
+            std::lock_guard lk(contained_mu);
+            for (std::size_t q = 0; q < res->a_contained.size(); ++q) {
+              if (res->a_contained[q]) contained[ia][q] = 1;
+            }
+          }
+        }
+      } else {
+        // Direct path (split objects, magnification, or memoization
+        // disabled): check in top coordinates. Geometry is shared across
+        // member plans.
+        const poly_set pa = polys_of(lib, views, a, g.layer1, transform{});
+        const poly_set pb = polys_of(lib, views, b, lb, transform{});
+        std::vector<std::uint8_t> local_contained;
+        if (track) local_contained.assign(pa.polys.size(), 0);
+        for (std::size_t k = 0; k < nplans; ++k) {
+          ++pr[k].prune.pairs_computed;
+          auto t = pr[k].phases.measure("edge_check");
+          for (std::size_t i = 0; i < pa.polys.size(); ++i) {
+            for (std::size_t j = 0; j < pb.polys.size(); ++j) {
+              mp[k]->check_pair(pa.polys[i], pa.mbrs[i], pb.polys[j], pb.mbrs[j],
+                                pr[k].violations, track ? &local_contained[i] : nullptr,
+                                pr[k].check_stats);
+            }
+          }
+        }
+        if (track) {
+          std::lock_guard lk(contained_mu);
+          for (std::size_t q = 0; q < local_contained.size(); ++q) {
+            if (local_contained[q]) contained[ia][q] = 1;
+          }
+        }
+      }
+    };
+
+    // Intra-object work of one instance, every member plan (single-layer
+    // groups only; a two-layer group's cross-layer pairs all come from the
+    // candidate sweep).
+    auto run_intra_inst = [&](const inst& in, std::span<check_report> pr) {
+      if (in.split()) {
+        const master_layer_view& v = views.get(in.master, g.layer1);
+        const polygon& poly = lib.at(in.master).polygons()[v.poly_indices[in.poly_index]].poly;
+        for (std::size_t k = 0; k < nplans; ++k) {
+          auto t = pr[k].phases.measure("edge_check");
+          std::vector<violation> local;
+          mp[k]->check_single(poly, local, pr[k].check_stats);
+          for (const violation& lv : local) {
+            pr[k].violations.push_back(transformed(lv, in.t));
+          }
+        }
+        return;
+      }
+      if (!in.t.is_isometry()) {
+        // Magnified instance: distances scale, master results do not
+        // transfer; check the transformed geometry directly.
+        const poly_set ps = polys_of(lib, views, in, g.layer1, transform{});
+        for (std::size_t k = 0; k < nplans; ++k) {
+          auto t = pr[k].phases.measure("edge_check");
+          for (std::size_t pi = 0; pi < ps.polys.size(); ++pi) {
+            mp[k]->check_single(ps.polys[pi], pr[k].violations, pr[k].check_stats);
+            for (std::size_t pj = pi + 1; pj < ps.polys.size(); ++pj) {
+              mp[k]->check_pair(ps.polys[pi], ps.mbrs[pi], ps.polys[pj], ps.mbrs[pj],
+                                pr[k].violations, nullptr, pr[k].check_stats);
+            }
+          }
+        }
+        return;
+      }
+      for (std::size_t k = 0; k < nplans; ++k) {
+        const std::vector<violation>* local = nullptr;
+        if (cfg.enable_memoization) {
+          std::lock_guard lk(memos[k].intra_mu);
+          local = memos[k].intra.find(in.master);
+        }
+        if (local) {
+          ++pr[k].prune.intra_reused;
+        } else {
+          ++pr[k].prune.intra_computed;
+          auto t = pr[k].phases.measure("edge_check");
+          std::vector<violation> computed =
+              compute_intra_for_plan(lib.at(in.master), views.get(in.master, g.layer1), *mp[k],
+                                     pr[k].check_stats, pr[k].sweep_stats);
+          if (cfg.enable_memoization) {
+            std::lock_guard lk(memos[k].intra_mu);
+            const std::vector<violation>* existing = memos[k].intra.find(in.master);
+            local = existing ? existing : &memos[k].intra.store(in.master, std::move(computed));
+          } else {
+            for (const violation& lv : computed) {
+              pr[k].violations.push_back(transformed(lv, in.t));
+            }
+            continue;
+          }
+        }
+        for (const violation& lv : *local) {
+          pr[k].violations.push_back(transformed(lv, in.t));
+        }
+      }
+    };
+
+    auto process_clip = [&](const partition::clip& clip, check_report& sh,
+                            std::span<check_report> pr) {
+      if (has_intra) {
+        for (const std::uint32_t m : clip.members) run_intra_inst(a_insts[m], pr);
+      }
+
+      // Candidate object pairs from the sweepline (Fig. 3).
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+      {
+        auto t = sh.phases.measure("sweepline");
+        std::vector<rect> clip_mbrs(clip.members.size());
+        for (std::size_t k = 0; k < clip.members.size(); ++k) {
+          clip_mbrs[k] = mbrs[clip.members[k]];
+        }
+        enumerate_overlap_pairs(cfg, clip_mbrs, half_distance(g.inflate), sh.sweep_stats,
+                                [&](std::uint32_t i, std::uint32_t j) {
+                                  const std::uint32_t gi = clip.members[i];
+                                  const std::uint32_t gj = clip.members[j];
+                                  if (!g.two_layer) {
+                                    pairs.emplace_back(gi, gj);
+                                    return;
+                                  }
+                                  const bool i_inner = gi < ni;
+                                  const bool j_inner = gj < ni;
+                                  if (i_inner && !j_inner) {
+                                    pairs.emplace_back(gi, gj - static_cast<std::uint32_t>(ni));
+                                  } else if (!i_inner && j_inner) {
+                                    pairs.emplace_back(gj, gi - static_cast<std::uint32_t>(ni));
+                                  }
+                                });
+        if (!g.two_layer) {
+          sh.prune.pairs_pruned_mbr +=
+              clip.members.size() * (clip.members.size() - 1) / 2 - pairs.size();
+        }
+      }
+
+      for (const auto& [ia, ib] : pairs) run_pair(ia, ib, pr);
+    };
+
+    std::vector<const partition::clip*> clips;
+    for (const partition::row& row : part.rows) {
+      for (const partition::clip& clip : row.clips) clips.push_back(&clip);
+    }
+    if (cfg.host_parallel && clips.size() > 1) {
+      // Per-clip local reports, merged afterwards: clip tasks never write a
+      // shared report concurrently.
+      std::vector<check_report> local_shared(clips.size());
+      std::vector<std::vector<check_report>> local_rules(clips.size());
+      for (auto& lr : local_rules) lr.resize(nplans);
+      thread_pool::global().parallel_for(0, clips.size(), [&](std::size_t i) {
+        process_clip(*clips[i], local_shared[i], local_rules[i]);
+      });
+      for (std::size_t i = 0; i < clips.size(); ++i) {
+        shared.merge_from(std::move(local_shared[i]));
+        for (std::size_t k = 0; k < nplans; ++k) {
+          out.per_rule[k].merge_from(std::move(local_rules[i][k]));
+        }
+      }
+    } else {
+      for (const partition::clip* c : clips) process_clip(*c, shared, out.per_rule);
+    }
+
+    if (track) {
+      // Report inner polygons contained by nothing, once per member plan.
+      auto t = shared.phases.measure("edge_check");
+      for (std::size_t i = 0; i < ni; ++i) {
+        const poly_set pa = polys_of(lib, views, a_insts[i], g.layer1, transform{});
+        for (std::size_t k = 0; k < pa.polys.size(); ++k) {
+          if (contained[i][k]) continue;
+          for (std::size_t kp = 0; kp < nplans; ++kp) {
+            checks::report_uncontained(pa.polys[k], g.layer1, g.layer2,
+                                       out.per_rule[kp].violations);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace odrc::engine

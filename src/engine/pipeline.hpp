@@ -1,0 +1,192 @@
+// The generic check pipeline driver (paper Sections IV-C/D/E, V-C).
+//
+// Every distance rule executes the same way: enumerate the placed instances
+// carrying the rule's layer(s), partition their MBRs into adaptive rows and
+// clips, enumerate candidate pairs inside each clip, and evaluate an edge
+// predicate per candidate. This module owns that machinery ONCE; the engine's
+// run_* entry points compile their rule into an exec_plan (plan.hpp) and hand
+// it here.
+//
+// The driver is written against plan *groups* rather than single plans:
+// run_pair_group() executes every member plan of one plan_group over a single
+// instance enumeration, a single row partition, a single candidate sweep and
+// (in parallel mode) a single packed-edge upload per row — the deck-batching
+// amortization. A single rule is just a group with one member.
+//
+// Reports come back split (group_report): the `shared` report carries the
+// phases paid once per group (partition / sweepline / pack / device) plus the
+// partition shape and device counters; each `per_rule` report carries that
+// plan's violations, edge_check time, predicate counters and prune counters.
+// The split is what makes per-rule attribution sound — merging a group's
+// reports never double-counts the shared phases because they exist in exactly
+// one report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "db/mbr_index.hpp"
+#include "device/device.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+
+namespace odrc::engine {
+
+// ---------------------------------------------------------------------------
+// Per-master layer views
+// ---------------------------------------------------------------------------
+
+/// The polygons a master contributes *directly* to one layer (its references
+/// appear as separate placed instances, so they are excluded here).
+struct master_layer_view {
+  std::vector<std::uint32_t> poly_indices;
+  std::vector<rect> poly_mbrs;  ///< master-local frame
+  rect mbr;                     ///< union of the above
+
+  [[nodiscard]] bool empty() const { return poly_indices.empty(); }
+};
+
+/// Cache of layer views per (master, layer) for one check run. Thread-safe:
+/// host_parallel clip tasks and pipelined pack stages hit it concurrently.
+/// References are stable (unordered_map nodes) so a caller may keep one
+/// across later insertions.
+class view_cache {
+ public:
+  explicit view_cache(const db::library& lib) : lib_(lib) {}
+
+  const master_layer_view& get(db::cell_id id, db::layer_t layer);
+
+ private:
+  const db::library& lib_;
+  std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, master_layer_view> map_;
+};
+
+// ---------------------------------------------------------------------------
+// Check objects
+// ---------------------------------------------------------------------------
+
+/// Sentinel poly_index: the object is a whole placed cell.
+inline constexpr std::uint32_t whole_cell = 0xFFFFFFFFu;
+
+/// A check object: either a whole placed cell (poly_index == whole_cell), or
+/// one individual polygon of a placed cell. Masters instantiated exactly once
+/// with many polygons (typically the top cell holding the routing) are split
+/// into per-polygon objects so the adaptive partition operates on wires, not
+/// on one giant pseudo-cell; there is no reuse to lose since the master
+/// occurs once.
+struct inst {
+  db::cell_id master = db::invalid_cell;
+  std::uint32_t poly_index = whole_cell;  ///< index into the layer view's list
+  transform t;
+  rect mbr;  ///< transformed layer MBR (of the cell or the single polygon)
+
+  [[nodiscard]] bool split() const { return poly_index != whole_cell; }
+};
+
+/// Threshold above which a single-use master is split into polygon objects.
+inline constexpr std::size_t split_poly_threshold = 8;
+
+/// Enumerate the check objects of one top cell on one layer, pruned to the
+/// `inflate`-inflated window when one is given (region-of-interest checking).
+[[nodiscard]] std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views,
+                                                  db::cell_id top, db::layer_t layer,
+                                                  const std::optional<rect>& window = std::nullopt,
+                                                  coord_t inflate = 0);
+
+// ---------------------------------------------------------------------------
+// Partition + candidate enumeration
+// ---------------------------------------------------------------------------
+
+/// Adaptive row partition of the object MBRs (or the one-row ablation
+/// fallback); records the "partition" phase and the partition shape in
+/// `report`.
+[[nodiscard]] partition::partition_result partition_instances(const engine_config& cfg,
+                                                              std::span<const rect> mbrs,
+                                                              coord_t distance,
+                                                              check_report& report);
+
+/// Sound candidate inflation: a violating pair's MBR gap is strictly below
+/// the rule distance, so inflating BOTH sides by ceil(d/2) already makes the
+/// MBRs overlap. Using d here would double the candidate halo and enumerate
+/// pairs the partition correctly proves independent.
+[[nodiscard]] constexpr coord_t half_distance(coord_t d) {
+  return static_cast<coord_t>((d + 1) / 2);
+}
+
+/// Candidate pair enumeration inside one clip: sweepline (paper default),
+/// packed R-tree, or quadtree, per engine_config::candidates.
+void enumerate_overlap_pairs(const engine_config& cfg, std::span<const rect> mbrs,
+                             coord_t inflate, sweep::sweep_stats& stats,
+                             const std::function<void(std::uint32_t, std::uint32_t)>& report);
+
+// ---------------------------------------------------------------------------
+// Object geometry
+// ---------------------------------------------------------------------------
+
+/// A master's layer polygons transformed by `t`.
+[[nodiscard]] poly_set transformed_polys(const db::cell& c, const master_layer_view& v,
+                                         const transform& t);
+
+/// Polygons of a check object in the frame `extra ∘ in.t` (pass the identity
+/// frame for top coordinates).
+[[nodiscard]] poly_set polys_of(const db::library& lib, view_cache& views, const inst& in,
+                                db::layer_t layer, const transform& extra);
+
+// ---------------------------------------------------------------------------
+// Device streams
+// ---------------------------------------------------------------------------
+
+/// Lazily-created device streams, one per row-pipeline slot (paper V-C:
+/// "OpenDRC creates CUDA stream objects that are responsible for
+/// asynchronous operations").
+class stream_pool {
+ public:
+  device::stream& get(std::size_t slot = 0) {
+    while (streams_.size() <= slot) {
+      streams_.push_back(std::make_unique<device::stream>(device::context::instance()));
+    }
+    return *streams_[slot];
+  }
+
+ private:
+  std::vector<std::unique_ptr<device::stream>> streams_;
+};
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Result of running one plan group: the shared machinery's report plus one
+/// report per member plan (parallel to plan_group::members).
+struct group_report {
+  check_report shared;
+  std::vector<check_report> per_rule;
+
+  /// Collapse into a single report (single-rule entry points). Shared phases
+  /// appear once; per-rule phases and counters sum.
+  [[nodiscard]] check_report merged() &&;
+};
+
+/// Run an intra-class plan (width / area / rectilinear / custom): per-master
+/// checks, memoized across instances, device width kernel in parallel mode.
+[[nodiscard]] check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
+                                          const db::library& lib, const exec_plan& plan,
+                                          const std::optional<rect>& window = std::nullopt);
+
+/// Run every member plan of `g` over one shared pipeline pass: one instance
+/// enumeration, one partition, one candidate sweep per clip — and in parallel
+/// mode one packed-edge upload per row with all member predicates evaluated
+/// by a single multi-config kernel (sweep::async_multi_check).
+[[nodiscard]] group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
+                                          const db::library& lib,
+                                          std::span<const exec_plan> plans, const plan_group& g,
+                                          const std::optional<rect>& window = std::nullopt);
+
+}  // namespace odrc::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cmath>
 
 #include "checks/edge_checks.hpp"
@@ -12,11 +13,13 @@ namespace odrc::sweep {
 namespace {
 
 /// Violation record produced on the device: indices into the uploaded edge
-/// array plus the measured quantity. Converted host-side.
+/// array, the measured quantity, and the index of the config whose predicate
+/// fired (0 for single-predicate checks). Converted host-side.
 struct hit {
   std::uint32_t i;
   std::uint32_t j;
   area_t measured;
+  std::uint32_t rule;
 };
 
 /// Device-side output cursor + pair counter, placed in the device arena.
@@ -25,8 +28,8 @@ struct cursor_block {
   std::atomic<std::uint64_t> pairs;
 };
 
-/// Evaluate the configured predicate on a candidate pair. Returns the
-/// measured quantity when violating.
+/// Evaluate one config's predicate on a candidate pair. Returns the measured
+/// quantity when violating.
 std::optional<area_t> eval_pair(const packed_edge& a, const packed_edge& b,
                                 const device_check_config& cfg) {
   switch (cfg.kind) {
@@ -67,12 +70,15 @@ std::optional<area_t> eval_pair(const packed_edge& a, const packed_edge& b,
 }
 
 /// Convert device hits to violation records using the host copy of the
-/// uploaded edges.
+/// uploaded edges, demultiplexed per config.
 void convert_hits(std::span<const packed_edge> edges, std::span<const hit> hits,
-                  const device_check_config& cfg, std::vector<checks::violation>& out) {
+                  std::span<const device_check_config> cfgs,
+                  std::span<std::vector<checks::violation>* const> outs) {
   for (const hit& h : hits) {
     const packed_edge& a = edges[h.i];
     const packed_edge& b = edges[h.j];
+    const device_check_config& cfg = cfgs[h.rule];
+    std::vector<checks::violation>& out = *outs[h.rule];
     switch (cfg.kind) {
       case pair_check::width:
         out.push_back({checks::rule_kind::width, cfg.layer1, cfg.layer1, a.to_edge(), b.to_edge(),
@@ -96,18 +102,20 @@ void convert_hits(std::span<const packed_edge> edges, std::span<const hit> hits,
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// async_edge_check
+// async_multi_check
 // ---------------------------------------------------------------------------
 
-struct async_edge_check::impl {
+struct async_multi_check::impl {
   device::stream& s;
-  device_check_config cfg;
+  std::vector<device_check_config> cfgs;
+  coord_t max_distance = 0;  // kernel 1 range bound, sound for every config
   bool use_brute = false;
 
   std::vector<packed_edge> edges;          // host copy in device order
   std::vector<std::uint32_t> offsets;      // brute: per-polygon edge ranges
   std::uint32_t inner_polys = 0;           // brute: count of group-0 polygons
   device::buffer<packed_edge> dev_edges;
+  device::buffer<device_check_config> dev_cfgs;
   device::buffer<std::uint32_t> dev_aux;   // sweep: range_end; brute: offsets
   cursor_block* cursor = nullptr;
   device::buffer<hit> hit_buf;
@@ -142,15 +150,16 @@ struct async_edge_check::impl {
     const std::uint32_t grid = (n + block - 1) / block;
     packed_edge* ep = dev_edges.device_ptr();
     std::uint32_t* rep = dev_aux.device_ptr();
-    const coord_t dist = cfg.distance;
-    const bool ax = cfg.axis == sweep_axis::x;
+    const coord_t dist = max_distance;
+    const bool ax = cfgs.front().axis == sweep_axis::x;
 
     if (first_time) {
       // Kernel 1: check-range scan. Edge i's candidates are the edges j > i
       // (sorted by lower sweep-axis key) whose lower key is at most
       // key_hi(i) + distance — a sound bound because violating pairs are
-      // within `distance` along every axis. Binary search per thread over
-      // the sorted keys.
+      // within `distance` along every axis; the batch's MAX distance is
+      // sound for every config. Binary search per thread over the sorted
+      // keys.
       s.launch(grid, block, [ep, rep, n, dist, ax](device::thread_id t) {
         const std::uint32_t i = t.global();
         if (i >= n) return;
@@ -168,21 +177,25 @@ struct async_edge_check::impl {
       });
     }
 
-    // Kernel 2: per-edge range checks through the atomic cursor.
+    // Kernel 2: per-edge range checks, every config per candidate pair,
+    // through the atomic cursor.
     hit* out_hits = hit_buf.device_ptr();
     const std::uint32_t cap = capacity;
-    const device_check_config c = cfg;
+    const device_check_config* cp = dev_cfgs.device_ptr();
+    const auto ncfg = static_cast<std::uint32_t>(cfgs.size());
     cursor_block* cur = cursor;
-    s.launch(grid, block, [ep, rep, n, c, out_hits, cap, cur](device::thread_id t) {
+    s.launch(grid, block, [ep, rep, n, cp, ncfg, out_hits, cap, cur](device::thread_id t) {
       const std::uint32_t i = t.global();
       if (i >= n) return;
       std::uint64_t tested = 0;
       const std::uint32_t end = rep[i];
       for (std::uint32_t j = i + 1; j < end; ++j) {
-        ++tested;
-        if (auto m = eval_pair(ep[i], ep[j], c)) {
-          const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
-          if (slot < cap) out_hits[slot] = {i, j, *m};
+        for (std::uint32_t r = 0; r < ncfg; ++r) {
+          ++tested;
+          if (auto m = eval_pair(ep[i], ep[j], cp[r])) {
+            const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
+            if (slot < cap) out_hits[slot] = {i, j, *m, r};
+          }
         }
       }
       cur->pairs.fetch_add(tested, std::memory_order_relaxed);
@@ -194,9 +207,10 @@ struct async_edge_check::impl {
     const auto poly_count = static_cast<std::uint32_t>(offsets.size() - 1);
     // Task space: width -> one thread per polygon; spacing -> one thread per
     // unordered polygon pair incl. the diagonal (notches); enclosure -> one
-    // thread per (inner, outer) pair.
+    // thread per (inner, outer) pair. All configs share `kind`, so one
+    // decomposition serves the whole batch.
     std::uint64_t tasks = 0;
-    switch (cfg.kind) {
+    switch (cfgs.front().kind) {
       case pair_check::width: tasks = inner_polys; break;
       case pair_check::spacing:
         tasks = static_cast<std::uint64_t>(inner_polys) * (inner_polys + 1) / 2;
@@ -213,15 +227,18 @@ struct async_edge_check::impl {
     std::uint32_t* op = dev_aux.device_ptr();
     hit* out_hits = hit_buf.device_ptr();
     const std::uint32_t cap = capacity;
-    const device_check_config c = cfg;
+    const device_check_config* cp = dev_cfgs.device_ptr();
+    const auto ncfg = static_cast<std::uint32_t>(cfgs.size());
+    const pair_check kind = cfgs.front().kind;
     const std::uint32_t inner = inner_polys;
     cursor_block* cur = cursor;
 
-    s.launch(grid, block, [ep, op, c, tasks, inner, out_hits, cap, cur](device::thread_id t) {
+    s.launch(grid, block,
+             [ep, op, cp, ncfg, kind, tasks, inner, out_hits, cap, cur](device::thread_id t) {
       const std::uint64_t task = t.global();
       if (task >= tasks) return;
       std::uint32_t pa = 0, pb = 0;
-      switch (c.kind) {
+      switch (kind) {
         case pair_check::width:
           pa = pb = static_cast<std::uint32_t>(task);
           break;
@@ -250,10 +267,12 @@ struct async_edge_check::impl {
       for (std::uint32_t i = a_lo; i < a_hi; ++i) {
         const std::uint32_t j_start = (pa == pb) ? i + 1 : b_lo;
         for (std::uint32_t j = j_start; j < b_hi; ++j) {
-          ++tested;
-          if (auto m = eval_pair(ep[i], ep[j], c)) {
-            const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
-            if (slot < cap) out_hits[slot] = {i, j, *m};
+          for (std::uint32_t r = 0; r < ncfg; ++r) {
+            ++tested;
+            if (auto m = eval_pair(ep[i], ep[j], cp[r])) {
+              const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
+              if (slot < cap) out_hits[slot] = {i, j, *m, r};
+            }
           }
         }
       }
@@ -263,12 +282,19 @@ struct async_edge_check::impl {
   }
 };
 
-async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> edges,
-                                   const device_check_config& cfg, executor_choice choice,
-                                   std::size_t brute_threshold)
+async_multi_check::async_multi_check(device::stream& s, std::vector<packed_edge> edges,
+                                     std::vector<device_check_config> cfgs,
+                                     executor_choice choice, std::size_t brute_threshold)
     : impl_(std::make_unique<impl>(s)) {
   impl& st = *impl_;
-  st.cfg = cfg;
+  assert(!cfgs.empty());
+  assert(std::all_of(cfgs.begin(), cfgs.end(), [&](const device_check_config& c) {
+    return c.kind == cfgs.front().kind && c.axis == cfgs.front().axis;
+  }));
+  st.cfgs = std::move(cfgs);
+  for (const device_check_config& c : st.cfgs) {
+    st.max_distance = std::max(st.max_distance, c.distance);
+  }
   st.edges = std::move(edges);
   if (st.edges.empty()) {
     st.finished = true;  // nothing enqueued; finish() becomes a no-op
@@ -298,7 +324,7 @@ async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> e
     st.dev_aux.upload(s, st.offsets);
   } else {
     // Sort by the lower sweep-axis key.
-    const bool ax = cfg.axis == sweep_axis::x;
+    const bool ax = st.cfgs.front().axis == sweep_axis::x;
     std::sort(st.edges.begin(), st.edges.end(), [ax](const packed_edge& a, const packed_edge& b) {
       return a.key_lo(ax) < b.key_lo(ax);
     });
@@ -307,6 +333,8 @@ async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> e
 
   st.dev_edges = device::buffer<packed_edge>(n, ctx);
   st.dev_edges.upload(s, st.edges);
+  st.dev_cfgs = device::buffer<device_check_config>(st.cfgs.size(), ctx);
+  st.dev_cfgs.upload(s, st.cfgs);
 
   st.cursor = static_cast<cursor_block*>(ctx.malloc(sizeof(cursor_block)));
   new (st.cursor) cursor_block{};
@@ -321,15 +349,17 @@ async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> e
   }
 }
 
-async_edge_check::~async_edge_check() = default;
-async_edge_check::async_edge_check(async_edge_check&&) noexcept = default;
-async_edge_check& async_edge_check::operator=(async_edge_check&&) noexcept = default;
+async_multi_check::~async_multi_check() = default;
+async_multi_check::async_multi_check(async_multi_check&&) noexcept = default;
+async_multi_check& async_multi_check::operator=(async_multi_check&&) noexcept = default;
 
-void async_edge_check::finish(std::vector<checks::violation>& out, device_check_stats& stats) {
+void async_multi_check::finish(std::span<std::vector<checks::violation>* const> outs,
+                               device_check_stats& stats) {
   if (!impl_) return;  // moved-from
   impl& st = *impl_;
   if (st.finished) return;
   st.finished = true;
+  assert(outs.size() == st.cfgs.size());
   device::stream& s = st.s;
 
   for (;;) {
@@ -343,7 +373,7 @@ void async_edge_check::finish(std::vector<checks::violation>& out, device_check_
         st.hit_buf.download(s, hits);
         s.synchronize();
       }
-      convert_hits(st.edges, hits, st.cfg, out);
+      convert_hits(st.edges, hits, st.cfgs, outs);
       break;
     }
     // Overflow: grow the output buffer and relaunch the check kernel (the
@@ -366,8 +396,18 @@ void async_edge_check::finish(std::vector<checks::violation>& out, device_check_
 }
 
 // ---------------------------------------------------------------------------
-// Synchronous wrappers
+// Single-predicate facade + synchronous wrappers
 // ---------------------------------------------------------------------------
+
+async_edge_check::async_edge_check(device::stream& s, std::vector<packed_edge> edges,
+                                   const device_check_config& cfg, executor_choice choice,
+                                   std::size_t brute_threshold)
+    : inner_(s, std::move(edges), {cfg}, choice, brute_threshold) {}
+
+void async_edge_check::finish(std::vector<checks::violation>& out, device_check_stats& stats) {
+  std::vector<checks::violation>* outs[] = {&out};
+  inner_.finish(outs, stats);
+}
 
 void pack_polygon_edges(const polygon& poly, std::uint32_t poly_id, std::uint16_t group,
                         std::vector<packed_edge>& out) {

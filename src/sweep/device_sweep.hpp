@@ -115,31 +115,57 @@ void device_check_edges_with(device::stream& s, std::span<const packed_edge> edg
                              std::vector<checks::violation>& out, device_check_stats& stats,
                              std::size_t brute_threshold = default_brute_threshold);
 
-/// Asynchronous two-phase check used by the engine's row pipeline (paper
-/// Section V-C): construction enqueues the upload and the check kernels on
-/// the stream and returns immediately; the host is then free to preprocess
-/// the next row while the device works. finish() synchronizes, handles
-/// output-buffer overflow retries, downloads and converts the results.
+/// Asynchronous multi-predicate check: the deck-batching kernel entry (one
+/// upload, N rules). Construction enqueues the upload and the check kernels
+/// on the stream and returns immediately; the host is then free to
+/// preprocess the next row while the device works (paper Section V-C).
+/// finish() synchronizes, handles output-buffer overflow retries, downloads
+/// and demultiplexes the results per config.
+///
+/// All configs must share `kind` and `axis` — the invariant of a batched
+/// plan group (same-layer groups hold spacing rules, two-layer groups
+/// enclosure rules). Kernel 1's check ranges are sized by the largest
+/// distance in the batch; kernel 2 evaluates every config on each candidate
+/// pair and tags hits with the config index.
+class async_multi_check {
+ public:
+  async_multi_check(device::stream& s, std::vector<packed_edge> edges,
+                    std::vector<device_check_config> cfgs,
+                    executor_choice choice = executor_choice::automatic,
+                    std::size_t brute_threshold = default_brute_threshold);
+  ~async_multi_check();
+
+  async_multi_check(const async_multi_check&) = delete;
+  async_multi_check& operator=(const async_multi_check&) = delete;
+  async_multi_check(async_multi_check&&) noexcept;
+  async_multi_check& operator=(async_multi_check&&) noexcept;
+
+  /// Blocks until the enqueued work completes; appends config k's violations
+  /// to *outs[k]. outs.size() must equal the config count. Must be called
+  /// exactly once.
+  void finish(std::span<std::vector<checks::violation>* const> outs,
+              device_check_stats& stats);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+/// Single-predicate facade over async_multi_check (the paper's original
+/// Section V-C row pipeline shape).
 class async_edge_check {
  public:
   async_edge_check(device::stream& s, std::vector<packed_edge> edges,
                    const device_check_config& cfg,
                    executor_choice choice = executor_choice::automatic,
                    std::size_t brute_threshold = default_brute_threshold);
-  ~async_edge_check();
-
-  async_edge_check(const async_edge_check&) = delete;
-  async_edge_check& operator=(const async_edge_check&) = delete;
-  async_edge_check(async_edge_check&&) noexcept;
-  async_edge_check& operator=(async_edge_check&&) noexcept;
 
   /// Blocks until the enqueued work completes; appends violations.
   /// Must be called exactly once.
   void finish(std::vector<checks::violation>& out, device_check_stats& stats);
 
  private:
-  struct impl;
-  std::unique_ptr<impl> impl_;
+  async_multi_check inner_;
 };
 
 /// Pack one polygon's edges (appending), tagging them with `poly_id`/`group`.

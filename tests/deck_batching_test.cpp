@@ -1,0 +1,178 @@
+// Deck-batching equivalence tests: rules grouped onto a shared pipeline pass
+// (engine_config::batch) must report exactly the violations of per-rule
+// execution, in every mode and with every candidate strategy, with per-rule
+// attribution preserved.
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::engine {
+namespace {
+
+using workload::layers;
+using workload::tech;
+
+std::vector<checks::violation> norm(std::vector<checks::violation> v) {
+  checks::normalize_all(v);
+  return v;
+}
+
+// A deck built to batch: 9 rules over 4 layers, of which 7 are pair rules
+// sharing 3 groups — M1 spacing ×3 (one with a PRL tier), M2 spacing ×2,
+// V1-in-M1 enclosure ×2 — plus two intra rules that run solo.
+std::vector<rules::rule> batched_deck() {
+  return {
+      rules::layer(layers::M1).spacing().greater_than(tech::wire_space),
+      rules::layer(layers::M1).spacing().greater_than(tech::wire_space - 4),
+      rules::layer(layers::M1).spacing().greater_than(12).when_projection_over(40, 24),
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space),
+      rules::layer(layers::M2).spacing().greater_than(10),
+      rules::layer(layers::V1).enclosed_by(layers::M1).greater_than(tech::via_enclosure),
+      rules::layer(layers::V1).enclosed_by(layers::M1).greater_than(2),
+      rules::layer(layers::M1).width().greater_than(tech::wire_width),
+      rules::layer(layers::M1).area().greater_than(tech::min_area),
+  };
+}
+
+db::library make_lib() {
+  workload::design_spec spec = workload::spec_for("uart", 0.15);
+  spec.inject = {2, 3, 2, 1};
+  return workload::generate(spec).lib;
+}
+
+TEST(DeckBatching, GroupingKeyIsLayerSet) {
+  std::vector<exec_plan> plans;
+  for (const rules::rule& r : batched_deck()) plans.push_back(compile_plan(r));
+  const std::vector<plan_group> groups = group_pair_plans(plans);
+
+  ASSERT_EQ(groups.size(), 3u);
+  // Deck order preserved: M1 spacing, M2 spacing, (V1, M1) enclosure.
+  EXPECT_EQ(groups[0].layer1, layers::M1);
+  EXPECT_FALSE(groups[0].two_layer);
+  EXPECT_EQ(groups[0].members, (std::vector<std::size_t>{0, 1, 2}));
+  // Group inflation is the max over members: the PRL rule's 24 dbu tier.
+  EXPECT_EQ(groups[0].inflate, 24);
+
+  EXPECT_EQ(groups[1].layer1, layers::M2);
+  EXPECT_EQ(groups[1].members, (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(groups[1].inflate, tech::wire_space);
+
+  EXPECT_EQ(groups[2].layer1, layers::V1);
+  EXPECT_EQ(groups[2].layer2, layers::M1);
+  EXPECT_TRUE(groups[2].two_layer);
+  EXPECT_EQ(groups[2].members, (std::vector<std::size_t>{5, 6}));
+  EXPECT_EQ(groups[2].inflate, tech::via_enclosure);
+}
+
+// Batched == unbatched == concurrent, for both modes and all three candidate
+// strategies.
+TEST(DeckBatching, BatchedDeckMatchesPerRuleExecution) {
+  const db::library lib = make_lib();
+  const std::vector<rules::rule> deck = batched_deck();
+
+  for (const mode m : {mode::sequential, mode::parallel}) {
+    for (const candidate_strategy cs :
+         {candidate_strategy::sweepline, candidate_strategy::rtree,
+          candidate_strategy::quadtree}) {
+      engine_config on;
+      on.run_mode = m;
+      on.candidates = cs;
+      on.batch = true;
+      engine_config off = on;
+      off.batch = false;
+
+      drc_engine batched(on);
+      batched.add_rules(deck);
+      const auto vb = norm(batched.check(lib).violations);
+      EXPECT_FALSE(vb.empty());
+
+      drc_engine per_rule(off);
+      per_rule.add_rules(deck);
+      EXPECT_EQ(vb, norm(per_rule.check(lib).violations))
+          << "mode=" << static_cast<int>(m) << " candidates=" << static_cast<int>(cs);
+
+      drc_engine concurrent(on);
+      concurrent.add_rules(deck);
+      EXPECT_EQ(vb, norm(concurrent.check_concurrent(lib).violations))
+          << "mode=" << static_cast<int>(m) << " candidates=" << static_cast<int>(cs);
+    }
+  }
+}
+
+// check_deck keeps per-rule reports separable: each rule's batched report
+// holds exactly the violations of a solo run of that rule.
+TEST(DeckBatching, PerRuleAttributionSurvivesBatching) {
+  const db::library lib = make_lib();
+  const std::vector<rules::rule> deck = batched_deck();
+
+  drc_engine e;
+  e.add_rules(deck);
+  deck_report dr = e.check_deck(lib);
+  ASSERT_EQ(dr.per_rule.size(), deck.size());
+
+  std::vector<checks::violation> merged;
+  for (std::size_t i = 0; i < deck.size(); ++i) {
+    const auto solo = e.check(lib, deck[i]);
+    EXPECT_EQ(norm(dr.per_rule[i].violations), norm(solo.violations)) << "rule " << i;
+    merged.insert(merged.end(), dr.per_rule[i].violations.begin(),
+                  dr.per_rule[i].violations.end());
+  }
+  EXPECT_EQ(norm(dr.total.violations), norm(merged));
+}
+
+TEST(DeckBatching, AmortizationStatsRecorded) {
+  const db::library lib = make_lib();
+  const std::vector<rules::rule> deck = batched_deck();
+
+  drc_engine batched;
+  batched.add_rules(deck);
+  const deck_stats on = batched.check_deck(lib).total.deck;
+  EXPECT_EQ(on.groups, 3u);
+  EXPECT_EQ(on.batched_rules, 7u);  // the two intra rules run solo
+  EXPECT_GT(on.shared_seconds, 0.0);
+  EXPECT_GE(on.saved_seconds, 0.0);
+
+  engine_config off_cfg;
+  off_cfg.batch = false;
+  drc_engine off(off_cfg);
+  off.add_rules(deck);
+  const deck_stats off_stats = off.check_deck(lib).total.deck;
+  EXPECT_EQ(off_stats.groups, 7u);  // one singleton group per pair rule
+  EXPECT_EQ(off_stats.batched_rules, 0u);
+  EXPECT_EQ(off_stats.saved_seconds, 0.0);
+}
+
+// The ablation switches compose with batching: partition off and memoization
+// off must not change the batched violation set.
+TEST(DeckBatching, AblationsComposeWithBatching) {
+  const db::library lib = make_lib();
+  const std::vector<rules::rule> deck = batched_deck();
+
+  engine_config base;
+  drc_engine ref(base);
+  ref.add_rules(deck);
+  const auto expected = norm(ref.check(lib).violations);
+
+  engine_config no_part = base;
+  no_part.enable_partition = false;
+  drc_engine a(no_part);
+  a.add_rules(deck);
+  EXPECT_EQ(expected, norm(a.check(lib).violations));
+
+  engine_config no_memo = base;
+  no_memo.enable_memoization = false;
+  drc_engine b(no_memo);
+  b.add_rules(deck);
+  EXPECT_EQ(expected, norm(b.check(lib).violations));
+
+  engine_config host_par = base;
+  host_par.host_parallel = true;
+  drc_engine c(host_par);
+  c.add_rules(deck);
+  EXPECT_EQ(expected, norm(c.check(lib).violations));
+}
+
+}  // namespace
+}  // namespace odrc::engine

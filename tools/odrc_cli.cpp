@@ -17,6 +17,7 @@
 #include <string>
 
 #include "engine/deck_parser.hpp"
+#include "engine/plan.hpp"
 #include "lefdef/lefdef.hpp"
 #include "render/render.hpp"
 #include "report/violation_db.hpp"
@@ -33,8 +34,8 @@ using namespace odrc;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--report=out.txt]\n"
-               "             [--markers=out.gds] [--json=out.json]\n"
+               "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--batch=on|off]\n"
+               "             [--report=out.txt] [--markers=out.gds] [--json=out.json]\n"
                "             (also accepts --lef=<f> --def=<f> inputs)\n"
                "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
                "  odrc inspect <layout.gds>\n"
@@ -76,22 +77,36 @@ int cmd_check(int argc, char** argv) {
               lib.cell_count(), static_cast<unsigned long long>(lib.expanded_polygon_count()),
               deck.size(), deck_path.c_str());
 
+  const std::string batch_s = opt_value(argc, argv, "batch", "on");
   engine_config cfg;
   cfg.run_mode = mode_s == "par" ? engine::mode::parallel : engine::mode::sequential;
+  cfg.batch = batch_s != "off";
   drc_engine eng(cfg);
+  eng.add_rules(deck);
 
   report::violation_db db(lib.name());
-  engine::check_report total;
-  for (const rules::rule& r : deck) {
-    timer t;
-    auto rep = eng.check(lib, r);
-    std::printf("  %-16s %8.3fs  %zu violations\n", r.name.c_str(), t.seconds(),
-                rep.violations.size());
-    db.add(r.name, rep.violations);
-    total.merge_from(std::move(rep));
+  engine::deck_report dr = eng.check_deck(lib);
+  for (std::size_t i = 0; i < deck.size(); ++i) {
+    const double secs = dr.per_rule[i].phases.total();
+    std::printf("  %-16s %8.3fs  %zu violations\n", deck[i].name.c_str(), secs,
+                dr.per_rule[i].violations.size());
+    db.add(deck[i].name, dr.per_rule[i].violations);
   }
-  std::printf("total: %zu violations in %.3fs (%s mode)\n", total.violations.size(),
-              t_total.seconds(), mode_s.c_str());
+  engine::check_report& total = dr.total;
+  std::printf("total: %zu violations in %.3fs (%s mode, batch %s)\n", total.violations.size(),
+              t_total.seconds(), mode_s.c_str(), cfg.batch ? "on" : "off");
+  if (total.deck.groups > 0) {
+    std::size_t pair_rules = 0;
+    for (const rules::rule& r : deck) {
+      if (engine::compile_plan(r).cls == engine::plan_class::pair) ++pair_rules;
+    }
+    std::printf(
+        "batching: %zu pair rules in %zu groups (%.1f rules/group, %zu sharing a pass), "
+        "shared phases %.3fs, est. time saved %.3fs\n",
+        pair_rules, total.deck.groups,
+        static_cast<double>(pair_rules) / static_cast<double>(total.deck.groups),
+        total.deck.batched_rules, total.deck.shared_seconds, total.deck.saved_seconds);
+  }
 
   if (!report_path.empty()) {
     std::ofstream out(report_path);
