@@ -10,6 +10,8 @@
 // where the pack/upload is the dominant shared cost.
 #include "table_common.hpp"
 
+#include "infra/trace.hpp"
+
 int main() {
   using namespace odrc;
   using namespace odrc::bench;
@@ -67,6 +69,27 @@ int main() {
                   t_per_rule / std::max(t_batched, 1e-9), combined.deck.shared_seconds,
                   combined.deck.saved_seconds);
     }
+  }
+
+  // Trace-overhead check: the span recorder's contract is that an enabled
+  // recording costs a few percent at pipeline granularity and a disabled one
+  // costs one branch per site. Re-run the batched parallel pass with the
+  // recorder off and on and report the delta.
+  {
+    auto spec = workload::spec_for("sha3", bench_scale());
+    spec.inject = {2, 2, 2, 2};
+    const auto g = workload::generate(spec);
+    engine_config cfg;
+    cfg.run_mode = engine::mode::parallel;
+    drc_engine eng(cfg);
+    eng.add_rules(deck);
+
+    const double t_off = time_best([&] { return eng.check(g.lib); });
+    trace::recorder::instance().enable();
+    const double t_on = time_best([&] { return eng.check(g.lib); });
+    trace::recorder::instance().disable();
+    std::printf("\nTrace overhead (sha3, par, batched): disabled %.3fs, enabled %.3fs (%+.1f%%)\n",
+                t_off, t_on, 100.0 * (t_on - t_off) / std::max(t_off, 1e-9));
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <new>
 
 #include "infra/logger.hpp"
+#include "infra/trace.hpp"
 
 namespace odrc::device {
 
@@ -88,7 +89,15 @@ context& context::instance() {
 
 void context::run_kernel(std::uint32_t grid, std::uint32_t block, const kernel_fn& k) {
   const std::size_t total = static_cast<std::size_t>(grid) * block;
-  kernels_launched_.fetch_add(1, std::memory_order_relaxed);
+  trace::span ts("device", "kernel", "grid", grid, "block", block);
+  const std::uint64_t launched = kernels_launched_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (trace::recorder::enabled()) {
+    trace::recorder::instance().counter("device", "kernels_launched",
+                                        static_cast<std::int64_t>(launched));
+    trace::recorder::instance().counter(
+        "device", "launch_latency_ns_paid",
+        static_cast<std::int64_t>(launched * static_cast<std::uint64_t>(launch_latency_ns_)));
+  }
   // Model the fixed launch overhead with a spin wait: sleep_for cannot hit
   // single-microsecond targets reliably, and the dispatcher thread doing the
   // spinning is exactly the resource a real launch would occupy.
@@ -100,9 +109,10 @@ void context::run_kernel(std::uint32_t grid, std::uint32_t block, const kernel_f
   });
 }
 
-void context::register_stream(stream* s) {
+std::uint32_t context::register_stream(stream* s) {
   std::lock_guard lock(streams_mutex_);
   streams_.push_back(s);
+  return next_stream_id_++;
 }
 
 void context::unregister_stream(stream* s) {
@@ -125,8 +135,13 @@ void event::wait() const {
 // ---------------------------------------------------------------------------
 
 stream::stream(context& ctx) : ctx_(ctx) {
-  ctx_.register_stream(this);
-  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  id_ = ctx_.register_stream(this);
+  dispatcher_ = std::thread([this] {
+    // The dispatcher thread IS the stream's timeline: naming its trace track
+    // puts every kernel/copy span of this stream on one per-stream row.
+    trace::recorder::instance().name_this_thread("stream " + std::to_string(id_));
+    dispatcher_loop();
+  });
 }
 
 stream::~stream() {
@@ -168,23 +183,27 @@ void stream::dispatcher_loop() {
 
 void stream::memcpy_h2d(void* dst_device, const void* src_host, std::size_t bytes) {
   enqueue([this, dst_device, src_host, bytes] {
+    trace::span ts("device", "h2d", "bytes", static_cast<std::int64_t>(bytes));
     if (ctx_.copy_bytes_per_us() > 0) {
       spin_ns(static_cast<std::int64_t>(1000.0 * static_cast<double>(bytes) /
                                         ctx_.copy_bytes_per_us()));
     }
     std::memcpy(dst_device, src_host, bytes);
-    ctx_.bytes_h2d_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::uint64_t total = ctx_.bytes_h2d_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    trace::counter("device", "bytes_h2d", static_cast<std::int64_t>(total));
   });
 }
 
 void stream::memcpy_d2h(void* dst_host, const void* src_device, std::size_t bytes) {
   enqueue([this, dst_host, src_device, bytes] {
+    trace::span ts("device", "d2h", "bytes", static_cast<std::int64_t>(bytes));
     if (ctx_.copy_bytes_per_us() > 0) {
       spin_ns(static_cast<std::int64_t>(1000.0 * static_cast<double>(bytes) /
                                         ctx_.copy_bytes_per_us()));
     }
     std::memcpy(dst_host, src_device, bytes);
-    ctx_.bytes_d2h_.fetch_add(bytes, std::memory_order_relaxed);
+    const std::uint64_t total = ctx_.bytes_d2h_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    trace::counter("device", "bytes_d2h", static_cast<std::int64_t>(total));
   });
 }
 

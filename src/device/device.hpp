@@ -101,6 +101,11 @@ class context {
   [[nodiscard]] std::uint64_t bytes_h2d() const { return bytes_h2d_; }
   [[nodiscard]] std::uint64_t bytes_d2h() const { return bytes_d2h_; }
   [[nodiscard]] std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total modeled launch overhead spun so far (launches x latency).
+  [[nodiscard]] std::uint64_t launch_latency_paid_ns() const {
+    return kernels_launched_.load(std::memory_order_relaxed) *
+           static_cast<std::uint64_t>(launch_latency_ns_);
+  }
   void reset_counters();
 
   /// Process-wide default device.
@@ -110,7 +115,8 @@ class context {
   friend class stream;
 
   void run_kernel(std::uint32_t grid, std::uint32_t block, const kernel_fn& k);
-  void register_stream(stream* s);
+  /// Registers the stream and returns its process-unique id (trace track).
+  std::uint32_t register_stream(stream* s);
   void unregister_stream(stream* s);
 
   thread_pool pool_;
@@ -118,6 +124,7 @@ class context {
   double copy_bytes_per_us_ = 0;
   std::mutex streams_mutex_;
   std::vector<stream*> streams_;
+  std::uint32_t next_stream_id_ = 0;
 
   std::mutex alloc_mutex_;
   std::size_t bytes_allocated_ = 0;
@@ -194,11 +201,15 @@ class stream {
 
   [[nodiscard]] context& ctx() { return ctx_; }
 
+  /// Process-unique id; the stream's trace track is named "stream <id>".
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
  private:
   void dispatcher_loop();
   void enqueue(std::function<void()> op);
 
   context& ctx_;
+  std::uint32_t id_ = 0;
   std::thread dispatcher_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;

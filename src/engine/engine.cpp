@@ -9,6 +9,7 @@
 #include "engine/plan.hpp"
 #include "geo/boolean.hpp"
 #include "infra/thread_pool.hpp"
+#include "infra/trace.hpp"
 
 namespace odrc::engine {
 
@@ -21,10 +22,11 @@ using db::layer_t;
 // Shared-phase time of a group's shared report: the phases paid once per
 // group regardless of how many rules it batches.
 double shared_phase_seconds(const check_report& r) {
+  const auto snapshot = r.phases.phases();
   double s = 0;
   for (const char* name : {"partition", "sweepline", "pack", "device"}) {
-    auto it = r.phases.phases().find(name);
-    if (it != r.phases.phases().end()) s += it->second;
+    auto it = snapshot.find(name);
+    if (it != snapshot.end()) s += it->second;
   }
   return s;
 }
@@ -79,6 +81,7 @@ check_report drc_engine::check(const db::library& lib) {
 }
 
 deck_report drc_engine::check_deck(const db::library& lib) {
+  trace::span ts("engine", "check_deck", "rules", static_cast<std::int64_t>(deck_.size()));
   deck_report out;
   out.per_rule.resize(deck_.size());
 
@@ -105,6 +108,7 @@ deck_report drc_engine::check_deck(const db::library& lib) {
 }
 
 check_report drc_engine::check_concurrent(const db::library& lib) {
+  trace::span ts("engine", "check_concurrent", "rules", static_cast<std::int64_t>(deck_.size()));
   std::vector<exec_plan> plans;
   plans.reserve(deck_.size());
   for (const rules::rule& r : deck_) plans.push_back(compile_plan(r));

@@ -8,6 +8,7 @@
 #include "geo/quadtree.hpp"
 #include "geo/rtree.hpp"
 #include "infra/thread_pool.hpp"
+#include "infra/trace.hpp"
 
 namespace odrc::engine {
 
@@ -33,17 +34,16 @@ master_layer_view make_layer_view(const db::cell& c, layer_t layer) {
 }  // namespace
 
 const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(id) << 16) | static_cast<std::uint16_t>(layer);
+  const key k = make_key(id, layer);
   {
     std::shared_lock lk(mu_);
-    auto it = map_.find(key);
+    auto it = map_.find(k);
     if (it != map_.end()) return it->second;
   }
   master_layer_view v = make_layer_view(lib_.at(id), layer);
   std::unique_lock lk(mu_);
   // Another thread may have inserted meanwhile; emplace keeps the winner.
-  return map_.emplace(key, std::move(v)).first->second;
+  return map_.emplace(k, std::move(v)).first->second;
 }
 
 std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views, cell_id top,
@@ -53,16 +53,21 @@ std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views,
   std::unordered_map<cell_id, std::uint32_t> occurrences;
   for (const db::placed_cell& pc : placed) ++occurrences[pc.master];
 
+  // The pruning halo is loop-invariant; inflating inside the per-instance
+  // and per-polygon loops recomputed it for every MBR test.
+  const std::optional<rect> halo =
+      window ? std::optional<rect>(window->inflated(inflate)) : std::nullopt;
+
   std::vector<inst> out;
   for (const db::placed_cell& pc : placed) {
     const master_layer_view& v = views.get(pc.master, layer);
     if (v.empty()) continue;
     const rect cell_mbr = pc.to_top.apply(v.mbr);
-    if (window && !window->inflated(inflate).overlaps(cell_mbr)) continue;
+    if (halo && !halo->overlaps(cell_mbr)) continue;
     if (occurrences[pc.master] == 1 && v.poly_indices.size() > split_poly_threshold) {
       for (std::uint32_t k = 0; k < v.poly_indices.size(); ++k) {
         const rect pm = pc.to_top.apply(v.poly_mbrs[k]);
-        if (window && !window->inflated(inflate).overlaps(pm)) continue;
+        if (halo && !halo->overlaps(pm)) continue;
         out.push_back({pc.master, k, pc.to_top, pm});
       }
     } else {
@@ -78,6 +83,7 @@ partition::partition_result partition_instances(const engine_config& cfg,
   partition::partition_result part;
   if (cfg.enable_partition) {
     auto t = report.phases.measure("partition");
+    trace::span ts("pipeline", "partition", "objects", static_cast<std::int64_t>(mbrs.size()));
     part = partition::partition_rows(mbrs, distance, cfg.merge);
   } else {
     // Ablation: one row, one clip, everything inside.
@@ -233,6 +239,8 @@ check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
                             const db::library& lib, const exec_plan& plan,
                             const std::optional<rect>& window) {
   const rules::rule& r = plan.rule;
+  trace::span ts("engine", "run_intra_plan", "kind", static_cast<std::int64_t>(r.kind), "layer",
+                 r.layer1);
   check_report report;
   const db::mbr_index idx(lib);
   view_cache views(lib);
@@ -344,6 +352,7 @@ std::vector<violation> compute_intra_for_plan(const db::cell& c, const master_la
 group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
                             const db::library& lib, std::span<const exec_plan> plans,
                             const plan_group& g, const std::optional<rect>& window) {
+  trace::span ts("engine", "run_pair_group", "layer1", g.layer1, "layer2", g.layer2);
   group_report out;
   const std::size_t nplans = g.members.size();
   out.per_rule.resize(nplans);
@@ -402,8 +411,9 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
       std::vector<std::vector<violation>*> outs(nplans);
       for (std::size_t k = 0; k < nplans; ++k) outs[k] = &out.per_rule[k].violations;
 
-      auto pack_row = [&](const partition::row& row) {
+      auto pack_row = [&](const partition::row& row, std::size_t ri) {
         auto t = shared.phases.measure("pack");
+        trace::span pts("pipeline", "pack", "row", static_cast<std::int64_t>(ri));
         std::vector<sweep::packed_edge> edges;
         std::uint32_t poly_id = 0;
         for (const partition::clip& c : row.clips) {
@@ -422,12 +432,15 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
 
       std::deque<sweep::async_multi_check> in_flight;
       std::size_t slot = 0;
+      std::size_t drained = 0;
       for (std::size_t ri = 0; ri < part.rows.size(); ++ri) {
-        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri]);
+        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri], ri);
         // Earlier rows keep running on their streams while this row was
         // packed; drain the oldest only once the pipeline is full.
         if (in_flight.size() >= depth) {
           auto t = shared.phases.measure("device");
+          trace::span dts("pipeline", "device_wait", "row",
+                          static_cast<std::int64_t>(drained++));
           in_flight.front().finish(outs, shared.device_stats);
           in_flight.pop_front();
         }
@@ -436,6 +449,7 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
       }
       while (!in_flight.empty()) {
         auto t = shared.phases.measure("device");
+        trace::span dts("pipeline", "device_wait", "row", static_cast<std::int64_t>(drained++));
         in_flight.front().finish(outs, shared.device_stats);
         in_flight.pop_front();
       }
@@ -635,6 +649,8 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
 
     auto process_clip = [&](const partition::clip& clip, check_report& sh,
                             std::span<check_report> pr) {
+      trace::span cts("pipeline", "clip", "members",
+                      static_cast<std::int64_t>(clip.members.size()));
       if (has_intra) {
         for (const std::uint32_t m : clip.members) run_intra_inst(a_insts[m], pr);
       }
@@ -643,6 +659,8 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
       std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
       {
         auto t = sh.phases.measure("sweepline");
+        trace::span sts("pipeline", "sweepline", "members",
+                        static_cast<std::int64_t>(clip.members.size()));
         std::vector<rect> clip_mbrs(clip.members.size());
         for (std::size_t k = 0; k < clip.members.size(); ++k) {
           clip_mbrs[k] = mbrs[clip.members[k]];

@@ -58,6 +58,35 @@ struct master_layer_view {
 /// across later insertions.
 class view_cache {
  public:
+  /// Cache key: the (master, layer) pair held at full width. The previous
+  /// packed-integer key `(cell_id << 16) | uint16(layer)` was injective only
+  /// by accident of the current type widths — a cell id using bits >= 48, or
+  /// a layer type wider than 16 bits (where the sign-extension of
+  /// rules::any_layer no longer truncates to 0xFFFF), would silently alias
+  /// distinct pairs and get() would return the wrong master's view. A
+  /// struct key with field-wise equality cannot alias, whatever the widths.
+  struct key {
+    std::uint64_t cell = 0;
+    std::int32_t layer = 0;
+    [[nodiscard]] bool operator==(const key&) const = default;
+  };
+  struct key_hash {
+    [[nodiscard]] std::size_t operator()(const key& k) const {
+      // splitmix64 finalizer over both fields; collisions here only cost a
+      // bucket probe — equality is exact.
+      std::uint64_t x =
+          k.cell ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layer)) << 32);
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  [[nodiscard]] static key make_key(std::uint64_t cell, std::int32_t layer) {
+    return {cell, layer};
+  }
+
   explicit view_cache(const db::library& lib) : lib_(lib) {}
 
   const master_layer_view& get(db::cell_id id, db::layer_t layer);
@@ -65,7 +94,7 @@ class view_cache {
  private:
   const db::library& lib_;
   std::shared_mutex mu_;
-  std::unordered_map<std::uint64_t, master_layer_view> map_;
+  std::unordered_map<key, master_layer_view, key_hash> map_;
 };
 
 // ---------------------------------------------------------------------------

@@ -59,7 +59,7 @@ area_t squared_distance(const edge& a, const edge& b) {
     // Parallel: overlapping projections reduce to level distance.
     if (projection_overlap(a, b) >= 0) {
       const area_t d = static_cast<area_t>(a.level()) - b.level();
-      return d * d;
+      return saturate_area(static_cast<__int128>(d) * d);
     }
   }
   return std::min(std::min(squared_point_segment(a.from, b), squared_point_segment(a.to, b)),
@@ -79,14 +79,20 @@ bool polygon::is_rectilinear() const {
 
 area_t polygon::signed_area() const {
   // Shoelace Theorem: 2A = sum (x_i * y_{i+1} - x_{i+1} * y_i).
+  // Accumulate in 128 bits: a single cross term reaches 2^63 for vertices
+  // near the coord_t limits, and the partial sums grow with the vertex
+  // count, so 64-bit accumulation overflows (UB) long before the final area
+  // does. The result saturates to the area_t range — a polygon whose true
+  // area exceeds 2^63-1 dbu^2 reports the maximum rather than wrapping
+  // negative (which made check_area flag giant polygons as too small).
   if (vertices_.size() < 3) return 0;
-  area_t twice = 0;
+  __int128 twice = 0;
   for (std::size_t i = 0; i < vertices_.size(); ++i) {
     const point& p = vertices_[i];
     const point& q = vertices_[(i + 1) % vertices_.size()];
-    twice += static_cast<area_t>(p.x) * q.y - static_cast<area_t>(q.x) * p.y;
+    twice += static_cast<__int128>(p.x) * q.y - static_cast<__int128>(q.x) * p.y;
   }
-  return twice / 2;
+  return saturate_area(twice / 2);
 }
 
 void polygon::make_clockwise() {

@@ -189,11 +189,22 @@ std::ostream& operator<<(std::ostream& os, const edge& e);
   return static_cast<coord_t>(std::min(a.hi(), b.hi()) - std::max(a.lo(), b.lo()));
 }
 
-/// Squared Euclidean distance between two points (64-bit, overflow-safe).
+/// Saturate a 128-bit intermediate into area_t. Coordinate products near the
+/// coord_t limits exceed 64 bits (dx up to 2^32 squares to 2^64); clamping
+/// keeps comparisons against realistic rule limits correct instead of
+/// wrapping into negative values (signed overflow is UB).
+[[nodiscard]] constexpr area_t saturate_area(__int128 v) {
+  constexpr __int128 hi = std::numeric_limits<area_t>::max();
+  constexpr __int128 lo = -std::numeric_limits<area_t>::max();  // abs()-safe
+  return static_cast<area_t>(v > hi ? hi : (v < lo ? lo : v));
+}
+
+/// Squared Euclidean distance between two points (saturating: the true value
+/// can reach 2^65 for corner-to-corner spans of the coordinate space).
 [[nodiscard]] constexpr area_t squared_distance(const point& a, const point& b) {
   const area_t dx = static_cast<area_t>(a.x) - b.x;
   const area_t dy = static_cast<area_t>(a.y) - b.y;
-  return dx * dx + dy * dy;
+  return saturate_area(static_cast<__int128>(dx) * dx + static_cast<__int128>(dy) * dy);
 }
 
 /// Squared Euclidean distance between two axis-parallel edges treated as

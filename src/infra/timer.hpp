@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace odrc {
@@ -33,8 +34,28 @@ class timer {
 /// Accumulates named phase durations. The engine records the phases that
 /// Fig. 4 of the paper breaks a sequential space check into: "partition",
 /// "sweepline", and "edge_check".
+///
+/// Thread-safe: engine_config::host_parallel clip tasks and check_concurrent
+/// rule tasks add phases from worker threads, so every access to the map is
+/// serialized on an internal mutex. phases() therefore returns a snapshot by
+/// value — holding a reference into a concurrently mutated map was the bug.
 class phase_profiler {
  public:
+  phase_profiler() = default;
+  phase_profiler(const phase_profiler& o) : phases_(o.snapshot()) {}
+  phase_profiler(phase_profiler&& o) noexcept : phases_(o.snapshot()) {}
+  phase_profiler& operator=(const phase_profiler& o) {
+    if (this != &o) {
+      auto copy = o.snapshot();
+      std::lock_guard lk(mu_);
+      phases_ = std::move(copy);
+    }
+    return *this;
+  }
+  phase_profiler& operator=(phase_profiler&& o) noexcept {
+    return *this = static_cast<const phase_profiler&>(o);
+  }
+
   /// RAII scope: adds elapsed time to `name` on destruction.
   class scope {
    public:
@@ -49,13 +70,19 @@ class phase_profiler {
     timer t_;
   };
 
-  void add(const std::string& name, double seconds) { phases_[name] += seconds; }
+  void add(const std::string& name, double seconds) {
+    std::lock_guard lk(mu_);
+    phases_[name] += seconds;
+  }
 
   [[nodiscard]] scope measure(std::string name) { return scope{*this, std::move(name)}; }
 
-  [[nodiscard]] const std::map<std::string, double>& phases() const { return phases_; }
+  /// Snapshot of the accumulated phases (by value: the internal map keeps
+  /// changing under concurrent recorders).
+  [[nodiscard]] std::map<std::string, double> phases() const { return snapshot(); }
 
   [[nodiscard]] double total() const {
+    std::lock_guard lk(mu_);
     double t = 0;
     for (const auto& [_, s] : phases_) t += s;
     return t;
@@ -63,15 +90,26 @@ class phase_profiler {
 
   /// Fraction of total time spent in `name` (0 when nothing recorded).
   [[nodiscard]] double fraction(const std::string& name) const {
-    const double t = total();
+    std::lock_guard lk(mu_);
+    double t = 0;
+    for (const auto& [_, s] : phases_) t += s;
     if (t <= 0) return 0;
     auto it = phases_.find(name);
     return it == phases_.end() ? 0 : it->second / t;
   }
 
-  void clear() { phases_.clear(); }
+  void clear() {
+    std::lock_guard lk(mu_);
+    phases_.clear();
+  }
 
  private:
+  [[nodiscard]] std::map<std::string, double> snapshot() const {
+    std::lock_guard lk(mu_);
+    return phases_;
+  }
+
+  mutable std::mutex mu_;
   std::map<std::string, double> phases_;
 };
 

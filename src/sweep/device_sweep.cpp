@@ -7,6 +7,7 @@
 
 #include "checks/edge_checks.hpp"
 #include "device/device.hpp"
+#include "infra/trace.hpp"
 
 namespace odrc::sweep {
 
@@ -287,6 +288,8 @@ async_multi_check::async_multi_check(device::stream& s, std::vector<packed_edge>
                                      executor_choice choice, std::size_t brute_threshold)
     : impl_(std::make_unique<impl>(s)) {
   impl& st = *impl_;
+  trace::span ts("sweep", "enqueue", "edges", static_cast<std::int64_t>(edges.size()), "stream",
+                 s.id());
   assert(!cfgs.empty());
   assert(std::all_of(cfgs.begin(), cfgs.end(), [&](const device_check_config& c) {
     return c.kind == cfgs.front().kind && c.axis == cfgs.front().axis;
@@ -361,6 +364,8 @@ void async_multi_check::finish(std::span<std::vector<checks::violation>* const> 
   st.finished = true;
   assert(outs.size() == st.cfgs.size());
   device::stream& s = st.s;
+  trace::span ts("sweep", "finish", "edges", static_cast<std::int64_t>(st.edges.size()), "stream",
+                 s.id());
 
   for (;;) {
     s.synchronize();
@@ -368,6 +373,7 @@ void async_multi_check::finish(std::span<std::vector<checks::violation>* const> 
     const std::uint64_t pairs = st.cursor->pairs.load(std::memory_order_relaxed);
     if (found <= st.capacity) {
       stats.edge_pairs_tested += pairs;
+      trace::instant("sweep", "edge_pairs_tested", "delta", static_cast<std::int64_t>(pairs));
       std::vector<hit> hits(found);
       if (found > 0) {
         st.hit_buf.download(s, hits);
@@ -393,6 +399,12 @@ void async_multi_check::finish(std::span<std::vector<checks::violation>* const> 
   stats.sweep_launches += st.launches_sweep;
   stats.brute_launches += st.launches_brute;
   stats.overflow_retries += st.retries;
+  // Delta samples: the metrics summary sums "delta" instants per key, so the
+  // trace totals can be reconciled against device_check_stats.
+  trace::instant("sweep", "edges_uploaded", "delta", static_cast<std::int64_t>(st.edges.size()));
+  trace::instant("sweep", "sweep_launches", "delta", static_cast<std::int64_t>(st.launches_sweep));
+  trace::instant("sweep", "brute_launches", "delta", static_cast<std::int64_t>(st.launches_brute));
+  trace::instant("sweep", "overflow_retries", "delta", static_cast<std::int64_t>(st.retries));
 }
 
 // ---------------------------------------------------------------------------

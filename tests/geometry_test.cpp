@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -262,6 +263,47 @@ TEST(Polygon, CollectEdges) {
   for (std::size_t i = 0; i < es.size(); ++i) {
     EXPECT_EQ(es[i].to, es[(i + 1) % es.size()].from);
   }
+}
+
+TEST(AreaOverflow, SaturateAreaClampsBothDirections) {
+  constexpr area_t top = std::numeric_limits<area_t>::max();
+  EXPECT_EQ(saturate_area(__int128{42}), 42);
+  EXPECT_EQ(saturate_area(static_cast<__int128>(top)), top);
+  EXPECT_EQ(saturate_area(static_cast<__int128>(top) * 4), top);
+  EXPECT_EQ(saturate_area(static_cast<__int128>(top) * -4), -top);
+}
+
+TEST(AreaOverflow, SquareAreaExactUpTo64Bits) {
+  // Side 2^31 gives area 2^62: still representable, must stay exact.
+  const coord_t m = coord_t{1} << 30;
+  const polygon p = polygon::from_rect({-m, -m, m, m});
+  EXPECT_EQ(p.area(), area_t{1} << 62);
+}
+
+TEST(AreaOverflow, GiantSquareSaturatesInsteadOfWrapping) {
+  // A square spanning nearly the whole coordinate space has true area
+  // 4*(2^31-2)^2 ~ 1.8e19 > 2^63-1. Before the 128-bit shoelace accumulation
+  // the partial sums overflowed (UB in the best case, a wrapped negative
+  // area in practice); now the result saturates with its sign intact.
+  const coord_t m = std::numeric_limits<coord_t>::max() - 1;
+  const polygon p = polygon::from_rect({-m, -m, m, m});
+  EXPECT_EQ(p.area(), std::numeric_limits<area_t>::max());
+  EXPECT_EQ(p.signed_area(), -std::numeric_limits<area_t>::max());  // clockwise
+  EXPECT_TRUE(p.is_clockwise());
+}
+
+TEST(AreaOverflow, SquaredDistanceSaturatesAtCoordinateExtremes) {
+  const coord_t m = std::numeric_limits<coord_t>::max() - 1;
+  // Opposite corners of the coordinate space: dx^2 + dy^2 ~ 3.7e19.
+  EXPECT_EQ(squared_distance(point{-m, -m}, point{m, m}),
+            std::numeric_limits<area_t>::max());
+  // Parallel horizontal edges with overlapping projections, 2m apart: the
+  // level-distance branch squares ~4.3e9.
+  const edge e1{{-10, -m}, {10, -m}};
+  const edge e2{{10, m}, {-10, m}};
+  EXPECT_EQ(squared_distance(e1, e2), std::numeric_limits<area_t>::max());
+  // Sanity: small inputs still exact.
+  EXPECT_EQ(squared_distance(point{0, 0}, point{3, 4}), 25);
 }
 
 TEST(Geometry, StreamOutput) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace odrc::checks {
 namespace {
 
@@ -161,6 +163,25 @@ TEST(CheckStats, CountsAccumulate) {
   check_stats t;
   t += s;
   EXPECT_EQ(t.edge_pairs_tested, s.edge_pairs_tested);
+}
+
+TEST(CheckArea, GiantPolygonIsNotFlaggedTooSmall) {
+  // Regression: a polygon whose true area exceeds area_t used to wrap to a
+  // negative shoelace sum and be reported as violating any minimum-area
+  // rule. With saturation it reports the maximum area and passes.
+  const coord_t m = std::numeric_limits<coord_t>::max() - 1;
+  std::vector<violation> out;
+  check_stats s;
+  check_area(polygon::from_rect({-m, -m, m, m}), 19, 1000, out, s);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CheckArea, SmallPolygonStillFlagged) {
+  std::vector<violation> out;
+  check_stats s;
+  check_area(polygon::from_rect({0, 0, 10, 10}), 19, 1000, out, s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].measured, 100);
 }
 
 }  // namespace

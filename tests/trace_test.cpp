@@ -1,0 +1,332 @@
+// Tests for the odrc::trace span recorder: recording semantics, the Chrome
+// trace-event JSON export, the metrics aggregation, and the golden end-to-end
+// trace of a parallel deck run (pipeline_depth=2 must show work on at least
+// two overlapping device-stream tracks, and the trace's counter totals must
+// reconcile with the report's device_check_stats).
+#include "infra/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "device/device.hpp"
+#include "engine/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc {
+namespace {
+
+using trace::recorder;
+using trace::tagged_event;
+
+/// Make sure a test never leaks an enabled recorder into its neighbours.
+struct recording_guard {
+  recording_guard() { recorder::instance().enable(); }
+  ~recording_guard() { recorder::instance().disable(); }
+};
+
+std::int64_t counter_value(const trace::metrics_summary& m, const std::string& key) {
+  for (const trace::counter_stats& c : m.counters) {
+    if (c.key == key) return c.last;
+  }
+  return -1;
+}
+
+const trace::span_stats* span_of(const trace::metrics_summary& m, const std::string& key) {
+  for (const trace::span_stats& s : m.spans) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+/// Closed time intervals of `cat` spans per track, keyed by tid, restricted
+/// to tracks whose name starts with `track_prefix`.
+std::map<std::uint32_t, std::vector<std::pair<std::uint64_t, std::uint64_t>>> span_intervals(
+    const std::vector<tagged_event>& events, const char* cat, const char* track_prefix) {
+  std::map<std::uint32_t, std::vector<std::pair<std::uint64_t, std::uint64_t>>> out;
+  std::uint32_t cur = ~0u;
+  bool wanted = false;
+  std::vector<std::uint64_t> stack;  // begin timestamps of open `cat` spans
+  for (const tagged_event& te : events) {
+    if (te.tid != cur) {
+      cur = te.tid;
+      stack.clear();
+      wanted = te.thread_name->rfind(track_prefix, 0) == 0;
+    }
+    if (!wanted || std::strcmp(te.e.cat, cat) != 0) continue;
+    if (te.e.k == trace::event::kind::begin) {
+      stack.push_back(te.e.ts_ns);
+    } else if (te.e.k == trace::event::kind::end && !stack.empty()) {
+      out[cur].emplace_back(stack.back(), te.e.ts_ns);
+      stack.pop_back();
+    }
+  }
+  return out;
+}
+
+bool any_cross_track_overlap(
+    const std::map<std::uint32_t, std::vector<std::pair<std::uint64_t, std::uint64_t>>>& iv) {
+  for (auto a = iv.begin(); a != iv.end(); ++a) {
+    for (auto b = std::next(a); b != iv.end(); ++b) {
+      for (const auto& [alo, ahi] : a->second) {
+        for (const auto& [blo, bhi] : b->second) {
+          if (std::max(alo, blo) < std::min(ahi, bhi)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+TEST(TraceRecorder, DisabledSitesEmitNothing) {
+  recorder& rec = recorder::instance();
+  rec.enable();
+  rec.disable();  // enable() cleared the buffers; everything below is gated off
+  {
+    trace::span s("test", "noop");
+  }
+  trace::counter("test", "noop_counter", 1);
+  trace::instant("test", "noop_instant", "delta", 1);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, SpansCountersAndMetrics) {
+  recorder& rec = recorder::instance();
+  {
+    recording_guard on;
+    rec.name_this_thread("tester");
+    trace::span outer("test", "outer");
+    for (int i = 0; i < 3; ++i) {
+      trace::span inner("test", "inner", "i", i);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    trace::counter("test", "running", 10);
+    trace::counter("test", "running", 30);
+    trace::counter("test", "running", 20);
+    trace::instant("test", "delta_sum", "delta", 5);
+    trace::instant("test", "delta_sum", "delta", 7);
+  }
+  const trace::metrics_summary m = rec.metrics();
+
+  const trace::span_stats* outer = span_of(m, "test:outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  const trace::span_stats* inner = span_of(m, "test:inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_LE(inner->p50_ms, inner->p95_ms);
+  EXPECT_LE(inner->p95_ms, inner->max_ms);
+  EXPECT_GE(outer->max_ms, inner->total_ms - 1e-6);  // inner spans nest in outer
+
+  // Counter samples carry running totals: the aggregate is the maximum.
+  EXPECT_EQ(counter_value(m, "test:running"), 30);
+  // Instants with a "delta" payload accumulate.
+  EXPECT_EQ(counter_value(m, "test:delta_sum"), 12);
+
+  bool found_track = false;
+  for (const trace::track_stats& t : m.tracks) {
+    if (t.name == "tester") {
+      found_track = true;
+      EXPECT_GT(t.busy_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_track);
+  EXPECT_GT(m.wall_ms, 0.0);
+}
+
+TEST(TraceRecorder, ChromeJsonWellFormed) {
+  recorder& rec = recorder::instance();
+  {
+    recording_guard on;
+    rec.name_this_thread("json \"quoted\" track");
+    trace::span a("test", "alpha", "k", 1);
+    trace::span b("test", "beta");
+    trace::counter("test", "gauge", 42);
+    trace::instant("test", "ping", "delta", 1);
+  }
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string s = os.str();
+
+  EXPECT_EQ(s.rfind("{\"traceEvents\":[", 0), 0u) << s.substr(0, 40);
+  EXPECT_NE(s.find("\"ph\":\"M\""), std::string::npos);  // thread_name metadata
+  EXPECT_NE(s.find("json \\\"quoted\\\" track"), std::string::npos);
+
+  // One record per line, each a brace-balanced object; B and E counts match.
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t begins = 0, ends = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    if (line == "{\"traceEvents\":[") continue;  // array header, closed by the footer
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    EXPECT_EQ(depth, 0) << line;
+    if (line.find("\"ph\":\"B\"") != std::string::npos) ++begins;
+    if (line.find("\"ph\":\"E\"") != std::string::npos) ++ends;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(begins, ends);
+  EXPECT_NE(s.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(s.substr(s.size() - 4), "\n]}\n") << "missing array/object close";
+}
+
+TEST(TraceGolden, TwoStreamsOverlapDeterministically) {
+  device::context& ctx = device::context::instance();
+  device::stream s1(ctx);
+  device::stream s2(ctx);
+  recorder& rec = recorder::instance();
+  {
+    recording_guard on;
+    const auto kern = [](device::thread_id) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    };
+    // Each kernel runs well over a millisecond; the two dispatcher threads
+    // submit them near-simultaneously, so their kernel spans must overlap.
+    s1.launch(16, 8, kern);
+    s2.launch(16, 8, kern);
+    s1.synchronize();
+    s2.synchronize();
+  }
+  const auto events = rec.snapshot();
+  const auto iv = span_intervals(events, "device", "stream ");
+  ASSERT_GE(iv.size(), 2u) << "expected kernel spans on two stream tracks";
+  EXPECT_TRUE(any_cross_track_overlap(iv));
+}
+
+TEST(TraceGolden, ParallelDeckAtPipelineDepth2) {
+  auto spec = workload::spec_for("sha3", 0.5);
+  spec.inject = {2, 2, 2, 2};
+  const auto g = workload::generate(spec);
+
+  engine_config cfg;
+  cfg.run_mode = engine::mode::parallel;
+  cfg.pipeline_depth = 2;
+  drc_engine eng(cfg);
+  eng.add_rules({
+      rules::layer(workload::layers::M1).spacing().greater_than(workload::tech::wire_space),
+      rules::layer(workload::layers::M2).spacing().greater_than(workload::tech::wire_space),
+      rules::layer(workload::layers::M3).spacing().greater_than(workload::tech::wire_space),
+  });
+
+  recorder& rec = recorder::instance();
+  rec.enable();
+  const engine::deck_report dr = eng.check_deck(g.lib);
+  rec.disable();
+
+  const std::vector<tagged_event> events = rec.snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // (1) Per track: timestamps monotone, begin/end strictly nested (RAII
+  // spans can only close LIFO) and balanced.
+  std::uint32_t cur = ~0u;
+  std::uint64_t last_ts = 0;
+  std::vector<const trace::event*> stack;
+  for (const tagged_event& te : events) {
+    if (te.tid != cur) {
+      EXPECT_TRUE(stack.empty()) << "unbalanced spans on tid " << cur;
+      stack.clear();
+      cur = te.tid;
+      last_ts = 0;
+    }
+    EXPECT_GE(te.e.ts_ns, last_ts) << "timestamps not monotone on tid " << cur;
+    last_ts = te.e.ts_ns;
+    if (te.e.k == trace::event::kind::begin) {
+      stack.push_back(&te.e);
+    } else if (te.e.k == trace::event::kind::end) {
+      ASSERT_FALSE(stack.empty()) << "end without begin: " << te.e.cat << ":" << te.e.name;
+      EXPECT_STREQ(stack.back()->name, te.e.name);
+      EXPECT_STREQ(stack.back()->cat, te.e.cat);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+
+  // (2) pipeline_depth=2 round-robins rows over two streams: device spans
+  // must appear on >= 2 stream tracks, and some pair of them must overlap in
+  // time (the Section V-C claim the trace exists to make visible).
+  const auto iv = span_intervals(events, "device", "stream ");
+  ASSERT_GE(iv.size(), 2u) << "expected device work on at least two stream tracks";
+  EXPECT_TRUE(any_cross_track_overlap(iv)) << "no overlapping device spans across streams";
+
+  // (3) The pipeline phases show up as spans.
+  const trace::metrics_summary m = rec.metrics();
+  for (const char* key : {"engine:check_deck", "engine:run_pair_group", "pipeline:partition",
+                          "pipeline:pack", "device:kernel", "device:h2d", "sweep:finish"}) {
+    const trace::span_stats* s = span_of(m, key);
+    ASSERT_NE(s, nullptr) << "missing span population " << key;
+    EXPECT_GT(s->count, 0u) << key;
+  }
+  const trace::span_stats* deck_span = span_of(m, "engine:check_deck");
+  EXPECT_EQ(deck_span->count, 1u);
+  EXPECT_EQ(span_of(m, "pipeline:pack")->count, dr.total.rows);
+
+  // (4) Counter totals reconcile with the report's device_check_stats: the
+  // trace is an alternate observer of the same execution, so the sums of the
+  // "delta" instants must equal the stats the sweep accumulated itself.
+  const sweep::device_check_stats& ds = dr.total.device_stats;
+  EXPECT_EQ(counter_value(m, "sweep:edges_uploaded"),
+            static_cast<std::int64_t>(ds.edges_uploaded));
+  EXPECT_EQ(counter_value(m, "sweep:edge_pairs_tested"),
+            static_cast<std::int64_t>(ds.edge_pairs_tested));
+  EXPECT_EQ(counter_value(m, "sweep:sweep_launches"),
+            static_cast<std::int64_t>(ds.sweep_launches));
+  EXPECT_EQ(counter_value(m, "sweep:brute_launches"),
+            static_cast<std::int64_t>(ds.brute_launches));
+  EXPECT_EQ(counter_value(m, "sweep:overflow_retries"),
+            static_cast<std::int64_t>(ds.overflow_retries));
+  // Every sweep/brute launch is at least one device kernel launch.
+  EXPECT_GE(counter_value(m, "device:kernels_launched"),
+            static_cast<std::int64_t>(ds.sweep_launches + ds.brute_launches));
+  EXPECT_GT(counter_value(m, "device:bytes_h2d"), 0);
+
+  // (5) The exported JSON for the same recording is well-formed.
+  std::ostringstream os;
+  rec.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  std::size_t b = 0, e = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos; ++pos) ++b;
+  for (std::size_t pos = 0; (pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos; ++pos) ++e;
+  EXPECT_EQ(b, e);
+  EXPECT_GT(b, 0u);
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+}
+
+TEST(TraceGolden, MetricsTextRendersEverySection) {
+  recorder& rec = recorder::instance();
+  {
+    recording_guard on;
+    trace::span s("test", "render_me");
+    trace::counter("test", "gauge", 7);
+  }
+  std::ostringstream os;
+  rec.write_metrics(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("trace metrics"), std::string::npos);
+  EXPECT_NE(text.find("test:render_me"), std::string::npos);
+  EXPECT_NE(text.find("test:gauge = 7"), std::string::npos);
+  EXPECT_NE(text.find("tracks:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odrc

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "engine/deck_parser.hpp"
@@ -25,6 +26,7 @@
 #include "gdsii/reader.hpp"
 #include "gdsii/writer.hpp"
 #include "infra/timer.hpp"
+#include "infra/trace.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -36,6 +38,7 @@ int usage() {
                "usage:\n"
                "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--batch=on|off]\n"
                "             [--report=out.txt] [--markers=out.gds] [--json=out.json]\n"
+               "             [--trace=out_trace.json] [--metrics]\n"
                "             (also accepts --lef=<f> --def=<f> inputs)\n"
                "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
                "  odrc inspect <layout.gds>\n"
@@ -53,6 +56,14 @@ std::string opt_value(int argc, char** argv, const char* name, const char* fallb
     }
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 int cmd_check(int argc, char** argv) {
@@ -84,8 +95,26 @@ int cmd_check(int argc, char** argv) {
   drc_engine eng(cfg);
   eng.add_rules(deck);
 
+  const std::string trace_path = opt_value(argc, argv, "trace", "");
+  const bool want_metrics = has_flag(argc, argv, "metrics");
+  if (!trace_path.empty() || want_metrics) trace::recorder::instance().enable();
+
   report::violation_db db(lib.name());
   engine::deck_report dr = eng.check_deck(lib);
+
+  if (!trace_path.empty() || want_metrics) {
+    trace::recorder::instance().disable();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write trace '%s'\n", trace_path.c_str());
+        return 1;
+      }
+      trace::recorder::instance().write_chrome_json(out);
+      std::printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+  }
   for (std::size_t i = 0; i < deck.size(); ++i) {
     const double secs = dr.per_rule[i].phases.total();
     std::printf("  %-16s %8.3fs  %zu violations\n", deck[i].name.c_str(), secs,
@@ -129,6 +158,11 @@ int cmd_check(int argc, char** argv) {
   if (!markers_path.empty()) {
     gdsii::write(render::violation_markers(total.violations, lib.name()), markers_path);
     std::printf("violation markers written to %s\n", markers_path.c_str());
+  }
+  if (want_metrics) {
+    std::ostringstream ms;
+    trace::recorder::instance().write_metrics(ms);
+    std::fputs(ms.str().c_str(), stdout);
   }
   return total.violations.empty() ? 0 : 1;
 }
