@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/advanced_rules"
+  "../examples/advanced_rules.pdb"
+  "CMakeFiles/advanced_rules.dir/advanced_rules.cpp.o"
+  "CMakeFiles/advanced_rules.dir/advanced_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_rules"
+  "../examples/custom_rules.pdb"
+  "CMakeFiles/custom_rules.dir/custom_rules.cpp.o"
+  "CMakeFiles/custom_rules.dir/custom_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

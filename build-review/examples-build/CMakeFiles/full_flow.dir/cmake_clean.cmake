@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/full_flow"
+  "../examples/full_flow.pdb"
+  "CMakeFiles/full_flow.dir/full_flow.cpp.o"
+  "CMakeFiles/full_flow.dir/full_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

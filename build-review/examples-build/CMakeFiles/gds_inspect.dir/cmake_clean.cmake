@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/gds_inspect"
+  "../examples/gds_inspect.pdb"
+  "CMakeFiles/gds_inspect.dir/gds_inspect.cpp.o"
+  "CMakeFiles/gds_inspect.dir/gds_inspect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/incremental_flow"
+  "../examples/incremental_flow.pdb"
+  "CMakeFiles/incremental_flow.dir/incremental_flow.cpp.o"
+  "CMakeFiles/incremental_flow.dir/incremental_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

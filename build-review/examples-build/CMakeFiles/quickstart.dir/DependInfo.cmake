@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples-build/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baseline/CMakeFiles/odrc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/engine/CMakeFiles/odrc_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/render/CMakeFiles/odrc_render.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/report/CMakeFiles/odrc_report.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/odrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gdsii/CMakeFiles/odrc_gdsii.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sweep/CMakeFiles/odrc_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/checks/CMakeFiles/odrc_checks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/odrc_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/odrc_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/device/CMakeFiles/odrc_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/infra/CMakeFiles/odrc_infra.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/odrc_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_baseline.dir/deep_checker.cpp.o"
+  "CMakeFiles/odrc_baseline.dir/deep_checker.cpp.o.d"
+  "CMakeFiles/odrc_baseline.dir/flat_checker.cpp.o"
+  "CMakeFiles/odrc_baseline.dir/flat_checker.cpp.o.d"
+  "CMakeFiles/odrc_baseline.dir/tile_checker.cpp.o"
+  "CMakeFiles/odrc_baseline.dir/tile_checker.cpp.o.d"
+  "CMakeFiles/odrc_baseline.dir/xcheck.cpp.o"
+  "CMakeFiles/odrc_baseline.dir/xcheck.cpp.o.d"
+  "libodrc_baseline.a"
+  "libodrc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

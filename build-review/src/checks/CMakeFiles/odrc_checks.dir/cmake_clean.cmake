@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_checks.dir/poly_checks.cpp.o"
+  "CMakeFiles/odrc_checks.dir/poly_checks.cpp.o.d"
+  "CMakeFiles/odrc_checks.dir/violation.cpp.o"
+  "CMakeFiles/odrc_checks.dir/violation.cpp.o.d"
+  "libodrc_checks.a"
+  "libodrc_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

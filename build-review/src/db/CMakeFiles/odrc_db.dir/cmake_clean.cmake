@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_db.dir/flatten.cpp.o"
+  "CMakeFiles/odrc_db.dir/flatten.cpp.o.d"
+  "CMakeFiles/odrc_db.dir/layout.cpp.o"
+  "CMakeFiles/odrc_db.dir/layout.cpp.o.d"
+  "CMakeFiles/odrc_db.dir/mbr_index.cpp.o"
+  "CMakeFiles/odrc_db.dir/mbr_index.cpp.o.d"
+  "libodrc_db.a"
+  "libodrc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_device.dir/device.cpp.o"
+  "CMakeFiles/odrc_device.dir/device.cpp.o.d"
+  "libodrc_device.a"
+  "libodrc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/deck_parser.cpp" "src/engine/CMakeFiles/odrc_engine.dir/deck_parser.cpp.o" "gcc" "src/engine/CMakeFiles/odrc_engine.dir/deck_parser.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/odrc_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/odrc_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/pipeline.cpp" "src/engine/CMakeFiles/odrc_engine.dir/pipeline.cpp.o" "gcc" "src/engine/CMakeFiles/odrc_engine.dir/pipeline.cpp.o.d"
+  "/root/repo/src/engine/plan.cpp" "src/engine/CMakeFiles/odrc_engine.dir/plan.cpp.o" "gcc" "src/engine/CMakeFiles/odrc_engine.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/infra/CMakeFiles/odrc_infra.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/db/CMakeFiles/odrc_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/checks/CMakeFiles/odrc_checks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sweep/CMakeFiles/odrc_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/odrc_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/device/CMakeFiles/odrc_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/odrc_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

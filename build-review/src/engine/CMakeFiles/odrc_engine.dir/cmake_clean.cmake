@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_engine.dir/deck_parser.cpp.o"
+  "CMakeFiles/odrc_engine.dir/deck_parser.cpp.o.d"
+  "CMakeFiles/odrc_engine.dir/engine.cpp.o"
+  "CMakeFiles/odrc_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/odrc_engine.dir/pipeline.cpp.o"
+  "CMakeFiles/odrc_engine.dir/pipeline.cpp.o.d"
+  "CMakeFiles/odrc_engine.dir/plan.cpp.o"
+  "CMakeFiles/odrc_engine.dir/plan.cpp.o.d"
+  "libodrc_engine.a"
+  "libodrc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_gdsii.dir/reader.cpp.o"
+  "CMakeFiles/odrc_gdsii.dir/reader.cpp.o.d"
+  "CMakeFiles/odrc_gdsii.dir/writer.cpp.o"
+  "CMakeFiles/odrc_gdsii.dir/writer.cpp.o.d"
+  "libodrc_gdsii.a"
+  "libodrc_gdsii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_gdsii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodrc_gdsii.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/boolean.cpp" "src/geo/CMakeFiles/odrc_geo.dir/boolean.cpp.o" "gcc" "src/geo/CMakeFiles/odrc_geo.dir/boolean.cpp.o.d"
+  "/root/repo/src/geo/kdtree.cpp" "src/geo/CMakeFiles/odrc_geo.dir/kdtree.cpp.o" "gcc" "src/geo/CMakeFiles/odrc_geo.dir/kdtree.cpp.o.d"
+  "/root/repo/src/geo/quadtree.cpp" "src/geo/CMakeFiles/odrc_geo.dir/quadtree.cpp.o" "gcc" "src/geo/CMakeFiles/odrc_geo.dir/quadtree.cpp.o.d"
+  "/root/repo/src/geo/rtree.cpp" "src/geo/CMakeFiles/odrc_geo.dir/rtree.cpp.o" "gcc" "src/geo/CMakeFiles/odrc_geo.dir/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/infra/CMakeFiles/odrc_infra.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sweep/CMakeFiles/odrc_sweep.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/device/CMakeFiles/odrc_device.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/checks/CMakeFiles/odrc_checks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

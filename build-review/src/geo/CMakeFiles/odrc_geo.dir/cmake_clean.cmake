@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_geo.dir/boolean.cpp.o"
+  "CMakeFiles/odrc_geo.dir/boolean.cpp.o.d"
+  "CMakeFiles/odrc_geo.dir/kdtree.cpp.o"
+  "CMakeFiles/odrc_geo.dir/kdtree.cpp.o.d"
+  "CMakeFiles/odrc_geo.dir/quadtree.cpp.o"
+  "CMakeFiles/odrc_geo.dir/quadtree.cpp.o.d"
+  "CMakeFiles/odrc_geo.dir/rtree.cpp.o"
+  "CMakeFiles/odrc_geo.dir/rtree.cpp.o.d"
+  "libodrc_geo.a"
+  "libodrc_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infra/geometry.cpp" "src/infra/CMakeFiles/odrc_infra.dir/geometry.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/geometry.cpp.o.d"
+  "/root/repo/src/infra/interval_tree.cpp" "src/infra/CMakeFiles/odrc_infra.dir/interval_tree.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/interval_tree.cpp.o.d"
+  "/root/repo/src/infra/logger.cpp" "src/infra/CMakeFiles/odrc_infra.dir/logger.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/logger.cpp.o.d"
+  "/root/repo/src/infra/pigeonhole.cpp" "src/infra/CMakeFiles/odrc_infra.dir/pigeonhole.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/pigeonhole.cpp.o.d"
+  "/root/repo/src/infra/thread_pool.cpp" "src/infra/CMakeFiles/odrc_infra.dir/thread_pool.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/infra/trace.cpp" "src/infra/CMakeFiles/odrc_infra.dir/trace.cpp.o" "gcc" "src/infra/CMakeFiles/odrc_infra.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_infra.dir/geometry.cpp.o"
+  "CMakeFiles/odrc_infra.dir/geometry.cpp.o.d"
+  "CMakeFiles/odrc_infra.dir/interval_tree.cpp.o"
+  "CMakeFiles/odrc_infra.dir/interval_tree.cpp.o.d"
+  "CMakeFiles/odrc_infra.dir/logger.cpp.o"
+  "CMakeFiles/odrc_infra.dir/logger.cpp.o.d"
+  "CMakeFiles/odrc_infra.dir/pigeonhole.cpp.o"
+  "CMakeFiles/odrc_infra.dir/pigeonhole.cpp.o.d"
+  "CMakeFiles/odrc_infra.dir/thread_pool.cpp.o"
+  "CMakeFiles/odrc_infra.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/odrc_infra.dir/trace.cpp.o"
+  "CMakeFiles/odrc_infra.dir/trace.cpp.o.d"
+  "libodrc_infra.a"
+  "libodrc_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_lefdef.dir/lefdef.cpp.o"
+  "CMakeFiles/odrc_lefdef.dir/lefdef.cpp.o.d"
+  "libodrc_lefdef.a"
+  "libodrc_lefdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_lefdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for odrc_lefdef.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_partition.dir/row_partition.cpp.o"
+  "CMakeFiles/odrc_partition.dir/row_partition.cpp.o.d"
+  "libodrc_partition.a"
+  "libodrc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

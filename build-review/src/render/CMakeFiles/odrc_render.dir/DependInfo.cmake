@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/render.cpp" "src/render/CMakeFiles/odrc_render.dir/render.cpp.o" "gcc" "src/render/CMakeFiles/odrc_render.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/db/CMakeFiles/odrc_db.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/checks/CMakeFiles/odrc_checks.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/infra/CMakeFiles/odrc_infra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

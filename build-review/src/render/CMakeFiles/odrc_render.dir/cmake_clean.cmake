@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_render.dir/render.cpp.o"
+  "CMakeFiles/odrc_render.dir/render.cpp.o.d"
+  "libodrc_render.a"
+  "libodrc_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_report.dir/violation_db.cpp.o"
+  "CMakeFiles/odrc_report.dir/violation_db.cpp.o.d"
+  "libodrc_report.a"
+  "libodrc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

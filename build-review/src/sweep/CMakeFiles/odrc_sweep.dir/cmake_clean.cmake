@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_sweep.dir/device_sweep.cpp.o"
+  "CMakeFiles/odrc_sweep.dir/device_sweep.cpp.o.d"
+  "CMakeFiles/odrc_sweep.dir/sweepline.cpp.o"
+  "CMakeFiles/odrc_sweep.dir/sweepline.cpp.o.d"
+  "libodrc_sweep.a"
+  "libodrc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc_workload.dir/workload.cpp.o"
+  "CMakeFiles/odrc_workload.dir/workload.cpp.o.d"
+  "libodrc_workload.a"
+  "libodrc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

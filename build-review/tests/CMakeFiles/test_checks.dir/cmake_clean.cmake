@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checks.dir/edge_checks_test.cpp.o"
+  "CMakeFiles/test_checks.dir/edge_checks_test.cpp.o.d"
+  "CMakeFiles/test_checks.dir/poly_checks_test.cpp.o"
+  "CMakeFiles/test_checks.dir/poly_checks_test.cpp.o.d"
+  "CMakeFiles/test_checks.dir/poly_edge_cases_test.cpp.o"
+  "CMakeFiles/test_checks.dir/poly_edge_cases_test.cpp.o.d"
+  "test_checks"
+  "test_checks.pdb"
+  "test_checks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

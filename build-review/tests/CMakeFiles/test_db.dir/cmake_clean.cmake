@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/db_test.cpp.o"
+  "CMakeFiles/test_db.dir/db_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/deep_hierarchy_test.cpp.o"
+  "CMakeFiles/test_db.dir/deep_hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/flatten_test.cpp.o"
+  "CMakeFiles/test_db.dir/flatten_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/gdsii_fuzz_test.cpp.o"
+  "CMakeFiles/test_db.dir/gdsii_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/gdsii_test.cpp.o"
+  "CMakeFiles/test_db.dir/gdsii_test.cpp.o.d"
+  "CMakeFiles/test_db.dir/lefdef_test.cpp.o"
+  "CMakeFiles/test_db.dir/lefdef_test.cpp.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

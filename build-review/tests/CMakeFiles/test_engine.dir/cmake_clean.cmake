@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/coloring_test.cpp.o"
+  "CMakeFiles/test_engine.dir/coloring_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/deck_batching_test.cpp.o"
+  "CMakeFiles/test_engine.dir/deck_batching_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/deck_parser_test.cpp.o"
+  "CMakeFiles/test_engine.dir/deck_parser_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/derived_rules_test.cpp.o"
+  "CMakeFiles/test_engine.dir/derived_rules_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/host_parallel_test.cpp.o"
+  "CMakeFiles/test_engine.dir/host_parallel_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/magnification_test.cpp.o"
+  "CMakeFiles/test_engine.dir/magnification_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/prl_spacing_test.cpp.o"
+  "CMakeFiles/test_engine.dir/prl_spacing_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/region_check_test.cpp.o"
+  "CMakeFiles/test_engine.dir/region_check_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/view_cache_test.cpp.o"
+  "CMakeFiles/test_engine.dir/view_cache_test.cpp.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra.dir/geometry_test.cpp.o"
+  "CMakeFiles/test_infra.dir/geometry_test.cpp.o.d"
+  "CMakeFiles/test_infra.dir/infra_misc_test.cpp.o"
+  "CMakeFiles/test_infra.dir/infra_misc_test.cpp.o.d"
+  "CMakeFiles/test_infra.dir/interval_tree_test.cpp.o"
+  "CMakeFiles/test_infra.dir/interval_tree_test.cpp.o.d"
+  "CMakeFiles/test_infra.dir/pigeonhole_test.cpp.o"
+  "CMakeFiles/test_infra.dir/pigeonhole_test.cpp.o.d"
+  "test_infra"
+  "test_infra.pdb"
+  "test_infra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

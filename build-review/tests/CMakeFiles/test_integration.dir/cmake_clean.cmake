@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/cross_checker_test.cpp.o"
+  "CMakeFiles/test_integration.dir/cross_checker_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/random_layout_test.cpp.o"
+  "CMakeFiles/test_integration.dir/random_layout_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/render_test.cpp.o"
+  "CMakeFiles/test_integration.dir/render_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/stress_integration_test.cpp.o"
+  "CMakeFiles/test_integration.dir/stress_integration_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/violation_db_test.cpp.o"
+  "CMakeFiles/test_integration.dir/violation_db_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/workload_test.cpp.o"
+  "CMakeFiles/test_integration.dir/workload_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

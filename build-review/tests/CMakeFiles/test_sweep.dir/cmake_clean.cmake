@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweep.dir/device_sweep_test.cpp.o"
+  "CMakeFiles/test_sweep.dir/device_sweep_test.cpp.o.d"
+  "CMakeFiles/test_sweep.dir/partition_test.cpp.o"
+  "CMakeFiles/test_sweep.dir/partition_test.cpp.o.d"
+  "CMakeFiles/test_sweep.dir/sweepline_test.cpp.o"
+  "CMakeFiles/test_sweep.dir/sweepline_test.cpp.o.d"
+  "test_sweep"
+  "test_sweep.pdb"
+  "test_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

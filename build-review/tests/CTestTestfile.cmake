@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_infra[1]_include.cmake")
+include("/root/repo/build-review/tests/test_device[1]_include.cmake")
+include("/root/repo/build-review/tests/test_db[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build-review/tests/test_checks[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geo[1]_include.cmake")
+include("/root/repo/build-review/tests/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engine[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+add_test(cli_roundtrip "/usr/bin/cmake" "-DODRC_BIN=/root/repo/build-review/tools/odrc" "-DWORK_DIR=/root/repo/build-review/cli_test_work" "-P" "/root/repo/tests/cli_test.cmake")
+set_tests_properties(cli_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odrc.dir/odrc_cli.cpp.o"
+  "CMakeFiles/odrc.dir/odrc_cli.cpp.o.d"
+  "odrc"
+  "odrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
