@@ -1,55 +1,82 @@
 // Ablation: the parallel mode's executor choice (paper Section IV-E) —
 // brute-force (threads per polygon pair) vs two-kernel sweep, across batch
 // sizes, locating the crossover that motivates OpenDRC's adaptive cutoff.
+// One harness case per (edge-field size, executor); the winner table is
+// rendered from the case medians in summarize.
 #include <cstdio>
 #include <random>
+#include <vector>
 
-#include "infra/timer.hpp"
+#include "infra/bench_harness.hpp"
 #include "sweep/device_sweep.hpp"
 
-int main() {
-  using namespace odrc;
-  using namespace odrc::sweep;
+namespace {
 
-  device::stream s(device::context::instance());
+using namespace odrc;
+using namespace odrc::sweep;
 
-  std::printf("\nABLATION: device executor choice (spacing check over random wire fields)\n");
-  std::printf("%10s %12s %12s %12s %14s\n", "edges", "brute(s)", "sweep(s)", "winner",
-              "pairs-tested(M)");
-
-  for (const std::size_t polys : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
-    std::mt19937 rng(polys);
-    const coord_t span = static_cast<coord_t>(60 * polys);
-    std::uniform_int_distribution<coord_t> pos(0, span);
-    std::vector<packed_edge> edges;
-    for (std::size_t i = 0; i < polys; ++i) {
-      const coord_t x = pos(rng), y = pos(rng);
-      pack_polygon_edges(polygon::from_rect({x, y, x + 18, y + 100}),
-                         static_cast<std::uint32_t>(i), 0, edges);
-    }
-    const device_check_config cfg{pair_check::spacing, 18, 1, 1};
-
-    auto run = [&](executor_choice choice, device_check_stats& stats) {
-      double best = 1e100;
-      for (int rep = 0; rep < 3; ++rep) {
-        std::vector<checks::violation> out;
-        stats = {};
-        timer t;
-        device_check_edges_with(s, edges, cfg, choice, out, stats);
-        best = std::min(best, t.seconds());
-      }
-      return best;
-    };
-
-    device_check_stats bs{}, ss{};
-    const double brute_t = run(executor_choice::brute, bs);
-    const double sweep_t = run(executor_choice::sweep, ss);
-    std::printf("%10zu %12.5f %12.5f %12s %7.3f/%6.3f\n", edges.size(), brute_t, sweep_t,
-                brute_t < sweep_t ? "brute" : "sweep",
-                static_cast<double>(bs.edge_pairs_tested) / 1e6,
-                static_cast<double>(ss.edge_pairs_tested) / 1e6);
+std::vector<packed_edge> make_wire_field(std::size_t polys) {
+  std::mt19937 rng(polys);
+  const coord_t span = static_cast<coord_t>(60 * polys);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::vector<packed_edge> edges;
+  for (std::size_t i = 0; i < polys; ++i) {
+    const coord_t x = pos(rng), y = pos(rng);
+    pack_polygon_edges(polygon::from_rect({x, y, x + 18, y + 100}),
+                       static_cast<std::uint32_t>(i), 0, edges);
   }
-  std::printf("\nOpenDRC's automatic cutoff selects brute-force at or below %zu edges.\n",
-              default_brute_threshold);
-  return 0;
+  return edges;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("ablation_executor");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<std::size_t> sizes =
+      s.opts().quick ? std::vector<std::size_t>{8, 64, 256, 1024}
+                     : std::vector<std::size_t>{2,   4,   8,    16,   32,  64,
+                                                128, 256, 512, 1024, 4096};
+
+  device::stream stream(device::context::instance());
+
+  for (const std::size_t polys : sizes) {
+    for (const executor_choice choice : {executor_choice::brute, executor_choice::sweep}) {
+      const char* label = choice == executor_choice::brute ? "brute" : "sweep";
+      s.add("polys=" + std::to_string(polys) + "/" + label,
+            [&stream, polys, choice](bench::case_context& ctx) {
+              const auto edges = make_wire_field(polys);
+              const device_check_config cfg{pair_check::spacing, 18, 1, 1};
+              device_check_stats stats{};
+              while (ctx.next_rep()) {
+                std::vector<checks::violation> out;
+                stats = {};
+                device_check_edges_with(stream, edges, cfg, choice, out, stats);
+              }
+              ctx.counter("edges", static_cast<double>(edges.size()));
+              ctx.counter("edge_pairs", static_cast<double>(stats.edge_pairs_tested));
+            });
+    }
+  }
+
+  return s.run([&](const bench::suite_report& rep) {
+    std::printf(
+        "\nABLATION: device executor choice (spacing check over random wire fields)\n");
+    std::printf("%10s %12s %12s %12s %14s\n", "edges", "brute(s)", "sweep(s)", "winner",
+                "pairs-tested(M)");
+    for (const std::size_t polys : sizes) {
+      const std::string base = "polys=" + std::to_string(polys) + "/";
+      const double brute_t = bench::median_or(rep, base + "brute");
+      const double sweep_t = bench::median_or(rep, base + "sweep");
+      if (brute_t < 0 || sweep_t < 0) continue;
+      std::printf("%10.0f %12.5f %12.5f %12s %7.3f/%6.3f\n",
+                  bench::counter_or(rep, base + "brute", "edges"), brute_t, sweep_t,
+                  brute_t < sweep_t ? "brute" : "sweep",
+                  bench::counter_or(rep, base + "brute", "edge_pairs") / 1e6,
+                  bench::counter_or(rep, base + "sweep", "edge_pairs") / 1e6);
+    }
+    std::printf("\nOpenDRC's automatic cutoff selects brute-force at or below %zu edges.\n",
+                default_brute_threshold);
+  });
 }

@@ -2,47 +2,81 @@
 // CUDA streams overlap host preprocessing, copies and kernels). Depth 1
 // serializes host packing against device work; deeper pipelines keep the
 // device busy. On a many-core host (ODRC_DEVICE_SMS > 1) the effect grows.
+// One harness case per (design, depth); each non-first depth verifies its
+// violation set against depth 1's and throws on a mismatch.
+#include <memory>
+#include <stdexcept>
+
 #include "table_common.hpp"
 
-int main() {
-  using namespace odrc;
-  using namespace odrc::bench;
-  using workload::layers;
-  using workload::tech;
+namespace {
 
-  std::printf("\nABLATION: parallel-mode pipeline depth (spacing M1+M2, scale=%.2f)\n",
-              bench_scale());
-  std::printf("%-8s %8s %10s %14s %10s\n", "Design", "depth", "time(s)", "device-edges",
-              "launches");
+using namespace odrc;
+using namespace odrc::bench;
+using workload::layers;
+using workload::tech;
 
-  for (const std::string& design : {std::string("ethmac"), std::string("aes")}) {
-    auto spec = workload::spec_for(design, bench_scale());
-    spec.inject = {1, 1, 0, 0};
-    const auto g = workload::generate(spec);
+constexpr std::size_t depths[] = {1, 2, 4};
 
-    std::vector<checks::violation> reference;
-    for (const std::size_t depth : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-      drc_engine e({.run_mode = engine::mode::parallel, .pipeline_depth = depth});
-      engine::check_report total;
-      double secs = 0;
-      for (const db::layer_t layer : {layers::M1, layers::M2}) {
-        engine::check_report r;
-        secs += time_best([&] { return e.run_spacing(g.lib, layer, tech::wire_space); }, &r);
-        total.merge_from(std::move(r));
-      }
-      checks::normalize_all(total.violations);
-      if (reference.empty()) {
-        reference = total.violations;
-      } else if (total.violations != reference) {
-        std::fprintf(stderr, "FATAL: depth %zu changed the violation set!\n", depth);
-        return 1;
-      }
-      std::printf("%-8s %8zu %10.4f %14llu %10llu\n", design.c_str(), depth, secs,
-                  static_cast<unsigned long long>(total.device_stats.edges_uploaded),
-                  static_cast<unsigned long long>(total.device_stats.sweep_launches +
-                                                  total.device_stats.brute_launches));
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("ablation_pipeline");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  workload_cache cache;
+  const std::vector<std::string> designs =
+      s.opts().quick ? std::vector<std::string>{"ethmac"}
+                     : std::vector<std::string>{"ethmac", "aes"};
+
+  auto reference = std::make_shared<std::map<std::string, std::vector<checks::violation>>>();
+
+  for (const std::string& design : designs) {
+    for (const std::size_t depth : depths) {
+      s.add(design + "/depth=" + std::to_string(depth),
+            [&cache, reference, design, depth](case_context& ctx) {
+              const auto& g = cache.get(design, 1, ctx.scale());
+              drc_engine e({.run_mode = engine::mode::parallel, .pipeline_depth = depth});
+              engine::check_report total;
+              while (ctx.next_rep()) {
+                total = {};
+                for (const db::layer_t layer : {layers::M1, layers::M2}) {
+                  total.merge_from(e.run_spacing(g.lib, layer, tech::wire_space));
+                }
+              }
+              checks::normalize_all(total.violations);
+              auto [it, inserted] = reference->try_emplace(design, total.violations);
+              if (!inserted && total.violations != it->second) {
+                throw std::runtime_error("depth " + std::to_string(depth) +
+                                         " changed the violation set");
+              }
+              ctx.counter("device_edges",
+                          static_cast<double>(total.device_stats.edges_uploaded));
+              ctx.counter("launches",
+                          static_cast<double>(total.device_stats.sweep_launches +
+                                              total.device_stats.brute_launches));
+            });
     }
   }
-  std::printf("\nAll depths produced identical violation sets (verified).\n");
-  return 0;
+
+  return s.run([&](const suite_report& rep) {
+    std::printf("\nABLATION: parallel-mode pipeline depth (spacing M1+M2, scale=%.2f)\n",
+                rep.scale);
+    std::printf("%-8s %8s %10s %14s %10s\n", "Design", "depth", "time(s)", "device-edges",
+                "launches");
+    bool all_ok = true;
+    for (const std::string& design : designs) {
+      for (const std::size_t depth : depths) {
+        const std::string name = design + "/depth=" + std::to_string(depth);
+        const case_result* c = rep.find(name);
+        if (!c || !c->error.empty()) {
+          all_ok = false;
+          continue;
+        }
+        std::printf("%-8s %8zu %10.4f %14.0f %10.0f\n", design.c_str(), depth, c->wall.median,
+                    counter_or(rep, name, "device_edges"), counter_or(rep, name, "launches"));
+      }
+    }
+    if (all_ok) std::printf("\nAll depths produced identical violation sets (verified).\n");
+  });
 }

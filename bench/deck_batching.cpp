@@ -8,17 +8,27 @@
 // evaluating all predicates of a group per candidate pair. Expected shape:
 // batched beats per-rule in both modes, with the larger win in parallel mode
 // where the pack/upload is the dominant shared cost.
+//
+// One harness case per (design, mode, per-rule|batched); each batched case
+// verifies its violation count against the per-rule case that ran before it
+// and throws on mismatch. Two extra cases measure the trace recorder's
+// enabled-vs-disabled overhead contract.
+#include <memory>
+#include <stdexcept>
+
 #include "table_common.hpp"
 
 #include "infra/trace.hpp"
 
-int main() {
-  using namespace odrc;
-  using namespace odrc::bench;
-  using workload::layers;
-  using workload::tech;
+namespace {
 
-  std::vector<rules::rule> deck = {
+using namespace odrc;
+using namespace odrc::bench;
+using workload::layers;
+using workload::tech;
+
+std::vector<rules::rule> make_deck() {
+  return {
       rules::layer(layers::M2).spacing().greater_than(tech::wire_space).named("M2.S.1"),
       rules::layer(layers::M2).spacing().greater_than(tech::wire_space - 4).named("M2.S.2"),
       rules::layer(layers::M2).spacing().greater_than(12)
@@ -31,65 +41,91 @@ int main() {
       rules::layer(layers::V2).enclosed_by(layers::M3).greater_than(3).named("V2.M3.EN.2"),
       rules::layer(layers::V2).enclosed_by(layers::M3).greater_than(1).named("V2.M3.EN.3"),
   };
+}
 
-  std::printf("Deck batching: %zu pair rules over 3 layers (scale=%.2f, best of %d)\n",
-              deck.size(), bench_scale(), bench_repeats());
-  std::printf("%-8s %-10s %10s %10s %8s %10s %10s\n", "Design", "Mode", "per-rule", "batched",
-              "speedup", "shared(s)", "saved(s)");
+}  // namespace
 
-  for (const std::string& design : workload::design_names()) {
-    auto spec = workload::spec_for(design, bench_scale());
-    spec.inject = {2, 2, 2, 2};
-    const auto g = workload::generate(spec);
+int main(int argc, char** argv) {
+  bench::suite s("deck_batching");
+  if (auto rc = s.parse(argc, argv)) return *rc;
 
+  workload_cache cache;
+  const std::vector<std::string> designs = bench_designs(s, {"uart", "sha3"});
+
+  // Violation counts of the per-rule passes, keyed "design/mode", checked by
+  // the batched cases (cases run in registration order).
+  auto reference = std::make_shared<std::map<std::string, std::size_t>>();
+
+  for (const std::string& design : designs) {
     for (const engine::mode m : {engine::mode::sequential, engine::mode::parallel}) {
-      engine_config cfg;
-      cfg.run_mode = m;
-
-      cfg.batch = false;
-      drc_engine per_rule(cfg);
-      per_rule.add_rules(deck);
-      engine::check_report unbatched;
-      const double t_per_rule =
-          time_best([&] { return per_rule.check(g.lib); }, &unbatched);
-
-      cfg.batch = true;
-      drc_engine batched(cfg);
-      batched.add_rules(deck);
-      engine::check_report combined;
-      const double t_batched = time_best([&] { return batched.check(g.lib); }, &combined);
-
-      if (combined.violations.size() != unbatched.violations.size()) {
-        std::fprintf(stderr, "MISMATCH %s: batched %zu vs per-rule %zu violations\n",
-                     design.c_str(), combined.violations.size(), unbatched.violations.size());
-        return 1;
+      const std::string mode_s = m == engine::mode::sequential ? "seq" : "par";
+      for (const bool batch : {false, true}) {
+        s.add(design + "/" + mode_s + "/" + (batch ? "batched" : "per-rule"),
+              [&cache, reference, design, m, mode_s, batch](case_context& ctx) {
+                const auto& g = cache.get(design, 2, ctx.scale());
+                engine_config cfg;
+                cfg.run_mode = m;
+                cfg.batch = batch;
+                drc_engine eng(cfg);
+                eng.add_rules(make_deck());
+                engine::check_report report;
+                while (ctx.next_rep()) report = eng.check(g.lib);
+                const std::string key = design + "/" + mode_s;
+                auto [it, inserted] = reference->try_emplace(key, report.violations.size());
+                if (!inserted && report.violations.size() != it->second) {
+                  throw std::runtime_error("batched and per-rule violation counts differ");
+                }
+                ctx.counter("violations", static_cast<double>(report.violations.size()));
+                ctx.counter("shared_seconds", report.deck.shared_seconds);
+                ctx.counter("saved_seconds", report.deck.saved_seconds);
+              });
       }
-      std::printf("%-8s %-10s %10.3f %10.3f %7.2fx %10.3f %10.3f\n", design.c_str(),
-                  m == engine::mode::sequential ? "seq" : "par", t_per_rule, t_batched,
-                  t_per_rule / std::max(t_batched, 1e-9), combined.deck.shared_seconds,
-                  combined.deck.saved_seconds);
     }
   }
 
   // Trace-overhead check: the span recorder's contract is that an enabled
   // recording costs a few percent at pipeline granularity and a disabled one
-  // costs one branch per site. Re-run the batched parallel pass with the
-  // recorder off and on and report the delta.
-  {
-    auto spec = workload::spec_for("sha3", bench_scale());
-    spec.inject = {2, 2, 2, 2};
-    const auto g = workload::generate(spec);
-    engine_config cfg;
-    cfg.run_mode = engine::mode::parallel;
-    drc_engine eng(cfg);
-    eng.add_rules(deck);
-
-    const double t_off = time_best([&] { return eng.check(g.lib); });
-    trace::recorder::instance().enable();
-    const double t_on = time_best([&] { return eng.check(g.lib); });
-    trace::recorder::instance().disable();
-    std::printf("\nTrace overhead (sha3, par, batched): disabled %.3fs, enabled %.3fs (%+.1f%%)\n",
-                t_off, t_on, 100.0 * (t_on - t_off) / std::max(t_off, 1e-9));
+  // costs one branch per site. Same batched parallel pass, recorder off/on.
+  const std::string overhead_design = s.opts().quick ? "uart" : "sha3";
+  for (const bool enabled : {false, true}) {
+    s.add(std::string("trace-overhead/") + (enabled ? "on" : "off"),
+          [&cache, overhead_design, enabled](case_context& ctx) {
+            const auto& g = cache.get(overhead_design, 2, ctx.scale());
+            engine_config cfg;
+            cfg.run_mode = engine::mode::parallel;
+            drc_engine eng(cfg);
+            eng.add_rules(make_deck());
+            while (ctx.next_rep()) {
+              if (enabled) trace::recorder::instance().enable();
+              eng.check(g.lib);
+              if (enabled) trace::recorder::instance().disable();
+            }
+          });
   }
-  return 0;
+
+  return s.run([&](const suite_report& rep) {
+    std::printf("\nDeck batching: 9 pair rules over 3 layers (scale=%.2f, mode=%s)\n",
+                rep.scale, rep.mode.c_str());
+    std::printf("%-8s %-10s %10s %10s %8s %10s %10s\n", "Design", "Mode", "per-rule",
+                "batched", "speedup", "shared(s)", "saved(s)");
+    for (const std::string& design : designs) {
+      for (const char* mode_s : {"seq", "par"}) {
+        const std::string base = design + "/" + mode_s + "/";
+        const double t_per_rule = median_or(rep, base + "per-rule");
+        const double t_batched = median_or(rep, base + "batched");
+        if (t_per_rule < 0 || t_batched < 0) continue;
+        std::printf("%-8s %-10s %10.3f %10.3f %7.2fx %10.3f %10.3f\n", design.c_str(),
+                    mode_s, t_per_rule, t_batched, t_per_rule / std::max(t_batched, 1e-9),
+                    counter_or(rep, base + "batched", "shared_seconds"),
+                    counter_or(rep, base + "batched", "saved_seconds"));
+      }
+    }
+    const double t_off = median_or(rep, "trace-overhead/off");
+    const double t_on = median_or(rep, "trace-overhead/on");
+    if (t_off > 0 && t_on > 0) {
+      std::printf("\nTrace overhead (%s, par, batched): disabled %.3fs, enabled %.3fs (%+.1f%%)\n",
+                  overhead_design.c_str(), t_off, t_on,
+                  100.0 * (t_on - t_off) / std::max(t_off, 1e-9));
+    }
+  });
 }

@@ -1,11 +1,13 @@
 // Boolean mask operation micro-benchmarks: scanline throughput across
 // operand sizes and overlap densities, plus connected-component grouping —
 // the machinery behind the derived-layer (overlap / NOT-CUT) rules.
-#include <benchmark/benchmark.h>
-
+// Registered into the odrc::bench harness: one case per (operation, n).
 #include <random>
+#include <string>
+#include <vector>
 
 #include "geo/boolean.hpp"
+#include "infra/bench_harness.hpp"
 
 namespace {
 
@@ -24,55 +26,51 @@ std::vector<rect> rect_soup(std::size_t n, coord_t span, std::uint32_t seed) {
   return out;
 }
 
-void BM_BooleanUnion(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  // span scales with n to keep overlap density roughly constant.
-  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 1);
-  for (auto _ : state) {
-    auto r = geo::boolean_rects(std::span<const rect>(a), {}, geo::bool_op::unite);
-    benchmark::DoNotOptimize(r.data());
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
+void add_bool_case(bench::suite& s, const char* label, geo::bool_op op, bool two_operands,
+                   std::size_t n) {
+  s.add(std::string("boolean_") + label + "/n=" + std::to_string(n),
+        [op, two_operands, n](bench::case_context& ctx) {
+          // span scales with n to keep overlap density roughly constant.
+          const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 2 * static_cast<std::uint32_t>(op) + 1);
+          const auto b = two_operands
+                             ? rect_soup(n, static_cast<coord_t>(40 * n),
+                                         2 * static_cast<std::uint32_t>(op) + 2)
+                             : std::vector<rect>{};
+          std::size_t out_rects = 0;
+          while (ctx.next_rep()) {
+            auto r = geo::boolean_rects(std::span<const rect>(a), b, op);
+            out_rects = r.size();
+          }
+          ctx.counter("items", static_cast<double>(n));
+          ctx.counter("out_rects", static_cast<double>(out_rects));
+        });
 }
-
-void BM_BooleanIntersect(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 2);
-  const auto b = rect_soup(n, static_cast<coord_t>(40 * n), 3);
-  for (auto _ : state) {
-    auto r = geo::boolean_rects(std::span<const rect>(a), b, geo::bool_op::intersect);
-    benchmark::DoNotOptimize(r.data());
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-void BM_BooleanSubtract(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto a = rect_soup(n, static_cast<coord_t>(40 * n), 4);
-  const auto b = rect_soup(n, static_cast<coord_t>(40 * n), 5);
-  for (auto _ : state) {
-    auto r = geo::boolean_rects(std::span<const rect>(a), b, geo::bool_op::subtract);
-    benchmark::DoNotOptimize(r.data());
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-BENCHMARK(BM_BooleanUnion)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
-BENCHMARK(BM_BooleanIntersect)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
-BENCHMARK(BM_BooleanSubtract)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
-
-void BM_ConnectedComponents(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto rects = rect_soup(n, static_cast<coord_t>(40 * n), 6);
-  for (auto _ : state) {
-    auto c = geo::connected_components(rects);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-BENCHMARK(BM_ConnectedComponents)->Arg(1 << 8)->Arg(1 << 11)->Arg(1 << 14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::suite s("micro_boolean");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<std::size_t> sizes =
+      s.opts().quick ? std::vector<std::size_t>{1 << 8, 1 << 11}
+                     : std::vector<std::size_t>{1 << 8, 1 << 11, 1 << 14};
+
+  for (const std::size_t n : sizes) {
+    add_bool_case(s, "union", geo::bool_op::unite, false, n);
+    add_bool_case(s, "intersect", geo::bool_op::intersect, true, n);
+    add_bool_case(s, "subtract", geo::bool_op::subtract, true, n);
+    s.add("connected_components/n=" + std::to_string(n), [n](bench::case_context& ctx) {
+      const auto rects = rect_soup(n, static_cast<coord_t>(40 * n), 6);
+      std::size_t groups = 0;
+      while (ctx.next_rep()) {
+        auto c = geo::connected_components(rects);
+        groups = c.size();
+      }
+      ctx.counter("items", static_cast<double>(n));
+      ctx.counter("groups", static_cast<double>(groups));
+    });
+  }
+
+  return s.run();
+}

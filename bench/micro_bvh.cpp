@@ -2,11 +2,12 @@
 // range query descends the MBR-augmented hierarchy in O(min(n, kh)) versus
 // the O(n) full flatten-and-scan. Hierarchy depth and query selectivity are
 // swept; the visited-node counter from mbr_index makes the pruning visible
-// independent of wall-clock.
-#include <benchmark/benchmark.h>
+// independent of wall-clock. Registered into the odrc::bench harness.
+#include <string>
 
 #include "db/flatten.hpp"
 #include "db/mbr_index.hpp"
+#include "infra/bench_harness.hpp"
 
 namespace {
 
@@ -45,57 +46,76 @@ struct deep_lib {
   }
 };
 
-void BM_LayerQueryHierarchy(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  deep_lib d(depth);
-  const db::mbr_index idx(d.lib);
-  std::uint64_t hits = 0;
-  for (auto _ : state) {
-    std::uint64_t n = 0;
-    // Sparse layer 2: the MBR pruning skips most subtrees.
-    idx.query(d.top, 2, rect{-1000000, -1000000, 1000000, 1000000},
-              [&](const db::layer_hit&) { ++n; });
-    hits = n;
-    benchmark::DoNotOptimize(hits);
-  }
-  state.counters["hits"] = static_cast<double>(hits);
-  state.counters["nodes_visited"] = static_cast<double>(idx.last_query_nodes_visited());
-  state.counters["leaves_total"] = static_cast<double>(1 << (2 * depth));
-}
-
-void BM_LayerQueryFlatten(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  deep_lib d(depth);
-  std::uint64_t hits = 0;
-  for (auto _ : state) {
-    const auto flat = db::flatten_layer(d.lib, d.top, 2);
-    hits = flat.size();
-    benchmark::DoNotOptimize(hits);
-  }
-  state.counters["hits"] = static_cast<double>(hits);
-}
-
-BENCHMARK(BM_LayerQueryHierarchy)->DenseRange(3, 7);
-BENCHMARK(BM_LayerQueryFlatten)->DenseRange(3, 7);
-
-// Windowed query: selectivity sweep at fixed depth.
-void BM_WindowQuery(benchmark::State& state) {
-  deep_lib d(6);
-  const db::mbr_index idx(d.lib);
-  const rect full = idx.cell_mbr(d.top);
-  const double frac = static_cast<double>(state.range(0)) / 100.0;
-  const rect window{full.x_min, full.y_min,
-                    static_cast<coord_t>(full.x_min + full.width() * frac), full.y_max};
-  for (auto _ : state) {
-    std::uint64_t n = 0;
-    idx.query(d.top, 1, window, [&](const db::layer_hit&) { ++n; });
-    benchmark::DoNotOptimize(n);
-  }
-  state.counters["nodes_visited"] = static_cast<double>(idx.last_query_nodes_visited());
-}
-
-BENCHMARK(BM_WindowQuery)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+// Queries are microseconds at shallow depth; batch per sample.
+constexpr std::size_t query_inner = 64;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::suite s("micro_bvh");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<int> depths = s.opts().quick ? std::vector<int>{3, 5}
+                                                 : std::vector<int>{3, 4, 5, 6, 7};
+
+  for (const int depth : depths) {
+    s.add("layer_query_hierarchy/depth=" + std::to_string(depth),
+          [depth](bench::case_context& ctx) {
+            deep_lib d(depth);
+            const db::mbr_index idx(d.lib);
+            std::uint64_t hits = 0;
+            while (ctx.next_rep()) {
+              for (std::size_t i = 0; i < query_inner; ++i) {
+                std::uint64_t n = 0;
+                // Sparse layer 2: the MBR pruning skips most subtrees.
+                idx.query(d.top, 2, rect{-1000000, -1000000, 1000000, 1000000},
+                          [&](const db::layer_hit&) { ++n; });
+                hits = n;
+              }
+            }
+            ctx.counter("hits", static_cast<double>(hits));
+            ctx.counter("nodes_visited",
+                        static_cast<double>(idx.last_query_nodes_visited()));
+            ctx.counter("leaves_total", static_cast<double>(1 << (2 * depth)));
+          });
+
+    s.add("layer_query_flatten/depth=" + std::to_string(depth),
+          [depth](bench::case_context& ctx) {
+            deep_lib d(depth);
+            std::uint64_t hits = 0;
+            while (ctx.next_rep()) {
+              const auto flat = db::flatten_layer(d.lib, d.top, 2);
+              hits = flat.size();
+            }
+            ctx.counter("hits", static_cast<double>(hits));
+          });
+  }
+
+  // Windowed query: selectivity sweep at fixed depth.
+  const int window_depth = s.opts().quick ? 4 : 6;
+  const std::vector<int> fracs =
+      s.opts().quick ? std::vector<int>{10} : std::vector<int>{1, 10, 50, 100};
+  for (const int frac_pct : fracs) {
+    s.add("window_query/frac=" + std::to_string(frac_pct),
+          [frac_pct, window_depth](bench::case_context& ctx) {
+            deep_lib d(window_depth);
+            const db::mbr_index idx(d.lib);
+            const rect full = idx.cell_mbr(d.top);
+            const double frac = static_cast<double>(frac_pct) / 100.0;
+            const rect window{full.x_min, full.y_min,
+                              static_cast<coord_t>(full.x_min + full.width() * frac),
+                              full.y_max};
+            while (ctx.next_rep()) {
+              for (std::size_t i = 0; i < query_inner; ++i) {
+                std::uint64_t n = 0;
+                idx.query(d.top, 1, window, [&](const db::layer_hit&) { ++n; });
+                (void)n;
+              }
+            }
+            ctx.counter("nodes_visited",
+                        static_cast<double>(idx.last_query_nodes_visited()));
+          });
+  }
+
+  return s.run();
+}

@@ -3,10 +3,15 @@
 // wins "since k is typically much larger than N in our problems, and arrays
 // usually have a much better locality" — the k/N ratio is the benchmark's
 // second parameter.
-#include <benchmark/benchmark.h>
-
+//
+// Registered into the odrc::bench harness: one case per (algorithm, k, N);
+// each repetition runs a fixed inner-iteration batch sized so a sample is
+// well above timer resolution, with the per-op count in the "items" counter.
 #include <random>
+#include <string>
+#include <vector>
 
+#include "infra/bench_harness.hpp"
 #include "infra/pigeonhole.hpp"
 #include "partition/row_partition.hpp"
 
@@ -29,56 +34,71 @@ std::vector<interval> make_intervals(std::size_t k, std::size_t n_rows) {
   return out;
 }
 
-void BM_PigeonholeMerge(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const auto rows = static_cast<std::size_t>(state.range(1));
-  const auto ivs = make_intervals(k, rows);
-  for (auto _ : state) {
-    auto g = partition::merge_1d(ivs, partition::merge_strategy::pigeonhole);
-    benchmark::DoNotOptimize(g.groups.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
+// Inner-iteration batch keeping each sample around a millisecond regardless
+// of k (merging is ~linear in k).
+std::size_t inner_iters(std::size_t k) { return std::max<std::size_t>(1, (1u << 18) / k); }
+
+void add_merge_case(bench::suite& s, partition::merge_strategy strategy, std::size_t k,
+                    std::size_t rows) {
+  const char* label = strategy == partition::merge_strategy::pigeonhole ? "pigeonhole" : "sort";
+  s.add(std::string(label) + "/k=" + std::to_string(k) + "/rows=" + std::to_string(rows),
+        [strategy, k, rows](bench::case_context& ctx) {
+          const auto ivs = make_intervals(k, rows);
+          const std::size_t inner = inner_iters(k);
+          while (ctx.next_rep()) {
+            for (std::size_t i = 0; i < inner; ++i) {
+              auto g = partition::merge_1d(ivs, strategy);
+              (void)g;
+            }
+          }
+          ctx.counter("items", static_cast<double>(k * inner));
+          ctx.counter("inner_iters", static_cast<double>(inner));
+        });
 }
-
-void BM_SortMerge(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  const auto rows = static_cast<std::size_t>(state.range(1));
-  const auto ivs = make_intervals(k, rows);
-  for (auto _ : state) {
-    auto g = partition::merge_1d(ivs, partition::merge_strategy::sort);
-    benchmark::DoNotOptimize(g.groups.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
-}
-
-// k cells over {64, 1024} rows: k/N from 16x to 4096x.
-BENCHMARK(BM_PigeonholeMerge)->Args({1 << 12, 64})->Args({1 << 16, 64})->Args({1 << 18, 64})
-    ->Args({1 << 16, 1024})->Args({1 << 18, 1024});
-BENCHMARK(BM_SortMerge)->Args({1 << 12, 64})->Args({1 << 16, 64})->Args({1 << 18, 64})
-    ->Args({1 << 16, 1024})->Args({1 << 18, 1024});
-
-void BM_FullRowPartition(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  std::mt19937 rng(7);
-  std::uniform_int_distribution<coord_t> row(0, 63);
-  std::uniform_int_distribution<coord_t> x(0, 100000);
-  std::vector<rect> mbrs;
-  mbrs.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    const coord_t r = row(rng) * 300;
-    const coord_t xx = x(rng);
-    mbrs.push_back({xx, static_cast<coord_t>(r + 36), static_cast<coord_t>(xx + 100),
-                    static_cast<coord_t>(r + 234)});
-  }
-  for (auto _ : state) {
-    auto p = partition::partition_rows(mbrs, 18);
-    benchmark::DoNotOptimize(p.rows.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(k) * state.iterations());
-}
-
-BENCHMARK(BM_FullRowPartition)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::suite s("micro_partition");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  // k cells over {64, 1024} rows: k/N from 16x to 4096x.
+  const std::vector<std::pair<std::size_t, std::size_t>> merge_args =
+      s.opts().quick
+          ? std::vector<std::pair<std::size_t, std::size_t>>{{1 << 12, 64}, {1 << 16, 64}}
+          : std::vector<std::pair<std::size_t, std::size_t>>{
+                {1 << 12, 64}, {1 << 16, 64}, {1 << 18, 64}, {1 << 16, 1024}, {1 << 18, 1024}};
+  for (const auto& [k, rows] : merge_args) {
+    add_merge_case(s, partition::merge_strategy::pigeonhole, k, rows);
+    add_merge_case(s, partition::merge_strategy::sort, k, rows);
+  }
+
+  const std::vector<std::size_t> partition_ks =
+      s.opts().quick ? std::vector<std::size_t>{1 << 12}
+                     : std::vector<std::size_t>{1 << 12, 1 << 15, 1 << 17};
+  for (const std::size_t k : partition_ks) {
+    s.add("row_partition/k=" + std::to_string(k), [k](bench::case_context& ctx) {
+      std::mt19937 rng(7);
+      std::uniform_int_distribution<coord_t> row(0, 63);
+      std::uniform_int_distribution<coord_t> x(0, 100000);
+      std::vector<rect> mbrs;
+      mbrs.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const coord_t r = row(rng) * 300;
+        const coord_t xx = x(rng);
+        mbrs.push_back({xx, static_cast<coord_t>(r + 36), static_cast<coord_t>(xx + 100),
+                        static_cast<coord_t>(r + 234)});
+      }
+      const std::size_t inner = inner_iters(k);
+      while (ctx.next_rep()) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          auto p = partition::partition_rows(mbrs, 18);
+          (void)p;
+        }
+      }
+      ctx.counter("items", static_cast<double>(k * inner));
+    });
+  }
+
+  return s.run();
+}

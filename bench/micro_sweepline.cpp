@@ -1,10 +1,13 @@
 // Sweepline / interval-tree micro-benchmarks (paper Section IV-D, Fig. 3):
 // the O(n log n + k) sweepline MBR-overlap report against the O(n^2) scan,
-// and raw interval-tree operation throughput.
-#include <benchmark/benchmark.h>
-
+// and raw interval-tree operation throughput. Registered into the
+// odrc::bench harness: one case per (algorithm, n); sub-millisecond
+// operations run a fixed inner batch per sample.
 #include <random>
+#include <string>
+#include <vector>
 
+#include "infra/bench_harness.hpp"
 #include "infra/interval_tree.hpp"
 #include "geo/quadtree.hpp"
 #include "geo/rtree.hpp"
@@ -27,102 +30,114 @@ std::vector<rect> make_rects(std::size_t n, coord_t span) {
   return out;
 }
 
-void BM_SweeplineOverlap(benchmark::State& state) {
-  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
-  for (auto _ : state) {
+template <typename Fn>
+void add_overlap_case(bench::suite& s, const std::string& name, std::size_t n, Fn count_pairs) {
+  s.add(name + "/n=" + std::to_string(n), [n, count_pairs](bench::case_context& ctx) {
+    const auto rects = make_rects(n, 50000);
     std::uint64_t pairs = 0;
-    sweep::overlap_pairs(rects, [&](std::uint32_t, std::uint32_t) { ++pairs; });
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
+    while (ctx.next_rep()) pairs = count_pairs(rects);
+    ctx.counter("items", static_cast<double>(n));
+    ctx.counter("pairs", static_cast<double>(pairs));
+  });
 }
-
-void BM_BruteForceOverlap(benchmark::State& state) {
-  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
-  for (auto _ : state) {
-    std::uint64_t pairs = 0;
-    for (std::size_t i = 0; i < rects.size(); ++i) {
-      for (std::size_t j = i + 1; j < rects.size(); ++j) {
-        if (rects[i].overlaps(rects[j])) ++pairs;
-      }
-    }
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-BENCHMARK(BM_SweeplineOverlap)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Arg(1 << 17);
-BENCHMARK(BM_BruteForceOverlap)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
-
-void BM_IntervalTreeInsertRemove(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::mt19937 rng(3);
-  std::uniform_int_distribution<coord_t> lo(0, 100000);
-  std::vector<interval> ivs;
-  ivs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const coord_t l = lo(rng);
-    ivs.push_back({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
-  }
-  for (auto _ : state) {
-    interval_tree t;
-    for (const interval& iv : ivs) t.insert(iv);
-    for (const interval& iv : ivs) t.remove(iv);
-    benchmark::DoNotOptimize(t.size());
-  }
-  state.SetItemsProcessed(state.range(0) * 2 * state.iterations());
-}
-
-void BM_IntervalTreeQuery(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::mt19937 rng(5);
-  std::uniform_int_distribution<coord_t> lo(0, 100000);
-  interval_tree t;
-  for (std::size_t i = 0; i < n; ++i) {
-    const coord_t l = lo(rng);
-    t.insert({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
-  }
-  std::vector<std::uint32_t> hits;
-  std::size_t q = 0;
-  for (auto _ : state) {
-    hits.clear();
-    const coord_t l = lo(rng);
-    t.query({l, static_cast<coord_t>(l + 200), static_cast<std::uint32_t>(q++)}, hits);
-    benchmark::DoNotOptimize(hits.data());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-BENCHMARK(BM_IntervalTreeInsertRemove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
-BENCHMARK(BM_IntervalTreeQuery)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 16);
-
-// Candidate-structure comparison (engine_config::candidates ablation): the
-// same all-pairs enumeration through the packed R-tree and the quadtree.
-void BM_RtreeOverlapPairs(benchmark::State& state) {
-  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
-  for (auto _ : state) {
-    const geo::rtree tree(rects);
-    std::uint64_t pairs = 0;
-    tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-void BM_QuadtreeOverlapPairs(benchmark::State& state) {
-  const auto rects = make_rects(static_cast<std::size_t>(state.range(0)), 50000);
-  for (auto _ : state) {
-    const geo::quadtree tree(rects);
-    std::uint64_t pairs = 0;
-    tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
-    benchmark::DoNotOptimize(pairs);
-  }
-  state.SetItemsProcessed(state.range(0) * state.iterations());
-}
-
-BENCHMARK(BM_RtreeOverlapPairs)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
-BENCHMARK(BM_QuadtreeOverlapPairs)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::suite s("micro_sweepline");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+  const bool quick = s.opts().quick;
+
+  const std::vector<std::size_t> sweep_ns =
+      quick ? std::vector<std::size_t>{1 << 10, 1 << 13}
+            : std::vector<std::size_t>{1 << 10, 1 << 13, 1 << 15, 1 << 17};
+  for (const std::size_t n : sweep_ns) {
+    add_overlap_case(s, "sweepline_overlap", n, [](const std::vector<rect>& rects) {
+      std::uint64_t pairs = 0;
+      sweep::overlap_pairs(rects, [&](std::uint32_t, std::uint32_t) { ++pairs; });
+      return pairs;
+    });
+  }
+
+  const std::vector<std::size_t> brute_ns =
+      quick ? std::vector<std::size_t>{1 << 10}
+            : std::vector<std::size_t>{1 << 10, 1 << 13, 1 << 15};
+  for (const std::size_t n : brute_ns) {
+    add_overlap_case(s, "brute_overlap", n, [](const std::vector<rect>& rects) {
+      std::uint64_t pairs = 0;
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        for (std::size_t j = i + 1; j < rects.size(); ++j) {
+          if (rects[i].overlaps(rects[j])) ++pairs;
+        }
+      }
+      return pairs;
+    });
+  }
+
+  const std::vector<std::size_t> tree_ns =
+      quick ? std::vector<std::size_t>{1 << 10}
+            : std::vector<std::size_t>{1 << 10, 1 << 14, 1 << 16};
+  for (const std::size_t n : tree_ns) {
+    s.add("interval_tree_insert_remove/n=" + std::to_string(n),
+          [n](bench::case_context& ctx) {
+            std::mt19937 rng(3);
+            std::uniform_int_distribution<coord_t> lo(0, 100000);
+            std::vector<interval> ivs;
+            ivs.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              const coord_t l = lo(rng);
+              ivs.push_back({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
+            }
+            while (ctx.next_rep()) {
+              interval_tree t;
+              for (const interval& iv : ivs) t.insert(iv);
+              for (const interval& iv : ivs) t.remove(iv);
+            }
+            ctx.counter("items", static_cast<double>(2 * n));
+          });
+
+    s.add("interval_tree_query/n=" + std::to_string(n), [n](bench::case_context& ctx) {
+      std::mt19937 rng(5);
+      std::uniform_int_distribution<coord_t> lo(0, 100000);
+      interval_tree t;
+      for (std::size_t i = 0; i < n; ++i) {
+        const coord_t l = lo(rng);
+        t.insert({l, static_cast<coord_t>(l + 100), static_cast<std::uint32_t>(i)});
+      }
+      // A single query is microseconds: batch 4096 per sample.
+      constexpr std::size_t inner = 4096;
+      std::vector<std::uint32_t> hits;
+      std::size_t q = 0;
+      while (ctx.next_rep()) {
+        for (std::size_t i = 0; i < inner; ++i) {
+          hits.clear();
+          const coord_t l = lo(rng);
+          t.query({l, static_cast<coord_t>(l + 200), static_cast<std::uint32_t>(q++)}, hits);
+        }
+      }
+      ctx.counter("items", static_cast<double>(inner));
+    });
+  }
+
+  // Candidate-structure comparison (engine_config::candidates ablation): the
+  // same all-pairs enumeration through the packed R-tree and the quadtree.
+  const std::vector<std::size_t> cand_ns =
+      quick ? std::vector<std::size_t>{1 << 10}
+            : std::vector<std::size_t>{1 << 10, 1 << 13, 1 << 15};
+  for (const std::size_t n : cand_ns) {
+    add_overlap_case(s, "rtree_overlap", n, [](const std::vector<rect>& rects) {
+      const geo::rtree tree(rects);
+      std::uint64_t pairs = 0;
+      tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
+      return pairs;
+    });
+    add_overlap_case(s, "quadtree_overlap", n, [](const std::vector<rect>& rects) {
+      const geo::quadtree tree(rects);
+      std::uint64_t pairs = 0;
+      tree.overlap_pairs([&](std::uint32_t, std::uint32_t) { ++pairs; });
+      return pairs;
+    });
+  }
+
+  return s.run();
+}

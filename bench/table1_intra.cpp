@@ -7,76 +7,126 @@
 //   - OpenDRC seq ~= OpenDRC par for intra checks;
 //   - hierarchical checkers (deep, OpenDRC) beat flat by a wide margin;
 //   - X-Check has no area check (empty column).
+//
+// One harness case per (design, rule, checker); the Table I rendering is
+// rebuilt from the case medians in the summarize callback.
 #include "table_common.hpp"
 
-int main() {
-  using namespace odrc;
-  using namespace odrc::bench;
-  using workload::layers;
-  using workload::tech;
+namespace {
 
-  const std::vector<std::string> columns{"kl-flat", "kl-deep", "kl-tile",
-                                         "xcheck",  "odrc-seq", "odrc-par"};
-  const std::size_t ref_col = 5;  // OpenDRC parallel
+using namespace odrc;
+using namespace odrc::bench;
+using workload::layers;
+using workload::tech;
 
-  struct rule_row {
-    const char* label;
-    bool is_width;  // else area
-    db::layer_t layer;
-  };
-  const rule_row rule_rows[] = {
-      {"M1.W.1", true, layers::M1},  {"M2.W.1", true, layers::M2},
-      {"M3.W.1", true, layers::M3},  {"M1.A.1", false, layers::M1},
-      {"M2.A.1", false, layers::M2}, {"M3.A.1", false, layers::M3},
-  };
+const std::vector<std::string> columns{"kl-flat", "kl-deep", "kl-tile",
+                                       "xcheck",  "odrc-seq", "odrc-par"};
+constexpr std::size_t ref_col = 5;  // OpenDRC parallel
 
-  std::vector<row_result> rows;
-  for (const std::string& design : workload::design_names()) {
-    auto spec = workload::spec_for(design, bench_scale());
-    spec.inject = {2, 2, 2, 2};
-    const auto g = workload::generate(spec);
-    std::fprintf(stderr, "[table1] %s: %llu flat polygons\n", design.c_str(),
-                 static_cast<unsigned long long>(g.lib.expanded_polygon_count()));
+struct rule_row {
+  const char* label;
+  bool is_width;  // else area
+  db::layer_t layer;
+};
+constexpr rule_row rule_rows[] = {
+    {"M1.W.1", true, layers::M1},  {"M2.W.1", true, layers::M2},
+    {"M3.W.1", true, layers::M3},  {"M1.A.1", false, layers::M1},
+    {"M2.A.1", false, layers::M2}, {"M3.A.1", false, layers::M3},
+};
 
-    baseline::flat_checker flat;
-    baseline::deep_checker deep;
-    baseline::tile_checker tile(8);
-    baseline::xcheck xc;
-    drc_engine seq({.run_mode = engine::mode::sequential});
-    drc_engine par({.run_mode = engine::mode::parallel});
+// One timed case: run `fn` once per repetition, then record the work
+// counters of the last report.
+template <typename Fn>
+void timed_case(case_context& ctx, Fn&& fn) {
+  engine::check_report last;
+  while (ctx.next_rep()) last = fn();
+  ctx.counter("violations", static_cast<double>(last.violations.size()));
+  ctx.counter("edge_pairs", static_cast<double>(last.check_stats.edge_pairs_tested +
+                                                last.device_stats.edge_pairs_tested));
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("table1_intra");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  workload_cache cache;
+  const std::vector<std::string> designs = bench_designs(s, {"uart", "aes"});
+
+  for (const std::string& design : designs) {
     for (const rule_row& rr : rule_rows) {
-      row_result out;
-      out.design = design;
-      out.rule = rr.label;
-      engine::check_report last;
+      const std::string base = design + "/" + rr.label + "/";
+      auto add = [&](const char* col, auto runner) {
+        s.add(base + col, [&cache, design, rr, runner](case_context& ctx) {
+          const auto& g = cache.get(design, 2, ctx.scale());
+          timed_case(ctx, [&] { return runner(g.lib, rr); });
+        });
+      };
       if (rr.is_width) {
-        out.seconds = {
-            time_best([&] { return flat.run_width(g.lib, rr.layer, tech::wire_width); }),
-            time_best([&] { return deep.run_width(g.lib, rr.layer, tech::wire_width); }),
-            time_best([&] { return tile.run_width(g.lib, rr.layer, tech::wire_width); }),
-            time_best([&] { return xc.run_width(g.lib, rr.layer, tech::wire_width); }),
-            time_best([&] { return seq.run_width(g.lib, rr.layer, tech::wire_width); }),
-            time_best([&] { return par.run_width(g.lib, rr.layer, tech::wire_width); }, &last),
-        };
+        add("kl-flat", [](const db::library& lib, const rule_row& r) {
+          return baseline::flat_checker{}.run_width(lib, r.layer, tech::wire_width);
+        });
+        add("kl-deep", [](const db::library& lib, const rule_row& r) {
+          return baseline::deep_checker{}.run_width(lib, r.layer, tech::wire_width);
+        });
+        add("kl-tile", [](const db::library& lib, const rule_row& r) {
+          return baseline::tile_checker{8}.run_width(lib, r.layer, tech::wire_width);
+        });
+        add("xcheck", [](const db::library& lib, const rule_row& r) {
+          return baseline::xcheck{}.run_width(lib, r.layer, tech::wire_width);
+        });
+        add("odrc-seq", [](const db::library& lib, const rule_row& r) {
+          return drc_engine{{.run_mode = engine::mode::sequential}}.run_width(
+              lib, r.layer, tech::wire_width);
+        });
+        add("odrc-par", [](const db::library& lib, const rule_row& r) {
+          return drc_engine{{.run_mode = engine::mode::parallel}}.run_width(
+              lib, r.layer, tech::wire_width);
+        });
       } else {
-        out.seconds = {
-            time_best([&] { return flat.run_area(g.lib, rr.layer, tech::min_area); }),
-            time_best([&] { return deep.run_area(g.lib, rr.layer, tech::min_area); }),
-            time_best([&] { return tile.run_area(g.lib, rr.layer, tech::min_area); }),
-            -1.0,  // X-Check cannot perform area checks (paper Table I)
-            time_best([&] { return seq.run_area(g.lib, rr.layer, tech::min_area); }),
-            time_best([&] { return par.run_area(g.lib, rr.layer, tech::min_area); }, &last),
-        };
+        // X-Check cannot perform area checks (paper Table I): no case, so the
+        // summarize table renders "-" for that cell.
+        add("kl-flat", [](const db::library& lib, const rule_row& r) {
+          return baseline::flat_checker{}.run_area(lib, r.layer, tech::min_area);
+        });
+        add("kl-deep", [](const db::library& lib, const rule_row& r) {
+          return baseline::deep_checker{}.run_area(lib, r.layer, tech::min_area);
+        });
+        add("kl-tile", [](const db::library& lib, const rule_row& r) {
+          return baseline::tile_checker{8}.run_area(lib, r.layer, tech::min_area);
+        });
+        add("odrc-seq", [](const db::library& lib, const rule_row& r) {
+          return drc_engine{{.run_mode = engine::mode::sequential}}.run_area(
+              lib, r.layer, tech::min_area);
+        });
+        add("odrc-par", [](const db::library& lib, const rule_row& r) {
+          return drc_engine{{.run_mode = engine::mode::parallel}}.run_area(
+              lib, r.layer, tech::min_area);
+        });
       }
-      out.violations = last.violations.size();
-      rows.push_back(std::move(out));
     }
   }
 
-  print_table("TABLE I: intra-polygon design rule checks (width, area)", columns, rows, ref_col);
-  std::printf("\nNote: wall-clock on the software-simulated device is not comparable to the\n"
-              "paper's GTX 1660Ti; the expected *shape* is flat >> {deep, odrc} and\n"
-              "odrc-seq ~= odrc-par for intra checks. See EXPERIMENTS.md.\n");
-  return 0;
+  return s.run([&](const suite_report& rep) {
+    std::vector<row_result> rows;
+    for (const std::string& design : designs) {
+      for (const rule_row& rr : rule_rows) {
+        const std::string base = design + "/" + rr.label + "/";
+        row_result out;
+        out.design = design;
+        out.rule = rr.label;
+        for (const std::string& col : columns) out.seconds.push_back(median_or(rep, base + col));
+        out.violations =
+            static_cast<std::size_t>(counter_or(rep, base + "odrc-par", "violations"));
+        rows.push_back(std::move(out));
+      }
+    }
+    print_table("TABLE I: intra-polygon design rule checks (width, area)", columns, rows,
+                ref_col, rep);
+    std::printf(
+        "\nNote: wall-clock on the software-simulated device is not comparable to the\n"
+        "paper's GTX 1660Ti; the expected *shape* is flat >> {deep, odrc} and\n"
+        "odrc-seq ~= odrc-par for intra checks. See EXPERIMENTS.md.\n");
+  });
 }

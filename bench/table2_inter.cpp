@@ -10,99 +10,121 @@
 // The table also prints edge-pairs-tested per checker: the host-independent
 // work metric (wall-clock GPU speedups are not reproducible on the software
 // device).
+//
+// One harness case per (design, rule, checker); Table II and its work-
+// counter companion are rebuilt from medians and counters in summarize.
 #include "table_common.hpp"
 
-int main() {
-  using namespace odrc;
-  using namespace odrc::bench;
-  using workload::layers;
-  using workload::tech;
+namespace {
 
-  const std::vector<std::string> columns{"kl-flat", "kl-deep", "kl-tile",
-                                         "xcheck",  "odrc-seq", "odrc-par"};
-  const std::size_t ref_col = 5;
+using namespace odrc;
+using namespace odrc::bench;
+using workload::layers;
+using workload::tech;
 
-  struct rule_row {
-    const char* label;
-    bool is_spacing;  // else enclosure
-    db::layer_t l1;
-    db::layer_t l2;
+const std::vector<std::string> columns{"kl-flat", "kl-deep", "kl-tile",
+                                       "xcheck",  "odrc-seq", "odrc-par"};
+constexpr std::size_t ref_col = 5;
+
+struct rule_row {
+  const char* label;
+  bool is_spacing;  // else enclosure
+  db::layer_t l1;
+  db::layer_t l2;
+};
+constexpr rule_row rule_rows[] = {
+    {"M1.S.1", true, layers::M1, layers::M1},
+    {"M2.S.1", true, layers::M2, layers::M2},
+    {"M3.S.1", true, layers::M3, layers::M3},
+    {"V1.M1.EN.1", false, layers::V1, layers::M1},
+    {"V2.M2.EN.1", false, layers::V2, layers::M2},
+    {"V2.M3.EN.1", false, layers::V2, layers::M3},
+};
+
+template <typename Fn>
+void timed_case(case_context& ctx, Fn&& fn) {
+  engine::check_report last;
+  while (ctx.next_rep()) last = fn();
+  ctx.counter("violations", static_cast<double>(last.violations.size()));
+  ctx.counter("edge_pairs", static_cast<double>(last.check_stats.edge_pairs_tested +
+                                                last.device_stats.edge_pairs_tested));
+}
+
+// checker_id indexes the column lineup; dispatching on it keeps one
+// registration path for all 6 x 6 x |designs| cases.
+engine::check_report run_one(std::size_t col, const db::library& lib, const rule_row& rr) {
+  auto spacing = [&](auto&& checker) {
+    return checker.run_spacing(lib, rr.l1, tech::wire_space);
   };
-  const rule_row rule_rows[] = {
-      {"M1.S.1", true, layers::M1, layers::M1},
-      {"M2.S.1", true, layers::M2, layers::M2},
-      {"M3.S.1", true, layers::M3, layers::M3},
-      {"V1.M1.EN.1", false, layers::V1, layers::M1},
-      {"V2.M2.EN.1", false, layers::V2, layers::M2},
-      {"V2.M3.EN.1", false, layers::V2, layers::M3},
+  auto enclosure = [&](auto&& checker) {
+    return checker.run_enclosure(lib, rr.l1, rr.l2, tech::via_enclosure);
   };
+  auto dispatch = [&](auto&& checker) {
+    return rr.is_spacing ? spacing(checker) : enclosure(checker);
+  };
+  switch (col) {
+    case 0: return dispatch(baseline::flat_checker{});
+    case 1: return dispatch(baseline::deep_checker{});
+    case 2: return dispatch(baseline::tile_checker{8});
+    case 3: return dispatch(baseline::xcheck{});
+    case 4: return dispatch(drc_engine{{.run_mode = engine::mode::sequential}});
+    default: return dispatch(drc_engine{{.run_mode = engine::mode::parallel}});
+  }
+}
 
-  std::vector<row_result> rows;
-  std::vector<std::array<std::uint64_t, 6>> pair_counts;
-  for (const std::string& design : workload::design_names()) {
-    auto spec = workload::spec_for(design, bench_scale());
-    spec.inject = {2, 2, 2, 2};
-    const auto g = workload::generate(spec);
-    std::fprintf(stderr, "[table2] %s: %llu flat polygons\n", design.c_str(),
-                 static_cast<unsigned long long>(g.lib.expanded_polygon_count()));
+}  // namespace
 
-    baseline::flat_checker flat;
-    baseline::deep_checker deep;
-    baseline::tile_checker tile(8);
-    baseline::xcheck xc;
-    drc_engine seq({.run_mode = engine::mode::sequential});
-    drc_engine par({.run_mode = engine::mode::parallel});
+int main(int argc, char** argv) {
+  bench::suite s("table2_inter");
+  if (auto rc = s.parse(argc, argv)) return *rc;
 
+  workload_cache cache;
+  const std::vector<std::string> designs = bench_designs(s, {"uart"});
+
+  for (const std::string& design : designs) {
     for (const rule_row& rr : rule_rows) {
-      row_result out;
-      out.design = design;
-      out.rule = rr.label;
-      std::array<engine::check_report, 6> reports;
-      auto run = [&](std::size_t col, auto&& fn) {
-        return time_best(fn, &reports[col]);
-      };
-      if (rr.is_spacing) {
-        out.seconds = {
-            run(0, [&] { return flat.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-            run(1, [&] { return deep.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-            run(2, [&] { return tile.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-            run(3, [&] { return xc.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-            run(4, [&] { return seq.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-            run(5, [&] { return par.run_spacing(g.lib, rr.l1, tech::wire_space); }),
-        };
-      } else {
-        out.seconds = {
-            run(0, [&] { return flat.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-            run(1, [&] { return deep.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-            run(2, [&] { return tile.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-            run(3, [&] { return xc.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-            run(4, [&] { return seq.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-            run(5, [&] { return par.run_enclosure(g.lib, rr.l1, rr.l2, tech::via_enclosure); }),
-        };
+      for (std::size_t col = 0; col < columns.size(); ++col) {
+        s.add(design + "/" + rr.label + "/" + columns[col],
+              [&cache, design, rr, col](case_context& ctx) {
+                const auto& g = cache.get(design, 2, ctx.scale());
+                timed_case(ctx, [&] { return run_one(col, g.lib, rr); });
+              });
       }
-      out.violations = reports[5].violations.size();
-      std::array<std::uint64_t, 6> pairs{};
-      for (std::size_t c = 0; c < 6; ++c) {
-        pairs[c] = reports[c].check_stats.edge_pairs_tested +
-                   reports[c].device_stats.edge_pairs_tested;
-      }
-      pair_counts.push_back(pairs);
-      rows.push_back(std::move(out));
     }
   }
 
-  print_table("TABLE II: inter-polygon design rule checks (spacing, enclosure)", columns, rows,
-              ref_col);
+  return s.run([&](const suite_report& rep) {
+    std::vector<row_result> rows;
+    std::vector<std::vector<double>> pair_counts;
+    for (const std::string& design : designs) {
+      for (const rule_row& rr : rule_rows) {
+        const std::string base = design + "/" + rr.label + "/";
+        row_result out;
+        out.design = design;
+        out.rule = rr.label;
+        std::vector<double> pairs;
+        for (const std::string& col : columns) {
+          out.seconds.push_back(median_or(rep, base + col));
+          pairs.push_back(counter_or(rep, base + col, "edge_pairs"));
+        }
+        out.violations =
+            static_cast<std::size_t>(counter_or(rep, base + "odrc-par", "violations"));
+        rows.push_back(std::move(out));
+        pair_counts.push_back(std::move(pairs));
+      }
+    }
+    print_table("TABLE II: inter-polygon design rule checks (spacing, enclosure)", columns,
+                rows, ref_col, rep);
 
-  // Work-counter companion table (host-independent comparison).
-  std::printf("\nEdge pairs tested (millions) — algorithmic work per checker:\n");
-  std::printf("%-8s %-12s", "Design", "Rule");
-  for (const std::string& c : columns) std::printf(" %9s", c.c_str());
-  std::printf("\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%-8s %-12s", rows[i].design.c_str(), rows[i].rule.c_str());
-    for (std::uint64_t p : pair_counts[i]) std::printf(" %9.3f", static_cast<double>(p) / 1e6);
+    // Work-counter companion table (host-independent comparison).
+    std::printf("\nEdge pairs tested (millions) — algorithmic work per checker:\n");
+    std::printf("%-8s %-12s", "Design", "Rule");
+    for (const std::string& c : columns) std::printf(" %9s", c.c_str());
     std::printf("\n");
-  }
-  return 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%-8s %-12s", rows[i].design.c_str(), rows[i].rule.c_str());
+      for (double p : pair_counts[i]) std::printf(" %9.3f", p / 1e6);
+      std::printf("\n");
+    }
+  });
 }

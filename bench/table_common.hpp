@@ -1,4 +1,4 @@
-// Shared harness utilities for the paper-table benchmarks.
+// Shared utilities for the paper-table benchmarks.
 //
 // Each tableN binary regenerates one table of the paper's evaluation
 // (Section VI) on the synthetic ASAP7-like designs: same designs, same rule
@@ -6,60 +6,65 @@
 // reimplementation, OpenDRC sequential/parallel), and the same geometric-
 // mean summary row normalized against OpenDRC's parallel mode.
 //
-// Scale: set ODRC_BENCH_SCALE (default 1.0) to grow/shrink the designs;
-// ODRC_BENCH_REPEATS (default 1) takes best-of-N timings.
+// Since PR 3 every bench registers its cases into the odrc::bench harness
+// (src/infra/bench_harness.hpp): case names follow the
+// "<design>/<rule>/<column>" convention, the harness takes care of warmup,
+// repetitions, robust statistics and the BENCH_<suite>.json report, and the
+// paper-shaped tables here are rendered from the finished suite_report in a
+// summarize callback. `--quick` shrinks the design list and scale for CI;
+// `--full` (the default) reproduces the paper tables. ODRC_BENCH_SCALE /
+// ODRC_BENCH_REPEATS still work as defaults for the corresponding flags.
 // Wall-clock on the simulated device is NOT comparable to the paper's GPU
-// numbers; the tables therefore also print the work counters (edge pairs
+// numbers; the tables therefore also report the work counters (edge pairs
 // tested) that make the algorithmic comparison host-independent.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "baseline/baseline.hpp"
 #include "engine/engine.hpp"
-#include "infra/timer.hpp"
+#include "infra/bench_harness.hpp"
 #include "workload/workload.hpp"
 
 namespace odrc::bench {
 
-inline double bench_scale() {
-  if (const char* env = std::getenv("ODRC_BENCH_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0) return v;
-  }
-  return 1.0;
+/// Designs a suite iterates: the paper's six, or a small subset in --quick.
+inline std::vector<std::string> bench_designs(const suite& s,
+                                              std::vector<std::string> quick_subset) {
+  if (s.opts().quick) return quick_subset;
+  return workload::design_names();
 }
 
-inline int bench_repeats() {
-  if (const char* env = std::getenv("ODRC_BENCH_REPEATS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<int>(v);
+/// Lazily generated workloads shared by all cases of a suite (generation is
+/// expensive and must stay outside the timed loop). The scale comes from the
+/// requesting case's context — the suite resolves it from flags/env at run
+/// time — and keys the cache together with design name and injection count.
+class workload_cache {
+ public:
+  const workload::generated& get(const std::string& design, int inject, double scale) {
+    char key[128];
+    std::snprintf(key, sizeof key, "%s#%d#%.4f", design.c_str(), inject, scale);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      auto spec = workload::spec_for(design, scale);
+      spec.inject = {inject, inject, inject, inject};
+      it = cache_.emplace(key, workload::generate(spec)).first;
+    }
+    return it->second;
   }
-  return 1;
-}
 
-/// One timed checker invocation: best-of-N wall seconds plus the report of
-/// the last run.
-template <typename Fn>
-double time_best(Fn&& fn, engine::check_report* last = nullptr) {
-  double best = 1e100;
-  for (int i = 0; i < bench_repeats(); ++i) {
-    timer t;
-    engine::check_report r = fn();
-    best = std::min(best, t.seconds());
-    if (last) *last = std::move(r);
-  }
-  return best;
-}
+ private:
+  std::map<std::string, workload::generated> cache_;
+};
 
 struct row_result {
   std::string design;
   std::string rule;
-  // seconds per checker column; negative = unsupported (X-Check area).
+  // median seconds per checker column; negative = unsupported (X-Check area).
   std::vector<double> seconds;
   std::size_t violations = 0;
 };
@@ -99,9 +104,10 @@ inline void print_cell(double seconds) {
 }
 
 inline void print_table(const char* title, const std::vector<std::string>& columns,
-                        const std::vector<row_result>& rows, std::size_t reference_col) {
-  std::printf("\n%s  (scale=%.2f, seconds, best of %d)\n", title, bench_scale(),
-              bench_repeats());
+                        const std::vector<row_result>& rows, std::size_t reference_col,
+                        const suite_report& rep) {
+  std::printf("\n%s  (scale=%.2f, median seconds, mode=%s)\n", title, rep.scale,
+              rep.mode.c_str());
   std::printf("%-8s %-12s", "Design", "Rule");
   for (const std::string& c : columns) std::printf(" %9s", c.c_str());
   std::printf(" %8s\n", "#viol");

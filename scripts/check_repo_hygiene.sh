@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: fail if build artifacts are tracked by git.
+#
+# PR 3 purged an accidentally committed build tree (~522 files of CMake
+# caches, object files and test binaries under build-review/); this script
+# keeps that class of mistake from recurring. Two checks:
+#   1. pattern check  — no tracked paths that look like build trees, CMake
+#                       caches, objects, bench/test scratch, or layouts
+#   2. content check  — no tracked file that starts with the ELF magic
+#                       (\x7fELF), i.e. no compiled binaries of any name
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+fail=0
+
+# 1. Path patterns that must never be tracked.
+bad_paths=$(git ls-files | grep -E \
+  -e '(^|/)build[^/]*/' \
+  -e '(^|/)CMakeCache\.txt$' \
+  -e '(^|/)CMakeFiles/' \
+  -e '(^|/)cli_test_work/' \
+  -e '\.o$' -e '\.obj$' -e '\.a$' -e '\.so(\.[0-9.]+)?$' \
+  -e '(^|/)LastTest\.log$' \
+  -e '\.gds$' \
+  -e '(^|/)BENCH_.*\.tmp$' \
+  || true)
+if [[ -n "$bad_paths" ]]; then
+  echo "ERROR: tracked files match build-artifact patterns:" >&2
+  echo "$bad_paths" | head -40 >&2
+  n=$(echo "$bad_paths" | wc -l)
+  [[ $n -gt 40 ]] && echo "  ... and $((n - 40)) more" >&2
+  fail=1
+fi
+
+# 2. ELF magic: catches compiled binaries regardless of where they live.
+while IFS= read -r f; do
+  [[ -f "$f" ]] || continue  # skip submodule gitlinks / deleted paths
+  if [[ "$(head -c 4 "$f" 2>/dev/null)" == $'\x7fELF' ]]; then
+    echo "ERROR: tracked file is an ELF binary: $f" >&2
+    fail=1
+  fi
+done < <(git ls-files)
+
+if [[ $fail -ne 0 ]]; then
+  echo "repo hygiene check FAILED — untrack the files above (git rm --cached)" >&2
+  echo "and extend .gitignore so they stay out." >&2
+  exit 1
+fi
+echo "repo hygiene OK ($(git ls-files | wc -l) tracked files, no build artifacts)"

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Perf smoke: run every bench suite in --quick mode and gate against the
+# committed baselines (BENCH_<suite>.json at the repo root).
+#
+# Usage:
+#   scripts/perf_smoke.sh <build-dir> [--warn-only] [--refresh]
+#
+#   --warn-only   report regressions but exit 0 (CI pull_request mode;
+#                 pushes to main use the hard-failing default)
+#   --refresh     overwrite the committed baselines with this run's reports
+#                 (use after an intentional perf change; commit the result)
+#
+# Output reports land in <build-dir>/bench-reports/. Suites without a
+# committed baseline are skipped with a note (first run / new suite).
+set -euo pipefail
+
+build_dir=${1:?usage: perf_smoke.sh <build-dir> [--warn-only] [--refresh]}
+shift
+warn_only=0
+refresh=0
+for arg in "$@"; do
+  case "$arg" in
+    --warn-only) warn_only=1 ;;
+    --refresh) refresh=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+root=$(git rev-parse --show-toplevel)
+compare="$build_dir/tools/bench_compare"
+out_dir="$build_dir/bench-reports"
+mkdir -p "$out_dir"
+
+suites=(table1_intra table2_inter fig4_breakdown ablation_pruning
+        ablation_executor ablation_pipeline deck_batching
+        micro_partition micro_sweepline micro_bvh micro_boolean)
+
+status=0
+for s in "${suites[@]}"; do
+  bin="$build_dir/bench/$s"
+  if [[ ! -x "$bin" ]]; then
+    echo "SKIP $s: $bin not built" >&2
+    continue
+  fi
+  json="$out_dir/BENCH_$s.json"
+  echo "== $s --quick"
+  "$bin" --quick --json="$json" >"$out_dir/$s.log" 2>&1 || {
+    echo "ERROR: $s failed; tail of log:" >&2
+    tail -20 "$out_dir/$s.log" >&2
+    status=1
+    continue
+  }
+  if [[ $refresh -eq 1 ]]; then
+    cp "$json" "$root/BENCH_$s.json"
+    echo "   baseline refreshed: BENCH_$s.json"
+    continue
+  fi
+  baseline="$root/BENCH_$s.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "   no committed baseline (BENCH_$s.json) — skipping compare"
+    continue
+  fi
+  flags=()
+  [[ $warn_only -eq 1 ]] && flags+=(--warn-only)
+  if ! "$compare" "${flags[@]+"${flags[@]}"}" "$baseline" "$json"; then
+    status=1
+  fi
+done
+
+if [[ $refresh -eq 1 ]]; then
+  echo "baselines refreshed — review 'git diff BENCH_*.json' and commit."
+  exit 0
+fi
+if [[ $status -ne 0 ]]; then
+  echo "perf smoke FAILED (see regressions above)" >&2
+  echo "If the slowdown is intentional: scripts/perf_smoke.sh $build_dir --refresh" >&2
+fi
+exit $status

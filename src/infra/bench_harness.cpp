@@ -1,0 +1,770 @@
+#include "infra/bench_harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "infra/trace.hpp"
+
+namespace odrc::bench {
+
+namespace {
+
+double cpu_seconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+double env_double(const char* name) {
+  if (const char* v = std::getenv(name)) {
+    const double x = std::atof(v);
+    if (x > 0) return x;
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+stat_summary summarize(std::vector<double> samples) {
+  stat_summary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  out.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+  const std::size_t mid = samples.size() / 2;
+  out.median = samples.size() % 2 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  // Nearest-rank p95 on the sorted samples.
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(0.95 * static_cast<double>(samples.size())));
+  out.p95 = samples[std::min(samples.size() - 1, rank > 0 ? rank - 1 : 0)];
+  std::vector<double> dev(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) dev[i] = std::abs(samples[i] - out.median);
+  out.mad = median_of(std::move(dev));
+  return out;
+}
+
+void case_result::finalize() {
+  wall = summarize(wall_s);
+  cpu = summarize(cpu_s);
+  repetitions = wall_s.size();
+}
+
+const case_result* suite_report::find(const std::string& name) const {
+  for (const case_result& c : cases) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+double median_or(const suite_report& r, const std::string& name, double fallback) {
+  const case_result* c = r.find(name);
+  return c && c->error.empty() ? c->wall.median : fallback;
+}
+
+double counter_or(const suite_report& r, const std::string& name, const std::string& counter,
+                  double fallback) {
+  const case_result* c = r.find(name);
+  if (!c) return fallback;
+  const auto it = c->counters.find(counter);
+  return it == c->counters.end() ? fallback : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void jstr(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+void jnum(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << 0;  // the schema has no NaN/Inf; clamp rather than emit invalid JSON
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void write_stats(std::ostream& os, const char* key, const stat_summary& s,
+                 const std::vector<double>& samples) {
+  os << '"' << key << "\":{\"median\":";
+  jnum(os, s.median);
+  os << ",\"mad\":";
+  jnum(os, s.mad);
+  os << ",\"min\":";
+  jnum(os, s.min);
+  os << ",\"p95\":";
+  jnum(os, s.p95);
+  os << ",\"mean\":";
+  jnum(os, s.mean);
+  os << ",\"samples\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i) os << ',';
+    jnum(os, samples[i]);
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const suite_report& r) {
+  os << "{\"schema\":\"" << schema_name << "\",\"schema_version\":" << schema_version
+     << ",\"suite\":";
+  jstr(os, r.suite);
+  os << ",\"mode\":";
+  jstr(os, r.mode);
+  os << ",\"scale\":";
+  jnum(os, r.scale);
+  os << ",\"cases\":[";
+  for (std::size_t i = 0; i < r.cases.size(); ++i) {
+    const case_result& c = r.cases[i];
+    if (i) os << ',';
+    os << "\n {\"name\":";
+    jstr(os, c.name);
+    os << ",\"repetitions\":" << c.repetitions << ",\"warmup\":" << c.warmup;
+    if (!c.error.empty()) {
+      os << ",\"error\":";
+      jstr(os, c.error);
+    }
+    os << ',';
+    write_stats(os, "wall_s", c.wall, c.wall_s);
+    os << ',';
+    write_stats(os, "cpu_s", c.cpu, c.cpu_s);
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [k, v] : c.counters) {
+      if (!first) os << ',';
+      first = false;
+      jstr(os, k);
+      os << ':';
+      jnum(os, v);
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (minimal recursive descent — only what the schema needs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct jvalue {
+  enum class kind { null, boolean, number, string, array, object };
+  kind k = kind::null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<jvalue> arr;
+  std::vector<std::pair<std::string, jvalue>> obj;
+
+  [[nodiscard]] const jvalue* get(const std::string& key) const {
+    for (const auto& [k2, v] : obj) {
+      if (k2 == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class jparser {
+ public:
+  explicit jparser(const std::string& text) : p_(text.c_str()), end_(p_ + text.size()) {}
+
+  jvalue parse() {
+    jvalue v = value();
+    ws();
+    if (p_ != end_) fail("trailing data after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("bench json: " + what);
+  }
+
+  void ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+
+  char peek() {
+    ws();
+    if (p_ == end_) fail("unexpected end of input");
+    return *p_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++p_;
+  }
+
+  bool lit(const char* s) {
+    const std::size_t n = std::strlen(s);
+    if (static_cast<std::size_t>(end_ - p_) >= n && std::strncmp(p_, s, n) == 0) {
+      p_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  jvalue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        jvalue v;
+        v.k = jvalue::kind::string;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        jvalue v;
+        v.k = jvalue::kind::boolean;
+        if (lit("true")) {
+          v.b = true;
+        } else if (lit("false")) {
+          v.b = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!lit("null")) fail("bad literal");
+        return {};
+      default: return number();
+    }
+  }
+
+  jvalue object() {
+    jvalue v;
+    v.k = jvalue::kind::object;
+    expect('{');
+    if (peek() == '}') {
+      ++p_;
+      return v;
+    }
+    while (true) {
+      std::string key = (expect('"'), --p_, string());
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  jvalue array() {
+    jvalue v;
+    v.k = jvalue::kind::array;
+    expect('[');
+    if (peek() == ']') {
+      ++p_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      if (peek() == ',') {
+        ++p_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ == end_) fail("unterminated escape");
+        switch (*p_++) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end_ - p_ < 4) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            // The schema only emits control characters this way; keep the
+            // low byte (sufficient for round-tripping our own output).
+            out += static_cast<char>(code & 0xff);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (p_ == end_) fail("unterminated string");
+    ++p_;  // closing quote
+    return out;
+  }
+
+  jvalue number() {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+                          *p_ == 'e' || *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) fail("expected a value");
+    jvalue v;
+    v.k = jvalue::kind::number;
+    v.num = std::strtod(std::string(start, p_).c_str(), nullptr);
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+double num_or(const jvalue& obj, const char* key, double fallback) {
+  const jvalue* v = obj.get(key);
+  return v && v->k == jvalue::kind::number ? v->num : fallback;
+}
+
+std::string str_or(const jvalue& obj, const char* key, const std::string& fallback) {
+  const jvalue* v = obj.get(key);
+  return v && v->k == jvalue::kind::string ? v->str : fallback;
+}
+
+stat_summary read_stats(const jvalue& obj, const char* key, std::vector<double>& samples_out) {
+  stat_summary s;
+  const jvalue* v = obj.get(key);
+  if (!v || v->k != jvalue::kind::object) return s;
+  s.median = num_or(*v, "median", 0);
+  s.mad = num_or(*v, "mad", 0);
+  s.min = num_or(*v, "min", 0);
+  s.p95 = num_or(*v, "p95", 0);
+  s.mean = num_or(*v, "mean", 0);
+  if (const jvalue* arr = v->get("samples"); arr && arr->k == jvalue::kind::array) {
+    for (const jvalue& e : arr->arr) {
+      if (e.k == jvalue::kind::number) samples_out.push_back(e.num);
+    }
+  }
+  s.count = samples_out.size();
+  return s;
+}
+
+}  // namespace
+
+suite_report read_json(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();  // must outlive the parser's pointers
+  jparser parser(text);
+  const jvalue root = parser.parse();
+  if (root.k != jvalue::kind::object) throw std::runtime_error("bench json: not an object");
+  if (str_or(root, "schema", "") != schema_name) {
+    throw std::runtime_error("bench json: unknown schema (want '" + std::string(schema_name) +
+                             "')");
+  }
+  const int version = static_cast<int>(num_or(root, "schema_version", 0));
+  if (version < 1 || version > schema_version) {
+    throw std::runtime_error("bench json: unsupported schema_version " +
+                             std::to_string(version));
+  }
+  suite_report r;
+  r.suite = str_or(root, "suite", "");
+  r.mode = str_or(root, "mode", "full");
+  r.scale = num_or(root, "scale", 1.0);
+  if (const jvalue* cases = root.get("cases"); cases && cases->k == jvalue::kind::array) {
+    for (const jvalue& jc : cases->arr) {
+      if (jc.k != jvalue::kind::object) continue;
+      case_result c;
+      c.name = str_or(jc, "name", "");
+      c.repetitions = static_cast<std::size_t>(num_or(jc, "repetitions", 0));
+      c.warmup = static_cast<std::size_t>(num_or(jc, "warmup", 0));
+      c.error = str_or(jc, "error", "");
+      c.wall = read_stats(jc, "wall_s", c.wall_s);
+      c.cpu = read_stats(jc, "cpu_s", c.cpu_s);
+      if (const jvalue* ctr = jc.get("counters"); ctr && ctr->k == jvalue::kind::object) {
+        for (const auto& [k, v] : ctr->obj) {
+          if (v.k == jvalue::kind::number) c.counters[k] = v.num;
+        }
+      }
+      r.cases.push_back(std::move(c));
+    }
+  }
+  return r;
+}
+
+suite_report read_json_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("bench json: cannot open '" + path + "'");
+  return read_json(is);
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+verdict judge(const stat_summary& baseline, const stat_summary& current,
+              const compare_options& o) {
+  const double cur_median = current.median * o.scale_current;
+  const double cur_mad = current.mad * o.scale_current;
+  const double noise = o.mad_k * std::max(baseline.mad, cur_mad);
+  const double threshold =
+      std::max({o.rel_threshold * baseline.median, noise, o.min_abs_s});
+  const double diff = cur_median - baseline.median;
+  if (diff > threshold) return verdict::regression;
+  if (-diff > threshold) return verdict::improvement;
+  return verdict::similar;
+}
+
+compare_result compare_reports(const suite_report& baseline, const suite_report& current,
+                               const compare_options& o) {
+  compare_result out;
+  for (const case_result& b : baseline.cases) {
+    const case_result* c = current.find(b.name);
+    if (!c) {
+      out.only_in_baseline.push_back(b.name);
+      continue;
+    }
+    case_delta d;
+    d.name = b.name;
+    d.base_median = b.wall.median;
+    d.cur_median = c->wall.median * o.scale_current;
+    d.ratio = b.wall.median > 0 ? d.cur_median / b.wall.median : 1.0;
+    d.v = judge(b.wall, c->wall, o);
+    if (d.v == verdict::regression) ++out.regressions;
+    if (d.v == verdict::improvement) ++out.improvements;
+    out.deltas.push_back(std::move(d));
+
+    // Work counters are deterministic; any drift means the algorithm now
+    // does different work — worth a note even when timings look flat.
+    for (const auto& [key, bval] : b.counters) {
+      const auto it = c->counters.find(key);
+      if (it == c->counters.end()) continue;
+      const double cval = it->second;
+      const double denom = std::max(std::abs(bval), 1e-12);
+      if (std::abs(cval - bval) / denom > 1e-3) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "%s: counter %s %.6g -> %.6g", b.name.c_str(),
+                      key.c_str(), bval, cval);
+        out.counter_notes.emplace_back(buf);
+      }
+    }
+  }
+  for (const case_result& c : current.cases) {
+    if (!baseline.find(c.name)) out.only_in_current.push_back(c.name);
+  }
+  return out;
+}
+
+void write_compare(std::ostream& os, const compare_result& c, const compare_options& o) {
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "%-52s %12s %12s %8s  %s\n", "case", "base-median", "cur-median", "ratio",
+                "verdict");
+  os << line;
+  for (const case_delta& d : c.deltas) {
+    const char* v = d.v == verdict::regression    ? "REGRESSION"
+                    : d.v == verdict::improvement ? "improved"
+                                                  : "~";
+    std::snprintf(line, sizeof line, "%-52s %11.6fs %11.6fs %7.2fx  %s\n", d.name.c_str(),
+                  d.base_median, d.cur_median, d.ratio, v);
+    os << line;
+  }
+  for (const std::string& n : c.only_in_baseline) os << "  missing in current: " << n << "\n";
+  for (const std::string& n : c.only_in_current) os << "  new case: " << n << "\n";
+  for (const std::string& n : c.counter_notes) os << "  note: " << n << "\n";
+  std::snprintf(line, sizeof line,
+                "%zu compared: %zu regressions, %zu improvements "
+                "(threshold max(%.0f%%, %.1f*MAD, %.1fms))\n",
+                c.deltas.size(), c.regressions, c.improvements, 100 * o.rel_threshold, o.mad_k,
+                1e3 * o.min_abs_s);
+  os << line;
+}
+
+// ---------------------------------------------------------------------------
+// case_context
+// ---------------------------------------------------------------------------
+
+case_context::case_context(case_result* result, bool quick, double scale, int warmup, int reps,
+                           bool trace_rep)
+    : result_(result),
+      quick_(quick),
+      scale_(scale),
+      warmup_count_(std::max(0, warmup)),
+      rep_count_(std::max(1, reps)),
+      trace_rep_(trace_rep) {
+  result_->warmup = static_cast<std::size_t>(warmup_count_);
+}
+
+void case_context::counter(const std::string& name, double value) {
+  result_->counters[name] = value;
+}
+
+bool case_context::next_rep() {
+  // Close out the repetition that just ran.
+  if (phase_ == phase::warmup || phase_ == phase::measured) {
+    const double wall = wall_timer_seconds();
+    const double cpu = cpu_seconds() - cpu_start_;
+    if (phase_ == phase::measured) {
+      result_->wall_s.push_back(wall);
+      result_->cpu_s.push_back(cpu);
+    }
+    ++done_in_phase_;
+  } else if (phase_ == phase::traced) {
+    harvest_trace();
+    phase_ = phase::done;
+    return false;
+  }
+
+  // Advance phases.
+  if (phase_ == phase::before) {
+    phase_ = warmup_count_ > 0 ? phase::warmup : phase::measured;
+    done_in_phase_ = 0;
+  }
+  if (phase_ == phase::warmup && done_in_phase_ >= warmup_count_) {
+    phase_ = phase::measured;
+    done_in_phase_ = 0;
+  }
+  if (phase_ == phase::measured && done_in_phase_ >= rep_count_) {
+    if (!trace_rep_) {
+      phase_ = phase::done;
+      return false;
+    }
+    phase_ = phase::traced;
+    trace::recorder::instance().enable();
+  }
+
+  // Start timing the next repetition.
+  wall_start_ns_ = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  cpu_start_ = cpu_seconds();
+  return true;
+}
+
+double case_context::wall_timer_seconds() const {
+  const double now_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return (now_ns - wall_start_ns_) * 1e-9;
+}
+
+void case_context::harvest_trace() {
+  auto& rec = trace::recorder::instance();
+  rec.disable();
+  const trace::metrics_summary m = rec.metrics();
+  for (const trace::counter_stats& c : m.counters) {
+    result_->counters["trace:" + c.key] = static_cast<double>(c.last);
+  }
+  double stream_busy_ms = 0;
+  int stream_tracks = 0;
+  for (const trace::track_stats& t : m.tracks) {
+    if (t.name.rfind("stream", 0) == 0) {
+      stream_busy_ms += t.busy_ms;
+      ++stream_tracks;
+    }
+  }
+  if (stream_tracks > 0 && m.wall_ms > 0) {
+    result_->counters["trace:stream_busy_ms"] = stream_busy_ms;
+    result_->counters["trace:stream_occupancy"] =
+        stream_busy_ms / (m.wall_ms * stream_tracks);
+  }
+  rec.clear();
+}
+
+// ---------------------------------------------------------------------------
+// suite
+// ---------------------------------------------------------------------------
+
+suite::suite(std::string name) : name_(std::move(name)) {}
+
+std::optional<int> suite::parse(int argc, char** argv) {
+  auto starts = [](const char* s, const char* prefix) {
+    return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      opts_.quick = true;
+    } else if (std::strcmp(a, "--full") == 0) {
+      opts_.quick = false;
+    } else if (std::strcmp(a, "--list") == 0) {
+      opts_.list = true;
+    } else if (std::strcmp(a, "--no-json") == 0) {
+      opts_.no_json = true;
+    } else if (std::strcmp(a, "--no-trace-rep") == 0) {
+      opts_.trace_rep = false;
+    } else if (starts(a, "--json=")) {
+      opts_.json_path = a + 7;
+    } else if (starts(a, "--reps=")) {
+      opts_.repetitions = std::atoi(a + 7);
+    } else if (starts(a, "--repetitions=")) {
+      opts_.repetitions = std::atoi(a + 14);
+    } else if (starts(a, "--warmup=")) {
+      opts_.warmup = std::atoi(a + 9);
+    } else if (starts(a, "--scale=")) {
+      opts_.scale = std::atof(a + 8);
+    } else if (starts(a, "--filter=")) {
+      opts_.filter = a + 9;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::printf(
+          "usage: %s [--quick|--full] [--scale=X] [--reps=N] [--warmup=N]\n"
+          "          [--json=PATH] [--no-json] [--no-trace-rep] [--filter=SUBSTR] [--list]\n"
+          "Benchmark suite '%s'. Writes BENCH_%s.json unless --no-json.\n",
+          argv[0], name_.c_str(), name_.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0], a);
+      return 2;
+    }
+  }
+  return std::nullopt;
+}
+
+void suite::add(std::string case_name, std::function<void(case_context&)> body) {
+  cases_.push_back({std::move(case_name), std::move(body)});
+}
+
+int suite::run(const std::function<void(const suite_report&)>& summarize) {
+  if (opts_.list) {
+    for (const registered_case& c : cases_) std::printf("%s\n", c.name.c_str());
+    return 0;
+  }
+
+  const double scale = opts_.scale > 0 ? opts_.scale
+                       : env_double("ODRC_BENCH_SCALE") > 0
+                           ? env_double("ODRC_BENCH_SCALE")
+                           : (opts_.quick ? 0.25 : 1.0);
+  const int reps = opts_.repetitions > 0 ? opts_.repetitions
+                   : env_double("ODRC_BENCH_REPEATS") > 0
+                       ? static_cast<int>(env_double("ODRC_BENCH_REPEATS"))
+                       : (opts_.quick ? 3 : 5);
+  const int warmup = opts_.warmup >= 0 ? opts_.warmup : 1;
+
+  suite_report report;
+  report.suite = name_;
+  report.mode = opts_.quick ? "quick" : "full";
+  report.scale = scale;
+
+  std::size_t failed = 0;
+  for (const registered_case& rc : cases_) {
+    if (!opts_.filter.empty() && rc.name.find(opts_.filter) == std::string::npos) continue;
+    case_result result;
+    result.name = rc.name;
+    case_context ctx(&result, opts_.quick, scale, warmup, reps, opts_.trace_rep);
+    try {
+      rc.body(ctx);
+    } catch (const std::exception& e) {
+      result.error = e.what();
+      ++failed;
+    }
+    // A body that threw mid-loop may have left the recorder on.
+    if (!result.error.empty()) trace::recorder::instance().disable();
+    result.finalize();
+    report.cases.push_back(std::move(result));
+    std::fprintf(stderr, "[%s] %-48s %s\n", name_.c_str(), rc.name.c_str(),
+                 report.cases.back().error.empty() ? "done" : "FAILED");
+  }
+
+  std::printf("\nSUITE %s: %zu cases (mode=%s, scale=%.2f, warmup=%d, reps=%d%s)\n",
+              name_.c_str(), report.cases.size(), report.mode.c_str(), scale, warmup, reps,
+              opts_.trace_rep ? ", +1 trace rep" : "");
+  std::printf("%-52s %11s %11s %11s %11s %11s\n", "case", "median(s)", "mad(s)", "min(s)",
+              "p95(s)", "cpu-med(s)");
+  for (const case_result& c : report.cases) {
+    if (!c.error.empty()) {
+      std::printf("%-52s FAILED: %s\n", c.name.c_str(), c.error.c_str());
+      continue;
+    }
+    std::printf("%-52s %11.6f %11.6f %11.6f %11.6f %11.6f\n", c.name.c_str(), c.wall.median,
+                c.wall.mad, c.wall.min, c.wall.p95, c.cpu.median);
+  }
+
+  if (summarize) summarize(report);
+
+  if (!opts_.no_json) {
+    const std::string path =
+        opts_.json_path.empty() ? "BENCH_" + name_ + ".json" : opts_.json_path;
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", name_.c_str(), path.c_str());
+      return 1;
+    }
+    write_json(os, report);
+    std::printf("wrote %s (%zu cases)\n", path.c_str(), report.cases.size());
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace odrc::bench

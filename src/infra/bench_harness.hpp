@@ -1,0 +1,270 @@
+// odrc::bench — the continuous-benchmarking harness every bench/ executable
+// registers into (ROADMAP: performance as a regression-gated signal).
+//
+// The paper's claims are quantitative (Tables I/II, Fig. 4), so the repo
+// needs a machine-readable performance record, not 11 free-form stdout
+// formats. The harness runs each registered case with warmup + repetitions,
+// records wall and CPU time per repetition plus one extra *instrumented*
+// repetition that captures the odrc::trace device counters (kernel launches,
+// bytes copied, stream occupancy) without polluting the timed samples,
+// computes robust statistics (median, MAD, min, p95 — chosen because bench
+// noise is one-sided: interference makes runs slower, never faster), and
+// emits a schema-versioned JSON report `BENCH_<suite>.json` alongside the
+// suite's human-readable tables.
+//
+// The same module implements the comparison side: `compare_reports` diffs
+// two reports with a noise-aware threshold — a case regresses only if its
+// median grew by more than max(rel_threshold · baseline, mad_k · MAD,
+// min_abs_s) — so the CI gate (tools/bench_compare.cpp) fails on real
+// slowdowns but not on scheduler jitter.
+//
+// Usage in a bench executable:
+//
+//   int main(int argc, char** argv) {
+//     bench::suite s("micro_partition");
+//     if (auto rc = s.parse(argc, argv)) return *rc;
+//     s.add("pigeonhole/k=4096", [](bench::case_context& ctx) {
+//       auto input = make_input(ctx.scale());     // setup is untimed
+//       while (ctx.next_rep()) run_once(input);   // each pass is one sample
+//       ctx.counter("items", input.size());
+//     });
+//     return s.run();                             // table + BENCH_*.json
+//   }
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace odrc::bench {
+
+// ---------------------------------------------------------------------------
+// Robust statistics
+// ---------------------------------------------------------------------------
+
+/// Median of a sample set (average of the two middle elements for even
+/// counts, 0 for an empty set). Takes a copy: sorting is destructive.
+[[nodiscard]] double median_of(std::vector<double> v);
+
+/// Summary of one sample population. MAD is the *median absolute deviation*
+/// (median of |x - median|), the robust spread estimate the regression
+/// threshold leans on — a single cold-cache outlier cannot inflate it the
+/// way it inflates a standard deviation.
+struct stat_summary {
+  std::size_t count = 0;
+  double median = 0;
+  double mad = 0;
+  double min = 0;
+  double p95 = 0;  ///< nearest-rank 95th percentile
+  double mean = 0;
+};
+
+[[nodiscard]] stat_summary summarize(std::vector<double> samples);
+
+// ---------------------------------------------------------------------------
+// Report model and JSON serialization
+// ---------------------------------------------------------------------------
+
+inline constexpr const char* schema_name = "odrc-bench";
+inline constexpr int schema_version = 1;
+
+struct case_result {
+  std::string name;
+  std::size_t repetitions = 0;
+  std::size_t warmup = 0;
+  std::string error;           ///< nonempty when the case body threw
+  std::vector<double> wall_s;  ///< raw wall-clock samples, one per repetition
+  std::vector<double> cpu_s;   ///< raw process-CPU samples
+  stat_summary wall;
+  stat_summary cpu;
+  /// Work counters: values the case sets itself (edge pairs, items, ...)
+  /// plus `trace:`-prefixed device counters from the instrumented rep.
+  std::map<std::string, double> counters;
+
+  /// Recompute `wall`/`cpu` from the raw samples.
+  void finalize();
+};
+
+struct suite_report {
+  std::string suite;
+  std::string mode = "full";  ///< "quick" | "full" | "cli"
+  double scale = 1.0;
+  std::vector<case_result> cases;
+
+  [[nodiscard]] const case_result* find(const std::string& name) const;
+};
+
+/// Median wall seconds of a named case, or `fallback` when the case is
+/// absent or failed (summary tables print those cells as "-").
+[[nodiscard]] double median_or(const suite_report& r, const std::string& name,
+                               double fallback = -1.0);
+
+/// A recorded counter of a named case, or `fallback`.
+[[nodiscard]] double counter_or(const suite_report& r, const std::string& name,
+                                const std::string& counter, double fallback = 0);
+
+/// Serialize to the versioned JSON schema (see DESIGN.md "Continuous
+/// benchmarking" for the field-by-field description).
+void write_json(std::ostream& os, const suite_report& r);
+
+/// Parse a report. Throws std::runtime_error on malformed JSON, a foreign
+/// schema name, or a schema_version newer than this binary understands.
+[[nodiscard]] suite_report read_json(std::istream& is);
+[[nodiscard]] suite_report read_json_file(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Comparison (the regression gate)
+// ---------------------------------------------------------------------------
+
+struct compare_options {
+  /// Relative slack: a median must move by more than this fraction of the
+  /// baseline median to count at all.
+  double rel_threshold = 0.10;
+  /// Noise slack: ... and by more than mad_k times the larger MAD of the two
+  /// runs, so a case whose timings genuinely wobble needs a bigger move.
+  double mad_k = 3.0;
+  /// Absolute floor: sub-threshold cases (scheduler-quantum territory) never
+  /// regress on time alone.
+  double min_abs_s = 5e-4;
+  /// Gate self-test hook: pretend current medians (and MADs) are this factor
+  /// larger before judging. `--scale-current=2` must turn an identical-file
+  /// comparison into a failure, proving the gate can fire.
+  double scale_current = 1.0;
+};
+
+enum class verdict { similar, regression, improvement };
+
+/// Noise-aware single-case judgement (exposed for unit tests).
+[[nodiscard]] verdict judge(const stat_summary& baseline, const stat_summary& current,
+                            const compare_options& o);
+
+struct case_delta {
+  std::string name;
+  double base_median = 0;
+  double cur_median = 0;
+  double ratio = 1.0;  ///< current / baseline (1.0 when baseline is ~0)
+  verdict v = verdict::similar;
+};
+
+struct compare_result {
+  std::vector<case_delta> deltas;  ///< cases present in both reports
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_current;
+  /// Deterministic-counter drift (work counters shifted > 0.1%): informative
+  /// lines, never a failure by themselves.
+  std::vector<std::string> counter_notes;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+[[nodiscard]] compare_result compare_reports(const suite_report& baseline,
+                                             const suite_report& current,
+                                             const compare_options& o);
+
+/// Human rendering of a comparison (the bench_compare CLI output).
+void write_compare(std::ostream& os, const compare_result& c, const compare_options& o);
+
+// ---------------------------------------------------------------------------
+// The run-time harness
+// ---------------------------------------------------------------------------
+
+/// Harness flags shared by every bench executable (parsed by suite::parse):
+///   --quick | --full     workload size preset (CI uses --quick)
+///   --scale=X            workload scale override (else ODRC_BENCH_SCALE)
+///   --reps=N --warmup=N  repetition counts (else ODRC_BENCH_REPEATS)
+///   --json=PATH          report path (default BENCH_<suite>.json)
+///   --no-json            skip the JSON report
+///   --no-trace-rep       skip the instrumented device-counter repetition
+///   --filter=SUBSTR      run only matching cases
+///   --list               print case names and exit
+struct options {
+  bool quick = false;
+  int repetitions = 0;  ///< 0: preset default (quick 3, full 5)
+  int warmup = -1;      ///< -1: preset default (1)
+  double scale = 0;     ///< 0: preset default (quick 0.25, full 1.0)
+  std::string json_path;
+  bool no_json = false;
+  bool trace_rep = true;
+  std::string filter;
+  bool list = false;
+};
+
+class suite;
+
+/// Handed to each case body. Setup before the first next_rep() call and
+/// teardown after the last are untimed; everything between two consecutive
+/// next_rep() calls is one timed sample.
+class case_context {
+ public:
+  [[nodiscard]] bool quick() const { return quick_; }
+  /// Effective workload scale (preset/env/flag-resolved).
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Drive the measured loop: `while (ctx.next_rep()) { work(); }`.
+  /// Runs warmup passes (timed, discarded), then the measured repetitions,
+  /// then — unless disabled — one instrumented pass with the trace recorder
+  /// enabled, harvested into `trace:*` counters.
+  [[nodiscard]] bool next_rep();
+
+  /// Record a work counter (overwrites; last call wins).
+  void counter(const std::string& name, double value);
+
+ private:
+  friend class suite;
+  case_context(case_result* result, bool quick, double scale, int warmup, int reps,
+               bool trace_rep);
+  void harvest_trace();
+  [[nodiscard]] double wall_timer_seconds() const;
+
+  enum class phase { before, warmup, measured, traced, done };
+
+  case_result* result_;
+  bool quick_;
+  double scale_;
+  int warmup_count_;
+  int rep_count_;
+  bool trace_rep_;
+  phase phase_ = phase::before;
+  int done_in_phase_ = 0;
+  double wall_start_ns_ = 0;
+  double cpu_start_ = 0;
+};
+
+class suite {
+ public:
+  explicit suite(std::string name);
+
+  /// Parse harness flags. Returns an exit code to return immediately (help
+  /// printed, or bad usage), or nullopt to continue into add()/run().
+  [[nodiscard]] std::optional<int> parse(int argc, char** argv);
+
+  /// Parsed flags — registration typically branches on opts().quick.
+  [[nodiscard]] const options& opts() const { return opts_; }
+
+  /// Register a named case. Cases run in registration order, so a later
+  /// case may compare against state a former one captured.
+  void add(std::string case_name, std::function<void(case_context&)> body);
+
+  /// Run all (filter-matching) cases, print the stats table, call
+  /// `summarize` with the finished report (suite-specific paper tables),
+  /// write the JSON report. Returns 0, or 1 if any case body threw.
+  int run(const std::function<void(const suite_report&)>& summarize = {});
+
+ private:
+  struct registered_case {
+    std::string name;
+    std::function<void(case_context&)> body;
+  };
+
+  std::string name_;
+  options opts_;
+  std::vector<registered_case> cases_;
+};
+
+}  // namespace odrc::bench

@@ -1,0 +1,284 @@
+// Unit tests for the continuous-benchmarking harness (infra/bench_harness):
+// robust statistics on adversarial samples, the noise-aware regression
+// verdict, JSON round-trip through the versioned schema, report comparison,
+// and an in-process end-to-end suite run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "infra/bench_harness.hpp"
+
+namespace bench = odrc::bench;
+
+// ---------------------------------------------------------------------------
+// Robust statistics
+// ---------------------------------------------------------------------------
+
+TEST(BenchStats, MedianOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(bench::median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(bench::median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(bench::median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(bench::median_of({}), 0.0);
+}
+
+TEST(BenchStats, MadIgnoresSingleOutlier) {
+  // A cold-cache outlier 100x the median must not blow up the spread
+  // estimate the way it would a standard deviation.
+  const auto s = bench::summarize({1.0, 1.01, 0.99, 1.02, 100.0});
+  EXPECT_DOUBLE_EQ(s.median, 1.01);
+  EXPECT_LE(s.mad, 0.02);
+  EXPECT_DOUBLE_EQ(s.min, 0.99);
+  EXPECT_DOUBLE_EQ(s.p95, 100.0);  // the outlier still shows in the tail
+}
+
+TEST(BenchStats, ConstantSamplesHaveZeroSpread) {
+  const auto s = bench::summarize({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(BenchStats, P95NearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  const auto s = bench::summarize(v);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);  // nearest-rank: ceil(0.95*100) = 95th value
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+}
+
+// ---------------------------------------------------------------------------
+// The regression verdict
+// ---------------------------------------------------------------------------
+
+namespace {
+bench::stat_summary stats_of(std::vector<double> samples) {
+  return bench::summarize(std::move(samples));
+}
+}  // namespace
+
+TEST(BenchJudge, GenuineSlowdownRegresses) {
+  const auto base = stats_of({1.00, 1.01, 0.99, 1.00, 1.02});
+  const auto cur = stats_of({2.00, 2.02, 1.98, 2.01, 1.99});
+  EXPECT_EQ(bench::judge(base, cur, {}), bench::verdict::regression);
+}
+
+TEST(BenchJudge, NoisyButFlatIsSimilar) {
+  // Median moved ~6% but the samples wobble by ~20%: MAD slack must absorb it.
+  const auto base = stats_of({1.0, 1.2, 0.8, 1.1, 0.9});
+  const auto cur = stats_of({1.06, 1.3, 0.85, 1.2, 0.95});
+  EXPECT_EQ(bench::judge(base, cur, {}), bench::verdict::similar);
+}
+
+TEST(BenchJudge, SpeedupIsImprovement) {
+  const auto base = stats_of({2.00, 2.01, 1.99});
+  const auto cur = stats_of({1.00, 1.01, 0.99});
+  EXPECT_EQ(bench::judge(base, cur, {}), bench::verdict::improvement);
+}
+
+TEST(BenchJudge, IdenticalIsSimilar) {
+  const auto s = stats_of({1.0, 1.1, 0.9});
+  EXPECT_EQ(bench::judge(s, s, {}), bench::verdict::similar);
+}
+
+TEST(BenchJudge, SubMillisecondFloorSuppressesMicroRegressions) {
+  // 2x slower but both sides sit under the absolute floor: scheduler-quantum
+  // territory, never a regression on time alone.
+  const auto base = stats_of({1e-4, 1.1e-4, 0.9e-4});
+  const auto cur = stats_of({2e-4, 2.1e-4, 1.9e-4});
+  EXPECT_EQ(bench::judge(base, cur, {}), bench::verdict::similar);
+}
+
+TEST(BenchJudge, ScaleCurrentSelfTestHookFires) {
+  // The gate self-test: identical stats judged with scale_current=2 must
+  // regress — this is how CI proves the comparison can actually fail.
+  const auto s = stats_of({1.0, 1.01, 0.99});
+  bench::compare_options o;
+  o.scale_current = 2.0;
+  EXPECT_EQ(bench::judge(s, s, o), bench::verdict::regression);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+namespace {
+bench::suite_report make_report() {
+  bench::suite_report r;
+  r.suite = "unit";
+  r.mode = "quick";
+  r.scale = 0.25;
+  bench::case_result a;
+  a.name = "alpha/k=1";
+  a.repetitions = 3;
+  a.warmup = 1;
+  a.wall_s = {0.5, 0.625, 0.4375};
+  a.cpu_s = {0.5, 0.6, 0.4};
+  a.counters["items"] = 1024;
+  a.counters["trace:kernels_launched"] = 7;
+  a.finalize();
+  bench::case_result b;
+  b.name = "beta \"quoted\"/n=2";  // exercises string escaping
+  b.error = "threw: bad\nthing";
+  r.cases.push_back(std::move(a));
+  r.cases.push_back(std::move(b));
+  return r;
+}
+}  // namespace
+
+TEST(BenchJson, RoundTripPreservesEverything) {
+  const auto r = make_report();
+  std::ostringstream os;
+  bench::write_json(os, r);
+  std::istringstream is(os.str());
+  const auto back = bench::read_json(is);
+
+  EXPECT_EQ(back.suite, "unit");
+  EXPECT_EQ(back.mode, "quick");
+  EXPECT_DOUBLE_EQ(back.scale, 0.25);
+  ASSERT_EQ(back.cases.size(), 2u);
+  const bench::case_result& a = back.cases[0];
+  EXPECT_EQ(a.name, "alpha/k=1");
+  EXPECT_EQ(a.repetitions, 3u);
+  ASSERT_EQ(a.wall_s.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.wall_s[1], 0.625);  // %.17g must round-trip exactly
+  EXPECT_DOUBLE_EQ(a.wall.median, r.cases[0].wall.median);
+  EXPECT_DOUBLE_EQ(a.counters.at("items"), 1024);
+  EXPECT_DOUBLE_EQ(a.counters.at("trace:kernels_launched"), 7);
+  EXPECT_EQ(back.cases[1].name, "beta \"quoted\"/n=2");
+  EXPECT_EQ(back.cases[1].error, "threw: bad\nthing");
+}
+
+TEST(BenchJson, RejectsForeignSchemaAndFutureVersion) {
+  {
+    std::istringstream is(R"({"schema":"not-bench","schema_version":1,"cases":[]})");
+    EXPECT_THROW((void)bench::read_json(is), std::runtime_error);
+  }
+  {
+    std::istringstream is(R"({"schema":"odrc-bench","schema_version":999,"cases":[]})");
+    EXPECT_THROW((void)bench::read_json(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("{this is not json");
+    EXPECT_THROW((void)bench::read_json(is), std::runtime_error);
+  }
+}
+
+TEST(BenchJson, MissingFileThrows) {
+  EXPECT_THROW((void)bench::read_json_file("/nonexistent/bench.json"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Report comparison
+// ---------------------------------------------------------------------------
+
+TEST(BenchCompare, IdenticalReportsAreClean) {
+  const auto r = make_report();
+  const auto c = bench::compare_reports(r, r, {});
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.regressions, 0u);
+  EXPECT_TRUE(c.only_in_baseline.empty());
+  EXPECT_TRUE(c.only_in_current.empty());
+}
+
+TEST(BenchCompare, ScaleCurrentInjectsRegression) {
+  const auto r = make_report();
+  bench::compare_options o;
+  o.scale_current = 2.0;
+  const auto c = bench::compare_reports(r, r, o);
+  EXPECT_FALSE(c.ok());
+  EXPECT_GE(c.regressions, 1u);
+}
+
+TEST(BenchCompare, TracksAddedAndRemovedCases) {
+  auto base = make_report();
+  auto cur = make_report();
+  cur.cases[0].name = "renamed/k=1";
+  const auto c = bench::compare_reports(base, cur, {});
+  ASSERT_EQ(c.only_in_baseline.size(), 1u);
+  EXPECT_EQ(c.only_in_baseline[0], "alpha/k=1");
+  ASSERT_EQ(c.only_in_current.size(), 1u);
+  EXPECT_EQ(c.only_in_current[0], "renamed/k=1");
+  EXPECT_TRUE(c.ok()) << "membership drift alone must not fail the gate";
+}
+
+TEST(BenchCompare, CounterDriftIsNotedButNotFatal) {
+  auto base = make_report();
+  auto cur = make_report();
+  cur.cases[0].counters["items"] = 2048;  // deterministic work count doubled
+  const auto c = bench::compare_reports(base, cur, {});
+  EXPECT_TRUE(c.ok());
+  ASSERT_FALSE(c.counter_notes.empty());
+  EXPECT_NE(c.counter_notes[0].find("items"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a suite registered and run in-process
+// ---------------------------------------------------------------------------
+
+TEST(BenchSuite, RunsCasesAndWritesReport) {
+  const std::string json = ::testing::TempDir() + "bench_suite_e2e.json";
+  const std::string json_flag = "--json=" + json;
+  bench::suite s("e2e");
+  const char* argv[] = {"e2e", "--quick", "--reps=2", "--warmup=0", "--no-trace-rep",
+                        json_flag.c_str()};
+  ASSERT_FALSE(s.parse(6, const_cast<char**>(argv)).has_value());
+  EXPECT_TRUE(s.opts().quick);
+
+  int bodies_run = 0;
+  s.add("ok_case", [&](bench::case_context& ctx) {
+    EXPECT_TRUE(ctx.quick());
+    int reps = 0;
+    while (ctx.next_rep()) ++reps;
+    EXPECT_EQ(reps, 2);
+    ctx.counter("work", 42);
+    ++bodies_run;
+  });
+  s.add("failing_case", [&](bench::case_context& ctx) {
+    while (ctx.next_rep()) {
+    }
+    ++bodies_run;
+    throw std::runtime_error("intentional");
+  });
+
+  EXPECT_EQ(s.run(), 1) << "a throwing case must fail the suite";
+  EXPECT_EQ(bodies_run, 2);
+
+  const auto rep = bench::read_json_file(json);
+  EXPECT_EQ(rep.suite, "e2e");
+  EXPECT_EQ(rep.mode, "quick");
+  ASSERT_EQ(rep.cases.size(), 2u);
+  EXPECT_EQ(rep.cases[0].name, "ok_case");
+  EXPECT_TRUE(rep.cases[0].error.empty());
+  EXPECT_EQ(rep.cases[0].wall_s.size(), 2u);
+  EXPECT_GT(rep.cases[0].wall.median, 0.0);
+  EXPECT_DOUBLE_EQ(rep.cases[0].counters.at("work"), 42);
+  EXPECT_EQ(rep.cases[1].name, "failing_case");
+  EXPECT_EQ(rep.cases[1].error, "intentional");
+  std::remove(json.c_str());
+}
+
+TEST(BenchSuite, FilterSelectsSubset) {
+  bench::suite s("filter");
+  const char* argv[] = {"filter", "--quick", "--reps=1", "--warmup=0", "--no-trace-rep",
+                        "--no-json", "--filter=match"};
+  ASSERT_FALSE(s.parse(7, const_cast<char**>(argv)).has_value());
+  int matched = 0, skipped = 0;
+  s.add("match_me", [&](bench::case_context& ctx) {
+    while (ctx.next_rep()) {
+    }
+    ++matched;
+  });
+  s.add("other", [&](bench::case_context& ctx) {
+    while (ctx.next_rep()) {
+    }
+    ++skipped;
+  });
+  EXPECT_EQ(s.run(), 0);
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ(skipped, 0);
+}

@@ -1,0 +1,44 @@
+# Bench-harness smoke test: run one converted bench end-to-end in --quick
+# mode, then prove the regression gate both passes on identical reports and
+# fires on an injected 2x slowdown (--scale-current self-test).
+# Invoked as: cmake -DBENCH_BIN=<micro_partition> -DCOMPARE_BIN=<bench_compare>
+#                   -DWORK_DIR=<dir> -P bench_smoke_test.cmake
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(json ${WORK_DIR}/BENCH_smoke.json)
+
+execute_process(
+  COMMAND ${BENCH_BIN} --quick --reps=2 --warmup=0 --no-trace-rep --json=${json}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc STREQUAL "0")
+  message(FATAL_ERROR "bench --quick failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS ${json})
+  message(FATAL_ERROR "bench wrote no JSON report")
+endif()
+file(READ ${json} json_text)
+if(NOT json_text MATCHES "\"schema\":\"odrc-bench\"" OR NOT json_text MATCHES "\"schema_version\":1")
+  message(FATAL_ERROR "bench JSON misses schema markers:\n${json_text}")
+endif()
+
+# Identical reports: the gate must pass.
+execute_process(COMMAND ${COMPARE_BIN} ${json} ${json}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc STREQUAL "0")
+  message(FATAL_ERROR "self-compare must exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+# Injected 2x regression: the gate must fire (exit 1, not a usage error).
+execute_process(COMMAND ${COMPARE_BIN} --scale-current=2 ${json} ${json}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc STREQUAL "1")
+  message(FATAL_ERROR "injected regression must exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+
+# ... unless --warn-only (the pull_request mode) downgrades it.
+execute_process(COMMAND ${COMPARE_BIN} --warn-only --scale-current=2 ${json} ${json}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc STREQUAL "0")
+  message(FATAL_ERROR "--warn-only must exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+message(STATUS "bench smoke OK")

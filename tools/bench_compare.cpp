@@ -1,0 +1,96 @@
+// bench_compare — the perf-regression gate over two BENCH_*.json reports.
+//
+//   bench_compare [flags] <baseline.json> <current.json>
+//
+// Exit codes: 0 no regression, 1 at least one case regressed, 2 usage or
+// I/O error. A case regresses only if its wall-clock median grew by more
+// than max(rel_threshold * baseline_median, mad_k * MAD, min_abs_s) — the
+// noise-aware verdict implemented in src/infra/bench_harness.cpp — so the
+// gate works both locally (tight thresholds) and in CI (shared runners,
+// looser thresholds via --threshold).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "infra/bench_harness.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--threshold=0.10] [--mad-k=3.0] [--min-abs=0.0005]\n"
+               "                     [--scale-current=K] [--warn-only]\n"
+               "                     <baseline.json> <current.json>\n"
+               "Exits 0 when no case regressed, 1 on regression, 2 on error.\n"
+               "--scale-current=K judges as if current medians were K x recorded\n"
+               "(self-test hook: K=2 against identical files must fail).\n"
+               "--warn-only reports regressions but always exits 0 (PR mode).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odrc::bench;
+
+  compare_options opts;
+  bool warn_only = false;
+  std::vector<std::string> paths;
+  auto starts = [](const char* s, const char* p) {
+    return std::strncmp(s, p, std::strlen(p)) == 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (starts(a, "--threshold=")) {
+      opts.rel_threshold = std::atof(a + 12);
+    } else if (starts(a, "--mad-k=")) {
+      opts.mad_k = std::atof(a + 8);
+    } else if (starts(a, "--min-abs=")) {
+      opts.min_abs_s = std::atof(a + 10);
+    } else if (starts(a, "--scale-current=")) {
+      opts.scale_current = std::atof(a + 16);
+    } else if (std::strcmp(a, "--warn-only") == 0) {
+      warn_only = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      return usage();
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown flag '%s'\n", a);
+      return usage();
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+  if (paths.size() != 2) return usage();
+
+  try {
+    const suite_report baseline = read_json_file(paths[0]);
+    const suite_report current = read_json_file(paths[1]);
+    if (baseline.suite != current.suite) {
+      std::fprintf(stderr, "bench_compare: suite mismatch ('%s' vs '%s')\n",
+                   baseline.suite.c_str(), current.suite.c_str());
+      return 2;
+    }
+    if (baseline.mode != current.mode || baseline.scale != current.scale) {
+      std::fprintf(stderr,
+                   "bench_compare: WARNING comparing mode=%s scale=%g against mode=%s "
+                   "scale=%g — timings may not be commensurable\n",
+                   baseline.mode.c_str(), baseline.scale, current.mode.c_str(),
+                   current.scale);
+    }
+    std::printf("suite %s: baseline %s vs current %s\n", baseline.suite.c_str(),
+                paths[0].c_str(), paths[1].c_str());
+    const compare_result result = compare_reports(baseline, current, opts);
+    write_compare(std::cout, result, opts);
+    if (!result.ok() && warn_only) {
+      std::printf("warn-only mode: regressions reported but not failing the run\n");
+      return 0;
+    }
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

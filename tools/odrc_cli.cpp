@@ -25,6 +25,7 @@
 #include "engine/engine.hpp"
 #include "gdsii/reader.hpp"
 #include "gdsii/writer.hpp"
+#include "infra/bench_harness.hpp"
 #include "infra/timer.hpp"
 #include "infra/trace.hpp"
 #include "workload/workload.hpp"
@@ -38,7 +39,7 @@ int usage() {
                "usage:\n"
                "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--batch=on|off]\n"
                "             [--report=out.txt] [--markers=out.gds] [--json=out.json]\n"
-               "             [--trace=out_trace.json] [--metrics]\n"
+               "             [--trace=out_trace.json] [--metrics] [--bench-json=out.json]\n"
                "             (also accepts --lef=<f> --def=<f> inputs)\n"
                "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
                "  odrc inspect <layout.gds>\n"
@@ -100,7 +101,9 @@ int cmd_check(int argc, char** argv) {
   if (!trace_path.empty() || want_metrics) trace::recorder::instance().enable();
 
   report::violation_db db(lib.name());
+  timer t_check;
   engine::deck_report dr = eng.check_deck(lib);
+  const double check_seconds = t_check.seconds();
 
   if (!trace_path.empty() || want_metrics) {
     trace::recorder::instance().disable();
@@ -163,6 +166,36 @@ int cmd_check(int argc, char** argv) {
     std::ostringstream ms;
     trace::recorder::instance().write_metrics(ms);
     std::fputs(ms.str().c_str(), stdout);
+  }
+
+  // --bench-json: emit the check as a one-sample odrc-bench report so a CLI
+  // invocation plugs into the same bench_compare gate as the bench/ suites.
+  const std::string bench_json_path = opt_value(argc, argv, "bench-json", "");
+  if (!bench_json_path.empty()) {
+    bench::suite_report br;
+    br.suite = "cli_check";
+    br.mode = "cli";
+    br.scale = 1.0;
+    bench::case_result c;
+    c.name = "check/" + std::string(mode_s) + "/batch-" + (cfg.batch ? "on" : "off");
+    c.repetitions = 1;
+    c.warmup = 0;
+    c.wall_s = {check_seconds};
+    c.counters["violations"] = static_cast<double>(total.violations.size());
+    c.counters["rules"] = static_cast<double>(deck.size());
+    c.counters["polygons"] = static_cast<double>(lib.expanded_polygon_count());
+    c.counters["edge_pairs_tested"] = static_cast<double>(total.check_stats.edge_pairs_tested);
+    c.counters["rows"] = static_cast<double>(total.rows);
+    c.counters["clips"] = static_cast<double>(total.clips);
+    c.finalize();
+    br.cases.push_back(std::move(c));
+    std::ofstream out(bench_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write bench json '%s'\n", bench_json_path.c_str());
+      return 1;
+    }
+    bench::write_json(out, br);
+    std::printf("bench json written to %s\n", bench_json_path.c_str());
   }
   return total.violations.empty() ? 0 : 1;
 }
