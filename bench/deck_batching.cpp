@@ -59,13 +59,24 @@ int main(int argc, char** argv) {
   for (const std::string& design : designs) {
     for (const engine::mode m : {engine::mode::sequential, engine::mode::parallel}) {
       const std::string mode_s = m == engine::mode::sequential ? "seq" : "par";
-      for (const bool batch : {false, true}) {
-        s.add(design + "/" + mode_s + "/" + (batch ? "batched" : "per-rule"),
-              [&cache, reference, design, m, mode_s, batch](case_context& ctx) {
+      // Variants: independent per-rule passes, the batched deck with the
+      // shared layout snapshot disabled (every group rebuilds index + views
+      // + packed edges), and the full batched + snapshot configuration.
+      struct variant {
+        const char* name;
+        bool batch;
+        bool snapshot;
+      };
+      for (const variant v : {variant{"per-rule", false, true},
+                              variant{"batched-nosnap", true, false},
+                              variant{"batched", true, true}}) {
+        s.add(design + "/" + mode_s + "/" + v.name,
+              [&cache, reference, design, m, mode_s, v](case_context& ctx) {
                 const auto& g = cache.get(design, 2, ctx.scale());
                 engine_config cfg;
                 cfg.run_mode = m;
-                cfg.batch = batch;
+                cfg.batch = v.batch;
+                cfg.snapshot = v.snapshot;
                 drc_engine eng(cfg);
                 eng.add_rules(make_deck());
                 engine::check_report report;
@@ -73,7 +84,8 @@ int main(int argc, char** argv) {
                 const std::string key = design + "/" + mode_s;
                 auto [it, inserted] = reference->try_emplace(key, report.violations.size());
                 if (!inserted && report.violations.size() != it->second) {
-                  throw std::runtime_error("batched and per-rule violation counts differ");
+                  throw std::runtime_error(std::string(v.name) +
+                                           " and per-rule violation counts differ");
                 }
                 ctx.counter("violations", static_cast<double>(report.violations.size()));
                 ctx.counter("shared_seconds", report.deck.shared_seconds);
@@ -106,16 +118,22 @@ int main(int argc, char** argv) {
   return s.run([&](const suite_report& rep) {
     std::printf("\nDeck batching: 9 pair rules over 3 layers (scale=%.2f, mode=%s)\n",
                 rep.scale, rep.mode.c_str());
-    std::printf("%-8s %-10s %10s %10s %8s %10s %10s\n", "Design", "Mode", "per-rule",
-                "batched", "speedup", "shared(s)", "saved(s)");
+    std::printf("%-8s %-10s %10s %10s %10s %8s %8s %10s %10s\n", "Design", "Mode",
+                "per-rule", "nosnap", "batched", "speedup", "snap", "shared(s)",
+                "saved(s)");
     for (const std::string& design : designs) {
       for (const char* mode_s : {"seq", "par"}) {
         const std::string base = design + "/" + mode_s + "/";
         const double t_per_rule = median_or(rep, base + "per-rule");
+        const double t_nosnap = median_or(rep, base + "batched-nosnap");
         const double t_batched = median_or(rep, base + "batched");
         if (t_per_rule < 0 || t_batched < 0) continue;
-        std::printf("%-8s %-10s %10.3f %10.3f %7.2fx %10.3f %10.3f\n", design.c_str(),
-                    mode_s, t_per_rule, t_batched, t_per_rule / std::max(t_batched, 1e-9),
+        // "speedup" is the headline batched-vs-per-rule ratio; "snap" is the
+        // snapshot ablation (per-group rebuild vs shared snapshot, batched).
+        std::printf("%-8s %-10s %10.3f %10.3f %10.3f %7.2fx %7.2fx %10.3f %10.3f\n",
+                    design.c_str(), mode_s, t_per_rule, t_nosnap, t_batched,
+                    t_per_rule / std::max(t_batched, 1e-9),
+                    t_nosnap / std::max(t_batched, 1e-9),
                     counter_or(rep, base + "batched", "shared_seconds"),
                     counter_or(rep, base + "batched", "saved_seconds"));
       }

@@ -68,11 +68,12 @@ int main(int argc, char** argv) {
                       static_cast<coord_t>(full.x_min + full.width() / 4),
                       static_cast<coord_t>(full.y_min + full.height() / 4)};
     std::size_t n = 0;
-    idx.query(top, idx.layers().front(), window, [&](const db::layer_hit&) { ++n; });
+    const std::uint64_t visited =
+        idx.query(top, idx.layers().front(), window, [&](const db::layer_hit&) { ++n; });
     std::printf("\nquery: layer %d in the lower-left quarter of '%s': %zu polygons, "
                 "%llu tree nodes visited\n",
                 idx.layers().front(), lib.at(top).name().c_str(), n,
-                static_cast<unsigned long long>(idx.last_query_nodes_visited()));
+                static_cast<unsigned long long>(visited));
   }
   return 0;
 }

@@ -96,21 +96,20 @@ const std::vector<std::uint32_t>& mbr_index::children_on_layer(cell_id id, layer
   return children_[id * layers_.size() + slot];
 }
 
-void mbr_index::query(cell_id top, layer_t layer, const rect& window,
-                      const std::function<void(const layer_hit&)>& visit) const {
+std::uint64_t mbr_index::query(cell_id top, layer_t layer, const rect& window,
+                               const std::function<void(const layer_hit&)>& visit) const {
   const std::size_t slot = layer_slot(layer);
-  if (slot == static_cast<std::size_t>(-1)) return;
-  nodes_visited_ = 0;
-  query_rec(top, slot, layer, window, transform{}, visit);
+  if (slot == static_cast<std::size_t>(-1)) return 0;
+  return query_rec(top, slot, layer, window, transform{}, visit);
 }
 
-void mbr_index::query_rec(cell_id id, std::size_t slot, layer_t layer, const rect& window,
-                          const transform& to_top,
-                          const std::function<void(const layer_hit&)>& visit) const {
-  ++nodes_visited_;
+std::uint64_t mbr_index::query_rec(cell_id id, std::size_t slot, layer_t layer,
+                                   const rect& window, const transform& to_top,
+                                   const std::function<void(const layer_hit&)>& visit) const {
+  std::uint64_t visited = 1;
   const std::size_t L = layers_.size();
   const rect& lm = mbr_[id * L + slot];
-  if (lm.empty() || !window.overlaps(to_top.apply(lm))) return;
+  if (lm.empty() || !window.overlaps(to_top.apply(lm))) return visited;
 
   const cell& c = lib_->at(id);
   for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
@@ -124,16 +123,18 @@ void mbr_index::query_rec(cell_id id, std::size_t slot, layer_t layer, const rec
   for (std::uint32_t child : children_[id * L + slot]) {
     if (child < ref_count) {
       const cell_ref& r = c.refs()[child];
-      query_rec(r.target, slot, layer, window, to_top.compose(r.trans), visit);
+      visited += query_rec(r.target, slot, layer, window, to_top.compose(r.trans), visit);
     } else {
       const cell_array& a = c.arrays()[child - ref_count];
       for (std::uint16_t rr = 0; rr < a.rows; ++rr) {
         for (std::uint16_t cc = 0; cc < a.cols; ++cc) {
-          query_rec(a.target, slot, layer, window, to_top.compose(a.instance(cc, rr)), visit);
+          visited +=
+              query_rec(a.target, slot, layer, window, to_top.compose(a.instance(cc, rr)), visit);
         }
       }
     }
   }
+  return visited;
 }
 
 }  // namespace odrc::db

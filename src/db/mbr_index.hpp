@@ -73,13 +73,11 @@ class mbr_index {
   /// `layer` under `top` whose transformed MBR overlaps `window`, pruning
   /// subtrees by layer MBR. Pass an all-covering window to enumerate the
   /// whole layer. The callback receives the element and its accumulated
-  /// transform.
-  void query(cell_id top, layer_t layer, const rect& window,
-             const std::function<void(const layer_hit&)>& visit) const;
-
-  /// Count of tree nodes visited by the last query (instrumentation for the
-  /// O(min(n, kh)) micro-benchmark).
-  [[nodiscard]] std::uint64_t last_query_nodes_visited() const { return nodes_visited_; }
+  /// transform. Returns the count of tree nodes visited (instrumentation for
+  /// the O(min(n, kh)) micro-benchmark) — a return value rather than stored
+  /// state, so concurrent queries against one shared index never race.
+  std::uint64_t query(cell_id top, layer_t layer, const rect& window,
+                      const std::function<void(const layer_hit&)>& visit) const;
 
   /// Per-layer duplicated child lists of `id`: indices into the cell's
   /// refs() (first) and arrays() (offset by refs().size()) that lead to
@@ -90,9 +88,9 @@ class mbr_index {
  private:
   [[nodiscard]] std::size_t layer_slot(layer_t layer) const;
 
-  void query_rec(cell_id id, std::size_t slot, layer_t layer, const rect& window,
-                 const transform& to_top,
-                 const std::function<void(const layer_hit&)>& visit) const;
+  std::uint64_t query_rec(cell_id id, std::size_t slot, layer_t layer, const rect& window,
+                          const transform& to_top,
+                          const std::function<void(const layer_hit&)>& visit) const;
 
   const library* lib_;
   std::vector<layer_t> layers_;                       // sorted distinct layers
@@ -106,7 +104,6 @@ class mbr_index {
   std::vector<std::vector<std::uint32_t>> children_;
   static const std::vector<std::uint32_t> no_children_;
   static const rect empty_rect_;
-  mutable std::uint64_t nodes_visited_ = 0;
 };
 
 }  // namespace odrc::db

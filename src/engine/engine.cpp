@@ -52,6 +52,29 @@ std::vector<plan_group> singleton_groups(std::span<const exec_plan> plans) {
   return groups;
 }
 
+// Supplies the layout snapshot for one deck run. With cfg.snapshot (the
+// default) every group shares one snapshot; with the ablation off, get()
+// rebuilds a fresh one per call — the pre-snapshot per-group behaviour.
+// Single-threaded use only (check_concurrent handles sharing itself).
+class snapshot_source {
+ public:
+  snapshot_source(const db::library& lib, bool share) : lib_(lib), share_(share) {
+    if (share_) shared_.emplace(lib_);
+  }
+
+  layout_snapshot& get() {
+    if (share_) return *shared_;
+    fresh_.emplace(lib_);
+    return *fresh_;
+  }
+
+ private:
+  const db::library& lib_;
+  bool share_;
+  std::optional<layout_snapshot> shared_;
+  std::optional<layout_snapshot> fresh_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -91,8 +114,9 @@ deck_report drc_engine::check_deck(const db::library& lib) {
   const std::vector<plan_group> groups =
       cfg_.batch ? group_pair_plans(plans) : singleton_groups(plans);
 
+  snapshot_source src(lib, cfg_.snapshot);
   for (const plan_group& g : groups) {
-    group_report gr = run_pair_group(cfg_, impl_->streams, lib, plans, g, impl_->region);
+    group_report gr = run_pair_group(cfg_, impl_->streams, src.get(), plans, g, impl_->region);
     count_group(out.total.deck, gr.shared, g.members.size());
     for (std::size_t k = 0; k < g.members.size(); ++k) {
       out.per_rule[g.members[k]].merge_from(std::move(gr.per_rule[k]));
@@ -101,7 +125,9 @@ deck_report drc_engine::check_deck(const db::library& lib) {
   }
   for (std::size_t i = 0; i < plans.size(); ++i) {
     if (plans[i].cls == plan_class::pair) continue;
-    out.per_rule[i] = check(lib, deck_[i]);
+    // The plan was compiled at the top of this function — run it directly
+    // instead of re-dispatching through check(lib, rule), which recompiled.
+    out.per_rule[i] = run_compiled(lib, plans[i], impl_->streams, src.get());
   }
   for (const check_report& r : out.per_rule) out.total.merge_from(check_report(r));
   return out;
@@ -120,19 +146,24 @@ check_report drc_engine::check_concurrent(const db::library& lib) {
   }
 
   // One task per group + one per remaining rule. Each task owns its stream
-  // pool, memo tables and caches, so rule checks never share mutable state.
+  // pool and memo tables; the layout snapshot is the exception — its caches
+  // are thread-safe, so all tasks share ONE instead of each rebuilding the
+  // hierarchy. With the snapshot ablation off each task builds its own.
+  std::optional<layout_snapshot> shared_snap;
+  if (cfg_.snapshot) shared_snap.emplace(lib);
   const std::size_t ntasks = groups.size() + solo.size();
   std::vector<check_report> reports(ntasks);
   thread_pool::global().parallel_for(0, ntasks, [&](std::size_t t) {
+    stream_pool local_streams;
+    std::optional<layout_snapshot> local_snap;
+    layout_snapshot& snap = shared_snap ? *shared_snap : local_snap.emplace(lib);
     if (t < groups.size()) {
-      stream_pool local_streams;
       group_report gr =
-          run_pair_group(cfg_, local_streams, lib, plans, groups[t], impl_->region);
+          run_pair_group(cfg_, local_streams, snap, plans, groups[t], impl_->region);
       count_group(reports[t].deck, gr.shared, groups[t].members.size());
       reports[t].merge_from(std::move(gr).merged());
     } else {
-      drc_engine worker(cfg_);
-      reports[t] = worker.check(lib, deck_[solo[t - groups.size()]]);
+      reports[t] = run_compiled(lib, plans[solo[t - groups.size()]], local_streams, snap);
     }
   });
   check_report merged;
@@ -187,34 +218,56 @@ check_report drc_engine::check_region(const db::library& lib, const rules::rule&
 namespace {
 
 check_report run_single_pair_plan(const engine_config& cfg, stream_pool& streams,
-                                  const db::library& lib, const rules::rule& r,
+                                  layout_snapshot& snap, const rules::rule& r,
                                   const std::optional<rect>& window) {
   const exec_plan plan = compile_plan(r);
   const plan_group g{plan.layer1, plan.layer2, plan.two_layer, plan.inflate, {0}};
-  return run_pair_group(cfg, streams, lib, std::span(&plan, 1), g, window).merged();
+  return run_pair_group(cfg, streams, snap, std::span(&plan, 1), g, window).merged();
 }
 
 }  // namespace
 
+check_report drc_engine::run_compiled(const db::library& lib, const exec_plan& plan,
+                                      stream_pool& streams, layout_snapshot& snap) {
+  switch (plan.cls) {
+    case plan_class::intra: return run_intra_plan(cfg_, streams, snap, plan, impl_->region);
+    case plan_class::pair: {
+      const plan_group g{plan.layer1, plan.layer2, plan.two_layer, plan.inflate, {0}};
+      return run_pair_group(cfg_, streams, snap, std::span(&plan, 1), g, impl_->region)
+          .merged();
+    }
+    case plan_class::global: break;
+  }
+  // Global plans flatten whole layers themselves; nothing in the snapshot
+  // applies to them.
+  const rules::rule& r = plan.rule;
+  if (r.kind == checks::rule_kind::coloring) return run_coloring(lib, r.layer1, r.distance);
+  return run_derived_area(lib, r.kind, r.layer1, r.layer2, r.min_area);
+}
+
 check_report drc_engine::run_width(const db::library& lib, layer_t layer, coord_t min_width) {
   rules::rule r{checks::rule_kind::width, layer, layer, min_width, 0, {}, {}};
-  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+  layout_snapshot snap(lib);
+  return run_intra_plan(cfg_, impl_->streams, snap, compile_plan(r), impl_->region);
 }
 
 check_report drc_engine::run_area(const db::library& lib, layer_t layer, area_t min_area) {
   rules::rule r{checks::rule_kind::area, layer, layer, 0, min_area, {}, {}};
-  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+  layout_snapshot snap(lib);
+  return run_intra_plan(cfg_, impl_->streams, snap, compile_plan(r), impl_->region);
 }
 
 check_report drc_engine::run_rectilinear(const db::library& lib, layer_t layer) {
   rules::rule r{checks::rule_kind::rectilinear, layer, layer, 0, 0, {}, {}};
-  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+  layout_snapshot snap(lib);
+  return run_intra_plan(cfg_, impl_->streams, snap, compile_plan(r), impl_->region);
 }
 
 check_report drc_engine::run_custom(const db::library& lib, layer_t layer,
                                     const std::function<bool(const db::polygon_elem&)>& pred) {
   rules::rule r{checks::rule_kind::custom, layer, layer, 0, 0, pred, {}};
-  return run_intra_plan(cfg_, impl_->streams, lib, compile_plan(r), impl_->region);
+  layout_snapshot snap(lib);
+  return run_intra_plan(cfg_, impl_->streams, snap, compile_plan(r), impl_->region);
 }
 
 check_report drc_engine::run_spacing(const db::library& lib, layer_t layer, coord_t min_space) {
@@ -225,13 +278,15 @@ check_report drc_engine::run_spacing(const db::library& lib, layer_t layer,
                                      const checks::spacing_table& table) {
   rules::rule r{checks::rule_kind::spacing, layer,      layer, table.max_distance(),
                 0,                          {},         {},    table};
-  return run_single_pair_plan(cfg_, impl_->streams, lib, r, impl_->region);
+  layout_snapshot snap(lib);
+  return run_single_pair_plan(cfg_, impl_->streams, snap, r, impl_->region);
 }
 
 check_report drc_engine::run_enclosure(const db::library& lib, layer_t inner, layer_t outer,
                                        coord_t min_enclosure) {
   rules::rule r{checks::rule_kind::enclosure, inner, outer, min_enclosure, 0, {}, {}};
-  return run_single_pair_plan(cfg_, impl_->streams, lib, r, impl_->region);
+  layout_snapshot snap(lib);
+  return run_single_pair_plan(cfg_, impl_->streams, snap, r, impl_->region);
 }
 
 // ---------------------------------------------------------------------------

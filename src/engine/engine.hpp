@@ -41,6 +41,10 @@
 
 namespace odrc::engine {
 
+struct exec_plan;       // plan.hpp
+class stream_pool;      // pipeline.hpp
+class layout_snapshot;  // snapshot.hpp
+
 /// Execution branch (paper Fig. 1: sequential CPU / parallel GPU).
 enum class mode { sequential, parallel };
 
@@ -79,6 +83,12 @@ struct engine_config {
   /// one packed-edge upload per row evaluating every rule's predicate. Off:
   /// each rule runs its own full pass (the pre-batching behaviour).
   bool batch = true;
+
+  /// Deck-wide layout snapshot: one mbr_index / view cache / flat instance
+  /// list / master packed-edge cache shared by every rule group of a check
+  /// call (snapshot.hpp). Off (ablation): each group rebuilds them from
+  /// scratch — the pre-snapshot behaviour.
+  bool snapshot = true;
 };
 
 /// Deck-batching amortization counters (reported by the CLI's --batch path).
@@ -217,6 +227,13 @@ class drc_engine {
                             coord_t same_mask_spacing);
 
  private:
+  /// Run one already-compiled plan against a shared snapshot — the deck
+  /// paths use this so a plan compiled once is never recompiled for
+  /// dispatch. Global plans (derived-area, coloring) flatten the layout
+  /// themselves and ignore the snapshot.
+  check_report run_compiled(const db::library& lib, const exec_plan& plan, stream_pool& streams,
+                            layout_snapshot& snap);
+
   struct impl;
   engine_config cfg_;
   std::vector<rules::rule> deck_;

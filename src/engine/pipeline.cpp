@@ -1,10 +1,11 @@
 #include "engine/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <future>
 #include <mutex>
 
-#include "db/flatten.hpp"
 #include "geo/quadtree.hpp"
 #include "geo/rtree.hpp"
 #include "infra/thread_pool.hpp"
@@ -19,39 +20,12 @@ using checks::violation;
 using db::cell_id;
 using db::layer_t;
 
-master_layer_view make_layer_view(const db::cell& c, layer_t layer) {
-  master_layer_view v;
-  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
-    const db::polygon_elem& p = c.polygons()[pi];
-    if (layer != rules::any_layer && p.layer != layer) continue;
-    v.poly_indices.push_back(pi);
-    v.poly_mbrs.push_back(p.poly.mbr());
-    v.mbr = v.mbr.join(v.poly_mbrs.back());
-  }
-  return v;
-}
-
 }  // namespace
 
-const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
-  const key k = make_key(id, layer);
-  {
-    std::shared_lock lk(mu_);
-    auto it = map_.find(k);
-    if (it != map_.end()) return it->second;
-  }
-  master_layer_view v = make_layer_view(lib_.at(id), layer);
-  std::unique_lock lk(mu_);
-  // Another thread may have inserted meanwhile; emplace keeps the winner.
-  return map_.emplace(k, std::move(v)).first->second;
-}
-
-std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views, cell_id top,
-                                    layer_t layer, const std::optional<rect>& window,
-                                    coord_t inflate) {
-  const auto placed = db::flat_instance_list(idx, top, layer);
-  std::unordered_map<cell_id, std::uint32_t> occurrences;
-  for (const db::placed_cell& pc : placed) ++occurrences[pc.master];
+std::vector<inst> collect_instances(layout_snapshot& snap, cell_id top, layer_t layer,
+                                    const std::optional<rect>& window, coord_t inflate) {
+  const instance_set& set = snap.instances(top, layer);
+  view_cache& views = snap.views();
 
   // The pruning halo is loop-invariant; inflating inside the per-instance
   // and per-polygon loops recomputed it for every MBR test.
@@ -59,12 +33,12 @@ std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views,
       window ? std::optional<rect>(window->inflated(inflate)) : std::nullopt;
 
   std::vector<inst> out;
-  for (const db::placed_cell& pc : placed) {
+  for (const db::placed_cell& pc : set.placed) {
     const master_layer_view& v = views.get(pc.master, layer);
     if (v.empty()) continue;
     const rect cell_mbr = pc.to_top.apply(v.mbr);
     if (halo && !halo->overlaps(cell_mbr)) continue;
-    if (occurrences[pc.master] == 1 && v.poly_indices.size() > split_poly_threshold) {
+    if (set.occurrences.at(pc.master) == 1 && v.poly_indices.size() > split_poly_threshold) {
       for (std::uint32_t k = 0; k < v.poly_indices.size(); ++k) {
         const rect pm = pc.to_top.apply(v.poly_mbrs[k]);
         if (halo && !halo->overlaps(pm)) continue;
@@ -215,35 +189,32 @@ std::vector<violation> compute_intra_polys(std::span<const polygon> polys, layer
 }
 
 // Device variant of the width check for one master (paper: intra checks also
-// run on the GPU in parallel mode; Table I's "Par" column).
-std::vector<violation> compute_intra_master_device(device::stream& s, const db::cell& c,
-                                                   const master_layer_view& v,
+// run on the GPU in parallel mode; Table I's "Par" column). The master's
+// packed edges come straight from the snapshot cache — poly ids are the
+// view-local indices with group 0, exactly what a from-scratch pack produced.
+std::vector<violation> compute_intra_master_device(device::stream& s,
+                                                   const packed_master_edges& pm,
                                                    const rules::rule& r,
                                                    const engine_config& cfg,
                                                    sweep::device_check_stats& ds) {
-  std::vector<sweep::packed_edge> edges;
-  for (std::size_t k = 0; k < v.poly_indices.size(); ++k) {
-    const db::polygon_elem& p = c.polygons()[v.poly_indices[k]];
-    sweep::pack_polygon_edges(p.poly, static_cast<std::uint32_t>(k), 0, edges);
-  }
   std::vector<violation> out;
   sweep::device_check_config dcfg{sweep::pair_check::width, r.distance, r.layer1, r.layer1,
                                   sweep::sweep_axis::y};
-  sweep::device_check_edges_with(s, edges, dcfg, cfg.executor, out, ds, cfg.brute_threshold);
+  sweep::device_check_edges_with(s, pm.edges, dcfg, cfg.executor, out, ds, cfg.brute_threshold);
   return out;
 }
 
 }  // namespace
 
 check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
-                            const db::library& lib, const exec_plan& plan,
+                            layout_snapshot& snap, const exec_plan& plan,
                             const std::optional<rect>& window) {
   const rules::rule& r = plan.rule;
   trace::span ts("engine", "run_intra_plan", "kind", static_cast<std::int64_t>(r.kind), "layer",
                  r.layer1);
   check_report report;
-  const db::mbr_index idx(lib);
-  view_cache views(lib);
+  const db::library& lib = snap.lib();
+  view_cache& views = snap.views();
   device::stream* stream =
       cfg.run_mode == mode::parallel && r.kind == checks::rule_kind::width ? &streams.get()
                                                                            : nullptr;
@@ -251,7 +222,7 @@ check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
   // Layers this rule touches: a specific layer, or every populated layer.
   std::vector<layer_t> layers;
   if (r.layer1 == rules::any_layer) {
-    layers = idx.layers();
+    layers = snap.index().layers();
   } else {
     layers.push_back(r.layer1);
   }
@@ -264,7 +235,7 @@ check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
       rules::rule layer_rule = r;
       layer_rule.layer1 = layer;
       auto t = report.phases.measure("edge_check");
-      for (const db::placed_cell& pc : db::flat_instance_list(idx, top, layer)) {
+      for (const db::placed_cell& pc : snap.instances(top, layer).placed) {
         const master_layer_view& v = views.get(pc.master, layer);
         if (v.empty()) continue;
         if (window && !window->overlaps(pc.to_top.apply(v.mbr))) continue;
@@ -289,8 +260,8 @@ check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
           ++report.prune.intra_computed;
           std::vector<violation> computed;
           if (stream) {
-            computed = compute_intra_master_device(*stream, lib.at(pc.master), v, layer_rule,
-                                                   cfg, report.device_stats);
+            computed = compute_intra_master_device(*stream, snap.packed(pc.master, layer),
+                                                   layer_rule, cfg, report.device_stats);
           } else {
             computed = compute_intra_master(lib.at(pc.master), v, layer_rule,
                                             report.check_stats);
@@ -328,6 +299,46 @@ struct memo_slot {
   std::mutex pairs_mu;
 };
 
+// One row of the pack-ahead pipeline. Both the pool workers offered the row
+// and the driver call pack_ahead_into(); the atomic claim guarantees exactly
+// one of them packs it, and a claimed row is being *actively* packed by some
+// thread, so waiting on its future is bounded — the driver never blocks on a
+// task still sitting in the pool queue (which could deadlock when
+// run_pair_group itself runs on a pool worker under check_concurrent).
+struct pack_slot {
+  std::atomic_flag claimed;  // default-clear (C++20)
+  std::promise<std::vector<sweep::packed_edge>> result;
+  std::future<std::vector<sweep::packed_edge>> ready;
+  bool scheduled = false;  // touched by the driver thread only
+};
+
+// Shared between the driver and the offered pool tasks. Tasks hold it by
+// shared_ptr, so the driver never has to *join* them: a task left in the
+// queue when the driver moves on (every pool worker was busy — possible when
+// several deck tasks share the pool) eventually runs as a pure no-op. The
+// driver must NOT block on queued tasks; with concurrent run_pair_group
+// calls saturating the pool, two drivers joining each other's queued tasks
+// is a deadlock.
+//
+// `pack` references driver-frame locals. That is safe: the driver claims
+// every row before leaving its loop and waits for each claimed row's future
+// inside the loop, so any pack body still executing keeps the driver (and
+// its frame) inside the loop; once the driver exits, every row is claimed
+// and no stale task can enter `pack` again.
+struct pack_ahead_state {
+  std::unique_ptr<pack_slot[]> slots;
+  std::function<std::vector<sweep::packed_edge>(std::size_t)> pack;
+};
+
+void pack_ahead_into(pack_ahead_state& st, std::size_t ri) {
+  if (st.slots[ri].claimed.test_and_set()) return;
+  try {
+    st.slots[ri].result.set_value(st.pack(ri));
+  } catch (...) {
+    st.slots[ri].result.set_exception(std::current_exception());
+  }
+}
+
 // Intra-master work of one plan: per-polygon predicate (spacing notches) plus
 // polygon pairs within the master, candidate-filtered by a local sweepline.
 std::vector<violation> compute_intra_for_plan(const db::cell& c, const master_layer_view& v,
@@ -350,7 +361,7 @@ std::vector<violation> compute_intra_for_plan(const db::cell& c, const master_la
 }  // namespace
 
 group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
-                            const db::library& lib, std::span<const exec_plan> plans,
+                            layout_snapshot& snap, std::span<const exec_plan> plans,
                             const plan_group& g, const std::optional<rect>& window) {
   trace::span ts("engine", "run_pair_group", "layer1", g.layer1, "layer2", g.layer2);
   group_report out;
@@ -367,15 +378,14 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
   const bool track = mp.front()->track_containment;
   const bool has_intra = mp.front()->intra_object;
 
-  const db::mbr_index idx(lib);
-  view_cache views(lib);
+  const db::library& lib = snap.lib();
+  view_cache& views = snap.views();
   const auto memos = std::make_unique<memo_slot[]>(nplans);
 
   for (const cell_id top : lib.top_cells()) {
-    const std::vector<inst> a_insts =
-        collect_instances(idx, views, top, g.layer1, window, g.inflate);
+    const std::vector<inst> a_insts = collect_instances(snap, top, g.layer1, window, g.inflate);
     std::vector<inst> b_insts;
-    if (g.two_layer) b_insts = collect_instances(idx, views, top, g.layer2, window, g.inflate);
+    if (g.two_layer) b_insts = collect_instances(snap, top, g.layer2, window, g.inflate);
     shared.instances += a_insts.size() + b_insts.size();
     if (a_insts.empty()) continue;
     const std::size_t ni = a_insts.size();
@@ -400,9 +410,9 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
 
     if (cfg.run_mode == mode::parallel) {
       // Row pipeline (Section V-C): up to pipeline_depth rows are in flight,
-      // each on its own stream, while the host packs the next row. One
-      // upload per row; the multi-config kernel evaluates every member
-      // plan's predicate per candidate pair.
+      // each on its own stream, while host threads pack the next rows ahead
+      // of the driver. One upload per row; the multi-config kernel evaluates
+      // every member plan's predicate per candidate pair.
       const std::size_t depth = std::max<std::size_t>(1, cfg.pipeline_depth);
       std::vector<sweep::device_check_config> cfgs(nplans);
       for (std::size_t k = 0; k < nplans; ++k) {
@@ -420,21 +430,46 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
           for (const std::uint32_t m : c.members) {
             const bool primary = m < ni;
             const inst& in = primary ? a_insts[m] : b_insts[m - ni];
-            const poly_set ps =
-                polys_of(lib, views, in, primary ? g.layer1 : g.layer2, transform{});
-            for (const polygon& p : ps.polys) {
-              sweep::pack_polygon_edges(p, poly_id++, primary ? 0 : 1, edges);
+            const std::uint16_t group = primary ? 0 : 1;
+            const packed_master_edges& pm =
+                snap.packed(in.master, primary ? g.layer1 : g.layer2);
+            if (in.split()) {
+              append_packed_polygon(pm, in.poly_index, in.t, poly_id++, group, edges);
+            } else {
+              append_packed_instance(pm, in.t, poly_id, group, edges);
+              poly_id += static_cast<std::uint32_t>(pm.poly_count());
             }
           }
         }
         return edges;
       };
 
+      // Pack-ahead slots: rows (ri, ri+depth) are offered to the global pool
+      // while the driver consumes row ri, so up to `depth` rows pack
+      // concurrently with the streams already executing earlier rows.
+      // depth == 1 degenerates to the old serial pack loop.
+      const std::size_t nrows = part.rows.size();
+      const auto ahead = std::make_shared<pack_ahead_state>();
+      ahead->slots = std::make_unique<pack_slot[]>(nrows);
+      for (std::size_t i = 0; i < nrows; ++i) {
+        ahead->slots[i].ready = ahead->slots[i].result.get_future();
+      }
+      ahead->pack = [&](std::size_t ri) { return pack_row(part.rows[ri], ri); };
+
       std::deque<sweep::async_multi_check> in_flight;
       std::size_t slot = 0;
       std::size_t drained = 0;
-      for (std::size_t ri = 0; ri < part.rows.size(); ++ri) {
-        std::vector<sweep::packed_edge> edges = pack_row(part.rows[ri], ri);
+      for (std::size_t ri = 0; ri < nrows; ++ri) {
+        // Offer the lookahead window before touching row ri, so worker packs
+        // overlap both ri's own pack and ri's device wait. The returned
+        // futures are deliberately dropped — see pack_ahead_state.
+        for (std::size_t rj = ri + 1; rj < std::min(nrows, ri + depth); ++rj) {
+          if (ahead->slots[rj].scheduled) continue;
+          ahead->slots[rj].scheduled = true;
+          thread_pool::global().submit([ahead, rj] { pack_ahead_into(*ahead, rj); });
+        }
+        pack_ahead_into(*ahead, ri);  // no-op when a worker claimed the row
+        std::vector<sweep::packed_edge> edges = ahead->slots[ri].ready.get();
         // Earlier rows keep running on their streams while this row was
         // packed; drain the oldest only once the pipeline is full.
         if (in_flight.size() >= depth) {
@@ -457,16 +492,23 @@ group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
       if (track) {
         // Containment runs on the host (polygon containment is not an
         // edge-pair-decomposable predicate); the scan is shared, the
-        // uncontained verdict is reported once per member plan.
+        // uncontained verdict is reported once per member plan. The outer
+        // instances' geometry is hoisted out of the i-loop — the previous
+        // inner-loop polys_of re-transformed every outer instance once per
+        // inner instance, O(ni×nb) transforms for nb cheap MBR rejections.
         auto t = shared.phases.measure("edge_check");
+        std::vector<poly_set> outer(b_insts.size());
+        for (std::size_t j = 0; j < b_insts.size(); ++j) {
+          outer[j] = polys_of(lib, views, b_insts[j], g.layer2, transform{});
+        }
         for (std::size_t i = 0; i < ni; ++i) {
           const poly_set pa = polys_of(lib, views, a_insts[i], g.layer1, transform{});
           for (std::size_t k = 0; k < pa.polys.size(); ++k) {
             const rect im = pa.mbrs[k];
-            for (const inst& oj : b_insts) {
+            for (std::size_t j = 0; j < b_insts.size(); ++j) {
               if (contained[i][k]) break;
-              if (!oj.mbr.overlaps(im)) continue;
-              const poly_set po = polys_of(lib, views, oj, g.layer2, transform{});
+              if (!b_insts[j].mbr.overlaps(im)) continue;
+              const poly_set& po = outer[j];
               for (std::size_t q = 0; q < po.polys.size(); ++q) {
                 if (!po.mbrs[q].contains(im)) continue;
                 bool all_in = true;

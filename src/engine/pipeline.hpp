@@ -35,67 +35,9 @@
 #include "device/device.hpp"
 #include "engine/engine.hpp"
 #include "engine/plan.hpp"
+#include "engine/snapshot.hpp"
 
 namespace odrc::engine {
-
-// ---------------------------------------------------------------------------
-// Per-master layer views
-// ---------------------------------------------------------------------------
-
-/// The polygons a master contributes *directly* to one layer (its references
-/// appear as separate placed instances, so they are excluded here).
-struct master_layer_view {
-  std::vector<std::uint32_t> poly_indices;
-  std::vector<rect> poly_mbrs;  ///< master-local frame
-  rect mbr;                     ///< union of the above
-
-  [[nodiscard]] bool empty() const { return poly_indices.empty(); }
-};
-
-/// Cache of layer views per (master, layer) for one check run. Thread-safe:
-/// host_parallel clip tasks and pipelined pack stages hit it concurrently.
-/// References are stable (unordered_map nodes) so a caller may keep one
-/// across later insertions.
-class view_cache {
- public:
-  /// Cache key: the (master, layer) pair held at full width. The previous
-  /// packed-integer key `(cell_id << 16) | uint16(layer)` was injective only
-  /// by accident of the current type widths — a cell id using bits >= 48, or
-  /// a layer type wider than 16 bits (where the sign-extension of
-  /// rules::any_layer no longer truncates to 0xFFFF), would silently alias
-  /// distinct pairs and get() would return the wrong master's view. A
-  /// struct key with field-wise equality cannot alias, whatever the widths.
-  struct key {
-    std::uint64_t cell = 0;
-    std::int32_t layer = 0;
-    [[nodiscard]] bool operator==(const key&) const = default;
-  };
-  struct key_hash {
-    [[nodiscard]] std::size_t operator()(const key& k) const {
-      // splitmix64 finalizer over both fields; collisions here only cost a
-      // bucket probe — equality is exact.
-      std::uint64_t x =
-          k.cell ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layer)) << 32);
-      x += 0x9E3779B97F4A7C15ull;
-      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-      return static_cast<std::size_t>(x ^ (x >> 31));
-    }
-  };
-
-  [[nodiscard]] static key make_key(std::uint64_t cell, std::int32_t layer) {
-    return {cell, layer};
-  }
-
-  explicit view_cache(const db::library& lib) : lib_(lib) {}
-
-  const master_layer_view& get(db::cell_id id, db::layer_t layer);
-
- private:
-  const db::library& lib_;
-  std::shared_mutex mu_;
-  std::unordered_map<key, master_layer_view, key_hash> map_;
-};
 
 // ---------------------------------------------------------------------------
 // Check objects
@@ -124,8 +66,10 @@ inline constexpr std::size_t split_poly_threshold = 8;
 
 /// Enumerate the check objects of one top cell on one layer, pruned to the
 /// `inflate`-inflated window when one is given (region-of-interest checking).
-[[nodiscard]] std::vector<inst> collect_instances(const db::mbr_index& idx, view_cache& views,
-                                                  db::cell_id top, db::layer_t layer,
+/// Uses the snapshot's memoized instance lists and layer views — repeated
+/// calls for the same (top, layer) across rule groups walk the hierarchy once.
+[[nodiscard]] std::vector<inst> collect_instances(layout_snapshot& snap, db::cell_id top,
+                                                  db::layer_t layer,
                                                   const std::optional<rect>& window = std::nullopt,
                                                   coord_t inflate = 0);
 
@@ -206,15 +150,18 @@ struct group_report {
 /// Run an intra-class plan (width / area / rectilinear / custom): per-master
 /// checks, memoized across instances, device width kernel in parallel mode.
 [[nodiscard]] check_report run_intra_plan(const engine_config& cfg, stream_pool& streams,
-                                          const db::library& lib, const exec_plan& plan,
+                                          layout_snapshot& snap, const exec_plan& plan,
                                           const std::optional<rect>& window = std::nullopt);
 
 /// Run every member plan of `g` over one shared pipeline pass: one instance
 /// enumeration, one partition, one candidate sweep per clip — and in parallel
 /// mode one packed-edge upload per row with all member predicates evaluated
-/// by a single multi-config kernel (sweep::async_multi_check).
+/// by a single multi-config kernel (sweep::async_multi_check). In parallel
+/// mode rows are packed ahead on thread_pool::global() (up to
+/// `cfg.pipeline_depth` rows in flight) while earlier rows run on device
+/// streams.
 [[nodiscard]] group_report run_pair_group(const engine_config& cfg, stream_pool& streams,
-                                          const db::library& lib,
+                                          layout_snapshot& snap,
                                           std::span<const exec_plan> plans, const plan_group& g,
                                           const std::optional<rect>& window = std::nullopt);
 

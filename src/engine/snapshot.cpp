@@ -1,0 +1,124 @@
+#include "engine/snapshot.hpp"
+
+#include "engine/rule.hpp"
+
+namespace odrc::engine {
+
+namespace {
+
+master_layer_view make_layer_view(const db::cell& c, db::layer_t layer) {
+  master_layer_view v;
+  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+    const db::polygon_elem& p = c.polygons()[pi];
+    if (layer != rules::any_layer && p.layer != layer) continue;
+    v.poly_indices.push_back(pi);
+    v.poly_mbrs.push_back(p.poly.mbr());
+    v.mbr = v.mbr.join(v.poly_mbrs.back());
+  }
+  return v;
+}
+
+}  // namespace
+
+const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
+  const key k = make_key(id, layer);
+  {
+    std::shared_lock lk(mu_);
+    auto it = map_.find(k);
+    if (it != map_.end()) return it->second;
+  }
+  master_layer_view v = make_layer_view(lib_.at(id), layer);
+  std::unique_lock lk(mu_);
+  // Another thread may have inserted meanwhile; emplace keeps the winner.
+  return map_.emplace(k, std::move(v)).first->second;
+}
+
+const instance_set& layout_snapshot::instances(db::cell_id top, db::layer_t layer) {
+  const view_cache::key k = view_cache::make_key(top, layer);
+  {
+    std::shared_lock lk(inst_mu_);
+    auto it = inst_map_.find(k);
+    if (it != inst_map_.end()) return it->second;
+  }
+  instance_set set;
+  set.placed = db::flat_instance_list(index_, top, layer);
+  for (const db::placed_cell& pc : set.placed) ++set.occurrences[pc.master];
+  std::unique_lock lk(inst_mu_);
+  return inst_map_.emplace(k, std::move(set)).first->second;
+}
+
+const packed_master_edges& layout_snapshot::packed(db::cell_id master, db::layer_t layer) {
+  const view_cache::key k = view_cache::make_key(master, layer);
+  {
+    std::shared_lock lk(pack_mu_);
+    auto it = pack_map_.find(k);
+    if (it != pack_map_.end()) return it->second;
+  }
+  const master_layer_view& v = views_.get(master, layer);
+  const db::cell& c = lib_.at(master);
+  packed_master_edges pm;
+  pm.poly_offsets.reserve(v.poly_indices.size() + 1);
+  pm.clockwise.reserve(v.poly_indices.size());
+  pm.poly_offsets.push_back(0);
+  for (std::size_t k2 = 0; k2 < v.poly_indices.size(); ++k2) {
+    const polygon& p = c.polygons()[v.poly_indices[k2]].poly;
+    sweep::pack_polygon_edges(p, static_cast<std::uint32_t>(k2), 0, pm.edges);
+    pm.poly_offsets.push_back(static_cast<std::uint32_t>(pm.edges.size()));
+    pm.clockwise.push_back(p.is_clockwise() ? 1 : 0);
+  }
+  std::unique_lock lk(pack_mu_);
+  return pack_map_.emplace(k, std::move(pm)).first->second;
+}
+
+namespace {
+
+// One polygon's cached records into `out` under `t`. `reverse` replays the
+// ring reversal polygon::transformed() performs for orientation-flipping
+// placements: the directed-edge multiset then matches a from-scratch pack of
+// the transformed polygon exactly (edge order within the polygon differs,
+// which the device executors are insensitive to — they sort by sweep key).
+void append_edge_range(const sweep::packed_edge* first, const sweep::packed_edge* last,
+                       const transform& t, bool reverse, std::uint32_t poly_id,
+                       std::uint16_t group, std::vector<sweep::packed_edge>& out) {
+  if (t.is_identity()) {
+    for (const sweep::packed_edge* e = first; e != last; ++e) {
+      out.push_back({e->from, e->to, poly_id, group, 0});
+    }
+    return;
+  }
+  for (const sweep::packed_edge* e = first; e != last; ++e) {
+    const point a = t.apply(e->from);
+    const point b = t.apply(e->to);
+    if (reverse) {
+      out.push_back({b, a, poly_id, group, 0});
+    } else {
+      out.push_back({a, b, poly_id, group, 0});
+    }
+  }
+}
+
+}  // namespace
+
+void append_packed_polygon(const packed_master_edges& pm, std::size_t local_poly,
+                           const transform& t, std::uint32_t poly_id, std::uint16_t group,
+                           std::vector<sweep::packed_edge>& out) {
+  const std::uint32_t lo = pm.poly_offsets[local_poly];
+  const std::uint32_t hi = pm.poly_offsets[local_poly + 1];
+  // Reflection flips ring orientation; transformed() restores clockwise by
+  // reversing iff the master ring was clockwise to begin with.
+  const bool reverse = t.reflect_x && pm.clockwise[local_poly] != 0;
+  append_edge_range(pm.edges.data() + lo, pm.edges.data() + hi, t, reverse, poly_id, group,
+                    out);
+}
+
+void append_packed_instance(const packed_master_edges& pm, const transform& t,
+                            std::uint32_t first_poly_id, std::uint16_t group,
+                            std::vector<sweep::packed_edge>& out) {
+  out.reserve(out.size() + pm.edges.size());
+  const std::size_t n = pm.poly_count();
+  for (std::size_t k = 0; k < n; ++k) {
+    append_packed_polygon(pm, k, t, first_poly_id + static_cast<std::uint32_t>(k), group, out);
+  }
+}
+
+}  // namespace odrc::engine

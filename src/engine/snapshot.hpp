@@ -1,0 +1,183 @@
+// Deck-wide layout snapshot (paper Section IV-C taken seriously across the
+// whole deck, not per rule group).
+//
+// The hierarchical structures a check run needs — the layer-wise MBR index,
+// the per-(master, layer) polygon views, the flattened instance lists and the
+// packed edge arrays the device executors consume — depend only on the
+// (library, window) pair, never on the rule being checked. Before this module
+// existed every plan group rebuilt all of them from scratch, so a 20-rule
+// deck paid the hierarchy walk ~20 times. A `layout_snapshot` owns them once
+// per check call:
+//
+//   - one `db::mbr_index` over the library;
+//   - one `view_cache` of per-(master, layer) polygon views;
+//   - memoized `flat_instance_list(top, layer)` results plus the per-master
+//     occurrence counts the instance collector consults for splitting;
+//   - a master-local packed-edge cache: `pack_polygon_edges` runs once per
+//     (master, layer), and packing an *instance* afterwards only applies the
+//     placement transform to the cached records (append_packed_instance).
+//
+// Lifetime and invalidation: a snapshot is valid for exactly one check call
+// against one immutable library — the engine entry points create one on the
+// stack and drop it on return, so there is no invalidation protocol. All
+// caches are thread-safe (shared_mutex, node-stable unordered_map values):
+// `check_concurrent` tasks and pack-ahead pipeline stages share one snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "db/flatten.hpp"
+#include "db/layout.hpp"
+#include "db/mbr_index.hpp"
+#include "sweep/device_sweep.hpp"
+
+namespace odrc::engine {
+
+// ---------------------------------------------------------------------------
+// Per-master layer views
+// ---------------------------------------------------------------------------
+
+/// The polygons a master contributes *directly* to one layer (its references
+/// appear as separate placed instances, so they are excluded here).
+struct master_layer_view {
+  std::vector<std::uint32_t> poly_indices;
+  std::vector<rect> poly_mbrs;  ///< master-local frame
+  rect mbr;                     ///< union of the above
+
+  [[nodiscard]] bool empty() const { return poly_indices.empty(); }
+};
+
+/// Cache of layer views per (master, layer) for one check run. Thread-safe:
+/// host_parallel clip tasks and pipelined pack stages hit it concurrently.
+/// References are stable (unordered_map nodes) so a caller may keep one
+/// across later insertions.
+class view_cache {
+ public:
+  /// Cache key: the (master, layer) pair held at full width. The previous
+  /// packed-integer key `(cell_id << 16) | uint16(layer)` was injective only
+  /// by accident of the current type widths — a cell id using bits >= 48, or
+  /// a layer type wider than 16 bits (where the sign-extension of
+  /// rules::any_layer no longer truncates to 0xFFFF), would silently alias
+  /// distinct pairs and get() would return the wrong master's view. A
+  /// struct key with field-wise equality cannot alias, whatever the widths.
+  struct key {
+    std::uint64_t cell = 0;
+    std::int32_t layer = 0;
+    [[nodiscard]] bool operator==(const key&) const = default;
+  };
+  struct key_hash {
+    [[nodiscard]] std::size_t operator()(const key& k) const {
+      // splitmix64 finalizer over both fields; collisions here only cost a
+      // bucket probe — equality is exact.
+      std::uint64_t x =
+          k.cell ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layer)) << 32);
+      x += 0x9E3779B97F4A7C15ull;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  [[nodiscard]] static key make_key(std::uint64_t cell, std::int32_t layer) {
+    return {cell, layer};
+  }
+
+  explicit view_cache(const db::library& lib) : lib_(lib) {}
+
+  const master_layer_view& get(db::cell_id id, db::layer_t layer);
+
+ private:
+  const db::library& lib_;
+  std::shared_mutex mu_;
+  std::unordered_map<key, master_layer_view, key_hash> map_;
+};
+
+// ---------------------------------------------------------------------------
+// Memoized flat instance lists
+// ---------------------------------------------------------------------------
+
+/// The flattened placements of one (top, layer) plus the per-master
+/// occurrence counts the instance collector uses for split decisions. Both
+/// are window-independent, so one entry serves every rule group.
+struct instance_set {
+  std::vector<db::placed_cell> placed;
+  std::unordered_map<db::cell_id, std::uint32_t> occurrences;
+};
+
+// ---------------------------------------------------------------------------
+// Master-local packed edges
+// ---------------------------------------------------------------------------
+
+/// The packed edges of one (master, layer): every polygon of the layer view,
+/// packed once in master-local coordinates with `poly` = the view-local
+/// polygon index and `group` = 0. Instance packs re-tag and transform these
+/// records instead of re-walking the polygons.
+struct packed_master_edges {
+  std::vector<sweep::packed_edge> edges;
+  std::vector<std::uint32_t> poly_offsets;  ///< size poly_count()+1, into edges
+  /// Per view-local polygon: was the master ring clockwise? A reflecting
+  /// placement flips orientation and polygon::transformed() restores the
+  /// clockwise invariant by reversing the ring — for packed records that is
+  /// exactly a from/to swap per edge, applied iff this flag is set.
+  std::vector<std::uint8_t> clockwise;
+
+  [[nodiscard]] std::size_t poly_count() const {
+    return poly_offsets.empty() ? 0 : poly_offsets.size() - 1;
+  }
+};
+
+/// Append one placed instance of a cached master: apply `t` to every cached
+/// edge and re-tag polygons `first_poly_id .. first_poly_id+poly_count()-1`.
+/// Byte-for-byte equivalent (up to intra-polygon edge order) to transforming
+/// the master's polygons and packing them from scratch.
+void append_packed_instance(const packed_master_edges& pm, const transform& t,
+                            std::uint32_t first_poly_id, std::uint16_t group,
+                            std::vector<sweep::packed_edge>& out);
+
+/// Same for a single view-local polygon (split check objects).
+void append_packed_polygon(const packed_master_edges& pm, std::size_t local_poly,
+                           const transform& t, std::uint32_t poly_id, std::uint16_t group,
+                           std::vector<sweep::packed_edge>& out);
+
+// ---------------------------------------------------------------------------
+// The snapshot
+// ---------------------------------------------------------------------------
+
+/// Every rule-independent structure of one check run over one library. See
+/// the file comment for the ownership/lifetime contract.
+class layout_snapshot {
+ public:
+  explicit layout_snapshot(const db::library& lib)
+      : lib_(lib), index_(lib), views_(lib) {}
+
+  layout_snapshot(const layout_snapshot&) = delete;
+  layout_snapshot& operator=(const layout_snapshot&) = delete;
+
+  [[nodiscard]] const db::library& lib() const { return lib_; }
+  [[nodiscard]] const db::mbr_index& index() const { return index_; }
+  [[nodiscard]] view_cache& views() { return views_; }
+
+  /// Memoized flat_instance_list(index, top, layer) + occurrence counts.
+  /// Thread-safe; the reference is stable for the snapshot's lifetime.
+  const instance_set& instances(db::cell_id top, db::layer_t layer);
+
+  /// Memoized master-local packed edges of (master, layer). Thread-safe;
+  /// the reference is stable for the snapshot's lifetime.
+  const packed_master_edges& packed(db::cell_id master, db::layer_t layer);
+
+ private:
+  const db::library& lib_;
+  db::mbr_index index_;
+  view_cache views_;
+
+  std::shared_mutex inst_mu_;
+  std::unordered_map<view_cache::key, instance_set, view_cache::key_hash> inst_map_;
+  std::shared_mutex pack_mu_;
+  std::unordered_map<view_cache::key, packed_master_edges, view_cache::key_hash> pack_map_;
+};
+
+}  // namespace odrc::engine

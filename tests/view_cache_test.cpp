@@ -80,7 +80,6 @@ TEST(ViewCache, PerLayerAndAnyLayerViewsAreDistinct) {
 TEST(CollectInstances, WindowPruneEqualsHaloFilterOfFullEnumeration) {
   auto spec = workload::spec_for("uart", 0.6);
   const auto g = workload::generate(spec);
-  const db::mbr_index idx(g.lib);
   const auto tops = g.lib.top_cells();
   ASSERT_FALSE(tops.empty());
 
@@ -89,11 +88,11 @@ TEST(CollectInstances, WindowPruneEqualsHaloFilterOfFullEnumeration) {
   const rect window{0, 0, 2500, 1500};
   const rect halo = window.inflated(inflate);
 
-  view_cache full_views(g.lib);
-  view_cache win_views(g.lib);
-  const std::vector<inst> full = collect_instances(idx, full_views, tops[0], layer);
+  layout_snapshot full_snap(g.lib);
+  layout_snapshot win_snap(g.lib);
+  const std::vector<inst> full = collect_instances(full_snap, tops[0], layer);
   const std::vector<inst> windowed =
-      collect_instances(idx, win_views, tops[0], layer, window, inflate);
+      collect_instances(win_snap, tops[0], layer, window, inflate);
   ASSERT_FALSE(full.empty());
 
   // The windowed enumeration is exactly the full enumeration filtered by
