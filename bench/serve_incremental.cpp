@@ -1,0 +1,128 @@
+// odrc::serve incremental-recheck benchmark (DESIGN.md §8): the value
+// proposition of a persistent session is that a localized edit rechecks in a
+// small fraction of a full-deck run. Cases:
+//
+//   cold_full/<design>     full deck check from a warm session (the cost an
+//                          editor pays without incremental rechecking)
+//   recheck_edit/<design>  apply a single-cell edit, incremental recheck,
+//                          undo, recheck again — i.e. two edit/recheck round
+//                          trips per repetition, reported per round trip
+//
+// Acceptance for the PR: recheck_edit median ≥5x faster than cold_full in
+// --quick mode. The committed BENCH_serve_incremental.json baseline gates
+// both against regressions via scripts/perf_smoke.sh.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/rule.hpp"
+#include "infra/bench_harness.hpp"
+#include "serve/edits.hpp"
+#include "serve/session.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace odrc;
+using workload::layers;
+using workload::tech;
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(layers::M1).width().greater_than(tech::wire_width).named("M1.W.1"),
+      rules::layer(layers::M1).spacing().greater_than(tech::wire_space).named("M1.S.1"),
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space).named("M2.S.1"),
+      rules::layer(layers::M3).spacing().greater_than(tech::wire_space).named("M3.S.1"),
+      rules::layer(layers::M1).area().greater_than(tech::min_area).named("M1.A.1"),
+      rules::layer(layers::V1)
+          .enclosed_by(layers::M1)
+          .greater_than(tech::via_enclosure)
+          .named("V1.EN.1"),
+  };
+}
+
+workload::generated make_design(const std::string& name, double scale) {
+  auto spec = workload::spec_for(name, scale);
+  spec.inject = {2, 2, 2, 2};
+  return workload::generate(spec);
+}
+
+// The single-cell edit of the acceptance criterion: a small M1 speck in the
+// top cell, far from the placement area, plus its undo.
+std::string add_script(const db::library& lib) {
+  const std::string top = lib.at(lib.top_cells().front()).name();
+  std::ostringstream s;
+  s << "add_poly " << top << ' ' << int(layers::M1) << " 900000 900000 900010 900010\n";
+  return s.str();
+}
+
+// Undo for add_script: after the add, the new polygon sits at layer-local
+// index == the ORIGINAL M1 polygon count of the top cell.
+std::string remove_script(const db::library& lib) {
+  const db::cell_id top = lib.top_cells().front();
+  std::size_t m1 = 0;
+  for (const auto& p : lib.at(top).polygons()) {
+    if (p.layer == layers::M1) ++m1;
+  }
+  std::ostringstream s;
+  s << "remove_poly " << lib.at(top).name() << ' ' << int(layers::M1) << ' ' << m1 << '\n';
+  return s.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("serve_incremental");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<std::pair<std::string, double>> designs =
+      s.opts().quick ? std::vector<std::pair<std::string, double>>{{"ibex", 0.6}}
+                     : std::vector<std::pair<std::string, double>>{{"ibex", 1.0},
+                                                                   {"aes", 1.0}};
+
+  for (const auto& [name, scale] : designs) {
+    s.add("cold_full/" + name, [name = name, scale = scale](bench::case_context& ctx) {
+      const auto gen = make_design(name, scale);
+      serve::session sess(gen.lib, make_deck());
+      std::size_t violations = 0;
+      while (ctx.next_rep()) {
+        std::size_t total = 0;
+        for (const auto& row : sess.check_full()) total += row.count;
+        violations = total;
+      }
+      ctx.counter("violations", static_cast<double>(violations));
+      ctx.counter("polygons", static_cast<double>(gen.lib.expanded_polygon_count()));
+    });
+
+    s.add("recheck_edit/" + name, [name = name, scale = scale](bench::case_context& ctx) {
+      const auto gen = make_design(name, scale);
+      serve::session sess(gen.lib, make_deck());
+      sess.check_full();
+      const auto add = serve::parse_edit_script(add_script(gen.lib));
+      const auto rem = serve::parse_edit_script(remove_script(gen.lib));
+      double windows = 0, purged = 0, inserted = 0;
+      std::size_t rounds = 0;
+      bool added = false;
+      while (ctx.next_rep()) {
+        // One edit + recheck round trip per repetition, alternating the add
+        // and its undo so consecutive repetitions see equivalent layouts.
+        sess.apply(added ? rem : add);
+        added = !added;
+        const auto r = sess.recheck();
+        windows += static_cast<double>(r.windows);
+        purged += static_cast<double>(r.purged);
+        inserted += static_cast<double>(r.inserted);
+        ++rounds;
+        if (r.full) ctx.counter("full_fallbacks", 1);
+      }
+      if (rounds > 0) {
+        ctx.counter("windows_per_recheck", windows / static_cast<double>(rounds));
+        ctx.counter("purged_per_recheck", purged / static_cast<double>(rounds));
+        ctx.counter("inserted_per_recheck", inserted / static_cast<double>(rounds));
+      }
+      ctx.counter("polygons", static_cast<double>(gen.lib.expanded_polygon_count()));
+    });
+  }
+
+  return s.run();
+}

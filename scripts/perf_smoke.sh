@@ -32,7 +32,7 @@ out_dir="$build_dir/bench-reports"
 mkdir -p "$out_dir"
 
 suites=(table1_intra table2_inter fig4_breakdown ablation_pruning
-        ablation_executor ablation_pipeline deck_batching
+        ablation_executor ablation_pipeline deck_batching serve_incremental
         micro_partition micro_sweepline micro_bvh micro_boolean)
 
 status=0

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Serve smoke: boot `odrc serve` on a generated design, drive the whole verb
+# set through `odrc client`, and require the incremental path (recheck with
+# full=0) plus per-request spans in the --trace output.
+#
+# Usage: scripts/serve_smoke.sh <build-dir>
+set -euo pipefail
+
+build_dir=${1:?usage: serve_smoke.sh <build-dir>}
+odrc="$build_dir/tools/odrc"
+work=$(mktemp -d)
+sock="$work/odrc.sock"
+trap 'kill $srv_pid 2>/dev/null || true; rm -rf "$work"' EXIT
+
+"$odrc" generate uart "$work/design.gds" --scale=0.5 --inject=2
+"$odrc" deck-template > "$work/rules.deck"
+
+"$odrc" serve "$work/design.gds" "$work/rules.deck" --socket="$sock" --workers=2 \
+  --trace="$work/trace.json" > "$work/serve.log" 2>&1 &
+srv_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$sock" ]] && break
+  kill -0 $srv_pid 2>/dev/null || { echo "server died:"; cat "$work/serve.log"; exit 1; }
+  sleep 0.1
+done
+[[ -S "$sock" ]] || { echo "socket never appeared"; cat "$work/serve.log"; exit 1; }
+
+cli() { "$odrc" client --socket="$sock" "$@"; }
+
+cli ping | grep -q "ok pong"
+cli check | tee "$work/check.out" | head -1 | grep -q "^ok total"
+
+top=$("$odrc" inspect "$work/design.gds" | sed -n 's/^top cell: //p' | head -1)
+printf 'add_poly %s 19 900000 900000 900010 900010\n' "$top" > "$work/edit.txt"
+cli edit "$work/edit.txt" | grep -q "^ok applied 1"
+
+recheck_out=$(cli recheck)
+echo "$recheck_out"
+grep -q "full 0" <<<"$recheck_out" || { echo "FAIL: recheck was not incremental"; exit 1; }
+grep -Eq "new [1-9]" <<<"$recheck_out" || { echo "FAIL: edit introduced no violations"; exit 1; }
+
+cli diff | head -1 | grep -q "^ok fixed 0 new"
+cli stats | grep -q "requests_total"
+cli shutdown | grep -q "ok shutting down"
+wait $srv_pid
+
+# Serve spans must be visible in the trace (per-request observability).
+grep -q '"serve"' "$work/trace.json" || { echo "FAIL: no serve spans in trace"; exit 1; }
+grep -q '"request"' "$work/trace.json" || { echo "FAIL: no request spans in trace"; exit 1; }
+
+echo "serve smoke OK"

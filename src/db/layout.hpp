@@ -94,6 +94,20 @@ class cell {
   void add_array(cell_array a) { arrays_.push_back(a); }
   void add_text(text_elem t) { texts_.push_back(std::move(t)); }
 
+  // In-place edit hooks for incremental sessions (odrc::serve). Removal
+  // shifts the indices of later elements; callers that cache element indices
+  // (mbr_index's inverted lists, snapshot views) must be invalidated.
+  [[nodiscard]] polygon_elem& polygon_at(std::size_t i) { return polygons_.at(i); }
+  void remove_polygon(std::size_t i) {
+    if (i >= polygons_.size()) throw std::out_of_range("remove_polygon");
+    polygons_.erase(polygons_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  [[nodiscard]] cell_ref& ref_at(std::size_t i) { return refs_.at(i); }
+  void remove_ref(std::size_t i) {
+    if (i >= refs_.size()) throw std::out_of_range("remove_ref");
+    refs_.erase(refs_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   /// Late binding of reference targets (GDSII allows forward references by
   /// structure name; the reader resolves them after ENDLIB).
   void set_ref_target(std::size_t i, cell_id target) { refs_.at(i).target = target; }

@@ -19,27 +19,50 @@ mbr_index::mbr_index(const library& lib) : lib_(&lib) {
 
   const std::size_t L = layers_.size();
   const std::size_t n = lib.cell_count();
-  mbr_.assign(n * L, rect{});
-  total_mbr_.assign(n, rect{});
+  own_mbr_.assign(n * L, rect{});
   inverted_.assign(L, {});
-  children_.assign(n * L, {});
+  for (cell_id id = 0; id < n; ++id) scan_own_geometry(id);
+  aggregate();
+}
 
-  // Bottom-up MBR computation in topological order: every referenced cell's
-  // MBRs are final before its referencers are processed.
-  for (cell_id id : lib.topological_order()) {
-    const cell& c = lib.at(id);
-    for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
-      const polygon_elem& p = c.polygons()[pi];
-      const std::size_t slot = slot_of_.at(p.layer);
-      const rect pm = p.poly.mbr();
-      mbr_[id * L + slot] = mbr_[id * L + slot].join(pm);
-      total_mbr_[id] = total_mbr_[id].join(pm);
-      inverted_[slot].push_back({id, pi});
+bool mbr_index::scan_own_geometry(cell_id id) {
+  const std::size_t L = layers_.size();
+  for (std::size_t slot = 0; slot < L; ++slot) {
+    own_mbr_[id * L + slot] = rect{};
+    auto& inv = inverted_[slot];
+    inv.erase(std::remove_if(inv.begin(), inv.end(),
+                             [id](const element_ref& e) { return e.cell == id; }),
+              inv.end());
+  }
+  const cell& c = lib_->at(id);
+  for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+    const polygon_elem& p = c.polygons()[pi];
+    auto it = slot_of_.find(p.layer);
+    if (it == slot_of_.end()) return false;
+    const std::size_t slot = it->second;
+    own_mbr_[id * L + slot] = own_mbr_[id * L + slot].join(p.poly.mbr());
+    inverted_[slot].push_back({id, pi});
+  }
+  return true;
+}
+
+void mbr_index::aggregate() {
+  const std::size_t L = layers_.size();
+  const std::size_t n = lib_->cell_count();
+  mbr_ = own_mbr_;
+  total_mbr_.assign(n, rect{});
+  children_.assign(n * L, {});
+  for (cell_id id = 0; id < n; ++id) {
+    for (std::size_t slot = 0; slot < L; ++slot) {
+      total_mbr_[id] = total_mbr_[id].join(own_mbr_[id * L + slot]);
     }
-    auto fold_child = [&](cell_id target, const rect& child_layer_mbr, std::size_t slot,
-                          const transform& t) {
-      (void)target;
-      if (child_layer_mbr.empty()) return;
+  }
+
+  // Bottom-up in topological order: every referenced cell's MBRs are final
+  // before its referencers are processed.
+  for (cell_id id : lib_->topological_order()) {
+    const cell& c = lib_->at(id);
+    auto fold_child = [&](const rect& child_layer_mbr, std::size_t slot, const transform& t) {
       const rect tm = t.apply(child_layer_mbr);
       mbr_[id * L + slot] = mbr_[id * L + slot].join(tm);
       total_mbr_[id] = total_mbr_[id].join(tm);
@@ -49,7 +72,7 @@ mbr_index::mbr_index(const library& lib) : lib_(&lib) {
       for (std::size_t slot = 0; slot < L; ++slot) {
         const rect& cm = mbr_[r.target * L + slot];
         if (cm.empty()) continue;
-        fold_child(r.target, cm, slot, r.trans);
+        fold_child(cm, slot, r.trans);
         children_[id * L + slot].push_back(ri);
       }
     }
@@ -61,16 +84,24 @@ mbr_index::mbr_index(const library& lib) : lib_(&lib) {
         if (cm.empty()) continue;
         // MBR of the whole array: the corner instances bound it because the
         // steps are uniform.
-        fold_child(a.target, cm, slot, a.instance(0, 0));
-        fold_child(a.target, cm, slot,
+        fold_child(cm, slot, a.instance(0, 0));
+        fold_child(cm, slot,
                    a.instance(static_cast<std::uint16_t>(a.cols - 1),
                               static_cast<std::uint16_t>(a.rows - 1)));
-        fold_child(a.target, cm, slot, a.instance(static_cast<std::uint16_t>(a.cols - 1), 0));
-        fold_child(a.target, cm, slot, a.instance(0, static_cast<std::uint16_t>(a.rows - 1)));
+        fold_child(cm, slot, a.instance(static_cast<std::uint16_t>(a.cols - 1), 0));
+        fold_child(cm, slot, a.instance(0, static_cast<std::uint16_t>(a.rows - 1)));
         children_[id * L + slot].push_back(ref_count + ai);
       }
     }
   }
+}
+
+bool mbr_index::update_cell(cell_id id) {
+  if (lib_->cell_count() != total_mbr_.size()) return false;  // cells added/removed
+  if (id >= lib_->cell_count()) return false;
+  if (!scan_own_geometry(id)) return false;  // layer without a slot
+  aggregate();
+  return true;
 }
 
 std::size_t mbr_index::layer_slot(layer_t layer) const {

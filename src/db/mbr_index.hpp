@@ -44,7 +44,8 @@ struct layer_hit {
 class mbr_index {
  public:
   /// Build the index for `lib`. The library must stay alive and unchanged
-  /// for the index's lifetime.
+  /// for the index's lifetime — except through update_cell(), the edit
+  /// sessions' invalidation hook.
   explicit mbr_index(const library& lib);
 
   [[nodiscard]] const library& lib() const { return *lib_; }
@@ -85,8 +86,28 @@ class mbr_index {
   [[nodiscard]] const std::vector<std::uint32_t>& children_on_layer(cell_id id,
                                                                     layer_t layer) const;
 
+  /// Partial re-index after cell `id` was edited in place (polygons changed,
+  /// references added/removed/moved) — the incremental sessions' hook
+  /// (odrc::serve). Re-walks only the edited cell's polygons, rebuilds its
+  /// inverted-index entries, then recomputes the hierarchy aggregates
+  /// (per-layer MBRs and duplicated child lists) for every cell from the
+  /// cached own-geometry MBRs — no other cell's polygons are touched.
+  ///
+  /// Returns false when the edit cannot be absorbed incrementally — the
+  /// library's cell count changed, or the cell now carries a layer the index
+  /// has no slot for — in which case the caller must build a fresh index.
+  bool update_cell(cell_id id);
+
  private:
   [[nodiscard]] std::size_t layer_slot(layer_t layer) const;
+
+  /// Re-walk cell `id`'s own polygons into own_mbr_ and inverted_. Returns
+  /// false on a layer without a slot.
+  bool scan_own_geometry(cell_id id);
+
+  /// Recompute mbr_ / total_mbr_ / children_ from own_mbr_ in topological
+  /// order (no polygon walks).
+  void aggregate();
 
   std::uint64_t query_rec(cell_id id, std::size_t slot, layer_t layer, const rect& window,
                           const transform& to_top,
@@ -95,8 +116,11 @@ class mbr_index {
   const library* lib_;
   std::vector<layer_t> layers_;                       // sorted distinct layers
   std::unordered_map<layer_t, std::size_t> slot_of_;  // layer -> dense slot
-  // mbr_[cell * layer_count + slot]
+  // mbr_[cell * layer_count + slot]; own_mbr_ covers only the cell's direct
+  // polygons (no references) so update_cell can re-aggregate without
+  // re-walking any geometry.
   std::vector<rect> mbr_;
+  std::vector<rect> own_mbr_;
   std::vector<rect> total_mbr_;
   // inverted_[slot] = all polygon elements on that layer
   std::vector<std::vector<element_ref>> inverted_;

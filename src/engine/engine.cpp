@@ -127,9 +127,46 @@ deck_report drc_engine::check_deck(const db::library& lib) {
     if (plans[i].cls == plan_class::pair) continue;
     // The plan was compiled at the top of this function — run it directly
     // instead of re-dispatching through check(lib, rule), which recompiled.
-    out.per_rule[i] = run_compiled(lib, plans[i], impl_->streams, src.get());
+    out.per_rule[i] = run_compiled(lib, plans[i], impl_->streams, src.get(), impl_->region);
   }
   for (const check_report& r : out.per_rule) out.total.merge_from(check_report(r));
+  return out;
+}
+
+deck_report drc_engine::check_deck(const db::library& lib, std::span<const exec_plan> plans,
+                                   layout_snapshot& snap,
+                                   const std::optional<rect>& window) {
+  trace::span ts("engine", "check_deck_plans", "rules", static_cast<std::int64_t>(plans.size()));
+  deck_report out;
+  out.per_rule.resize(plans.size());
+  const std::vector<plan_group> groups =
+      cfg_.batch ? group_pair_plans(plans) : singleton_groups(plans);
+  for (const plan_group& g : groups) {
+    group_report gr = run_pair_group(cfg_, impl_->streams, snap, plans, g, window);
+    count_group(out.total.deck, gr.shared, g.members.size());
+    for (std::size_t k = 0; k < g.members.size(); ++k) {
+      out.per_rule[g.members[k]].merge_from(std::move(gr.per_rule[k]));
+    }
+    out.total.merge_from(std::move(gr.shared));
+  }
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].cls == plan_class::pair) continue;
+    out.per_rule[i] = run_compiled(lib, plans[i], impl_->streams, snap, window);
+  }
+  for (const check_report& r : out.per_rule) out.total.merge_from(check_report(r));
+  return out;
+}
+
+deck_report drc_engine::check_region(const db::library& lib, std::span<const exec_plan> plans,
+                                     layout_snapshot& snap, const rect& window) {
+  deck_report out = check_deck(lib, plans, snap, window);
+  // Exact semantics (mirrors the single-rule check_region): keep precisely
+  // the violations with an offending edge touching the window.
+  const auto outside = [&](const checks::violation& v) {
+    return !window.overlaps(v.e1.mbr()) && !window.overlaps(v.e2.mbr());
+  };
+  std::erase_if(out.total.violations, outside);
+  for (check_report& r : out.per_rule) std::erase_if(r.violations, outside);
   return out;
 }
 
@@ -163,7 +200,8 @@ check_report drc_engine::check_concurrent(const db::library& lib) {
       count_group(reports[t].deck, gr.shared, groups[t].members.size());
       reports[t].merge_from(std::move(gr).merged());
     } else {
-      reports[t] = run_compiled(lib, plans[solo[t - groups.size()]], local_streams, snap);
+      reports[t] =
+          run_compiled(lib, plans[solo[t - groups.size()]], local_streams, snap, impl_->region);
     }
   });
   check_report merged;
@@ -228,13 +266,13 @@ check_report run_single_pair_plan(const engine_config& cfg, stream_pool& streams
 }  // namespace
 
 check_report drc_engine::run_compiled(const db::library& lib, const exec_plan& plan,
-                                      stream_pool& streams, layout_snapshot& snap) {
+                                      stream_pool& streams, layout_snapshot& snap,
+                                      const std::optional<rect>& window) {
   switch (plan.cls) {
-    case plan_class::intra: return run_intra_plan(cfg_, streams, snap, plan, impl_->region);
+    case plan_class::intra: return run_intra_plan(cfg_, streams, snap, plan, window);
     case plan_class::pair: {
       const plan_group g{plan.layer1, plan.layer2, plan.two_layer, plan.inflate, {0}};
-      return run_pair_group(cfg_, streams, snap, std::span(&plan, 1), g, impl_->region)
-          .merged();
+      return run_pair_group(cfg_, streams, snap, std::span(&plan, 1), g, window).merged();
     }
     case plan_class::global: break;
   }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -178,6 +179,24 @@ class drc_engine {
   /// total.deck carries the amortization counters.
   deck_report check_deck(const db::library& lib);
 
+  /// Plan-level variant for warm-path callers (odrc::serve sessions, the
+  /// CLI --window route): run already-compiled `plans` against a
+  /// caller-owned snapshot — no recompilation, no snapshot rebuild.
+  /// `per_rule` is parallel to `plans`. `window` restricts candidate
+  /// collection to its rule-halo inflation; the reports are NOT filtered to
+  /// the window (use the check_region overload for the exact region
+  /// semantics). Global plans (derived-area, coloring) ignore the window and
+  /// run in full.
+  deck_report check_deck(const db::library& lib, std::span<const exec_plan> plans,
+                         layout_snapshot& snap, const std::optional<rect>& window = {});
+
+  /// Region-of-interest over precompiled plans: exactly the violations with
+  /// at least one offending edge intersecting `window`, examining only
+  /// objects near the window. The deck/plan-level analogue of the
+  /// single-rule check_region below.
+  deck_report check_region(const db::library& lib, std::span<const exec_plan> plans,
+                           layout_snapshot& snap, const rect& window);
+
   /// Task parallelism (paper Section I: "different design rules can be
   /// checked concurrently"): run the deck's rules as independent tasks on
   /// the host worker pool. Each task gets its own engine instance (and, in
@@ -230,9 +249,9 @@ class drc_engine {
   /// Run one already-compiled plan against a shared snapshot — the deck
   /// paths use this so a plan compiled once is never recompiled for
   /// dispatch. Global plans (derived-area, coloring) flatten the layout
-  /// themselves and ignore the snapshot.
+  /// themselves and ignore the snapshot and the window.
   check_report run_compiled(const db::library& lib, const exec_plan& plan, stream_pool& streams,
-                            layout_snapshot& snap);
+                            layout_snapshot& snap, const std::optional<rect>& window);
 
   struct impl;
   engine_config cfg_;

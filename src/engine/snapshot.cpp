@@ -33,6 +33,37 @@ const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
   return map_.emplace(k, std::move(v)).first->second;
 }
 
+void view_cache::invalidate(db::cell_id id) {
+  std::unique_lock lk(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.cell == id) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void layout_snapshot::invalidate_master(db::cell_id master) {
+  views_.invalidate(master);
+  {
+    std::unique_lock lk(pack_mu_);
+    for (auto it = pack_map_.begin(); it != pack_map_.end();) {
+      if (it->first.cell == master) {
+        it = pack_map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!index_.update_cell(master)) index_ = db::mbr_index(lib_);
+}
+
+void layout_snapshot::invalidate_instances() {
+  std::unique_lock lk(inst_mu_);
+  inst_map_.clear();
+}
+
 const instance_set& layout_snapshot::instances(db::cell_id top, db::layer_t layer) {
   const view_cache::key k = view_cache::make_key(top, layer);
   {

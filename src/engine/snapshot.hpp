@@ -17,10 +17,16 @@
 //     (master, layer), and packing an *instance* afterwards only applies the
 //     placement transform to the cached records (append_packed_instance).
 //
-// Lifetime and invalidation: a snapshot is valid for exactly one check call
-// against one immutable library — the engine entry points create one on the
-// stack and drop it on return, so there is no invalidation protocol. All
-// caches are thread-safe (shared_mutex, node-stable unordered_map values):
+// Lifetime and invalidation: the engine entry points create a snapshot on
+// the stack per check call and drop it on return. Incremental sessions
+// (odrc::serve) instead keep one warm across edits and call the invalidation
+// hooks — invalidate_master() after editing a cell's polygons or references
+// (drops that master's layer views and packed edges and refreshes the MBR
+// index partially via mbr_index::update_cell, falling back to a full
+// rebuild), invalidate_instances() when placements changed. Invalidation is
+// NOT thread-safe against concurrent readers: a session must serialize edits
+// against checks (the serve session mutex does). All read caches remain
+// thread-safe (shared_mutex, node-stable unordered_map values):
 // `check_concurrent` tasks and pack-ahead pipeline stages share one snapshot.
 #pragma once
 
@@ -89,6 +95,10 @@ class view_cache {
   explicit view_cache(const db::library& lib) : lib_(lib) {}
 
   const master_layer_view& get(db::cell_id id, db::layer_t layer);
+
+  /// Drop every layer's view of `id` (a polygon edit shifts the element
+  /// indices of ALL layers' views in that cell, not just the edited layer's).
+  void invalidate(db::cell_id id);
 
  private:
   const db::library& lib_;
@@ -168,6 +178,21 @@ class layout_snapshot {
   /// Memoized master-local packed edges of (master, layer). Thread-safe;
   /// the reference is stable for the snapshot's lifetime.
   const packed_master_edges& packed(db::cell_id master, db::layer_t layer);
+
+  // -- Incremental-session invalidation (see the file comment). Callers must
+  //    hold off concurrent readers; previously returned references into the
+  //    invalidated entries dangle.
+
+  /// Cell `master`'s polygons or references changed in place: drop its layer
+  /// views and packed edges and refresh the MBR index (partial update, full
+  /// rebuild as fallback). Does NOT touch the flat-instance memo — call
+  /// invalidate_instances() too if placements or per-layer emptiness changed.
+  void invalidate_master(db::cell_id master);
+
+  /// Placements changed (instance added/removed/moved, or a cell's content
+  /// appeared on / vanished from a layer): drop all memoized flat instance
+  /// lists.
+  void invalidate_instances();
 
  private:
   const db::library& lib_;

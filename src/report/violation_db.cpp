@@ -34,11 +34,68 @@ void json_string(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
+std::string violation_key(const std::string& rule, const checks::violation& v) {
+  const checks::violation n = checks::normalized(v);
+  std::ostringstream key;
+  key << rule << '|' << checks::rule_kind_name(n.kind) << '|' << n.layer1 << '|' << n.layer2
+      << '|' << n.e1.from.x << ',' << n.e1.from.y << ',' << n.e1.to.x << ',' << n.e1.to.y << '|'
+      << n.e2.from.x << ',' << n.e2.from.y << ',' << n.e2.to.x << ',' << n.e2.to.y << '|'
+      << n.measured;
+  return key.str();
+}
+
 void violation_db::add(const std::string& rule_name,
                        std::span<const checks::violation> violations) {
   entries_.reserve(entries_.size() + violations.size());
-  for (const checks::violation& v : violations) entries_.push_back({rule_name, v});
+  for (const checks::violation& v : violations) {
+    entries_.push_back({rule_name, v, violation_key(rule_name, v)});
+    ++key_count_[entries_.back().key];
+  }
   index_.reset();
+}
+
+bool violation_db::add_unique(const std::string& rule_name, const checks::violation& v) {
+  std::string key = violation_key(rule_name, v);
+  auto [it, inserted] = key_count_.try_emplace(std::move(key), 1);
+  if (!inserted) return false;
+  entries_.push_back({rule_name, v, it->first});
+  index_.reset();
+  return true;
+}
+
+std::size_t violation_db::erase_touching(const std::string& rule_name, const rect& window) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const entry& e) {
+    if (e.rule != rule_name) return false;
+    if (!window.overlaps(e.v.e1.mbr()) && !window.overlaps(e.v.e2.mbr())) return false;
+    auto it = key_count_.find(e.key);
+    if (it != key_count_.end() && --it->second == 0) key_count_.erase(it);
+    return true;
+  });
+  const std::size_t removed = before - entries_.size();
+  if (removed > 0) index_.reset();
+  return removed;
+}
+
+std::size_t violation_db::erase_rule(const std::string& rule_name) {
+  const std::size_t before = entries_.size();
+  std::erase_if(entries_, [&](const entry& e) {
+    if (e.rule != rule_name) return false;
+    auto it = key_count_.find(e.key);
+    if (it != key_count_.end() && --it->second == 0) key_count_.erase(it);
+    return true;
+  });
+  const std::size_t removed = before - entries_.size();
+  if (removed > 0) index_.reset();
+  return removed;
+}
+
+std::vector<std::string> violation_db::keys() const {
+  std::vector<std::string> out;
+  out.reserve(key_count_.size());
+  for (const auto& [k, n] : key_count_) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<summary_row> violation_db::summarize() const {
@@ -174,6 +231,21 @@ std::vector<report_line> parse_text_report(std::istream& in) {
     out.push_back(std::move(rl));
   }
   return out;
+}
+
+key_diff diff_keys(std::vector<std::string> baseline, std::vector<std::string> current) {
+  std::sort(baseline.begin(), baseline.end());
+  baseline.erase(std::unique(baseline.begin(), baseline.end()), baseline.end());
+  std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
+  key_diff d;
+  std::set_difference(baseline.begin(), baseline.end(), current.begin(), current.end(),
+                      std::back_inserter(d.fixed));
+  std::set_difference(current.begin(), current.end(), baseline.begin(), baseline.end(),
+                      std::back_inserter(d.introduced));
+  std::set_intersection(baseline.begin(), baseline.end(), current.begin(), current.end(),
+                        std::back_inserter(d.unchanged));
+  return d;
 }
 
 report_diff diff_reports(std::vector<report_line> baseline, std::vector<report_line> current) {

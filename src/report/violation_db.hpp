@@ -11,6 +11,7 @@
 #include <span>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "checks/violation.hpp"
@@ -21,7 +22,16 @@ namespace odrc::report {
 struct entry {
   std::string rule;  ///< rule name (e.g. "M1.S.1"); may be empty
   checks::violation v;
+  std::string key;  ///< violation_key(rule, v), computed at insertion
 };
+
+/// Stable content-derived identity of one violation: rule name + kind +
+/// layers + the canonicalized offending edges (checks::normalized) +
+/// measured value. Two runs that find the same geometric violation produce
+/// byte-identical keys whatever the discovery order, so key sets diff
+/// order-independently — the identity incremental rechecks and the serve
+/// protocol's `diff` are built on.
+[[nodiscard]] std::string violation_key(const std::string& rule, const checks::violation& v);
 
 struct summary_row {
   std::string rule;
@@ -34,6 +44,24 @@ class violation_db {
   explicit violation_db(std::string design_name = {}) : design_(std::move(design_name)) {}
 
   void add(const std::string& rule_name, std::span<const checks::violation> violations);
+
+  /// Insert unless an entry with the same violation key is already present
+  /// (identical violations reported by overlapping dirty windows dedup to
+  /// one). Returns true when inserted.
+  bool add_unique(const std::string& rule_name, const checks::violation& v);
+
+  /// Remove every entry of `rule_name` with at least one offending edge MBR
+  /// overlapping `window` — the purge predicate is edge-wise, matching
+  /// check_region's keep predicate exactly (NOT marker_box: the joined box
+  /// can overlap a window neither edge touches). Returns the count removed.
+  std::size_t erase_touching(const std::string& rule_name, const rect& window);
+
+  /// Remove every entry of `rule_name` (full-replace path for rules that are
+  /// not locally incremental). Returns the count removed.
+  std::size_t erase_rule(const std::string& rule_name);
+
+  /// Sorted unique violation keys of the current contents.
+  [[nodiscard]] std::vector<std::string> keys() const;
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::span<const entry> entries() const { return entries_; }
@@ -62,8 +90,26 @@ class violation_db {
  private:
   std::string design_;
   std::vector<entry> entries_;
+  // Key multiplicity alongside entries_: membership test for add_unique and
+  // keys() without an O(n) rescan. A count (not a set) because plain add()
+  // accepts duplicates.
+  std::unordered_map<std::string, std::uint32_t> key_count_;
   mutable std::optional<geo::rtree> index_;
 };
+
+/// Order-independent key-set diff: what a recheck fixed, introduced, and
+/// left standing relative to a baseline key set.
+struct key_diff {
+  std::vector<std::string> fixed;       ///< in baseline, gone now
+  std::vector<std::string> introduced;  ///< new in current
+  std::vector<std::string> unchanged;   ///< in both
+
+  [[nodiscard]] bool clean() const { return introduced.empty(); }
+};
+
+/// Set difference over two key lists (sorted or not; duplicates collapse).
+[[nodiscard]] key_diff diff_keys(std::vector<std::string> baseline,
+                                 std::vector<std::string> current);
 
 /// Marker box of one violation (joined MBR of its edges).
 [[nodiscard]] inline rect marker_box(const checks::violation& v) {

@@ -1,0 +1,70 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace odrc::serve {
+
+client::~client() { close(); }
+
+void client::connect(const std::string& socket_path) {
+  ::signal(SIGPIPE, SIG_IGN);
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("connect(" + socket_path + "): " + err);
+  }
+}
+
+frame client::request(msg_type type, std::uint32_t session, const std::string& payload) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  frame req;
+  req.header.type = static_cast<std::uint8_t>(type);
+  req.header.seq = next_seq_++;
+  req.header.session = session;
+  req.payload = payload;
+  if (!write_frame(fd_, req)) {
+    throw std::runtime_error("request write failed: " + std::string(std::strerror(errno)));
+  }
+  for (;;) {
+    std::optional<frame> resp = read_frame(fd_);  // protocol_error propagates
+    if (!resp) throw std::runtime_error("connection closed before response");
+    if (resp->header.seq == req.header.seq) return *std::move(resp);
+    // A response to an earlier pipelined request (not produced by this
+    // synchronous client, but tolerate it).
+  }
+}
+
+void client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string client::status_line(const frame& resp) {
+  const auto nl = resp.payload.find('\n');
+  return resp.payload.substr(0, nl);
+}
+
+bool client::ok(const frame& resp) {
+  return resp.payload.rfind("ok", 0) == 0 &&
+         (resp.payload.size() == 2 || resp.payload[2] == ' ' || resp.payload[2] == '\n');
+}
+
+}  // namespace odrc::serve

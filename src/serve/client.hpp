@@ -1,0 +1,45 @@
+// Synchronous client for the odrc::serve protocol: connect to the server's
+// Unix-domain socket, send one request frame, block for the matching
+// response (seq echo). The CLI's `odrc client` verbs and the e2e tests are
+// built on it; the framing edge-case tests drive raw fds instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace odrc::serve {
+
+class client {
+ public:
+  client() = default;
+  ~client();
+
+  client(const client&) = delete;
+  client& operator=(const client&) = delete;
+
+  /// Connect to `socket_path`. Throws std::runtime_error on failure.
+  void connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Send a request, block for its response. Throws std::runtime_error on
+  /// I/O failure (connection closed mid-request) and protocol_error on a
+  /// malformed response stream.
+  frame request(msg_type type, std::uint32_t session, const std::string& payload = {});
+
+  void close();
+
+  /// First line of a response payload.
+  [[nodiscard]] static std::string status_line(const frame& resp);
+
+  /// True when the response's status line starts with "ok".
+  [[nodiscard]] static bool ok(const frame& resp);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t next_seq_ = 1;
+};
+
+}  // namespace odrc::serve

@@ -1,0 +1,149 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace odrc::serve {
+
+const char* msg_type_name(std::uint8_t type) {
+  switch (static_cast<msg_type>(type & ~response_bit)) {
+    case msg_type::open: return "open";
+    case msg_type::check: return "check";
+    case msg_type::edit: return "edit";
+    case msg_type::recheck: return "recheck";
+    case msg_type::diff: return "diff";
+    case msg_type::stats: return "stats";
+    case msg_type::close: return "close";
+    case msg_type::shutdown: return "shutdown";
+    case msg_type::ping: return "ping";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void put32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+std::uint32_t get32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_header(const frame_header& h, unsigned char out[header_size]) {
+  put32(out, h.magic);
+  out[4] = h.version;
+  out[5] = h.type;
+  out[6] = static_cast<unsigned char>(h.seq);
+  out[7] = static_cast<unsigned char>(h.seq >> 8);
+  put32(out + 8, h.session);
+  put32(out + 12, h.length);
+}
+
+frame_header decode_header(const unsigned char in[header_size]) {
+  frame_header h;
+  h.magic = get32(in);
+  if (h.magic != protocol_magic) throw protocol_error("bad magic");
+  h.version = in[4];
+  if (h.version != protocol_version) {
+    throw protocol_error("unsupported protocol version " + std::to_string(h.version));
+  }
+  h.type = in[5];
+  h.seq = static_cast<std::uint16_t>(in[6] | (in[7] << 8));
+  h.session = get32(in + 8);
+  h.length = get32(in + 12);
+  if (h.length > max_payload_bytes) {
+    throw protocol_error("payload length " + std::to_string(h.length) + " exceeds limit");
+  }
+  return h;
+}
+
+std::string encode_frame(const frame& f) {
+  if (f.payload.size() > max_payload_bytes) throw protocol_error("payload exceeds limit");
+  frame_header h = f.header;
+  h.length = static_cast<std::uint32_t>(f.payload.size());
+  std::string out;
+  out.resize(header_size + f.payload.size());
+  encode_header(h, reinterpret_cast<unsigned char*>(out.data()));
+  std::memcpy(out.data() + header_size, f.payload.data(), f.payload.size());
+  return out;
+}
+
+void frame_reader::feed(const char* data, std::size_t n, std::vector<frame>& out) {
+  buf_.append(data, n);
+  for (;;) {
+    if (buf_.size() < header_size) return;
+    const frame_header h =
+        decode_header(reinterpret_cast<const unsigned char*>(buf_.data()));
+    if (buf_.size() < header_size + h.length) return;
+    frame f;
+    f.header = h;
+    f.payload.assign(buf_, header_size, h.length);
+    buf_.erase(0, header_size + h.length);
+    out.push_back(std::move(f));
+  }
+}
+
+bool read_exact(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::write(fd, p, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const frame& f) {
+  const std::string wire = encode_frame(f);
+  return write_all(fd, wire.data(), wire.size());
+}
+
+std::optional<frame> read_frame(int fd) {
+  unsigned char hdr[header_size];
+  if (!read_exact(fd, hdr, header_size)) return std::nullopt;
+  frame f;
+  f.header = decode_header(hdr);  // may throw protocol_error
+  f.payload.resize(f.header.length);
+  if (f.header.length > 0 && !read_exact(fd, f.payload.data(), f.header.length)) {
+    return std::nullopt;  // truncated mid-frame
+  }
+  return f;
+}
+
+frame make_response(const frame& req, std::string payload) {
+  frame resp;
+  resp.header = req.header;
+  resp.header.type = static_cast<std::uint8_t>(req.header.type | response_bit);
+  resp.header.length = static_cast<std::uint32_t>(payload.size());
+  resp.payload = std::move(payload);
+  return resp;
+}
+
+}  // namespace odrc::serve

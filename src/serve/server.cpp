@@ -1,0 +1,343 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "engine/deck_parser.hpp"
+#include "gdsii/reader.hpp"
+#include "infra/thread_pool.hpp"
+#include "infra/trace.hpp"
+
+namespace odrc::serve {
+
+namespace {
+
+constexpr std::size_t latency_ring_size = 256;
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+server::server(server_config cfg, session_manager& sessions)
+    : cfg_(std::move(cfg)), sessions_(sessions) {
+  latencies_ms_.reserve(latency_ring_size);
+}
+
+server::~server() {
+  stop();
+  wait();
+}
+
+void server::start() {
+  // A worker answering a vanished client must get EPIPE, not SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + cfg_.socket_path);
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
+  ::unlink(cfg_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("bind(" + cfg_.socket_path + "): " + err);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("listen(): " + err);
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("pipe(): " + std::string(std::strerror(errno)));
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void server::stop() {
+  if (stopping_.exchange(true)) return;
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::unique_lock lk(queue_mu_);
+    drained_cv_.wait(lk, [this] { return active_workers_ == 0 && queue_.empty(); });
+  }
+  {
+    std::lock_guard lk(conns_mu_);
+    for (const auto& c : conns_) close_fd(c->fd);
+    conns_.clear();
+  }
+  close_fd(stop_pipe_[0]);
+  close_fd(stop_pipe_[1]);
+  if (started_) {
+    ::unlink(cfg_.socket_path.c_str());
+    started_ = false;
+  }
+}
+
+void server::accept_loop() {
+  trace::recorder::instance().name_this_thread("serve accept");
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int pr = ::poll(fds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    accepted_.fetch_add(1);
+    auto conn = std::make_shared<connection>();
+    conn->fd = cfd;
+    std::lock_guard lk(conns_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  close_fd(listen_fd_);
+  // Wake every blocked reader: they see EOF and exit; queued work drains.
+  std::lock_guard lk(conns_mu_);
+  for (const auto& c : conns_) {
+    if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+  }
+}
+
+void server::reader_loop(std::shared_ptr<connection> conn) {
+  trace::recorder::instance().name_this_thread("serve reader");
+  for (;;) {
+    std::optional<frame> f;
+    try {
+      f = read_frame(conn->fd);
+    } catch (const protocol_error& e) {
+      // Unsynchronizable stream: answer once on a best-effort basis, close.
+      proto_errors_.fetch_add(1);
+      frame err;
+      err.header.type = response_bit;
+      respond(*conn, err, std::string("error ") + e.what());
+      break;
+    }
+    if (!f) break;  // EOF or truncation
+    bool admitted = true;
+    {
+      std::lock_guard lk(queue_mu_);
+      if (queue_.size() >= cfg_.queue_limit) {
+        admitted = false;
+      } else {
+        queue_.push_back({conn, *f});
+        if (active_workers_ < cfg_.workers) {
+          ++active_workers_;
+          thread_pool::global().submit([this] { drain(); });
+        }
+      }
+    }
+    if (!admitted) {
+      rejected_.fetch_add(1);
+      respond(*conn, *f, "error busy");
+    }
+  }
+  // Reader is done (EOF or unsynchronizable stream): half-close so the peer
+  // sees EOF now. The fd itself is closed once in wait() (conns_ cleanup).
+  std::lock_guard lk(conn->write_mu);
+  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void server::drain() {
+  for (;;) {
+    request rq;
+    {
+      std::lock_guard lk(queue_mu_);
+      if (queue_.empty()) {
+        --active_workers_;
+        drained_cv_.notify_all();
+        return;
+      }
+      rq = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    handle(rq);
+  }
+}
+
+void server::handle(request& rq) {
+  trace::span ts("serve", "request", "type", rq.f.header.type, "session", rq.f.header.session);
+  requests_.fetch_add(1);
+  trace::counter("serve", "requests_total",
+                 static_cast<std::int64_t>(requests_.load()));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string payload;
+  try {
+    payload = dispatch(rq.f);
+  } catch (const std::exception& e) {
+    payload = std::string("error ") + e.what();
+  }
+  record_latency(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                     .count());
+  respond(*rq.conn, rq.f, std::move(payload));
+  if (static_cast<msg_type>(rq.f.header.type) == msg_type::shutdown) stop();
+}
+
+std::string server::dispatch(const frame& f) {
+  // Session 0 addresses the server default (the session the CLI creates at
+  // startup, id 1).
+  const std::uint32_t sid = f.header.session == 0 ? 1 : f.header.session;
+  const auto need_session = [&]() -> std::shared_ptr<session> {
+    auto s = sessions_.get(sid);
+    if (!s) throw std::runtime_error("unknown session " + std::to_string(sid));
+    return s;
+  };
+
+  switch (static_cast<msg_type>(f.header.type)) {
+    case msg_type::ping: return "ok pong";
+    case msg_type::open: {
+      std::istringstream args(f.payload);
+      std::string gds, deck_path;
+      if (!(args >> gds >> deck_path)) {
+        throw std::runtime_error("open expects '<gds_path> <deck_path>'");
+      }
+      db::library lib = gdsii::read(gds);
+      auto deck = rules::parse_deck_file(deck_path);
+      const std::uint32_t id = sessions_.create(std::move(lib), std::move(deck), cfg_.engine);
+      return "ok session " + std::to_string(id);
+    }
+    case msg_type::check: {
+      auto s = need_session();
+      const auto rows = s->check_full();
+      std::size_t total = 0;
+      for (const auto& r : rows) total += r.count;
+      std::ostringstream os;
+      os << "ok total " << total;
+      for (const auto& r : rows) os << "\nrule " << r.rule << ' ' << r.count;
+      return os.str();
+    }
+    case msg_type::edit: {
+      auto s = need_session();
+      const std::vector<edit_op> ops = parse_edit_script(f.payload);
+      const edit_result r = s->apply(ops);
+      std::ostringstream os;
+      os << "ok applied " << r.applied << " dirty " << r.dirty.size();
+      if (r.tops_changed) os << " tops_changed";
+      return os.str();
+    }
+    case msg_type::recheck: {
+      auto s = need_session();
+      const recheck_result r = s->recheck();
+      std::ostringstream os;
+      os << "ok fixed " << r.diff.fixed.size() << " new " << r.diff.introduced.size()
+         << " unchanged " << r.diff.unchanged.size() << " windows " << r.windows << " purged "
+         << r.purged << " inserted " << r.inserted << " full " << (r.full ? 1 : 0);
+      return os.str();
+    }
+    case msg_type::diff: {
+      auto s = need_session();
+      const report::key_diff d = s->last_diff();
+      std::ostringstream os;
+      os << "ok fixed " << d.fixed.size() << " new " << d.introduced.size() << " unchanged "
+         << d.unchanged.size();
+      for (const std::string& k : d.fixed) os << "\nfixed " << k;
+      for (const std::string& k : d.introduced) os << "\nnew " << k;
+      return os.str();
+    }
+    case msg_type::stats: {
+      const server_stats_snapshot st = stats();
+      std::ostringstream os;
+      os << "ok"
+         << "\nsessions " << st.sessions << "\nqueue_depth " << st.queue_depth
+         << "\nactive_workers " << st.active_workers << "\nworkers " << cfg_.workers
+         << "\nrequests_total " << st.requests_total << "\nrequests_rejected "
+         << st.requests_rejected << "\nprotocol_errors " << st.protocol_errors
+         << "\naccepted_connections " << st.accepted_connections << "\np50_ms " << st.p50_ms
+         << "\np95_ms " << st.p95_ms;
+      const auto s = sessions_.get(sid);
+      if (s) {
+        const session_stats ss = s->stats();
+        os << "\nsession_checks " << ss.checks << "\nsession_edits " << ss.edits
+           << "\nsession_rechecks " << ss.rechecks << "\nsession_violations " << ss.violations
+           << "\nsession_pending_dirty " << ss.pending_dirty;
+      }
+      return os.str();
+    }
+    case msg_type::close: {
+      if (!sessions_.close(sid)) throw std::runtime_error("unknown session " + std::to_string(sid));
+      return "ok closed " + std::to_string(sid);
+    }
+    case msg_type::shutdown: return "ok shutting down";  // handle() stops after responding
+    default: break;
+  }
+  throw std::runtime_error("unknown request type " + std::to_string(f.header.type));
+}
+
+void server::respond(connection& conn, const frame& req, std::string payload) {
+  std::lock_guard lk(conn.write_mu);
+  if (conn.fd < 0) return;
+  (void)write_frame(conn.fd, make_response(req, std::move(payload)));
+}
+
+void server::record_latency(double ms) {
+  std::lock_guard lk(lat_mu_);
+  if (latencies_ms_.size() < latency_ring_size) {
+    latencies_ms_.push_back(ms);
+  } else {
+    latencies_ms_[lat_next_] = ms;
+  }
+  lat_next_ = (lat_next_ + 1) % latency_ring_size;
+}
+
+server_stats_snapshot server::stats() {
+  server_stats_snapshot st;
+  st.accepted_connections = accepted_.load();
+  st.requests_total = requests_.load();
+  st.requests_rejected = rejected_.load();
+  st.protocol_errors = proto_errors_.load();
+  st.sessions = sessions_.count();
+  {
+    std::lock_guard lk(queue_mu_);
+    st.queue_depth = queue_.size();
+    st.active_workers = active_workers_;
+  }
+  std::vector<double> lat;
+  {
+    std::lock_guard lk(lat_mu_);
+    lat = latencies_ms_;
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    st.p50_ms = lat[lat.size() / 2];
+    st.p95_ms = lat[std::min(lat.size() - 1, (lat.size() * 95) / 100)];
+  }
+  return st;
+}
+
+}  // namespace odrc::serve

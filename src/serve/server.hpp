@@ -1,0 +1,123 @@
+// Unix-domain socket server of odrc::serve (DESIGN.md §8).
+//
+// Topology: one accept thread (poll on the listen fd + a self-pipe for
+// shutdown), one reader thread per connection decoding frames, and a bounded
+// admission queue drained by at most `workers` dynamic worker tasks on
+// thread_pool::global(). A reader that finds the queue full answers
+// "error busy" immediately — overload sheds at admission instead of queueing
+// unboundedly. Responses go out under a per-connection write mutex, so
+// concurrent workers answering interleaved requests from one client never
+// interleave bytes.
+//
+// Every request runs inside a trace span ("serve":"request" with type and
+// session args) and bumps the request counters; `stats` reports session and
+// queue depth, worker occupancy, reject/error totals and p50/p95 latency
+// over a recent-request ring.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace odrc::serve {
+
+struct server_config {
+  std::string socket_path;
+  std::size_t workers = 2;      ///< max concurrent request workers
+  std::size_t queue_limit = 64; ///< admission queue bound
+  engine::engine_config engine; ///< config for sessions opened via `open`
+};
+
+struct server_stats_snapshot {
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t protocol_errors = 0;
+  std::size_t queue_depth = 0;
+  std::size_t active_workers = 0;
+  std::size_t sessions = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+class server {
+ public:
+  server(server_config cfg, session_manager& sessions);
+  ~server();
+
+  server(const server&) = delete;
+  server& operator=(const server&) = delete;
+
+  /// Bind + listen + start the accept thread. Throws std::runtime_error on
+  /// socket errors (path too long for sockaddr_un, bind failure, ...).
+  void start();
+
+  /// Initiate shutdown: stop accepting, wake readers, let queued requests
+  /// drain. Safe from any thread, including a request worker (the shutdown
+  /// verb responds first, then calls this).
+  void stop();
+
+  /// Block until stop() was called and all readers and workers finished.
+  void wait();
+
+  [[nodiscard]] server_stats_snapshot stats();
+
+  [[nodiscard]] const std::string& socket_path() const { return cfg_.socket_path; }
+
+ private:
+  struct connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+
+  struct request {
+    std::shared_ptr<connection> conn;
+    frame f;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<connection> conn);
+  void drain();
+  void handle(request& rq);
+  std::string dispatch(const frame& f);  ///< returns the response payload
+  void respond(connection& conn, const frame& req, std::string payload);
+  void record_latency(double ms);
+
+  server_config cfg_;
+  session_manager& sessions_;
+
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<connection>> conns_;
+  std::vector<std::thread> readers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable drained_cv_;
+  std::deque<request> queue_;
+  std::size_t active_workers_ = 0;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> proto_errors_{0};
+
+  std::mutex lat_mu_;
+  std::vector<double> latencies_ms_;  ///< ring, newest overwrites oldest
+  std::size_t lat_next_ = 0;
+};
+
+}  // namespace odrc::serve

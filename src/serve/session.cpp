@@ -1,0 +1,189 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "infra/timer.hpp"
+#include "infra/trace.hpp"
+
+namespace odrc::serve {
+
+namespace {
+
+// Iteratively join overlapping rects: the scheduler drives one window per
+// disjoint dirty region instead of one per edit.
+std::vector<rect> merge_rects(std::vector<rect> rects) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rects.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < rects.size(); ++j) {
+        if (!rects[i].overlaps(rects[j])) continue;
+        rects[i] = rects[i].join(rects[j]);
+        rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(j));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return rects;
+}
+
+}  // namespace
+
+session::session(db::library lib, std::vector<rules::rule> deck, engine::engine_config cfg)
+    : lib_(std::move(lib)), deck_(std::move(deck)), eng_(cfg), db_(lib_.name()) {
+  plans_.reserve(deck_.size());
+  for (const rules::rule& r : deck_) plans_.push_back(engine::compile_plan(r));
+  eng_.add_rules(deck_);
+  snap_.emplace(lib_);
+}
+
+void session::run_full_locked() {
+  trace::span ts("serve", "full_check", "rules", static_cast<std::int64_t>(plans_.size()));
+  db_ = report::violation_db(lib_.name());
+  engine::deck_report dr = eng_.check_deck(lib_, plans_, *snap_);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    db_.add(deck_[i].name, dr.per_rule[i].violations);
+  }
+  checked_ = true;
+  full_required_ = false;
+  dirty_.clear();
+}
+
+std::vector<report::summary_row> session::check_full() {
+  std::lock_guard lk(mu_);
+  timer t;
+  const std::vector<std::string> baseline = last_keys_;
+  run_full_locked();
+  last_keys_ = db_.keys();
+  last_diff_ = report::diff_keys(baseline, last_keys_);
+  ++stats_.checks;
+  stats_.violations = db_.size();
+  stats_.pending_dirty = 0;
+  stats_.last_check_seconds = t.seconds();
+  return db_.summarize();
+}
+
+edit_result session::apply(std::span<const edit_op> ops) {
+  std::lock_guard lk(mu_);
+  trace::span ts("serve", "apply_edits", "ops", static_cast<std::int64_t>(ops.size()));
+  edit_result res;
+  try {
+    res = apply_edits(lib_, *snap_, ops);
+  } catch (...) {
+    // A partially applied script leaves the dirty bookkeeping incomplete;
+    // only a full check restores a trustworthy store.
+    full_required_ = true;
+    throw;
+  }
+  dirty_.insert(dirty_.end(), res.dirty.begin(), res.dirty.end());
+  if (res.tops_changed) full_required_ = true;
+  ++stats_.edits;
+  stats_.pending_dirty = dirty_.size();
+  return res;
+}
+
+recheck_result session::recheck() {
+  std::lock_guard lk(mu_);
+  trace::span ts("serve", "recheck", "dirty", static_cast<std::int64_t>(dirty_.size()));
+  timer t;
+  recheck_result out;
+  const std::vector<std::string> baseline = last_keys_;
+
+  if (!checked_ || full_required_) {
+    run_full_locked();
+    out.full = true;
+  } else if (!dirty_.empty()) {
+    const std::vector<rect> merged = merge_rects(dirty_);
+    out.windows = merged.size();
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      const engine::exec_plan& plan = plans_[i];
+      const std::string& name = deck_[i].name;
+      const std::span<const engine::exec_plan> one(&plan, 1);
+      if (plan.cls == engine::plan_class::global) {
+        // Not locally incremental (see file comment): full rerun + replace.
+        out.purged += db_.erase_rule(name);
+        engine::deck_report dr = eng_.check_deck(lib_, one, *snap_);
+        out.inserted += dr.per_rule[0].violations.size();
+        db_.add(name, dr.per_rule[0].violations);
+        continue;
+      }
+      // Purge everything that could have changed BEFORE inserting: a
+      // violation touching two overlapping windows must not be re-purged
+      // after its re-insertion.
+      for (const rect& d : merged) {
+        out.purged += db_.erase_touching(name, d.inflated(plan.inflate));
+      }
+      for (const rect& d : merged) {
+        const rect w = d.inflated(plan.inflate);
+        engine::deck_report dr = eng_.check_region(lib_, one, *snap_, w);
+        for (const checks::violation& v : dr.per_rule[0].violations) {
+          if (db_.add_unique(name, v)) ++out.inserted;
+        }
+      }
+    }
+    dirty_.clear();
+  }
+
+  last_keys_ = db_.keys();
+  last_diff_ = report::diff_keys(baseline, last_keys_);
+  out.diff = last_diff_;
+  out.seconds = t.seconds();
+  ++stats_.rechecks;
+  stats_.violations = db_.size();
+  stats_.pending_dirty = 0;
+  stats_.last_recheck_seconds = out.seconds;
+  trace::counter("serve", "recheck_purged", static_cast<std::int64_t>(out.purged));
+  trace::counter("serve", "recheck_inserted", static_cast<std::int64_t>(out.inserted));
+  return out;
+}
+
+report::key_diff session::last_diff() const {
+  std::lock_guard lk(mu_);
+  return last_diff_;
+}
+
+std::vector<std::string> session::keys() const {
+  std::lock_guard lk(mu_);
+  return db_.keys();
+}
+
+session_stats session::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+std::string session::report_text() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  db_.write_text(os);
+  return os.str();
+}
+
+std::uint32_t session_manager::create(db::library lib, std::vector<rules::rule> deck,
+                                      engine::engine_config cfg) {
+  auto s = std::make_shared<session>(std::move(lib), std::move(deck), cfg);
+  std::lock_guard lk(mu_);
+  const std::uint32_t id = next_id_++;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+std::shared_ptr<session> session_manager::get(std::uint32_t id) const {
+  std::lock_guard lk(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool session_manager::close(std::uint32_t id) {
+  std::lock_guard lk(mu_);
+  return sessions_.erase(id) > 0;
+}
+
+std::size_t session_manager::count() const {
+  std::lock_guard lk(mu_);
+  return sessions_.size();
+}
+
+}  // namespace odrc::serve

@@ -1,0 +1,138 @@
+// Session layer of odrc::serve (DESIGN.md §8).
+//
+// A session owns everything a repeated-check consumer keeps warm between
+// requests: the mutable `db::library`, the deck's compiled `exec_plan`s, a
+// `layout_snapshot` kept consistent across edits via the invalidation hooks,
+// and the `violation_db` of the last completed check. `recheck()` is the
+// incremental scheduler: it merges the dirty rects accumulated by apply(),
+// expands each by the rule's halo (exec_plan::inflate), purges the stored
+// violations touching each window (edge-wise — the exact complement of
+// check_region's keep predicate) and re-inserts check_region's results with
+// key dedup. Rules compiled to plan_class::global (derived-area booleans,
+// coloring) are not locally incremental — their connected components and odd
+// cycles can change arbitrarily far from an edit — so they rerun in full and
+// replace all their entries. Edits that change the top-cell set (a removed
+// last reference promotes a cell to top) force a full recheck: a whole check
+// context appears or vanishes.
+//
+// Why purge+insert is exact (matches a fresh full check): a violation's key
+// set changes only where geometry changed. Every changed violation carries at
+// least one edge inside the dirty rect D (old ∪ new MBR of the edited
+// geometry mapped through all placements): a pair violation involves the
+// edited polygon itself; an enclosure "uncovered inner" violation's inner lies
+// inside the removed outer's MBR ⊆ D. Purging "edge touches W" and inserting
+// check_region(W)'s "edge touches W" results therefore rewrites exactly the
+// entries that could have changed and no others.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/layout.hpp"
+#include "engine/engine.hpp"
+#include "engine/plan.hpp"
+#include "engine/rule.hpp"
+#include "engine/snapshot.hpp"
+#include "report/violation_db.hpp"
+#include "serve/edits.hpp"
+
+namespace odrc::serve {
+
+struct recheck_result {
+  report::key_diff diff;     ///< vs the key set of the previous check/recheck
+  std::size_t windows = 0;   ///< merged dirty windows driven per plan
+  std::size_t purged = 0;    ///< stored entries removed
+  std::size_t inserted = 0;  ///< fresh entries added (after dedup)
+  bool full = false;         ///< fell back to a full check
+  double seconds = 0;
+};
+
+struct session_stats {
+  std::size_t checks = 0;
+  std::size_t edits = 0;
+  std::size_t rechecks = 0;
+  std::size_t violations = 0;
+  std::size_t pending_dirty = 0;
+  double last_check_seconds = 0;
+  double last_recheck_seconds = 0;
+};
+
+/// One serving session. All public methods serialize on an internal mutex:
+/// concurrent requests against one session are safe and ordered; requests
+/// against different sessions run concurrently.
+class session {
+ public:
+  session(db::library lib, std::vector<rules::rule> deck,
+          engine::engine_config cfg = {});
+
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  /// Full deck check from the warm snapshot; replaces the violation store.
+  /// Returns the summary rows of the fresh store.
+  std::vector<report::summary_row> check_full();
+
+  /// Apply an edit script: mutate the library, invalidate the snapshot,
+  /// accumulate dirty rects. Throws on unknown cells / bad indices, in which
+  /// case the session requires a full check before the next recheck.
+  edit_result apply(std::span<const edit_op> ops);
+
+  /// Incremental recheck over the accumulated dirty rects (see file
+  /// comment). Falls back to a full check when nothing was ever checked,
+  /// when an edit changed the top-cell set, or after a failed edit script.
+  recheck_result recheck();
+
+  /// The diff produced by the most recent check_full()/recheck().
+  [[nodiscard]] report::key_diff last_diff() const;
+
+  /// Sorted violation keys of the current store.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  [[nodiscard]] session_stats stats() const;
+
+  /// Serialized text report of the current store (violation_db::write_text).
+  [[nodiscard]] std::string report_text() const;
+
+ private:
+  void run_full_locked();
+
+  mutable std::mutex mu_;
+  db::library lib_;
+  std::vector<rules::rule> deck_;
+  std::vector<engine::exec_plan> plans_;
+  engine::drc_engine eng_;
+  std::optional<engine::layout_snapshot> snap_;
+  report::violation_db db_;
+  std::vector<std::string> last_keys_;
+  report::key_diff last_diff_;
+  std::vector<rect> dirty_;
+  bool checked_ = false;
+  bool full_required_ = false;
+  session_stats stats_;
+};
+
+/// Registry of live sessions, keyed by the protocol's session id. Thread-safe.
+class session_manager {
+ public:
+  std::uint32_t create(db::library lib, std::vector<rules::rule> deck,
+                       engine::engine_config cfg = {});
+
+  /// nullptr when the id is unknown (or was closed).
+  [[nodiscard]] std::shared_ptr<session> get(std::uint32_t id) const;
+
+  bool close(std::uint32_t id);
+
+  [[nodiscard]] std::size_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint32_t next_id_ = 1;
+  std::unordered_map<std::uint32_t, std::shared_ptr<session>> sessions_;
+};
+
+}  // namespace odrc::serve

@@ -1,0 +1,187 @@
+// Wire-protocol framing tests for odrc::serve: header round trips, the
+// incremental frame_reader, and the edge cases a hostile or broken client can
+// produce — truncated headers, oversized lengths, garbage magic.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace odrc::serve {
+namespace {
+
+frame make_frame(msg_type t, std::uint16_t seq, std::uint32_t session, std::string payload) {
+  frame f;
+  f.header.type = static_cast<std::uint8_t>(t);
+  f.header.seq = seq;
+  f.header.session = session;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(ServeProtocol, HeaderRoundTrip) {
+  frame_header h;
+  h.type = static_cast<std::uint8_t>(msg_type::recheck);
+  h.seq = 0xBEEF;
+  h.session = 0xA1B2C3D4u;
+  h.length = 12345;
+  unsigned char wire[header_size];
+  encode_header(h, wire);
+  const frame_header back = decode_header(wire);
+  EXPECT_EQ(back.magic, protocol_magic);
+  EXPECT_EQ(back.version, protocol_version);
+  EXPECT_EQ(back.type, h.type);
+  EXPECT_EQ(back.seq, h.seq);
+  EXPECT_EQ(back.session, h.session);
+  EXPECT_EQ(back.length, h.length);
+}
+
+TEST(ServeProtocol, WireIsLittleEndian) {
+  frame_header h;
+  h.length = 0x01020304u;
+  unsigned char wire[header_size];
+  encode_header(h, wire);
+  // magic "ODRC" = 0x4352444F little-endian -> bytes O D R C.
+  EXPECT_EQ(wire[0], 'O');
+  EXPECT_EQ(wire[1], 'D');
+  EXPECT_EQ(wire[2], 'R');
+  EXPECT_EQ(wire[3], 'C');
+  EXPECT_EQ(wire[12], 0x04);
+  EXPECT_EQ(wire[15], 0x01);
+}
+
+TEST(ServeProtocol, BadMagicThrows) {
+  unsigned char wire[header_size] = {};
+  encode_header(frame_header{}, wire);
+  wire[0] = 'X';
+  EXPECT_THROW((void)decode_header(wire), protocol_error);
+}
+
+TEST(ServeProtocol, VersionMismatchThrows) {
+  unsigned char wire[header_size];
+  frame_header h;
+  encode_header(h, wire);
+  wire[4] = protocol_version + 1;
+  EXPECT_THROW((void)decode_header(wire), protocol_error);
+}
+
+TEST(ServeProtocol, OversizedLengthThrows) {
+  frame_header h;
+  h.length = max_payload_bytes + 1;
+  unsigned char wire[header_size];
+  encode_header(h, wire);
+  EXPECT_THROW((void)decode_header(wire), protocol_error);
+  frame f;
+  f.payload.assign(16, 'x');
+  f.header.length = 16;
+  EXPECT_NO_THROW((void)encode_frame(f));
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesByteByByte) {
+  const frame a = make_frame(msg_type::edit, 7, 3, "add_poly top 19 0 0 10 10\n");
+  const frame b = make_frame(msg_type::ping, 8, 3, "");
+  const std::string wire = encode_frame(a) + encode_frame(b);
+
+  frame_reader rd;
+  std::vector<frame> out;
+  for (const char c : wire) rd.feed(&c, 1, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].header.seq, 7);
+  EXPECT_EQ(out[0].payload, a.payload);
+  EXPECT_EQ(out[1].header.seq, 8);
+  EXPECT_TRUE(out[1].payload.empty());
+  EXPECT_EQ(rd.pending(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderKeepsPartialFrame) {
+  const std::string wire = encode_frame(make_frame(msg_type::check, 1, 1, "hello"));
+  frame_reader rd;
+  std::vector<frame> out;
+  rd.feed(wire.data(), wire.size() - 2, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_GT(rd.pending(), 0u);
+  rd.feed(wire.data() + wire.size() - 2, 2, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "hello");
+}
+
+TEST(ServeProtocol, FrameReaderThrowsOnGarbage) {
+  frame_reader rd;
+  std::vector<frame> out;
+  const char garbage[header_size] = {'n', 'o', 'p', 'e'};
+  EXPECT_THROW(rd.feed(garbage, sizeof garbage, out), protocol_error);
+}
+
+// fd-level tests run over a socketpair: the writer side plays the client.
+struct ServeProtocolFd : ::testing::Test {
+  int a = -1, b = -1;
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  void TearDown() override {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST_F(ServeProtocolFd, RoundTripOverSocket) {
+  const frame f = make_frame(msg_type::stats, 42, 9, "payload body");
+  ASSERT_TRUE(write_frame(a, f));
+  const auto got = read_frame(b);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header.seq, 42);
+  EXPECT_EQ(got->header.session, 9u);
+  EXPECT_EQ(got->payload, "payload body");
+}
+
+TEST_F(ServeProtocolFd, CleanEofReturnsNullopt) {
+  ::close(a);
+  a = -1;
+  EXPECT_FALSE(read_frame(b).has_value());
+}
+
+TEST_F(ServeProtocolFd, TruncatedHeaderReturnsNullopt) {
+  unsigned char wire[header_size];
+  encode_header(frame_header{}, wire);
+  ASSERT_TRUE(write_all(a, wire, 7));  // half a header, then hang up
+  ::close(a);
+  a = -1;
+  EXPECT_FALSE(read_frame(b).has_value());
+}
+
+TEST_F(ServeProtocolFd, TruncatedPayloadReturnsNullopt) {
+  const std::string wire = encode_frame(make_frame(msg_type::edit, 1, 1, "0123456789"));
+  ASSERT_TRUE(write_all(a, wire.data(), wire.size() - 4));
+  ::close(a);
+  a = -1;
+  EXPECT_FALSE(read_frame(b).has_value());
+}
+
+TEST_F(ServeProtocolFd, OversizedLengthOnWireThrows) {
+  frame_header h;
+  h.length = max_payload_bytes + 7;
+  unsigned char wire[header_size];
+  encode_header(h, wire);
+  ASSERT_TRUE(write_all(a, wire, header_size));
+  EXPECT_THROW((void)read_frame(b), protocol_error);
+}
+
+TEST(ServeProtocol, MakeResponseEchoesAndMarks) {
+  const frame req = make_frame(msg_type::check, 11, 5, "");
+  const frame resp = make_response(req, "ok total 0");
+  EXPECT_EQ(resp.header.seq, req.header.seq);
+  EXPECT_EQ(resp.header.session, req.header.session);
+  EXPECT_EQ(resp.header.type, req.header.type | response_bit);
+  EXPECT_EQ(resp.payload, "ok total 0");
+}
+
+}  // namespace
+}  // namespace odrc::serve

@@ -1,0 +1,299 @@
+// Session-layer tests for odrc::serve: the edit/dirty-rect machinery and the
+// central correctness property of the subsystem — an incremental recheck()
+// produces exactly the violation key set of a fresh full check, including
+// edits that straddle partition-row boundaries and touch array instances.
+#include "serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "db/layout.hpp"
+#include "engine/rule.hpp"
+#include "serve/edits.hpp"
+
+namespace odrc::serve {
+namespace {
+
+constexpr db::layer_t M1 = 19;
+constexpr db::layer_t M2 = 20;
+constexpr db::layer_t V1 = 21;
+
+// Hierarchical fixture: `unit` is instantiated twice as plain refs and once
+// as a 4x3 array, so a master edit dirties many disjoint top regions; `blk`
+// has one reference (removing it changes the top-cell set).
+db::library make_lib() {
+  db::library lib("serve_test");
+  const db::cell_id unit = lib.add_cell("unit");
+  lib.at(unit).add_rect(M1, {0, 0, 200, 30});
+  lib.at(unit).add_rect(M1, {0, 60, 200, 90});
+  lib.at(unit).add_rect(V1, {20, 5, 40, 25});
+  const db::cell_id blk = lib.add_cell("blk");
+  lib.at(blk).add_rect(M1, {0, 0, 30, 400});
+  lib.at(blk).add_rect(M2, {0, 0, 300, 30});
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(M1, {0, 1000, 2000, 1030});
+  // Baseline violations so the first full check has a nonempty key set:
+  // a pair 20 < 25 apart (spacing), a 15x15 speck (width + area), and a via
+  // 2 dbu from its wire edges (enclosure 2 < 4).
+  lib.at(top).add_rect(M1, {8000, 0, 8200, 30});
+  lib.at(top).add_rect(M1, {8000, 50, 8200, 80});
+  lib.at(top).add_rect(M1, {7000, 7000, 7015, 7015});
+  lib.at(top).add_rect(V1, {9000, 1002, 9020, 1028});
+  lib.at(top).add_rect(M2, {500, 0, 530, 2000});
+  lib.at(top).add_ref({unit, transform{{0, 0}, 0, false, 1}});
+  lib.at(top).add_ref({unit, transform{{3000, 0}, 0, false, 1}});
+  lib.at(top).add_ref({blk, transform{{5000, 500}, 0, false, 1}});
+  db::cell_array a;
+  a.target = unit;
+  a.trans.offset = {0, 4000};
+  a.cols = 4;
+  a.rows = 3;
+  a.col_step = {400, 0};
+  a.row_step = {0, 300};
+  lib.at(top).add_array(a);
+  return lib;
+}
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(M1).width().greater_than(18).named("M1.W"),
+      rules::layer(M1).spacing().greater_than(25).named("M1.S"),
+      rules::layer(M2).spacing().greater_than(25).named("M2.S"),
+      rules::layer(M1).area().greater_than(800).named("M1.A"),
+      rules::layer(V1).enclosed_by(M1).greater_than(4).named("V1.EN"),
+  };
+}
+
+std::vector<edit_op> ops(const std::string& script) { return parse_edit_script(script); }
+
+TEST(ServeSession, FullCheckPopulatesStore) {
+  session s(make_lib(), make_deck());
+  const auto rows = s.check_full();
+  // Summary rows cover the rules with hits: spacing, width, area, enclosure.
+  EXPECT_EQ(rows.size(), 4u);
+  EXPECT_FALSE(s.keys().empty());
+  EXPECT_EQ(s.stats().checks, 1u);
+}
+
+TEST(ServeSession, EditScriptParseErrorsNameTheLine) {
+  EXPECT_THROW((void)parse_edit_script("add_poly top 19 0 0"), std::runtime_error);
+  EXPECT_THROW((void)parse_edit_script("frobnicate x"), std::runtime_error);
+  EXPECT_TRUE(parse_edit_script("# just a comment\n\n").empty());
+}
+
+TEST(ServeSession, RecheckFindsIntroducedViolation) {
+  session s(make_lib(), make_deck());
+  s.check_full();
+  // A 10x10 M1 speck in empty space: too narrow and below min area.
+  s.apply(ops("add_poly top 19 9000 9000 9010 9010"));
+  const recheck_result r = s.recheck();
+  EXPECT_FALSE(r.full);
+  EXPECT_TRUE(r.diff.fixed.empty());
+  EXPECT_FALSE(r.diff.introduced.empty());
+  // Undo: remove the polygon we just added (last M1 polygon of top).
+  const recheck_result r2 = [&] {
+    s.apply(ops("remove_poly top 19 4"));
+    return s.recheck();
+  }();
+  EXPECT_FALSE(r2.full);
+  EXPECT_TRUE(r2.diff.introduced.empty());
+  EXPECT_EQ(r2.diff.fixed.size(), r.diff.introduced.size());
+}
+
+TEST(ServeSession, FirstRecheckFallsBackToFull) {
+  session s(make_lib(), make_deck());
+  const recheck_result r = s.recheck();
+  EXPECT_TRUE(r.full);
+}
+
+TEST(ServeSession, TopsChangeForcesFullRecheck) {
+  session s(make_lib(), make_deck());
+  s.check_full();
+  // Removing blk's only reference promotes blk to a top cell.
+  const edit_result er = s.apply(ops("remove_inst top 2"));
+  EXPECT_TRUE(er.tops_changed);
+  const recheck_result r = s.recheck();
+  EXPECT_TRUE(r.full);
+
+  // Equivalence still holds through the fallback.
+  session fresh(make_lib(), make_deck());
+  fresh.apply(ops("remove_inst top 2"));
+  fresh.check_full();
+  EXPECT_EQ(s.keys(), fresh.keys());
+}
+
+TEST(ServeSession, FailedScriptPoisonsUntilFullCheck) {
+  session s(make_lib(), make_deck());
+  s.check_full();
+  EXPECT_THROW((void)s.apply(ops("add_poly nosuchcell 19 0 0 10 10")), std::runtime_error);
+  EXPECT_TRUE(s.recheck().full);
+  s.apply(ops("add_poly top 19 9000 9000 9010 9010"));
+  EXPECT_FALSE(s.recheck().full);
+}
+
+TEST(ServeSession, ArrayMasterEditDirtiesEveryInstance) {
+  db::library lib = make_lib();
+  engine::layout_snapshot snap(lib);
+  // Shrinking a unit wire must dirty a region covering the whole 4x3 array
+  // (plus both plain refs) — the corner-join covering.
+  const edit_result er =
+      apply_edits(lib, snap, ops("move_poly unit 19 0 0 7000"));
+  ASSERT_FALSE(er.dirty.empty());
+  rect all;
+  for (const rect& d : er.dirty) all = all.join(d);
+  // Array spans x in [0, 400*3+200], y in [4000, 4000+300*2+90].
+  EXPECT_LE(all.x_min, 0);
+  EXPECT_GE(all.x_max, 1400);
+  EXPECT_GE(all.y_max, 4690);
+}
+
+TEST(ServeSession, PlacementsOfCoversArrayInstances) {
+  const db::library lib = make_lib();
+  const auto top = lib.find("top");
+  const auto unit = lib.find("unit");
+  ASSERT_TRUE(top && unit);
+  // 2 plain refs + 12 array instances.
+  EXPECT_EQ(placements_of(lib, *top, *unit).size(), 14u);
+}
+
+// The tentpole acceptance property, randomized: an incremental session and a
+// full-check session fed the identical edit stream must agree on the exact
+// violation key set after every round. The op mix deliberately includes tall
+// polygons and large vertical moves (straddling partition-row boundaries)
+// and edits to the array master `unit`.
+TEST(ServeIncremental, RandomizedEquivalence) {
+  session inc(make_lib(), make_deck());
+  session full(make_lib(), make_deck());
+  inc.check_full();
+  full.check_full();
+  ASSERT_EQ(inc.keys(), full.keys());
+
+  std::mt19937 rng(0x5EED);
+  // Mirror of layer-local polygon counts so remove/move indices stay valid.
+  std::map<std::pair<std::string, int>, int> npolys{
+      {{"unit", M1}, 2}, {{"unit", V1}, 1}, {{"blk", M1}, 1},
+      {{"blk", M2}, 1},  {{"top", M1}, 4},  {{"top", M2}, 1},
+  };
+  const std::vector<std::pair<std::string, int>> slots = {
+      {"unit", M1}, {"blk", M1}, {"blk", M2}, {"top", M1}, {"top", M2}};
+
+  std::size_t incremental_rounds = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::ostringstream script;
+    for (int k = 0; k < 3; ++k) {
+      const auto& [cell, layer] = slots[rng() % slots.size()];
+      const int x = static_cast<int>(rng() % 8000);
+      const int y = static_cast<int>(rng() % 8000);
+      switch (rng() % 4) {
+        case 0: {  // add: sometimes a tall sliver spanning many rows
+          const int w = 10 + static_cast<int>(rng() % 30);
+          const int h = (rng() % 3 == 0) ? 2500 : 10 + static_cast<int>(rng() % 30);
+          script << "add_poly " << cell << ' ' << layer << ' ' << x << ' ' << y << ' '
+                 << (x + w) << ' ' << (y + h) << '\n';
+          ++npolys[{cell, layer}];
+          break;
+        }
+        case 1: {  // move: large dy crosses partition-row boundaries
+          const int n = npolys[{cell, layer}];
+          if (n == 0) break;
+          const int dy = static_cast<int>(rng() % 3000) - 1500;
+          script << "move_poly " << cell << ' ' << layer << ' ' << (rng() % n) << " 17 "
+                 << dy << '\n';
+          break;
+        }
+        case 2: {  // remove (keep at least one polygon on the layer)
+          auto& n = npolys[{cell, layer}];
+          if (n <= 1) break;
+          script << "remove_poly " << cell << ' ' << layer << ' ' << (rng() % n) << '\n';
+          --n;
+          break;
+        }
+        case 3: {  // nudge a unit placement (refs 0/1 of top target unit)
+          script << "move_inst top " << (rng() % 2) << " " << (rng() % 100) << ' '
+                 << (rng() % 100) << '\n';
+          break;
+        }
+      }
+    }
+    const auto batch = ops(script.str());
+    if (batch.empty()) continue;
+    inc.apply(batch);
+    full.apply(batch);
+    const recheck_result r = inc.recheck();
+    full.check_full();
+    if (!r.full) ++incremental_rounds;
+    ASSERT_EQ(inc.keys(), full.keys()) << "round " << round << " script:\n" << script.str();
+  }
+  // The point of the test is the incremental path; require it actually ran.
+  EXPECT_GE(incremental_rounds, 5u);
+}
+
+TEST(ServeIncremental, DiffAccountsForEveryKeyChange) {
+  session s(make_lib(), make_deck());
+  s.check_full();
+  const auto before = s.keys();
+  s.apply(ops("add_poly top 19 9000 9000 9010 9010\n"
+              "move_poly unit 19 1 0 7\n"));
+  const recheck_result r = s.recheck();
+  const auto after = s.keys();
+  // |after| = |before| - fixed + introduced, and unchanged = |before| - fixed.
+  EXPECT_EQ(after.size(), before.size() - r.diff.fixed.size() + r.diff.introduced.size());
+  EXPECT_EQ(r.diff.unchanged.size(), before.size() - r.diff.fixed.size());
+}
+
+// Two sessions driven by parallel edit/recheck loops (the TSan CI target):
+// sessions serialize internally but run concurrently against each other,
+// sharing thread_pool::global() through the engine. Each thread's edit
+// stream is serial per session, so the end state is deterministic and must
+// match a fresh session fed the same stream.
+TEST(ServeConcurrent, TwoSessionsParallelEditRecheckLoops) {
+  session_manager mgr;
+  const std::uint32_t ids[2] = {mgr.create(make_lib(), make_deck()),
+                                mgr.create(make_lib(), make_deck())};
+  auto script_for = [](int which, int i) {
+    std::ostringstream s;
+    const int x = 9000 + which * 2000 + i * 50;
+    s << "add_poly top 19 " << x << " 9000 " << (x + 10) << " 9010\n";
+    return s.str();
+  };
+  std::vector<std::string> streams[2];
+  std::vector<std::thread> threads;
+  for (int which = 0; which < 2; ++which) {
+    for (int i = 0; i < 6; ++i) streams[which].push_back(script_for(which, i));
+    threads.emplace_back([&, which] {
+      auto s = mgr.get(ids[which]);
+      s->check_full();
+      for (const std::string& sc : streams[which]) {
+        s->apply(parse_edit_script(sc));
+        (void)s->recheck();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int which = 0; which < 2; ++which) {
+    session fresh(make_lib(), make_deck());
+    for (const std::string& sc : streams[which]) fresh.apply(parse_edit_script(sc));
+    fresh.check_full();
+    EXPECT_EQ(mgr.get(ids[which])->keys(), fresh.keys()) << "session " << which;
+  }
+}
+
+TEST(ServeSession, ManagerLifecycle) {
+  session_manager mgr;
+  const std::uint32_t id = mgr.create(make_lib(), make_deck());
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(mgr.count(), 1u);
+  ASSERT_NE(mgr.get(id), nullptr);
+  EXPECT_EQ(mgr.get(99), nullptr);
+  EXPECT_TRUE(mgr.close(id));
+  EXPECT_FALSE(mgr.close(id));
+  EXPECT_EQ(mgr.count(), 0u);
+}
+
+}  // namespace
+}  // namespace odrc::serve

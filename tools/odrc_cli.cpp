@@ -10,15 +10,19 @@
 // src/engine/deck_parser.hpp for the format), runs the engine and prints a
 // violation summary; `generate` emits one of the six synthetic benchmark
 // designs; `deck-template` prints a ready-to-edit ASAP7-like deck.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/deck_parser.hpp"
 #include "engine/plan.hpp"
+#include "engine/snapshot.hpp"
 #include "lefdef/lefdef.hpp"
 #include "render/render.hpp"
 #include "report/violation_db.hpp"
@@ -28,6 +32,9 @@
 #include "infra/bench_harness.hpp"
 #include "infra/timer.hpp"
 #include "infra/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -38,13 +45,18 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--batch=on|off]\n"
-               "             [--report=out.txt] [--markers=out.gds] [--json=out.json]\n"
-               "             [--trace=out_trace.json] [--metrics] [--bench-json=out.json]\n"
-               "             (also accepts --lef=<f> --def=<f> inputs)\n"
+               "             [--window=x1,y1,x2,y2] [--report=out.txt] [--markers=out.gds]\n"
+               "             [--json=out.json] [--trace=out_trace.json] [--metrics]\n"
+               "             [--bench-json=out.json] (also accepts --lef=<f> --def=<f>)\n"
                "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
                "  odrc inspect <layout.gds>\n"
                "  odrc render <layout.gds> <out.svg> [--deck=rules.deck]\n"
                "  odrc diff <baseline_report.txt> <current_report.txt>\n"
+               "  odrc serve <layout.gds> <rules.deck> --socket=PATH [--workers=N]\n"
+               "             [--mode=seq|par] [--trace=out_trace.json]\n"
+               "  odrc client --socket=PATH [--session=N]\n"
+               "             <ping|check|edit <script|->|recheck|diff|stats|open <gds> <deck>|\n"
+               "              close|shutdown>\n"
                "  odrc deck-template\n");
   return 2;
 }
@@ -65,6 +77,20 @@ bool has_flag(int argc, char** argv, const char* name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+// "--window=x1,y1,x2,y2" -> rect; nullopt when absent, throws on malformed.
+std::optional<rect> parse_window(int argc, char** argv) {
+  const std::string s = opt_value(argc, argv, "window", "");
+  if (s.empty()) return std::nullopt;
+  rect w;
+  char comma;
+  std::istringstream in(s);
+  if (!(in >> w.x_min >> comma >> w.y_min >> comma >> w.x_max >> comma >> w.y_max) ||
+      w.empty()) {
+    throw std::runtime_error("--window expects x1,y1,x2,y2 with x1<=x2, y1<=y2");
+  }
+  return w;
 }
 
 int cmd_check(int argc, char** argv) {
@@ -101,8 +127,20 @@ int cmd_check(int argc, char** argv) {
   if (!trace_path.empty() || want_metrics) trace::recorder::instance().enable();
 
   report::violation_db db(lib.name());
+  const std::optional<rect> window = parse_window(argc, argv);
   timer t_check;
-  engine::deck_report dr = eng.check_deck(lib);
+  engine::deck_report dr;
+  if (window) {
+    // Region-of-interest run: compile once, share one snapshot, and route
+    // through the plan-level check_region (the serve sessions' warm path).
+    std::vector<engine::exec_plan> plans;
+    plans.reserve(deck.size());
+    for (const rules::rule& r : deck) plans.push_back(engine::compile_plan(r));
+    engine::layout_snapshot snap(lib);
+    dr = eng.check_region(lib, plans, snap, *window);
+  } else {
+    dr = eng.check_deck(lib);
+  }
   const double check_seconds = t_check.seconds();
 
   if (!trace_path.empty() || want_metrics) {
@@ -264,6 +302,130 @@ int cmd_diff(int argc, char** argv) {
   return d.clean() ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string gds = argv[2];
+  const std::string deck_path = argv[3];
+  const std::string socket_path = opt_value(argc, argv, "socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "odrc serve: --socket=PATH is required\n");
+    return 2;
+  }
+  const std::string trace_path = opt_value(argc, argv, "trace", "");
+  if (!trace_path.empty()) trace::recorder::instance().enable();
+
+  engine_config cfg;
+  cfg.run_mode =
+      std::string(opt_value(argc, argv, "mode", "par")) == "seq" ? engine::mode::sequential
+                                                                 : engine::mode::parallel;
+  serve::session_manager sessions;
+  {
+    db::library lib = gdsii::read(gds);
+    auto deck = rules::parse_deck_file(deck_path);
+    std::printf("loaded %s: %zu cells, %llu flat polygons; %zu rules from %s\n", gds.c_str(),
+                lib.cell_count(), static_cast<unsigned long long>(lib.expanded_polygon_count()),
+                deck.size(), deck_path.c_str());
+    sessions.create(std::move(lib), std::move(deck), cfg);
+  }
+
+  serve::server_config scfg;
+  scfg.socket_path = socket_path;
+  scfg.workers = static_cast<std::size_t>(
+      std::max(1, std::atoi(opt_value(argc, argv, "workers", "2").c_str())));
+  scfg.engine = cfg;
+  serve::server srv(scfg, sessions);
+  srv.start();
+  std::printf("serving session 1 on %s (%zu workers); send 'shutdown' to stop\n",
+              socket_path.c_str(), scfg.workers);
+  std::fflush(stdout);
+  srv.wait();
+
+  if (!trace_path.empty()) {
+    trace::recorder::instance().disable();
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    trace::recorder::instance().write_chrome_json(out);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  const serve::server_stats_snapshot st = srv.stats();
+  std::printf("served %zu requests (%zu rejected, %zu protocol errors), p50 %.2fms p95 %.2fms\n",
+              st.requests_total, st.requests_rejected, st.protocol_errors, st.p50_ms, st.p95_ms);
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  const std::string socket_path = opt_value(argc, argv, "socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "odrc client: --socket=PATH is required\n");
+    return 2;
+  }
+  const auto session =
+      static_cast<std::uint32_t>(std::atoi(opt_value(argc, argv, "session", "0").c_str()));
+
+  // First non-flag argument after "client" is the verb; the rest are its args.
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) pos.emplace_back(argv[i]);
+  }
+  if (pos.empty()) return usage();
+  const std::string& verb = pos[0];
+
+  serve::msg_type type;
+  std::string payload;
+  if (verb == "ping") {
+    type = serve::msg_type::ping;
+  } else if (verb == "check") {
+    type = serve::msg_type::check;
+  } else if (verb == "recheck") {
+    type = serve::msg_type::recheck;
+  } else if (verb == "diff") {
+    type = serve::msg_type::diff;
+  } else if (verb == "stats") {
+    type = serve::msg_type::stats;
+  } else if (verb == "close") {
+    type = serve::msg_type::close;
+  } else if (verb == "shutdown") {
+    type = serve::msg_type::shutdown;
+  } else if (verb == "open") {
+    if (pos.size() < 3) {
+      std::fprintf(stderr, "odrc client open: expects <layout.gds> <rules.deck>\n");
+      return 2;
+    }
+    type = serve::msg_type::open;
+    payload = pos[1] + " " + pos[2];
+  } else if (verb == "edit") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "odrc client edit: expects an edit script file (or '-' for stdin)\n");
+      return 2;
+    }
+    type = serve::msg_type::edit;
+    std::ostringstream script;
+    if (pos[1] == "-") {
+      script << std::cin.rdbuf();
+    } else {
+      std::ifstream in(pos[1]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open edit script '%s'\n", pos[1].c_str());
+        return 2;
+      }
+      script << in.rdbuf();
+    }
+    payload = script.str();
+  } else {
+    std::fprintf(stderr, "odrc client: unknown verb '%s'\n", verb.c_str());
+    return usage();
+  }
+
+  serve::client cl;
+  cl.connect(socket_path);
+  const serve::frame resp = cl.request(type, session, payload);
+  std::printf("%s\n", resp.payload.c_str());
+  return serve::client::ok(resp) ? 0 : 1;
+}
+
 int cmd_deck_template() {
   std::printf(
       "# ASAP7-like BEOL rule deck (distances in nm = dbu)\n"
@@ -295,6 +457,8 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(argc, argv);
     if (cmd == "render") return cmd_render(argc, argv);
     if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "deck-template") return cmd_deck_template();
     return usage();
   } catch (const std::exception& e) {
