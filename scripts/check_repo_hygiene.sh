@@ -22,6 +22,7 @@ bad_paths=$(git ls-files | grep -E \
   -e '\.o$' -e '\.obj$' -e '\.a$' -e '\.so(\.[0-9.]+)?$' \
   -e '(^|/)LastTest\.log$' \
   -e '\.gds$' \
+  -e '\.snap$' \
   -e '(^|/)BENCH_.*\.tmp$' \
   || true)
 if [[ -n "$bad_paths" ]]; then

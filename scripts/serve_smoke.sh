@@ -49,4 +49,57 @@ wait $srv_pid
 grep -q '"serve"' "$work/trace.json" || { echo "FAIL: no serve spans in trace"; exit 1; }
 grep -q '"request"' "$work/trace.json" || { echo "FAIL: no request spans in trace"; exit 1; }
 
+# A cold boot must say so in the trace (the mmap phase below asserts the
+# inverse: snapshot_boot present, cold_build absent).
+grep -q '"cold_build"' "$work/trace.json" || { echo "FAIL: no cold_build span in cold trace"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Frozen-snapshot phase (DESIGN.md §9): build a .snap, boot the server from
+# the mapping, edit + recheck against the copy-on-write overlay, then
+# hot-swap a second snapshot version into the live session.
+# ---------------------------------------------------------------------------
+sock2="$work/odrc2.sock"
+
+"$odrc" snapshot build "$work/design.gds" "$work/design.snap" | grep -q "^wrote"
+"$odrc" snapshot info "$work/design.snap" | grep -q "snapshot version 1"
+
+"$odrc" serve "$work/design.gds" "$work/rules.deck" --socket="$sock2" --workers=2 \
+  --snapshot="$work/design.snap" --trace="$work/trace2.json" > "$work/serve2.log" 2>&1 &
+srv_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$sock2" ]] && break
+  kill -0 $srv_pid 2>/dev/null || { echo "snapshot server died:"; cat "$work/serve2.log"; exit 1; }
+  sleep 0.1
+done
+[[ -S "$sock2" ]] || { echo "snapshot socket never appeared"; cat "$work/serve2.log"; exit 1; }
+grep -q "^booted" "$work/serve2.log" || { echo "FAIL: server did not boot from the snapshot"; cat "$work/serve2.log"; exit 1; }
+
+cli2() { "$odrc" client --socket="$sock2" "$@"; }
+
+# The mapped boot must report the same total as the cold server's full check.
+cold_total=$(head -1 "$work/check.out")
+cli2 check | head -1 | grep -qx "$cold_total" || { echo "FAIL: snapshot boot check != cold check"; exit 1; }
+
+# Edit + incremental recheck over the copy-on-write overlay.
+cli2 edit "$work/edit.txt" | grep -q "^ok applied 1"
+recheck2=$(cli2 recheck)
+grep -q "full 0" <<<"$recheck2" || { echo "FAIL: frozen recheck was not incremental"; exit 1; }
+grep -Eq "new [1-9]" <<<"$recheck2" || { echo "FAIL: frozen edit introduced no violations"; exit 1; }
+
+# Hot-swap: a second snapshot version flips the live session back to the
+# pristine layout — the overlay edit is gone, the check total matches cold.
+"$odrc" snapshot build "$work/design.gds" "$work/design_v2.snap" > /dev/null
+cli2 reload "$work/design_v2.snap" | grep -q "^ok reloaded bytes" || { echo "FAIL: reload refused"; exit 1; }
+cli2 check | head -1 | grep -qx "$cold_total" || { echo "FAIL: post-swap check != pristine check"; exit 1; }
+
+cli2 shutdown | grep -q "ok shutting down"
+wait $srv_pid
+
+# The mmap boot must be visible in the trace — and the cold rebuild absent.
+grep -q '"snapshot_boot"' "$work/trace2.json" || { echo "FAIL: no snapshot_boot span in trace"; exit 1; }
+grep -q '"cold_build"' "$work/trace2.json" && { echo "FAIL: snapshot boot still ran a cold build"; exit 1; }
+grep -q '"hot_swap"' "$work/trace2.json" || { echo "FAIL: no hot_swap span in trace"; exit 1; }
+grep -q '"mapped_bytes"' "$work/trace2.json" || { echo "FAIL: no mapped_bytes counter in trace"; exit 1; }
+
 echo "serve smoke OK"

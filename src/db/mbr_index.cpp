@@ -5,8 +5,30 @@
 
 namespace odrc::db {
 
-const std::vector<std::uint32_t> mbr_index::no_children_{};
 const rect mbr_index::empty_rect_{};
+
+namespace {
+
+// Flatten per-bucket builder lists into CSR storage.
+template <typename T>
+void flatten_csr(const std::vector<std::vector<T>>& buckets, odrc::storage_span<T>& data,
+                 odrc::storage_span<std::uint32_t>& offsets) {
+  std::vector<std::uint32_t> off;
+  off.reserve(buckets.size() + 1);
+  std::size_t total = 0;
+  off.push_back(0);
+  for (const auto& b : buckets) {
+    total += b.size();
+    off.push_back(static_cast<std::uint32_t>(total));
+  }
+  std::vector<T> flat;
+  flat.reserve(total);
+  for (const auto& b : buckets) flat.insert(flat.end(), b.begin(), b.end());
+  data.assign(std::move(flat));
+  offsets.assign(std::move(off));
+}
+
+}  // namespace
 
 mbr_index::mbr_index(const library& lib) : lib_(&lib) {
   // Collect the distinct layers.
@@ -15,43 +37,96 @@ mbr_index::mbr_index(const library& lib) : lib_(&lib) {
     for (const polygon_elem& p : c.polygons()) layer_set.insert(p.layer);
   }
   layers_.assign(layer_set.begin(), layer_set.end());
-  for (std::size_t i = 0; i < layers_.size(); ++i) slot_of_[layers_[i]] = i;
 
   const std::size_t L = layers_.size();
   const std::size_t n = lib.cell_count();
   own_mbr_.assign(n * L, rect{});
-  inverted_.assign(L, {});
-  for (cell_id id = 0; id < n; ++id) scan_own_geometry(id);
+
+  // Build the inverted CSR in one pass: entries per slot ordered by
+  // (cell id, polygon index) ascending — the order scan_own_geometry
+  // preserves for unedited cells on partial updates.
+  std::vector<std::vector<element_ref>> inv(L);
+  for (cell_id id = 0; id < n; ++id) {
+    const cell& c = lib.at(id);
+    for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
+      const polygon_elem& p = c.polygons()[pi];
+      const std::size_t slot = layer_slot(p.layer);
+      own_mbr_[id * L + slot] = own_mbr_[id * L + slot].join(p.poly.mbr());
+      inv[slot].push_back({id, pi});
+    }
+  }
+  flatten_csr(inv, inverted_data_, inverted_off_);
   aggregate();
+}
+
+mbr_index::mbr_index(const library& lib, const frozen_view& fv) : lib_(&lib) {
+  layers_.assign(fv.layers.begin(), fv.layers.end());
+  mbr_.adopt(fv.mbr);
+  own_mbr_.adopt(fv.own_mbr);
+  total_mbr_.adopt(fv.total_mbr);
+  inverted_data_.adopt(fv.inverted_data);
+  inverted_off_.adopt(fv.inverted_off);
+  children_data_.adopt(fv.children_data);
+  children_off_.adopt(fv.children_off);
+}
+
+mbr_index::frozen_view mbr_index::freeze_view() const {
+  frozen_view fv;
+  fv.layers = layers_;
+  fv.mbr = mbr_.span();
+  fv.own_mbr = own_mbr_.span();
+  fv.total_mbr = total_mbr_.span();
+  fv.inverted_data = inverted_data_.span();
+  fv.inverted_off = inverted_off_.span();
+  fv.children_data = children_data_.span();
+  fv.children_off = children_off_.span();
+  return fv;
+}
+
+void mbr_index::thaw() {
+  mbr_.thaw();
+  own_mbr_.thaw();
+  total_mbr_.thaw();
+  inverted_data_.thaw();
+  inverted_off_.thaw();
+  children_data_.thaw();
+  children_off_.thaw();
 }
 
 bool mbr_index::scan_own_geometry(cell_id id) {
   const std::size_t L = layers_.size();
+  for (std::size_t slot = 0; slot < L; ++slot) own_mbr_[id * L + slot] = rect{};
+
+  // Rebuild the inverted CSR: other cells' entries keep their order, the
+  // edited cell's entries are re-appended per slot in polygon order (the
+  // same semantics the pre-CSR erase+push_back produced).
+  std::vector<std::vector<element_ref>> inv(L);
   for (std::size_t slot = 0; slot < L; ++slot) {
-    own_mbr_[id * L + slot] = rect{};
-    auto& inv = inverted_[slot];
-    inv.erase(std::remove_if(inv.begin(), inv.end(),
-                             [id](const element_ref& e) { return e.cell == id; }),
-              inv.end());
+    const std::uint32_t lo = inverted_off_[slot];
+    const std::uint32_t hi = inverted_off_[slot + 1];
+    inv[slot].reserve(hi - lo);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      if (inverted_data_[i].cell != id) inv[slot].push_back(inverted_data_[i]);
+    }
   }
   const cell& c = lib_->at(id);
   for (std::uint32_t pi = 0; pi < c.polygons().size(); ++pi) {
     const polygon_elem& p = c.polygons()[pi];
-    auto it = slot_of_.find(p.layer);
-    if (it == slot_of_.end()) return false;
-    const std::size_t slot = it->second;
+    const std::size_t slot = layer_slot(p.layer);
+    if (slot == static_cast<std::size_t>(-1)) return false;
     own_mbr_[id * L + slot] = own_mbr_[id * L + slot].join(p.poly.mbr());
-    inverted_[slot].push_back({id, pi});
+    inv[slot].push_back({id, pi});
   }
+  flatten_csr(inv, inverted_data_, inverted_off_);
   return true;
 }
 
 void mbr_index::aggregate() {
   const std::size_t L = layers_.size();
   const std::size_t n = lib_->cell_count();
-  mbr_ = own_mbr_;
+  mbr_.assign(own_mbr_.to_vector());
   total_mbr_.assign(n, rect{});
-  children_.assign(n * L, {});
+  std::vector<std::vector<std::uint32_t>> children(n * L);
   for (cell_id id = 0; id < n; ++id) {
     for (std::size_t slot = 0; slot < L; ++slot) {
       total_mbr_[id] = total_mbr_[id].join(own_mbr_[id * L + slot]);
@@ -73,7 +148,7 @@ void mbr_index::aggregate() {
         const rect& cm = mbr_[r.target * L + slot];
         if (cm.empty()) continue;
         fold_child(cm, slot, r.trans);
-        children_[id * L + slot].push_back(ri);
+        children[id * L + slot].push_back(ri);
       }
     }
     const auto ref_count = static_cast<std::uint32_t>(c.refs().size());
@@ -90,23 +165,31 @@ void mbr_index::aggregate() {
                               static_cast<std::uint16_t>(a.rows - 1)));
         fold_child(cm, slot, a.instance(static_cast<std::uint16_t>(a.cols - 1), 0));
         fold_child(cm, slot, a.instance(0, static_cast<std::uint16_t>(a.rows - 1)));
-        children_[id * L + slot].push_back(ref_count + ai);
+        children[id * L + slot].push_back(ref_count + ai);
       }
     }
   }
+  flatten_csr(children, children_data_, children_off_);
 }
 
 bool mbr_index::update_cell(cell_id id) {
   if (lib_->cell_count() != total_mbr_.size()) return false;  // cells added/removed
   if (id >= lib_->cell_count()) return false;
-  if (!scan_own_geometry(id)) return false;  // layer without a slot
+  // A cell that now carries an unknown layer needs a full rebuild — detect
+  // it before thawing/mutating anything.
+  for (const polygon_elem& p : lib_->at(id).polygons()) {
+    if (layer_slot(p.layer) == static_cast<std::size_t>(-1)) return false;
+  }
+  thaw();  // copy-on-write: a frozen-adopted index copies its node arrays out
+  if (!scan_own_geometry(id)) return false;
   aggregate();
   return true;
 }
 
 std::size_t mbr_index::layer_slot(layer_t layer) const {
-  auto it = slot_of_.find(layer);
-  return it == slot_of_.end() ? static_cast<std::size_t>(-1) : it->second;
+  const auto it = std::lower_bound(layers_.begin(), layers_.end(), layer);
+  if (it == layers_.end() || *it != layer) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - layers_.begin());
 }
 
 const rect& mbr_index::cell_mbr(cell_id id, layer_t layer) const {
@@ -115,16 +198,19 @@ const rect& mbr_index::cell_mbr(cell_id id, layer_t layer) const {
   return mbr_[id * layers_.size() + slot];
 }
 
-const std::vector<element_ref>& mbr_index::elements_on_layer(layer_t layer) const {
-  static const std::vector<element_ref> none;
+std::span<const element_ref> mbr_index::elements_on_layer(layer_t layer) const {
   const std::size_t slot = layer_slot(layer);
-  return slot == static_cast<std::size_t>(-1) ? none : inverted_[slot];
+  if (slot == static_cast<std::size_t>(-1)) return {};
+  return {inverted_data_.data() + inverted_off_[slot],
+          static_cast<std::size_t>(inverted_off_[slot + 1] - inverted_off_[slot])};
 }
 
-const std::vector<std::uint32_t>& mbr_index::children_on_layer(cell_id id, layer_t layer) const {
+std::span<const std::uint32_t> mbr_index::children_on_layer(cell_id id, layer_t layer) const {
   const std::size_t slot = layer_slot(layer);
-  if (slot == static_cast<std::size_t>(-1)) return no_children_;
-  return children_[id * layers_.size() + slot];
+  if (slot == static_cast<std::size_t>(-1)) return {};
+  const std::size_t i = id * layers_.size() + slot;
+  return {children_data_.data() + children_off_[i],
+          static_cast<std::size_t>(children_off_[i + 1] - children_off_[i])};
 }
 
 std::uint64_t mbr_index::query(cell_id top, layer_t layer, const rect& window,
@@ -151,7 +237,9 @@ std::uint64_t mbr_index::query_rec(cell_id id, std::size_t slot, layer_t layer,
   }
   const auto ref_count = static_cast<std::uint32_t>(c.refs().size());
   // Descend only the duplicated (per-layer) child list.
-  for (std::uint32_t child : children_[id * L + slot]) {
+  const std::size_t ci = id * L + slot;
+  for (std::uint32_t k = children_off_[ci]; k < children_off_[ci + 1]; ++k) {
+    const std::uint32_t child = children_data_[k];
     if (child < ref_count) {
       const cell_ref& r = c.refs()[child];
       visited += query_rec(r.target, slot, layer, window, to_top.compose(r.trans), visit);

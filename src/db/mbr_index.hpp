@@ -16,14 +16,24 @@
 //  - element-level inverted index: for each layer, the flat list of
 //    (cell, polygon-index) pairs, answering "all objects of layer L"
 //    without any tree walk.
+//
+// Storage layout (DESIGN.md §9): every node array is a flat
+// `odrc::storage_span` — the inverted index and the duplicated child lists
+// in CSR form (data + offsets), the layer -> slot map a binary search over
+// the sorted layer list instead of an unordered_map. This makes the whole
+// index either owned (cold build) or a set of zero-copy views into a mapped
+// frozen-snapshot blob (`frozen_view` adoption). update_cell() thaws the
+// views on first edit (copy-on-write) and then mutates the owned copy; the
+// mapped file is never written.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "db/layout.hpp"
+#include "infra/arena.hpp"
 #include "infra/geometry.hpp"
 
 namespace odrc::db {
@@ -43,10 +53,29 @@ struct layer_hit {
 
 class mbr_index {
  public:
+  /// The flat node arrays, as spans — what the frozen-snapshot builder
+  /// serializes and the mmap loader adopts back. Offsets arrays follow CSR
+  /// convention: inverted_off has layers()+1 entries, children_off has
+  /// cell_count*layers()+1 entries.
+  struct frozen_view {
+    std::span<const layer_t> layers;
+    std::span<const rect> mbr;                       ///< cell*L + slot
+    std::span<const rect> own_mbr;                   ///< cell*L + slot
+    std::span<const rect> total_mbr;                 ///< per cell
+    std::span<const element_ref> inverted_data;      ///< CSR data per slot
+    std::span<const std::uint32_t> inverted_off;     ///< size L+1
+    std::span<const std::uint32_t> children_data;    ///< CSR data per (cell, slot)
+    std::span<const std::uint32_t> children_off;     ///< size n*L+1
+  };
+
   /// Build the index for `lib`. The library must stay alive and unchanged
   /// for the index's lifetime — except through update_cell(), the edit
   /// sessions' invalidation hook.
   explicit mbr_index(const library& lib);
+
+  /// Adopt a frozen node layout (zero-copy: the spans point into a mapped
+  /// snapshot blob that must outlive this index). No geometry is walked.
+  mbr_index(const library& lib, const frozen_view& fv);
 
   [[nodiscard]] const library& lib() const { return *lib_; }
 
@@ -68,7 +97,7 @@ class mbr_index {
   /// Element-level inverted index: every polygon element on `layer`
   /// (cell-definition space, one entry per definition — instances are not
   /// expanded).
-  [[nodiscard]] const std::vector<element_ref>& elements_on_layer(layer_t layer) const;
+  [[nodiscard]] std::span<const element_ref> elements_on_layer(layer_t layer) const;
 
   /// Layer range query (paper Section IV-A): visit every polygon instance on
   /// `layer` under `top` whose transformed MBR overlaps `window`, pruning
@@ -83,26 +112,38 @@ class mbr_index {
   /// Per-layer duplicated child lists of `id`: indices into the cell's
   /// refs() (first) and arrays() (offset by refs().size()) that lead to
   /// content on `layer`.
-  [[nodiscard]] const std::vector<std::uint32_t>& children_on_layer(cell_id id,
-                                                                    layer_t layer) const;
+  [[nodiscard]] std::span<const std::uint32_t> children_on_layer(cell_id id,
+                                                                 layer_t layer) const;
 
   /// Partial re-index after cell `id` was edited in place (polygons changed,
   /// references added/removed/moved) — the incremental sessions' hook
   /// (odrc::serve). Re-walks only the edited cell's polygons, rebuilds its
   /// inverted-index entries, then recomputes the hierarchy aggregates
   /// (per-layer MBRs and duplicated child lists) for every cell from the
-  /// cached own-geometry MBRs — no other cell's polygons are touched.
+  /// cached own-geometry MBRs — no other cell's polygons are touched. A
+  /// frozen-adopted index thaws (copies the node arrays out of the mapping)
+  /// before the first mutation.
   ///
   /// Returns false when the edit cannot be absorbed incrementally — the
   /// library's cell count changed, or the cell now carries a layer the index
   /// has no slot for — in which case the caller must build a fresh index.
   bool update_cell(cell_id id);
 
+  /// True while the node arrays still alias a mapped snapshot blob.
+  [[nodiscard]] bool frozen() const { return mbr_.frozen(); }
+
+  /// Spans over the current node arrays — the frozen-snapshot builder's
+  /// input. Valid until the next mutation.
+  [[nodiscard]] frozen_view freeze_view() const;
+
  private:
   [[nodiscard]] std::size_t layer_slot(layer_t layer) const;
 
-  /// Re-walk cell `id`'s own polygons into own_mbr_ and inverted_. Returns
-  /// false on a layer without a slot.
+  /// Copy every frozen span into owned storage (no-op when already owned).
+  void thaw();
+
+  /// Re-walk cell `id`'s own polygons into own_mbr_ and the inverted CSR.
+  /// Returns false on a layer without a slot.
   bool scan_own_geometry(cell_id id);
 
   /// Recompute mbr_ / total_mbr_ / children_ from own_mbr_ in topological
@@ -114,19 +155,23 @@ class mbr_index {
                           const std::function<void(const layer_hit&)>& visit) const;
 
   const library* lib_;
-  std::vector<layer_t> layers_;                       // sorted distinct layers
-  std::unordered_map<layer_t, std::size_t> slot_of_;  // layer -> dense slot
+  // Sorted distinct layers; slot = rank. Always owned (a handful of entries
+  // — copying them out of a frozen blob is cheaper than the aliasing rules
+  // a borrowed span would impose on layers()' callers).
+  std::vector<layer_t> layers_;
   // mbr_[cell * layer_count + slot]; own_mbr_ covers only the cell's direct
   // polygons (no references) so update_cell can re-aggregate without
   // re-walking any geometry.
-  std::vector<rect> mbr_;
-  std::vector<rect> own_mbr_;
-  std::vector<rect> total_mbr_;
-  // inverted_[slot] = all polygon elements on that layer
-  std::vector<std::vector<element_ref>> inverted_;
-  // children_[cell * layer_count + slot] = child indices with layer content
-  std::vector<std::vector<std::uint32_t>> children_;
-  static const std::vector<std::uint32_t> no_children_;
+  odrc::storage_span<rect> mbr_;
+  odrc::storage_span<rect> own_mbr_;
+  odrc::storage_span<rect> total_mbr_;
+  // Inverted index in CSR form: inverted_data_[inverted_off_[slot] ..
+  // inverted_off_[slot+1]) = all polygon elements on that layer.
+  odrc::storage_span<element_ref> inverted_data_;
+  odrc::storage_span<std::uint32_t> inverted_off_;
+  // Duplicated child lists in CSR form over (cell * layer_count + slot).
+  odrc::storage_span<std::uint32_t> children_data_;
+  odrc::storage_span<std::uint32_t> children_off_;
   static const rect empty_rect_;
 };
 

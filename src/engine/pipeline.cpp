@@ -38,7 +38,7 @@ std::vector<inst> collect_instances(layout_snapshot& snap, cell_id top, layer_t 
     if (v.empty()) continue;
     const rect cell_mbr = pc.to_top.apply(v.mbr);
     if (halo && !halo->overlaps(cell_mbr)) continue;
-    if (set.occurrences.at(pc.master) == 1 && v.poly_indices.size() > split_poly_threshold) {
+    if (set.occurrences(pc.master) == 1 && v.poly_indices.size() > split_poly_threshold) {
       for (std::uint32_t k = 0; k < v.poly_indices.size(); ++k) {
         const rect pm = pc.to_top.apply(v.poly_mbrs[k]);
         if (halo && !halo->overlaps(pm)) continue;

@@ -1,5 +1,7 @@
 #include "engine/snapshot.hpp"
 
+#include <algorithm>
+
 #include "engine/rule.hpp"
 
 namespace odrc::engine {
@@ -20,14 +22,27 @@ master_layer_view make_layer_view(const db::cell& c, db::layer_t layer) {
 
 }  // namespace
 
+std::uint32_t instance_set::occurrences(db::cell_id master) const {
+  const auto it = std::lower_bound(
+      occ.begin(), occ.end(), master,
+      [](const occurrence_entry& e, db::cell_id m) { return e.cell < m; });
+  if (it == occ.end() || it->cell != master) return 0;
+  return it->count;
+}
+
 const master_layer_view& view_cache::get(db::cell_id id, db::layer_t layer) {
   const key k = make_key(id, layer);
+  bool use_frozen = frozen_ != nullptr;
   {
     std::shared_lock lk(mu_);
     auto it = map_.find(k);
     if (it != map_.end()) return it->second;
+    if (use_frozen) use_frozen = !masked_.contains(id);
   }
-  master_layer_view v = make_layer_view(lib_.at(id), layer);
+  master_layer_view v;
+  if (!use_frozen || !frozen_->fill_view(id, layer, v)) {
+    v = make_layer_view(lib_.at(id), layer);
+  }
   std::unique_lock lk(mu_);
   // Another thread may have inserted meanwhile; emplace keeps the winner.
   return map_.emplace(k, std::move(v)).first->second;
@@ -42,6 +57,25 @@ void view_cache::invalidate(db::cell_id id) {
       ++it;
     }
   }
+  if (frozen_ != nullptr) masked_.insert(id);
+}
+
+std::size_t view_cache::masked_count() const {
+  std::shared_lock lk(mu_);
+  return masked_.size();
+}
+
+std::size_t layout_snapshot::overlay_entries() const {
+  std::size_t n = views_.masked_count();
+  {
+    std::shared_lock lk(pack_mu_);
+    n += pack_masked_.size();
+  }
+  {
+    std::shared_lock lk(inst_mu_);
+    if (!inst_frozen_enabled_ && frozen_ != nullptr) ++n;
+  }
+  return n;
 }
 
 void layout_snapshot::invalidate_master(db::cell_id master) {
@@ -55,6 +89,7 @@ void layout_snapshot::invalidate_master(db::cell_id master) {
         ++it;
       }
     }
+    if (frozen_ != nullptr) pack_masked_.insert(master);
   }
   if (!index_.update_cell(master)) index_ = db::mbr_index(lib_);
 }
@@ -62,40 +97,64 @@ void layout_snapshot::invalidate_master(db::cell_id master) {
 void layout_snapshot::invalidate_instances() {
   std::unique_lock lk(inst_mu_);
   inst_map_.clear();
+  // Placements changed somewhere: every blob instance record is suspect.
+  inst_frozen_enabled_ = false;
 }
 
 const instance_set& layout_snapshot::instances(db::cell_id top, db::layer_t layer) {
   const view_cache::key k = view_cache::make_key(top, layer);
+  bool use_frozen = frozen_ != nullptr;
   {
     std::shared_lock lk(inst_mu_);
     auto it = inst_map_.find(k);
     if (it != inst_map_.end()) return it->second;
+    use_frozen = use_frozen && inst_frozen_enabled_;
   }
   instance_set set;
-  set.placed = db::flat_instance_list(index_, top, layer);
-  for (const db::placed_cell& pc : set.placed) ++set.occurrences[pc.master];
+  if (!use_frozen || !frozen_->fill_instances(top, layer, set)) {
+    std::vector<db::placed_cell> placed = db::flat_instance_list(index_, top, layer);
+    std::vector<occurrence_entry> occ;
+    for (const db::placed_cell& pc : placed) {
+      auto it = std::lower_bound(
+          occ.begin(), occ.end(), pc.master,
+          [](const occurrence_entry& e, db::cell_id m) { return e.cell < m; });
+      if (it != occ.end() && it->cell == pc.master) {
+        ++it->count;
+      } else {
+        occ.insert(it, {pc.master, 1});
+      }
+    }
+    set.placed.assign(std::move(placed));
+    set.occ.assign(std::move(occ));
+  }
   std::unique_lock lk(inst_mu_);
   return inst_map_.emplace(k, std::move(set)).first->second;
 }
 
 const packed_master_edges& layout_snapshot::packed(db::cell_id master, db::layer_t layer) {
   const view_cache::key k = view_cache::make_key(master, layer);
+  bool use_frozen = frozen_ != nullptr;
   {
     std::shared_lock lk(pack_mu_);
     auto it = pack_map_.find(k);
     if (it != pack_map_.end()) return it->second;
+    if (use_frozen) use_frozen = !pack_masked_.contains(master);
   }
-  const master_layer_view& v = views_.get(master, layer);
-  const db::cell& c = lib_.at(master);
   packed_master_edges pm;
-  pm.poly_offsets.reserve(v.poly_indices.size() + 1);
-  pm.clockwise.reserve(v.poly_indices.size());
-  pm.poly_offsets.push_back(0);
-  for (std::size_t k2 = 0; k2 < v.poly_indices.size(); ++k2) {
-    const polygon& p = c.polygons()[v.poly_indices[k2]].poly;
-    sweep::pack_polygon_edges(p, static_cast<std::uint32_t>(k2), 0, pm.edges);
-    pm.poly_offsets.push_back(static_cast<std::uint32_t>(pm.edges.size()));
-    pm.clockwise.push_back(p.is_clockwise() ? 1 : 0);
+  if (!use_frozen || !frozen_->fill_packed(master, layer, pm)) {
+    const master_layer_view& v = views_.get(master, layer);
+    const db::cell& c = lib_.at(master);
+    std::vector<sweep::packed_edge> edges;
+    pm.poly_offsets.reserve(v.poly_indices.size() + 1);
+    pm.clockwise.reserve(v.poly_indices.size());
+    pm.poly_offsets.push_back(0);
+    for (std::size_t k2 = 0; k2 < v.poly_indices.size(); ++k2) {
+      const polygon& p = c.polygons()[v.poly_indices[k2]].poly;
+      sweep::pack_polygon_edges(p, static_cast<std::uint32_t>(k2), 0, edges);
+      pm.poly_offsets.push_back(static_cast<std::uint32_t>(edges.size()));
+      pm.clockwise.push_back(p.is_clockwise() ? 1 : 0);
+    }
+    pm.edges.assign(std::move(edges));
   }
   std::unique_lock lk(pack_mu_);
   return pack_map_.emplace(k, std::move(pm)).first->second;

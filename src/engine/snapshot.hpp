@@ -17,13 +17,22 @@
 //     (master, layer), and packing an *instance* afterwards only applies the
 //     placement transform to the cached records (append_packed_instance).
 //
+// Frozen backing (DESIGN.md §9): every cached structure stores its arrays in
+// `odrc::storage_span`s, so an entry is either built from the library
+// (owning vectors — the cold path) or adopted zero-copy from a mapped
+// `frozen_snapshot` blob via the `frozen_backing` interface. A cache miss
+// first consults the backing; only masked (edited) masters fall back to a
+// fresh build — the copy-on-write overlay. The mapped file is never
+// modified.
+//
 // Lifetime and invalidation: the engine entry points create a snapshot on
 // the stack per check call and drop it on return. Incremental sessions
 // (odrc::serve) instead keep one warm across edits and call the invalidation
 // hooks — invalidate_master() after editing a cell's polygons or references
-// (drops that master's layer views and packed edges and refreshes the MBR
-// index partially via mbr_index::update_cell, falling back to a full
-// rebuild), invalidate_instances() when placements changed. Invalidation is
+// (drops that master's layer views and packed edges, masks its frozen
+// records, and refreshes the MBR index partially via mbr_index::update_cell,
+// falling back to a full rebuild), invalidate_instances() when placements
+// changed (also disables all frozen instance records). Invalidation is
 // NOT thread-safe against concurrent readers: a session must serialize edits
 // against checks (the serve session mutex does). All read caches remain
 // thread-safe (shared_mutex, node-stable unordered_map values):
@@ -34,11 +43,13 @@
 #include <memory>
 #include <shared_mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "db/flatten.hpp"
 #include "db/layout.hpp"
 #include "db/mbr_index.hpp"
+#include "infra/arena.hpp"
 #include "sweep/device_sweep.hpp"
 
 namespace odrc::engine {
@@ -50,12 +61,76 @@ namespace odrc::engine {
 /// The polygons a master contributes *directly* to one layer (its references
 /// appear as separate placed instances, so they are excluded here).
 struct master_layer_view {
-  std::vector<std::uint32_t> poly_indices;
-  std::vector<rect> poly_mbrs;  ///< master-local frame
-  rect mbr;                     ///< union of the above
+  odrc::storage_span<std::uint32_t> poly_indices;
+  odrc::storage_span<rect> poly_mbrs;  ///< master-local frame
+  rect mbr;                            ///< union of the above
 
   [[nodiscard]] bool empty() const { return poly_indices.empty(); }
 };
+
+/// One (master, count) pair of an instance set's occurrence table, sorted by
+/// master id for binary-search lookup. POD so the frozen store serializes
+/// the table verbatim.
+struct occurrence_entry {
+  db::cell_id cell = db::invalid_cell;
+  std::uint32_t count = 0;
+};
+
+/// The flattened placements of one (top, layer) plus the per-master
+/// occurrence counts the instance collector uses for split decisions. Both
+/// are window-independent, so one entry serves every rule group.
+struct instance_set {
+  odrc::storage_span<db::placed_cell> placed;
+  odrc::storage_span<occurrence_entry> occ;  ///< sorted by cell id
+
+  /// Placement count of `master` in this set (0 when absent).
+  [[nodiscard]] std::uint32_t occurrences(db::cell_id master) const;
+};
+
+/// The packed edges of one (master, layer): every polygon of the layer view,
+/// packed once in master-local coordinates with `poly` = the view-local
+/// polygon index and `group` = 0. Instance packs re-tag and transform these
+/// records instead of re-walking the polygons.
+struct packed_master_edges {
+  odrc::storage_span<sweep::packed_edge> edges;
+  odrc::storage_span<std::uint32_t> poly_offsets;  ///< size poly_count()+1, into edges
+  /// Per view-local polygon: was the master ring clockwise? A reflecting
+  /// placement flips orientation and polygon::transformed() restores the
+  /// clockwise invariant by reversing the ring — for packed records that is
+  /// exactly a from/to swap per edge, applied iff this flag is set.
+  odrc::storage_span<std::uint8_t> clockwise;
+
+  [[nodiscard]] std::size_t poly_count() const {
+    return poly_offsets.empty() ? 0 : poly_offsets.size() - 1;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Frozen backing interface
+// ---------------------------------------------------------------------------
+
+/// What a mapped snapshot blob provides to the runtime caches. Implemented
+/// by `frozen_snapshot` (src/engine/snapshot_store.hpp); the interface keeps
+/// the store's file format out of this header. Every fill_* call constructs
+/// span-views referencing the mapped bytes (no data copy) and returns false
+/// when the blob has no record for the key — the caller then builds from the
+/// library as usual.
+class frozen_backing {
+ public:
+  virtual ~frozen_backing() = default;
+  [[nodiscard]] virtual bool fill_view(db::cell_id cell, std::int32_t layer,
+                                       master_layer_view& out) const = 0;
+  [[nodiscard]] virtual bool fill_instances(db::cell_id top, std::int32_t layer,
+                                            instance_set& out) const = 0;
+  [[nodiscard]] virtual bool fill_packed(db::cell_id master, std::int32_t layer,
+                                         packed_master_edges& out) const = 0;
+  /// Zero-copy mbr_index over the mapped node arrays.
+  [[nodiscard]] virtual db::mbr_index make_index(const db::library& lib) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// View cache
+// ---------------------------------------------------------------------------
 
 /// Cache of layer views per (master, layer) for one check run. Thread-safe:
 /// host_parallel clip tasks and pipelined pack stages hit it concurrently.
@@ -77,14 +152,8 @@ class view_cache {
   };
   struct key_hash {
     [[nodiscard]] std::size_t operator()(const key& k) const {
-      // splitmix64 finalizer over both fields; collisions here only cost a
-      // bucket probe — equality is exact.
-      std::uint64_t x =
-          k.cell ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layer)) << 32);
-      x += 0x9E3779B97F4A7C15ull;
-      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-      return static_cast<std::size_t>(x ^ (x >> 31));
+      return static_cast<std::size_t>(odrc::mix64(
+          k.cell ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.layer)) << 32)));
     }
   };
 
@@ -92,52 +161,26 @@ class view_cache {
     return {cell, layer};
   }
 
-  explicit view_cache(const db::library& lib) : lib_(lib) {}
+  explicit view_cache(const db::library& lib, const frozen_backing* frozen = nullptr)
+      : lib_(lib), frozen_(frozen) {}
 
   const master_layer_view& get(db::cell_id id, db::layer_t layer);
 
   /// Drop every layer's view of `id` (a polygon edit shifts the element
-  /// indices of ALL layers' views in that cell, not just the edited layer's).
+  /// indices of ALL layers' views in that cell, not just the edited layer's)
+  /// and mask its frozen records: later misses rebuild from the (mutated)
+  /// library instead of the stale blob.
   void invalidate(db::cell_id id);
+
+  /// Masked masters — the copy-on-write overlay's size.
+  [[nodiscard]] std::size_t masked_count() const;
 
  private:
   const db::library& lib_;
-  std::shared_mutex mu_;
+  const frozen_backing* frozen_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<key, master_layer_view, key_hash> map_;
-};
-
-// ---------------------------------------------------------------------------
-// Memoized flat instance lists
-// ---------------------------------------------------------------------------
-
-/// The flattened placements of one (top, layer) plus the per-master
-/// occurrence counts the instance collector uses for split decisions. Both
-/// are window-independent, so one entry serves every rule group.
-struct instance_set {
-  std::vector<db::placed_cell> placed;
-  std::unordered_map<db::cell_id, std::uint32_t> occurrences;
-};
-
-// ---------------------------------------------------------------------------
-// Master-local packed edges
-// ---------------------------------------------------------------------------
-
-/// The packed edges of one (master, layer): every polygon of the layer view,
-/// packed once in master-local coordinates with `poly` = the view-local
-/// polygon index and `group` = 0. Instance packs re-tag and transform these
-/// records instead of re-walking the polygons.
-struct packed_master_edges {
-  std::vector<sweep::packed_edge> edges;
-  std::vector<std::uint32_t> poly_offsets;  ///< size poly_count()+1, into edges
-  /// Per view-local polygon: was the master ring clockwise? A reflecting
-  /// placement flips orientation and polygon::transformed() restores the
-  /// clockwise invariant by reversing the ring — for packed records that is
-  /// exactly a from/to swap per edge, applied iff this flag is set.
-  std::vector<std::uint8_t> clockwise;
-
-  [[nodiscard]] std::size_t poly_count() const {
-    return poly_offsets.empty() ? 0 : poly_offsets.size() - 1;
-  }
+  std::unordered_set<std::uint64_t> masked_;  ///< cells whose frozen records are stale
 };
 
 /// Append one placed instance of a cached master: apply `t` to every cached
@@ -164,12 +207,31 @@ class layout_snapshot {
   explicit layout_snapshot(const db::library& lib)
       : lib_(lib), index_(lib), views_(lib) {}
 
+  /// Frozen-backed snapshot: the MBR index adopts the blob's node arrays
+  /// zero-copy and every cache miss consults the blob before building.
+  /// `lib` must be the library the blob was built from (the session
+  /// deserializes it from the same file); the shared_ptr keeps the mapping
+  /// alive for the snapshot's lifetime.
+  layout_snapshot(const db::library& lib, std::shared_ptr<const frozen_backing> frozen)
+      : lib_(lib),
+        frozen_(std::move(frozen)),
+        index_(frozen_->make_index(lib)),
+        views_(lib, frozen_.get()) {}
+
   layout_snapshot(const layout_snapshot&) = delete;
   layout_snapshot& operator=(const layout_snapshot&) = delete;
 
   [[nodiscard]] const db::library& lib() const { return lib_; }
   [[nodiscard]] const db::mbr_index& index() const { return index_; }
   [[nodiscard]] view_cache& views() { return views_; }
+
+  /// True when backed by a mapped frozen snapshot.
+  [[nodiscard]] bool frozen_backed() const { return frozen_ != nullptr; }
+
+  /// Copy-on-write overlay size: masked masters plus the instance-memo
+  /// disable flag. 0 until the first invalidation of a frozen-backed
+  /// snapshot.
+  [[nodiscard]] std::size_t overlay_entries() const;
 
   /// Memoized flat_instance_list(index, top, layer) + occurrence counts.
   /// Thread-safe; the reference is stable for the snapshot's lifetime.
@@ -184,25 +246,30 @@ class layout_snapshot {
   //    invalidated entries dangle.
 
   /// Cell `master`'s polygons or references changed in place: drop its layer
-  /// views and packed edges and refresh the MBR index (partial update, full
-  /// rebuild as fallback). Does NOT touch the flat-instance memo — call
+  /// views and packed edges (masking their frozen records) and refresh the
+  /// MBR index (partial update — thaws a frozen index — with a full rebuild
+  /// as fallback). Does NOT touch the flat-instance memo — call
   /// invalidate_instances() too if placements or per-layer emptiness changed.
   void invalidate_master(db::cell_id master);
 
   /// Placements changed (instance added/removed/moved, or a cell's content
   /// appeared on / vanished from a layer): drop all memoized flat instance
-  /// lists.
+  /// lists and stop consulting the blob's instance records.
   void invalidate_instances();
 
  private:
   const db::library& lib_;
+  std::shared_ptr<const frozen_backing> frozen_;
   db::mbr_index index_;
   view_cache views_;
 
-  std::shared_mutex inst_mu_;
+  mutable std::shared_mutex inst_mu_;
   std::unordered_map<view_cache::key, instance_set, view_cache::key_hash> inst_map_;
-  std::shared_mutex pack_mu_;
+  bool inst_frozen_enabled_ = true;  ///< guarded by inst_mu_
+
+  mutable std::shared_mutex pack_mu_;
   std::unordered_map<view_cache::key, packed_master_edges, view_cache::key_hash> pack_map_;
+  std::unordered_set<std::uint64_t> pack_masked_;  ///< guarded by pack_mu_
 };
 
 }  // namespace odrc::engine

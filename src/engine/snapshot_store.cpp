@@ -1,0 +1,623 @@
+#include "engine/snapshot_store.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "engine/rule.hpp"
+#include "infra/trace.hpp"
+
+namespace odrc::engine {
+
+namespace {
+
+using odrc::arena;
+using odrc::offset_span;
+
+// ---------------------------------------------------------------------------
+// On-disk records. All file-absolute offsets; all trivially copyable.
+// ---------------------------------------------------------------------------
+
+static_assert(std::is_trivially_copyable_v<point>);
+static_assert(std::is_trivially_copyable_v<rect>);
+static_assert(std::is_trivially_copyable_v<transform>);
+static_assert(std::is_trivially_copyable_v<db::cell_ref>);
+static_assert(std::is_trivially_copyable_v<db::cell_array>);
+static_assert(std::is_trivially_copyable_v<db::element_ref>);
+static_assert(std::is_trivially_copyable_v<db::placed_cell>);
+static_assert(std::is_trivially_copyable_v<sweep::packed_edge>);
+static_assert(std::is_trivially_copyable_v<occurrence_entry>);
+
+struct file_header {
+  std::uint64_t magic = snapshot_magic;
+  std::uint32_t version = snapshot_version;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t cell_count = 0;
+  std::uint32_t layer_count = 0;
+  std::uint32_t top_count = 0;
+  std::uint64_t table_off = 0;
+  std::uint64_t table_hash = 0;
+  double user_unit = 0;
+  double meter_unit = 0;
+};
+
+enum section_id : std::uint32_t {
+  sec_library = 1,
+  sec_mbr = 2,
+  sec_views = 3,
+  sec_instances = 4,
+  sec_packed = 5,
+};
+constexpr std::uint32_t section_total = 5;
+
+struct poly_rec {
+  db::layer_t layer = 0;
+  db::datatype_t datatype = 0;
+  std::uint32_t pad = 0;
+  offset_span<point> verts;
+  offset_span<char> name;
+};
+
+struct text_rec {
+  db::layer_t layer = 0;
+  db::datatype_t datatype = 0;
+  point position{};
+  offset_span<char> text;
+};
+
+struct cell_rec {
+  offset_span<char> name;
+  offset_span<poly_rec> polys;
+  offset_span<db::cell_ref> refs;
+  offset_span<db::cell_array> arrays;
+  offset_span<text_rec> texts;
+};
+
+struct lib_sec_header {
+  offset_span<char> name;
+  offset_span<cell_rec> cells;
+  double user_unit = 0;
+  double meter_unit = 0;
+};
+
+struct mbr_sec_header {
+  offset_span<db::layer_t> layers;
+  offset_span<rect> mbr;
+  offset_span<rect> own_mbr;
+  offset_span<rect> total_mbr;
+  offset_span<db::element_ref> inverted_data;
+  offset_span<std::uint32_t> inverted_off;
+  offset_span<std::uint32_t> children_data;
+  offset_span<std::uint32_t> children_off;
+};
+
+/// Header of the three keyed sections: a flat hash whose values are the
+/// file-absolute offsets of the records.
+struct keyed_sec_header {
+  std::uint64_t table_off = 0;
+  std::uint64_t record_count = 0;
+};
+
+struct view_rec {
+  offset_span<std::uint32_t> poly_indices;
+  offset_span<rect> poly_mbrs;
+  rect mbr;
+};
+
+struct inst_rec {
+  offset_span<db::placed_cell> placed;
+  offset_span<occurrence_entry> occ;
+};
+
+struct pack_rec {
+  offset_span<sweep::packed_edge> edges;
+  offset_span<std::uint32_t> poly_offsets;
+  offset_span<std::uint8_t> clockwise;
+};
+
+/// (cell, layer) -> table key. Injective: cell occupies the high 32 bits,
+/// the sign-extended-then-truncated layer the low 32.
+std::uint64_t pack_key(db::cell_id cell, std::int32_t layer) {
+  return (static_cast<std::uint64_t>(cell) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(layer));
+}
+
+offset_span<char> put_string(arena& a, const std::string& s) {
+  return a.put_array(s.data(), s.size());
+}
+
+std::string get_string(const void* base, const offset_span<char>& s) {
+  const auto sp = s.get(base);
+  return {sp.data(), sp.size()};
+}
+
+/// The layer domain the engine can request views/instances/packs for: every
+/// populated layer plus the any-layer wildcard.
+std::vector<std::int32_t> layer_domain(const db::mbr_index& index) {
+  std::vector<std::int32_t> out;
+  out.reserve(index.layers().size() + 1);
+  for (const db::layer_t l : index.layers()) out.push_back(l);
+  out.push_back(rules::any_layer);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+snapshot_build_stats build_snapshot_file(const db::library& lib, const std::string& path) {
+  layout_snapshot snap(lib);
+  const std::vector<std::int32_t> domain = layer_domain(snap.index());
+  const std::vector<db::cell_id> tops = lib.top_cells();
+
+  arena a;
+  a.put_zeros(sizeof(file_header));
+  a.align_to(8);
+  const std::uint64_t table_off = a.put_zeros(section_total * sizeof(snapshot_section));
+  snapshot_section table[section_total];
+  snapshot_build_stats stats;
+
+  auto begin_section = [&](std::uint32_t id) {
+    a.align_to(8);
+    snapshot_section s;
+    s.id = id;
+    s.offset = a.size();
+    return s;
+  };
+  auto end_section = [&](snapshot_section s, std::size_t slot) {
+    s.bytes = a.size() - s.offset;
+    table[slot] = s;
+  };
+
+  // [1] library ------------------------------------------------------------
+  {
+    snapshot_section s = begin_section(sec_library);
+    const std::uint64_t hdr_off = a.put_zeros(sizeof(lib_sec_header));
+    std::vector<cell_rec> cells;
+    cells.reserve(lib.cell_count());
+    for (const db::cell& c : lib.cells()) {
+      cell_rec cr;
+      cr.name = put_string(a, c.name());
+      std::vector<poly_rec> polys;
+      polys.reserve(c.polygons().size());
+      for (const db::polygon_elem& p : c.polygons()) {
+        poly_rec pr;
+        pr.layer = p.layer;
+        pr.datatype = p.datatype;
+        pr.verts = a.put_array(p.poly.vertices());
+        pr.name = put_string(a, p.name);
+        polys.push_back(pr);
+      }
+      cr.polys = a.put_array(polys.data(), polys.size());
+      cr.refs = a.put_array(c.refs());
+      cr.arrays = a.put_array(c.arrays());
+      std::vector<text_rec> texts;
+      texts.reserve(c.texts().size());
+      for (const db::text_elem& t : c.texts()) {
+        text_rec tr;
+        tr.layer = t.layer;
+        tr.datatype = t.datatype;
+        tr.position = t.position;
+        tr.text = put_string(a, t.text);
+        texts.push_back(tr);
+      }
+      cr.texts = a.put_array(texts.data(), texts.size());
+      cells.push_back(cr);
+    }
+    lib_sec_header hdr;
+    hdr.name = put_string(a, lib.name());
+    hdr.cells = a.put_array(cells.data(), cells.size());
+    hdr.user_unit = lib.user_unit;
+    hdr.meter_unit = lib.meter_unit;
+    a.patch(hdr_off, hdr);
+    end_section(s, 0);
+    stats.cells = lib.cell_count();
+  }
+
+  // [2] mbr_index node arrays ----------------------------------------------
+  {
+    snapshot_section s = begin_section(sec_mbr);
+    const std::uint64_t hdr_off = a.put_zeros(sizeof(mbr_sec_header));
+    const db::mbr_index::frozen_view fv = snap.index().freeze_view();
+    mbr_sec_header hdr;
+    hdr.layers = a.put_array(fv.layers);
+    hdr.mbr = a.put_array(fv.mbr);
+    hdr.own_mbr = a.put_array(fv.own_mbr);
+    hdr.total_mbr = a.put_array(fv.total_mbr);
+    hdr.inverted_data = a.put_array(fv.inverted_data);
+    hdr.inverted_off = a.put_array(fv.inverted_off);
+    hdr.children_data = a.put_array(fv.children_data);
+    hdr.children_off = a.put_array(fv.children_off);
+    a.patch(hdr_off, hdr);
+    end_section(s, 1);
+  }
+
+  // [3] master layer views + [5] packed master edges -----------------------
+  // Walked together: packed derives from the view, and both skip masters
+  // that contribute nothing to the layer (a runtime miss on an absent key
+  // just rebuilds the empty entry from the library — cheap and cached).
+  odrc::flat_hash_builder views_table;
+  odrc::flat_hash_builder pack_table;
+  {
+    snapshot_section s = begin_section(sec_views);
+    const std::uint64_t hdr_off = a.put_zeros(sizeof(keyed_sec_header));
+    for (db::cell_id id = 0; id < lib.cell_count(); ++id) {
+      for (const std::int32_t layer : domain) {
+        const master_layer_view& v = snap.views().get(id, static_cast<db::layer_t>(layer));
+        if (v.empty()) continue;
+        view_rec vr;
+        vr.poly_indices = a.put_array(v.poly_indices.span());
+        vr.poly_mbrs = a.put_array(v.poly_mbrs.span());
+        vr.mbr = v.mbr;
+        const std::uint64_t rec_off = a.put(vr);
+        views_table.insert(pack_key(id, layer), rec_off);
+        ++stats.views;
+      }
+    }
+    keyed_sec_header hdr;
+    hdr.table_off = views_table.write(a);
+    hdr.record_count = views_table.size();
+    a.patch(hdr_off, hdr);
+    end_section(s, 2);
+  }
+
+  // [4] flat instance sets --------------------------------------------------
+  {
+    snapshot_section s = begin_section(sec_instances);
+    const std::uint64_t hdr_off = a.put_zeros(sizeof(keyed_sec_header));
+    odrc::flat_hash_builder inst_table;
+    for (const db::cell_id top : tops) {
+      for (const std::int32_t layer : domain) {
+        const instance_set& set = snap.instances(top, static_cast<db::layer_t>(layer));
+        inst_rec ir;
+        ir.placed = a.put_array(set.placed.span());
+        ir.occ = a.put_array(set.occ.span());
+        const std::uint64_t rec_off = a.put(ir);
+        inst_table.insert(pack_key(top, layer), rec_off);
+        ++stats.instance_sets;
+      }
+    }
+    keyed_sec_header hdr;
+    hdr.table_off = inst_table.write(a);
+    hdr.record_count = inst_table.size();
+    a.patch(hdr_off, hdr);
+    end_section(s, 3);
+  }
+
+  // [5] packed master edges -------------------------------------------------
+  {
+    snapshot_section s = begin_section(sec_packed);
+    const std::uint64_t hdr_off = a.put_zeros(sizeof(keyed_sec_header));
+    for (db::cell_id id = 0; id < lib.cell_count(); ++id) {
+      for (const std::int32_t layer : domain) {
+        const master_layer_view& v = snap.views().get(id, static_cast<db::layer_t>(layer));
+        if (v.empty()) continue;
+        const packed_master_edges& pm = snap.packed(id, static_cast<db::layer_t>(layer));
+        pack_rec pr;
+        pr.edges = a.put_array(pm.edges.span());
+        pr.poly_offsets = a.put_array(pm.poly_offsets.span());
+        pr.clockwise = a.put_array(pm.clockwise.span());
+        const std::uint64_t rec_off = a.put(pr);
+        pack_table.insert(pack_key(id, layer), rec_off);
+        ++stats.packed_sets;
+      }
+    }
+    keyed_sec_header hdr;
+    hdr.table_off = pack_table.write(a);
+    hdr.record_count = pack_table.size();
+    a.patch(hdr_off, hdr);
+    end_section(s, 4);
+  }
+
+  // Finalize: section hashes, table, header ---------------------------------
+  for (snapshot_section& s : table) {
+    s.hash = odrc::xxhash64(a.data() + s.offset, s.bytes);
+  }
+  for (std::uint32_t i = 0; i < section_total; ++i) {
+    a.patch(table_off + i * sizeof(snapshot_section), table[i]);
+  }
+  file_header hdr;
+  hdr.section_count = section_total;
+  hdr.file_bytes = a.size();
+  hdr.cell_count = lib.cell_count();
+  hdr.layer_count = static_cast<std::uint32_t>(snap.index().layers().size());
+  hdr.top_count = static_cast<std::uint32_t>(tops.size());
+  hdr.table_off = table_off;
+  hdr.table_hash = odrc::xxhash64(a.data() + table_off, section_total * sizeof(snapshot_section));
+  hdr.user_unit = lib.user_unit;
+  hdr.meter_unit = lib.meter_unit;
+  a.patch(0, hdr);
+
+  // Write via a temp file + rename so a concurrent boot never maps a
+  // half-written blob (hot-swap builds while a server is live).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("snapshot build: cannot open " + tmp);
+  const std::size_t written = std::fwrite(a.data(), 1, a.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != a.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot build: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot build: cannot rename " + tmp + " -> " + path);
+  }
+
+  stats.file_bytes = a.size();
+  stats.sections = section_total;
+  return stats;
+}
+
+warm_stats warm_snapshot(layout_snapshot& snap) {
+  warm_stats w;
+  const db::library& lib = snap.lib();
+  const std::vector<std::int32_t> domain = layer_domain(snap.index());
+  for (db::cell_id id = 0; id < lib.cell_count(); ++id) {
+    for (const std::int32_t layer : domain) {
+      const master_layer_view& v = snap.views().get(id, static_cast<db::layer_t>(layer));
+      ++w.views;
+      if (v.empty()) continue;
+      (void)snap.packed(id, static_cast<db::layer_t>(layer));
+      ++w.packed_sets;
+    }
+  }
+  for (const db::cell_id top : lib.top_cells()) {
+    for (const std::int32_t layer : domain) {
+      (void)snap.instances(top, static_cast<db::layer_t>(layer));
+      ++w.instance_sets;
+    }
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// mapped_file
+// ---------------------------------------------------------------------------
+
+mapped_file::~mapped_file() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+}
+
+mapped_file::mapped_file(mapped_file&& o) noexcept : data_(o.data_), size_(o.size_) {
+  o.data_ = nullptr;
+  o.size_ = 0;
+}
+
+mapped_file& mapped_file::operator=(mapped_file&& o) noexcept {
+  if (this == &o) return *this;
+  if (data_ != nullptr) ::munmap(const_cast<unsigned char*>(data_), size_);
+  data_ = o.data_;
+  size_ = o.size_;
+  o.data_ = nullptr;
+  o.size_ = 0;
+  return *this;
+}
+
+mapped_file mapped_file::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw snapshot_format_error("cannot open snapshot file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw snapshot_format_error("cannot stat snapshot file: " + path);
+  }
+  void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (p == MAP_FAILED) throw snapshot_format_error("cannot mmap snapshot file: " + path);
+  mapped_file m;
+  m.data_ = static_cast<const unsigned char*>(p);
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// frozen_snapshot
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const file_header& header_of(const unsigned char* base) {
+  return *reinterpret_cast<const file_header*>(base);
+}
+
+const snapshot_section* table_of(const unsigned char* base) {
+  return reinterpret_cast<const snapshot_section*>(base + header_of(base).table_off);
+}
+
+}  // namespace
+
+std::shared_ptr<const frozen_snapshot> frozen_snapshot::load(const std::string& path) {
+  trace::span ts("snapshot", "snapshot_boot");
+  auto fs = std::shared_ptr<frozen_snapshot>(new frozen_snapshot());
+  fs->map_ = mapped_file::open(path);
+  fs->validate_and_attach();
+  trace::counter("snapshot", "mapped_bytes", static_cast<std::int64_t>(fs->map_.size()));
+  trace::counter("snapshot", "sections_validated",
+                 static_cast<std::int64_t>(fs->section_count()));
+  return fs;
+}
+
+void frozen_snapshot::validate_and_attach() {
+  const unsigned char* b = base();
+  const std::size_t n = map_.size();
+  if (n < sizeof(file_header)) throw snapshot_format_error("snapshot too small for header");
+  const file_header& hdr = header_of(b);
+  if (hdr.magic != snapshot_magic) throw snapshot_format_error("bad snapshot magic");
+  if (hdr.version != snapshot_version) {
+    throw snapshot_format_error("unsupported snapshot version " + std::to_string(hdr.version));
+  }
+  if (hdr.file_bytes != n) throw snapshot_format_error("snapshot size mismatch (truncated?)");
+  if (hdr.section_count != section_total) {
+    throw snapshot_format_error("unexpected section count " + std::to_string(hdr.section_count));
+  }
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(hdr.section_count) * sizeof(snapshot_section);
+  if (hdr.table_off > n || table_bytes > n - hdr.table_off) {
+    throw snapshot_format_error("section table out of bounds");
+  }
+  if (odrc::xxhash64(b + hdr.table_off, table_bytes) != hdr.table_hash) {
+    throw snapshot_format_error("section table checksum mismatch");
+  }
+  const snapshot_section* table = table_of(b);
+  for (std::uint32_t i = 0; i < hdr.section_count; ++i) {
+    const snapshot_section& s = table[i];
+    if (s.offset > n || s.bytes > n - s.offset) {
+      throw snapshot_format_error("section " + std::to_string(s.id) + " out of bounds");
+    }
+    if (odrc::xxhash64(b + s.offset, s.bytes) != s.hash) {
+      throw snapshot_format_error("section " + std::to_string(s.id) + " checksum mismatch");
+    }
+    switch (s.id) {
+      case sec_library: lib_off_ = s.offset; break;
+      case sec_mbr: mbr_off_ = s.offset; break;
+      case sec_views: views_off_ = s.offset; break;
+      case sec_instances: inst_off_ = s.offset; break;
+      case sec_packed: pack_off_ = s.offset; break;
+      default: throw snapshot_format_error("unknown section id " + std::to_string(s.id));
+    }
+  }
+  if (lib_off_ == 0 || mbr_off_ == 0 || views_off_ == 0 || inst_off_ == 0 || pack_off_ == 0) {
+    throw snapshot_format_error("missing snapshot section");
+  }
+  const auto attach_table = [&](std::uint64_t sec_off) {
+    keyed_sec_header h;
+    std::memcpy(&h, b + sec_off, sizeof(h));
+    if (h.table_off > n) throw snapshot_format_error("hash table out of bounds");
+    return odrc::flat_hash_view(b, h.table_off);
+  };
+  views_idx_ = attach_table(views_off_);
+  inst_idx_ = attach_table(inst_off_);
+  pack_idx_ = attach_table(pack_off_);
+}
+
+std::uint32_t frozen_snapshot::section_count() const {
+  return header_of(base()).section_count;
+}
+
+std::uint64_t frozen_snapshot::cell_count() const {
+  return header_of(base()).cell_count;
+}
+
+db::library frozen_snapshot::make_library() const {
+  const unsigned char* b = base();
+  lib_sec_header hdr;
+  std::memcpy(&hdr, b + lib_off_, sizeof(hdr));
+  db::library lib(get_string(b, hdr.name));
+  lib.user_unit = hdr.user_unit;
+  lib.meter_unit = hdr.meter_unit;
+  for (const cell_rec& cr : hdr.cells.get(b)) {
+    const db::cell_id id = lib.add_cell(get_string(b, cr.name));
+    db::cell& c = lib.at(id);
+    for (const poly_rec& pr : cr.polys.get(b)) {
+      const auto verts = pr.verts.get(b);
+      db::polygon_elem p;
+      p.layer = pr.layer;
+      p.datatype = pr.datatype;
+      p.poly = polygon(std::vector<point>(verts.begin(), verts.end()));
+      p.name = get_string(b, pr.name);
+      c.add_polygon(std::move(p));
+    }
+    for (const db::cell_ref& r : cr.refs.get(b)) c.add_ref(r);
+    for (const db::cell_array& ar : cr.arrays.get(b)) c.add_array(ar);
+    for (const text_rec& tr : cr.texts.get(b)) {
+      db::text_elem t;
+      t.layer = tr.layer;
+      t.datatype = tr.datatype;
+      t.position = tr.position;
+      t.text = get_string(b, tr.text);
+      c.add_text(std::move(t));
+    }
+  }
+  return lib;
+}
+
+db::mbr_index frozen_snapshot::make_index(const db::library& lib) const {
+  const unsigned char* b = base();
+  mbr_sec_header hdr;
+  std::memcpy(&hdr, b + mbr_off_, sizeof(hdr));
+  if (lib.cell_count() != header_of(b).cell_count) {
+    throw snapshot_format_error("library does not match snapshot (cell count)");
+  }
+  db::mbr_index::frozen_view fv;
+  fv.layers = hdr.layers.get(b);
+  fv.mbr = hdr.mbr.get(b);
+  fv.own_mbr = hdr.own_mbr.get(b);
+  fv.total_mbr = hdr.total_mbr.get(b);
+  fv.inverted_data = hdr.inverted_data.get(b);
+  fv.inverted_off = hdr.inverted_off.get(b);
+  fv.children_data = hdr.children_data.get(b);
+  fv.children_off = hdr.children_off.get(b);
+  return {lib, fv};
+}
+
+bool frozen_snapshot::fill_view(db::cell_id cell, std::int32_t layer,
+                                master_layer_view& out) const {
+  std::uint64_t rec_off = 0;
+  if (!views_idx_.find(pack_key(cell, layer), rec_off)) return false;
+  const unsigned char* b = base();
+  view_rec vr;
+  std::memcpy(&vr, b + rec_off, sizeof(vr));
+  out.poly_indices.adopt(vr.poly_indices.get(b));
+  out.poly_mbrs.adopt(vr.poly_mbrs.get(b));
+  out.mbr = vr.mbr;
+  return true;
+}
+
+bool frozen_snapshot::fill_instances(db::cell_id top, std::int32_t layer,
+                                     instance_set& out) const {
+  std::uint64_t rec_off = 0;
+  if (!inst_idx_.find(pack_key(top, layer), rec_off)) return false;
+  const unsigned char* b = base();
+  inst_rec ir;
+  std::memcpy(&ir, b + rec_off, sizeof(ir));
+  out.placed.adopt(ir.placed.get(b));
+  out.occ.adopt(ir.occ.get(b));
+  return true;
+}
+
+bool frozen_snapshot::fill_packed(db::cell_id master, std::int32_t layer,
+                                  packed_master_edges& out) const {
+  std::uint64_t rec_off = 0;
+  if (!pack_idx_.find(pack_key(master, layer), rec_off)) return false;
+  const unsigned char* b = base();
+  pack_rec pr;
+  std::memcpy(&pr, b + rec_off, sizeof(pr));
+  out.edges.adopt(pr.edges.get(b));
+  out.poly_offsets.adopt(pr.poly_offsets.get(b));
+  out.clockwise.adopt(pr.clockwise.get(b));
+  return true;
+}
+
+std::string frozen_snapshot::info_text() const {
+  const unsigned char* b = base();
+  const file_header& hdr = header_of(b);
+  std::ostringstream os;
+  os << "snapshot version " << hdr.version << "\n"
+     << "file_bytes " << hdr.file_bytes << "\n"
+     << "cells " << hdr.cell_count << "\n"
+     << "layers " << hdr.layer_count << "\n"
+     << "tops " << hdr.top_count << "\n"
+     << "sections " << hdr.section_count << "\n";
+  static const char* names[] = {"?", "library", "mbr_index", "views", "instances", "packed"};
+  const snapshot_section* table = table_of(b);
+  for (std::uint32_t i = 0; i < hdr.section_count; ++i) {
+    const snapshot_section& s = table[i];
+    const char* name = s.id <= 5 ? names[s.id] : "?";
+    os << "section " << name << " offset " << s.offset << " bytes " << s.bytes << " hash "
+       << std::hex << s.hash << std::dec << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace odrc::engine

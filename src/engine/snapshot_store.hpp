@@ -1,0 +1,154 @@
+// Frozen snapshot store (ROADMAP item 2, DESIGN.md §9).
+//
+// Serializes everything a warm `layout_snapshot` holds into one relocatable,
+// versioned, checksummed blob — the `.snap` file — so a later process boots
+// by mmap-ing it instead of re-parsing GDSII and re-walking the hierarchy:
+//
+//   file_header                 magic, version, counts, section table hash
+//   section table               (id, offset, bytes, xxhash64) per section
+//   [1] library                 serialized cells (the only copied section:
+//                               the mutable db::library cannot alias a
+//                               read-only mapping, but deserializing it is
+//                               far cheaper than parsing GDSII)
+//   [2] mbr_index node arrays   adopted zero-copy (storage_span views)
+//   [3] master layer views      flat hash (cell,layer) -> record + arrays
+//   [4] flat instance sets      flat hash (top,layer)  -> record + arrays
+//   [5] packed master edges     flat hash (cell,layer) -> record + arrays
+//
+// Every offset inside the blob is file-absolute, so the mapping needs zero
+// fix-up wherever it lands. Load-time validation is O(sections): magic,
+// version, table bounds, then one xxhash64 pass per section. Hash keys pack
+// (cell_id << 32) | u32(layer) — injective at u32 cell x i32 layer widths.
+//
+// Hot-swap: sessions hold the mapping via shared_ptr<const frozen_snapshot>;
+// `reload` flips the pointer between checks and the old mapping unmaps when
+// the last in-flight reference drains (frozen_snapshot destructor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "db/layout.hpp"
+#include "db/mbr_index.hpp"
+#include "engine/snapshot.hpp"
+#include "infra/arena.hpp"
+
+namespace odrc::engine {
+
+/// A malformed, truncated, corrupted, or version-mismatched .snap file.
+class snapshot_format_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint64_t snapshot_magic = 0x50414E5343524F44ull;  // "ODRCSNAP" LE
+inline constexpr std::uint32_t snapshot_version = 1;
+
+/// Per-section directory entry (on disk).
+struct snapshot_section {
+  std::uint32_t id = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hash = 0;  ///< xxhash64 of the section's bytes
+};
+
+/// Build stats returned by build_snapshot_file (and shown by the CLI).
+struct snapshot_build_stats {
+  std::uint64_t file_bytes = 0;
+  std::uint32_t sections = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t views = 0;
+  std::uint64_t instance_sets = 0;
+  std::uint64_t packed_sets = 0;
+};
+
+/// Walk every (cell, layer) view / packed record and every (top, layer)
+/// instance set of `lib` — the exact key domain the engine can request — and
+/// write the frozen blob to `path`. Throws std::runtime_error on I/O errors.
+snapshot_build_stats build_snapshot_file(const db::library& lib, const std::string& path);
+
+/// Force-build every structure of `snap` (same key domain as the builder).
+/// The "cold parse+build" bench leg and tests use it to pay the full build
+/// cost up front.
+struct warm_stats {
+  std::uint64_t views = 0;
+  std::uint64_t instance_sets = 0;
+  std::uint64_t packed_sets = 0;
+};
+warm_stats warm_snapshot(layout_snapshot& snap);
+
+/// Read-only mmap of a file. Move-only; unmaps on destruction.
+class mapped_file {
+ public:
+  mapped_file() = default;
+  ~mapped_file();
+  mapped_file(mapped_file&& o) noexcept;
+  mapped_file& operator=(mapped_file&& o) noexcept;
+  mapped_file(const mapped_file&) = delete;
+  mapped_file& operator=(const mapped_file&) = delete;
+
+  /// Map `path` read-only. Throws snapshot_format_error when the file
+  /// cannot be opened or mapped.
+  static mapped_file open(const std::string& path);
+
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// One mapped, validated .snap file. All fill_* lookups construct span views
+/// into the mapping (zero data copy); make_library() deserializes the
+/// library section into an owned, mutable db::library (the boot-time
+/// replacement for the GDSII parse).
+class frozen_snapshot final : public frozen_backing {
+ public:
+  /// Map + validate `path`. Throws snapshot_format_error on any validation
+  /// failure (bad magic/version, out-of-bounds section, checksum mismatch).
+  /// Emits the "snapshot":"snapshot_boot" trace span with mapped-bytes and
+  /// sections-validated counters.
+  static std::shared_ptr<const frozen_snapshot> load(const std::string& path);
+
+  /// Owned, mutable library deserialized from the library section.
+  [[nodiscard]] db::library make_library() const;
+
+  // frozen_backing
+  [[nodiscard]] bool fill_view(db::cell_id cell, std::int32_t layer,
+                               master_layer_view& out) const override;
+  [[nodiscard]] bool fill_instances(db::cell_id top, std::int32_t layer,
+                                    instance_set& out) const override;
+  [[nodiscard]] bool fill_packed(db::cell_id master, std::int32_t layer,
+                                 packed_master_edges& out) const override;
+  [[nodiscard]] db::mbr_index make_index(const db::library& lib) const override;
+
+  [[nodiscard]] std::uint64_t mapped_bytes() const { return map_.size(); }
+  [[nodiscard]] std::uint32_t section_count() const;
+  [[nodiscard]] std::uint64_t cell_count() const;
+
+  /// Human-readable section directory (the `odrc snapshot info` output).
+  [[nodiscard]] std::string info_text() const;
+
+ private:
+  frozen_snapshot() = default;
+  void validate_and_attach();  ///< throws snapshot_format_error
+
+  [[nodiscard]] const unsigned char* base() const { return map_.data(); }
+
+  mapped_file map_;
+  // Section payload offsets, resolved once at load.
+  std::uint64_t lib_off_ = 0;
+  std::uint64_t mbr_off_ = 0;
+  std::uint64_t views_off_ = 0;
+  std::uint64_t inst_off_ = 0;
+  std::uint64_t pack_off_ = 0;
+  odrc::flat_hash_view views_idx_;
+  odrc::flat_hash_view inst_idx_;
+  odrc::flat_hash_view pack_idx_;
+};
+
+}  // namespace odrc::engine

@@ -1,0 +1,441 @@
+// Relocatable arena storage (ROADMAP item 2, DESIGN.md §9).
+//
+// The frozen snapshot store serializes every hierarchical structure of a
+// `layout_snapshot` into one contiguous blob that a later process maps
+// read-only and uses in place — no pointer fix-up, no deserialization of the
+// hot arrays. Everything here exists to make that possible:
+//
+//   - `arena`: an append-only bump allocator over a byte vector. put() copies
+//     trivially-copyable values/arrays and returns their byte offset; the
+//     final blob is written to disk verbatim, so every recorded offset stays
+//     valid wherever the file is mapped.
+//   - `offset_ptr<T>` / `offset_span<T>`: typed offsets into the blob,
+//     resolved against the mapping base at read time. POD themselves, so
+//     they can be embedded in on-disk records.
+//   - `flat_hash_builder` / `flat_hash_view`: an open-addressing hash table
+//     (u64 key -> u64 value) laid out flat in the arena and probed directly
+//     from the mapped file — the offset-addressed replacement for the
+//     unordered_maps the mutable snapshot caches use.
+//   - `storage_span<T>`: the container the refactored runtime structures
+//     hold — either an owning vector (mutable/cold path) or a borrowed view
+//     into a mapped blob (frozen path), with an explicit thaw() for
+//     copy-on-write edits.
+//   - `xxhash64`: section checksums for O(1) load-time validation. In-repo
+//     implementation of the public XXH64 algorithm — no external dependency.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace odrc {
+
+// ---------------------------------------------------------------------------
+// xxhash64 (XXH64, public algorithm)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline constexpr std::uint64_t xxp1 = 0x9E3779B185EBCA87ull;
+inline constexpr std::uint64_t xxp2 = 0xC2B2AE3D27D4EB4Full;
+inline constexpr std::uint64_t xxp3 = 0x165667B19E3779F9ull;
+inline constexpr std::uint64_t xxp4 = 0x85EBCA77C2B2AE63ull;
+inline constexpr std::uint64_t xxp5 = 0x27D4EB2F165667C5ull;
+
+inline std::uint64_t xx_rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t xx_read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian hosts only (the whole blob format is LE)
+}
+
+inline std::uint32_t xx_read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t xx_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * xxp2;
+  acc = xx_rotl(acc, 31);
+  return acc * xxp1;
+}
+
+inline std::uint64_t xx_merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= xx_round(0, val);
+  return acc * xxp1 + xxp4;
+}
+
+}  // namespace detail
+
+/// XXH64 of `n` bytes with `seed`. Used for snapshot section checksums.
+inline std::uint64_t xxhash64(const void* data, std::size_t n, std::uint64_t seed = 0) {
+  using namespace detail;
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + n;
+  std::uint64_t h;
+  if (n >= 32) {
+    std::uint64_t v1 = seed + xxp1 + xxp2;
+    std::uint64_t v2 = seed + xxp2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - xxp1;
+    const unsigned char* limit = end - 32;
+    do {
+      v1 = xx_round(v1, xx_read64(p)); p += 8;
+      v2 = xx_round(v2, xx_read64(p)); p += 8;
+      v3 = xx_round(v3, xx_read64(p)); p += 8;
+      v4 = xx_round(v4, xx_read64(p)); p += 8;
+    } while (p <= limit);
+    h = xx_rotl(v1, 1) + xx_rotl(v2, 7) + xx_rotl(v3, 12) + xx_rotl(v4, 18);
+    h = xx_merge_round(h, v1);
+    h = xx_merge_round(h, v2);
+    h = xx_merge_round(h, v3);
+    h = xx_merge_round(h, v4);
+  } else {
+    h = seed + xxp5;
+  }
+  h += static_cast<std::uint64_t>(n);
+  while (p + 8 <= end) {
+    h ^= xx_round(0, xx_read64(p));
+    h = xx_rotl(h, 27) * xxp1 + xxp4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(xx_read32(p)) * xxp1;
+    h = xx_rotl(h, 23) * xxp2 + xxp3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= *p * xxp5;
+    h = xx_rotl(h, 11) * xxp1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= xxp2;
+  h ^= h >> 29;
+  h *= xxp3;
+  h ^= h >> 32;
+  return h;
+}
+
+/// splitmix64 finalizer — the probe hash of the flat tables. Collisions only
+/// cost extra probes; key equality is exact.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Offset-addressed views
+// ---------------------------------------------------------------------------
+
+/// A typed byte offset into a relocatable blob. 0 encodes null (offset 0 is
+/// always the file header, never a payload object).
+template <typename T>
+struct offset_ptr {
+  std::uint64_t off = 0;
+
+  [[nodiscard]] const T* get(const void* base) const {
+    return off == 0 ? nullptr
+                    : reinterpret_cast<const T*>(static_cast<const unsigned char*>(base) + off);
+  }
+};
+
+/// A typed (offset, count) array view into a relocatable blob.
+template <typename T>
+struct offset_span {
+  std::uint64_t off = 0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] std::span<const T> get(const void* base) const {
+    if (count == 0) return {};
+    return {reinterpret_cast<const T*>(static_cast<const unsigned char*>(base) + off),
+            static_cast<std::size_t>(count)};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bump arena
+// ---------------------------------------------------------------------------
+
+/// Append-only builder for one relocatable blob. All put() overloads align
+/// the write to alignof(T) (zero padding) and return the byte offset.
+class arena {
+ public:
+  [[nodiscard]] std::uint64_t size() const { return bytes_.size(); }
+
+  std::uint64_t align_to(std::size_t alignment) {
+    const std::size_t rem = bytes_.size() % alignment;
+    if (rem != 0) bytes_.resize(bytes_.size() + (alignment - rem), 0);
+    return bytes_.size();
+  }
+
+  std::uint64_t put_bytes(const void* data, std::size_t n) {
+    const std::uint64_t off = bytes_.size();
+    const auto* p = static_cast<const unsigned char*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+    return off;
+  }
+
+  template <typename T>
+  std::uint64_t put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align_to(alignof(T));
+    return put_bytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  offset_span<T> put_array(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    align_to(alignof(T));
+    if (n == 0) return {0, 0};
+    return {put_bytes(data, n * sizeof(T)), n};
+  }
+
+  template <typename T>
+  offset_span<T> put_array(std::span<const T> s) {
+    return put_array(s.data(), s.size());
+  }
+
+  /// Reserve `n` zero bytes (e.g. a header patched after the payload is
+  /// known) and return their offset.
+  std::uint64_t put_zeros(std::size_t n) {
+    const std::uint64_t off = bytes_.size();
+    bytes_.resize(bytes_.size() + n, 0);
+    return off;
+  }
+
+  /// Patch a previously reserved record in place.
+  template <typename T>
+  void patch(std::uint64_t off, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(off + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + off, &value, sizeof(T));
+  }
+
+  [[nodiscard]] const unsigned char* data() const { return bytes_.data(); }
+  [[nodiscard]] const std::vector<unsigned char>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+// ---------------------------------------------------------------------------
+// Flat open-addressing hash (u64 key -> u64 value), usable in place
+// ---------------------------------------------------------------------------
+
+/// One bucket of the on-disk table. `empty_key` never collides with real
+/// keys: snapshot keys pack (cell_id << 32) | u32(layer) and cell_id
+/// 0xFFFFFFFF is db::invalid_cell, which is never stored.
+struct flat_hash_bucket {
+  std::uint64_t key = ~0ull;
+  std::uint64_t value = 0;
+};
+
+inline constexpr std::uint64_t flat_hash_empty_key = ~0ull;
+
+class flat_hash_builder {
+ public:
+  void insert(std::uint64_t key, std::uint64_t value) {
+    assert(key != flat_hash_empty_key);
+    entries_.push_back({key, value});
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Lay the table out in `a`: u64 bucket_count followed by the bucket
+  /// array, sized to keep load factor <= 0.5 (power of two for mask probing).
+  /// Returns the offset of the bucket_count word.
+  std::uint64_t write(arena& a) const {
+    std::uint64_t buckets = 8;
+    while (buckets < entries_.size() * 2) buckets *= 2;
+    std::vector<flat_hash_bucket> table(buckets);
+    for (const flat_hash_bucket& e : entries_) {
+      std::uint64_t i = mix64(e.key) & (buckets - 1);
+      while (table[i].key != flat_hash_empty_key) {
+        assert(table[i].key != e.key);  // duplicate insert
+        i = (i + 1) & (buckets - 1);
+      }
+      table[i] = e;
+    }
+    a.align_to(alignof(std::uint64_t));
+    const std::uint64_t off = a.put(buckets);
+    a.put_array(table.data(), table.size());
+    return off;
+  }
+
+ private:
+  std::vector<flat_hash_bucket> entries_;
+};
+
+/// Read-side view of a table written by flat_hash_builder, probing the
+/// mapped bytes directly.
+class flat_hash_view {
+ public:
+  flat_hash_view() = default;
+  flat_hash_view(const void* base, std::uint64_t off) {
+    const auto* p = static_cast<const unsigned char*>(base) + off;
+    std::memcpy(&buckets_, p, sizeof(buckets_));
+    table_ = reinterpret_cast<const flat_hash_bucket*>(p + sizeof(std::uint64_t));
+  }
+
+  [[nodiscard]] bool find(std::uint64_t key, std::uint64_t& value) const {
+    if (buckets_ == 0) return false;
+    std::uint64_t i = mix64(key) & (buckets_ - 1);
+    for (std::uint64_t probes = 0; probes < buckets_; ++probes) {
+      const flat_hash_bucket& b = table_[i];
+      if (b.key == key) {
+        value = b.value;
+        return true;
+      }
+      if (b.key == flat_hash_empty_key) return false;
+      i = (i + 1) & (buckets_ - 1);
+    }
+    return false;
+  }
+
+  /// Bytes the table occupies in the blob (for section accounting).
+  [[nodiscard]] std::uint64_t byte_size() const {
+    return sizeof(std::uint64_t) + buckets_ * sizeof(flat_hash_bucket);
+  }
+
+ private:
+  std::uint64_t buckets_ = 0;
+  const flat_hash_bucket* table_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// storage_span: owning vector OR borrowed view into a mapped blob
+// ---------------------------------------------------------------------------
+
+/// The array type of the refactored snapshot structures. Owning mode behaves
+/// like a std::vector (the mutable/cold path builds through it); frozen mode
+/// borrows a span of mapped memory (the blob outlives the span via the
+/// shared mapping handle the snapshot holds). thaw() converts frozen ->
+/// owning by copying — the copy-on-write step of an edit session.
+template <typename T>
+class storage_span {
+ public:
+  storage_span() = default;
+  storage_span(std::vector<T> v) : own_(std::move(v)) { sync(); }
+
+  // Owning copies/moves must re-point data_ at their own vector; frozen
+  // copies keep borrowing the shared mapping.
+  storage_span(const storage_span& o)
+      : own_(o.own_), data_(o.data_), size_(o.size_), frozen_(o.frozen_) {
+    if (!frozen_) sync();
+  }
+  storage_span& operator=(const storage_span& o) {
+    if (this == &o) return *this;
+    own_ = o.own_;
+    data_ = o.data_;
+    size_ = o.size_;
+    frozen_ = o.frozen_;
+    if (!frozen_) sync();
+    return *this;
+  }
+  storage_span(storage_span&& o) noexcept
+      : own_(std::move(o.own_)), data_(o.data_), size_(o.size_), frozen_(o.frozen_) {
+    if (!frozen_) sync();
+    o.own_.clear();
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.frozen_ = false;
+  }
+  storage_span& operator=(storage_span&& o) noexcept {
+    if (this == &o) return *this;
+    own_ = std::move(o.own_);
+    data_ = o.data_;
+    size_ = o.size_;
+    frozen_ = o.frozen_;
+    if (!frozen_) sync();
+    o.own_.clear();
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.frozen_ = false;
+    return *this;
+  }
+
+  /// Borrow `s` (mapped memory). The caller guarantees the backing mapping
+  /// outlives this object.
+  void adopt(std::span<const T> s) {
+    own_.clear();
+    data_ = s.data();
+    size_ = s.size();
+    frozen_ = true;
+  }
+
+  /// Frozen -> owning copy; no-op when already owning.
+  void thaw() {
+    if (!frozen_) return;
+    own_.assign(data_, data_ + size_);
+    frozen_ = false;
+    sync();
+  }
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  // --- owning-mode mutation (asserts on a frozen span) ---
+  void assign(std::size_t n, const T& value) {
+    assert(!frozen_);
+    own_.assign(n, value);
+    sync();
+  }
+  void assign(std::vector<T> v) {
+    own_ = std::move(v);
+    frozen_ = false;
+    sync();
+  }
+  void push_back(const T& value) {
+    assert(!frozen_);
+    own_.push_back(value);
+    sync();
+  }
+  void reserve(std::size_t n) {
+    assert(!frozen_);
+    own_.reserve(n);
+    sync();
+  }
+  void clear() {
+    own_.clear();
+    frozen_ = false;
+    sync();
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(!frozen_);
+    return own_[i];
+  }
+
+  // --- reads (both modes) ---
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+  operator std::span<const T>() const { return span(); }
+  [[nodiscard]] std::vector<T> to_vector() const { return {data_, data_ + size_}; }
+
+ private:
+  void sync() {
+    data_ = own_.data();
+    size_ = own_.size();
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace odrc

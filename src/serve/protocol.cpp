@@ -17,6 +17,7 @@ const char* msg_type_name(std::uint8_t type) {
     case msg_type::close: return "close";
     case msg_type::shutdown: return "shutdown";
     case msg_type::ping: return "ping";
+    case msg_type::reload: return "reload";
   }
   return "unknown";
 }

@@ -45,6 +45,7 @@ enum class msg_type : std::uint8_t {
   close = 7,     ///< drop the addressed session
   shutdown = 8,  ///< orderly server shutdown (responds before stopping)
   ping = 9,      ///< liveness -> "ok pong"
+  reload = 10,   ///< payload "<path.snap>": hot-swap the session's snapshot
 };
 
 [[nodiscard]] const char* msg_type_name(std::uint8_t type);

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "engine/deck_parser.hpp"
+#include "engine/snapshot_store.hpp"
 #include "gdsii/reader.hpp"
 #include "infra/thread_pool.hpp"
 #include "infra/trace.hpp"
@@ -288,6 +289,19 @@ std::string server::dispatch(const frame& f) {
            << "\nsession_pending_dirty " << ss.pending_dirty;
       }
       return os.str();
+    }
+    case msg_type::reload: {
+      auto s = need_session();
+      std::istringstream args(f.payload);
+      std::string path;
+      if (!(args >> path)) throw std::runtime_error("reload expects '<path.snap>'");
+      auto fs = engine::frozen_snapshot::load(path);
+      db::library lib = fs->make_library();
+      const std::uint64_t bytes = fs->mapped_bytes();
+      const std::size_t sections = fs->section_count();
+      s->reload(std::move(fs), std::move(lib));
+      return "ok reloaded bytes " + std::to_string(bytes) + " sections " +
+             std::to_string(sections);
     }
     case msg_type::close: {
       if (!sessions_.close(sid)) throw std::runtime_error("unknown session " + std::to_string(sid));

@@ -33,10 +33,45 @@ std::vector<rect> merge_rects(std::vector<rect> rects) {
 
 session::session(db::library lib, std::vector<rules::rule> deck, engine::engine_config cfg)
     : lib_(std::move(lib)), deck_(std::move(deck)), eng_(cfg), db_(lib_.name()) {
+  trace::span ts("snapshot", "cold_build", "cells",
+                 static_cast<std::int64_t>(lib_.cell_count()));
   plans_.reserve(deck_.size());
   for (const rules::rule& r : deck_) plans_.push_back(engine::compile_plan(r));
   eng_.add_rules(deck_);
   snap_.emplace(lib_);
+}
+
+session::session(std::shared_ptr<const engine::frozen_backing> frozen, db::library lib,
+                 std::vector<rules::rule> deck, engine::engine_config cfg)
+    : frozen_(std::move(frozen)),
+      lib_(std::move(lib)),
+      deck_(std::move(deck)),
+      eng_(cfg),
+      db_(lib_.name()) {
+  plans_.reserve(deck_.size());
+  for (const rules::rule& r : deck_) plans_.push_back(engine::compile_plan(r));
+  eng_.add_rules(deck_);
+  snap_.emplace(lib_, frozen_);
+}
+
+void session::reload(std::shared_ptr<const engine::frozen_backing> frozen, db::library lib) {
+  std::lock_guard lk(mu_);
+  trace::span ts("snapshot", "hot_swap", "cells",
+                 static_cast<std::int64_t>(lib.cell_count()));
+  // Destroy the snapshot before the library it references; the OLD mapping
+  // is only released when the last shared_ptr (an in-flight check's copy or
+  // another session) drops.
+  snap_.reset();
+  lib_ = std::move(lib);
+  frozen_ = std::move(frozen);
+  if (frozen_) {
+    snap_.emplace(lib_, frozen_);
+  } else {
+    snap_.emplace(lib_);
+  }
+  // A new layout version invalidates all incremental state.
+  dirty_.clear();
+  full_required_ = true;
 }
 
 void session::run_full_locked() {
@@ -81,6 +116,10 @@ edit_result session::apply(std::span<const edit_op> ops) {
   if (res.tops_changed) full_required_ = true;
   ++stats_.edits;
   stats_.pending_dirty = dirty_.size();
+  if (snap_->frozen_backed()) {
+    trace::counter("snapshot", "overlay_entries",
+                   static_cast<std::int64_t>(snap_->overlay_entries()));
+  }
   return res;
 }
 
@@ -164,6 +203,16 @@ std::string session::report_text() const {
 std::uint32_t session_manager::create(db::library lib, std::vector<rules::rule> deck,
                                       engine::engine_config cfg) {
   auto s = std::make_shared<session>(std::move(lib), std::move(deck), cfg);
+  std::lock_guard lk(mu_);
+  const std::uint32_t id = next_id_++;
+  sessions_.emplace(id, std::move(s));
+  return id;
+}
+
+std::uint32_t session_manager::create_frozen(
+    std::shared_ptr<const engine::frozen_backing> frozen, db::library lib,
+    std::vector<rules::rule> deck, engine::engine_config cfg) {
+  auto s = std::make_shared<session>(std::move(frozen), std::move(lib), std::move(deck), cfg);
   std::lock_guard lk(mu_);
   const std::uint32_t id = next_id_++;
   sessions_.emplace(id, std::move(s));

@@ -70,6 +70,15 @@ class session {
   session(db::library lib, std::vector<rules::rule> deck,
           engine::engine_config cfg = {});
 
+  /// Frozen-backed session (mmap boot, DESIGN.md §9): `lib` must be the
+  /// library deserialized from the same blob (`frozen_snapshot::
+  /// make_library`). The snapshot's caches serve span-views into the
+  /// mapping; edits go to the copy-on-write overlay, the file stays
+  /// untouched. The shared_ptr keeps the mapping alive while any check is
+  /// in flight.
+  session(std::shared_ptr<const engine::frozen_backing> frozen, db::library lib,
+          std::vector<rules::rule> deck, engine::engine_config cfg = {});
+
   session(const session&) = delete;
   session& operator=(const session&) = delete;
 
@@ -87,6 +96,14 @@ class session {
   /// when an edit changed the top-cell set, or after a failed edit script.
   recheck_result recheck();
 
+  /// Hot-swap to a new snapshot version: replace the library and rebuild
+  /// the layout_snapshot over `frozen`. Serialized against checks by the
+  /// session mutex, so the flip lands between checks; the previous mapping
+  /// stays referenced (shared_ptr) until the last reader drops it. Forces a
+  /// full check on the next check/recheck. The deck is kept — a swap
+  /// changes the layout version, not the rules.
+  void reload(std::shared_ptr<const engine::frozen_backing> frozen, db::library lib);
+
   /// The diff produced by the most recent check_full()/recheck().
   [[nodiscard]] report::key_diff last_diff() const;
 
@@ -102,6 +119,7 @@ class session {
   void run_full_locked();
 
   mutable std::mutex mu_;
+  std::shared_ptr<const engine::frozen_backing> frozen_;  ///< null on cold boot
   db::library lib_;
   std::vector<rules::rule> deck_;
   std::vector<engine::exec_plan> plans_;
@@ -121,6 +139,11 @@ class session_manager {
  public:
   std::uint32_t create(db::library lib, std::vector<rules::rule> deck,
                        engine::engine_config cfg = {});
+
+  /// Frozen-backed variant of create() (mmap boot).
+  std::uint32_t create_frozen(std::shared_ptr<const engine::frozen_backing> frozen,
+                              db::library lib, std::vector<rules::rule> deck,
+                              engine::engine_config cfg = {});
 
   /// nullptr when the id is unknown (or was closed).
   [[nodiscard]] std::shared_ptr<session> get(std::uint32_t id) const;

@@ -1,0 +1,144 @@
+// Hot-swap acceptance (DESIGN.md §9): a session must be able to flip to a new
+// frozen snapshot while checks are in flight. The session mutex serializes
+// the flip against whole checks, so every check observes exactly one layout
+// version — never a mix — and the old mapping stays alive (shared_ptr) until
+// its last reader finishes. Run under TSan by the CI 'Snapshot' regex.
+#include "engine/snapshot_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/rule.hpp"
+#include "serve/session.hpp"
+#include "workload/workload.hpp"
+
+namespace odrc::serve {
+namespace {
+
+using workload::layers;
+using workload::tech;
+
+std::vector<rules::rule> deck() {
+  return {
+      rules::layer(layers::M1).spacing().greater_than(tech::wire_space).named("M1.S"),
+      rules::layer(layers::M1).width().greater_than(tech::wire_width).named("M1.W"),
+  };
+}
+
+std::string temp_snap(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() / ("odrc_swap_test_" + tag + ".snap"))
+      .string();
+}
+
+db::library base_lib() {
+  workload::design_spec spec = workload::spec_for("uart", 0.3);
+  spec.inject = {2, 1, 0, 0};
+  return workload::generate(spec).lib;
+}
+
+// The v2 layout adds a deterministic extra spacing violation in the top cell,
+// so the two versions have distinct (and known) key sets.
+db::library v2_lib(db::library lib) {
+  const db::cell_id top = lib.top_cells().front();
+  lib.at(top).add_rect(layers::M1, {800000, 800000, 800060, 800018});
+  lib.at(top).add_rect(layers::M1, {800000, 800021, 800060, 800039});
+  return lib;
+}
+
+TEST(SnapshotSwap, ReloadFlipsBetweenChecks) {
+  const db::library l1 = base_lib();
+  const db::library l2 = v2_lib(l1);
+  const std::string p1 = temp_snap("v1");
+  const std::string p2 = temp_snap("v2");
+  engine::build_snapshot_file(l1, p1);
+  engine::build_snapshot_file(l2, p2);
+
+  // Ground truth per version.
+  const auto fs1 = engine::frozen_snapshot::load(p1);
+  const auto fs2 = engine::frozen_snapshot::load(p2);
+  session g1(fs1, fs1->make_library(), deck());
+  session g2(fs2, fs2->make_library(), deck());
+  g1.check_full();
+  g2.check_full();
+  const std::vector<std::string> k1 = g1.keys();
+  const std::vector<std::string> k2 = g2.keys();
+  ASSERT_NE(k1, k2);
+
+  session sess(fs1, fs1->make_library(), deck());
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0}, checks{0};
+
+  // Checker threads hammer full checks; every result must equal one version's
+  // ground truth exactly — a torn check (half v1, half v2) equals neither.
+  std::vector<std::thread> checkers;
+  for (int t = 0; t < 2; ++t) {
+    checkers.emplace_back([&] {
+      while (!stop.load()) {
+        sess.check_full();
+        const std::vector<std::string> k = sess.keys();
+        if (k != k1 && k != k2) bad.fetch_add(1);
+        checks.fetch_add(1);
+      }
+    });
+  }
+
+  // Swapper thread flips versions concurrently.
+  std::thread swapper([&] {
+    for (int i = 0; i < 8; ++i) {
+      const bool even = (i % 2) == 0;
+      const auto& fs = even ? fs2 : fs1;
+      sess.reload(fs, fs->make_library());
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop.store(true);
+  });
+
+  swapper.join();
+  for (std::thread& t : checkers) t.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(checks.load(), 0u);
+
+  // After the dust settles the session is on v1 (last reload) and a fresh
+  // check reproduces v1's ground truth.
+  sess.check_full();
+  EXPECT_EQ(sess.keys(), k1);
+}
+
+// Dropping every owner of the old mapping while a swapped session keeps
+// running: the shared_ptr refcount (not the session) owns the lifetime.
+TEST(SnapshotSwap, OldMappingOutlivesReload) {
+  const db::library l1 = base_lib();
+  const std::string p1 = temp_snap("life_v1");
+  const std::string p2 = temp_snap("life_v2");
+  engine::build_snapshot_file(l1, p1);
+  engine::build_snapshot_file(v2_lib(l1), p2);
+
+  auto fs1 = engine::frozen_snapshot::load(p1);
+  session sess(fs1, fs1->make_library(), deck());
+  sess.check_full();
+  const std::vector<std::string> before = sess.keys();
+  fs1.reset();  // the session's copy is now the only owner
+
+  auto fs2 = engine::frozen_snapshot::load(p2);
+  sess.reload(fs2, fs2->make_library());  // drops the last v1 reference
+  fs2.reset();
+  sess.check_full();
+  EXPECT_NE(sess.keys(), before);
+
+  // reload(nullptr) falls back to a mutable snapshot over the same library.
+  auto fs2b = engine::frozen_snapshot::load(p2);
+  db::library lib2 = fs2b->make_library();
+  const std::vector<std::string> frozen_keys = sess.keys();
+  sess.reload(nullptr, std::move(lib2));
+  sess.check_full();
+  EXPECT_EQ(sess.keys(), frozen_keys);
+}
+
+}  // namespace
+}  // namespace odrc::serve

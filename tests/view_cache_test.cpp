@@ -61,11 +61,11 @@ TEST(ViewCache, PerLayerAndAnyLayerViewsAreDistinct) {
 
   view_cache views(lib);
   const master_layer_view& v1 = views.get(c, 1);
-  EXPECT_EQ(v1.poly_indices, (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(v1.poly_indices.to_vector(), (std::vector<std::uint32_t>{0}));
   EXPECT_EQ(v1.mbr, (rect{0, 0, 10, 10}));
 
   const master_layer_view& v2 = views.get(c, 2);
-  EXPECT_EQ(v2.poly_indices, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(v2.poly_indices.to_vector(), (std::vector<std::uint32_t>{1}));
   EXPECT_EQ(v2.mbr, (rect{20, 0, 30, 10}));
 
   const master_layer_view& vall = views.get(c, rules::any_layer);

@@ -23,6 +23,7 @@
 #include "engine/deck_parser.hpp"
 #include "engine/plan.hpp"
 #include "engine/snapshot.hpp"
+#include "engine/snapshot_store.hpp"
 #include "lefdef/lefdef.hpp"
 #include "render/render.hpp"
 #include "report/violation_db.hpp"
@@ -52,11 +53,13 @@ int usage() {
                "  odrc inspect <layout.gds>\n"
                "  odrc render <layout.gds> <out.svg> [--deck=rules.deck]\n"
                "  odrc diff <baseline_report.txt> <current_report.txt>\n"
+               "  odrc snapshot build <layout.gds> <out.snap>\n"
+               "  odrc snapshot info <file.snap>\n"
                "  odrc serve <layout.gds> <rules.deck> --socket=PATH [--workers=N]\n"
-               "             [--mode=seq|par] [--trace=out_trace.json]\n"
+               "             [--mode=seq|par] [--trace=out_trace.json] [--snapshot=PATH]\n"
                "  odrc client --socket=PATH [--session=N]\n"
                "             <ping|check|edit <script|->|recheck|diff|stats|open <gds> <deck>|\n"
-               "              close|shutdown>\n"
+               "              reload <file.snap>|close|shutdown>\n"
                "  odrc deck-template\n");
   return 2;
 }
@@ -302,6 +305,32 @@ int cmd_diff(int argc, char** argv) {
   return d.clean() ? 0 : 1;
 }
 
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  if (sub == "build") {
+    if (argc < 5) return usage();
+    const db::library lib = gdsii::read(argv[3]);
+    const engine::snapshot_build_stats st = engine::build_snapshot_file(lib, argv[4]);
+    std::printf(
+        "wrote %s: %llu bytes, %u sections, %llu cells, %llu views, %llu instance sets, "
+        "%llu packed sets\n",
+        argv[4], static_cast<unsigned long long>(st.file_bytes), st.sections,
+        static_cast<unsigned long long>(st.cells), static_cast<unsigned long long>(st.views),
+        static_cast<unsigned long long>(st.instance_sets),
+        static_cast<unsigned long long>(st.packed_sets));
+    return 0;
+  }
+  if (sub == "info") {
+    if (argc < 4) return usage();
+    const auto fs = engine::frozen_snapshot::load(argv[3]);
+    std::fputs(fs->info_text().c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "odrc snapshot: unknown subcommand '%s'\n", sub.c_str());
+  return usage();
+}
+
 int cmd_serve(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string gds = argv[2];
@@ -320,12 +349,25 @@ int cmd_serve(int argc, char** argv) {
                                                                  : engine::mode::parallel;
   serve::session_manager sessions;
   {
-    db::library lib = gdsii::read(gds);
     auto deck = rules::parse_deck_file(deck_path);
-    std::printf("loaded %s: %zu cells, %llu flat polygons; %zu rules from %s\n", gds.c_str(),
-                lib.cell_count(), static_cast<unsigned long long>(lib.expanded_polygon_count()),
-                deck.size(), deck_path.c_str());
-    sessions.create(std::move(lib), std::move(deck), cfg);
+    const std::string snap_path = opt_value(argc, argv, "snapshot", "");
+    if (!snap_path.empty()) {
+      // mmap boot (DESIGN.md §9): the .snap replaces the GDSII parse and the
+      // snapshot build; the positional layout argument is ignored.
+      auto fs = engine::frozen_snapshot::load(snap_path);
+      db::library lib = fs->make_library();
+      std::printf("booted %s: %llu mapped bytes, %zu cells; %zu rules from %s\n",
+                  snap_path.c_str(), static_cast<unsigned long long>(fs->mapped_bytes()),
+                  lib.cell_count(), deck.size(), deck_path.c_str());
+      sessions.create_frozen(std::move(fs), std::move(lib), std::move(deck), cfg);
+    } else {
+      db::library lib = gdsii::read(gds);
+      std::printf("loaded %s: %zu cells, %llu flat polygons; %zu rules from %s\n", gds.c_str(),
+                  lib.cell_count(),
+                  static_cast<unsigned long long>(lib.expanded_polygon_count()), deck.size(),
+                  deck_path.c_str());
+      sessions.create(std::move(lib), std::move(deck), cfg);
+    }
   }
 
   serve::server_config scfg;
@@ -396,6 +438,13 @@ int cmd_client(int argc, char** argv) {
     }
     type = serve::msg_type::open;
     payload = pos[1] + " " + pos[2];
+  } else if (verb == "reload") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "odrc client reload: expects <file.snap>\n");
+      return 2;
+    }
+    type = serve::msg_type::reload;
+    payload = pos[1];
   } else if (verb == "edit") {
     if (pos.size() < 2) {
       std::fprintf(stderr, "odrc client edit: expects an edit script file (or '-' for stdin)\n");
@@ -457,6 +506,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(argc, argv);
     if (cmd == "render") return cmd_render(argc, argv);
     if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "snapshot") return cmd_snapshot(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "deck-template") return cmd_deck_template();
