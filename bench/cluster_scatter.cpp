@@ -1,0 +1,148 @@
+// Sharded scatter-gather cluster benchmark (DESIGN.md §10): a full-deck
+// check scattered across an in-process fleet of serve workers versus the
+// same check in one session. Cases:
+//
+//   single/<design>      full deck check in one warm session (the baseline
+//                        a coordinator must beat)
+//   cluster/<design>/wN  the same check scatter-gathered by a coordinator
+//                        over N band-sharded workers (w1 isolates the
+//                        scatter + reconciliation overhead; w2+ shows the
+//                        throughput scaling of the band partition)
+//
+// Every case reports the reconciled violation count so a scaling win can
+// never come from dropping seam straddlers. The committed
+// BENCH_cluster_scatter.json baseline gates regressions via
+// scripts/perf_smoke.sh.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "engine/rule.hpp"
+#include "engine/shard.hpp"
+#include "infra/bench_harness.hpp"
+#include "serve/client.hpp"
+#include "serve/coord.hpp"
+#include "serve/session.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace odrc;
+using workload::layers;
+using workload::tech;
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(layers::M1).width().greater_than(tech::wire_width).named("M1.W.1"),
+      rules::layer(layers::M1).spacing().greater_than(tech::wire_space).named("M1.S.1"),
+      rules::layer(layers::M2).spacing().greater_than(tech::wire_space).named("M2.S.1"),
+      rules::layer(layers::M3).spacing().greater_than(tech::wire_space).named("M3.S.1"),
+      rules::layer(layers::M1).area().greater_than(tech::min_area).named("M1.A.1"),
+  };
+}
+
+workload::generated make_design(const std::string& name, double scale) {
+  auto spec = workload::spec_for(name, scale);
+  spec.inject = {2, 2, 2, 2};
+  return workload::generate(spec);
+}
+
+// An in-process fleet: N band-sharded workers plus a coordinator, all on
+// Unix sockets under /tmp. Mirrors the cluster_test fixture.
+struct fleet {
+  std::vector<std::unique_ptr<serve::session_manager>> sessions;
+  std::vector<std::unique_ptr<serve::server>> workers;
+  std::unique_ptr<serve::coordinator> coord;
+  std::string coord_path;
+
+  fleet(const workload::generated& gen, std::size_t n) {
+    static int instance = 0;
+    const std::string stem = "/tmp/odrc_bench_cluster_" + std::to_string(::getpid()) + "_" +
+                             std::to_string(instance++);
+    std::vector<rect> bands = engine::plan_shards(gen.lib, n);
+    serve::coord_config cc;
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      const std::string path = stem + "_w" + std::to_string(i) + ".sock";
+      sessions.push_back(std::make_unique<serve::session_manager>());
+      sessions.back()->create(gen.lib, make_deck());
+      serve::server_config wc;
+      wc.socket_path = path;
+      workers.push_back(std::make_unique<serve::server>(wc, *sessions.back()));
+      workers.back()->start();
+      cc.worker_endpoints.push_back(path);
+    }
+    coord_path = stem + "_coord.sock";
+    cc.listen.socket_path = coord_path;
+    cc.bands = std::move(bands);
+    coord = std::make_unique<serve::coordinator>(std::move(cc));
+    coord->start();
+  }
+
+  ~fleet() {
+    coord->stop();
+    coord->wait();
+    for (auto& w : workers) {
+      w->stop();
+      w->wait();
+    }
+  }
+};
+
+long parse_total(const serve::frame& resp) {
+  const std::string line = serve::client::status_line(resp);
+  const std::size_t at = line.find("total ");
+  return at == std::string::npos ? -1 : std::stol(line.substr(at + 6));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("cluster_scatter");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<std::pair<std::string, double>> designs =
+      s.opts().quick ? std::vector<std::pair<std::string, double>>{{"ibex", 0.6}}
+                     : std::vector<std::pair<std::string, double>>{{"ibex", 1.0},
+                                                                   {"aes", 1.0}};
+  const std::vector<std::size_t> fleet_sizes = s.opts().quick
+                                                   ? std::vector<std::size_t>{1, 2}
+                                                   : std::vector<std::size_t>{1, 2, 4};
+
+  for (const auto& [name, scale] : designs) {
+    s.add("single/" + name, [name = name, scale = scale](bench::case_context& ctx) {
+      const auto gen = make_design(name, scale);
+      serve::session sess(gen.lib, make_deck());
+      std::size_t violations = 0;
+      while (ctx.next_rep()) {
+        std::size_t total = 0;
+        for (const auto& row : sess.check_full()) total += row.count;
+        violations = total;
+      }
+      ctx.counter("violations", static_cast<double>(violations));
+      ctx.counter("polygons", static_cast<double>(gen.lib.expanded_polygon_count()));
+    });
+
+    for (const std::size_t n : fleet_sizes) {
+      s.add("cluster/" + name + "/w" + std::to_string(n),
+            [name = name, scale = scale, n](bench::case_context& ctx) {
+              const auto gen = make_design(name, scale);
+              fleet f(gen, n);
+              serve::client c;
+              c.connect(f.coord_path);
+              long violations = 0;
+              while (ctx.next_rep()) {
+                const serve::frame resp = c.request(serve::msg_type::check, 0);
+                if (!serve::client::ok(resp)) throw std::runtime_error(resp.payload);
+                violations = parse_total(resp);
+              }
+              ctx.counter("violations", static_cast<double>(violations));
+              ctx.counter("shards", static_cast<double>(f.workers.size()));
+              ctx.counter("polygons", static_cast<double>(gen.lib.expanded_polygon_count()));
+            });
+    }
+  }
+
+  return s.run();
+}

@@ -33,7 +33,8 @@ mkdir -p "$out_dir"
 
 suites=(table1_intra table2_inter fig4_breakdown ablation_pruning
         ablation_executor ablation_pipeline deck_batching serve_incremental
-        snapshot_boot micro_partition micro_sweepline micro_bvh micro_boolean)
+        cluster_scatter snapshot_boot micro_partition micro_sweepline
+        micro_bvh micro_boolean)
 
 status=0
 for s in "${suites[@]}"; do

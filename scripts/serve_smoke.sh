@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Serve smoke: boot `odrc serve` on a generated design, drive the whole verb
 # set through `odrc client`, and require the incremental path (recheck with
-# full=0) plus per-request spans in the --trace output.
+# full=0) plus per-request spans in the --trace output. A final phase boots
+# an `odrc coord` fleet and requires the scatter-gathered check to match the
+# single-process total.
 #
 # Usage: scripts/serve_smoke.sh <build-dir>
 set -euo pipefail
@@ -101,5 +103,39 @@ grep -q '"snapshot_boot"' "$work/trace2.json" || { echo "FAIL: no snapshot_boot 
 grep -q '"cold_build"' "$work/trace2.json" && { echo "FAIL: snapshot boot still ran a cold build"; exit 1; }
 grep -q '"hot_swap"' "$work/trace2.json" || { echo "FAIL: no hot_swap span in trace"; exit 1; }
 grep -q '"mapped_bytes"' "$work/trace2.json" || { echo "FAIL: no mapped_bytes counter in trace"; exit 1; }
+
+# ---------------------------------------------------------------------------
+# Cluster phase (DESIGN.md §10): `odrc coord` spawns a band-sharded worker
+# fleet — every worker mmap-boots the SAME .snap, one physical snapshot copy
+# — and the scatter-gathered check must reconcile to exactly the
+# single-process total (seam straddlers deduplicated, none dropped).
+# ---------------------------------------------------------------------------
+csock="$work/coord.sock"
+
+"$odrc" coord "$work/design.gds" "$work/rules.deck" --socket="$csock" --shards=2 \
+  --snapshot="$work/design.snap" > "$work/coord.log" 2>&1 &
+srv_pid=$!
+
+for _ in $(seq 1 300); do
+  [[ -S "$csock" ]] && break
+  kill -0 $srv_pid 2>/dev/null || { echo "coordinator died:"; cat "$work/coord.log"; exit 1; }
+  sleep 0.1
+done
+[[ -S "$csock" ]] || { echo "coordinator socket never appeared"; cat "$work/coord.log"; exit 1; }
+
+cli3() { "$odrc" client --socket="$csock" "$@"; }
+
+cli3 ping | grep -q "ok pong"
+cli3 check | head -1 | grep -qx "$cold_total" || { echo "FAIL: sharded check != single-process check"; exit 1; }
+cli3 check_region 0 0 200000 200000 | head -1 | grep -q "^ok total" || { echo "FAIL: scatter check_region"; exit 1; }
+
+stats_out=$(cli3 stats)
+grep -q "^shard 0 " <<<"$stats_out" || { echo "FAIL: no shard 0 line in coord stats"; exit 1; }
+grep -q "^shard 1 " <<<"$stats_out" || { echo "FAIL: no shard 1 line in coord stats"; exit 1; }
+grep -Eq "^shard 0 .*legs [1-9]" <<<"$stats_out" || { echo "FAIL: shard 0 served no scatter legs"; exit 1; }
+
+cli3 shutdown | grep -q "ok shutting down"
+wait $srv_pid
+grep -q "coordinating 2 shard" "$work/coord.log" || { echo "FAIL: coordinator did not run 2 shards"; cat "$work/coord.log"; exit 1; }
 
 echo "serve smoke OK"

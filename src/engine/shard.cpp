@@ -1,0 +1,135 @@
+#include "engine/shard.hpp"
+
+#include <functional>
+#include <optional>
+
+#include "partition/row_partition.hpp"
+
+namespace odrc::engine {
+
+namespace {
+
+rect whole_plane() {
+  return {shard_clamp_min, shard_clamp_min, shard_clamp_max, shard_clamp_max};
+}
+
+/// Local-frame extent of a cell including everything it references,
+/// memoized across the DAG. Arrays join their four corner instances only:
+/// the per-instance linear part is shared, so the join of the corners covers
+/// the whole grid.
+class extent_cache {
+ public:
+  explicit extent_cache(const db::library& lib) : lib_(lib), memo_(lib.cell_count()) {}
+
+  rect of(db::cell_id id) {
+    if (memo_[id]) return *memo_[id];
+    rect ext;  // default-empty
+    const db::cell& c = lib_.at(id);
+    for (const db::polygon_elem& p : c.polygons()) ext = ext.join(p.poly.mbr());
+    for (const db::cell_ref& r : c.refs()) ext = ext.join(r.trans.apply(of(r.target)));
+    for (const db::cell_array& a : c.arrays()) {
+      const rect child = of(a.target);
+      if (child.empty()) continue;
+      const std::uint16_t cl = static_cast<std::uint16_t>(a.cols - 1);
+      const std::uint16_t rl = static_cast<std::uint16_t>(a.rows - 1);
+      rect arr = a.instance(0, 0).apply(child);
+      arr = arr.join(a.instance(cl, 0).apply(child));
+      arr = arr.join(a.instance(0, rl).apply(child));
+      arr = arr.join(a.instance(cl, rl).apply(child));
+      ext = ext.join(arr);
+    }
+    memo_[id] = ext;
+    return ext;
+  }
+
+ private:
+  const db::library& lib_;
+  std::vector<std::optional<rect>> memo_;
+};
+
+}  // namespace
+
+std::vector<rect> plan_shards(std::span<const rect> mbrs, std::size_t n) {
+  if (n <= 1 || mbrs.empty()) return {whole_plane()};
+
+  const partition::partition_result part = partition::partition_rows(mbrs, /*distance=*/0);
+  const std::vector<partition::row>& rows = part.rows;
+  if (rows.size() <= 1) return {whole_plane()};
+
+  std::size_t total = 0;
+  for (const partition::row& r : rows) total += r.member_count();
+
+  // Greedy contiguous grouping: cut after a row once the group holds its
+  // fair share of what remains. Guarantees at most n groups and at least one
+  // row per group.
+  std::vector<std::size_t> cuts;  // index of the last row of each group but the final one
+  std::size_t groups_left = std::min(n, rows.size());
+  std::size_t remaining = total;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < rows.size() && groups_left > 1; ++i) {
+    acc += rows[i].member_count();
+    const std::size_t rows_left = rows.size() - i - 1;
+    if (acc * groups_left >= remaining || rows_left < groups_left - 1) {
+      cuts.push_back(i);
+      remaining -= acc;
+      acc = 0;
+      --groups_left;
+    }
+  }
+
+  std::vector<rect> bands;
+  bands.reserve(cuts.size() + 1);
+  coord_t y_lo = shard_clamp_min;
+  for (const std::size_t cut : cuts) {
+    // Boundary in the dead zone between the cut row and the next: no object
+    // row straddles it, so seam straddlers are limited to violations whose
+    // two edges sit in different rows (closer than the rule distance —
+    // exactly the spacing pairs the halo reconciliation dedups).
+    const coord_t hi = rows[cut].y_range.hi;
+    const coord_t lo_next = rows[cut + 1].y_range.lo;
+    const coord_t boundary = static_cast<coord_t>(hi + (lo_next - hi) / 2);
+    bands.push_back({shard_clamp_min, y_lo, shard_clamp_max, boundary});
+    y_lo = static_cast<coord_t>(boundary + 1);
+  }
+  bands.push_back({shard_clamp_min, y_lo, shard_clamp_max, shard_clamp_max});
+  return bands;
+}
+
+std::vector<rect> plan_shards(const db::library& lib, std::size_t n) {
+  extent_cache cache(lib);
+  std::vector<rect> mbrs;
+  for (const db::cell_id top : lib.top_cells()) {
+    const db::cell& c = lib.at(top);
+    for (const db::polygon_elem& p : c.polygons()) mbrs.push_back(p.poly.mbr());
+    for (const db::cell_ref& r : c.refs()) {
+      const rect e = cache.of(r.target);
+      if (!e.empty()) mbrs.push_back(r.trans.apply(e));
+    }
+    for (const db::cell_array& a : c.arrays()) {
+      const rect child = cache.of(a.target);
+      if (child.empty()) continue;
+      // One MBR per array instance keeps the balance honest for big AREFs
+      // without flattening geometry; cap the contribution so a degenerate
+      // million-instance array cannot blow up planning.
+      const std::uint32_t cap = 4096;
+      if (a.count() <= cap) {
+        for (std::uint16_t r = 0; r < a.rows; ++r) {
+          for (std::uint16_t cc = 0; cc < a.cols; ++cc) {
+            mbrs.push_back(a.instance(cc, r).apply(child));
+          }
+        }
+      } else {
+        const std::uint16_t cl = static_cast<std::uint16_t>(a.cols - 1);
+        const std::uint16_t rl = static_cast<std::uint16_t>(a.rows - 1);
+        rect arr = a.instance(0, 0).apply(child);
+        arr = arr.join(a.instance(cl, 0).apply(child));
+        arr = arr.join(a.instance(0, rl).apply(child));
+        arr = arr.join(a.instance(cl, rl).apply(child));
+        mbrs.push_back(arr);
+      }
+    }
+  }
+  return plan_shards(mbrs, n);
+}
+
+}  // namespace odrc::engine

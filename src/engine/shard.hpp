@@ -1,0 +1,46 @@
+// Band-based shard planner for the serve cluster (DESIGN.md §10).
+//
+// The coordinator splits a layout across N workers by horizontal bands — the
+// same y-axis decomposition the row partitioner (paper Section IV-B) uses for
+// intra-process parallelism, lifted one level: rows of mutually
+// non-interacting top-level objects are greedily packed into N contiguous
+// groups of roughly equal object count, and each group becomes one worker's
+// band. Band boundaries land between row extents (in the dead zone where no
+// object lies), so most violations fall wholly inside one band; the ones that
+// straddle a seam are reported by every band their edges touch and
+// deduplicated by violation key at the coordinator.
+//
+// The bands tile the whole plane (first band extends to the bottom clamp,
+// last to the top): a check_region over any band union equals the full
+// check, regardless of where edits later add geometry. Clamps sit at
+// coord_t min/4 and max/4 so a rule-halo inflate of a band never overflows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "db/layout.hpp"
+#include "infra/geometry.hpp"
+
+namespace odrc::engine {
+
+/// y-extent clamp for the outermost bands: far beyond any real layout, but
+/// with headroom so rect::inflated(halo) cannot overflow coord_t.
+inline constexpr coord_t shard_clamp_min = std::numeric_limits<coord_t>::min() / 4;
+inline constexpr coord_t shard_clamp_max = std::numeric_limits<coord_t>::max() / 4;
+
+/// Partition the plane into at most `n` horizontal bands balanced by the
+/// number of `mbrs` whose rows fall in each band. The returned bands are
+/// ascending in y, pairwise disjoint, and tile
+/// [shard_clamp_min, shard_clamp_max] in y and x. Returns fewer than `n`
+/// bands when the layout has fewer independent rows. Never returns zero
+/// bands: with no objects the whole plane is one band.
+[[nodiscard]] std::vector<rect> plan_shards(std::span<const rect> mbrs, std::size_t n);
+
+/// Convenience overload: gather the MBRs of all top-level objects (polygons,
+/// refs, arrays — arrays contribute their corner-instance join, not every
+/// element) of every top cell and plan over those.
+[[nodiscard]] std::vector<rect> plan_shards(const db::library& lib, std::size_t n);
+
+}  // namespace odrc::engine

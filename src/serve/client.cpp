@@ -5,30 +5,18 @@
 #include <cstring>
 #include <stdexcept>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
+
+#include "serve/transport.hpp"
 
 namespace odrc::serve {
 
 client::~client() { close(); }
 
-void client::connect(const std::string& socket_path) {
+void client::connect(const std::string& endpoint) {
   ::signal(SIGPIPE, SIG_IGN);
   close();
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close();
-    throw std::runtime_error("connect(" + socket_path + "): " + err);
-  }
+  fd_ = transport::connect_endpoint(endpoint);
 }
 
 frame client::request(msg_type type, std::uint32_t session, const std::string& payload) {

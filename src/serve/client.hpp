@@ -1,7 +1,9 @@
 // Synchronous client for the odrc::serve protocol: connect to the server's
-// Unix-domain socket, send one request frame, block for the matching
-// response (seq echo). The CLI's `odrc client` verbs and the e2e tests are
-// built on it; the framing edge-case tests drive raw fds instead.
+// endpoint ("unix:/path", a bare path, or "tcp:host:port" —
+// serve/transport.hpp), send one request frame, block for the matching
+// response (seq echo). The CLI's `odrc client` verbs, the coordinator's
+// worker links, and the e2e tests are built on it; the framing edge-case
+// tests drive raw fds instead.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +21,9 @@ class client {
   client(const client&) = delete;
   client& operator=(const client&) = delete;
 
-  /// Connect to `socket_path`. Throws std::runtime_error on failure.
-  void connect(const std::string& socket_path);
+  /// Connect to a transport endpoint spec. Throws std::runtime_error on
+  /// failure.
+  void connect(const std::string& endpoint);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
 

@@ -1,0 +1,418 @@
+#include "serve/coord.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "infra/trace.hpp"
+
+namespace odrc::serve {
+
+namespace {
+
+/// Body lines of a response payload prefixed with `tag ` (e.g. "v", "fixed"),
+/// tag stripped.
+std::vector<std::string> tagged_lines(const std::string& payload, const std::string& tag) {
+  std::vector<std::string> out;
+  const std::string prefix = tag + ' ';
+  std::istringstream is(payload);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(prefix, 0) == 0) out.push_back(line.substr(prefix.size()));
+  }
+  return out;
+}
+
+/// "rule|kind|..." -> "rule". violation_db keys never contain whitespace and
+/// always lead with the rule name.
+std::string rule_of_key(const std::string& key) {
+  return key.substr(0, key.find('|'));
+}
+
+std::string summarize_keys(const std::vector<std::string>& keys, bool include_keys) {
+  std::map<std::string, std::size_t> per_rule;
+  for (const std::string& k : keys) ++per_rule[rule_of_key(k)];
+  std::ostringstream os;
+  os << "ok total " << keys.size();
+  for (const auto& [rule, count] : per_rule) os << "\nrule " << rule << ' ' << count;
+  if (include_keys) {
+    for (const std::string& k : keys) os << "\nv " << k;
+  }
+  return os.str();
+}
+
+/// Pull "<label> <number>" out of a status line; 0 when absent.
+std::uint64_t status_field(const std::string& line, const std::string& label) {
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok == label) {
+      std::uint64_t v = 0;
+      if (is >> v) return v;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string first_line(const std::string& payload) {
+  return payload.substr(0, payload.find('\n'));
+}
+
+}  // namespace
+
+coordinator::coordinator(coord_config cfg)
+    : server(cfg.listen, this->sessions), ccfg_(std::move(cfg)) {
+  if (ccfg_.worker_endpoints.empty()) throw std::runtime_error("coordinator needs workers");
+  if (ccfg_.worker_endpoints.size() != ccfg_.bands.size()) {
+    throw std::runtime_error("worker/band count mismatch");
+  }
+  if (ccfg_.worker_endpoints.size() > 64) {
+    throw std::runtime_error("at most 64 shards (owner bitmask)");
+  }
+  links_.reserve(ccfg_.worker_endpoints.size());
+  for (std::size_t i = 0; i < ccfg_.worker_endpoints.size(); ++i) {
+    auto w = std::make_unique<worker_link>();
+    w->endpoint = ccfg_.worker_endpoints[i];
+    w->band = ccfg_.bands[i];
+    w->index = static_cast<std::uint32_t>(i);
+    links_.push_back(std::move(w));
+  }
+}
+
+coordinator::~coordinator() {
+  // Quiesce while the vtable still points here: the base destructor would
+  // otherwise run queued requests against a half-destroyed coordinator.
+  stop();
+  wait();
+}
+
+void coordinator::start() {
+  for (const auto& w : links_) {
+    std::lock_guard lk(w->mu);
+    w->cli.connect(w->endpoint);
+    const frame pong = w->cli.request(msg_type::ping, 0);
+    if (!client::ok(pong)) {
+      throw std::runtime_error("worker " + w->endpoint + " ping: " + client::status_line(pong));
+    }
+    std::ostringstream os;
+    os << w->index << ' ' << links_.size() << ' ' << w->band.x_min << ' ' << w->band.y_min
+       << ' ' << w->band.x_max << ' ' << w->band.y_max;
+    const frame resp = w->cli.request(msg_type::shard, 0, os.str());
+    if (!client::ok(resp)) {
+      throw std::runtime_error("worker " + w->endpoint +
+                               " shard: " + client::status_line(resp));
+    }
+  }
+  server::start();
+}
+
+coordinator::leg_result coordinator::run_leg(worker_link& w, msg_type t, std::uint32_t session,
+                                             const std::string& payload, bool gate) {
+  leg_result out;
+  std::lock_guard lk(w.mu);
+  try {
+    if (gate) {
+      bool admitted = false;
+      for (std::size_t attempt = 0; attempt <= ccfg_.admission_retries; ++attempt) {
+        if (attempt > 0) {
+          w.delayed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(ccfg_.backoff_ms * attempt));
+        }
+        const frame h = w.cli.request(msg_type::health, 0);
+        if (client::ok(h)) {
+          const std::string line = client::status_line(h);
+          const std::size_t load = static_cast<std::size_t>(status_field(line, "depth") +
+                                                            status_field(line, "inflight"));
+          w.last_depth.store(load);
+          if (load <= ccfg_.max_worker_depth) {
+            admitted = true;
+            break;
+          }
+        }
+        // "error busy" (or a too-deep queue): the worker itself is shedding.
+      }
+      if (!admitted) {
+        w.shed.fetch_add(1);
+        trace::counter("coord", "legs_shed", static_cast<std::int64_t>(w.shed.load()));
+        out.busy = true;
+        out.error = "busy shard " + std::to_string(w.index);
+        return out;
+      }
+    }
+    const frame resp = w.cli.request(t, session, payload);
+    w.legs.fetch_add(1);
+    if (!client::ok(resp)) {
+      const std::string line = client::status_line(resp);
+      out.busy = line.rfind("error busy", 0) == 0;
+      out.error = "shard " + std::to_string(w.index) + ": " + line;
+      return out;
+    }
+    out.ok = true;
+    out.payload = resp.payload;
+    return out;
+  } catch (const std::exception& e) {
+    w.failures.fetch_add(1);
+    w.healthy.store(false);
+    out.error = "shard " + std::to_string(w.index) + " (" + w.endpoint + "): " + e.what();
+    return out;
+  }
+}
+
+std::vector<coordinator::leg_result> coordinator::scatter(msg_type t, std::uint32_t session,
+                                                          const std::string& payload, bool gate,
+                                                          const std::vector<bool>* pick) {
+  trace::span ts("coord", "scatter", "type", static_cast<std::int64_t>(t), "legs",
+                 static_cast<std::int64_t>(links_.size()));
+  std::vector<leg_result> results(links_.size());
+  // One plain thread per leg: scatter legs block on worker I/O, and nesting
+  // them into thread_pool::global() could deadlock the pool the request
+  // handler itself runs on (ODRC_WORKERS=1).
+  std::vector<std::thread> threads;
+  threads.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (pick != nullptr && !(*pick)[i]) {
+      results[i].error = "skipped";
+      continue;
+    }
+    threads.emplace_back([this, &results, i, t, session, &payload, gate] {
+      results[i] = run_leg(*links_[i], t, session, payload, gate);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return results;
+}
+
+std::string coordinator::do_check(const frame& f) {
+  const bool want_keys = f.payload.find("keys") != std::string::npos;
+  std::lock_guard sc(scatter_mu_);
+  const std::vector<leg_result> legs = scatter(msg_type::check, f.header.session, "keys", true);
+
+  // Rebuild ownership per succeeded worker even when a sibling failed: each
+  // worker's report is the truth about its own band.
+  std::string first_error;
+  {
+    std::lock_guard lk(keys_mu_);
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      if (!legs[i].ok) {
+        if (first_error.empty()) first_error = legs[i].error;
+        continue;
+      }
+      const std::uint64_t bit = 1ull << i;
+      for (auto it = key_mask_.begin(); it != key_mask_.end();) {
+        it->second &= ~bit;
+        it = it->second == 0 ? key_mask_.erase(it) : std::next(it);
+      }
+      for (const std::string& k : tagged_lines(legs[i].payload, "v")) key_mask_[k] |= bit;
+    }
+  }
+  if (!first_error.empty()) return "error " + first_error;
+
+  const std::vector<std::string> keys = current_keys();
+  {
+    std::lock_guard lk(keys_mu_);
+    last_diff_ = report::key_diff{};
+  }
+  return summarize_keys(keys, want_keys);
+}
+
+std::string coordinator::do_check_region(const frame& f) {
+  std::istringstream args(f.payload);
+  rect w;
+  if (!(args >> w.x_min >> w.y_min >> w.x_max >> w.y_max) || w.empty()) {
+    throw std::runtime_error("check_region expects 'x1 y1 x2 y2'");
+  }
+  std::string flag;
+  args >> flag;
+  const bool want_keys = flag == "keys";
+
+  std::vector<bool> pick(links_.size(), false);
+  bool any = false;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    pick[i] = links_[i]->band.overlaps(w);
+    any = any || pick[i];
+  }
+  if (!any) return "ok total 0";
+
+  const std::vector<leg_result> legs =
+      scatter(msg_type::check_region, f.header.session, f.payload + (want_keys ? "" : " keys"),
+              true, &pick);
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    if (!pick[i]) continue;
+    if (!legs[i].ok) return "error " + legs[i].error;
+    const std::vector<std::string> ks = tagged_lines(legs[i].payload, "v");
+    keys.insert(keys.end(), ks.begin(), ks.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());  // seam dedup
+  return summarize_keys(keys, want_keys);
+}
+
+std::string coordinator::do_edit(const frame& f) {
+  std::lock_guard sc(scatter_mu_);
+  // Never gated: a shed edit would fork the replicas.
+  const std::vector<leg_result> legs = scatter(msg_type::edit, f.header.session, f.payload, false);
+  for (const leg_result& r : legs) {
+    if (!r.ok) return "error " + r.error;
+  }
+  return first_line(legs.front().payload);  // replicas answer identically
+}
+
+std::string coordinator::do_recheck(const frame& f) {
+  const bool want_keys = f.payload.find("keys") != std::string::npos;
+  std::lock_guard sc(scatter_mu_);
+  const std::vector<leg_result> legs =
+      scatter(msg_type::recheck, f.header.session, "keys", true);
+
+  std::vector<std::string> fixed, introduced;
+  std::uint64_t windows = 0, purged = 0, inserted = 0;
+  bool full = false;
+  std::string first_error;
+  {
+    std::lock_guard lk(keys_mu_);
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      if (!legs[i].ok) {
+        if (first_error.empty()) first_error = legs[i].error;
+        continue;
+      }
+      const std::uint64_t bit = 1ull << i;
+      const std::string status = first_line(legs[i].payload);
+      windows += status_field(status, "windows");
+      purged += status_field(status, "purged");
+      inserted += status_field(status, "inserted");
+      full = full || status_field(status, "full") != 0;
+      // A key is globally fixed when its LAST owner drops it, globally new
+      // when its FIRST owner reports it.
+      for (const std::string& k : tagged_lines(legs[i].payload, "fixed")) {
+        auto it = key_mask_.find(k);
+        if (it == key_mask_.end()) continue;
+        it->second &= ~bit;
+        if (it->second == 0) {
+          key_mask_.erase(it);
+          fixed.push_back(k);
+        }
+      }
+      for (const std::string& k : tagged_lines(legs[i].payload, "new")) {
+        std::uint64_t& mask = key_mask_[k];
+        if (mask == 0) introduced.push_back(k);
+        mask |= bit;
+      }
+    }
+    std::sort(fixed.begin(), fixed.end());
+    std::sort(introduced.begin(), introduced.end());
+    last_diff_.fixed = fixed;
+    last_diff_.introduced = introduced;
+    last_diff_.unchanged.clear();
+    for (const auto& [k, mask] : key_mask_) {
+      (void)mask;
+      if (!std::binary_search(introduced.begin(), introduced.end(), k)) {
+        last_diff_.unchanged.push_back(k);
+      }
+    }
+    std::sort(last_diff_.unchanged.begin(), last_diff_.unchanged.end());
+  }
+  if (!first_error.empty()) return "error " + first_error;
+
+  std::ostringstream os;
+  os << "ok fixed " << fixed.size() << " new " << introduced.size() << " unchanged "
+     << last_diff_.unchanged.size() << " windows " << windows << " purged " << purged
+     << " inserted " << inserted << " full " << (full ? 1 : 0);
+  if (want_keys) {
+    for (const std::string& k : fixed) os << "\nfixed " << k;
+    for (const std::string& k : introduced) os << "\nnew " << k;
+  }
+  return os.str();
+}
+
+std::string coordinator::do_broadcast_status(const frame& f) {
+  std::lock_guard sc(scatter_mu_);
+  const std::vector<leg_result> legs =
+      scatter(static_cast<msg_type>(f.header.type), f.header.session, f.payload, false);
+  for (const leg_result& r : legs) {
+    if (!r.ok) return "error " + r.error;
+  }
+  return first_line(legs.front().payload);
+}
+
+std::string coordinator::dispatch(const frame& f) {
+  switch (static_cast<msg_type>(f.header.type)) {
+    case msg_type::check: return do_check(f);
+    case msg_type::check_region: return do_check_region(f);
+    case msg_type::edit: return do_edit(f);
+    case msg_type::recheck: return do_recheck(f);
+    case msg_type::reload: return do_broadcast_status(f);
+    case msg_type::diff: {
+      std::lock_guard lk(keys_mu_);
+      std::ostringstream os;
+      os << "ok fixed " << last_diff_.fixed.size() << " new " << last_diff_.introduced.size()
+         << " unchanged " << last_diff_.unchanged.size();
+      for (const std::string& k : last_diff_.fixed) os << "\nfixed " << k;
+      for (const std::string& k : last_diff_.introduced) os << "\nnew " << k;
+      return os.str();
+    }
+    case msg_type::stats: {
+      std::string base = server::dispatch(f);
+      std::ostringstream os;
+      os << base;
+      std::size_t i = 0;
+      for (const worker_link_stats& w : worker_stats()) {
+        os << "\nshard " << i++ << " endpoint " << w.endpoint << " band " << w.band.y_min << ' '
+           << w.band.y_max << " legs " << w.legs << " shed " << w.shed << " delayed "
+           << w.delayed << " failures " << w.failures << " depth " << w.last_depth
+           << " healthy " << (w.healthy ? 1 : 0);
+      }
+      return os.str();
+    }
+    case msg_type::shutdown: {
+      if (ccfg_.forward_shutdown) {
+        std::lock_guard sc(scatter_mu_);
+        (void)scatter(msg_type::shutdown, 0, {}, false);
+      }
+      return "ok shutting down";  // base handle() stops us after responding
+    }
+    case msg_type::ping:
+    case msg_type::health: return server::dispatch(f);
+    case msg_type::open:
+    case msg_type::close:
+    case msg_type::shard:
+      throw std::runtime_error(std::string(msg_type_name(f.header.type)) +
+                               " is not a coordinator verb");
+    default: break;
+  }
+  throw std::runtime_error("unknown request type " + std::to_string(f.header.type));
+}
+
+std::vector<worker_link_stats> coordinator::worker_stats() const {
+  std::vector<worker_link_stats> out;
+  out.reserve(links_.size());
+  for (const auto& w : links_) {
+    worker_link_stats s;
+    s.endpoint = w->endpoint;
+    s.band = w->band;
+    s.legs = w->legs.load();
+    s.shed = w->shed.load();
+    s.delayed = w->delayed.load();
+    s.failures = w->failures.load();
+    s.last_depth = w->last_depth.load();
+    s.healthy = w->healthy.load();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> coordinator::current_keys() const {
+  std::lock_guard lk(keys_mu_);
+  std::vector<std::string> keys;
+  keys.reserve(key_mask_.size());
+  for (const auto& [k, mask] : key_mask_) {
+    (void)mask;
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace odrc::serve

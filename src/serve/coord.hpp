@@ -1,0 +1,147 @@
+// Cluster coordinator of odrc::serve (DESIGN.md §10).
+//
+// A coordinator is a server whose verb table scatters to a fleet of ordinary
+// serve workers instead of running checks itself. Each worker owns one
+// horizontal band of the layout (engine/shard.hpp plans the bands; the
+// `shard` verb hands the assignment over) and keeps a full copy of the
+// library, so edits broadcast and checks scatter. Violations whose edges
+// straddle a band seam are found by every adjacent worker; the coordinator
+// reconciles them with a key -> owner-bitmask map (violation_db keys are
+// content-addressed, so the same geometric violation has the same key on
+// every worker) and reports each exactly once.
+//
+// Incremental rechecks reconcile by bitmask update: a worker reporting a key
+// "fixed" clears its bit — the violation is globally fixed only when the last
+// owner drops it; a key reported "new" is globally new only when no other
+// worker already owned it.
+//
+// Backpressure: before a scatter leg for a check-class verb, the coordinator
+// probes the worker's `health` (admission queue depth + in-flight workers).
+// An overloaded leg is delayed with backoff and finally shed — the client
+// sees "error busy" instead of the fleet queueing unboundedly. Edit-class
+// verbs are never shed: dropping an edit on one worker would fork the
+// replicas.
+//
+// The coordinator reuses the whole server socket machinery (accept/reader/
+// queue/lifecycle) by overriding only dispatch(); it listens on the same
+// transports (unix/tcp) workers do, so tiers can be stacked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "report/violation_db.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace odrc::serve {
+
+namespace detail {
+/// Base-from-member holder: the coordinator has no local sessions, but the
+/// server base wants a session_manager&; this base is initialized first.
+struct sessions_holder {
+  session_manager sessions;
+};
+}  // namespace detail
+
+struct coord_config {
+  server_config listen;  ///< the coordinator's own endpoint/queue/workers
+  std::vector<std::string> worker_endpoints;
+  std::vector<rect> bands;  ///< parallel to worker_endpoints; plane-tiling
+
+  /// Admission gate: shed a check-class scatter leg when the worker's
+  /// queue depth + in-flight count exceeds this.
+  std::size_t max_worker_depth = 64;
+  std::size_t admission_retries = 3;  ///< delays before shedding
+  std::size_t backoff_ms = 10;        ///< base delay, scaled by attempt
+  bool forward_shutdown = true;       ///< `shutdown` also stops the workers
+};
+
+/// Per-worker link counters (stats verb, tests).
+struct worker_link_stats {
+  std::string endpoint;
+  rect band;
+  std::uint64_t legs = 0;      ///< scatter legs completed
+  std::uint64_t shed = 0;      ///< legs dropped by the admission gate
+  std::uint64_t delayed = 0;   ///< admission backoff rounds
+  std::uint64_t failures = 0;  ///< transport failures (worker died, ...)
+  std::size_t last_depth = 0;  ///< last health-probe queue depth + inflight
+  bool healthy = true;
+};
+
+class coordinator : private detail::sessions_holder, public server {
+ public:
+  explicit coordinator(coord_config cfg);
+  ~coordinator() override;
+
+  /// Connect every worker link, push the shard assignments, then start the
+  /// listening server. Throws when a worker is unreachable or rejects its
+  /// shard.
+  void start();
+
+  [[nodiscard]] std::vector<worker_link_stats> worker_stats() const;
+
+  /// Sorted reconciled violation keys (after the last check/recheck).
+  [[nodiscard]] std::vector<std::string> current_keys() const;
+
+ protected:
+  std::string dispatch(const frame& f) override;
+
+ private:
+  struct worker_link {
+    std::string endpoint;
+    rect band;
+    std::uint32_t index = 0;
+    std::mutex mu;  ///< serializes the synchronous client
+    client cli;
+    std::atomic<std::uint64_t> legs{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> delayed{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::size_t> last_depth{0};
+    std::atomic<bool> healthy{true};
+  };
+
+  struct leg_result {
+    bool ok = false;
+    bool busy = false;
+    std::string payload;  ///< worker response payload when ok
+    std::string error;    ///< message otherwise
+  };
+
+  /// One scatter leg: optional admission gate, then the request, with all
+  /// failure accounting. Serializes on the link's mutex.
+  leg_result run_leg(worker_link& w, msg_type t, std::uint32_t session,
+                     const std::string& payload, bool gate);
+
+  /// Scatter `t` to the links selected by `pick` (null = all), one thread
+  /// per leg, and gather. Results align with links_ (unpicked legs are
+  /// default leg_result with ok=false, error="skipped").
+  std::vector<leg_result> scatter(msg_type t, std::uint32_t session, const std::string& payload,
+                                  bool gate, const std::vector<bool>* pick = nullptr);
+
+  std::string do_check(const frame& f);
+  std::string do_check_region(const frame& f);
+  std::string do_edit(const frame& f);
+  std::string do_recheck(const frame& f);
+  std::string do_broadcast_status(const frame& f);  ///< reload: first ok line
+
+  coord_config ccfg_;
+  std::vector<std::unique_ptr<worker_link>> links_;
+
+  /// Serializes mutating verbs (check/edit/recheck/reload): the fleet's
+  /// replicas move through the same state sequence.
+  std::mutex scatter_mu_;
+
+  mutable std::mutex keys_mu_;
+  /// Reconciliation state: violation key -> bitmask of owning shards.
+  std::unordered_map<std::string, std::uint64_t> key_mask_;
+  report::key_diff last_diff_;
+};
+
+}  // namespace odrc::serve

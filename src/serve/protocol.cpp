@@ -18,6 +18,9 @@ const char* msg_type_name(std::uint8_t type) {
     case msg_type::shutdown: return "shutdown";
     case msg_type::ping: return "ping";
     case msg_type::reload: return "reload";
+    case msg_type::shard: return "shard";
+    case msg_type::check_region: return "check_region";
+    case msg_type::health: return "health";
   }
   return "unknown";
 }

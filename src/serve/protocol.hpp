@@ -46,6 +46,12 @@ enum class msg_type : std::uint8_t {
   shutdown = 8,  ///< orderly server shutdown (responds before stopping)
   ping = 9,      ///< liveness -> "ok pong"
   reload = 10,   ///< payload "<path.snap>": hot-swap the session's snapshot
+
+  // Cluster verbs (DESIGN.md §10). A worker is an ordinary server that was
+  // handed a shard assignment; the coordinator speaks the same frames.
+  shard = 11,         ///< payload "<idx> <count> x1 y1 x2 y2": own this band
+  check_region = 12,  ///< payload "x1 y1 x2 y2 [keys]": windowed query
+  health = 13,        ///< cheap admission probe -> "ok depth D inflight I ..."
 };
 
 [[nodiscard]] const char* msg_type_name(std::uint8_t type);

@@ -7,15 +7,14 @@
 #include <cstring>
 #include <sstream>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "engine/deck_parser.hpp"
 #include "engine/snapshot_store.hpp"
 #include "gdsii/reader.hpp"
-#include "infra/thread_pool.hpp"
 #include "infra/trace.hpp"
 
 namespace odrc::serve {
@@ -29,6 +28,16 @@ void close_fd(int& fd) {
     ::close(fd);
     fd = -1;
   }
+}
+
+// "x1 y1 x2 y2" prefix of a payload -> rect; returns the stream positioned
+// after the coordinates so callers can read trailing flags ("keys").
+rect parse_window_args(std::istringstream& args, const char* verb) {
+  rect w;
+  if (!(args >> w.x_min >> w.y_min >> w.x_max >> w.y_max) || w.empty()) {
+    throw std::runtime_error(std::string(verb) + " expects 'x1 y1 x2 y2' with x1<=x2, y1<=y2");
+  }
+  return w;
 }
 
 }  // namespace
@@ -47,31 +56,25 @@ void server::start() {
   // A worker answering a vanished client must get EPIPE, not SIGPIPE.
   ::signal(SIGPIPE, SIG_IGN);
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw std::runtime_error("socket path too long: " + cfg_.socket_path);
-  }
-  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("socket(): " + std::string(std::strerror(errno)));
-  ::unlink(cfg_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close_fd(listen_fd_);
-    throw std::runtime_error("bind(" + cfg_.socket_path + "): " + err);
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    const std::string err = std::strerror(errno);
-    close_fd(listen_fd_);
-    throw std::runtime_error("listen(): " + err);
-  }
+  listener_.open(cfg_.effective_endpoint());
+  bound_endpoint_ = listener_.bound();
   if (::pipe(stop_pipe_) != 0) {
-    close_fd(listen_fd_);
+    listener_.close();
     throw std::runtime_error("pipe(): " + std::string(std::strerror(errno)));
   }
-  started_ = true;
+  if (::pipe(reap_pipe_) != 0) {
+    close_fd(stop_pipe_[0]);
+    close_fd(stop_pipe_[1]);
+    listener_.close();
+    throw std::runtime_error("pipe(): " + std::string(std::strerror(errno)));
+  }
+  // Reap tickles coalesce; a blocking drain of an exactly-full read would
+  // stall the accept loop.
+  ::fcntl(reap_pipe_[0], F_SETFL, O_NONBLOCK);
+  worker_threads_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -85,13 +88,28 @@ void server::stop() {
 
 void server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& t : readers_) {
+  {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard lk(conns_mu_);
+      for (reader_slot& slot : readers_) threads.push_back(std::move(slot.thread));
+      readers_.clear();
+    }
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+  // Readers are gone, so no more enqueues: release the request threads once
+  // they finish draining what is already queued.
+  {
+    std::lock_guard lk(queue_mu_);
+    queue_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
-  {
-    std::unique_lock lk(queue_mu_);
-    drained_cv_.wait(lk, [this] { return active_workers_ == 0 && queue_.empty(); });
-  }
+  worker_threads_.clear();
   {
     std::lock_guard lk(conns_mu_);
     for (const auto& c : conns_) close_fd(c->fd);
@@ -99,36 +117,82 @@ void server::wait() {
   }
   close_fd(stop_pipe_[0]);
   close_fd(stop_pipe_[1]);
-  if (started_) {
-    ::unlink(cfg_.socket_path.c_str());
-    started_ = false;
+  close_fd(reap_pipe_[0]);
+  close_fd(reap_pipe_[1]);
+}
+
+void server::wake_reaper() {
+  if (reap_pipe_[1] >= 0) {
+    const char byte = 1;
+    (void)!::write(reap_pipe_[1], &byte, 1);
+  }
+}
+
+void server::reap_readers() {
+  std::vector<std::thread> joinable;
+  {
+    std::lock_guard lk(conns_mu_);
+    std::erase_if(readers_, [&](reader_slot& slot) {
+      if (!slot.done->load() || !slot.conn->finished.load()) return false;
+      joinable.push_back(std::move(slot.thread));
+      return true;
+    });
+    std::erase_if(conns_, [](const std::shared_ptr<connection>& c) {
+      if (!c->finished.load()) return false;
+      std::lock_guard wl(c->write_mu);
+      close_fd(c->fd);
+      return true;
+    });
+  }
+  for (std::thread& t : joinable) {
+    if (t.joinable()) t.join();
   }
 }
 
 void server::accept_loop() {
   trace::recorder::instance().name_this_thread("serve accept");
   while (!stopping_.load()) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
-    const int pr = ::poll(fds, 2, -1);
+    pollfd fds[3] = {{listener_.fd(), POLLIN, 0},
+                     {stop_pipe_[0], POLLIN, 0},
+                     {reap_pipe_[0], POLLIN, 0}};
+    const int pr = ::poll(fds, 3, -1);
     if (pr < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[1].revents != 0 || stopping_.load()) break;
+    if (fds[2].revents != 0) {
+      char buf[64];
+      while (::read(reap_pipe_[0], buf, sizeof buf) > 0) {
+      }
+      reap_readers();
+    }
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    const int cfd = ::accept(listener_.fd(), nullptr, nullptr);
     if (cfd < 0) {
       if (errno == EINTR) continue;
-      break;
+      // Transient failure — EMFILE/ENFILE (fd exhaustion), ECONNABORTED (the
+      // peer gave up while queued), EAGAIN. The listen socket itself is
+      // fine; breaking out here would permanently stop accepting, so count
+      // it, back off briefly (reaping may free fds), and retry. The stop
+      // pipe keeps shutdown responsive during the backoff.
+      accept_errors_.fetch_add(1);
+      trace::counter("serve", "accept_errors",
+                     static_cast<std::int64_t>(accept_errors_.load()));
+      reap_readers();
+      pollfd stop_fd{stop_pipe_[0], POLLIN, 0};
+      (void)::poll(&stop_fd, 1, 10);
+      continue;
     }
     accepted_.fetch_add(1);
     auto conn = std::make_shared<connection>();
     conn->fd = cfd;
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard lk(conns_mu_);
     conns_.push_back(conn);
-    readers_.emplace_back([this, conn] { reader_loop(conn); });
+    readers_.push_back({conn, std::thread([this, conn, done] { reader_loop(conn, done); }), done});
   }
-  close_fd(listen_fd_);
+  listener_.close();
   // Wake every blocked reader: they see EOF and exit; queued work drains.
   std::lock_guard lk(conns_mu_);
   for (const auto& c : conns_) {
@@ -136,7 +200,18 @@ void server::accept_loop() {
   }
 }
 
-void server::reader_loop(std::shared_ptr<connection> conn) {
+void server::finish_if_drained(connection& conn) {
+  if (!conn.read_closed.load() || conn.pending.load() != 0) return;
+  if (conn.finished.exchange(true)) return;
+  {
+    std::lock_guard lk(conn.write_mu);
+    if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_WR);
+  }
+  wake_reaper();
+}
+
+void server::reader_loop(std::shared_ptr<connection> conn,
+                         std::shared_ptr<std::atomic<bool>> done) {
   trace::recorder::instance().name_this_thread("serve reader");
   for (;;) {
     std::optional<frame> f;
@@ -151,6 +226,7 @@ void server::reader_loop(std::shared_ptr<connection> conn) {
       break;
     }
     if (!f) break;  // EOF or truncation
+    conn->pending.fetch_add(1);
     bool admitted = true;
     {
       std::lock_guard lk(queue_mu_);
@@ -158,37 +234,44 @@ void server::reader_loop(std::shared_ptr<connection> conn) {
         admitted = false;
       } else {
         queue_.push_back({conn, *f});
-        if (active_workers_ < cfg_.workers) {
-          ++active_workers_;
-          thread_pool::global().submit([this] { drain(); });
-        }
       }
     }
+    if (admitted) queue_cv_.notify_one();
     if (!admitted) {
       rejected_.fetch_add(1);
       respond(*conn, *f, "error busy");
+      conn->pending.fetch_sub(1);
     }
   }
-  // Reader is done (EOF or unsynchronizable stream): half-close so the peer
-  // sees EOF now. The fd itself is closed once in wait() (conns_ cleanup).
-  std::lock_guard lk(conn->write_mu);
-  if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  // Reader is done (EOF or unsynchronizable stream). Half-close the READ
+  // side only: responses to requests this connection already pipelined may
+  // still be in flight, and SHUT_RDWR here would silently drop them. The
+  // write side closes via finish_if_drained() once the last of them is
+  // answered, and the accept thread then reaps the fd and this thread.
+  ::shutdown(conn->fd, SHUT_RD);
+  conn->read_closed.store(true);
+  finish_if_drained(*conn);
+  done->store(true);
+  wake_reaper();
 }
 
-void server::drain() {
+void server::worker_loop() {
+  trace::recorder::instance().name_this_thread("serve worker");
   for (;;) {
     request rq;
     {
-      std::lock_guard lk(queue_mu_);
-      if (queue_.empty()) {
-        --active_workers_;
-        drained_cv_.notify_all();
-        return;
-      }
+      std::unique_lock lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return !queue_.empty() || queue_stop_; });
+      if (queue_.empty()) return;  // queue_stop_ and fully drained
       rq = std::move(queue_.front());
       queue_.pop_front();
+      ++active_workers_;
     }
     handle(rq);
+    {
+      std::lock_guard lk(queue_mu_);
+      --active_workers_;
+    }
   }
 }
 
@@ -207,6 +290,8 @@ void server::handle(request& rq) {
   record_latency(std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
                      .count());
   respond(*rq.conn, rq.f, std::move(payload));
+  rq.conn->pending.fetch_sub(1);
+  finish_if_drained(*rq.conn);
   if (static_cast<msg_type>(rq.f.header.type) == msg_type::shutdown) stop();
 }
 
@@ -235,12 +320,52 @@ std::string server::dispatch(const frame& f) {
     }
     case msg_type::check: {
       auto s = need_session();
+      const bool want_keys = f.payload.find("keys") != std::string::npos;
       const auto rows = s->check_full();
       std::size_t total = 0;
       for (const auto& r : rows) total += r.count;
       std::ostringstream os;
       os << "ok total " << total;
       for (const auto& r : rows) os << "\nrule " << r.rule << ' ' << r.count;
+      if (want_keys) {
+        for (const std::string& k : s->keys()) os << "\nv " << k;
+      }
+      return os.str();
+    }
+    case msg_type::check_region: {
+      auto s = need_session();
+      std::istringstream args(f.payload);
+      const rect w = parse_window_args(args, "check_region");
+      std::string flag;
+      args >> flag;
+      const session::window_result r = s->check_window(w);
+      std::size_t total = 0;
+      for (const auto& row : r.rows) total += row.count;
+      std::ostringstream os;
+      os << "ok total " << total;
+      for (const auto& row : r.rows) os << "\nrule " << row.rule << ' ' << row.count;
+      if (flag == "keys") {
+        for (const std::string& k : r.keys) os << "\nv " << k;
+      }
+      return os.str();
+    }
+    case msg_type::shard: {
+      auto s = need_session();
+      std::istringstream args(f.payload);
+      std::uint32_t idx = 0, count = 0;
+      if (!(args >> idx >> count)) {
+        throw std::runtime_error("shard expects '<idx> <count> x1 y1 x2 y2'");
+      }
+      const rect band = parse_window_args(args, "shard");
+      if (count == 0 || idx >= count) throw std::runtime_error("shard index out of range");
+      s->set_shard(session::shard_info{band, idx, count});
+      return "ok shard " + std::to_string(idx) + "/" + std::to_string(count);
+    }
+    case msg_type::health: {
+      const server_stats_snapshot st = stats();
+      std::ostringstream os;
+      os << "ok depth " << st.queue_depth << " inflight " << st.active_workers << " workers "
+         << cfg_.workers << " readers " << st.reader_threads << " sessions " << st.sessions;
       return os.str();
     }
     case msg_type::edit: {
@@ -254,11 +379,16 @@ std::string server::dispatch(const frame& f) {
     }
     case msg_type::recheck: {
       auto s = need_session();
+      const bool want_keys = f.payload.find("keys") != std::string::npos;
       const recheck_result r = s->recheck();
       std::ostringstream os;
       os << "ok fixed " << r.diff.fixed.size() << " new " << r.diff.introduced.size()
          << " unchanged " << r.diff.unchanged.size() << " windows " << r.windows << " purged "
          << r.purged << " inserted " << r.inserted << " full " << (r.full ? 1 : 0);
+      if (want_keys) {
+        for (const std::string& k : r.diff.fixed) os << "\nfixed " << k;
+        for (const std::string& k : r.diff.introduced) os << "\nnew " << k;
+      }
       return os.str();
     }
     case msg_type::diff: {
@@ -279,8 +409,9 @@ std::string server::dispatch(const frame& f) {
          << "\nactive_workers " << st.active_workers << "\nworkers " << cfg_.workers
          << "\nrequests_total " << st.requests_total << "\nrequests_rejected "
          << st.requests_rejected << "\nprotocol_errors " << st.protocol_errors
-         << "\naccepted_connections " << st.accepted_connections << "\np50_ms " << st.p50_ms
-         << "\np95_ms " << st.p95_ms;
+         << "\naccepted_connections " << st.accepted_connections << "\naccept_errors "
+         << st.accept_errors << "\nreader_threads " << st.reader_threads << "\nconnections "
+         << st.connections << "\np50_ms " << st.p50_ms << "\np95_ms " << st.p95_ms;
       const auto s = sessions_.get(sid);
       if (s) {
         const session_stats ss = s->stats();
@@ -332,6 +463,7 @@ void server::record_latency(double ms) {
 server_stats_snapshot server::stats() {
   server_stats_snapshot st;
   st.accepted_connections = accepted_.load();
+  st.accept_errors = accept_errors_.load();
   st.requests_total = requests_.load();
   st.requests_rejected = rejected_.load();
   st.protocol_errors = proto_errors_.load();
@@ -340,6 +472,11 @@ server_stats_snapshot server::stats() {
     std::lock_guard lk(queue_mu_);
     st.queue_depth = queue_.size();
     st.active_workers = active_workers_;
+  }
+  {
+    std::lock_guard lk(conns_mu_);
+    st.reader_threads = readers_.size();
+    st.connections = conns_.size();
   }
   std::vector<double> lat;
   {

@@ -29,6 +29,17 @@ std::vector<rect> merge_rects(std::vector<rect> rects) {
   return rects;
 }
 
+rect intersect(const rect& a, const rect& b) {
+  return {std::max(a.x_min, b.x_min), std::max(a.y_min, b.y_min),
+          std::min(a.x_max, b.x_max), std::min(a.y_max, b.y_max)};
+}
+
+// Sharded keep predicate: same edge-wise test check_region applies to its
+// window, here against the shard band.
+bool touches_band(const checks::violation& v, const rect& band) {
+  return band.overlaps(v.e1.mbr()) || band.overlaps(v.e2.mbr());
+}
+
 }  // namespace
 
 session::session(db::library lib, std::vector<rules::rule> deck, engine::engine_config cfg)
@@ -75,15 +86,50 @@ void session::reload(std::shared_ptr<const engine::frozen_backing> frozen, db::l
 }
 
 void session::run_full_locked() {
-  trace::span ts("serve", "full_check", "rules", static_cast<std::int64_t>(plans_.size()));
+  trace::span ts("serve", "full_check", "rules", static_cast<std::int64_t>(plans_.size()),
+                 "shard", shard_ ? static_cast<std::int64_t>(shard_->index) : -1);
   db_ = report::violation_db(lib_.name());
-  engine::deck_report dr = eng_.check_deck(lib_, plans_, *snap_);
+  // A sharded worker's "full" check is its band: check_region keeps exactly
+  // the violations with an offending edge touching the band, so the union
+  // over all workers' stores is the single-process store.
+  engine::deck_report dr = shard_ ? eng_.check_region(lib_, plans_, *snap_, shard_->band)
+                                  : eng_.check_deck(lib_, plans_, *snap_);
   for (std::size_t i = 0; i < plans_.size(); ++i) {
     db_.add(deck_[i].name, dr.per_rule[i].violations);
   }
   checked_ = true;
   full_required_ = false;
   dirty_.clear();
+}
+
+void session::set_shard(shard_info s) {
+  std::lock_guard lk(mu_);
+  if (s.band.empty()) throw std::runtime_error("empty shard band");
+  shard_ = s;
+  // The store's meaning changed (full design -> band); rebuild before the
+  // next incremental step.
+  full_required_ = true;
+}
+
+std::optional<session::shard_info> session::shard() const {
+  std::lock_guard lk(mu_);
+  return shard_;
+}
+
+session::window_result session::check_window(const rect& w) {
+  std::lock_guard lk(mu_);
+  trace::span ts("serve", "check_window");
+  const rect eff = shard_ ? intersect(w, shard_->band) : w;
+  window_result out;
+  if (eff.empty()) return out;
+  report::violation_db db(lib_.name());
+  engine::deck_report dr = eng_.check_region(lib_, plans_, *snap_, eff);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    db.add(deck_[i].name, dr.per_rule[i].violations);
+  }
+  out.rows = db.summarize();
+  out.keys = db.keys();
+  return out;
 }
 
 std::vector<report::summary_row> session::check_full() {
@@ -141,23 +187,35 @@ recheck_result session::recheck() {
       const std::string& name = deck_[i].name;
       const std::span<const engine::exec_plan> one(&plan, 1);
       if (plan.cls == engine::plan_class::global) {
-        // Not locally incremental (see file comment): full rerun + replace.
+        // Not locally incremental (see file comment): full rerun + replace
+        // (band-filtered via check_region when sharded).
         out.purged += db_.erase_rule(name);
-        engine::deck_report dr = eng_.check_deck(lib_, one, *snap_);
+        engine::deck_report dr = shard_
+                                     ? eng_.check_region(lib_, one, *snap_, shard_->band)
+                                     : eng_.check_deck(lib_, one, *snap_);
         out.inserted += dr.per_rule[0].violations.size();
         db_.add(name, dr.per_rule[0].violations);
         continue;
       }
+      // Sharded exactness: a changed violation has one edge in the dirty
+      // rect D and the other within plan.inflate of it, so both edges lie in
+      // W = D.inflated(inflate). An affected BAND entry additionally has an
+      // edge touching the band, so W ∩ band ≠ ∅ — windows disjoint from the
+      // band cannot change this worker's store and are skipped whole.
       // Purge everything that could have changed BEFORE inserting: a
       // violation touching two overlapping windows must not be re-purged
       // after its re-insertion.
       for (const rect& d : merged) {
-        out.purged += db_.erase_touching(name, d.inflated(plan.inflate));
+        const rect w = d.inflated(plan.inflate);
+        if (shard_ && !w.overlaps(shard_->band)) continue;
+        out.purged += db_.erase_touching(name, w);
       }
       for (const rect& d : merged) {
         const rect w = d.inflated(plan.inflate);
+        if (shard_ && !w.overlaps(shard_->band)) continue;
         engine::deck_report dr = eng_.check_region(lib_, one, *snap_, w);
         for (const checks::violation& v : dr.per_rule[0].violations) {
+          if (shard_ && !touches_band(v, shard_->band)) continue;
           if (db_.add_unique(name, v)) ++out.inserted;
         }
       }

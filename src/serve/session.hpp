@@ -67,6 +67,24 @@ struct session_stats {
 /// against different sessions run concurrently.
 class session {
  public:
+  /// Shard assignment for cluster workers (DESIGN.md §10): this session
+  /// answers for the violations whose offending edges touch `band`. Bands
+  /// tile the plane, so the union of all workers' check results is exactly
+  /// the single-process result (seam straddlers appear on every band their
+  /// edges touch and are deduplicated by key at the coordinator).
+  struct shard_info {
+    rect band;
+    std::uint32_t index = 0;
+    std::uint32_t count = 1;
+  };
+
+  /// Result of a pure windowed query (check_window): summary rows plus the
+  /// sorted keys, computed fresh without touching the session's store.
+  struct window_result {
+    std::vector<report::summary_row> rows;
+    std::vector<std::string> keys;
+  };
+
   session(db::library lib, std::vector<rules::rule> deck,
           engine::engine_config cfg = {});
 
@@ -104,6 +122,19 @@ class session {
   /// changes the layout version, not the rules.
   void reload(std::shared_ptr<const engine::frozen_backing> frozen, db::library lib);
 
+  /// Adopt a shard assignment. Subsequent check_full() runs check the band
+  /// only; recheck() clips its windows to the band. Forces a full check
+  /// before the next incremental step (the store changes meaning).
+  void set_shard(shard_info s);
+
+  /// Current shard assignment, if any.
+  [[nodiscard]] std::optional<shard_info> shard() const;
+
+  /// Pure windowed query: check `w` (clipped to the shard band when
+  /// sharded) against the full deck and return rows + keys. Does not touch
+  /// the violation store, the dirty set, or the diff baseline.
+  [[nodiscard]] window_result check_window(const rect& w);
+
   /// The diff produced by the most recent check_full()/recheck().
   [[nodiscard]] report::key_diff last_diff() const;
 
@@ -129,6 +160,7 @@ class session {
   std::vector<std::string> last_keys_;
   report::key_diff last_diff_;
   std::vector<rect> dirty_;
+  std::optional<shard_info> shard_;
   bool checked_ = false;
   bool full_required_ = false;
   session_stats stats_;

@@ -1,0 +1,186 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace odrc::serve::transport {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void fill_unix_addr(const std::string& path, sockaddr_un& addr) {
+  addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("bad unix socket path: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+/// getaddrinfo over the numeric-or-named host; caller owns the result.
+addrinfo* resolve_tcp(const endpoint& ep, bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(ep.port);
+  const char* host = ep.host.empty() ? nullptr : ep.host.c_str();
+  const int rc = ::getaddrinfo(host, port.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("resolve tcp:" + ep.host + ":" + port + ": " +
+                             ::gai_strerror(rc));
+  }
+  return res;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) return 0;
+  if (ss.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in&>(ss).sin_port);
+  }
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6&>(ss).sin6_port);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string endpoint::describe() const {
+  if (tcp) return "tcp:" + host + ":" + std::to_string(port);
+  return "unix:" + path;
+}
+
+endpoint parse_endpoint(const std::string& spec) {
+  if (spec.empty()) throw std::runtime_error("empty endpoint");
+  endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) throw std::runtime_error("empty unix endpoint path");
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 == rest.size()) {
+      throw std::runtime_error("tcp endpoint wants tcp:host:port, got '" + spec + "'");
+    }
+    ep.tcp = true;
+    ep.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long p = std::strtol(port.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+      throw std::runtime_error("bad tcp port '" + port + "'");
+    }
+    ep.port = static_cast<std::uint16_t>(p);
+    return ep;
+  }
+  // Bare path: unix (the pre-cluster --socket=PATH form).
+  ep.path = spec;
+  return ep;
+}
+
+int connect_endpoint(const std::string& spec) {
+  const endpoint ep = parse_endpoint(spec);
+  if (!ep.tcp) {
+    sockaddr_un addr;
+    fill_unix_addr(ep.path, addr);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket()");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      throw std::runtime_error("connect(" + ep.describe() + "): " + err);
+    }
+    return fd;
+  }
+  addrinfo* res = resolve_tcp(ep, /*passive=*/false);
+  std::string last_err = "no addresses";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_err = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Request frames are small and latency-sensitive (a scatter leg is one
+      // short frame): don't let Nagle delay them behind a previous response.
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return fd;
+    }
+    last_err = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("connect(" + ep.describe() + "): " + last_err);
+}
+
+void listener::open(const std::string& spec, int backlog) {
+  close();
+  ep_ = parse_endpoint(spec);
+  if (!ep_.tcp) {
+    sockaddr_un addr;
+    fill_unix_addr(ep_.path, addr);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("socket()");
+    ::unlink(ep_.path.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string err = std::strerror(errno);
+      close();
+      throw std::runtime_error("bind(" + ep_.describe() + "): " + err);
+    }
+  } else {
+    addrinfo* res = resolve_tcp(ep_, /*passive=*/true);
+    std::string last_err = "no addresses";
+    for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd_ < 0) {
+        last_err = std::strerror(errno);
+        continue;
+      }
+      const int one = 1;
+      (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_err = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd_ < 0) throw std::runtime_error("bind(" + ep_.describe() + "): " + last_err);
+    ep_.port = bound_port(fd_);  // resolve port 0
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("listen(" + ep_.describe() + "): " + err);
+  }
+  bound_ = ep_.describe();
+}
+
+void listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!ep_.tcp && !ep_.path.empty()) ::unlink(ep_.path.c_str());
+  }
+  bound_.clear();
+}
+
+}  // namespace odrc::serve::transport

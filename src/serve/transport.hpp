@@ -1,0 +1,66 @@
+// Stream-transport abstraction of odrc::serve (DESIGN.md §10).
+//
+// One endpoint grammar shared by the client, the workers and the cluster
+// coordinator, so a worker can live on another host without any protocol
+// change — the length-prefixed framing (protocol.hpp) is byte-identical on
+// both transports:
+//
+//   unix:/path/to.sock   Unix-domain stream socket
+//   /path/to.sock        bare paths mean unix (back-compat with --socket)
+//   tcp:host:port        TCP; `host` may be a name or a dotted quad, and a
+//                        listener may use port 0 to let the kernel pick
+//                        (bound() reports the resolved port)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace odrc::serve::transport {
+
+struct endpoint {
+  bool tcp = false;
+  std::string host;          ///< tcp only
+  std::uint16_t port = 0;    ///< tcp only
+  std::string path;          ///< unix only
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse the endpoint grammar above. Throws std::runtime_error on a
+/// malformed spec (empty, bad port, missing colon).
+[[nodiscard]] endpoint parse_endpoint(const std::string& spec);
+
+/// Connect a blocking stream socket to `spec`. Throws std::runtime_error on
+/// resolution or connection failure; the returned fd is owned by the caller.
+[[nodiscard]] int connect_endpoint(const std::string& spec);
+
+/// Listening socket over either transport. For unix endpoints the path is
+/// unlinked before bind and again on close(); for TCP, SO_REUSEADDR is set
+/// and port 0 resolves to a kernel-assigned port (visible via bound()).
+class listener {
+ public:
+  listener() = default;
+  ~listener() { close(); }
+
+  listener(const listener&) = delete;
+  listener& operator=(const listener&) = delete;
+
+  /// Bind + listen. Throws std::runtime_error on failure.
+  void open(const std::string& spec, int backlog = 16);
+
+  void close();
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  /// Canonical endpoint actually bound ("unix:/p" or "tcp:host:port" with
+  /// the resolved port). Empty before open().
+  [[nodiscard]] const std::string& bound() const { return bound_; }
+
+ private:
+  int fd_ = -1;
+  endpoint ep_;
+  std::string bound_;
+};
+
+}  // namespace odrc::serve::transport

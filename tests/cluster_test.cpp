@@ -1,0 +1,399 @@
+// Sharded scatter-gather cluster tests (DESIGN.md §10): an in-process fleet
+// of serve workers behind a coordinator must produce exactly the violation
+// set of a single-process session — including spacing violations straddling
+// a band seam, which both adjacent workers report and the coordinator dedups
+// by key. Also covers the shard planner, worker-death propagation, the
+// admission backpressure gate, and the TCP transport. Suite names start with
+// "Cluster"/"Coord" so the TSan CI job picks them up.
+#include "serve/coord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <unistd.h>
+
+#include "db/layout.hpp"
+#include "engine/rule.hpp"
+#include "engine/shard.hpp"
+#include "serve/client.hpp"
+#include "serve/session.hpp"
+
+namespace odrc::serve {
+namespace {
+
+constexpr db::layer_t M1 = 19;
+
+// Violations in both band interiors plus one spacing pair whose two edges
+// sit on opposite sides of y = 500 (the manual seam): rect A tops out at
+// y=498, rect B starts at y=503, gap 5 < min 25.
+db::library make_cluster_lib() {
+  db::library lib("cluster_test");
+  const db::cell_id top = lib.add_cell("top");
+  // lower band interior
+  lib.at(top).add_rect(M1, {0, 0, 400, 10});       // width 10 < 18
+  lib.at(top).add_rect(M1, {600, 0, 610, 10});     // 10x10: width + area
+  lib.at(top).add_rect(M1, {0, 100, 200, 130});
+  lib.at(top).add_rect(M1, {0, 140, 200, 170});    // spacing 10 < 25
+  // seam straddler
+  lib.at(top).add_rect(M1, {100, 460, 300, 498});
+  lib.at(top).add_rect(M1, {100, 503, 300, 540});  // spacing 5 < 25, across the seam
+  // upper band interior
+  lib.at(top).add_rect(M1, {0, 800, 400, 815});    // width 15 < 18
+  lib.at(top).add_rect(M1, {600, 900, 800, 930});
+  lib.at(top).add_rect(M1, {600, 940, 800, 970});  // spacing 10 < 25
+  // hierarchy in both bands
+  const db::cell_id unit = lib.add_cell("unit");
+  lib.at(unit).add_rect(M1, {0, 0, 200, 30});
+  lib.at(top).add_ref({unit, transform{{1000, 50}, 0, false, 1}});
+  lib.at(top).add_ref({unit, transform{{1000, 850}, 0, false, 1}});
+  return lib;
+}
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(M1).width().greater_than(18).named("M1.W"),
+      rules::layer(M1).spacing().greater_than(25).named("M1.S"),
+      rules::layer(M1).area().greater_than(800).named("M1.A"),
+  };
+}
+
+long field(const std::string& line, const std::string& word) {
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok == word) {
+      long v = -1;
+      in >> v;
+      return v;
+    }
+  }
+  return -1;
+}
+
+// Two bands split at y = 500, tiling the plane.
+std::vector<rect> manual_bands() {
+  using engine::shard_clamp_max;
+  using engine::shard_clamp_min;
+  return {{shard_clamp_min, shard_clamp_min, shard_clamp_max, 500},
+          {shard_clamp_min, 501, shard_clamp_max, shard_clamp_max}};
+}
+
+struct Cluster : ::testing::Test {
+  std::vector<std::unique_ptr<session_manager>> wsessions;
+  std::vector<std::unique_ptr<server>> workers;
+  std::vector<std::string> wpaths;
+  std::unique_ptr<coordinator> coord;
+  std::string cpath;
+
+  void start_cluster(std::vector<rect> bands, coord_config tweak = {}) {
+    const std::string stem =
+        "/tmp/odrc_cl_" + std::to_string(::getpid()) + "_" + std::to_string(counter_.fetch_add(1));
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      wpaths.push_back(stem + "_w" + std::to_string(i) + ".sock");
+      wsessions.push_back(std::make_unique<session_manager>());
+      wsessions.back()->create(make_cluster_lib(), make_deck());
+      server_config wc;
+      wc.socket_path = wpaths.back();
+      wc.workers = 2;
+      workers.push_back(std::make_unique<server>(wc, *wsessions.back()));
+      workers.back()->start();
+    }
+    cpath = stem + "_coord.sock";
+    coord_config cc = tweak;
+    cc.listen.socket_path = cpath;
+    cc.listen.workers = 2;
+    cc.worker_endpoints = wpaths;
+    cc.bands = std::move(bands);
+    coord = std::make_unique<coordinator>(std::move(cc));
+    coord->start();
+  }
+
+  void TearDown() override {
+    if (coord) {
+      coord->stop();
+      coord->wait();
+    }
+    for (auto& w : workers) {
+      w->stop();
+      w->wait();
+    }
+  }
+
+  static inline std::atomic<int> counter_{0};
+};
+
+std::vector<std::string> single_process_keys() {
+  session s(make_cluster_lib(), make_deck());
+  s.check_full();
+  return s.keys();
+}
+
+TEST_F(Cluster, ClusterShardedCheckMatchesSingleProcess) {
+  start_cluster(manual_bands());
+  const std::vector<std::string> expected = single_process_keys();
+  ASSERT_FALSE(expected.empty());
+
+  client c;
+  c.connect(cpath);
+  const frame chk = c.request(msg_type::check, 0);
+  ASSERT_TRUE(client::ok(chk)) << chk.payload;
+  EXPECT_EQ(field(client::status_line(chk), "total"), static_cast<long>(expected.size()));
+  EXPECT_EQ(coord->current_keys(), expected);
+
+  // The seam straddler really was reported by BOTH workers (and deduped):
+  // some key must be in both per-worker stores.
+  const std::vector<std::string> k0 = wsessions[0]->get(1)->keys();
+  const std::vector<std::string> k1 = wsessions[1]->get(1)->keys();
+  std::vector<std::string> both;
+  std::set_intersection(k0.begin(), k0.end(), k1.begin(), k1.end(), std::back_inserter(both));
+  EXPECT_FALSE(both.empty()) << "no seam-straddling violation was exercised";
+  EXPECT_LT(both.size() + expected.size(), k0.size() + k1.size() + 1);  // dedup happened
+
+  for (const worker_link_stats& w : coord->worker_stats()) {
+    EXPECT_GE(w.legs, 1u);
+    EXPECT_TRUE(w.healthy);
+  }
+}
+
+TEST_F(Cluster, ClusterPlannedBandsAlsoMatchSingleProcess) {
+  const db::library lib = make_cluster_lib();
+  std::vector<rect> bands = engine::plan_shards(lib, 2);
+  ASSERT_EQ(bands.size(), 2u);
+  start_cluster(std::move(bands));
+
+  client c;
+  c.connect(cpath);
+  const frame chk = c.request(msg_type::check, 0);
+  ASSERT_TRUE(client::ok(chk)) << chk.payload;
+  EXPECT_EQ(coord->current_keys(), single_process_keys());
+}
+
+TEST_F(Cluster, ClusterCheckRegionMatchesSingleProcess) {
+  start_cluster(manual_bands());
+  client c;
+  c.connect(cpath);
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+
+  // Window across the seam: the straddler must be reported exactly once.
+  const rect w{0, 400, 1000, 600};
+  session single(make_cluster_lib(), make_deck());
+  const session::window_result expected = single.check_window(w);
+
+  std::ostringstream payload;
+  payload << w.x_min << ' ' << w.y_min << ' ' << w.x_max << ' ' << w.y_max << " keys";
+  const frame r = c.request(msg_type::check_region, 0, payload.str());
+  ASSERT_TRUE(client::ok(r)) << r.payload;
+  EXPECT_EQ(field(client::status_line(r), "total"), static_cast<long>(expected.keys.size()));
+
+  std::vector<std::string> got;
+  std::istringstream body(r.payload);
+  std::string line;
+  while (std::getline(body, line)) {
+    if (line.rfind("v ", 0) == 0) got.push_back(line.substr(2));
+  }
+  EXPECT_EQ(got, expected.keys);
+}
+
+// Broadcast edit + scattered recheck reconcile to the same keys as a
+// single-process session performing the same edit + recheck — including a
+// seam-straddling violation being globally fixed only when its LAST owner
+// drops it (the owner-bitmask path).
+TEST_F(Cluster, ClusterEditRecheckMatchesSingleProcess) {
+  start_cluster(manual_bands());
+  client c;
+  c.connect(cpath);
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+
+  session single(make_cluster_lib(), make_deck());
+  single.check_full();
+
+  // Move the upper straddler rect (M1 polygon index 5) up by 100: the seam
+  // spacing violation is fixed on both workers; new geometry stays clear.
+  const std::string script = "move_poly top 19 5 0 100\n";
+  const frame ed = c.request(msg_type::edit, 0, script);
+  ASSERT_TRUE(client::ok(ed)) << ed.payload;
+  const auto ops = parse_edit_script(script);
+  (void)single.apply(ops);
+
+  const frame rc = c.request(msg_type::recheck, 0);
+  ASSERT_TRUE(client::ok(rc)) << rc.payload;
+  const recheck_result rr = single.recheck();
+
+  EXPECT_EQ(field(client::status_line(rc), "fixed"), static_cast<long>(rr.diff.fixed.size()));
+  EXPECT_EQ(field(client::status_line(rc), "new"),
+            static_cast<long>(rr.diff.introduced.size()));
+  EXPECT_GE(rr.diff.fixed.size(), 1u);  // the straddler was fixed
+  EXPECT_EQ(coord->current_keys(), single.keys());
+
+  // And a fresh scattered full check agrees with the incremental state.
+  const frame chk2 = c.request(msg_type::check, 0);
+  ASSERT_TRUE(client::ok(chk2));
+  EXPECT_EQ(coord->current_keys(), single.keys());
+}
+
+TEST_F(Cluster, ClusterWorkerDeathPropagatesAsError) {
+  start_cluster(manual_bands());
+  client c;
+  c.connect(cpath);
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+
+  workers[1]->stop();
+  workers[1]->wait();
+
+  const frame chk = c.request(msg_type::check, 0);
+  EXPECT_FALSE(client::ok(chk));
+  EXPECT_EQ(chk.payload.rfind("error", 0), 0u) << chk.payload;
+  const std::vector<worker_link_stats> ws = coord->worker_stats();
+  EXPECT_GE(ws[1].failures, 1u);
+  EXPECT_FALSE(ws[1].healthy);
+  // The coordinator itself survives: local verbs still answer.
+  EXPECT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+}
+
+// With the admission threshold at zero, every check-class leg is delayed and
+// finally shed: the health probe always reports at least its own in-flight
+// slot, so the gate deterministically refuses.
+TEST_F(Cluster, ClusterBackpressureShedsWhenOverloaded) {
+  coord_config tweak;
+  tweak.max_worker_depth = 0;
+  tweak.admission_retries = 1;
+  tweak.backoff_ms = 1;
+  start_cluster(manual_bands(), tweak);
+
+  client c;
+  c.connect(cpath);
+  const frame chk = c.request(msg_type::check, 0);
+  EXPECT_FALSE(client::ok(chk));
+  EXPECT_NE(chk.payload.find("busy"), std::string::npos) << chk.payload;
+  std::uint64_t shed = 0, delayed = 0;
+  for (const worker_link_stats& w : coord->worker_stats()) {
+    shed += w.shed;
+    delayed += w.delayed;
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_GE(delayed, 1u);
+  // Ungated verbs still pass.
+  EXPECT_TRUE(client::ok(c.request(msg_type::stats, 0)));
+}
+
+TEST_F(Cluster, ClusterStatsReportPerShardRouting) {
+  start_cluster(manual_bands());
+  client c;
+  c.connect(cpath);
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+  const frame st = c.request(msg_type::stats, 0);
+  ASSERT_TRUE(client::ok(st));
+  EXPECT_NE(st.payload.find("shard 0 "), std::string::npos) << st.payload;
+  EXPECT_NE(st.payload.find("shard 1 "), std::string::npos);
+  EXPECT_NE(st.payload.find("legs"), std::string::npos);
+}
+
+// The whole scatter-gather path over TCP framing: workers and coordinator
+// listen on tcp:127.0.0.1:0, the kernel-resolved ports flow through
+// bound_endpoint(), and the sharded check still matches single-process.
+TEST_F(Cluster, CoordTcpTransportEndToEnd) {
+  std::vector<rect> bands = manual_bands();
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    wsessions.push_back(std::make_unique<session_manager>());
+    wsessions.back()->create(make_cluster_lib(), make_deck());
+    server_config wc;
+    wc.endpoint = "tcp:127.0.0.1:0";
+    wc.workers = 2;
+    workers.push_back(std::make_unique<server>(wc, *wsessions.back()));
+    workers.back()->start();
+    wpaths.push_back(workers.back()->bound_endpoint());
+    EXPECT_NE(wpaths.back(), "tcp:127.0.0.1:0");  // port resolved
+  }
+  coord_config cc;
+  cc.listen.endpoint = "tcp:127.0.0.1:0";
+  cc.listen.workers = 2;
+  cc.worker_endpoints = wpaths;
+  cc.bands = bands;
+  coord = std::make_unique<coordinator>(std::move(cc));
+  coord->start();
+
+  client c;
+  c.connect(coord->bound_endpoint());
+  EXPECT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+  const frame chk = c.request(msg_type::check, 0);
+  ASSERT_TRUE(client::ok(chk)) << chk.payload;
+  EXPECT_EQ(coord->current_keys(), single_process_keys());
+}
+
+// A sharded session's full check is the band-filtered subset of the
+// unsharded check (the per-worker half of the union-of-bands argument).
+TEST(ClusterShardedSession, CheckFullIsBandFilteredSubset) {
+  session whole(make_cluster_lib(), make_deck());
+  whole.check_full();
+  const std::vector<std::string> all = whole.keys();
+
+  session s(make_cluster_lib(), make_deck());
+  s.set_shard({manual_bands()[0], 0, 2});
+  s.check_full();
+  const std::vector<std::string> banded = s.keys();
+  ASSERT_FALSE(banded.empty());
+  EXPECT_LT(banded.size(), all.size());  // upper-band violations filtered out
+  for (const std::string& k : banded) {
+    EXPECT_TRUE(std::binary_search(all.begin(), all.end(), k)) << k;
+  }
+}
+
+// --- shard planner -----------------------------------------------------------
+
+TEST(CoordShardPlanner, SingleShardCoversThePlane) {
+  const std::vector<rect> mbrs = {{0, 0, 10, 10}, {0, 100, 10, 110}};
+  const std::vector<rect> bands = engine::plan_shards(mbrs, 1);
+  ASSERT_EQ(bands.size(), 1u);
+  EXPECT_EQ(bands[0].y_min, engine::shard_clamp_min);
+  EXPECT_EQ(bands[0].y_max, engine::shard_clamp_max);
+}
+
+TEST(CoordShardPlanner, BandsTileAndBalance) {
+  // 8 well-separated rows of one object each.
+  std::vector<rect> mbrs;
+  for (int i = 0; i < 8; ++i) {
+    mbrs.push_back({0, i * 1000, 100, i * 1000 + 100});
+  }
+  const std::vector<rect> bands = engine::plan_shards(mbrs, 4);
+  ASSERT_EQ(bands.size(), 4u);
+  EXPECT_EQ(bands.front().y_min, engine::shard_clamp_min);
+  EXPECT_EQ(bands.back().y_max, engine::shard_clamp_max);
+  for (std::size_t i = 0; i + 1 < bands.size(); ++i) {
+    EXPECT_EQ(static_cast<long>(bands[i].y_max) + 1, static_cast<long>(bands[i + 1].y_min))
+        << "bands must tile without gap or overlap";
+  }
+  // Balanced: each band covers exactly two of the eight rows.
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    int covered = 0;
+    for (const rect& m : mbrs) {
+      if (bands[b].overlaps(m)) ++covered;
+    }
+    EXPECT_EQ(covered, 2) << "band " << b;
+  }
+}
+
+TEST(CoordShardPlanner, MoreShardsThanRowsDegradesGracefully) {
+  const std::vector<rect> mbrs = {{0, 0, 10, 10}, {0, 5, 10, 15}};  // one merged row
+  const std::vector<rect> bands = engine::plan_shards(mbrs, 4);
+  ASSERT_EQ(bands.size(), 1u);
+}
+
+TEST(CoordShardPlanner, LibraryOverloadUsesHierarchy) {
+  const db::library lib = make_cluster_lib();
+  const std::vector<rect> bands = engine::plan_shards(lib, 2);
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_EQ(bands.front().y_min, engine::shard_clamp_min);
+  EXPECT_EQ(bands.back().y_max, engine::shard_clamp_max);
+  EXPECT_EQ(static_cast<long>(bands[0].y_max) + 1, static_cast<long>(bands[1].y_min));
+  // The cut lands strictly inside the layout's y extent.
+  EXPECT_GT(bands[0].y_max, 0);
+  EXPECT_LT(bands[1].y_min, 1000);
+}
+
+}  // namespace
+}  // namespace odrc::serve

@@ -1,0 +1,203 @@
+// Connection-lifecycle regression tests for odrc::serve::server. Each test
+// pins one of the bugs fixed by the lifecycle sweep and fails on the old
+// code:
+//  - client EOF used to SHUT_RDWR the connection, dropping the responses to
+//    requests it had already pipelined;
+//  - a transient accept() failure (EMFILE/ENFILE/ECONNABORTED) used to break
+//    the accept loop permanently;
+//  - one reader std::thread per connection ever accepted accumulated until
+//    shutdown.
+// Suite name starts with "Serve" so the TSan CI job picks it up.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "db/layout.hpp"
+#include "engine/rule.hpp"
+#include "serve/client.hpp"
+#include "serve/transport.hpp"
+
+namespace odrc::serve {
+namespace {
+
+constexpr db::layer_t M1 = 19;
+
+db::library make_lib() {
+  db::library lib("serve_lifecycle_test");
+  const db::cell_id unit = lib.add_cell("unit");
+  lib.at(unit).add_rect(M1, {0, 0, 200, 30});
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(M1, {0, 500, 2000, 530});
+  lib.at(top).add_ref({unit, transform{{0, 0}, 0, false, 1}});
+  lib.at(top).add_ref({unit, transform{{600, 0}, 0, false, 1}});
+  return lib;
+}
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(M1).width().greater_than(18).named("M1.W"),
+      rules::layer(M1).spacing().greater_than(25).named("M1.S"),
+  };
+}
+
+struct ServeLifecycle : ::testing::Test {
+  session_manager sessions;
+  std::unique_ptr<server> srv;
+  std::string path;
+
+  void start_server(std::size_t workers) {
+    path = "/tmp/odrc_lc_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter_.fetch_add(1)) + ".sock";
+    sessions.create(make_lib(), make_deck());
+    server_config cfg;
+    cfg.socket_path = path;
+    cfg.workers = workers;
+    srv = std::make_unique<server>(cfg, sessions);
+    srv->start();
+  }
+
+  void TearDown() override {
+    if (srv) {
+      srv->stop();
+      srv->wait();
+    }
+  }
+
+  static inline std::atomic<int> counter_{0};
+};
+
+frame make_request(msg_type type, std::uint16_t seq) {
+  frame f;
+  f.header.type = static_cast<std::uint8_t>(type);
+  f.header.seq = seq;
+  f.header.session = 0;
+  return f;
+}
+
+// A client that pipelines a slow check plus a burst of pings and then
+// half-closes its write side (EOF at the server) must still receive every
+// response. The old reader answered EOF with SHUT_RDWR, discarding whatever
+// the single worker had not yet written.
+TEST_F(ServeLifecycle, PipelinedResponsesSurviveClientEof) {
+  start_server(/*workers=*/1);
+  const int fd = transport::connect_endpoint(path);
+  ASSERT_GE(fd, 0);
+
+  constexpr std::uint16_t kPings = 8;
+  ASSERT_TRUE(write_frame(fd, make_request(msg_type::check, 1)));
+  for (std::uint16_t i = 0; i < kPings; ++i) {
+    ASSERT_TRUE(write_frame(fd, make_request(msg_type::ping, static_cast<std::uint16_t>(2 + i))));
+  }
+  // Client is done sending: the server's reader sees EOF while the check is
+  // still running and the pings are still queued behind it.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  std::vector<frame> responses;
+  for (;;) {
+    std::optional<frame> f = read_frame(fd);
+    if (!f) break;
+    EXPECT_TRUE(client::ok(*f)) << f->payload;
+    responses.push_back(*std::move(f));
+  }
+  ::close(fd);
+
+  ASSERT_EQ(responses.size(), static_cast<std::size_t>(1 + kPings));
+  for (std::uint16_t i = 0; i < 1 + kPings; ++i) {
+    EXPECT_EQ(responses[i].header.seq, i + 1);  // in-order: one worker drains FIFO
+  }
+}
+
+// accept() failing with EMFILE must not kill the accept loop: once fds free
+// up, the pending connection is accepted and served. The old loop treated
+// every accept failure as fatal.
+TEST_F(ServeLifecycle, AcceptLoopSurvivesFdExhaustion) {
+  rlimit orig{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &orig), 0);
+  rlimit lowered = orig;
+  lowered.rlim_cur = orig.rlim_max < 256 ? orig.rlim_max : 256;  // keep the hoard cheap
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lowered), 0);
+
+  start_server(/*workers=*/1);
+
+  std::vector<int> hoard;
+  const auto release_all = [&] {
+    for (const int h : hoard) ::close(h);
+    hoard.clear();
+  };
+
+  // Exhaust the fd table, keeping exactly one slot for the client socket.
+  for (;;) {
+    const int h = ::open("/dev/null", O_RDONLY);
+    if (h < 0) break;
+    hoard.push_back(h);
+  }
+  ASSERT_GE(hoard.size(), 4u);
+  ::close(hoard.back());
+  hoard.pop_back();
+
+  // The connect lands in the backlog; the server's accept() gets EMFILE.
+  int fd = -1;
+  try {
+    fd = transport::connect_endpoint(path);
+  } catch (const std::exception&) {
+    release_all();
+    ::setrlimit(RLIMIT_NOFILE, &orig);
+    FAIL() << "client connect failed with one free fd";
+  }
+  ASSERT_TRUE(write_frame(fd, make_request(msg_type::ping, 1)));
+
+  // Let the accept loop hit the error path at least once, then recover.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (srv->stats().accept_errors == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(srv->stats().accept_errors, 1u);
+  release_all();
+
+  pollfd pf{fd, POLLIN, 0};
+  const int pr = ::poll(&pf, 1, 10000);
+  ASSERT_EQ(pr, 1) << "server never answered after fds freed (accept loop dead?)";
+  const std::optional<frame> pong = read_frame(fd);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->payload, "ok pong");
+  ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &orig), 0);
+}
+
+// Finished reader threads are reaped while the server runs; connection churn
+// must not accumulate one live thread per connection ever accepted.
+TEST_F(ServeLifecycle, ReaderThreadsAreReaped) {
+  start_server(/*workers=*/2);
+  constexpr int kChurn = 50;
+  for (int i = 0; i < kChurn; ++i) {
+    client c;
+    c.connect(path);
+    ASSERT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+  }
+  EXPECT_GE(srv->stats().accepted_connections, static_cast<std::uint64_t>(kChurn));
+
+  // Reaping rides the accept thread's self-pipe; give it a moment.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  server_stats_snapshot st = srv->stats();
+  while ((st.reader_threads > 5 || st.connections > 5) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    st = srv->stats();
+  }
+  EXPECT_LE(st.reader_threads, 5u);
+  EXPECT_LE(st.connections, 5u);
+}
+
+}  // namespace
+}  // namespace odrc::serve

@@ -33,10 +33,20 @@
 #include "infra/bench_harness.hpp"
 #include "infra/timer.hpp"
 #include "infra/trace.hpp"
+#include "engine/shard.hpp"
 #include "serve/client.hpp"
+#include "serve/coord.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "workload/workload.hpp"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
 
 namespace {
 
@@ -55,12 +65,16 @@ int usage() {
                "  odrc diff <baseline_report.txt> <current_report.txt>\n"
                "  odrc snapshot build <layout.gds> <out.snap>\n"
                "  odrc snapshot info <file.snap>\n"
-               "  odrc serve <layout.gds> <rules.deck> --socket=PATH [--workers=N]\n"
+               "  odrc serve <layout.gds> <rules.deck> --socket=PATH|--listen=EP [--workers=N]\n"
                "             [--mode=seq|par] [--trace=out_trace.json] [--snapshot=PATH]\n"
-               "  odrc client --socket=PATH [--session=N]\n"
+               "  odrc coord <layout.gds> <rules.deck> --socket=PATH|--listen=EP --shards=N\n"
+               "             [--worker=EP ...] [--tcp] [--workers=N] [--mode=seq|par]\n"
+               "             [--snapshot=PATH] (spawns N workers unless --worker given)\n"
+               "  odrc client --socket=PATH|EP [--session=N]\n"
                "             <ping|check|edit <script|->|recheck|diff|stats|open <gds> <deck>|\n"
-               "              reload <file.snap>|close|shutdown>\n"
-               "  odrc deck-template\n");
+               "              check_region <x1> <y1> <x2> <y2>|reload <file.snap>|close|shutdown>\n"
+               "  odrc deck-template\n"
+               "  endpoints EP: unix:/path, tcp:host:port, or a bare unix path\n");
   return 2;
 }
 
@@ -80,6 +94,18 @@ bool has_flag(int argc, char** argv, const char* name) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+// Every occurrence of a repeatable option ("--worker=EP --worker=EP ...").
+std::vector<std::string> opt_values(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      out.emplace_back(argv[i] + prefix.size());
+    }
+  }
+  return out;
 }
 
 // "--window=x1,y1,x2,y2" -> rect; nullopt when absent, throws on malformed.
@@ -336,8 +362,9 @@ int cmd_serve(int argc, char** argv) {
   const std::string gds = argv[2];
   const std::string deck_path = argv[3];
   const std::string socket_path = opt_value(argc, argv, "socket", "");
-  if (socket_path.empty()) {
-    std::fprintf(stderr, "odrc serve: --socket=PATH is required\n");
+  const std::string listen_ep = opt_value(argc, argv, "listen", "");
+  if (socket_path.empty() && listen_ep.empty()) {
+    std::fprintf(stderr, "odrc serve: --socket=PATH or --listen=EP is required\n");
     return 2;
   }
   const std::string trace_path = opt_value(argc, argv, "trace", "");
@@ -372,13 +399,14 @@ int cmd_serve(int argc, char** argv) {
 
   serve::server_config scfg;
   scfg.socket_path = socket_path;
+  scfg.endpoint = listen_ep;
   scfg.workers = static_cast<std::size_t>(
       std::max(1, std::atoi(opt_value(argc, argv, "workers", "2").c_str())));
   scfg.engine = cfg;
   serve::server srv(scfg, sessions);
   srv.start();
   std::printf("serving session 1 on %s (%zu workers); send 'shutdown' to stop\n",
-              socket_path.c_str(), scfg.workers);
+              srv.bound_endpoint().c_str(), scfg.workers);
   std::fflush(stdout);
   srv.wait();
 
@@ -395,6 +423,128 @@ int cmd_serve(int argc, char** argv) {
   const serve::server_stats_snapshot st = srv.stats();
   std::printf("served %zu requests (%zu rejected, %zu protocol errors), p50 %.2fms p95 %.2fms\n",
               st.requests_total, st.requests_rejected, st.protocol_errors, st.p50_ms, st.p95_ms);
+  return 0;
+}
+
+// Spawn one `odrc serve` worker via /proc/self/exe; returns its pid.
+pid_t spawn_worker(const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+  if (pid == 0) {
+    std::vector<char*> argv_c;
+    argv_c.reserve(args.size() + 1);
+    for (const std::string& a : args) argv_c.push_back(const_cast<char*>(a.c_str()));
+    argv_c.push_back(nullptr);
+    ::execv("/proc/self/exe", argv_c.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return pid;
+}
+
+// Block until a worker answers ping on `ep` (it has to parse the layout
+// first) or the deadline passes.
+bool await_worker(const std::string& ep, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    try {
+      serve::client c;
+      c.connect(ep);
+      if (serve::client::ok(c.request(serve::msg_type::ping, 0))) return true;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+int cmd_coord(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string gds = argv[2];
+  const std::string deck_path = argv[3];
+  const std::string socket_path = opt_value(argc, argv, "socket", "");
+  std::string listen_ep = opt_value(argc, argv, "listen", "");
+  if (listen_ep.empty() && has_flag(argc, argv, "tcp")) listen_ep = "tcp:127.0.0.1:0";
+  if (socket_path.empty() && listen_ep.empty()) {
+    std::fprintf(stderr, "odrc coord: --socket=PATH or --listen=EP is required\n");
+    return 2;
+  }
+  const std::string snap_path = opt_value(argc, argv, "snapshot", "");
+  const std::string mode_s = opt_value(argc, argv, "mode", "par");
+  const std::string workers_s = opt_value(argc, argv, "workers", "2");
+
+  std::vector<std::string> worker_eps = opt_values(argc, argv, "worker");
+  std::size_t shards = worker_eps.empty()
+                           ? static_cast<std::size_t>(
+                                 std::max(1, std::atoi(opt_value(argc, argv, "shards", "2").c_str())))
+                           : worker_eps.size();
+
+  // Plan the bands over the layout the workers will load.
+  const db::library lib = snap_path.empty()
+                              ? gdsii::read(gds)
+                              : engine::frozen_snapshot::load(snap_path)->make_library();
+  std::vector<rect> bands = engine::plan_shards(lib, shards);
+  if (bands.size() < shards) {
+    std::printf("layout yields %zu independent band(s); using %zu shard(s)\n", bands.size(),
+                bands.size());
+  }
+  if (!worker_eps.empty()) {
+    worker_eps.resize(bands.size());  // trimmed workers stay idle
+  }
+
+  // Spawn workers unless the fleet was provided (pre-started, maybe remote).
+  std::vector<pid_t> children;
+  if (worker_eps.empty()) {
+    char dir_templ[] = "/tmp/odrc_coord_XXXXXX";
+    const char* dir = ::mkdtemp(dir_templ);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "odrc coord: mkdtemp failed\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      const std::string ep = std::string(dir) + "/worker" + std::to_string(i) + ".sock";
+      std::vector<std::string> args = {"odrc",           "serve",
+                                       gds,              deck_path,
+                                       "--socket=" + ep, "--workers=" + workers_s,
+                                       "--mode=" + mode_s};
+      if (!snap_path.empty()) args.push_back("--snapshot=" + snap_path);
+      children.push_back(spawn_worker(args));
+      worker_eps.push_back(ep);
+    }
+  }
+  for (const std::string& ep : worker_eps) {
+    if (!await_worker(ep, 30000)) {
+      std::fprintf(stderr, "odrc coord: worker %s did not come up\n", ep.c_str());
+      for (const pid_t pid : children) ::kill(pid, SIGTERM);
+      return 1;
+    }
+  }
+
+  serve::coord_config ccfg;
+  ccfg.listen.socket_path = socket_path;
+  ccfg.listen.endpoint = listen_ep;
+  ccfg.listen.workers = std::max<std::size_t>(2, bands.size());
+  ccfg.worker_endpoints = worker_eps;
+  ccfg.bands = bands;
+  serve::coordinator coord(std::move(ccfg));
+  coord.start();
+  std::printf("coordinating %zu shard(s) on %s; send 'shutdown' to stop\n", worker_eps.size(),
+              coord.bound_endpoint().c_str());
+  for (std::size_t i = 0; i < worker_eps.size(); ++i) {
+    std::printf("  shard %zu -> %s (band y %d..%d)\n", i, worker_eps[i].c_str(), bands[i].y_min,
+                bands[i].y_max);
+  }
+  std::fflush(stdout);
+  coord.wait();
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  const serve::server_stats_snapshot st = coord.stats();
+  std::printf("coordinated %zu requests (%zu rejected, %zu protocol errors)\n",
+              st.requests_total, st.requests_rejected, st.protocol_errors);
   return 0;
 }
 
@@ -438,6 +588,13 @@ int cmd_client(int argc, char** argv) {
     }
     type = serve::msg_type::open;
     payload = pos[1] + " " + pos[2];
+  } else if (verb == "check_region") {
+    if (pos.size() < 5) {
+      std::fprintf(stderr, "odrc client check_region: expects <x1> <y1> <x2> <y2>\n");
+      return 2;
+    }
+    type = serve::msg_type::check_region;
+    payload = pos[1] + " " + pos[2] + " " + pos[3] + " " + pos[4];
   } else if (verb == "reload") {
     if (pos.size() < 2) {
       std::fprintf(stderr, "odrc client reload: expects <file.snap>\n");
@@ -508,6 +665,7 @@ int main(int argc, char** argv) {
     if (cmd == "diff") return cmd_diff(argc, argv);
     if (cmd == "snapshot") return cmd_snapshot(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "coord") return cmd_coord(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "deck-template") return cmd_deck_template();
     return usage();
