@@ -60,16 +60,20 @@ std::vector<rect> plan_shards(std::span<const rect> mbrs, std::size_t n) {
   for (const partition::row& r : rows) total += r.member_count();
 
   // Greedy contiguous grouping: cut after a row once the group holds its
-  // fair share of what remains. Guarantees at most n groups and at least one
-  // row per group.
+  // fair share of what remains, or when the rows after it are only just
+  // enough to give every remaining group one row. The last row is never a
+  // cut — at the final row acc == remaining so the fair-share test always
+  // fires, and a cut there would read rows[cut + 1] out of bounds and emit
+  // an empty final band. Guarantees at most n groups and at least one row
+  // per group.
   std::vector<std::size_t> cuts;  // index of the last row of each group but the final one
   std::size_t groups_left = std::min(n, rows.size());
   std::size_t remaining = total;
   std::size_t acc = 0;
-  for (std::size_t i = 0; i < rows.size() && groups_left > 1; ++i) {
+  for (std::size_t i = 0; i + 1 < rows.size() && groups_left > 1; ++i) {
     acc += rows[i].member_count();
     const std::size_t rows_left = rows.size() - i - 1;
-    if (acc * groups_left >= remaining || rows_left < groups_left - 1) {
+    if (acc * groups_left >= remaining || rows_left < groups_left) {
       cuts.push_back(i);
       remaining -= acc;
       acc = 0;

@@ -236,9 +236,16 @@ std::string coordinator::do_check_region(const frame& f) {
   }
   if (!any) return "ok total 0";
 
-  const std::vector<leg_result> legs =
-      scatter(msg_type::check_region, f.header.session, f.payload + (want_keys ? "" : " keys"),
-              true, &pick);
+  std::vector<leg_result> legs;
+  {
+    // Hold scatter_mu_ across the scatter so an edit/recheck broadcast
+    // cannot land between legs — otherwise some workers would answer
+    // pre-edit and others post-edit, and the union would describe a fleet
+    // state that never existed.
+    std::lock_guard sc(scatter_mu_);
+    legs = scatter(msg_type::check_region, f.header.session,
+                   f.payload + (want_keys ? "" : " keys"), true, &pick);
+  }
   std::vector<std::string> keys;
   for (std::size_t i = 0; i < legs.size(); ++i) {
     if (!pick[i]) continue;

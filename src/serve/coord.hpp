@@ -82,7 +82,7 @@ class coordinator : private detail::sessions_holder, public server {
   /// Connect every worker link, push the shard assignments, then start the
   /// listening server. Throws when a worker is unreachable or rejects its
   /// shard.
-  void start();
+  void start() override;
 
   [[nodiscard]] std::vector<worker_link_stats> worker_stats() const;
 

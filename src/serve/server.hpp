@@ -87,7 +87,9 @@ class server {
 
   /// Bind + listen + start the accept thread. Throws std::runtime_error on
   /// socket errors (path too long for sockaddr_un, bind failure, ...).
-  void start();
+  /// Virtual so the cluster coordinator can prepend its worker handshake —
+  /// starting a coordinator through a server& must not skip it.
+  virtual void start();
 
   /// Initiate shutdown: stop accepting, wake readers, let queued requests
   /// drain. Safe from any thread, including a request worker (the shutdown

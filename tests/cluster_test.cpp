@@ -377,6 +377,48 @@ TEST(CoordShardPlanner, BandsTileAndBalance) {
   }
 }
 
+TEST(CoordShardPlanner, SkewedLightRowsFirstNeverCutsLastRow) {
+  // Light row below a heavy row, under its fair share: the fair-share test
+  // only fires at the final row. Regression: the cut loop used to pick the
+  // last row as a cut and read rows[cut + 1] out of bounds, then emit an
+  // empty final band.
+  std::vector<rect> mbrs;
+  mbrs.push_back({0, 0, 10, 10});  // 1-member row
+  for (int i = 0; i < 5; ++i) {
+    mbrs.push_back({i * 100, 1000, i * 100 + 10, 1010});  // 5-member row
+  }
+  const std::vector<rect> bands = engine::plan_shards(mbrs, 2);
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_EQ(bands.front().y_min, engine::shard_clamp_min);
+  EXPECT_EQ(bands.back().y_max, engine::shard_clamp_max);
+  EXPECT_EQ(static_cast<long>(bands[0].y_max) + 1, static_cast<long>(bands[1].y_min));
+  // Both bands are non-empty: the cut falls between the two object rows.
+  EXPECT_TRUE(bands[0].overlaps(mbrs[0]));
+  EXPECT_FALSE(bands[0].overlaps(mbrs[1]));
+  EXPECT_TRUE(bands[1].overlaps(mbrs[1]));
+}
+
+TEST(CoordShardPlanner, SkewedManyLightRowsBeforeHeavyRow) {
+  // Several light rows then one heavy row, n=3: forced cuts must leave the
+  // heavy last row to the final band instead of cutting at it.
+  std::vector<rect> mbrs;
+  for (int r = 0; r < 3; ++r) mbrs.push_back({0, r * 1000, 10, r * 1000 + 10});
+  for (int i = 0; i < 9; ++i) {
+    mbrs.push_back({i * 100, 3000, i * 100 + 10, 3010});
+  }
+  const std::vector<rect> bands = engine::plan_shards(mbrs, 3);
+  ASSERT_EQ(bands.size(), 3u);
+  for (std::size_t i = 0; i + 1 < bands.size(); ++i) {
+    EXPECT_EQ(static_cast<long>(bands[i].y_max) + 1, static_cast<long>(bands[i + 1].y_min));
+  }
+  // Every band covers at least one object row.
+  for (const rect& b : bands) {
+    bool covered = false;
+    for (const rect& m : mbrs) covered = covered || b.overlaps(m);
+    EXPECT_TRUE(covered);
+  }
+}
+
 TEST(CoordShardPlanner, MoreShardsThanRowsDegradesGracefully) {
   const std::vector<rect> mbrs = {{0, 0, 10, 10}, {0, 5, 10, 15}};  // one merged row
   const std::vector<rect> bands = engine::plan_shards(mbrs, 4);

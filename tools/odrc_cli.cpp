@@ -442,6 +442,17 @@ pid_t spawn_worker(const std::vector<std::string>& args) {
   return pid;
 }
 
+// SIGTERM + reap every spawned worker; the list is cleared so a later call
+// cannot signal a recycled pid.
+void kill_workers(std::vector<pid_t>& children) {
+  for (const pid_t pid : children) ::kill(pid, SIGTERM);
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  children.clear();
+}
+
 // Block until a worker answers ping on `ep` (it has to parse the layout
 // first) or the deadline passes.
 bool await_worker(const std::string& ep, int timeout_ms) {
@@ -516,7 +527,7 @@ int cmd_coord(int argc, char** argv) {
   for (const std::string& ep : worker_eps) {
     if (!await_worker(ep, 30000)) {
       std::fprintf(stderr, "odrc coord: worker %s did not come up\n", ep.c_str());
-      for (const pid_t pid : children) ::kill(pid, SIGTERM);
+      kill_workers(children);
       return 1;
     }
   }
@@ -527,24 +538,34 @@ int cmd_coord(int argc, char** argv) {
   ccfg.listen.workers = std::max<std::size_t>(2, bands.size());
   ccfg.worker_endpoints = worker_eps;
   ccfg.bands = bands;
-  serve::coordinator coord(std::move(ccfg));
-  coord.start();
-  std::printf("coordinating %zu shard(s) on %s; send 'shutdown' to stop\n", worker_eps.size(),
-              coord.bound_endpoint().c_str());
-  for (std::size_t i = 0; i < worker_eps.size(); ++i) {
-    std::printf("  shard %zu -> %s (band y %d..%d)\n", i, worker_eps[i].c_str(), bands[i].y_min,
-                bands[i].y_max);
-  }
-  std::fflush(stdout);
-  coord.wait();
+  try {
+    serve::coordinator coord(std::move(ccfg));
+    coord.start();
+    std::printf("coordinating %zu shard(s) on %s; send 'shutdown' to stop\n", worker_eps.size(),
+                coord.bound_endpoint().c_str());
+    for (std::size_t i = 0; i < worker_eps.size(); ++i) {
+      std::printf("  shard %zu -> %s (band y %d..%d)\n", i, worker_eps[i].c_str(), bands[i].y_min,
+                  bands[i].y_max);
+    }
+    std::fflush(stdout);
+    coord.wait();
 
-  for (const pid_t pid : children) {
-    int status = 0;
-    ::waitpid(pid, &status, 0);
+    // Normal shutdown forwarded `shutdown` to the workers; just reap.
+    for (const pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    children.clear();
+    const serve::server_stats_snapshot st = coord.stats();
+    std::printf("coordinated %zu requests (%zu rejected, %zu protocol errors)\n",
+                st.requests_total, st.requests_rejected, st.protocol_errors);
+  } catch (const std::exception& e) {
+    // Coordinator construction/start failed (worker rejected its shard, bind
+    // error, ...): don't orphan the forked workers.
+    std::fprintf(stderr, "odrc coord: %s\n", e.what());
+    kill_workers(children);
+    return 1;
   }
-  const serve::server_stats_snapshot st = coord.stats();
-  std::printf("coordinated %zu requests (%zu rejected, %zu protocol errors)\n",
-              st.requests_total, st.requests_rejected, st.protocol_errors);
   return 0;
 }
 
