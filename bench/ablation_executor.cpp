@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "infra/bench_harness.hpp"
+#include "infra/simd.hpp"
 #include "sweep/device_sweep.hpp"
 
 namespace {
@@ -41,40 +42,49 @@ int main(int argc, char** argv) {
 
   device::stream stream(device::context::instance());
 
+  // simd-off ablation: every (size, executor) runs once under the active
+  // dispatch (auto: AVX2 where the CPU has it) and once with the scalar
+  // path forced — the "-nosimd" column isolates the vector kernels' gain.
   for (const std::size_t polys : sizes) {
     for (const executor_choice choice : {executor_choice::brute, executor_choice::sweep}) {
-      const char* label = choice == executor_choice::brute ? "brute" : "sweep";
-      s.add("polys=" + std::to_string(polys) + "/" + label,
-            [&stream, polys, choice](bench::case_context& ctx) {
-              const auto edges = make_wire_field(polys);
-              const device_check_config cfg{pair_check::spacing, 18, 1, 1};
-              device_check_stats stats{};
-              while (ctx.next_rep()) {
-                std::vector<checks::violation> out;
-                stats = {};
-                device_check_edges_with(stream, edges, cfg, choice, out, stats);
-              }
-              ctx.counter("edges", static_cast<double>(edges.size()));
-              ctx.counter("edge_pairs", static_cast<double>(stats.edge_pairs_tested));
-            });
+      for (const bool simd_off : {false, true}) {
+        const std::string label = std::string(choice == executor_choice::brute ? "brute" : "sweep")
+                                      .append(simd_off ? "-nosimd" : "");
+        s.add("polys=" + std::to_string(polys) + "/" + label,
+              [&stream, polys, choice, simd_off](bench::case_context& ctx) {
+                simd::set_mode(simd_off ? simd::mode::off : simd::mode::automatic);
+                const auto edges = make_wire_field(polys);
+                const device_check_config cfg{pair_check::spacing, 18, 1, 1};
+                device_check_stats stats{};
+                while (ctx.next_rep()) {
+                  std::vector<checks::violation> out;
+                  stats = {};
+                  device_check_edges_with(stream, edges, cfg, choice, out, stats);
+                }
+                simd::set_mode(simd::mode::automatic);
+                ctx.counter("edges", static_cast<double>(edges.size()));
+                ctx.counter("edge_pairs", static_cast<double>(stats.edge_pairs_tested));
+                ctx.counter("lanes_active", static_cast<double>(stats.simd_lanes_active));
+              });
+      }
     }
   }
 
   return s.run([&](const bench::suite_report& rep) {
     std::printf(
         "\nABLATION: device executor choice (spacing check over random wire fields)\n");
-    std::printf("%10s %12s %12s %12s %14s\n", "edges", "brute(s)", "sweep(s)", "winner",
-                "pairs-tested(M)");
+    std::printf("%10s %12s %12s %14s %14s %12s\n", "edges", "brute(s)", "sweep(s)",
+                "brute-nosimd", "sweep-nosimd", "winner");
     for (const std::size_t polys : sizes) {
       const std::string base = "polys=" + std::to_string(polys) + "/";
       const double brute_t = bench::median_or(rep, base + "brute");
       const double sweep_t = bench::median_or(rep, base + "sweep");
       if (brute_t < 0 || sweep_t < 0) continue;
-      std::printf("%10.0f %12.5f %12.5f %12s %7.3f/%6.3f\n",
+      std::printf("%10.0f %12.5f %12.5f %14.5f %14.5f %12s\n",
                   bench::counter_or(rep, base + "brute", "edges"), brute_t, sweep_t,
-                  brute_t < sweep_t ? "brute" : "sweep",
-                  bench::counter_or(rep, base + "brute", "edge_pairs") / 1e6,
-                  bench::counter_or(rep, base + "sweep", "edge_pairs") / 1e6);
+                  bench::median_or(rep, base + "brute-nosimd"),
+                  bench::median_or(rep, base + "sweep-nosimd"),
+                  brute_t < sweep_t ? "brute" : "sweep");
     }
     std::printf("\nOpenDRC's automatic cutoff selects brute-force at or below %zu edges.\n",
                 default_brute_threshold);

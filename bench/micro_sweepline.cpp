@@ -9,6 +9,7 @@
 
 #include "infra/bench_harness.hpp"
 #include "infra/interval_tree.hpp"
+#include "infra/simd.hpp"
 #include "geo/quadtree.hpp"
 #include "geo/rtree.hpp"
 #include "sweep/sweepline.hpp"
@@ -51,10 +52,20 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> sweep_ns =
       quick ? std::vector<std::size_t>{1 << 10, 1 << 13}
             : std::vector<std::size_t>{1 << 10, 1 << 13, 1 << 15, 1 << 17};
+  // simd-off ablation: the "_nosimd" column forces the scalar live-interval
+  // filter, isolating the AVX2 kernels' contribution.
   for (const std::size_t n : sweep_ns) {
     add_overlap_case(s, "sweepline_overlap", n, [](const std::vector<rect>& rects) {
+      simd::set_mode(simd::mode::automatic);
       std::uint64_t pairs = 0;
       sweep::overlap_pairs(rects, [&](std::uint32_t, std::uint32_t) { ++pairs; });
+      return pairs;
+    });
+    add_overlap_case(s, "sweepline_overlap_nosimd", n, [](const std::vector<rect>& rects) {
+      simd::set_mode(simd::mode::off);
+      std::uint64_t pairs = 0;
+      sweep::overlap_pairs(rects, [&](std::uint32_t, std::uint32_t) { ++pairs; });
+      simd::set_mode(simd::mode::automatic);
       return pairs;
     });
   }

@@ -12,6 +12,11 @@
 #
 # Output reports land in <build-dir>/bench-reports/. Suites without a
 # committed baseline are skipped with a note (first run / new suite).
+#
+# The suite list is derived from bench/*.cpp so a new suite can't be
+# forgotten, and a suite whose binary is missing FAILS the run — a bench
+# target silently dropped from CMake used to pass CI unnoticed. Suites that
+# legitimately have no binary go in `skip_ok` below with a reason.
 set -euo pipefail
 
 build_dir=${1:?usage: perf_smoke.sh <build-dir> [--warn-only] [--refresh]}
@@ -31,16 +36,37 @@ compare="$build_dir/tools/bench_compare"
 out_dir="$build_dir/bench-reports"
 mkdir -p "$out_dir"
 
-suites=(table1_intra table2_inter fig4_breakdown ablation_pruning
-        ablation_executor ablation_pipeline deck_batching serve_incremental
-        cluster_scatter snapshot_boot micro_partition micro_sweepline
-        micro_bvh micro_boolean)
+# Every bench/<suite>.cpp is a suite (headers are shared helpers, not
+# suites). Opt-out list for suites intentionally excluded from the smoke;
+# each entry needs a reason.
+skip_ok=(
+  # (none currently)
+)
+
+suites=()
+for src in "$root"/bench/*.cpp; do
+  suites+=("$(basename "$src" .cpp)")
+done
+if [[ ${#suites[@]} -eq 0 ]]; then
+  echo "ERROR: no bench suites found under $root/bench" >&2
+  exit 1
+fi
 
 status=0
 for s in "${suites[@]}"; do
+  skip=0
+  for ok in ${skip_ok[@]+"${skip_ok[@]}"}; do
+    [[ "$s" == "$ok" ]] && skip=1
+  done
+  if [[ $skip -eq 1 ]]; then
+    echo "SKIP $s: in the opt-out list" >&2
+    continue
+  fi
   bin="$build_dir/bench/$s"
   if [[ ! -x "$bin" ]]; then
-    echo "SKIP $s: $bin not built" >&2
+    echo "ERROR: $s: $bin not built — a bench target is missing from CMake" >&2
+    echo "       (add it back, or add '$s' to skip_ok in scripts/perf_smoke.sh)" >&2
+    status=1
     continue
   fi
   json="$out_dir/BENCH_$s.json"

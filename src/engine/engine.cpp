@@ -88,7 +88,9 @@ struct drc_engine::impl {
   std::optional<rect> region;
 };
 
-drc_engine::drc_engine(engine_config cfg) : cfg_(cfg), impl_(std::make_unique<impl>()) {}
+drc_engine::drc_engine(engine_config cfg) : cfg_(cfg), impl_(std::make_unique<impl>()) {
+  simd::set_mode(cfg_.simd);
+}
 drc_engine::~drc_engine() = default;
 
 void drc_engine::add_rules(std::vector<rules::rule> deck) {

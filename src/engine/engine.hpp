@@ -35,6 +35,7 @@
 #include "db/layout.hpp"
 #include "engine/rule.hpp"
 #include "engine/task_prune.hpp"
+#include "infra/simd.hpp"
 #include "infra/timer.hpp"
 #include "partition/row_partition.hpp"
 #include "sweep/device_sweep.hpp"
@@ -90,6 +91,13 @@ struct engine_config {
   /// call (snapshot.hpp). Off (ablation): each group rebuilds them from
   /// scratch — the pre-snapshot behaviour.
   bool snapshot = true;
+
+  /// SIMD dispatch policy for the hot kernels (simd.hpp): `automatic` probes
+  /// CPUID (overridable per-process via ODRC_SIMD=off|avx2|auto), `off`
+  /// forces the scalar path (ablation), `avx2` forces AVX2 where the CPU has
+  /// it (degrades to scalar with a warning otherwise). Process-wide: the
+  /// engine constructor applies it via simd::set_mode.
+  simd::mode simd = simd::mode::automatic;
 };
 
 /// Deck-batching amortization counters (reported by the CLI's --batch path).

@@ -1,0 +1,111 @@
+#include "infra/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "infra/logger.hpp"
+
+namespace odrc::simd {
+
+namespace {
+
+// Resolved dispatch state. `g_tier` is what every kernel reads; it is only
+// ever rewritten under g_mutex by set_mode(), and kernels capture it at
+// enqueue time, so an in-flight check never switches tiers.
+std::atomic<tier> g_tier{tier::scalar};
+std::atomic<mode> g_mode{mode::automatic};
+std::atomic<bool> g_initialized{false};
+std::mutex g_mutex;
+
+std::optional<mode> env_override() {
+  return parse_mode(std::getenv("ODRC_SIMD"));
+}
+
+void resolve_and_store(mode m) {
+  const bool cpu = cpu_has_avx2();
+  const std::optional<mode> env = env_override();
+  const tier t = resolve(m, env, cpu);
+  if ((m == mode::avx2 || (env && *env == mode::avx2)) && !cpu) {
+    log_warn() << "simd: avx2 requested but the CPU does not support it; falling back to scalar";
+  }
+  g_mode.store(m, std::memory_order_relaxed);
+  g_tier.store(t, std::memory_order_release);
+  g_initialized.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+bool cpu_has_avx2() {
+#if ODRC_SIMD_X86
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+tier resolve(mode requested, std::optional<mode> env_override, bool cpu_avx2) {
+  // An explicit off/avx2 (engine_config::simd, --simd, set_mode in tests)
+  // beats the environment; the environment beats the probe. ODRC_SIMD is the
+  // CI matrix's lever precisely because engines default to automatic.
+  mode effective = requested;
+  if (effective == mode::automatic && env_override) effective = *env_override;
+  switch (effective) {
+    case mode::off: return tier::scalar;
+    case mode::avx2: return cpu_avx2 ? tier::avx2 : tier::scalar;
+    case mode::automatic: break;
+  }
+  return cpu_avx2 ? tier::avx2 : tier::scalar;
+}
+
+std::optional<mode> parse_mode(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  if (std::strcmp(value, "off") == 0 || std::strcmp(value, "scalar") == 0) return mode::off;
+  if (std::strcmp(value, "avx2") == 0) return mode::avx2;
+  if (std::strcmp(value, "auto") == 0) return mode::automatic;
+  return std::nullopt;
+}
+
+void set_mode(mode m) {
+  std::lock_guard lock(g_mutex);
+  resolve_and_store(m);
+}
+
+tier active() {
+  if (!g_initialized.load(std::memory_order_acquire)) {
+    std::lock_guard lock(g_mutex);
+    if (!g_initialized.load(std::memory_order_relaxed)) resolve_and_store(mode::automatic);
+  }
+  return g_tier.load(std::memory_order_acquire);
+}
+
+mode requested() { return g_mode.load(std::memory_order_relaxed); }
+
+const char* tier_name(tier t) { return t == tier::avx2 ? "avx2" : "scalar"; }
+
+const char* mode_name(mode m) {
+  switch (m) {
+    case mode::off: return "off";
+    case mode::avx2: return "avx2";
+    case mode::automatic: break;
+  }
+  return "auto";
+}
+
+std::string describe() {
+  const char* env = std::getenv("ODRC_SIMD");
+  std::string out = "simd: ";
+  out += tier_name(active());
+  out += " (mode=";
+  out += mode_name(requested());
+  out += ", env=";
+  out += (env != nullptr && *env != '\0') ? env : "-";
+  out += ", cpu avx2=";
+  out += cpu_has_avx2() ? "yes" : "no";
+  out += ")";
+  return out;
+}
+
+}  // namespace odrc::simd

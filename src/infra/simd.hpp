@@ -1,0 +1,280 @@
+// SIMD hot-kernel layer: runtime-dispatched AVX2 primitives with scalar
+// fallbacks (DESIGN.md §11).
+//
+// The packed-edge arrays the device executors operate on (device_sweep.hpp)
+// are SoA-friendly; the inner loops — edge-pair distance tests, the parallel
+// sweep's range scan, the brute-force executor — were scalar. This module
+// vectorizes the *candidate filtering* part of those loops 8-wide and leaves
+// the final check-predicate decision to the shared scalar predicates
+// (checks/edge_checks.hpp), so the scalar and vector paths produce identical
+// violation sets by construction: the filter only ever removes pairs that
+// provably cannot violate (their bounding boxes are farther apart than the
+// batch's maximum rule distance along some axis).
+//
+// Dispatch is per-process, not per-call: both paths are compiled into every
+// binary (the AVX2 functions carry `__attribute__((target("avx2")))`, so no
+// -march flag is needed and one binary runs everywhere); the active tier is
+// resolved once from (explicit engine_config::simd, the ODRC_SIMD
+// environment override, the CPUID probe) and cached in an atomic. Kernels
+// capture the tier at enqueue time, so an in-flight device check never
+// changes tier mid-run. Resolution precedence:
+//
+//   1. an explicit mode (off / avx2) from engine_config::simd or set_mode();
+//   2. ODRC_SIMD=off|avx2|auto — the CI matrix legs use this to exercise the
+//      scalar path on AVX2 runners and to force AVX2 where it exists;
+//   3. automatic: the CPUID probe picks the best supported tier.
+//
+// Requesting avx2 on a CPU without it falls back to scalar (with a warning
+// line) instead of dying on SIGILL; `odrc version` reports the selected tier
+// so a mis-dispatch is diagnosable from CI logs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define ODRC_SIMD_X86 1
+#else
+#define ODRC_SIMD_X86 0
+#endif
+
+#include "infra/geometry.hpp"
+
+namespace odrc::simd {
+
+/// Instruction tier actually executed. Exactly one is active per process.
+enum class tier : std::uint8_t { scalar = 0, avx2 = 1 };
+
+/// Requested dispatch policy (engine_config::simd / ODRC_SIMD / --simd).
+enum class mode : std::uint8_t { automatic = 0, off = 1, avx2 = 2 };
+
+/// CPUID probe: true iff this CPU can execute AVX2 instructions. Cached.
+[[nodiscard]] bool cpu_has_avx2();
+
+/// Pure resolution logic (unit-testable without touching process state):
+/// explicit off/avx2 beats the env override beats the probe; avx2 without
+/// CPU support degrades to scalar.
+[[nodiscard]] tier resolve(mode requested, std::optional<mode> env_override, bool cpu_avx2);
+
+/// Parse an ODRC_SIMD-style value. "off" / "avx2" / "auto" (case-sensitive);
+/// nullopt for empty/absent; garbage parses as nullopt (ignored, logged by
+/// the dispatcher).
+[[nodiscard]] std::optional<mode> parse_mode(const char* value);
+
+/// Set the process-wide requested mode and re-resolve the active tier.
+/// Called from the drc_engine constructor (engine_config::simd) and the
+/// equivalence tests; the last call wins.
+void set_mode(mode m);
+
+/// The resolved tier every kernel dispatches on.
+[[nodiscard]] tier active();
+
+/// The currently requested mode (before resolution).
+[[nodiscard]] mode requested();
+
+[[nodiscard]] const char* tier_name(tier t);
+[[nodiscard]] const char* mode_name(mode m);
+
+/// One-line dispatch report for `odrc version` and CI logs, e.g.
+/// "simd: avx2 (mode=auto, env=-, cpu avx2=yes)".
+[[nodiscard]] std::string describe();
+
+// ---------------------------------------------------------------------------
+// Kernel primitives. All of them take padded SoA arrays: the caller rounds
+// the element count up to a multiple of 8 (padded_size) so 8-wide loads are
+// always in bounds; lanes beyond the live range are masked off by index, so
+// padding values are never acted on.
+// ---------------------------------------------------------------------------
+
+/// Round a count up to the 8-lane granularity of the AVX2 kernels.
+[[nodiscard]] constexpr std::uint32_t padded_size(std::uint32_t n) { return (n + 7u) & ~7u; }
+
+/// Closed candidate window around one query edge's bounding box, inflated by
+/// the batch's maximum rule distance and saturated at the int32 limits (the
+/// inflation is computed in 64-bit, so INT32-extreme coordinates clamp
+/// instead of wrapping — clamping only widens the window, which is sound).
+struct filter_bounds {
+  coord_t x_lo, x_hi, y_lo, y_hi;
+};
+
+[[nodiscard]] inline filter_bounds make_bounds(coord_t x_lo, coord_t x_hi, coord_t y_lo,
+                                               coord_t y_hi, coord_t dist) {
+  const auto lo = [](coord_t v, coord_t d) {
+    const std::int64_t w = static_cast<std::int64_t>(v) - d;
+    return w < std::numeric_limits<coord_t>::min() ? std::numeric_limits<coord_t>::min()
+                                                   : static_cast<coord_t>(w);
+  };
+  const auto hi = [](coord_t v, coord_t d) {
+    const std::int64_t w = static_cast<std::int64_t>(v) + d;
+    return w > std::numeric_limits<coord_t>::max() ? std::numeric_limits<coord_t>::max()
+                                                   : static_cast<coord_t>(w);
+  };
+  return {lo(x_lo, dist), hi(x_hi, dist), lo(y_lo, dist), hi(y_hi, dist)};
+}
+
+/// Borrowed pointers into the padded SoA mirror of a packed-edge array.
+struct edge_soa {
+  const coord_t* x_lo = nullptr;
+  const coord_t* x_hi = nullptr;
+  const coord_t* y_lo = nullptr;
+  const coord_t* y_hi = nullptr;
+};
+
+/// 8-lane candidate filter: bit l of the result is set iff edge base+l's
+/// bounding box intersects the closed window `b` (i.e. the pair can possibly
+/// violate a rule of the batch). Scalar reference implementation.
+[[nodiscard]] inline std::uint32_t filter_mask8_scalar(const edge_soa& soa, std::uint32_t base,
+                                                       const filter_bounds& b) {
+  std::uint32_t m = 0;
+  for (std::uint32_t l = 0; l < 8; ++l) {
+    const std::uint32_t j = base + l;
+    if (soa.x_lo[j] <= b.x_hi && soa.x_hi[j] >= b.x_lo && soa.y_lo[j] <= b.y_hi &&
+        soa.y_hi[j] >= b.y_lo) {
+      m |= 1u << l;
+    }
+  }
+  return m;
+}
+
+#if ODRC_SIMD_X86
+/// AVX2 twin of filter_mask8_scalar: four 8x32 loads, eight compares, one
+/// movemask. Must only be called when active() == tier::avx2.
+__attribute__((target("avx2"))) [[nodiscard]] inline std::uint32_t filter_mask8_avx2(
+    const edge_soa& soa, std::uint32_t base, const filter_bounds& b) {
+  const __m256i xl = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(soa.x_lo + base));
+  const __m256i xh = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(soa.x_hi + base));
+  const __m256i yl = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(soa.y_lo + base));
+  const __m256i yh = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(soa.y_hi + base));
+  // A lane fails when its box lies strictly outside the window on any axis.
+  const __m256i fail = _mm256_or_si256(
+      _mm256_or_si256(_mm256_cmpgt_epi32(xl, _mm256_set1_epi32(b.x_hi)),
+                      _mm256_cmpgt_epi32(_mm256_set1_epi32(b.x_lo), xh)),
+      _mm256_or_si256(_mm256_cmpgt_epi32(yl, _mm256_set1_epi32(b.y_hi)),
+                      _mm256_cmpgt_epi32(_mm256_set1_epi32(b.y_lo), yh)));
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(fail))) ^ 0xffu;
+}
+#endif
+
+/// 8-lane interval filter (the 1-D sibling, used by the host sweepline's
+/// live-interval scan): bit l set iff [lo[base+l], hi[base+l]] intersects
+/// the closed query interval [q_lo, q_hi].
+[[nodiscard]] inline std::uint32_t interval_mask8_scalar(const coord_t* lo, const coord_t* hi,
+                                                         std::uint32_t base, coord_t q_lo,
+                                                         coord_t q_hi) {
+  std::uint32_t m = 0;
+  for (std::uint32_t l = 0; l < 8; ++l) {
+    const std::uint32_t j = base + l;
+    if (lo[j] <= q_hi && hi[j] >= q_lo) m |= 1u << l;
+  }
+  return m;
+}
+
+#if ODRC_SIMD_X86
+__attribute__((target("avx2"))) [[nodiscard]] inline std::uint32_t interval_mask8_avx2(
+    const coord_t* lo, const coord_t* hi, std::uint32_t base, coord_t q_lo, coord_t q_hi) {
+  const __m256i vlo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + base));
+  const __m256i vhi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + base));
+  const __m256i fail = _mm256_or_si256(_mm256_cmpgt_epi32(vlo, _mm256_set1_epi32(q_hi)),
+                                       _mm256_cmpgt_epi32(_mm256_set1_epi32(q_lo), vhi));
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(fail))) ^ 0xffu;
+}
+#endif
+
+/// Dispatched interval filter.
+[[nodiscard]] inline std::uint32_t interval_mask8(tier t, const coord_t* lo, const coord_t* hi,
+                                                  std::uint32_t base, coord_t q_lo, coord_t q_hi) {
+#if ODRC_SIMD_X86
+  if (t == tier::avx2) return interval_mask8_avx2(lo, hi, base, q_lo, q_hi);
+#else
+  (void)t;
+#endif
+  return interval_mask8_scalar(lo, hi, base, q_lo, q_hi);
+}
+
+/// Visit every index j in [begin, end) whose SoA box passes the filter,
+/// 8 lanes at a time; `fn(j)` runs the exact scalar predicate on survivors.
+/// `lanes_active` accumulates the number of surviving lanes (the
+/// simd:lanes_active trace counter). `t` is the tier captured at enqueue
+/// time — dispatching here (not per lane) keeps the branch out of the hot
+/// loop body.
+template <typename Fn>
+inline void for_candidates(tier t, const edge_soa& soa, std::uint32_t begin, std::uint32_t end,
+                           const filter_bounds& b, std::uint64_t& lanes_active, Fn&& fn) {
+  if (begin >= end) return;
+  for (std::uint32_t base = begin & ~7u; base < end; base += 8) {
+    std::uint32_t m;
+#if ODRC_SIMD_X86
+    m = t == tier::avx2 ? filter_mask8_avx2(soa, base, b) : filter_mask8_scalar(soa, base, b);
+#else
+    (void)t;
+    m = filter_mask8_scalar(soa, base, b);
+#endif
+    // Mask off lanes outside [begin, end): head lanes of the first (unaligned)
+    // block and tail lanes when end % 8 != 0 — padding values never matter.
+    if (base < begin) m &= ~((1u << (begin - base)) - 1u);
+    if (base + 8 > end) m &= (1u << (end - base)) - 1u;
+    lanes_active += static_cast<std::uint32_t>(__builtin_popcount(m));
+    while (m != 0) {
+      const std::uint32_t j = base + static_cast<std::uint32_t>(__builtin_ctz(m));
+      fn(j);
+      m &= m - 1;
+    }
+  }
+}
+
+/// First index j in [lo, hi) with keys[j] > bound, where keys is ascending
+/// (the parallel sweep's kernel-1 range scan). Scalar reference: classic
+/// upper_bound binary search — the pre-SIMD behavior.
+[[nodiscard]] inline std::uint32_t range_end_scalar(const coord_t* keys, std::uint32_t lo,
+                                                    std::uint32_t hi, coord_t bound) {
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] <= bound) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+#if ODRC_SIMD_X86
+/// AVX2 range scan: check ranges are usually short (an edge's candidates sit
+/// right after it in the sorted order), so probe 8-wide linearly for a few
+/// blocks and fall back to binary search for the rare long range. `keys`
+/// must be padded to padded_size(hi). Result is identical to
+/// range_end_scalar for every input.
+__attribute__((target("avx2"))) [[nodiscard]] inline std::uint32_t range_end_avx2(
+    const coord_t* keys, std::uint32_t lo, std::uint32_t hi, coord_t bound) {
+  constexpr std::uint32_t probe_blocks = 8;  // 64 candidates before bisecting
+  const __m256i vbound = _mm256_set1_epi32(bound);
+  std::uint32_t base = lo & ~7u;
+  for (std::uint32_t p = 0; p < probe_blocks && base < hi; ++p, base += 8) {
+    const __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + base));
+    std::uint32_t gt =
+        static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(k, vbound))));
+    if (base < lo) gt &= ~((1u << (lo - base)) - 1u);  // lanes before lo don't count
+    if (gt != 0) {
+      const std::uint32_t j = base + static_cast<std::uint32_t>(__builtin_ctz(gt));
+      return j < hi ? j : hi;
+    }
+  }
+  return range_end_scalar(keys, base < hi ? (base > lo ? base : lo) : hi, hi, bound);
+}
+#endif
+
+/// Dispatched range scan.
+[[nodiscard]] inline std::uint32_t range_end(tier t, const coord_t* keys, std::uint32_t lo,
+                                             std::uint32_t hi, coord_t bound) {
+#if ODRC_SIMD_X86
+  if (t == tier::avx2) return range_end_avx2(keys, lo, hi, bound);
+#else
+  (void)t;
+#endif
+  return range_end_scalar(keys, lo, hi, bound);
+}
+
+}  // namespace odrc::simd

@@ -7,6 +7,7 @@
 
 #include "checks/edge_checks.hpp"
 #include "device/device.hpp"
+#include "infra/simd.hpp"
 #include "infra/trace.hpp"
 
 namespace odrc::sweep {
@@ -27,7 +28,41 @@ struct hit {
 struct cursor_block {
   std::atomic<std::uint32_t> count;
   std::atomic<std::uint64_t> pairs;
+  std::atomic<std::uint64_t> lanes;  ///< simd:lanes_active (filter survivors)
 };
+
+/// Per-device-thread violation emission batch (DESIGN.md §11): hits collect
+/// into a local buffer and materialize into the shared output through ONE
+/// atomic reservation per flush, instead of an atomic fetch_add plus a
+/// capacity branch inside the innermost pair loop. The global count still
+/// ends up equal to the total number of hits found (even past capacity), so
+/// the host's overflow-retry protocol is unchanged.
+struct emit_batch {
+  static constexpr std::uint32_t local_cap = 64;
+  hit buf[local_cap];
+  std::uint32_t n = 0;
+
+  void push(const hit& h, cursor_block* cur, hit* out, std::uint32_t out_cap) {
+    buf[n++] = h;
+    if (n == local_cap) flush(cur, out, out_cap);
+  }
+
+  void flush(cursor_block* cur, hit* out, std::uint32_t out_cap) {
+    if (n == 0) return;
+    const std::uint32_t base = cur->count.fetch_add(n, std::memory_order_relaxed);
+    const std::uint32_t lim = base < out_cap ? std::min(n, out_cap - base) : 0;
+    for (std::uint32_t k = 0; k < lim; ++k) out[base + k] = buf[k];
+    n = 0;
+  }
+};
+
+/// Sound per-edge candidate window: a pair can only violate when the boxes
+/// are within the batch's max rule distance along BOTH axes (projected and
+/// Euclidean separations are each bounded below by the per-axis box gaps),
+/// so filtering on the closed inflated window never drops a violation.
+simd::filter_bounds edge_bounds(const simd::edge_soa& soa, std::uint32_t i, coord_t dist) {
+  return simd::make_bounds(soa.x_lo[i], soa.x_hi[i], soa.y_lo[i], soa.y_hi[i], dist);
+}
 
 /// Evaluate one config's predicate on a candidate pair. Returns the measured
 /// quantity when violating.
@@ -118,16 +153,58 @@ struct async_multi_check::impl {
   device::buffer<packed_edge> dev_edges;
   device::buffer<device_check_config> dev_cfgs;
   device::buffer<std::uint32_t> dev_aux;   // sweep: range_end; brute: offsets
+  std::vector<coord_t> host_soa;           // [x_lo | x_hi | y_lo | y_hi], padded
+  device::buffer<coord_t> dev_soa;
+  std::uint32_t padded_n = 0;
   cursor_block* cursor = nullptr;
   device::buffer<hit> hit_buf;
   std::uint32_t capacity = 0;
   bool finished = false;
+
+  /// Dispatch tier captured at enqueue time (simd.hpp: per-process dispatch,
+  /// but a set_mode between enqueue and finish must not split one check
+  /// across tiers).
+  simd::tier simd_tier = simd::active();
 
   std::uint64_t launches_sweep = 0;
   std::uint64_t launches_brute = 0;
   std::uint64_t retries = 0;
 
   explicit impl(device::stream& stream) : s(stream) {}
+
+  /// Build and upload the padded SoA mirror of the (already sorted) edge
+  /// array: the 8-wide filter loads contiguous x_lo/x_hi/y_lo/y_hi lanes
+  /// instead of gathering through 24-byte AoS records. Padding lanes carry
+  /// never-matching sentinels; they are additionally masked off by index.
+  void build_soa() {
+    const auto n = static_cast<std::uint32_t>(edges.size());
+    padded_n = simd::padded_size(n);
+    host_soa.assign(static_cast<std::size_t>(padded_n) * 4, 0);
+    coord_t* xl = host_soa.data();
+    coord_t* xh = xl + padded_n;
+    coord_t* yl = xh + padded_n;
+    coord_t* yh = yl + padded_n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      xl[i] = edges[i].x_lo();
+      xh[i] = edges[i].x_hi();
+      yl[i] = edges[i].y_lo();
+      yh[i] = edges[i].y_hi();
+    }
+    for (std::uint32_t i = n; i < padded_n; ++i) {
+      xl[i] = std::numeric_limits<coord_t>::max();
+      xh[i] = std::numeric_limits<coord_t>::min();
+      yl[i] = std::numeric_limits<coord_t>::max();
+      yh[i] = std::numeric_limits<coord_t>::min();
+    }
+    dev_soa = device::buffer<coord_t>(host_soa.size(), s.ctx());
+    dev_soa.upload(s, host_soa);
+  }
+
+  /// SoA view over the device copy.
+  [[nodiscard]] simd::edge_soa device_soa() const {
+    const coord_t* base = dev_soa.device_ptr();
+    return {base, base + padded_n, base + 2 * padded_n, base + 3 * padded_n};
+  }
 
   ~impl() {
     if (cursor) {
@@ -142,6 +219,7 @@ struct async_multi_check::impl {
     s.launch(1, 1, [c](device::thread_id) {
       c->count.store(0, std::memory_order_relaxed);
       c->pairs.store(0, std::memory_order_relaxed);
+      c->lanes.store(0, std::memory_order_relaxed);
     });
   }
 
@@ -153,53 +231,59 @@ struct async_multi_check::impl {
     std::uint32_t* rep = dev_aux.device_ptr();
     const coord_t dist = max_distance;
     const bool ax = cfgs.front().axis == sweep_axis::x;
+    const simd::edge_soa soa = device_soa();
+    const simd::tier st = simd_tier;
 
     if (first_time) {
       // Kernel 1: check-range scan. Edge i's candidates are the edges j > i
       // (sorted by lower sweep-axis key) whose lower key is at most
       // key_hi(i) + distance — a sound bound because violating pairs are
       // within `distance` along every axis; the batch's MAX distance is
-      // sound for every config. Binary search per thread over the sorted
-      // keys.
-      s.launch(grid, block, [ep, rep, n, dist, ax](device::thread_id t) {
+      // sound for every config. The sorted keys live in the SoA mirror, so
+      // the scan is an 8-wide linear probe with a binary-search fallback
+      // (simd::range_end); the bound saturates at the int32 limit instead of
+      // wrapping for extreme coordinates (widening is sound).
+      s.launch(grid, block, [soa, rep, n, dist, ax, st](device::thread_id t) {
         const std::uint32_t i = t.global();
         if (i >= n) return;
-        const coord_t bound = static_cast<coord_t>(ep[i].key_hi(ax) + dist);
-        std::uint32_t lo = i + 1, hi = n;
-        while (lo < hi) {
-          const std::uint32_t mid = lo + (hi - lo) / 2;
-          if (ep[mid].key_lo(ax) <= bound) {
-            lo = mid + 1;
-          } else {
-            hi = mid;
-          }
-        }
-        rep[i] = lo;
+        const coord_t* keys = ax ? soa.x_lo : soa.y_lo;
+        const coord_t key_hi = ax ? soa.x_hi[i] : soa.y_hi[i];
+        const std::int64_t wide = static_cast<std::int64_t>(key_hi) + dist;
+        const coord_t bound = wide > std::numeric_limits<coord_t>::max()
+                                  ? std::numeric_limits<coord_t>::max()
+                                  : static_cast<coord_t>(wide);
+        rep[i] = simd::range_end(st, keys, i + 1, n, bound);
       });
     }
 
-    // Kernel 2: per-edge range checks, every config per candidate pair,
-    // through the atomic cursor.
+    // Kernel 2: per-edge range checks. The 8-wide box filter prunes the
+    // candidate range down to pairs that can possibly violate; survivors run
+    // every config's exact scalar predicate; hits emit through the batched
+    // per-thread buffer (one atomic reservation per flush).
     hit* out_hits = hit_buf.device_ptr();
     const std::uint32_t cap = capacity;
     const device_check_config* cp = dev_cfgs.device_ptr();
     const auto ncfg = static_cast<std::uint32_t>(cfgs.size());
     cursor_block* cur = cursor;
-    s.launch(grid, block, [ep, rep, n, cp, ncfg, out_hits, cap, cur](device::thread_id t) {
+    s.launch(grid, block,
+             [ep, soa, rep, n, dist, cp, ncfg, out_hits, cap, cur, st](device::thread_id t) {
       const std::uint32_t i = t.global();
       if (i >= n) return;
       std::uint64_t tested = 0;
-      const std::uint32_t end = rep[i];
-      for (std::uint32_t j = i + 1; j < end; ++j) {
+      std::uint64_t lanes = 0;
+      emit_batch batch;
+      const simd::filter_bounds b = edge_bounds(soa, i, dist);
+      simd::for_candidates(st, soa, i + 1, rep[i], b, lanes, [&](std::uint32_t j) {
         for (std::uint32_t r = 0; r < ncfg; ++r) {
           ++tested;
           if (auto m = eval_pair(ep[i], ep[j], cp[r])) {
-            const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
-            if (slot < cap) out_hits[slot] = {i, j, *m, r};
+            batch.push({i, j, *m, r}, cur, out_hits, cap);
           }
         }
-      }
+      });
+      batch.flush(cur, out_hits, cap);
       cur->pairs.fetch_add(tested, std::memory_order_relaxed);
+      cur->lanes.fetch_add(lanes, std::memory_order_relaxed);
     });
     ++launches_sweep;
   }
@@ -232,10 +316,14 @@ struct async_multi_check::impl {
     const auto ncfg = static_cast<std::uint32_t>(cfgs.size());
     const pair_check kind = cfgs.front().kind;
     const std::uint32_t inner = inner_polys;
+    const coord_t dist = max_distance;
+    const simd::edge_soa soa = device_soa();
+    const simd::tier st = simd_tier;
     cursor_block* cur = cursor;
 
     s.launch(grid, block,
-             [ep, op, cp, ncfg, kind, tasks, inner, out_hits, cap, cur](device::thread_id t) {
+             [ep, op, soa, cp, ncfg, kind, tasks, inner, dist, out_hits, cap, cur,
+              st](device::thread_id t) {
       const std::uint64_t task = t.global();
       if (task >= tasks) return;
       std::uint32_t pa = 0, pb = 0;
@@ -263,21 +351,28 @@ struct async_multi_check::impl {
           break;
       }
       std::uint64_t tested = 0;
+      std::uint64_t lanes = 0;
+      emit_batch batch;
       const std::uint32_t a_lo = op[pa], a_hi = op[pa + 1];
       const std::uint32_t b_lo = op[pb], b_hi = op[pb + 1];
       for (std::uint32_t i = a_lo; i < a_hi; ++i) {
         const std::uint32_t j_start = (pa == pb) ? i + 1 : b_lo;
-        for (std::uint32_t j = j_start; j < b_hi; ++j) {
+        if (j_start >= b_hi) continue;
+        // 8-wide box filter over polygon b's contiguous edge range; survivors
+        // run the exact scalar predicates, hits batch through one reservation.
+        const simd::filter_bounds bounds = edge_bounds(soa, i, dist);
+        simd::for_candidates(st, soa, j_start, b_hi, bounds, lanes, [&](std::uint32_t j) {
           for (std::uint32_t r = 0; r < ncfg; ++r) {
             ++tested;
             if (auto m = eval_pair(ep[i], ep[j], cp[r])) {
-              const std::uint32_t slot = cur->count.fetch_add(1, std::memory_order_relaxed);
-              if (slot < cap) out_hits[slot] = {i, j, *m, r};
+              batch.push({i, j, *m, r}, cur, out_hits, cap);
             }
           }
-        }
+        });
       }
+      batch.flush(cur, out_hits, cap);
       cur->pairs.fetch_add(tested, std::memory_order_relaxed);
+      cur->lanes.fetch_add(lanes, std::memory_order_relaxed);
     });
     ++launches_brute;
   }
@@ -336,6 +431,7 @@ async_multi_check::async_multi_check(device::stream& s, std::vector<packed_edge>
 
   st.dev_edges = device::buffer<packed_edge>(n, ctx);
   st.dev_edges.upload(s, st.edges);
+  st.build_soa();
   st.dev_cfgs = device::buffer<device_check_config>(st.cfgs.size(), ctx);
   st.dev_cfgs.upload(s, st.cfgs);
 
@@ -371,9 +467,12 @@ void async_multi_check::finish(std::span<std::vector<checks::violation>* const> 
     s.synchronize();
     const std::uint32_t found = st.cursor->count.load(std::memory_order_relaxed);
     const std::uint64_t pairs = st.cursor->pairs.load(std::memory_order_relaxed);
+    const std::uint64_t lanes = st.cursor->lanes.load(std::memory_order_relaxed);
     if (found <= st.capacity) {
       stats.edge_pairs_tested += pairs;
+      stats.simd_lanes_active += lanes;
       trace::instant("sweep", "edge_pairs_tested", "delta", static_cast<std::int64_t>(pairs));
+      trace::instant("simd", "lanes_active", "delta", static_cast<std::int64_t>(lanes));
       std::vector<hit> hits(found);
       if (found > 0) {
         st.hit_buf.download(s, hits);
@@ -405,6 +504,7 @@ void async_multi_check::finish(std::span<std::vector<checks::violation>* const> 
   trace::instant("sweep", "sweep_launches", "delta", static_cast<std::int64_t>(st.launches_sweep));
   trace::instant("sweep", "brute_launches", "delta", static_cast<std::int64_t>(st.launches_brute));
   trace::instant("sweep", "overflow_retries", "delta", static_cast<std::int64_t>(st.retries));
+  trace::counter("simd", "tier", static_cast<std::int64_t>(st.simd_tier));
 }
 
 // ---------------------------------------------------------------------------

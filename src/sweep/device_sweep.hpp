@@ -84,6 +84,7 @@ struct device_check_stats {
   std::uint64_t sweep_launches = 0;
   std::uint64_t brute_launches = 0;
   std::uint64_t overflow_retries = 0;
+  std::uint64_t simd_lanes_active = 0;  ///< box-filter survivors (simd:lanes_active)
 
   device_check_stats& operator+=(const device_check_stats& o) {
     edges_uploaded += o.edges_uploaded;
@@ -91,13 +92,17 @@ struct device_check_stats {
     sweep_launches += o.sweep_launches;
     brute_launches += o.brute_launches;
     overflow_retries += o.overflow_retries;
+    simd_lanes_active += o.simd_lanes_active;
     return *this;
   }
 };
 
 /// Edge count at or below which the brute-force executor is selected
-/// (overridable for the executor-cutoff ablation bench).
-inline constexpr std::size_t default_brute_threshold = 64;
+/// (overridable for the executor-cutoff ablation bench). Re-measured after
+/// the SIMD pass (EXPERIMENTS.md §IV-E): the 8-wide filter speeds the sweep
+/// executor more than brute, moving the crossover down from 64 — at 64
+/// edges the sweep already wins; brute's launch-latency advantage ends at 32.
+inline constexpr std::size_t default_brute_threshold = 32;
 
 /// Run one check over a packed edge batch on the device, synchronously
 /// (upload, kernels, download, convert). `edges` need not be pre-sorted.

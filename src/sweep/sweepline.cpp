@@ -1,6 +1,9 @@
 #include "sweep/sweepline.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "infra/simd.hpp"
 
 namespace odrc::sweep {
 
@@ -10,6 +13,74 @@ struct event {
   coord_t y;
   bool is_top;  // top side = insertion
   std::uint32_t idx;
+};
+
+/// SoA live-interval set for the sequential sweep (DESIGN.md §11). The live
+/// set at any sweep position is usually small, so an 8-wide linear scan with
+/// the SIMD interval filter beats the pointer-chasing interval tree; when the
+/// live set grows past `fallback_threshold` the sweep migrates mid-run to the
+/// tree, keeping the O(log n + k) bound for pathological stacks. Storage is
+/// kept padded to 8 lanes with never-matching sentinels, so the vector loads
+/// need no tail masking.
+class live_list {
+ public:
+  static constexpr std::size_t fallback_threshold = 2048;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  void insert(const interval& iv) {
+    if (n_ == lo_.size()) {
+      lo_.resize(n_ + 8, std::numeric_limits<coord_t>::max());
+      hi_.resize(n_ + 8, std::numeric_limits<coord_t>::min());
+      idx_.resize(n_ + 8, 0);
+    }
+    lo_[n_] = iv.lo;
+    hi_[n_] = iv.hi;
+    idx_[n_] = iv.id;
+    ++n_;
+  }
+
+  void remove(std::uint32_t id) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      if (idx_[k] == id) {
+        const std::size_t last = n_ - 1;
+        lo_[k] = lo_[last];
+        hi_[k] = hi_[last];
+        idx_[k] = idx_[last];
+        lo_[last] = std::numeric_limits<coord_t>::max();
+        hi_[last] = std::numeric_limits<coord_t>::min();
+        --n_;
+        return;
+      }
+    }
+  }
+
+  /// Collect the ids of every live interval overlapping [q.lo, q.hi]
+  /// (closed). Sentinel lanes can never match, so whole blocks are scanned.
+  void query(simd::tier t, const interval& q, std::vector<std::uint32_t>& out) const {
+    for (std::size_t base = 0; base < n_; base += 8) {
+      std::uint32_t m = simd::interval_mask8(t, lo_.data(), hi_.data(),
+                                             static_cast<std::uint32_t>(base), q.lo, q.hi);
+      while (m != 0) {
+        out.push_back(idx_[base + static_cast<std::uint32_t>(__builtin_ctz(m))]);
+        m &= m - 1;
+      }
+    }
+  }
+
+  /// Migrate every live interval into `tree` (fallback path).
+  void drain_into(interval_tree& tree) {
+    for (std::size_t k = 0; k < n_; ++k) tree.insert({lo_[k], hi_[k], idx_[k]});
+    n_ = 0;
+    lo_.clear();
+    hi_.clear();
+    idx_.clear();
+  }
+
+ private:
+  std::vector<coord_t> lo_, hi_;
+  std::vector<std::uint32_t> idx_;
+  std::size_t n_ = 0;
 };
 
 }  // namespace
@@ -31,7 +102,14 @@ void overlap_pairs(std::span<const rect> rects,
     return a.is_top && !b.is_top;
   });
 
+  // Both status structures report the same pair set; hits are sorted before
+  // reporting so the emitted sequence is identical regardless of the
+  // structure (and of the SIMD tier) — the equivalence tests compare
+  // sequences, not just sets.
+  const simd::tier t = simd::active();
+  live_list live;
   interval_tree tree;
+  bool use_tree = false;
   std::vector<std::uint32_t> hits;
   sweep_stats local;
   for (const event& e : events) {
@@ -40,15 +118,31 @@ void overlap_pairs(std::span<const rect> rects,
     const interval iv{r.x_min, r.x_max, e.idx};
     if (e.is_top) {
       hits.clear();
-      tree.query(iv, hits);
+      if (use_tree) {
+        tree.query(iv, hits);
+      } else {
+        live.query(t, iv, hits);
+      }
+      std::sort(hits.begin(), hits.end());
       for (std::uint32_t other : hits) {
         ++local.pairs_reported;
         report(std::min(other, e.idx), std::max(other, e.idx));
       }
-      tree.insert(iv);
-      local.max_live_intervals = std::max(local.max_live_intervals, tree.size());
-    } else {
+      if (!use_tree && live.size() >= live_list::fallback_threshold) {
+        live.drain_into(tree);
+        use_tree = true;
+      }
+      if (use_tree) {
+        tree.insert(iv);
+      } else {
+        live.insert(iv);
+      }
+      local.max_live_intervals =
+          std::max(local.max_live_intervals, use_tree ? tree.size() : live.size());
+    } else if (use_tree) {
       tree.remove(iv);
+    } else {
+      live.remove(e.idx);
     }
   }
   if (stats) *stats += local;

@@ -1,0 +1,464 @@
+// SIMD layer tests (DESIGN.md §11): dispatcher resolution and CPUID-probe
+// safety, primitive mask equivalence (scalar vs AVX2 on random inputs,
+// including unaligned heads, short tails and INT32 extremes), and end-to-end
+// scalar-vs-AVX2 equivalence of the three vectorized kernels — the brute
+// executor, the parallel-sweep range scan, and the sequential sweepline's
+// live-interval filter. The AVX2 halves skip themselves on machines without
+// the instruction set; the scalar halves run everywhere.
+#include "infra/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "checks/poly_checks.hpp"
+#include "sweep/device_sweep.hpp"
+#include "sweep/sweepline.hpp"
+
+namespace odrc {
+namespace {
+
+// set_mode is process-wide; every test that flips it restores `automatic` so
+// test order can't leak a forced tier.
+struct mode_guard {
+  ~mode_guard() { simd::set_mode(simd::mode::automatic); }
+};
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ResolutionPrecedence) {
+  using simd::mode;
+  using simd::tier;
+  // Explicit off always wins.
+  EXPECT_EQ(simd::resolve(mode::off, std::nullopt, true), tier::scalar);
+  EXPECT_EQ(simd::resolve(mode::off, mode::avx2, true), tier::scalar);
+  // Explicit avx2 wins over the env but degrades without CPU support
+  // (CPUID-probe safety: never dispatch an instruction set the CPU lacks).
+  EXPECT_EQ(simd::resolve(mode::avx2, mode::off, true), tier::avx2);
+  EXPECT_EQ(simd::resolve(mode::avx2, std::nullopt, false), tier::scalar);
+  // Automatic defers to the env override, then the probe.
+  EXPECT_EQ(simd::resolve(mode::automatic, mode::off, true), tier::scalar);
+  EXPECT_EQ(simd::resolve(mode::automatic, mode::avx2, true), tier::avx2);
+  EXPECT_EQ(simd::resolve(mode::automatic, mode::avx2, false), tier::scalar);
+  EXPECT_EQ(simd::resolve(mode::automatic, std::nullopt, true), tier::avx2);
+  EXPECT_EQ(simd::resolve(mode::automatic, std::nullopt, false), tier::scalar);
+}
+
+TEST(SimdDispatch, ParseMode) {
+  using simd::mode;
+  EXPECT_EQ(simd::parse_mode("off"), mode::off);
+  EXPECT_EQ(simd::parse_mode("scalar"), mode::off);
+  EXPECT_EQ(simd::parse_mode("avx2"), mode::avx2);
+  EXPECT_EQ(simd::parse_mode("auto"), mode::automatic);
+  EXPECT_EQ(simd::parse_mode(nullptr), std::nullopt);
+  EXPECT_EQ(simd::parse_mode(""), std::nullopt);
+  EXPECT_EQ(simd::parse_mode("avx512"), std::nullopt);
+}
+
+TEST(SimdDispatch, SetModeAndProbe) {
+  mode_guard guard;
+  simd::set_mode(simd::mode::off);
+  EXPECT_EQ(simd::active(), simd::tier::scalar);
+  simd::set_mode(simd::mode::avx2);
+  // Forcing avx2 on a non-AVX2 CPU must fall back, not SIGILL.
+  EXPECT_EQ(simd::active(),
+            simd::cpu_has_avx2() ? simd::tier::avx2 : simd::tier::scalar);
+  simd::set_mode(simd::mode::automatic);
+  // With no env override, automatic follows the probe; with one, the
+  // override. Either way the result is consistent with resolve().
+  EXPECT_EQ(simd::active(), simd::resolve(simd::mode::automatic,
+                                          simd::parse_mode(std::getenv("ODRC_SIMD")),
+                                          simd::cpu_has_avx2()));
+}
+
+TEST(SimdDispatch, DescribeReportsTier) {
+  const std::string line = simd::describe();
+  EXPECT_NE(line.find("simd: "), std::string::npos);
+  EXPECT_NE(line.find(simd::tier_name(simd::active())), std::string::npos);
+  EXPECT_NE(line.find("cpu avx2="), std::string::npos);
+}
+
+TEST(SimdDispatch, PaddedSize) {
+  EXPECT_EQ(simd::padded_size(0), 0u);
+  EXPECT_EQ(simd::padded_size(1), 8u);
+  EXPECT_EQ(simd::padded_size(8), 8u);
+  EXPECT_EQ(simd::padded_size(9), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive masks
+// ---------------------------------------------------------------------------
+
+constexpr coord_t k_min = std::numeric_limits<coord_t>::min();
+constexpr coord_t k_max = std::numeric_limits<coord_t>::max();
+
+// Random padded SoA with a sprinkling of INT32-extreme and degenerate
+// (zero-extent) boxes.
+struct soa_fixture {
+  std::vector<coord_t> store;
+  simd::edge_soa soa;
+  std::uint32_t n;
+
+  soa_fixture(std::uint32_t count, std::uint32_t seed) : n(count) {
+    const std::uint32_t padded = simd::padded_size(n);
+    store.assign(static_cast<std::size_t>(padded) * 4, 0);
+    coord_t* xl = store.data();
+    coord_t* xh = xl + padded;
+    coord_t* yl = xh + padded;
+    coord_t* yh = yl + padded;
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<coord_t> pos(-1000, 1000);
+    std::uniform_int_distribution<coord_t> ext(0, 50);  // 0 => degenerate box
+    std::uniform_int_distribution<int> special(0, 19);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      coord_t x = pos(rng), y = pos(rng);
+      if (special(rng) == 0) x = (x & 1) ? k_max - ext(rng) : k_min + ext(rng);
+      if (special(rng) == 1) y = (y & 1) ? k_max - ext(rng) : k_min + ext(rng);
+      xl[i] = std::min(x, static_cast<coord_t>(std::max<std::int64_t>(
+                              k_min, static_cast<std::int64_t>(x) - ext(rng))));
+      xh[i] = x;
+      yl[i] = std::min(y, static_cast<coord_t>(std::max<std::int64_t>(
+                              k_min, static_cast<std::int64_t>(y) - ext(rng))));
+      yh[i] = y;
+    }
+    for (std::uint32_t i = n; i < padded; ++i) {
+      xl[i] = k_max;
+      xh[i] = k_min;
+      yl[i] = k_max;
+      yh[i] = k_min;
+    }
+    soa = {xl, xh, yl, yh};
+  }
+};
+
+TEST(SimdFilter, MaskMatchesScalarOnRandomBoxes) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (std::uint32_t seed = 0; seed < 8; ++seed) {
+    soa_fixture fx(/*count=*/61, seed);  // 61 % 8 != 0: padded tail in play
+    std::mt19937 rng(seed ^ 0xbeefu);
+    std::uniform_int_distribution<coord_t> pos(-1200, 1200);
+    for (int q = 0; q < 200; ++q) {
+      const coord_t x = pos(rng), y = pos(rng);
+      const simd::filter_bounds b = simd::make_bounds(x, x + 40, y, y + 40, 25);
+      for (std::uint32_t base = 0; base < simd::padded_size(fx.n); base += 8) {
+        EXPECT_EQ(simd::filter_mask8_avx2(fx.soa, base, b),
+                  simd::filter_mask8_scalar(fx.soa, base, b))
+            << "seed=" << seed << " base=" << base;
+      }
+    }
+    // Extreme windows: saturated bounds must agree lane-for-lane too.
+    for (const simd::filter_bounds& b :
+         {simd::make_bounds(k_min, k_min + 10, k_min, k_min + 10, k_max),
+          simd::make_bounds(k_max - 10, k_max, k_max - 10, k_max, k_max),
+          simd::make_bounds(0, 0, 0, 0, 0)}) {
+      for (std::uint32_t base = 0; base < simd::padded_size(fx.n); base += 8) {
+        EXPECT_EQ(simd::filter_mask8_avx2(fx.soa, base, b),
+                  simd::filter_mask8_scalar(fx.soa, base, b));
+      }
+    }
+  }
+}
+
+TEST(SimdFilter, IntervalMaskMatchesScalar) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<coord_t> pos(-500, 500);
+  std::vector<coord_t> lo(64), hi(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const coord_t a = pos(rng), b = pos(rng);
+    lo[i] = std::min(a, b);
+    hi[i] = std::max(a, b);
+  }
+  lo[3] = k_min; hi[3] = k_min;  // degenerate at the extreme
+  lo[11] = k_max; hi[11] = k_max;
+  for (int q = 0; q < 500; ++q) {
+    const coord_t a = pos(rng), b = pos(rng);
+    const coord_t q_lo = std::min(a, b), q_hi = std::max(a, b);
+    for (std::uint32_t base = 0; base < 64; base += 8) {
+      EXPECT_EQ(simd::interval_mask8_avx2(lo.data(), hi.data(), base, q_lo, q_hi),
+                simd::interval_mask8_scalar(lo.data(), hi.data(), base, q_lo, q_hi));
+    }
+  }
+}
+
+TEST(SimdFilter, ForCandidatesRespectsHeadAndTail) {
+  soa_fixture fx(/*count=*/29, /*seed=*/1);
+  // A window covering everything: the visitor must see exactly [begin, end).
+  const simd::filter_bounds all{k_min, k_max, k_min, k_max};
+  for (std::uint32_t begin : {0u, 1u, 3u, 8u, 13u}) {
+    for (std::uint32_t end : {0u, 5u, 8u, 15u, 29u}) {
+      if (begin > end) continue;
+      std::vector<std::uint32_t> seen;
+      std::uint64_t lanes = 0;
+      simd::for_candidates(simd::tier::scalar, fx.soa, begin, end, all, lanes,
+                           [&](std::uint32_t j) { seen.push_back(j); });
+      std::vector<std::uint32_t> want(end - begin);
+      std::iota(want.begin(), want.end(), begin);
+      EXPECT_EQ(seen, want) << "begin=" << begin << " end=" << end;
+      EXPECT_EQ(lanes, end - begin);
+    }
+  }
+}
+
+TEST(SimdFilter, RangeEndMatchesUpperBound) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<coord_t> step(0, 40);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(rng() % 300);
+    std::vector<coord_t> keys(simd::padded_size(n), k_max);
+    coord_t v = -5000 + static_cast<coord_t>(rng() % 100);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      v = static_cast<coord_t>(v + step(rng));
+      keys[i] = v;
+    }
+    keys[0] = (round % 4 == 0) ? k_min : keys[0];
+    if (round % 5 == 0) keys[n - 1] = k_max;
+    std::uniform_int_distribution<coord_t> pick(keys[0], keys[n - 1]);
+    for (int q = 0; q < 200; ++q) {
+      const coord_t bound = (q % 50 == 0) ? k_max : (q % 50 == 1) ? k_min : pick(rng);
+      for (std::uint32_t lo : {0u, 1u, n / 2, n}) {
+        const auto expect = static_cast<std::uint32_t>(
+            std::upper_bound(keys.begin() + lo, keys.begin() + n, bound) - keys.begin());
+        EXPECT_EQ(simd::range_end_scalar(keys.data(), lo, n, bound), expect);
+        EXPECT_EQ(simd::range_end(simd::tier::scalar, keys.data(), lo, n, bound), expect);
+        if (simd::cpu_has_avx2()) {
+          EXPECT_EQ(simd::range_end_avx2(keys.data(), lo, n, bound), expect)
+              << "round=" << round << " lo=" << lo << " bound=" << bound;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end kernel equivalence: the device executors under forced tiers
+// ---------------------------------------------------------------------------
+
+device::stream& test_stream() {
+  static device::stream s(device::context::instance());
+  return s;
+}
+
+std::vector<checks::violation> run_tier(simd::mode m, std::span<const sweep::packed_edge> edges,
+                                        const sweep::device_check_config& cfg,
+                                        sweep::executor_choice choice) {
+  simd::set_mode(m);
+  std::vector<checks::violation> out;
+  sweep::device_check_stats stats;
+  sweep::device_check_edges_with(test_stream(), edges, cfg, choice, out, stats);
+  checks::normalize_all(out);
+  return out;
+}
+
+void expect_tier_equivalence(std::span<const sweep::packed_edge> edges,
+                             const sweep::device_check_config& cfg) {
+  if (!simd::cpu_has_avx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  mode_guard guard;
+  for (auto choice : {sweep::executor_choice::brute, sweep::executor_choice::sweep}) {
+    const auto scalar = run_tier(simd::mode::off, edges, cfg, choice);
+    const auto vector = run_tier(simd::mode::avx2, edges, cfg, choice);
+    EXPECT_EQ(scalar, vector) << "choice=" << static_cast<int>(choice)
+                              << " kind=" << static_cast<int>(cfg.kind);
+    EXPECT_FALSE(scalar.empty()) << "vacuous equivalence: fixture found no violations";
+  }
+}
+
+std::vector<sweep::packed_edge> pack_rects(std::span<const rect> rs, std::uint16_t group = 0,
+                                           std::uint32_t id_base = 0) {
+  std::vector<sweep::packed_edge> edges;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    sweep::pack_polygon_edges(polygon::from_rect(rs[i]), id_base + static_cast<std::uint32_t>(i),
+                              group, edges);
+  }
+  return edges;
+}
+
+std::vector<rect> random_soup(int n, std::uint32_t seed, coord_t span, coord_t base_x = 0,
+                              coord_t base_y = 0) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<coord_t> pos(0, span);
+  std::uniform_int_distribution<coord_t> size(1, 90);
+  std::vector<rect> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const coord_t x = static_cast<coord_t>(base_x + pos(rng));
+    const coord_t y = static_cast<coord_t>(base_y + pos(rng));
+    out.push_back({x, y, static_cast<coord_t>(x + size(rng)), static_cast<coord_t>(y + size(rng))});
+  }
+  return out;
+}
+
+TEST(SimdEquivalence, SpacingRandomSoup) {
+  for (std::uint32_t seed : {3u, 17u}) {
+    // 57 rects -> 228 edges; 228 % 8 != 0 exercises tail lanes.
+    const auto rs = random_soup(57, seed, 1500);
+    const auto edges = pack_rects(rs);
+    for (auto axis : {sweep::sweep_axis::y, sweep::sweep_axis::x}) {
+      expect_tier_equivalence(edges, {sweep::pair_check::spacing, 18, 5, 5, axis});
+    }
+  }
+}
+
+TEST(SimdEquivalence, SpacingPrlTable) {
+  const auto rs = random_soup(61, 23, 1200);
+  auto edges = pack_rects(rs);
+  checks::spacing_table table;
+  table.count = 2;
+  table.tiers[0] = {0, 18};
+  table.tiers[1] = {120, 30};
+  expect_tier_equivalence(
+      edges, {sweep::pair_check::spacing, table.max_distance(), 5, 5, sweep::sweep_axis::y, table});
+}
+
+TEST(SimdEquivalence, WidthRandomBars) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<coord_t> w(4, 30);
+  std::vector<rect> rs;
+  for (int i = 0; i < 45; ++i) {
+    const coord_t x = static_cast<coord_t>(i * 60);
+    rs.push_back({x, 0, static_cast<coord_t>(x + w(rng)), 200});
+  }
+  expect_tier_equivalence(pack_rects(rs), {sweep::pair_check::width, 18, 5, 5});
+}
+
+TEST(SimdEquivalence, EnclosureRandomVias) {
+  std::mt19937 rng(9);
+  std::uniform_int_distribution<coord_t> off(0, 8);
+  std::vector<sweep::packed_edge> edges;
+  std::vector<rect> inner, outer;
+  for (int i = 0; i < 40; ++i) {
+    const coord_t x = static_cast<coord_t>(i * 80), y = static_cast<coord_t>((i % 7) * 90);
+    inner.push_back({static_cast<coord_t>(x + 10), static_cast<coord_t>(y + 10),
+                     static_cast<coord_t>(x + 20), static_cast<coord_t>(y + 20)});
+    // Randomly tight outer rings: some violate the enclosure rule.
+    outer.push_back({static_cast<coord_t>(x + 10 - off(rng)), static_cast<coord_t>(y + 10 - off(rng)),
+                     static_cast<coord_t>(x + 20 + off(rng)), static_cast<coord_t>(y + 20 + off(rng))});
+  }
+  auto e0 = pack_rects(inner, /*group=*/0);
+  auto e1 = pack_rects(outer, /*group=*/1, /*id_base=*/1000);
+  e0.insert(e0.end(), e1.begin(), e1.end());
+  expect_tier_equivalence(e0, {sweep::pair_check::enclosure, 5, 5, 6});
+}
+
+TEST(SimdEquivalence, TouchingAndDegenerate) {
+  // Abutting rects (shared edges), zero-width slivers, duplicate rects.
+  std::vector<rect> rs{
+      {0, 0, 100, 100},   {100, 0, 200, 100},  // share a vertical edge
+      {0, 100, 100, 200},                      // shares a horizontal edge
+      {300, 0, 300, 50},                       // zero-width sliver
+      {400, 0, 450, 0},                        // zero-height sliver
+      {0, 0, 100, 100},                        // exact duplicate
+      {500, 0, 517, 90},  {530, 0, 560, 90},   // near pair (violates 18)
+  };
+  expect_tier_equivalence(pack_rects(rs), {sweep::pair_check::spacing, 18, 5, 5});
+}
+
+TEST(SimdEquivalence, Int32ExtremeCoordinates) {
+  // Clusters hugging the int32 corners: the filter bounds saturate instead
+  // of wrapping, so both tiers must still agree (and find the violations).
+  std::vector<rect> rs;
+  auto cluster = [&rs](coord_t cx, coord_t cy) {
+    rs.push_back({cx, cy, static_cast<coord_t>(cx + 20), static_cast<coord_t>(cy + 20)});
+    rs.push_back({static_cast<coord_t>(cx + 30), cy, static_cast<coord_t>(cx + 45),
+                  static_cast<coord_t>(cy + 20)});  // 10 apart: violates 18
+  };
+  cluster(k_max - 60, k_max - 40);
+  cluster(k_min + 5, k_min + 5);
+  cluster(k_max - 60, k_min + 5);
+  cluster(0, 0);
+  expect_tier_equivalence(pack_rects(rs), {sweep::pair_check::spacing, 18, 5, 5});
+}
+
+TEST(SimdEquivalence, OverflowRetryWithBatching) {
+  // >256 violations forces the overflow-retry path under batched emission;
+  // a dense grid of too-close rects generates thousands of hits.
+  std::vector<rect> rs;
+  for (int gx = 0; gx < 24; ++gx) {
+    for (int gy = 0; gy < 24; ++gy) {
+      const coord_t x = static_cast<coord_t>(gx * 25), y = static_cast<coord_t>(gy * 25);
+      rs.push_back({x, y, static_cast<coord_t>(x + 15), static_cast<coord_t>(y + 15)});
+    }
+  }
+  expect_tier_equivalence(pack_rects(rs), {sweep::pair_check::spacing, 18, 5, 5});
+}
+
+// ---------------------------------------------------------------------------
+// Sequential sweepline: live-list vs interval tree, scalar vs AVX2
+// ---------------------------------------------------------------------------
+
+using pair_vec = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+pair_vec sweep_pairs(simd::mode m, std::span<const rect> rs, sweep::sweep_stats* stats = nullptr) {
+  simd::set_mode(m);
+  pair_vec out;
+  sweep::overlap_pairs(rs, [&](std::uint32_t a, std::uint32_t b) { out.emplace_back(a, b); },
+                       stats);
+  return out;
+}
+
+pair_vec brute_pairs(std::span<const rect> rs) {
+  pair_vec out;
+  for (std::uint32_t i = 0; i < rs.size(); ++i) {
+    if (rs[i].empty()) continue;
+    for (std::uint32_t j = i + 1; j < rs.size(); ++j) {
+      if (rs[j].empty()) continue;
+      if (rs[i].x_min <= rs[j].x_max && rs[j].x_min <= rs[i].x_max &&
+          rs[i].y_min <= rs[j].y_max && rs[j].y_min <= rs[i].y_max) {
+        out.emplace_back(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SimdSweepline, LiveListMatchesBruteAndTiers) {
+  mode_guard guard;
+  for (std::uint32_t seed : {2u, 8u, 31u}) {
+    const auto rs = random_soup(200, seed, 900);
+    auto expected = brute_pairs(rs);
+    auto scalar = sweep_pairs(simd::mode::off, rs);
+    auto sorted_scalar = scalar;
+    std::sort(sorted_scalar.begin(), sorted_scalar.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sorted_scalar, expected);
+    if (simd::cpu_has_avx2()) {
+      // Identical sequence, not just set: both tiers sort hits per event.
+      EXPECT_EQ(sweep_pairs(simd::mode::avx2, rs), scalar);
+    }
+  }
+}
+
+TEST(SimdSweepline, FallbackToTreePastThreshold) {
+  // >2048 simultaneously-live x-disjoint columns: the live list drains into
+  // the interval tree mid-sweep; the reported pair set must be unaffected.
+  mode_guard guard;
+  std::vector<rect> rs;
+  constexpr int cols = 2200;
+  for (int i = 0; i < cols; ++i) {
+    const coord_t x = static_cast<coord_t>(i * 10);
+    rs.push_back({x, 0, static_cast<coord_t>(x + 4), 1000});  // disjoint columns
+  }
+  // A handful of wide straps crossing many columns near the bottom, so some
+  // queries run against the tree after the fallback.
+  rs.push_back({0, 990, 200, 1000});
+  rs.push_back({5000, 995, 5500, 1000});
+
+  sweep::sweep_stats stats;
+  auto scalar = sweep_pairs(simd::mode::off, rs, &stats);
+  EXPECT_GT(stats.max_live_intervals, 2048u);
+  auto expected = brute_pairs(rs);
+  auto sorted_scalar = scalar;
+  std::sort(sorted_scalar.begin(), sorted_scalar.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted_scalar, expected);
+  if (simd::cpu_has_avx2()) {
+    EXPECT_EQ(sweep_pairs(simd::mode::avx2, rs), scalar);
+  }
+}
+
+}  // namespace
+}  // namespace odrc

@@ -56,9 +56,10 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  odrc check <layout.gds> <rules.deck> [--mode=seq|par] [--batch=on|off]\n"
-               "             [--window=x1,y1,x2,y2] [--report=out.txt] [--markers=out.gds]\n"
-               "             [--json=out.json] [--trace=out_trace.json] [--metrics]\n"
-               "             [--bench-json=out.json] (also accepts --lef=<f> --def=<f>)\n"
+               "             [--simd=auto|off|avx2] [--window=x1,y1,x2,y2] [--report=out.txt]\n"
+               "             [--markers=out.gds] [--json=out.json] [--trace=out_trace.json]\n"
+               "             [--metrics] [--bench-json=out.json]\n"
+               "             (also accepts --lef=<f> --def=<f>)\n"
                "  odrc generate <design> <out.gds> [--scale=1.0] [--inject=N]\n"
                "  odrc inspect <layout.gds>\n"
                "  odrc render <layout.gds> <out.svg> [--deck=rules.deck]\n"
@@ -74,6 +75,7 @@ int usage() {
                "             <ping|check|edit <script|->|recheck|diff|stats|open <gds> <deck>|\n"
                "              check_region <x1> <y1> <x2> <y2>|reload <file.snap>|close|shutdown>\n"
                "  odrc deck-template\n"
+               "  odrc version\n"
                "  endpoints EP: unix:/path, tcp:host:port, or a bare unix path\n");
   return 2;
 }
@@ -148,6 +150,13 @@ int cmd_check(int argc, char** argv) {
   engine_config cfg;
   cfg.run_mode = mode_s == "par" ? engine::mode::parallel : engine::mode::sequential;
   cfg.batch = batch_s != "off";
+  const std::string simd_s = opt_value(argc, argv, "simd", "auto");
+  if (auto m = simd::parse_mode(simd_s.c_str())) {
+    cfg.simd = *m;
+  } else {
+    std::fprintf(stderr, "unknown --simd value '%s' (want auto|off|avx2)\n", simd_s.c_str());
+    return usage();
+  }
   drc_engine eng(cfg);
   eng.add_rules(deck);
 
@@ -374,6 +383,7 @@ int cmd_serve(int argc, char** argv) {
   cfg.run_mode =
       std::string(opt_value(argc, argv, "mode", "par")) == "seq" ? engine::mode::sequential
                                                                  : engine::mode::parallel;
+  if (auto m = simd::parse_mode(opt_value(argc, argv, "simd", "auto").c_str())) cfg.simd = *m;
   serve::session_manager sessions;
   {
     auto deck = rules::parse_deck_file(deck_path);
@@ -673,6 +683,14 @@ int cmd_deck_template() {
   return 0;
 }
 
+// Build + dispatch report for CI logs: a mis-dispatched SIMD tier (e.g. a
+// scalar fallback on a runner that should have AVX2) is visible here.
+int cmd_version() {
+  std::printf("odrc (OpenDRC reproduction)\n");
+  std::printf("%s\n", simd::describe().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -689,6 +707,7 @@ int main(int argc, char** argv) {
     if (cmd == "coord") return cmd_coord(argc, argv);
     if (cmd == "client") return cmd_client(argc, argv);
     if (cmd == "deck-template") return cmd_deck_template();
+    if (cmd == "version" || cmd == "--version") return cmd_version();
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "odrc: %s\n", e.what());
