@@ -1,0 +1,126 @@
+// Stored-violation windowed lookup (DESIGN.md §12): R-tree backed
+// violation_db::in_window versus the linear in_window_scan reference, swept
+// over store sizes, plus a churn case that interleaves the recheck-shaped
+// mutations (erase_touching + add_unique) with queries to price the
+// incremental index maintenance. The acceptance bar for the index: the
+// rtree case beats linear from 100k records up. Registered into the
+// odrc::bench harness (BENCH_violation_query.json gates perf_smoke.sh).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "infra/bench_harness.hpp"
+#include "report/violation_db.hpp"
+
+namespace {
+
+using namespace odrc;
+
+// Deterministic 64-bit mix (splitmix64) — no <random> state to drag around.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+checks::violation vio_at(coord_t x, coord_t y) {
+  return {checks::rule_kind::spacing, 19, 19,
+          edge{{x, y}, {static_cast<coord_t>(x + 10), y}},
+          edge{{x, static_cast<coord_t>(y + 10)},
+               {static_cast<coord_t>(x + 10), static_cast<coord_t>(y + 10)}},
+          100};
+}
+
+// Constant density: the plane side grows with sqrt(n), so a fixed-size query
+// window returns a size-independent hit count and the sweep isolates the
+// lookup cost, not the result-set cost.
+coord_t side_for(std::size_t n) {
+  coord_t side = 1;
+  while (static_cast<double>(side) * side < static_cast<double>(n) * 2500.0) side *= 2;
+  return side;
+}
+
+report::violation_db make_db(std::size_t n) {
+  report::violation_db db("bench");
+  const coord_t side = side_for(n);
+  std::vector<checks::violation> vs;
+  vs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = mix(i);
+    vs.push_back(vio_at(static_cast<coord_t>(h % static_cast<std::uint64_t>(side)),
+                        static_cast<coord_t>((h >> 32) % static_cast<std::uint64_t>(side))));
+  }
+  db.add("R", vs);
+  return db;
+}
+
+rect window_at(std::uint64_t i, coord_t side) {
+  const std::uint64_t h = mix(0xabcdull + i);
+  const coord_t x = static_cast<coord_t>(h % static_cast<std::uint64_t>(side));
+  const coord_t y = static_cast<coord_t>((h >> 32) % static_cast<std::uint64_t>(side));
+  // ~16 expected hits at the 2500 units^2-per-record density.
+  return {x, y, static_cast<coord_t>(x + 200), static_cast<coord_t>(y + 200)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::suite s("violation_query");
+  if (auto rc = s.parse(argc, argv)) return *rc;
+
+  const std::vector<std::size_t> sizes = s.opts().quick
+                                             ? std::vector<std::size_t>{10'000, 100'000}
+                                             : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+
+  for (const std::size_t n : sizes) {
+    const std::string tag = "/n=" + std::to_string(n);
+
+    s.add("linear" + tag, [n](bench::case_context& ctx) {
+      const report::violation_db db = make_db(n);
+      const coord_t side = side_for(n);
+      std::uint64_t q = 0, hits = 0;
+      while (ctx.next_rep()) {
+        hits += db.in_window_scan(window_at(q++, side)).size();
+      }
+      ctx.counter("hits_per_query", q ? static_cast<double>(hits) / static_cast<double>(q) : 0);
+    });
+
+    s.add("rtree" + tag, [n](bench::case_context& ctx) {
+      report::violation_db db = make_db(n);
+      const coord_t side = side_for(n);
+      (void)db.in_window({0, 0, 1, 1});  // build the index outside the timed reps
+      std::uint64_t q = 0, hits = 0;
+      while (ctx.next_rep()) {
+        hits += db.in_window(window_at(q++, side)).size();
+      }
+      ctx.counter("hits_per_query", q ? static_cast<double>(hits) / static_cast<double>(q) : 0);
+      ctx.counter("rebuilds", static_cast<double>(db.index_stats().rebuilds));
+    });
+
+    // Recheck-shaped churn: purge a window, re-insert fresh records, query.
+    // The index must absorb the mutations incrementally (pending overlay +
+    // tombstones) instead of rebuilding per query.
+    s.add("rtree_churn" + tag, [n](bench::case_context& ctx) {
+      report::violation_db db = make_db(n);
+      const coord_t side = side_for(n);
+      (void)db.in_window({0, 0, 1, 1});
+      std::uint64_t q = 0, hits = 0;
+      while (ctx.next_rep()) {
+        const rect w = window_at(q++, side);
+        db.erase_touching("R", w);
+        for (int i = 0; i < 8; ++i) {
+          const std::uint64_t h = mix((q << 20) + static_cast<std::uint64_t>(i));
+          db.add_unique("R", vio_at(static_cast<coord_t>(w.x_min + h % 200),
+                                    static_cast<coord_t>(w.y_min + (h >> 32) % 200)));
+        }
+        hits += db.in_window(w).size();
+      }
+      ctx.counter("hits_per_query", q ? static_cast<double>(hits) / static_cast<double>(q) : 0);
+      ctx.counter("rebuilds", static_cast<double>(db.index_stats().rebuilds));
+      ctx.counter("size_end", static_cast<double>(db.size()));
+    });
+  }
+
+  return s.run();
+}

@@ -43,13 +43,46 @@ grep -q "full 0" <<<"$recheck_out" || { echo "FAIL: recheck was not incremental"
 grep -Eq "new [1-9]" <<<"$recheck_out" || { echo "FAIL: edit introduced no violations"; exit 1; }
 
 cli diff | head -1 | grep -q "^ok fixed 0 new"
-cli stats | grep -q "requests_total"
+
+# ---------------------------------------------------------------------------
+# Subscription phase (DESIGN.md §12): a background subscriber must receive
+# the next recheck's key diff as a server-pushed delta frame, and the query
+# verb must find the fresh marker through the stored-violation R-tree.
+# ---------------------------------------------------------------------------
+"$odrc" client --socket="$sock" subscribe --count=1 --timeout=20000 > "$work/sub.out" &
+sub_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "^ok subscribed" "$work/sub.out" 2>/dev/null && break
+  kill -0 $sub_pid 2>/dev/null || break
+  sleep 0.1
+done
+grep -q "^ok subscribed" "$work/sub.out" || { echo "FAIL: subscribe not acknowledged"; cat "$work/sub.out"; exit 1; }
+
+printf 'add_poly %s 19 910000 910000 910010 910010\n' "$top" > "$work/edit2.txt"
+cli edit "$work/edit2.txt" | grep -q "^ok applied 1"
+cli recheck | grep -q "full 0"
+wait $sub_pid || { echo "FAIL: subscriber got no delta"; cat "$work/sub.out"; exit 1; }
+grep -Eq "^delta sub [0-9]+ seq 0 fixed 0 new [1-9][0-9]* gap 0" "$work/sub.out" \
+  || { echo "FAIL: pushed delta missing or empty"; cat "$work/sub.out"; exit 1; }
+grep -q "^new " "$work/sub.out" || { echo "FAIL: delta carried no key lines"; cat "$work/sub.out"; exit 1; }
+
+cli query 909990 909990 910020 910020 keys | head -1 | grep -Eq "^ok total [1-9]" \
+  || { echo "FAIL: query missed the fresh marker"; exit 1; }
+cli query 5000000 5000000 5000010 5000010 | head -1 | grep -q "^ok total 0" \
+  || { echo "FAIL: query reported phantom hits"; exit 1; }
+
+stats_out=$(cli stats)
+grep -q "requests_total" <<<"$stats_out"
+grep -Eq "subs_published [1-9]" <<<"$stats_out" || { echo "FAIL: no published deltas in stats"; exit 1; }
+grep -Eq "subs_delivered [1-9]" <<<"$stats_out" || { echo "FAIL: no delivered deltas in stats"; exit 1; }
+
 cli shutdown | grep -q "ok shutting down"
 wait $srv_pid
 
 # Serve spans must be visible in the trace (per-request observability).
 grep -q '"serve"' "$work/trace.json" || { echo "FAIL: no serve spans in trace"; exit 1; }
 grep -q '"request"' "$work/trace.json" || { echo "FAIL: no request spans in trace"; exit 1; }
+grep -q '"push"' "$work/trace.json" || { echo "FAIL: no push spans in trace"; exit 1; }
 
 # A cold boot must say so in the trace (the mmap phase below asserts the
 # inverse: snapshot_boot present, cold_build absent).

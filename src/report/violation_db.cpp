@@ -34,6 +34,27 @@ void json_string(std::ostream& out, const std::string& s) {
 
 }  // namespace
 
+std::optional<rect> key_extent(const std::string& key) {
+  // "<rule>|<kind>|<l1>|<l2>|<e1>|<e2>|<measured>" — the rule name is the
+  // only field that could in principle contain '|', so split from the right.
+  const std::size_t p_measured = key.rfind('|');
+  if (p_measured == std::string::npos || p_measured == 0) return std::nullopt;
+  const std::size_t p_e2 = key.rfind('|', p_measured - 1);
+  if (p_e2 == std::string::npos || p_e2 == 0) return std::nullopt;
+  const std::size_t p_e1 = key.rfind('|', p_e2 - 1);
+  if (p_e1 == std::string::npos) return std::nullopt;
+  const auto parse_edge = [&](std::size_t begin, std::size_t end) -> std::optional<rect> {
+    int x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+    const std::string field = key.substr(begin, end - begin);
+    if (std::sscanf(field.c_str(), "%d,%d,%d,%d", &x1, &y1, &x2, &y2) != 4) return std::nullopt;
+    return rect{std::min(x1, x2), std::min(y1, y2), std::max(x1, x2), std::max(y1, y2)};
+  };
+  const auto e1 = parse_edge(p_e1 + 1, p_e2);
+  const auto e2 = parse_edge(p_e2 + 1, p_measured);
+  if (!e1 || !e2) return std::nullopt;
+  return e1->join(*e2);
+}
+
 std::string violation_key(const std::string& rule, const checks::violation& v) {
   const checks::violation n = checks::normalized(v);
   std::ostringstream key;
@@ -48,18 +69,18 @@ void violation_db::add(const std::string& rule_name,
                        std::span<const checks::violation> violations) {
   entries_.reserve(entries_.size() + violations.size());
   for (const checks::violation& v : violations) {
-    entries_.push_back({rule_name, v, violation_key(rule_name, v)});
+    entries_.push_back({rule_name, v, violation_key(rule_name, v), next_id_++});
     ++key_count_[entries_.back().key];
+    if (index_) index_->insert(entries_.back().id, marker_box(v));
   }
-  index_.reset();
 }
 
 bool violation_db::add_unique(const std::string& rule_name, const checks::violation& v) {
   std::string key = violation_key(rule_name, v);
   auto [it, inserted] = key_count_.try_emplace(std::move(key), 1);
   if (!inserted) return false;
-  entries_.push_back({rule_name, v, it->first});
-  index_.reset();
+  entries_.push_back({rule_name, v, it->first, next_id_++});
+  if (index_) index_->insert(entries_.back().id, marker_box(v));
   return true;
 }
 
@@ -70,11 +91,10 @@ std::size_t violation_db::erase_touching(const std::string& rule_name, const rec
     if (!window.overlaps(e.v.e1.mbr()) && !window.overlaps(e.v.e2.mbr())) return false;
     auto it = key_count_.find(e.key);
     if (it != key_count_.end() && --it->second == 0) key_count_.erase(it);
+    if (index_) index_->erase(e.id);
     return true;
   });
-  const std::size_t removed = before - entries_.size();
-  if (removed > 0) index_.reset();
-  return removed;
+  return before - entries_.size();
 }
 
 std::size_t violation_db::erase_rule(const std::string& rule_name) {
@@ -83,11 +103,10 @@ std::size_t violation_db::erase_rule(const std::string& rule_name) {
     if (e.rule != rule_name) return false;
     auto it = key_count_.find(e.key);
     if (it != key_count_.end() && --it->second == 0) key_count_.erase(it);
+    if (index_) index_->erase(e.id);
     return true;
   });
-  const std::size_t removed = before - entries_.size();
-  if (removed > 0) index_.reset();
-  return removed;
+  return before - entries_.size();
 }
 
 std::vector<std::string> violation_db::keys() const {
@@ -111,13 +130,32 @@ std::vector<summary_row> violation_db::summarize() const {
 
 std::vector<std::size_t> violation_db::in_window(const rect& window) const {
   if (!index_) {
-    std::vector<rect> boxes(entries_.size());
-    for (std::size_t i = 0; i < entries_.size(); ++i) boxes[i] = marker_box(entries_[i].v);
-    index_.emplace(boxes);
+    std::vector<std::pair<std::uint64_t, rect>> items;
+    items.reserve(entries_.size());
+    for (const entry& e : entries_) items.emplace_back(e.id, marker_box(e.v));
+    index_.emplace(items);
   }
   std::vector<std::size_t> out;
-  index_->query(window, [&](std::uint32_t i) { out.push_back(i); });
+  index_->query(window, [&](std::uint64_t id) {
+    // entries_ is sorted by id (monotonic assignment, stable erase).
+    const auto it = std::lower_bound(entries_.begin(), entries_.end(), id,
+                                     [](const entry& e, std::uint64_t v) { return e.id < v; });
+    out.push_back(static_cast<std::size_t>(it - entries_.begin()));
+  });
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::size_t> violation_db::in_window_scan(const rect& window) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (window.overlaps(marker_box(entries_[i].v))) out.push_back(i);
+  }
+  return out;
+}
+
+violation_index_stats violation_db::index_stats() const {
+  return index_ ? index_->stats() : violation_index_stats{};
 }
 
 rect violation_db::extent() const {
@@ -249,8 +287,12 @@ key_diff diff_keys(std::vector<std::string> baseline, std::vector<std::string> c
 }
 
 report_diff diff_reports(std::vector<report_line> baseline, std::vector<report_line> current) {
+  // Sort + dedupe exactly like diff_keys: set semantics, not multiset — a
+  // duplicated report line must not surface as a phantom fixed/introduced.
   std::sort(baseline.begin(), baseline.end());
+  baseline.erase(std::unique(baseline.begin(), baseline.end()), baseline.end());
   std::sort(current.begin(), current.end());
+  current.erase(std::unique(current.begin(), current.end()), current.end());
   report_diff d;
   std::set_difference(baseline.begin(), baseline.end(), current.begin(), current.end(),
                       std::back_inserter(d.fixed));

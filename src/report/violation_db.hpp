@@ -15,14 +15,15 @@
 #include <vector>
 
 #include "checks/violation.hpp"
-#include "geo/rtree.hpp"
+#include "report/violation_index.hpp"
 
 namespace odrc::report {
 
 struct entry {
   std::string rule;  ///< rule name (e.g. "M1.S.1"); may be empty
   checks::violation v;
-  std::string key;  ///< violation_key(rule, v), computed at insertion
+  std::string key;       ///< violation_key(rule, v), computed at insertion
+  std::uint64_t id = 0;  ///< stable per-db insertion id (monotonic, never reused)
 };
 
 /// Stable content-derived identity of one violation: rule name + kind +
@@ -32,6 +33,13 @@ struct entry {
 /// order-independently — the identity incremental rechecks and the serve
 /// protocol's `diff` are built on.
 [[nodiscard]] std::string violation_key(const std::string& rule, const checks::violation& v);
+
+/// Recover the marker box (joined MBR of the two offending edges) from a
+/// violation key alone — keys embed the canonicalized edge coordinates.
+/// Lets consumers that only see key streams (the serve protocol's diff/delta
+/// frames, the cluster coordinator) clip by window without the full record.
+/// nullopt on a malformed key.
+[[nodiscard]] std::optional<rect> key_extent(const std::string& key);
 
 struct summary_row {
   std::string rule;
@@ -70,9 +78,19 @@ class violation_db {
   /// Per-rule counts, in first-seen rule order.
   [[nodiscard]] std::vector<summary_row> summarize() const;
 
-  /// Indices of entries whose marker box overlaps `window`. Builds a spatial
-  /// index lazily on first call; add() invalidates it.
+  /// Indices of entries whose marker box overlaps `window`, ascending —
+  /// byte-identical to a linear scan of entries() with the same overlap
+  /// test. Backed by an incremental `violation_index`: bulk-loaded on the
+  /// first call, then maintained through add/add_unique/erase (epoch rebuild
+  /// absorbs churn), so repeated windowed queries over a mutating store stay
+  /// sublinear instead of rescanning every record.
   [[nodiscard]] std::vector<std::size_t> in_window(const rect& window) const;
+
+  /// Reference linear-scan implementation of in_window (tests, bench).
+  [[nodiscard]] std::vector<std::size_t> in_window_scan(const rect& window) const;
+
+  /// Index maintenance counters (empty stats before the first in_window).
+  [[nodiscard]] violation_index_stats index_stats() const;
 
   /// Bounding box of all markers (empty rect when no violations).
   [[nodiscard]] rect extent() const;
@@ -94,7 +112,11 @@ class violation_db {
   // keys() without an O(n) rescan. A count (not a set) because plain add()
   // accepts duplicates.
   std::unordered_map<std::string, std::uint32_t> key_count_;
-  mutable std::optional<geo::rtree> index_;
+  // Ids are assigned monotonically and erase_if is stable, so entries_ is
+  // always sorted by id — in_window maps index ids back to positions with a
+  // binary search instead of a side map.
+  std::uint64_t next_id_ = 1;
+  mutable std::optional<violation_index> index_;
 };
 
 /// Order-independent key-set diff: what a recheck fixed, introduced, and
@@ -152,7 +174,10 @@ struct report_diff {
   [[nodiscard]] bool clean() const { return introduced.empty(); }
 };
 
-/// Multiset difference between a baseline report and a current one.
+/// Set difference between a baseline report and a current one. Duplicate
+/// lines collapse (sort + dedupe, exactly like diff_keys): a report that
+/// lists one violation twice — overlapping windows, a rerun appended to the
+/// same file — must not leak phantom fixed/introduced lines.
 [[nodiscard]] report_diff diff_reports(std::vector<report_line> baseline,
                                        std::vector<report_line> current);
 

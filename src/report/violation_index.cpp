@@ -1,0 +1,99 @@
+#include "report/violation_index.hpp"
+
+#include <algorithm>
+
+namespace odrc::report {
+
+violation_index::violation_index(double rebuild_fraction, std::size_t rebuild_min)
+    : rebuild_fraction_(rebuild_fraction), rebuild_min_(std::max<std::size_t>(rebuild_min, 1)) {}
+
+violation_index::violation_index(std::span<const std::pair<std::uint64_t, rect>> items,
+                                 double rebuild_fraction, std::size_t rebuild_min)
+    : violation_index(rebuild_fraction, rebuild_min) {
+  boxes_.reserve(items.size());
+  for (const auto& [id, box] : items) boxes_[id] = box;
+  rebuild();
+  rebuilds_ = 0;  // the initial bulk load is not a churn-driven rebuild
+}
+
+void violation_index::insert(std::uint64_t id, const rect& box) {
+  if (boxes_.count(id) != 0) erase(id);
+  boxes_.emplace(id, box);
+  pending_.push_back(id);
+  maybe_rebuild();
+}
+
+bool violation_index::erase(std::uint64_t id) {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) return false;
+  boxes_.erase(it);
+  auto slot = slot_of_.find(id);
+  if (slot != slot_of_.end()) {
+    dead_[slot->second] = true;
+    ++tombstones_;
+    slot_of_.erase(slot);
+  } else {
+    // Overlay resident: swap-erase keeps the side table dense.
+    auto p = std::find(pending_.begin(), pending_.end(), id);
+    if (p != pending_.end()) {
+      *p = pending_.back();
+      pending_.pop_back();
+    }
+  }
+  maybe_rebuild();
+  return true;
+}
+
+void violation_index::query(const rect& window,
+                            const std::function<void(std::uint64_t)>& visit) const {
+  if (tree_) {
+    tree_->query(window, [&](std::uint32_t slot) {
+      if (!dead_[slot]) visit(epoch_ids_[slot]);
+    });
+  }
+  for (const std::uint64_t id : pending_) {
+    if (window.overlaps(boxes_.at(id))) visit(id);
+  }
+}
+
+violation_index_stats violation_index::stats() const {
+  violation_index_stats s;
+  s.size = boxes_.size();
+  s.epoch = epoch_ids_.size();
+  s.pending = pending_.size();
+  s.tombstones = tombstones_;
+  s.rebuilds = rebuilds_;
+  return s;
+}
+
+void violation_index::maybe_rebuild() {
+  const std::size_t churn = pending_.size() + tombstones_;
+  const std::size_t threshold = std::max<std::size_t>(
+      rebuild_min_, static_cast<std::size_t>(rebuild_fraction_ * static_cast<double>(boxes_.size())));
+  if (churn > threshold) rebuild();
+}
+
+void violation_index::rebuild() {
+  epoch_ids_.clear();
+  epoch_boxes_.clear();
+  slot_of_.clear();
+  pending_.clear();
+  tombstones_ = 0;
+  epoch_ids_.reserve(boxes_.size());
+  epoch_boxes_.reserve(boxes_.size());
+  for (const auto& [id, box] : boxes_) {
+    epoch_ids_.push_back(id);
+    epoch_boxes_.push_back(box);
+  }
+  slot_of_.reserve(epoch_ids_.size());
+  for (std::uint32_t k = 0; k < epoch_ids_.size(); ++k) slot_of_[epoch_ids_[k]] = k;
+  dead_.assign(epoch_ids_.size(), false);
+  tree_.emplace(epoch_boxes_);
+  // The tree keeps its own copy of the boxes; only the slot -> id mapping is
+  // needed after the build.
+  epoch_boxes_.clear();
+  epoch_boxes_.shrink_to_fit();
+  ++rebuilds_;
+}
+
+}  // namespace odrc::report

@@ -1,0 +1,95 @@
+// Incremental spatial index over violation extents (interface layer;
+// DESIGN.md §12).
+//
+// `violation_db::in_window` used to rebuild a packed R-tree from scratch
+// after every mutation — fine for a batch run that queries once, hopeless
+// for a serve session whose store churns on every incremental recheck while
+// an editor polls "markers under the cursor" queries between edits. This
+// class keeps windowed lookups sublinear under churn with a two-tier
+// structure, the same shape RediSearch uses for its bulk-loaded geometry
+// index:
+//
+//   * an *epoch*: a bulk-loaded packed `geo::rtree` over the boxes that were
+//     live at the last rebuild (Morton-ordered leaves, near-optimal packing);
+//   * a linear *overlay* absorbing mutations since that rebuild — inserts go
+//     to a small append-only side table, erases of epoch residents tombstone
+//     their slot (the packed tree is immutable by construction).
+//
+// A query walks the tree (skipping tombstones) plus the overlay; correctness
+// never depends on rebuild timing. When the overlay outgrows
+// `rebuild_fraction` of the live population (with an absolute floor so tiny
+// stores never rebuild), the whole index re-bulk-loads into a fresh epoch —
+// amortized O(log) per mutation because successive rebuild thresholds grow
+// geometrically.
+//
+// Ids are caller-assigned, unique among live entries, and returned verbatim
+// by `query` (violation_db uses monotonic entry ids, so sorted query output
+// is also store order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geo/rtree.hpp"
+#include "infra/geometry.hpp"
+
+namespace odrc::report {
+
+struct violation_index_stats {
+  std::size_t size = 0;        ///< live boxes
+  std::size_t epoch = 0;       ///< boxes in the bulk-loaded tree (incl. tombstoned)
+  std::size_t pending = 0;     ///< overlay inserts since the last rebuild
+  std::size_t tombstones = 0;  ///< epoch slots erased since the last rebuild
+  std::uint64_t rebuilds = 0;  ///< epoch rebuilds performed
+};
+
+class violation_index {
+ public:
+  explicit violation_index(double rebuild_fraction = 0.25, std::size_t rebuild_min = 64);
+
+  /// Bulk-load: one epoch over `items`, empty overlay. Ids must be unique.
+  explicit violation_index(std::span<const std::pair<std::uint64_t, rect>> items,
+                           double rebuild_fraction = 0.25, std::size_t rebuild_min = 64);
+
+  /// Insert `id` with extent `box`. Inserting a live id replaces its box.
+  void insert(std::uint64_t id, const rect& box);
+
+  /// Erase a live id; false when unknown.
+  bool erase(std::uint64_t id);
+
+  /// Visit the id of every live box overlapping `window` (closed-overlap
+  /// semantics, matching rect::overlaps). Visit order is unspecified —
+  /// callers wanting determinism sort the ids.
+  void query(const rect& window, const std::function<void(std::uint64_t)>& visit) const;
+
+  [[nodiscard]] bool contains(std::uint64_t id) const { return boxes_.count(id) != 0; }
+  [[nodiscard]] std::size_t size() const { return boxes_.size(); }
+  [[nodiscard]] violation_index_stats stats() const;
+
+ private:
+  void maybe_rebuild();
+  void rebuild();
+
+  double rebuild_fraction_;
+  std::size_t rebuild_min_;
+
+  std::unordered_map<std::uint64_t, rect> boxes_;  ///< live truth: id -> box
+
+  // Epoch: packed tree over epoch_boxes_; slot k holds epoch_ids_[k].
+  std::optional<geo::rtree> tree_;
+  std::vector<std::uint64_t> epoch_ids_;
+  std::vector<rect> epoch_boxes_;
+  std::vector<bool> dead_;                                   ///< tombstones per slot
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of_; ///< live epoch id -> slot
+  std::size_t tombstones_ = 0;
+
+  std::vector<std::uint64_t> pending_;  ///< overlay: ids inserted since the epoch
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace odrc::report

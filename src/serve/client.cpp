@@ -1,10 +1,13 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <stdexcept>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "serve/transport.hpp"
@@ -32,9 +35,49 @@ frame client::request(msg_type type, std::uint32_t session, const std::string& p
   for (;;) {
     std::optional<frame> resp = read_frame(fd_);  // protocol_error propagates
     if (!resp) throw std::runtime_error("connection closed before response");
+    if ((resp->header.type & response_bit) == 0) {
+      // Server-initiated push interleaved with the response stream; a push
+      // header's seq can collide with a request seq, so the response_bit is
+      // the discriminator. Stash for poll_push()/wait_push().
+      pushed_.push_back(*std::move(resp));
+      continue;
+    }
     if (resp->header.seq == req.header.seq) return *std::move(resp);
     // A response to an earlier pipelined request (not produced by this
     // synchronous client, but tolerate it).
+  }
+}
+
+std::optional<frame> client::poll_push() { return wait_push(0); }
+
+std::optional<frame> client::wait_push(int timeout_ms) {
+  if (!pushed_.empty()) {
+    frame f = std::move(pushed_.front());
+    pushed_.pop_front();
+    return f;
+  }
+  if (fd_ < 0) return std::nullopt;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait = static_cast<int>(std::max<long long>(0, left.count()));
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (pr == 0) return std::nullopt;  // timeout
+    std::optional<frame> f = read_frame(fd_);  // protocol_error propagates
+    if (!f) return std::nullopt;               // connection closed
+    if ((f->header.type & response_bit) == 0) return f;
+    // A stray response (pipelined request answered late): drop it — request()
+    // already returned for everything this synchronous client sent.
   }
 }
 

@@ -4,9 +4,17 @@
 // response (seq echo). The CLI's `odrc client` verbs, the coordinator's
 // worker links, and the e2e tests are built on it; the framing edge-case
 // tests drive raw fds instead.
+//
+// Full duplex: after `subscribe`, server-initiated `delta` frames arrive
+// interleaved with responses. request() recognizes them by the missing
+// response_bit and stashes them; poll_push()/wait_push() hand them out in
+// arrival order, so a caller can pump requests and consume pushes on one
+// connection without a second thread.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 
 #include "serve/protocol.hpp"
@@ -29,8 +37,17 @@ class client {
 
   /// Send a request, block for its response. Throws std::runtime_error on
   /// I/O failure (connection closed mid-request) and protocol_error on a
-  /// malformed response stream.
+  /// malformed response stream. Pushed `delta` frames read while waiting are
+  /// stashed for poll_push()/wait_push(), never lost.
   frame request(msg_type type, std::uint32_t session, const std::string& payload = {});
+
+  /// Next pushed frame if one is already stashed or readable without
+  /// blocking; nullopt otherwise.
+  [[nodiscard]] std::optional<frame> poll_push();
+
+  /// Block up to `timeout_ms` (< 0 = forever) for a pushed frame. nullopt on
+  /// timeout or connection close.
+  [[nodiscard]] std::optional<frame> wait_push(int timeout_ms);
 
   void close();
 
@@ -43,6 +60,7 @@ class client {
  private:
   int fd_ = -1;
   std::uint16_t next_seq_ = 1;
+  std::deque<frame> pushed_;  ///< deltas read while waiting for a response
 };
 
 }  // namespace odrc::serve

@@ -188,6 +188,9 @@ std::vector<coordinator::leg_result> coordinator::scatter(msg_type t, std::uint3
 std::string coordinator::do_check(const frame& f) {
   const bool want_keys = f.payload.find("keys") != std::string::npos;
   std::lock_guard sc(scatter_mu_);
+  // Baseline for the subscribers' delta: the reconciled key set before this
+  // check rebuilds the ownership map.
+  const std::vector<std::string> baseline = current_keys();
   const std::vector<leg_result> legs = scatter(msg_type::check, f.header.session, "keys", true);
 
   // Rebuild ownership per succeeded worker even when a sibling failed: each
@@ -215,6 +218,12 @@ std::string coordinator::do_check(const frame& f) {
     std::lock_guard lk(keys_mu_);
     last_diff_ = report::key_diff{};
   }
+  // Subscribers still get a delta for the check (diffed against the previous
+  // reconciled key set) so their reconstructed view never silently shifts
+  // baseline; scatter_mu_ orders it against neighboring rechecks. The `diff`
+  // verb keeps its meaning — "the last RECHECK's diff" — unchanged.
+  const std::uint32_t sid = f.header.session == 0 ? 1 : f.header.session;
+  subs_.publish(sid, report::diff_keys(baseline, keys));
   return summarize_keys(keys, want_keys);
 }
 
@@ -323,6 +332,18 @@ std::string coordinator::do_recheck(const frame& f) {
   }
   if (!first_error.empty()) return "error " + first_error;
 
+  // One deduplicated delta per recheck: seam straddlers enter `fixed`/
+  // `introduced` only on the last-owner-drops / first-owner-reports edge of
+  // the bitmask reconciliation above, so a coordinator subscriber never sees
+  // a key twice for one fleet recheck.
+  {
+    const std::uint32_t sid = f.header.session == 0 ? 1 : f.header.session;
+    report::key_diff d;
+    d.fixed = fixed;
+    d.introduced = introduced;
+    subs_.publish(sid, d);
+  }
+
   std::ostringstream os;
   os << "ok fixed " << fixed.size() << " new " << introduced.size() << " unchanged "
      << last_diff_.unchanged.size() << " windows " << windows << " purged " << purged
@@ -332,6 +353,37 @@ std::string coordinator::do_recheck(const frame& f) {
     for (const std::string& k : introduced) os << "\nnew " << k;
   }
   return os.str();
+}
+
+std::string coordinator::do_query(const frame& f) {
+  std::istringstream args(f.payload);
+  rect w;
+  if (!(args >> w.x_min >> w.y_min >> w.x_max >> w.y_max) || w.empty()) {
+    throw std::runtime_error("query expects 'x1 y1 x2 y2 [keys]' with x1<=x2, y1<=y2");
+  }
+  std::string flag;
+  args >> flag;
+  const bool want_keys = flag == "keys";
+
+  // EVERY worker, not just the bands overlapping the window: an entry is
+  // stored where an offending EDGE touches the band, but its marker box (the
+  // joined MBR of both edges) can overlap a window the band itself misses.
+  // Ungated — a stored-index lookup costs the worker almost nothing.
+  std::vector<leg_result> legs;
+  {
+    std::lock_guard sc(scatter_mu_);
+    legs = scatter(msg_type::query, f.header.session,
+                   f.payload + (want_keys ? "" : " keys"), false);
+  }
+  std::vector<std::string> keys;
+  for (const leg_result& leg : legs) {
+    if (!leg.ok) return "error " + leg.error;
+    const std::vector<std::string> ks = tagged_lines(leg.payload, "v");
+    keys.insert(keys.end(), ks.begin(), ks.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());  // seam dedup
+  return summarize_keys(keys, want_keys);
 }
 
 std::string coordinator::do_broadcast_status(const frame& f) {
@@ -348,6 +400,7 @@ std::string coordinator::dispatch(const frame& f) {
   switch (static_cast<msg_type>(f.header.type)) {
     case msg_type::check: return do_check(f);
     case msg_type::check_region: return do_check_region(f);
+    case msg_type::query: return do_query(f);
     case msg_type::edit: return do_edit(f);
     case msg_type::recheck: return do_recheck(f);
     case msg_type::reload: return do_broadcast_status(f);
@@ -389,7 +442,7 @@ std::string coordinator::dispatch(const frame& f) {
                                " is not a coordinator verb");
     default: break;
   }
-  throw std::runtime_error("unknown request type " + std::to_string(f.header.type));
+  throw std::runtime_error("unknown request type " + msg_type_display(f.header.type));
 }
 
 std::vector<worker_link_stats> coordinator::worker_stats() const {

@@ -127,6 +127,7 @@ class coordinator : private detail::sessions_holder, public server {
 
   std::string do_check(const frame& f);
   std::string do_check_region(const frame& f);
+  std::string do_query(const frame& f);  ///< stored-violation fan-in (all bands)
   std::string do_edit(const frame& f);
   std::string do_recheck(const frame& f);
   std::string do_broadcast_status(const frame& f);  ///< reload: first ok line

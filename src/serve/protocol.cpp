@@ -1,7 +1,13 @@
 #include "serve/protocol.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <sstream>
+#include <string_view>
+
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace odrc::serve {
@@ -21,8 +27,18 @@ const char* msg_type_name(std::uint8_t type) {
     case msg_type::shard: return "shard";
     case msg_type::check_region: return "check_region";
     case msg_type::health: return "health";
+    case msg_type::subscribe: return "subscribe";
+    case msg_type::unsubscribe: return "unsubscribe";
+    case msg_type::delta: return "delta";
+    case msg_type::query: return "query";
   }
   return "unknown";
+}
+
+std::string msg_type_display(std::uint8_t type) {
+  const char* name = msg_type_name(type);
+  if (std::string_view(name) != "unknown") return name;
+  return "unknown(" + std::to_string(static_cast<unsigned>(type & ~response_bit)) + ")";
 }
 
 namespace {
@@ -129,6 +145,31 @@ bool write_frame(int fd, const frame& f) {
   return write_all(fd, wire.data(), wire.size());
 }
 
+bool write_frame_deadline(int fd, const frame& f, int timeout_ms) {
+  const std::string wire = encode_frame(f);
+  const char* p = wire.data();
+  std::size_t n = wire.size();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (n > 0) {
+    const ssize_t r = ::send(fd, p, n, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (r > 0) {
+      p += r;
+      n -= static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return false;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return false;  // wedged peer: give up
+    pollfd pfd{fd, POLLOUT, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (pr < 0 && errno != EINTR) return false;
+    if (pr > 0 && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return false;
+  }
+  return true;
+}
+
 std::optional<frame> read_frame(int fd) {
   unsigned char hdr[header_size];
   if (!read_exact(fd, hdr, header_size)) return std::nullopt;
@@ -139,6 +180,35 @@ std::optional<frame> read_frame(int fd) {
     return std::nullopt;  // truncated mid-frame
   }
   return f;
+}
+
+std::optional<delta_frame> parse_delta(const frame& f) {
+  if ((f.header.type & response_bit) != 0) return std::nullopt;
+  if (static_cast<msg_type>(f.header.type) != msg_type::delta) return std::nullopt;
+  std::istringstream is(f.payload);
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  std::istringstream head(line);
+  std::string tag, kw_sub, kw_seq, kw_fixed, kw_new, kw_gap;
+  delta_frame d;
+  std::size_t n_fixed = 0, n_new = 0;
+  int gap = 0;
+  if (!(head >> tag >> kw_sub >> d.sub >> kw_seq >> d.seq >> kw_fixed >> n_fixed >> kw_new >>
+        n_new >> kw_gap >> gap) ||
+      tag != "delta" || kw_sub != "sub" || kw_seq != "seq" || kw_fixed != "fixed" ||
+      kw_new != "new" || kw_gap != "gap") {
+    return std::nullopt;
+  }
+  d.gap = gap != 0;
+  while (std::getline(is, line)) {
+    if (line.rfind("fixed ", 0) == 0) {
+      d.fixed.push_back(line.substr(6));
+    } else if (line.rfind("new ", 0) == 0) {
+      d.introduced.push_back(line.substr(4));
+    }
+  }
+  if (d.fixed.size() != n_fixed || d.introduced.size() != n_new) return std::nullopt;
+  return d;
 }
 
 frame make_response(const frame& req, std::string payload) {

@@ -18,6 +18,14 @@
 // the protocol greppable under strace/socat while the framing stays binary
 // and length-checked; a malformed header kills the connection, a malformed
 // payload only fails the request.
+//
+// Full duplex (DESIGN.md §12): a connection that issued `subscribe` carries
+// SERVER-INITIATED `delta` frames interleaved with its own request/response
+// traffic. Responses are distinguished by `response_bit`; a pushed frame has
+// a bare request type (`delta`) and is never a request — its header seq is
+// the low 16 bits of the subscription's push sequence, and the payload's
+// first line ("delta sub <id> seq <n> fixed <f> new <k> gap <g>") carries
+// the full 64-bit sequence so clients detect dropped frames.
 #pragma once
 
 #include <cstddef>
@@ -52,9 +60,23 @@ enum class msg_type : std::uint8_t {
   shard = 11,         ///< payload "<idx> <count> x1 y1 x2 y2": own this band
   check_region = 12,  ///< payload "x1 y1 x2 y2 [keys]": windowed query
   health = 13,        ///< cheap admission probe -> "ok depth D inflight I ..."
+
+  // Streaming subscriptions + stored-violation queries (DESIGN.md §12).
+  subscribe = 14,    ///< payload "[x1 y1 x2 y2]": push me this session's
+                     ///< recheck deltas (optionally clipped to the window)
+                     ///< -> "ok subscribed <sub_id>"
+  unsubscribe = 15,  ///< payload "<sub_id>" -> "ok unsubscribed <sub_id>"
+  delta = 16,        ///< SERVER-INITIATED push frame, never a request; see
+                     ///< the full-duplex note above for the payload format
+  query = 17,        ///< payload "x1 y1 x2 y2 [keys]": windowed lookup over
+                     ///< the STORED violations (R-tree backed, no recheck)
 };
 
 [[nodiscard]] const char* msg_type_name(std::uint8_t type);
+
+/// msg_type_name, but out-of-enum types render as "unknown(<n>)" so error
+/// responses name the offending byte instead of a bare "unknown".
+[[nodiscard]] std::string msg_type_display(std::uint8_t type);
 
 struct frame_header {
   std::uint32_t magic = protocol_magic;
@@ -116,11 +138,34 @@ bool write_all(int fd, const void* buf, std::size_t n);
 /// per-connection write mutex.
 bool write_frame(int fd, const frame& f);
 
+/// write_frame with a wall-clock deadline: non-blocking sends interleaved
+/// with POLLOUT waits. False on error OR when the peer's socket buffer stays
+/// full past `timeout_ms` — the push flusher uses this so one wedged
+/// subscriber can only ever stall delivery for a bounded time. May leave a
+/// partial frame on the wire on timeout; the caller must treat the
+/// connection as unusable (it cannot be resynchronized).
+bool write_frame_deadline(int fd, const frame& f, int timeout_ms);
+
 /// Read one frame. nullopt on clean EOF at a frame boundary; throws
 /// protocol_error on a malformed header; nullopt (with errno) on truncation.
 std::optional<frame> read_frame(int fd);
 
 /// Build a response frame for `req`: same seq/session, type | response_bit.
 [[nodiscard]] frame make_response(const frame& req, std::string payload);
+
+// --- delta push frames ------------------------------------------------------
+
+/// Parsed form of one pushed `delta` frame.
+struct delta_frame {
+  std::uint64_t sub = 0;  ///< subscription id
+  std::uint64_t seq = 0;  ///< push sequence within the subscription
+  bool gap = false;       ///< >=1 delta was dropped since the previous frame
+  std::vector<std::string> fixed;       ///< violation keys fixed
+  std::vector<std::string> introduced;  ///< violation keys introduced
+};
+
+/// Parse a pushed delta payload. nullopt when the frame is not a delta push
+/// or the payload is malformed.
+[[nodiscard]] std::optional<delta_frame> parse_delta(const frame& f);
 
 }  // namespace odrc::serve

@@ -42,8 +42,28 @@ rect parse_window_args(std::istringstream& args, const char* verb) {
 
 }  // namespace
 
+// Pushes a delta under the connection's write mutex — interleaved with the
+// workers' responses, never interleaving bytes with them. A failed or
+// timed-out write force-closes the socket (a partial frame cannot be
+// resynchronized); the reader then sees EOF and the normal lifecycle
+// machinery reaps the connection and its subscriptions.
+struct server::conn_sink : push_sink {
+  std::shared_ptr<connection> conn;
+  int timeout_ms;
+
+  conn_sink(std::shared_ptr<connection> c, int t) : conn(std::move(c)), timeout_ms(t) {}
+
+  bool push(const frame& f) override {
+    std::lock_guard lk(conn->write_mu);
+    if (conn->fd < 0 || conn->finished.load()) return false;
+    if (write_frame_deadline(conn->fd, f, timeout_ms)) return true;
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return false;
+  }
+};
+
 server::server(server_config cfg, session_manager& sessions)
-    : cfg_(std::move(cfg)), sessions_(sessions) {
+    : cfg_(std::move(cfg)), sessions_(sessions), subs_(cfg_.subs) {
   latencies_ms_.reserve(latency_ring_size);
 }
 
@@ -110,6 +130,9 @@ void server::wait() {
     if (t.joinable()) t.join();
   }
   worker_threads_.clear();
+  // Stop the push flusher BEFORE closing the remaining fds: a push racing a
+  // bare close() could write into a recycled descriptor.
+  subs_.stop();
   {
     std::lock_guard lk(conns_mu_);
     for (const auto& c : conns_) close_fd(c->fd);
@@ -250,6 +273,10 @@ void server::reader_loop(std::shared_ptr<connection> conn,
   // answered, and the accept thread then reaps the fd and this thread.
   ::shutdown(conn->fd, SHUT_RD);
   conn->read_closed.store(true);
+  // A half-closed subscriber cannot ack anything and its write side is about
+  // to drain away — tear its subscriptions down instead of pushing into a
+  // dying socket until the deadline writer notices.
+  subs_.drop_owner(reinterpret_cast<std::uintptr_t>(conn.get()));
   finish_if_drained(*conn);
   done->store(true);
   wake_reaper();
@@ -283,7 +310,15 @@ void server::handle(request& rq) {
   const auto t0 = std::chrono::steady_clock::now();
   std::string payload;
   try {
-    payload = dispatch(rq.f);
+    // subscribe/unsubscribe are resolved here, not in dispatch(): they bind
+    // to the requesting CONNECTION (the push target), which the virtual verb
+    // table never sees. Intercepting before the virtual call also gives the
+    // cluster coordinator working subscriptions for free.
+    switch (static_cast<msg_type>(rq.f.header.type)) {
+      case msg_type::subscribe: payload = do_subscribe(rq); break;
+      case msg_type::unsubscribe: payload = do_unsubscribe(rq.f); break;
+      default: payload = dispatch(rq.f); break;
+    }
   } catch (const std::exception& e) {
     payload = std::string("error ") + e.what();
   }
@@ -293,6 +328,36 @@ void server::handle(request& rq) {
   rq.conn->pending.fetch_sub(1);
   finish_if_drained(*rq.conn);
   if (static_cast<msg_type>(rq.f.header.type) == msg_type::shutdown) stop();
+}
+
+std::string server::do_subscribe(request& rq) {
+  const std::uint32_t sid = rq.f.header.session == 0 ? 1 : rq.f.header.session;
+  // Lenient on session existence: the coordinator serves sessions that live
+  // in its workers, and a subscription may legitimately predate `open`.
+  std::optional<rect> window;
+  std::istringstream args(rq.f.payload);
+  rect w;
+  if (args >> w.x_min) {
+    if (!(args >> w.y_min >> w.x_max >> w.y_max) || w.empty()) {
+      throw std::runtime_error(
+          "subscribe expects no payload or 'x1 y1 x2 y2' with x1<=x2, y1<=y2");
+    }
+    window = w;
+  }
+  auto sink = std::make_shared<conn_sink>(rq.conn, cfg_.push_timeout_ms);
+  const std::uint64_t id = subs_.subscribe(sid, window, std::move(sink),
+                                           reinterpret_cast<std::uintptr_t>(rq.conn.get()));
+  return "ok subscribed " + std::to_string(id);
+}
+
+std::string server::do_unsubscribe(const frame& f) {
+  std::istringstream args(f.payload);
+  std::uint64_t id = 0;
+  if (!(args >> id)) throw std::runtime_error("unsubscribe expects '<sub_id>'");
+  if (!subs_.unsubscribe(id)) {
+    throw std::runtime_error("unknown subscription " + std::to_string(id));
+  }
+  return "ok unsubscribed " + std::to_string(id);
 }
 
 std::string server::dispatch(const frame& f) {
@@ -321,7 +386,11 @@ std::string server::dispatch(const frame& f) {
     case msg_type::check: {
       auto s = need_session();
       const bool want_keys = f.payload.find("keys") != std::string::npos;
-      const auto rows = s->check_full();
+      // Publish from inside the session lock: a subscriber's delta stream is
+      // totally ordered with the checks that produced it, even when two
+      // workers hit one session concurrently.
+      const auto rows =
+          s->check_full([&](const report::key_diff& d) { subs_.publish(sid, d); });
       std::size_t total = 0;
       for (const auto& r : rows) total += r.count;
       std::ostringstream os;
@@ -339,6 +408,23 @@ std::string server::dispatch(const frame& f) {
       std::string flag;
       args >> flag;
       const session::window_result r = s->check_window(w);
+      std::size_t total = 0;
+      for (const auto& row : r.rows) total += row.count;
+      std::ostringstream os;
+      os << "ok total " << total;
+      for (const auto& row : r.rows) os << "\nrule " << row.rule << ' ' << row.count;
+      if (flag == "keys") {
+        for (const std::string& k : r.keys) os << "\nv " << k;
+      }
+      return os.str();
+    }
+    case msg_type::query: {
+      auto s = need_session();
+      std::istringstream args(f.payload);
+      const rect w = parse_window_args(args, "query");
+      std::string flag;
+      args >> flag;
+      const session::window_result r = s->query_stored(w);
       std::size_t total = 0;
       for (const auto& row : r.rows) total += row.count;
       std::ostringstream os;
@@ -380,7 +466,8 @@ std::string server::dispatch(const frame& f) {
     case msg_type::recheck: {
       auto s = need_session();
       const bool want_keys = f.payload.find("keys") != std::string::npos;
-      const recheck_result r = s->recheck();
+      const recheck_result r =
+          s->recheck([&](const report::key_diff& d) { subs_.publish(sid, d); });
       std::ostringstream os;
       os << "ok fixed " << r.diff.fixed.size() << " new " << r.diff.introduced.size()
          << " unchanged " << r.diff.unchanged.size() << " windows " << r.windows << " purged "
@@ -412,6 +499,10 @@ std::string server::dispatch(const frame& f) {
          << "\naccepted_connections " << st.accepted_connections << "\naccept_errors "
          << st.accept_errors << "\nreader_threads " << st.reader_threads << "\nconnections "
          << st.connections << "\np50_ms " << st.p50_ms << "\np95_ms " << st.p95_ms;
+      const subscription_stats sub = subs_.stats();
+      os << "\nsubs_active " << sub.active << "\nsubs_queue_depth " << sub.queue_depth
+         << "\nsubs_published " << sub.published << "\nsubs_delivered " << sub.delivered
+         << "\nsubs_dropped " << sub.dropped << "\nsubs_torn_down " << sub.torn_down;
       const auto s = sessions_.get(sid);
       if (s) {
         const session_stats ss = s->stats();
@@ -441,7 +532,10 @@ std::string server::dispatch(const frame& f) {
     case msg_type::shutdown: return "ok shutting down";  // handle() stops after responding
     default: break;
   }
-  throw std::runtime_error("unknown request type " + std::to_string(f.header.type));
+  // Names the offending byte ("unknown(99)") for out-of-enum types; in-enum
+  // but unsupported-as-a-request types (a client sending `delta`) get their
+  // verb name back.
+  throw std::runtime_error("unknown request type " + msg_type_display(f.header.type));
 }
 
 void server::respond(connection& conn, const frame& req, std::string payload) {

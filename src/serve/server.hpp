@@ -46,6 +46,7 @@
 
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
+#include "serve/subscribe.hpp"
 #include "serve/transport.hpp"
 
 namespace odrc::serve {
@@ -56,6 +57,10 @@ struct server_config {
   std::size_t workers = 2;      ///< dedicated request worker threads
   std::size_t queue_limit = 64; ///< admission queue bound
   engine::engine_config engine; ///< config for sessions opened via `open`
+  subscribe_config subs;        ///< subscription queue bounds + rate limits
+  /// Per-frame push deadline: a subscriber whose socket buffer stays full
+  /// this long is declared wedged and its connection is force-closed.
+  int push_timeout_ms = 2000;
 
   [[nodiscard]] const std::string& effective_endpoint() const {
     return endpoint.empty() ? socket_path : endpoint;
@@ -114,6 +119,11 @@ class server {
 
   server_config cfg_;
   session_manager& sessions_;
+  /// Streaming subscriptions (DESIGN.md §12). Lives in the base server so
+  /// subscribe/unsubscribe — intercepted in handle(), where the connection
+  /// identity is known — work identically for the cluster coordinator; the
+  /// coordinator publishes its reconciled deltas through it too.
+  subscription_manager subs_;
 
  private:
   struct connection {
@@ -138,11 +148,19 @@ class server {
     frame f;
   };
 
+  /// push_sink writing delta frames onto a live connection under its write
+  /// mutex (defined in server.cpp — it needs the connection internals).
+  struct conn_sink;
+
   void accept_loop();
   void reader_loop(std::shared_ptr<connection> conn,
                    std::shared_ptr<std::atomic<bool>> done);
   void worker_loop();
   void handle(request& rq);
+  /// subscribe/unsubscribe need the requesting connection (the push target),
+  /// which dispatch() never sees — handle() routes them here instead.
+  std::string do_subscribe(request& rq);
+  std::string do_unsubscribe(const frame& f);
   void respond(connection& conn, const frame& req, std::string payload);
   void record_latency(double ms);
   /// Close the write side once read EOF was seen and every pipelined

@@ -132,7 +132,7 @@ session::window_result session::check_window(const rect& w) {
   return out;
 }
 
-std::vector<report::summary_row> session::check_full() {
+std::vector<report::summary_row> session::check_full(const diff_callback& on_diff) {
   std::lock_guard lk(mu_);
   timer t;
   const std::vector<std::string> baseline = last_keys_;
@@ -143,6 +143,7 @@ std::vector<report::summary_row> session::check_full() {
   stats_.violations = db_.size();
   stats_.pending_dirty = 0;
   stats_.last_check_seconds = t.seconds();
+  if (on_diff) on_diff(last_diff_);
   return db_.summarize();
 }
 
@@ -169,7 +170,7 @@ edit_result session::apply(std::span<const edit_op> ops) {
   return res;
 }
 
-recheck_result session::recheck() {
+recheck_result session::recheck(const diff_callback& on_diff) {
   std::lock_guard lk(mu_);
   trace::span ts("serve", "recheck", "dirty", static_cast<std::int64_t>(dirty_.size()));
   timer t;
@@ -233,6 +234,29 @@ recheck_result session::recheck() {
   stats_.last_recheck_seconds = out.seconds;
   trace::counter("serve", "recheck_purged", static_cast<std::int64_t>(out.purged));
   trace::counter("serve", "recheck_inserted", static_cast<std::int64_t>(out.inserted));
+  if (on_diff) on_diff(last_diff_);
+  return out;
+}
+
+session::window_result session::query_stored(const rect& w) const {
+  std::lock_guard lk(mu_);
+  trace::span ts("serve", "query_stored");
+  window_result out;
+  if (w.empty()) return out;
+  const std::vector<std::size_t> hits = db_.in_window(w);
+  const std::span<const report::entry> entries = db_.entries();
+  for (const std::size_t i : hits) {
+    const report::entry& e = entries[i];
+    auto it = std::find_if(out.rows.begin(), out.rows.end(),
+                           [&](const report::summary_row& r) { return r.rule == e.rule; });
+    if (it == out.rows.end()) {
+      out.rows.push_back({e.rule, e.v.kind, 1});
+    } else {
+      ++it->count;
+    }
+    out.keys.push_back(e.key);
+  }
+  std::sort(out.keys.begin(), out.keys.end());
   return out;
 }
 

@@ -25,6 +25,7 @@
 // entries that could have changed and no others.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -100,9 +101,16 @@ class session {
   session(const session&) = delete;
   session& operator=(const session&) = delete;
 
+  /// Observer invoked with the key diff of a completed check/recheck WHILE
+  /// the session mutex is held — deltas published from here are totally
+  /// ordered with the checks that produced them, so a subscriber can never
+  /// see two concurrent rechecks' diffs swapped. Keep it non-blocking (the
+  /// server's callback only enqueues; see subscription_manager::publish).
+  using diff_callback = std::function<void(const report::key_diff&)>;
+
   /// Full deck check from the warm snapshot; replaces the violation store.
   /// Returns the summary rows of the fresh store.
-  std::vector<report::summary_row> check_full();
+  std::vector<report::summary_row> check_full(const diff_callback& on_diff = {});
 
   /// Apply an edit script: mutate the library, invalidate the snapshot,
   /// accumulate dirty rects. Throws on unknown cells / bad indices, in which
@@ -112,7 +120,7 @@ class session {
   /// Incremental recheck over the accumulated dirty rects (see file
   /// comment). Falls back to a full check when nothing was ever checked,
   /// when an edit changed the top-cell set, or after a failed edit script.
-  recheck_result recheck();
+  recheck_result recheck(const diff_callback& on_diff = {});
 
   /// Hot-swap to a new snapshot version: replace the library and rebuild
   /// the layout_snapshot over `frozen`. Serialized against checks by the
@@ -134,6 +142,12 @@ class session {
   /// sharded) against the full deck and return rows + keys. Does not touch
   /// the violation store, the dirty set, or the diff baseline.
   [[nodiscard]] window_result check_window(const rect& w);
+
+  /// Windowed lookup over the STORED violations of the last check/recheck:
+  /// entries whose marker box overlaps `w`, summarized per rule plus sorted
+  /// keys. R-tree backed (violation_db::in_window) — no geometry is
+  /// rechecked, so this is the cheap "what's under the cursor" query.
+  [[nodiscard]] window_result query_stored(const rect& w) const;
 
   /// The diff produced by the most recent check_full()/recheck().
   [[nodiscard]] report::key_diff last_diff() const;

@@ -1,0 +1,208 @@
+#include "serve/subscribe.hpp"
+
+#include <sstream>
+
+#include "infra/trace.hpp"
+
+namespace odrc::serve {
+
+namespace {
+
+/// Clip a key list to a subscription window by the extent embedded in each
+/// key. Keys whose extent cannot be parsed are kept — dropping them could
+/// silently hide a violation from the subscriber.
+std::size_t append_clipped(std::string& body, const char* tag,
+                           const std::vector<std::string>& keys,
+                           const std::optional<rect>& window) {
+  std::size_t n = 0;
+  for (const std::string& k : keys) {
+    if (window) {
+      const std::optional<rect> ext = report::key_extent(k);
+      if (ext && !window->overlaps(*ext)) continue;
+    }
+    body += '\n';
+    body += tag;
+    body += ' ';
+    body += k;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+subscription_manager::subscription_manager(subscribe_config cfg) : cfg_(cfg) {
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+subscription_manager::~subscription_manager() { stop(); }
+
+void subscription_manager::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::uint64_t subscription_manager::subscribe(std::uint32_t session, std::optional<rect> window,
+                                              std::shared_ptr<push_sink> sink,
+                                              std::uintptr_t owner) {
+  std::lock_guard lk(mu_);
+  if (subs_.size() >= cfg_.max_total) {
+    throw std::runtime_error("subscription limit reached (" + std::to_string(cfg_.max_total) +
+                             " total)");
+  }
+  std::size_t per_session = 0;
+  for (const auto& [id, s] : subs_) {
+    if (s.session == session) ++per_session;
+  }
+  if (per_session >= cfg_.max_per_session) {
+    throw std::runtime_error("subscription limit reached (" +
+                             std::to_string(cfg_.max_per_session) + " per session)");
+  }
+  const std::uint64_t id = next_id_++;
+  sub s;
+  s.session = session;
+  s.window = window;
+  s.sink = std::move(sink);
+  s.owner = owner;
+  subs_.emplace(id, std::move(s));
+  return id;
+}
+
+bool subscription_manager::unsubscribe(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  return subs_.erase(id) > 0;
+}
+
+std::size_t subscription_manager::drop_owner(std::uintptr_t owner) {
+  std::lock_guard lk(mu_);
+  std::size_t removed = 0;
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.owner == owner) {
+      it = subs_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void subscription_manager::publish(std::uint32_t session, const report::key_diff& diff) {
+  bool queued = false;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& [id, s] : subs_) {
+      if (s.session != session) continue;
+      pending p;
+      p.seq = s.next_seq++;
+      p.n_fixed = append_clipped(p.keys_body, "fixed", diff.fixed, s.window);
+      p.n_new = append_clipped(p.keys_body, "new", diff.introduced, s.window);
+      if (s.queue.size() >= cfg_.queue_limit) {
+        // Drop-oldest: a live subscriber prefers fresh state over stale
+        // history. The seq hole plus the sticky gap marker tell it to
+        // resynchronize.
+        s.queue.pop_front();
+        ++dropped_;
+        s.gap = true;
+        trace::counter("subs", "dropped", static_cast<std::int64_t>(dropped_));
+      }
+      s.queue.push_back(std::move(p));
+      ++published_;
+      queued = true;
+    }
+    trace::counter("subs", "queue_depth", static_cast<std::int64_t>(queue_depth_locked()));
+  }
+  if (queued) cv_.notify_one();
+}
+
+std::size_t subscription_manager::queue_depth_locked() const {
+  std::size_t depth = 0;
+  for (const auto& [id, s] : subs_) depth += s.queue.size();
+  return depth;
+}
+
+subscription_stats subscription_manager::stats() const {
+  std::lock_guard lk(mu_);
+  subscription_stats st;
+  st.active = subs_.size();
+  st.queue_depth = queue_depth_locked();
+  st.published = published_;
+  st.delivered = delivered_;
+  st.dropped = dropped_;
+  st.torn_down = torn_down_;
+  return st;
+}
+
+void subscription_manager::flusher_loop() {
+  trace::recorder::instance().name_this_thread("serve push");
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] {
+      if (stop_) return true;
+      for (const auto& [id, s] : subs_) {
+        if (!s.queue.empty()) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+
+    // Round-robin across subscriptions with pending frames so one chatty
+    // session cannot starve the others.
+    auto it = subs_.upper_bound(rr_last_);
+    for (std::size_t step = 0; step <= subs_.size(); ++step, ++it) {
+      if (it == subs_.end()) it = subs_.begin();
+      if (!it->second.queue.empty()) break;
+    }
+    if (it == subs_.end() || it->second.queue.empty()) continue;  // raced with a drop
+    const std::uint64_t id = it->first;
+    rr_last_ = id;
+    sub& s = it->second;
+    pending p = std::move(s.queue.front());
+    s.queue.pop_front();
+    const bool gap = s.gap;
+    std::shared_ptr<push_sink> sink = s.sink;
+
+    frame f;
+    f.header.type = static_cast<std::uint8_t>(msg_type::delta);
+    f.header.session = s.session;
+    f.header.seq = static_cast<std::uint16_t>(p.seq);
+    std::ostringstream head;
+    head << "delta sub " << id << " seq " << p.seq << " fixed " << p.n_fixed << " new "
+         << p.n_new << " gap " << (gap ? 1 : 0);
+    f.payload = head.str() + p.keys_body;
+
+    lk.unlock();
+    bool ok;
+    {
+      trace::span ts("serve", "push", "sub", static_cast<std::int64_t>(id), "seq",
+                     static_cast<std::int64_t>(p.seq));
+      ok = sink->push(f);
+    }
+    lk.lock();
+    auto again = subs_.find(id);
+    if (again == subs_.end()) continue;  // unsubscribed/dropped while writing
+    if (ok) {
+      ++delivered_;
+      if (gap) again->second.gap = false;  // the marker made it out
+    } else {
+      // Dead or wedged sink: the connection is already being torn down by
+      // the sink implementation; drop every subscription delivering to it.
+      const std::uintptr_t owner = again->second.owner;
+      for (auto di = subs_.begin(); di != subs_.end();) {
+        if (di->second.owner == owner) {
+          di = subs_.erase(di);
+          ++torn_down_;
+        } else {
+          ++di;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace odrc::serve

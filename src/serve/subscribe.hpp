@@ -1,0 +1,138 @@
+// Streaming violation subscriptions (DESIGN.md §12).
+//
+// A subscription attaches a connection to a session: after every
+// check/recheck the session's key diff (fixed / introduced violation keys,
+// optionally clipped to a per-subscription window via report::key_extent) is
+// pushed to the subscriber as a server-initiated `delta` frame.
+//
+// The design constraint everything here serves: the recheck path must never
+// block on a subscriber. publish() only encodes the delta and appends it to
+// bounded per-subscription queues under the manager mutex — O(delta size),
+// no socket I/O. A dedicated flusher thread drains the queues round-robin
+// and writes frames through the subscription's push_sink, whose
+// implementation must itself bound its blocking (the server's sink uses
+// write_frame_deadline and force-closes a wedged connection).
+//
+// Overflow policy (documented contract): when a subscription's queue is at
+// `queue_limit`, the OLDEST pending delta is dropped to admit the new one —
+// a live subscriber prefers fresh state over stale history. Every drop is
+// counted, leaves a hole in the per-subscription sequence numbers, and sets
+// a sticky gap marker delivered with the next frame that does go out
+// ("... gap 1") so even a client that missed the seq hole knows its view
+// diverged and must resynchronize with a full `check keys`/`diff` query.
+//
+// Rate limiting: at most `max_per_session` live subscriptions per session id
+// and `max_total` per server — a client looping `subscribe` cannot grow
+// server state without bound.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "infra/geometry.hpp"
+#include "report/violation_db.hpp"
+#include "serve/protocol.hpp"
+
+namespace odrc::serve {
+
+/// Write endpoint for server-initiated frames. Implementations must bound
+/// their own blocking; returning false declares the connection unusable and
+/// tears down every subscription that delivers through it.
+class push_sink {
+ public:
+  virtual ~push_sink() = default;
+  virtual bool push(const frame& f) = 0;
+};
+
+struct subscribe_config {
+  std::size_t queue_limit = 64;     ///< pending deltas per subscription
+  std::size_t max_per_session = 8;  ///< live subscriptions per session id
+  std::size_t max_total = 256;      ///< live subscriptions per server
+};
+
+struct subscription_stats {
+  std::size_t active = 0;
+  std::size_t queue_depth = 0;    ///< pending deltas across all subscriptions
+  std::uint64_t published = 0;    ///< deltas enqueued
+  std::uint64_t delivered = 0;    ///< deltas written to a sink
+  std::uint64_t dropped = 0;      ///< deltas discarded by the queue bound
+  std::uint64_t torn_down = 0;    ///< subscriptions killed (dead/wedged sink)
+};
+
+class subscription_manager {
+ public:
+  explicit subscription_manager(subscribe_config cfg = {});
+  ~subscription_manager();
+
+  subscription_manager(const subscription_manager&) = delete;
+  subscription_manager& operator=(const subscription_manager&) = delete;
+
+  /// Register a subscription delivering through `sink`. `owner` groups
+  /// subscriptions by connection so drop_owner can tear them down together.
+  /// Throws std::runtime_error when a rate limit is hit.
+  std::uint64_t subscribe(std::uint32_t session, std::optional<rect> window,
+                          std::shared_ptr<push_sink> sink, std::uintptr_t owner);
+
+  /// Remove one subscription; false when the id is unknown.
+  bool unsubscribe(std::uint64_t id);
+
+  /// Tear down every subscription of `owner` (its connection is gone).
+  /// Returns the count removed.
+  std::size_t drop_owner(std::uintptr_t owner);
+
+  /// Queue the delta toward every subscriber of `session`. Never blocks and
+  /// never fails: slow subscribers lose their oldest pending delta instead
+  /// (see the overflow policy above). Windowed subscriptions receive the
+  /// keys clipped to their window — a frame is sent per publish regardless,
+  /// so subscribers can use empty deltas as recheck heartbeats.
+  void publish(std::uint32_t session, const report::key_diff& diff);
+
+  [[nodiscard]] subscription_stats stats() const;
+
+  /// Stop the flusher; pending deltas are discarded. Idempotent, called by
+  /// the destructor.
+  void stop();
+
+ private:
+  struct pending {
+    std::uint64_t seq = 0;
+    std::size_t n_fixed = 0;
+    std::size_t n_new = 0;
+    std::string keys_body;  ///< "\nfixed <k>"/"\nnew <k>" lines
+  };
+
+  struct sub {
+    std::uint32_t session = 0;
+    std::optional<rect> window;
+    std::shared_ptr<push_sink> sink;
+    std::uintptr_t owner = 0;
+    std::deque<pending> queue;
+    std::uint64_t next_seq = 0;
+    bool gap = false;  ///< a drop happened since the last delivered frame
+  };
+
+  void flusher_loop();
+  std::size_t queue_depth_locked() const;
+
+  subscribe_config cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, sub> subs_;  ///< ordered: round-robin uses upper_bound
+  std::uint64_t next_id_ = 1;
+  std::uint64_t rr_last_ = 0;  ///< round-robin cursor (last id served)
+  bool stop_ = false;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t torn_down_ = 0;
+  std::thread flusher_;
+};
+
+}  // namespace odrc::serve

@@ -1,0 +1,657 @@
+// Streaming violation subscriptions (DESIGN.md §12): subscription_manager
+// unit tests with gated fake sinks (queue bound, drop-oldest + gap marker,
+// rate limits, teardown), end-to-end delta push over a real socket
+// (delta == diff, windowed clipping, randomized delta-concatenation
+// reconstructing the full-check state), protocol fuzz for unknown verbs and
+// zero-length payloads, and coordinator fan-in dedup of seam straddlers.
+// Suite names start with "Subscribe" so the TSan CI job picks them up.
+#include "serve/subscribe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "db/layout.hpp"
+#include "engine/rule.hpp"
+#include "engine/shard.hpp"
+#include "serve/client.hpp"
+#include "serve/coord.hpp"
+#include "serve/server.hpp"
+
+namespace odrc::serve {
+namespace {
+
+constexpr db::layer_t M1 = 19;
+
+// Baseline library with violations both near the origin and far from it, so
+// windowed queries/subscriptions see a nonempty proper subset of the store.
+db::library make_lib() {
+  db::library lib("subscribe_test");
+  const db::cell_id unit = lib.add_cell("unit");
+  lib.at(unit).add_rect(M1, {0, 0, 200, 30});
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(M1, {0, 500, 2000, 530});
+  lib.at(top).add_rect(M1, {300, 0, 310, 10});     // 10x10: width + area, near origin
+  lib.at(top).add_rect(M1, {0, 1000, 400, 1010});  // width 10 < 18, far away
+  lib.at(top).add_rect(M1, {0, 1100, 200, 1130});
+  lib.at(top).add_rect(M1, {0, 1140, 200, 1170});  // spacing 10 < 25, far away
+  lib.at(top).add_ref({unit, transform{{0, 0}, 0, false, 1}});
+  lib.at(top).add_ref({unit, transform{{600, 0}, 0, false, 1}});
+  return lib;
+}
+
+std::vector<rules::rule> make_deck() {
+  return {
+      rules::layer(M1).width().greater_than(18).named("M1.W"),
+      rules::layer(M1).spacing().greater_than(25).named("M1.S"),
+      rules::layer(M1).area().greater_than(800).named("M1.A"),
+  };
+}
+
+long field(const std::string& line, const std::string& word) {
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok == word) {
+      long v = -1;
+      in >> v;
+      return v;
+    }
+  }
+  return -1;
+}
+
+std::vector<std::string> tagged(const std::string& payload, const std::string& tag) {
+  std::vector<std::string> out;
+  const std::string prefix = tag + ' ';
+  std::istringstream is(payload);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind(prefix, 0) == 0) out.push_back(line.substr(prefix.size()));
+  }
+  return out;
+}
+
+/// Spin until `pred` holds or ~5s elapse.
+template <class Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// --- subscription_manager unit tests ----------------------------------------
+
+/// push_sink whose push() blocks until open()ed — deterministically wedges
+/// the flusher so queue-bound behavior can be observed; records every frame
+/// it let through.
+struct gate_sink : push_sink {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool release = false;
+  bool fail = false;
+  std::vector<frame> got;
+
+  bool push(const frame& f) override {
+    std::unique_lock lk(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lk, [&] { return release; });
+    if (fail) return false;
+    got.push_back(f);
+    cv.notify_all();
+    return true;
+  }
+
+  void wait_entered(int n) {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return entered >= n; });
+  }
+  void open() {
+    std::lock_guard lk(mu);
+    release = true;
+    cv.notify_all();
+  }
+  std::size_t delivered() {
+    std::lock_guard lk(mu);
+    return got.size();
+  }
+  std::vector<frame> frames() {
+    std::lock_guard lk(mu);
+    return got;
+  }
+};
+
+report::key_diff one_new(const std::string& key) {
+  report::key_diff d;
+  d.introduced.push_back(key);
+  return d;
+}
+
+TEST(Subscribe, PublishNeverBlocksDropsOldestAndMarksGap) {
+  subscribe_config cfg;
+  cfg.queue_limit = 4;
+  subscription_manager mgr(cfg);
+  auto sink = std::make_shared<gate_sink>();
+  const std::uint64_t id = mgr.subscribe(1, std::nullopt, sink, 0xabc);
+  ASSERT_GT(id, 0u);
+
+  mgr.publish(1, one_new("k0"));
+  sink->wait_entered(1);  // seq 0 popped and wedged inside push()
+
+  // A wedged subscriber must not block the publisher (the recheck path).
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= 10; ++i) mgr.publish(1, one_new("k" + std::to_string(i)));
+  const auto publish_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_LT(publish_ms, 1000) << "publish blocked on a wedged sink";
+
+  // Queue bound 4: seqs 1..10 squeezed into {7,8,9,10}, six dropped.
+  subscription_stats st = mgr.stats();
+  EXPECT_EQ(st.published, 11u);
+  EXPECT_EQ(st.dropped, 6u);
+  EXPECT_EQ(st.queue_depth, 4u);
+  EXPECT_EQ(st.active, 1u);
+
+  sink->open();
+  ASSERT_TRUE(eventually([&] { return sink->delivered() == 5; }));
+  const std::vector<frame> got = sink->frames();
+  std::vector<std::uint64_t> seqs;
+  std::vector<bool> gaps;
+  for (const frame& f : got) {
+    const std::optional<delta_frame> d = parse_delta(f);
+    ASSERT_TRUE(d.has_value());
+    seqs.push_back(d->seq);
+    gaps.push_back(d->gap);
+    EXPECT_EQ(f.header.session, 1u);
+    EXPECT_EQ(f.header.seq, static_cast<std::uint16_t>(d->seq));
+  }
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 7, 8, 9, 10}));
+  // The seq hole is flagged on the first frame delivered after the drops and
+  // the marker clears once it went out.
+  EXPECT_EQ(gaps, (std::vector<bool>{false, true, false, false, false}));
+
+  st = mgr.stats();
+  EXPECT_EQ(st.delivered, 5u);
+  EXPECT_EQ(st.queue_depth, 0u);
+  mgr.stop();
+}
+
+TEST(Subscribe, WindowClipsKeysButKeepsUnparsable) {
+  subscription_manager mgr;
+  auto sink = std::make_shared<gate_sink>();
+  sink->open();  // deliver immediately
+  mgr.subscribe(1, rect{0, 0, 100, 100}, sink, 1);
+
+  report::key_diff d;
+  d.introduced = {
+      "R|spacing|19|19|0,0,10,0|0,20,10,20|4",          // extent {0,0,10,20}: inside
+      "R|spacing|19|19|500,500,510,500|500,520,510,520|4",  // far outside
+      "garbage-key",                                     // unparsable: kept
+  };
+  d.fixed = {"R|spacing|19|19|900,900,910,900|900,920,910,920|4"};  // outside
+  mgr.publish(1, d);
+
+  ASSERT_TRUE(eventually([&] { return sink->delivered() == 1; }));
+  const std::optional<delta_frame> got = parse_delta(sink->frames()[0]);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->introduced,
+            (std::vector<std::string>{"R|spacing|19|19|0,0,10,0|0,20,10,20|4", "garbage-key"}));
+  EXPECT_TRUE(got->fixed.empty());
+  mgr.stop();
+}
+
+TEST(Subscribe, RateLimitsPerSessionAndTotal) {
+  subscribe_config cfg;
+  cfg.max_per_session = 2;
+  cfg.max_total = 3;
+  subscription_manager mgr(cfg);
+  auto sink = std::make_shared<gate_sink>();
+  mgr.subscribe(1, std::nullopt, sink, 1);
+  mgr.subscribe(1, std::nullopt, sink, 1);
+  EXPECT_THROW(mgr.subscribe(1, std::nullopt, sink, 1), std::runtime_error);
+  mgr.subscribe(2, std::nullopt, sink, 1);
+  EXPECT_THROW(mgr.subscribe(2, std::nullopt, sink, 1), std::runtime_error);  // total cap
+  EXPECT_EQ(mgr.stats().active, 3u);
+  mgr.stop();
+}
+
+TEST(Subscribe, DropOwnerAndUnsubscribe) {
+  subscription_manager mgr;
+  auto sink = std::make_shared<gate_sink>();
+  const std::uint64_t a = mgr.subscribe(1, std::nullopt, sink, 111);
+  mgr.subscribe(1, std::nullopt, sink, 111);
+  mgr.subscribe(2, std::nullopt, sink, 222);
+  EXPECT_EQ(mgr.drop_owner(111), 2u);
+  EXPECT_EQ(mgr.stats().active, 1u);
+  EXPECT_FALSE(mgr.unsubscribe(a)) << "already dropped with its owner";
+  EXPECT_EQ(mgr.drop_owner(999), 0u);
+  mgr.stop();
+}
+
+TEST(Subscribe, FailingSinkTearsDownAllOwnerSubscriptions) {
+  subscription_manager mgr;
+  auto sink = std::make_shared<gate_sink>();
+  sink->fail = true;
+  sink->open();
+  mgr.subscribe(1, std::nullopt, sink, 7);
+  mgr.subscribe(1, std::nullopt, sink, 7);
+  mgr.publish(1, one_new("k"));
+  ASSERT_TRUE(eventually([&] { return mgr.stats().torn_down == 2; }));
+  EXPECT_EQ(mgr.stats().active, 0u);
+  mgr.stop();
+}
+
+// --- end-to-end over a real socket ------------------------------------------
+
+struct SubscribeServe : ::testing::Test {
+  session_manager sessions;
+  std::unique_ptr<server> srv;
+  std::string path;
+
+  void SetUp() override {
+    path = "/tmp/odrc_sub_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter_.fetch_add(1)) + ".sock";
+    sessions.create(make_lib(), make_deck());
+    server_config cfg;
+    cfg.socket_path = path;
+    cfg.workers = 2;
+    srv = std::make_unique<server>(cfg, sessions);
+    srv->start();
+  }
+
+  void TearDown() override {
+    srv->stop();
+    srv->wait();
+  }
+
+  static inline std::atomic<int> counter_{0};
+};
+
+TEST_F(SubscribeServe, DeltaAfterEditRecheckEqualsDiffQuery) {
+  client c;
+  c.connect(path);
+  const frame sub = c.request(msg_type::subscribe, 0);
+  ASSERT_TRUE(client::ok(sub)) << sub.payload;
+  EXPECT_GT(field(client::status_line(sub), "subscribed"), 0);
+
+  // First check: the delta reports the entire violation set as new, so a
+  // subscriber attached from t=0 needs no out-of-band baseline.
+  const frame chk = c.request(msg_type::check, 0, "keys");
+  ASSERT_TRUE(client::ok(chk));
+  const std::vector<std::string> all_keys = tagged(chk.payload, "v");
+  std::optional<frame> push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  std::optional<delta_frame> d0 = parse_delta(*push);
+  ASSERT_TRUE(d0.has_value());
+  EXPECT_EQ(d0->seq, 0u);
+  EXPECT_FALSE(d0->gap);
+  std::vector<std::string> introduced = d0->introduced;
+  std::sort(introduced.begin(), introduced.end());
+  EXPECT_EQ(introduced, all_keys);
+
+  // Edit + recheck: the pushed delta is exactly the diff verb's answer.
+  ASSERT_TRUE(client::ok(c.request(msg_type::edit, 0, "add_poly top 19 5000 5000 5010 5010\n")));
+  const frame rc = c.request(msg_type::recheck, 0);
+  ASSERT_TRUE(client::ok(rc)) << rc.payload;
+  const frame dif = c.request(msg_type::diff, 0);
+  ASSERT_TRUE(client::ok(dif));
+
+  push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  const std::optional<delta_frame> d1 = parse_delta(*push);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(d1->seq, 1u);
+  EXPECT_EQ(d1->fixed, tagged(dif.payload, "fixed"));
+  EXPECT_EQ(d1->introduced, tagged(dif.payload, "new"));
+  EXPECT_GT(d1->introduced.size(), 0u);
+}
+
+TEST_F(SubscribeServe, WindowedSubscriptionClipsToWindow) {
+  client c;
+  c.connect(path);
+  // Window far from everything the edit below touches.
+  ASSERT_TRUE(client::ok(c.request(msg_type::subscribe, 0, "0 0 10 10")));
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+
+  // The check's delta still arrives (heartbeat semantics) but carries only
+  // keys clipped to the window.
+  std::optional<frame> push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  std::optional<delta_frame> d = parse_delta(*push);
+  ASSERT_TRUE(d.has_value());
+  for (const std::string& k : d->introduced) {
+    const std::optional<rect> ext = report::key_extent(k);
+    ASSERT_TRUE(ext.has_value()) << k;
+    EXPECT_TRUE(ext->overlaps(rect{0, 0, 10, 10})) << k;
+  }
+
+  ASSERT_TRUE(client::ok(c.request(msg_type::edit, 0, "add_poly top 19 5000 5000 5010 5010\n")));
+  ASSERT_TRUE(client::ok(c.request(msg_type::recheck, 0)));
+  push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  d = parse_delta(*push);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq, 1u);
+  EXPECT_TRUE(d->introduced.empty()) << "edit at (5000,5000) leaked into window (0,0,10,10)";
+  EXPECT_TRUE(d->fixed.empty());
+}
+
+// Randomized acceptance property: a subscriber that applies every delta in
+// order reconstructs exactly the violation set a fresh full check reports.
+TEST_F(SubscribeServe, RandomizedDeltaConcatenationReconstructsState) {
+  std::mt19937 rng(777);
+  client c;
+  c.connect(path);
+  ASSERT_TRUE(client::ok(c.request(msg_type::subscribe, 0)));
+
+  std::set<std::string> view;
+  std::uint64_t expect_seq = 0;
+  const auto apply_next_delta = [&] {
+    const std::optional<frame> push = c.wait_push(10000);
+    ASSERT_TRUE(push.has_value());
+    const std::optional<delta_frame> d = parse_delta(*push);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->seq, expect_seq++);
+    EXPECT_FALSE(d->gap);
+    for (const std::string& k : d->fixed) EXPECT_EQ(view.erase(k), 1u) << k;
+    for (const std::string& k : d->introduced) EXPECT_TRUE(view.insert(k).second) << k;
+  };
+
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+  apply_next_delta();
+
+  // Random adds (width+area violators) and moves of previously added polys.
+  // Poly 0 on layer M1 in `top` is the seed rect; adds append from index 1.
+  int added = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::ostringstream script;
+    if (added > 0 && round % 3 == 2) {
+      const int idx = 1 + static_cast<int>(rng() % static_cast<unsigned>(added));
+      script << "move_poly top 19 " << idx << " 0 " << (20 + static_cast<int>(rng() % 100))
+             << "\n";
+    } else {
+      const int x = 3000 + 500 * added;
+      const int y = 3000 + static_cast<int>(rng() % 400);
+      script << "add_poly top 19 " << x << ' ' << y << ' ' << (x + 10) << ' ' << (y + 10)
+             << "\n";
+      ++added;
+    }
+    ASSERT_TRUE(client::ok(c.request(msg_type::edit, 0, script.str())));
+    const frame rc = c.request(msg_type::recheck, 0);
+    ASSERT_TRUE(client::ok(rc)) << rc.payload;
+    apply_next_delta();
+  }
+
+  // Fresh full check: its key set must equal the reconstructed view (and the
+  // check's own delta must be empty — nothing changed).
+  const frame chk = c.request(msg_type::check, 0, "keys");
+  ASSERT_TRUE(client::ok(chk));
+  const std::vector<std::string> expected = tagged(chk.payload, "v");
+  EXPECT_EQ(std::vector<std::string>(view.begin(), view.end()), expected);
+  apply_next_delta();  // the check's (empty) delta
+  EXPECT_EQ(std::vector<std::string>(view.begin(), view.end()), expected);
+}
+
+TEST_F(SubscribeServe, UnsubscribeStopsDeltas) {
+  client c;
+  c.connect(path);
+  const frame sub = c.request(msg_type::subscribe, 0);
+  ASSERT_TRUE(client::ok(sub));
+  const long id = field(client::status_line(sub), "subscribed");
+  ASSERT_GT(id, 0);
+  const frame un = c.request(msg_type::unsubscribe, 0, std::to_string(id));
+  ASSERT_TRUE(client::ok(un)) << un.payload;
+  EXPECT_FALSE(client::ok(c.request(msg_type::unsubscribe, 0, std::to_string(id))))
+      << "double unsubscribe must fail";
+
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+  EXPECT_FALSE(c.wait_push(300).has_value());
+
+  const frame st = c.request(msg_type::stats, 0);
+  EXPECT_EQ(field(st.payload, "subs_active"), 0);
+}
+
+TEST_F(SubscribeServe, DisconnectMidStreamTearsDownSubscription) {
+  {
+    client doomed;
+    doomed.connect(path);
+    ASSERT_TRUE(client::ok(doomed.request(msg_type::subscribe, 0)));
+    client c;
+    c.connect(path);
+    ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+    // The subscriber vanishes without unsubscribe, possibly with deltas still
+    // queued for it.
+    doomed.close();
+  }
+  client c;
+  c.connect(path);
+  // The reader-EOF teardown reaps the orphaned subscription; the server keeps
+  // answering and rechecks are unaffected.
+  ASSERT_TRUE(eventually([&] {
+    const frame st = c.request(msg_type::stats, 0);
+    return field(st.payload, "subs_active") == 0;
+  }));
+  ASSERT_TRUE(client::ok(c.request(msg_type::edit, 0, "add_poly top 19 5000 5000 5010 5010\n")));
+  const frame rc = c.request(msg_type::recheck, 0);
+  ASSERT_TRUE(client::ok(rc)) << rc.payload;
+}
+
+TEST_F(SubscribeServe, RateLimitOverProtocol) {
+  client c;
+  c.connect(path);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client::ok(c.request(msg_type::subscribe, 0))) << i;
+  }
+  const frame ninth = c.request(msg_type::subscribe, 0);
+  EXPECT_FALSE(client::ok(ninth));
+  EXPECT_NE(ninth.payload.find("limit"), std::string::npos) << ninth.payload;
+}
+
+TEST_F(SubscribeServe, QueryMatchesKeyExtentFilter) {
+  client c;
+  c.connect(path);
+  const frame chk = c.request(msg_type::check, 0, "keys");
+  ASSERT_TRUE(client::ok(chk));
+  const std::vector<std::string> all_keys = tagged(chk.payload, "v");
+  ASSERT_FALSE(all_keys.empty());
+
+  // Whole-plane query returns everything the check stored.
+  const frame whole = c.request(msg_type::query, 0, "-100000 -100000 100000 100000 keys");
+  ASSERT_TRUE(client::ok(whole)) << whole.payload;
+  EXPECT_EQ(tagged(whole.payload, "v"), all_keys);
+
+  // Windowed query equals clipping the key set by each key's embedded extent
+  // (the index answers by marker box, which key_extent reconstructs).
+  const rect w{0, 0, 700, 600};
+  std::vector<std::string> expected;
+  for (const std::string& k : all_keys) {
+    const std::optional<rect> ext = report::key_extent(k);
+    ASSERT_TRUE(ext.has_value()) << k;
+    if (w.overlaps(*ext)) expected.push_back(k);
+  }
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), all_keys.size());
+  const frame win = c.request(msg_type::query, 0, "0 0 700 600 keys");
+  ASSERT_TRUE(client::ok(win)) << win.payload;
+  EXPECT_EQ(tagged(win.payload, "v"), expected);
+  EXPECT_EQ(field(client::status_line(win), "total"), static_cast<long>(expected.size()));
+
+  // Malformed window errors without hurting the connection.
+  EXPECT_FALSE(client::ok(c.request(msg_type::query, 0, "10 10 0 0")));
+  EXPECT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+}
+
+// --- protocol fuzz: unknown verbs, zero-length payloads ----------------------
+
+TEST_F(SubscribeServe, UnknownVerbErrorNamesTheByte) {
+  client c;
+  c.connect(path);
+  for (const std::uint8_t t : {std::uint8_t{0}, std::uint8_t{18}, std::uint8_t{42},
+                               std::uint8_t{0x7f}}) {
+    const frame resp = c.request(static_cast<msg_type>(t), 0);
+    EXPECT_FALSE(client::ok(resp));
+    const std::string want = "unknown(" + std::to_string(t) + ")";
+    EXPECT_NE(resp.payload.find(want), std::string::npos)
+        << "type " << int(t) << " -> " << resp.payload;
+  }
+  // `delta` is in-enum but server-initiated only: rejected by verb name.
+  const frame resp = c.request(msg_type::delta, 0);
+  EXPECT_FALSE(client::ok(resp));
+  EXPECT_NE(resp.payload.find("delta"), std::string::npos) << resp.payload;
+  EXPECT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+}
+
+TEST_F(SubscribeServe, ZeroLengthPayloadOnEveryVerbAnswersAndSurvives) {
+  client c;
+  c.connect(path);
+  for (std::uint8_t t = 1; t <= 17; ++t) {
+    if (t == static_cast<std::uint8_t>(msg_type::shutdown)) continue;  // would stop the server
+    const frame resp = c.request(static_cast<msg_type>(t), 0);
+    // Every verb must produce a well-formed status response — ok or a clean
+    // error — and never wedge or kill the connection. (`close` legitimately
+    // drops session 1, so later session verbs answer "error unknown session".)
+    EXPECT_FALSE(resp.payload.empty()) << "type " << int(t);
+    EXPECT_TRUE(resp.payload.rfind("ok", 0) == 0 || resp.payload.rfind("error", 0) == 0)
+        << "type " << int(t) << " -> " << resp.payload;
+  }
+  EXPECT_TRUE(client::ok(c.request(msg_type::ping, 0)));
+}
+
+// --- coordinator fan-in -------------------------------------------------------
+
+std::vector<rect> manual_bands() {
+  using engine::shard_clamp_max;
+  using engine::shard_clamp_min;
+  return {{shard_clamp_min, shard_clamp_min, shard_clamp_max, 500},
+          {shard_clamp_min, 501, shard_clamp_max, shard_clamp_max}};
+}
+
+// Seam straddler at y=500 like cluster_test: both workers report it; the
+// coordinator must push it exactly once.
+db::library make_cluster_lib() {
+  db::library lib("subscribe_cluster");
+  const db::cell_id top = lib.add_cell("top");
+  lib.at(top).add_rect(M1, {0, 0, 400, 10});
+  lib.at(top).add_rect(M1, {100, 460, 300, 498});
+  lib.at(top).add_rect(M1, {100, 503, 300, 540});  // spacing 5 < 25, across the seam
+  lib.at(top).add_rect(M1, {0, 800, 400, 815});
+  return lib;
+}
+
+struct SubscribeCluster : ::testing::Test {
+  std::vector<std::unique_ptr<session_manager>> wsessions;
+  std::vector<std::unique_ptr<server>> workers;
+  std::vector<std::string> wpaths;
+  std::unique_ptr<coordinator> coord;
+  std::string cpath;
+
+  void SetUp() override {
+    const std::string stem = "/tmp/odrc_subcl_" + std::to_string(::getpid()) + "_" +
+                             std::to_string(counter_.fetch_add(1));
+    const std::vector<rect> bands = manual_bands();
+    for (std::size_t i = 0; i < bands.size(); ++i) {
+      wpaths.push_back(stem + "_w" + std::to_string(i) + ".sock");
+      wsessions.push_back(std::make_unique<session_manager>());
+      wsessions.back()->create(make_cluster_lib(), make_deck());
+      server_config wc;
+      wc.socket_path = wpaths.back();
+      wc.workers = 2;
+      workers.push_back(std::make_unique<server>(wc, *wsessions.back()));
+      workers.back()->start();
+    }
+    cpath = stem + "_coord.sock";
+    coord_config cc;
+    cc.listen.socket_path = cpath;
+    cc.listen.workers = 2;
+    cc.worker_endpoints = wpaths;
+    cc.bands = bands;
+    coord = std::make_unique<coordinator>(std::move(cc));
+    coord->start();
+  }
+
+  void TearDown() override {
+    if (coord) {
+      coord->stop();
+      coord->wait();
+    }
+    for (auto& w : workers) {
+      w->stop();
+      w->wait();
+    }
+  }
+
+  static inline std::atomic<int> counter_{0};
+};
+
+TEST_F(SubscribeCluster, CoordinatorDeltaDedupsSeamStraddlers) {
+  session single(make_cluster_lib(), make_deck());
+  single.check_full();
+  const std::vector<std::string> expected = single.keys();
+  ASSERT_FALSE(expected.empty());
+
+  client c;
+  c.connect(cpath);
+  ASSERT_TRUE(client::ok(c.request(msg_type::subscribe, 0)));
+  ASSERT_TRUE(client::ok(c.request(msg_type::check, 0)));
+
+  // The check's delta carries the reconciled key set: every key exactly once
+  // even though both workers reported the straddler.
+  std::optional<frame> push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  std::optional<delta_frame> d = parse_delta(*push);
+  ASSERT_TRUE(d.has_value());
+  std::vector<std::string> introduced = d->introduced;
+  std::sort(introduced.begin(), introduced.end());
+  EXPECT_EQ(introduced, expected);
+  EXPECT_TRUE(std::adjacent_find(introduced.begin(), introduced.end()) == introduced.end());
+
+  // Both workers really did store a common (seam) key.
+  const std::vector<std::string> k0 = wsessions[0]->get(1)->keys();
+  const std::vector<std::string> k1 = wsessions[1]->get(1)->keys();
+  std::vector<std::string> both;
+  std::set_intersection(k0.begin(), k0.end(), k1.begin(), k1.end(), std::back_inserter(both));
+  ASSERT_FALSE(both.empty()) << "no seam straddler exercised";
+
+  // Fix the straddler: the reconciled recheck delta reports it fixed ONCE,
+  // matching a single-process session's diff.
+  const std::string script = "move_poly top 19 2 0 100\n";
+  ASSERT_TRUE(client::ok(c.request(msg_type::edit, 0, script)));
+  const auto ops = parse_edit_script(script);
+  (void)single.apply(ops);
+  const recheck_result rr = single.recheck();
+
+  const frame rc = c.request(msg_type::recheck, 0);
+  ASSERT_TRUE(client::ok(rc)) << rc.payload;
+  push = c.wait_push(10000);
+  ASSERT_TRUE(push.has_value());
+  d = parse_delta(*push);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq, 1u);
+  EXPECT_EQ(d->fixed, rr.diff.fixed);
+  EXPECT_EQ(d->introduced, rr.diff.introduced);
+  EXPECT_GE(d->fixed.size(), 1u);
+
+  // The coordinator's query verb fans in over ALL bands and dedups too.
+  const frame q = c.request(msg_type::query, 0, "-100000 -100000 100000 100000 keys");
+  ASSERT_TRUE(client::ok(q)) << q.payload;
+  EXPECT_EQ(tagged(q.payload, "v"), single.keys());
+}
+
+}  // namespace
+}  // namespace odrc::serve

@@ -174,17 +174,29 @@ TEST(ReportDiff, DiffFindsFixedAndIntroduced) {
   EXPECT_TRUE(diff_reports(current, current).clean());
 }
 
-TEST(ReportDiff, MultisetSemantics) {
-  // Two identical violations in the baseline, one in current: exactly one
-  // counts as fixed.
+TEST(ReportDiff, DuplicateLinesCollapse) {
+  // Set semantics, exactly like diff_keys: a report that lists the same
+  // violation twice (overlapping windows, a rerun appended to one file) must
+  // not surface phantom fixed/introduced lines. Regression for the old
+  // multiset behavior where {rl, rl} vs {rl} reported one "fixed".
   report_line rl;
   rl.rule = "R";
   rl.kind = checks::rule_kind::width;
   rl.layer1 = rl.layer2 = 19;
   rl.box = {0, 0, 10, 10};
   rl.measured = 100;
-  const report_diff d = diff_reports({rl, rl}, {rl});
-  EXPECT_EQ(d.fixed.size(), 1u);
+  report_line other = rl;
+  other.box = {50, 0, 60, 10};
+
+  const report_diff same = diff_reports({rl, rl}, {rl});
+  EXPECT_TRUE(same.fixed.empty());
+  EXPECT_TRUE(same.introduced.empty());
+  EXPECT_TRUE(same.clean());
+
+  // Dedup applies to both sides and never hides a real difference.
+  const report_diff d = diff_reports({rl, rl, other}, {other, other});
+  ASSERT_EQ(d.fixed.size(), 1u);
+  EXPECT_EQ(d.fixed[0].box.x_min, 0);
   EXPECT_TRUE(d.introduced.empty());
 }
 

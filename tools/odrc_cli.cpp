@@ -73,7 +73,9 @@ int usage() {
                "             [--snapshot=PATH] (spawns N workers unless --worker given)\n"
                "  odrc client --socket=PATH|EP [--session=N]\n"
                "             <ping|check|edit <script|->|recheck|diff|stats|open <gds> <deck>|\n"
-               "              check_region <x1> <y1> <x2> <y2>|reload <file.snap>|close|shutdown>\n"
+               "              check_region <x1> <y1> <x2> <y2>|query <x1> <y1> <x2> <y2> [keys]|\n"
+               "              subscribe [<x1> <y1> <x2> <y2>] [--count=N] [--timeout=MS]|\n"
+               "              unsubscribe <sub_id>|reload <file.snap>|close|shutdown>\n"
                "  odrc deck-template\n"
                "  odrc version\n"
                "  endpoints EP: unix:/path, tcp:host:port, or a bare unix path\n");
@@ -596,6 +598,31 @@ int cmd_client(int argc, char** argv) {
   if (pos.empty()) return usage();
   const std::string& verb = pos[0];
 
+  if (verb == "subscribe") {
+    // Long-running: subscribe, then stream pushed delta frames to stdout
+    // (one payload per line group) until --count frames arrived, the
+    // --timeout per-frame wait expires, or the server goes away.
+    std::string window;
+    if (pos.size() >= 5) window = pos[1] + " " + pos[2] + " " + pos[3] + " " + pos[4];
+    const int count = std::atoi(opt_value(argc, argv, "count", "0").c_str());
+    const int timeout_ms = std::atoi(opt_value(argc, argv, "timeout", "-1").c_str());
+    serve::client cl;
+    cl.connect(socket_path);
+    const serve::frame resp = cl.request(serve::msg_type::subscribe, session, window);
+    std::printf("%s\n", resp.payload.c_str());
+    std::fflush(stdout);
+    if (!serve::client::ok(resp)) return 1;
+    int seen = 0;
+    while (count <= 0 || seen < count) {
+      const std::optional<serve::frame> pf = cl.wait_push(timeout_ms);
+      if (!pf) break;  // timeout or connection closed
+      std::printf("%s\n", pf->payload.c_str());
+      std::fflush(stdout);
+      ++seen;
+    }
+    return (count > 0 && seen < count) ? 1 : 0;
+  }
+
   serve::msg_type type;
   std::string payload;
   if (verb == "ping") {
@@ -626,6 +653,21 @@ int cmd_client(int argc, char** argv) {
     }
     type = serve::msg_type::check_region;
     payload = pos[1] + " " + pos[2] + " " + pos[3] + " " + pos[4];
+  } else if (verb == "query") {
+    if (pos.size() < 5) {
+      std::fprintf(stderr, "odrc client query: expects <x1> <y1> <x2> <y2> [keys]\n");
+      return 2;
+    }
+    type = serve::msg_type::query;
+    payload = pos[1] + " " + pos[2] + " " + pos[3] + " " + pos[4];
+    if (pos.size() >= 6 && pos[5] == "keys") payload += " keys";
+  } else if (verb == "unsubscribe") {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "odrc client unsubscribe: expects <sub_id>\n");
+      return 2;
+    }
+    type = serve::msg_type::unsubscribe;
+    payload = pos[1];
   } else if (verb == "reload") {
     if (pos.size() < 2) {
       std::fprintf(stderr, "odrc client reload: expects <file.snap>\n");
